@@ -1,0 +1,22 @@
+//! Criterion benches, one per paper table/figure: each times the full
+//! regeneration of that figure at a deep scale (shape-preserving but
+//! small), so `cargo bench` exercises every experiment path end to end.
+//! The headline reproduction numbers come from `repro` (simulated clock);
+//! these benches track the harness's own host-side cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcj_bench::figures::registry;
+use hcj_bench::RunConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let config = RunConfig { scale: 512, quick: true, out_dir: None };
+    for (id, runner) in registry() {
+        g.bench_function(id, |b| b.iter(|| runner(&config)));
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,116 @@
+//! `repro` — regenerate the paper's evaluation.
+//!
+//! ```text
+//! repro all [--scale k] [--quick] [--out DIR]
+//! repro fig5 fig12 ... [--scale k] [--out DIR]
+//! repro list
+//! ```
+//!
+//! Figures print as aligned tables; `--out DIR` additionally writes one
+//! CSV per figure. `--scale` divides the paper's cardinalities (and, for
+//! out-of-GPU figures, device capacity) — see DESIGN.md §5.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hcj_bench::figures::registry;
+use hcj_bench::RunConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <all|list|figN...> [--scale K] [--quick] [--out DIR]");
+        return ExitCode::FAILURE;
+    }
+
+    let mut config = RunConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut run_all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()).filter(|&v| v >= 1)
+                else {
+                    eprintln!("--scale needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.scale = v;
+            }
+            "--quick" => config.quick = true,
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                config.out_dir = Some(dir.into());
+            }
+            "all" => run_all = true,
+            "list" => {
+                for (id, _) in registry() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(normalize(other)),
+        }
+        i += 1;
+    }
+
+    let reg = registry();
+    let selected: Vec<_> = if run_all {
+        reg
+    } else {
+        let mut sel = Vec::new();
+        for want in &wanted {
+            match reg.iter().find(|(id, _)| *id == want) {
+                Some(entry) => sel.push(*entry),
+                None => {
+                    eprintln!("unknown experiment `{want}`; try `repro list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    if selected.is_empty() {
+        eprintln!("nothing to run; try `repro all`");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# hardware-conscious hash-joins on GPUs — reproduction (scale 1/{}{})",
+        config.scale,
+        if config.quick { ", quick" } else { "" }
+    );
+    for (id, runner) in selected {
+        let started = Instant::now();
+        let table = runner(&config);
+        println!("\n{}", table.render());
+        println!("  [{} regenerated in {:.1?}]", id, started.elapsed());
+        if let Some(dir) = &config.out_dir {
+            if let Err(e) = table.write_csv(dir) {
+                eprintln!("failed to write {id}.csv: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Accept `fig5`, `fig05`, `5`, `Fig5`...
+fn normalize(arg: &str) -> String {
+    let lower = arg.to_ascii_lowercase();
+    let digits: String = lower.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return lower;
+    }
+    if let Ok(n) = digits.parse::<u32>() {
+        if (5..=22).contains(&n) {
+            return format!("fig{n:02}");
+        }
+    }
+    lower
+}

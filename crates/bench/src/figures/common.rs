@@ -1,0 +1,86 @@
+//! Shared helpers for the figure runners.
+
+use hcj_core::{GpuJoinConfig, GpuPartitionedJoin, JoinOutcome};
+use hcj_gpu::DeviceSpec;
+use hcj_workload::generate::canonical_pair;
+use hcj_workload::Relation;
+
+use crate::RunConfig;
+
+/// The paper's GPU, full capacity (in-GPU figures keep it physical).
+pub fn device() -> DeviceSpec {
+    DeviceSpec::gtx1080()
+}
+
+/// The paper's GPU with capacity divided by the run scale (out-of-GPU
+/// figures shrink the device with the data so capacity ratios hold).
+pub fn scaled_device(cfg: &RunConfig) -> DeviceSpec {
+    DeviceSpec::gtx1080().scaled_capacity(cfg.scale)
+}
+
+/// Radix depth preserving the paper's partition *sizes* when cardinality
+/// is divided by `scale`: the paper's 2^15 partitions of an `n`-tuple
+/// relation keep their size if the scaled relation uses `15 - log2(scale)`
+/// bits.
+pub fn scaled_bits(paper_bits: u32, scale: u64) -> u32 {
+    let shrink = 63 - scale.max(1).leading_zeros() as u64; // floor(log2)
+    paper_bits.saturating_sub(shrink as u32).max(1)
+}
+
+/// The paper-default join config at a scaled radix depth, buckets tuned.
+pub fn resident_config(cfg: &RunConfig, paper_bits: u32, tuples: usize) -> GpuJoinConfig {
+    GpuJoinConfig::paper_default(device())
+        .with_radix_bits(scaled_bits(paper_bits, cfg.scale))
+        .with_tuned_buckets(tuples)
+}
+
+/// Run the in-GPU partitioned join; panics on OOM (in-GPU figures are
+/// sized to fit).
+pub fn run_resident(config: GpuJoinConfig, r: &Relation, s: &Relation) -> JoinOutcome {
+    GpuPartitionedJoin::new(config)
+        .execute(r, s)
+        .expect("in-GPU figure working set must fit device memory")
+}
+
+/// The canonical workload at a build:probe ratio (`ratio` = probe/build).
+pub fn ratio_pair(build: usize, ratio: usize, seed: u64) -> (Relation, Relation) {
+    canonical_pair(build, build * ratio, seed)
+}
+
+/// Label like `4M` / `512K` for tuple counts.
+pub fn fmt_tuples(n: usize) -> String {
+    if n >= 1_000_000 && n % 1_000_000 == 0 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_bits_preserve_partition_sizes() {
+        assert_eq!(scaled_bits(15, 1), 15);
+        assert_eq!(scaled_bits(15, 16), 11);
+        assert_eq!(scaled_bits(15, 128), 8);
+        assert_eq!(scaled_bits(4, 1 << 20), 1); // floor at 1 bit
+    }
+
+    #[test]
+    fn tuple_formatting() {
+        assert_eq!(fmt_tuples(4_000_000), "4M");
+        assert_eq!(fmt_tuples(512_000), "512K");
+        assert_eq!(fmt_tuples(999), "999");
+    }
+
+    #[test]
+    fn ratio_pairs_have_the_right_sizes() {
+        let (r, s) = ratio_pair(1000, 4, 1);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(s.len(), 4000);
+    }
+}

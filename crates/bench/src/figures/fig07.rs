@@ -1,0 +1,63 @@
+//! Figure 7: partitioned hash join with and without output
+//! materialization (paper §V-B).
+//!
+//! Equally-sized in-GPU relations, 1–128 M tuples; one match per probe
+//! tuple (same distinct values on both sides). Expected shape: the
+//! materializing run traces the aggregating run closely — warp-level
+//! output buffering keeps the overhead small.
+
+use hcj_core::OutputMode;
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{fmt_tuples, resident_config, run_resident};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "fig07",
+        "Partitioned hash join with and without output materialization",
+        "build/probe relation size (tuples)",
+        "billion tuples/s",
+        vec!["aggregation".into(), "materialization".into()],
+    );
+    table.note(format!("paper sizes 1M-128M divided by {}", cfg.scale));
+
+    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
+        let tuples = cfg.mtuples(millions);
+        let (r, s) = canonical_pair(tuples, tuples, 700 + millions);
+        let base = resident_config(cfg, 15, tuples);
+        let agg = run_resident(base.clone().with_output(OutputMode::Aggregate), &r, &s);
+        // Cap retained rows: the figure measures throughput, not the
+        // result's host-side copy; device traffic is accounted in full.
+        let mat = run_resident(
+            base.with_output(OutputMode::Materialize).with_row_cap(1 << 20),
+            &r,
+            &s,
+        );
+        assert_eq!(agg.check, mat.check);
+        table.row(
+            fmt_tuples(tuples),
+            vec![
+                Some(btps(agg.throughput_tuples_per_s())),
+                Some(btps(mat.throughput_tuples_per_s())),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_materialization_traces_aggregation() {
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let t = run(&cfg);
+        for (x, vals) in &t.rows {
+            let (agg, mat) = (vals[0].unwrap(), vals[1].unwrap());
+            assert!(mat <= agg * 1.001, "{x}: materialization cannot be faster");
+            assert!(mat > agg * 0.55, "{x}: overhead must stay bounded ({mat} vs {agg})");
+        }
+    }
+}

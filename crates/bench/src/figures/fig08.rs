@@ -1,0 +1,96 @@
+//! Figure 8: GPU partitioned vs GPU non-partitioned (chaining and perfect
+//! hash) vs CPU PRO/NPO, for build:probe ratios 1:1, 1:2 and 1:4
+//! (paper §V-B and §V-D).
+//!
+//! Expected shape: non-partitioned variants start strong at small sizes
+//! and decay; the partitioned join overtakes them past ~8 M build tuples
+//! (scaled); every GPU variant beats its CPU counterpart; larger probe
+//! ratios steepen the partitioned join's advantage.
+
+use hcj_core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hcj_core::OutputMode;
+use hcj_cpu_join::{NpoJoin, ProJoin};
+
+use crate::figures::common::{device, fmt_tuples, ratio_pair, resident_config, run_resident};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let ratios = [1usize, 2, 4];
+    let algos = ["gpu-part", "gpu-nonpart", "gpu-perfect", "cpu-pro", "cpu-npo"];
+    let series: Vec<String> = ratios
+        .iter()
+        .flat_map(|r| algos.iter().map(move |a| format!("{a} 1:{r}")))
+        .collect();
+    let mut table = Table::new(
+        "fig08",
+        "Hash joins across build-to-probe ratios: GPU partitioned vs non-partitioned vs CPU",
+        "build relation size (tuples)",
+        "billion tuples/s",
+        series,
+    );
+    table.note(format!("paper build sizes 1M-128M divided by {}", cfg.scale));
+    table.note("CPU PRO/NPO run the model of the paper's 48-thread dual Xeon");
+
+    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
+        let build = cfg.mtuples(millions);
+        let mut values = Vec::new();
+        for &ratio in &ratios {
+            let (r, s) = ratio_pair(build, ratio, 800 + millions * 10 + ratio as u64);
+            let part = run_resident(resident_config(cfg, 15, build), &r, &s);
+            let nonpart =
+                NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
+                    .execute(&r, &s);
+            let perfect =
+                NonPartitionedJoin::new(NonPartitionedKind::PerfectHash, OutputMode::Aggregate)
+                    .execute(&r, &s);
+            let pro = ProJoin::paper_default().execute(&r, &s);
+            let npo = NpoJoin::paper_default().execute(&r, &s);
+            assert_eq!(part.check, nonpart.check);
+            assert_eq!(part.check, perfect.check);
+            assert_eq!(part.check, pro.check);
+            let tuples_in = (r.len() + s.len()) as f64;
+            values.extend([
+                Some(btps(part.throughput_tuples_per_s())),
+                Some(btps(tuples_in / nonpart.kernel_seconds(&device()))),
+                Some(btps(tuples_in / perfect.kernel_seconds(&device()))),
+                Some(btps(pro.throughput_tuples_per_s())),
+                Some(btps(npo.throughput_tuples_per_s())),
+            ]);
+        }
+        table.row(fmt_tuples(build), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_orderings_hold_at_scale() {
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let t = run(&cfg);
+        // Columns per ratio block: part, nonpart, perfect, pro, npo.
+        let first = &t.rows.first().unwrap().1;
+        let last = &t.rows.last().unwrap().1;
+        let (part, nonpart, pro) = (last[0].unwrap(), last[1].unwrap(), last[3].unwrap());
+        // At the largest size the partitioned GPU join leads its
+        // non-partitioned counterpart and the CPU joins.
+        assert!(part > nonpart, "partitioned {part} vs non-partitioned {nonpart}");
+        assert!(part > 2.0 * pro, "partitioned {part} vs PRO {pro}");
+        // The crossover: at the smallest size the non-partitioned join is
+        // competitive (>= 60% of partitioned, often ahead)...
+        assert!(first[1].unwrap() > 0.6 * first[0].unwrap());
+        // ...and the partitioned join's relative advantage grows with size
+        // while the non-partitioned join decays in absolute terms.
+        let adv_small = first[0].unwrap() / first[1].unwrap();
+        let adv_large = part / nonpart;
+        assert!(adv_large > adv_small, "advantage: small {adv_small:.2}x, large {adv_large:.2}x");
+        assert!(last[1].unwrap() < first[1].unwrap(), "non-partitioned must decay with size");
+        // Bigger probe ratios steepen the partitioned advantage (paper:
+        // "the improvement ... is steeper"): compare 1:1 vs 1:4 blocks.
+        let part_1_4 = last[10].unwrap();
+        let nonpart_1_4 = last[11].unwrap();
+        assert!(part_1_4 / nonpart_1_4 >= adv_large, "ratio 1:4 must steepen the advantage");
+    }
+}

@@ -1,0 +1,109 @@
+//! Figures 9 & 10: effect of payload width with late materialization
+//! (paper §V-B).
+//!
+//! Payloads are fetched through tuple identifiers; the partitioned join
+//! has reordered *both* sides, so its fetches are scattered, while the
+//! non-partitioned join's probe side is still in scan order. Expected
+//! shapes: growing the **probe-side** payload (Fig. 9) lets the
+//! non-partitioned join overtake (its probe fetches stream); growing the
+//! **build-side** payload (Fig. 10) keeps the partitioned join ahead,
+//! with a shrinking gap.
+
+use hcj_core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hcj_core::output::late_materialization_cost;
+use hcj_core::OutputMode;
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{device, resident_config, run_resident};
+use crate::{btps, RunConfig, Table};
+
+fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Table {
+    let tuples = cfg.mtuples(16);
+    let side = if vary_probe { "probe" } else { "build" };
+    let mut table = Table::new(
+        id,
+        format!("Effect of varying {side}-side payload size (late materialization)"),
+        "payload size (bytes)",
+        "billion tuples/s",
+        vec!["gpu-partitioned".into(), "gpu-nonpartitioned".into()],
+    );
+    table.note(format!("{tuples} tuples per side; aggregation output (paper protocol)"));
+
+    for width in cfg.sweep(&[16u32, 32, 48, 64, 80, 96, 112, 128]) {
+        let (mut r, mut s) = canonical_pair(tuples, tuples, 900 + u64::from(width));
+        if vary_probe {
+            s.payload_width = width;
+        } else {
+            r.payload_width = width;
+        }
+        let part = run_resident(resident_config(cfg, 15, tuples), &r, &s);
+
+        // Non-partitioned: build-side fetches are scattered either way
+        // (rids hit a hash table's insertion order); probe-side fetches
+        // stream because the probe relation is scanned in storage order.
+        let np = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
+            .execute(&r, &s);
+        let mut np_cost = np.build_cost + np.probe_cost;
+        np_cost += late_materialization_cost(np.check.matches, r.payload_width, true);
+        np_cost += late_materialization_cost(np.check.matches, s.payload_width, false);
+        let np_seconds = np_cost.time(&device());
+        assert_eq!(part.check, np.check);
+
+        table.row(
+            width.to_string(),
+            vec![
+                Some(btps(part.throughput_tuples_per_s())),
+                Some(btps((r.len() + s.len()) as f64 / np_seconds)),
+            ],
+        );
+    }
+    table
+}
+
+/// Figure 9: varying probe-side payload width.
+pub fn run_fig09(cfg: &RunConfig) -> Table {
+    run_payload_sweep(cfg, true, "fig09")
+}
+
+/// Figure 10: varying build-side payload width.
+pub fn run_fig10(cfg: &RunConfig) -> Table {
+    run_payload_sweep(cfg, false, "fig10")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig { scale: 64, quick: true, out_dir: None }
+    }
+
+    #[test]
+    fn fig09_nonpartitioned_gains_with_probe_payload() {
+        let t = run_fig09(&cfg());
+        // The partitioned/non-partitioned ratio must shrink as the
+        // probe payload grows (paper: NP overtakes for larger payloads).
+        let ratio = |row: &Vec<Option<f64>>| row[0].unwrap() / row[1].unwrap();
+        let first = ratio(&t.rows.first().unwrap().1);
+        let last = ratio(&t.rows.last().unwrap().1);
+        assert!(last < first, "ratio must shrink: first {first:.3}, last {last:.3}");
+        assert!(
+            t.rows.last().unwrap().1[1].unwrap() > t.rows.last().unwrap().1[0].unwrap() * 0.8,
+            "NP must be at least competitive at 128 B probe payloads"
+        );
+    }
+
+    #[test]
+    fn fig10_partitioned_keeps_the_edge_on_build_payload() {
+        let t = run_fig10(&cfg());
+        for (x, vals) in &t.rows {
+            assert!(
+                vals[0].unwrap() > vals[1].unwrap() * 0.95,
+                "{x}: partitioned must hold its edge (both sides random)"
+            );
+        }
+        // But the gap narrows with width.
+        let ratio = |row: &Vec<Option<f64>>| row[0].unwrap() / row[1].unwrap();
+        assert!(ratio(&t.rows.last().unwrap().1) < ratio(&t.rows.first().unwrap().1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 12: the co-processing join (neither side GPU-resident) vs CPU
+//! PRO and NPO, across sizes and build:probe ratios (paper §V-C).
+//!
+//! Paper setup: 256–1024(–2048) M tuples, 16 CPU threads, 16-way CPU
+//! partitioning, knapsack-packed working sets. Expected shape: the
+//! co-processing throughput is flat in the relation size (transfer-bound
+//! robustness) at ~1.2 B tuples/s; PRO and NPO decline with size; the gap
+//! widens with the probe ratio.
+
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
+use hcj_cpu_join::{NpoJoin, ProJoin};
+
+use crate::figures::common::{fmt_tuples, ratio_pair, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let extra = 16; // the paper's sizes are huge; scale co-processing more
+    let mut table = Table::new(
+        "fig12",
+        "Co-processing join vs CPU joins",
+        "build relation size (tuples)",
+        "billion tuples/s",
+        vec![
+            "co-proc 1:1".into(),
+            "co-proc 1:2".into(),
+            "co-proc 1:4".into(),
+            "cpu-pro 1:1".into(),
+            "cpu-npo 1:1".into(),
+        ],
+    );
+    table.note(format!(
+        "paper sizes 256M-2048M divided by {}; device capacity scaled alike",
+        cfg.scale * extra
+    ));
+    table.note("16 CPU threads, 16-way CPU partitioning, non-temporal stores (paper config)");
+
+    let device = scaled_device(cfg).scaled_capacity(extra);
+    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+        let build = cfg.tuples(millions * 1_000_000 / extra);
+        let mut values = Vec::new();
+        for ratio in [1usize, 2, 4] {
+            let (r, s) = ratio_pair(build, ratio, 1200 + millions + ratio as u64);
+            let join_cfg = GpuJoinConfig::paper_default(device.clone())
+                .with_radix_bits(scaled_bits(15, cfg.scale))
+                .with_tuned_buckets(build / 16);
+            let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg))
+                .execute(&r, &s)
+                .expect("co-processing needs only buffers");
+            values.push(Some(btps(out.throughput_tuples_per_s())));
+        }
+        let (r, s) = ratio_pair(build, 1, 1200 + millions + 1);
+        let pro = ProJoin::paper_default().execute(&r, &s);
+        let npo = NpoJoin::paper_default().execute(&r, &s);
+        values.push(Some(btps(pro.throughput_tuples_per_s())));
+        values.push(Some(btps(npo.throughput_tuples_per_s())));
+        table.row(fmt_tuples(build), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_coprocessing_is_flat_and_ahead() {
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let t = run(&cfg);
+        let first = &t.rows.first().unwrap().1;
+        let last = &t.rows.last().unwrap().1;
+        // Flat: largest vs smallest within 30%.
+        let (a, b) = (first[0].unwrap(), last[0].unwrap());
+        assert!((a / b).max(b / a) < 1.3, "co-processing not flat: {a} vs {b}");
+        // Ahead of both CPU joins at every size.
+        for (x, vals) in &t.rows {
+            assert!(vals[0].unwrap() > vals[3].unwrap(), "{x}: co-proc vs PRO");
+            assert!(vals[0].unwrap() > vals[4].unwrap(), "{x}: co-proc vs NPO");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 13: scalability with CPU threads — co-processing vs the CPU
+//! partitioned join (paper §V-D, "CPU Utilization").
+//!
+//! Expected shape: PRO scales roughly linearly with threads; co-processing
+//! ramps much faster, overtakes the fastest CPU configuration with ~6
+//! threads, plateaus around 16 (PCIe-bound), and dips slightly past ~26
+//! when partitioning traffic saturates the memory system and squeezes the
+//! DMA reads.
+
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
+use hcj_cpu_join::ProJoin;
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let extra = 16;
+    let tuples = cfg.tuples(512_000_000 / extra);
+    let mut table = Table::new(
+        "fig13",
+        "Scalability with CPU threads",
+        "number of threads",
+        "billion tuples/s",
+        vec!["gpu co-processing".into(), "cpu-pro".into()],
+    );
+    table.note(format!(
+        "{tuples} tuples per side (paper-scale 512M / {})",
+        cfg.scale * extra as u64
+    ));
+
+    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let (r, s) = canonical_pair(tuples, tuples, 1300);
+    for threads in cfg.sweep(&[2u32, 6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]) {
+        let join_cfg = GpuJoinConfig::paper_default(device.clone())
+            .with_radix_bits(scaled_bits(15, cfg.scale))
+            .with_tuned_buckets(tuples / 16);
+        let co = CoProcessingJoin::new(
+            CoProcessingConfig::paper_default(join_cfg).with_threads(threads),
+        )
+        .execute(&r, &s)
+        .expect("co-processing needs only buffers");
+        let pro = ProJoin::paper_default().with_threads(threads).execute(&r, &s);
+        assert_eq!(co.check, pro.check);
+        table.row(
+            threads.to_string(),
+            vec![
+                Some(btps(co.throughput_tuples_per_s())),
+                Some(btps(pro.throughput_tuples_per_s())),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_coprocessing_overtakes_with_few_threads_then_plateaus() {
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let t = run(&cfg);
+        let col = |i: usize, c: usize| t.rows[i].1[c].unwrap();
+        let n = t.rows.len();
+        // PRO grows monotonically (within noise) with threads.
+        assert!(col(n - 1, 1) > 2.0 * col(0, 1), "PRO must scale with threads");
+        // Co-processing with 6 threads (row 1) beats PRO with 46 (last).
+        assert!(
+            col(1, 0) > col(n - 1, 1),
+            "co-proc@6 {} must beat PRO@46 {}",
+            col(1, 0),
+            col(n - 1, 1)
+        );
+        // Plateau: 18 threads (row 4) to 46 threads changes < 30%.
+        let (mid, last) = (col(4, 0), col(n - 1, 0));
+        assert!((mid / last).max(last / mid) < 1.3, "plateau violated: {mid} vs {last}");
+    }
+}

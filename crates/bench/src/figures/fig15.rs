@@ -1,0 +1,86 @@
+//! Figure 15: state-of-the-art GPU systems across relation sizes
+//! (paper §V-C).
+//!
+//! Equally-sized tables from 1 M to 512 M tuples. Expected shape: every
+//! engine is fastest while data fits its GPU caching policy; DBMS-X stops
+//! caching past (scaled) 32 M tuples and collapses ~10x; CoGaDB cannot run
+//! the two largest sizes; our engine stays on top throughout, reverting to
+//! out-of-GPU strategies when residency ends (scaled 128 M).
+
+use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine};
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let device = scaled_device(cfg);
+    let mut table = Table::new(
+        "fig15",
+        "State-of-the-art GPU systems across build/probe sizes",
+        "build/probe relation size (tuples)",
+        "billion tuples/s",
+        vec!["gpu-partitioned (ours)".into(), "dbms-x (model)".into(), "cogadb (model)".into()],
+    );
+    table.note(format!(
+        "paper sizes 1M-512M divided by {}; device + engine limits scaled alike",
+        cfg.scale
+    ));
+
+    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512]) {
+        let tuples = cfg.mtuples(millions);
+        let (r, s) = canonical_pair(tuples, tuples, 1500 + millions);
+        let join_cfg = hcj_core::GpuJoinConfig::paper_default(device.clone())
+            .with_radix_bits(scaled_bits(15, cfg.scale))
+            .with_tuned_buckets(tuples / 4)
+            ;
+        let ours = HcjEngine::new(join_cfg).run(&r, &s);
+        let mut dx = DbmsXLike::new(device.clone())
+            .with_cache_limit((32_000_000 / cfg.scale) as usize);
+        dx.query_overhead_s /= cfg.scale as f64;
+        let dbmsx = dx.execute(&r, &s);
+        let mut cg = CoGaDbLike::new(device.clone())
+            .with_load_limit((4u64 << 30) / cfg.scale);
+        cg.operator_overhead_s /= cfg.scale as f64;
+        let cogadb = cg.execute(&r, &s);
+        table.row(
+            fmt_tuples(tuples),
+            vec![
+                Some(btps(ours.throughput_tuples_per_s())),
+                dbmsx.ok().map(|x| btps(x.throughput_tuples_per_s())),
+                cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_cliffs_and_failures_match() {
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        let t = run(&cfg);
+        // Ours leads wherever a comparator has a value.
+        for (x, v) in &t.rows {
+            if let Some(dx) = v[1] {
+                assert!(v[0].unwrap() > dx, "{x}: ours {} vs dbms-x {dx}", v[0].unwrap());
+            }
+        }
+        // DBMS-X's out-of-cache cliff: the 64M row (scaled 4M > 2M limit)
+        // runs ~10x slower than its 16M row (scaled 1M, cached).
+        let val = |label: &str, col: usize| {
+            t.rows.iter().find(|(x, _)| x == label).map(|(_, v)| v[col])
+        };
+        let cached = val("1M", 1).flatten().expect("16M-paper row runs cached");
+        let cliff = val("4M", 1).flatten().expect("64M-paper row runs uncached");
+        assert!(cached > 3.0 * cliff, "DBMS-X cliff: cached {cached} vs uncached {cliff}");
+        // CoGaDB is absent at the largest sizes.
+        let last = &t.rows.last().unwrap().1;
+        assert!(last[2].is_none(), "CoGaDB cannot run the 512M-paper point");
+        // Ours runs everything.
+        assert!(t.rows.iter().all(|(_, v)| v[0].is_some()));
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 16: NUMA staging vs direct far-socket copies (paper §V-D).
+//!
+//! A 1:1 join executed by the co-processing strategy, with the far-socket
+//! half of the data either staged into near-socket pinned memory by CPU
+//! threads (the paper's approach) or DMA-read directly across QPI while
+//! partitioning's coherence traffic competes for the link. Expected
+//! shape: staging wins at every size; the y-axis is GB/s of input
+//! consumed, matching the paper.
+
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::{RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let extra = 16;
+    let device = scaled_device(cfg).scaled_capacity(extra);
+    let mut table = Table::new(
+        "fig16",
+        "Staging vs direct copies (NUMA effect)",
+        "build/probe relation size (tuples)",
+        "GB/s",
+        vec!["staging".into(), "direct copy".into()],
+    );
+    table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
+
+    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+        let tuples = cfg.tuples(millions * 1_000_000 / extra);
+        let (r, s) = canonical_pair(tuples, tuples, 1600 + millions);
+        let mk = |staging: bool| {
+            let join_cfg = GpuJoinConfig::paper_default(device.clone())
+                .with_radix_bits(scaled_bits(15, cfg.scale))
+                .with_tuned_buckets(tuples / 16);
+            CoProcessingJoin::new(
+                CoProcessingConfig::paper_default(join_cfg).with_staging(staging),
+            )
+            .execute(&r, &s)
+            .expect("co-processing needs only buffers")
+        };
+        let staged = mk(true);
+        let direct = mk(false);
+        assert_eq!(staged.check, direct.check);
+        table.row(
+            fmt_tuples(tuples),
+            vec![Some(staged.throughput_gbps()), Some(direct.throughput_gbps())],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_staging_wins_everywhere() {
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let t = run(&cfg);
+        for (x, v) in &t.rows {
+            let (staged, direct) = (v[0].unwrap(), v[1].unwrap());
+            assert!(staged > direct, "{x}: staging {staged} vs direct {direct}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Figures 17 & 18: skewed inputs, for GPU-resident data (Fig. 17, the
+//! in-GPU partitioned join) and CPU-resident data (Fig. 18, the
+//! co-processing join) — paper §V-E.
+//!
+//! Three placements of the skew: probe side only, build side only, and
+//! identical skew on both (same hot keys — the worst case), each with
+//! aggregation and with (row-capped) materialization. Expected shapes:
+//! probe-only skew barely hurts; build-only skew costs more; identical
+//! skew collapses past zipf ~0.75 as hot co-partitions stop fitting
+//! shared memory and the output explodes. Out-of-GPU (Fig. 18) is far
+//! more resilient — the PCIe bottleneck hides GPU-side slowdowns until
+//! the same collapse point.
+
+use hcj_core::{
+    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, OutputMode,
+};
+use hcj_workload::{Relation, RelationSpec};
+
+use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+const THETAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn skewed_pair(n: usize, theta: f64, place: SkewPlace, seed: u64) -> (Relation, Relation) {
+    let uniform = |s| RelationSpec::zipf(n, n as u64, 0.0, s).generate();
+    let skewed = |s| RelationSpec::zipf(n, n as u64, theta, s).generate();
+    match place {
+        SkewPlace::Probe => (uniform(seed), skewed(seed + 1)),
+        SkewPlace::Build => (skewed(seed), uniform(seed + 1)),
+        // Identical: same distribution AND same hot values (same seed
+        // stream ordering of ranks — the paper's worst case).
+        SkewPlace::Identical => (skewed(seed), skewed(seed + 1)),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum SkewPlace {
+    Probe,
+    Build,
+    Identical,
+}
+
+fn series() -> Vec<String> {
+    let mut s = Vec::new();
+    for mode in ["agg", "mat"] {
+        for place in ["probe-skew", "build-skew", "identical-skew"] {
+            s.push(format!("{place} {mode}"));
+        }
+    }
+    s
+}
+
+/// Figure 17: skew on GPU-resident data.
+pub fn run_fig17(cfg: &RunConfig) -> Table {
+    // Identical skew explodes quadratically; run this figure at a deeper
+    // scale so the functional result stays enumerable.
+    let extra = 16;
+    let n = cfg.tuples(32_000_000 / extra);
+    let mut table = Table::new(
+        "fig17",
+        "Skew on GPU-resident data",
+        "zipf factor",
+        "billion tuples/s",
+        series(),
+    );
+    table.note(format!("{n} tuples/side (paper: 32M, scale 1/{})", cfg.scale * extra as u64));
+    table.note("materialization row-capped (paper overwrites results to isolate in-GPU perf)");
+
+    for &theta in &cfg.sweep(&THETAS) {
+        let mut values = Vec::new();
+        for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
+            for place in [SkewPlace::Probe, SkewPlace::Build, SkewPlace::Identical] {
+                let (r, s) = skewed_pair(n, theta, place, 1700);
+                let config = resident_config(cfg, 15, n)
+                    .with_output(mode)
+                    .with_row_cap(1 << 18);
+                let out = GpuPartitionedJoin::new(config).execute(&r, &s).unwrap();
+                values.push(Some(btps(out.throughput_tuples_per_s())));
+            }
+        }
+        table.row(format!("{theta}"), values);
+    }
+    table
+}
+
+/// Figure 18: skew on CPU-resident data (co-processing).
+pub fn run_fig18(cfg: &RunConfig) -> Table {
+    let extra = 64;
+    let n = cfg.tuples(512_000_000 / extra);
+    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let mut table = Table::new(
+        "fig18",
+        "Skew on CPU-resident data (co-processing)",
+        "zipf factor",
+        "billion tuples/s",
+        series(),
+    );
+    table.note(format!("{n} tuples/side (paper: 512M, scale 1/{})", cfg.scale * extra as u64));
+
+    for &theta in &cfg.sweep(&THETAS) {
+        let mut values = Vec::new();
+        for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
+            for place in [SkewPlace::Probe, SkewPlace::Build, SkewPlace::Identical] {
+                let (r, s) = skewed_pair(n, theta, place, 1800);
+                let join_cfg = GpuJoinConfig::paper_default(device.clone())
+                    .with_radix_bits(scaled_bits(15, cfg.scale))
+                    .with_tuned_buckets(n / 16)
+                    .with_output(mode)
+                    .with_row_cap(1 << 18);
+                let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg))
+                    .execute(&r, &s)
+                    .expect("co-processing needs only buffers");
+                values.push(Some(btps(out.throughput_tuples_per_s())));
+            }
+        }
+        table.row(format!("{theta}"), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig { scale: 64, quick: false, out_dir: None }
+    }
+
+    #[test]
+    fn fig17_skew_shapes() {
+        let t = run_fig17(&cfg());
+        let get = |theta: &str, col: usize| {
+            t.rows.iter().find(|(x, _)| x == theta).unwrap().1[col].unwrap()
+        };
+        // Probe-side skew at 0.75 (col 0) keeps most of the uniform
+        // throughput.
+        assert!(get("0.75", 0) > 0.5 * get("0", 0));
+        // Identical skew collapses at zipf 1.0 (col 2).
+        assert!(get("1", 2) < 0.5 * get("0", 2), "identical skew must collapse");
+        // Build skew hurts more than probe skew at 1.0.
+        assert!(get("1", 1) <= get("1", 0) * 1.05);
+    }
+
+    #[test]
+    fn fig18_out_of_gpu_is_more_resilient() {
+        let t17 = run_fig17(&cfg());
+        let t18 = run_fig18(&cfg());
+        let rel_drop = |t: &crate::Table, col: usize| {
+            let base = t.rows.first().unwrap().1[col].unwrap();
+            let at75 = t.rows.iter().find(|(x, _)| x == "0.75").unwrap().1[col].unwrap();
+            at75 / base
+        };
+        // At zipf 0.75 with identical skew, the co-processing join keeps a
+        // larger fraction of its uniform throughput than the in-GPU join
+        // (the interconnect hides GPU-side slowdowns).
+        assert!(
+            rel_drop(&t18, 2) >= rel_drop(&t17, 2) * 0.9,
+            "out-of-GPU should be at least as resilient: {} vs {}",
+            rel_drop(&t18, 2),
+            rel_drop(&t17, 2)
+        );
+    }
+}

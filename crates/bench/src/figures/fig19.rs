@@ -1,0 +1,98 @@
+//! Figure 19: uniform numbers of replicas per key, for GPU-resident and
+//! CPU-resident data (paper §V-E).
+//!
+//! Both sides hold every key exactly `k` times (k = 1..4), so the result
+//! has `k` matches per probe tuple. Expected shape: throughput declines
+//! gently with the replica count (more matches per probe, longer chains),
+//! with the out-of-GPU variant flatter (PCIe-bound).
+
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, OutputMode};
+use hcj_workload::{KeyDistribution, RelationSpec};
+
+use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let n_resident = cfg.mtuples(32);
+    let extra = 64;
+    let n_out = cfg.tuples(512_000_000 / extra);
+    let device_out = scaled_device(cfg).scaled_capacity(extra as u64);
+    let mut table = Table::new(
+        "fig19",
+        "Uniform number of replicas per key",
+        "avg. number of replicas",
+        "billion tuples/s",
+        vec![
+            "gpu-resident agg".into(),
+            "gpu-resident mat".into(),
+            "cpu-resident agg".into(),
+            "cpu-resident mat".into(),
+        ],
+    );
+    table.note(format!("GPU-resident at {n_resident} tuples/side; CPU-resident at {n_out}"));
+
+    for replicas in cfg.sweep(&[1u32, 2, 3, 4]) {
+        let gen = |n: usize, seed: u64| {
+            RelationSpec {
+                tuples: n,
+                distribution: KeyDistribution::Replicated { replicas },
+                payload_width: 4,
+                seed,
+            }
+            .generate()
+        };
+        let mut values = Vec::new();
+        // GPU-resident.
+        let (r, s) = (gen(n_resident, 1900), gen(n_resident, 1901));
+        for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
+            let config = resident_config(cfg, 15, n_resident)
+                .with_output(mode)
+                .with_row_cap(1 << 18);
+            let out = GpuPartitionedJoin::new(config).execute(&r, &s).unwrap();
+            // ~k matches per probe tuple (the generator tops up non-divisible
+            // cardinalities with a few extra replicas).
+            let expect = (n_resident as u64) * u64::from(replicas);
+            assert!(
+                out.check.matches >= expect && out.check.matches < expect + 8 * u64::from(replicas) + 8,
+                "matches {} vs expected ~{expect}",
+                out.check.matches
+            );
+            values.push(Some(btps(out.throughput_tuples_per_s())));
+        }
+        // CPU-resident (co-processing).
+        let (r, s) = (gen(n_out, 1902), gen(n_out, 1903));
+        for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
+            let join_cfg = GpuJoinConfig::paper_default(device_out.clone())
+                .with_radix_bits(scaled_bits(15, cfg.scale))
+                .with_tuned_buckets(n_out / 16)
+                .with_output(mode)
+                .with_row_cap(1 << 18);
+            let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg))
+                .execute(&r, &s)
+                .expect("co-processing needs only buffers");
+            values.push(Some(btps(out.throughput_tuples_per_s())));
+        }
+        table.row(replicas.to_string(), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig19_gentle_decline_with_replicas() {
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let t = run(&cfg);
+        let first = &t.rows.first().unwrap().1;
+        let last = &t.rows.last().unwrap().1;
+        // In-GPU throughput declines with replicas but does not collapse.
+        assert!(last[0].unwrap() <= first[0].unwrap() * 1.02);
+        assert!(last[0].unwrap() > 0.3 * first[0].unwrap());
+        // Out-of-GPU is flatter than in-GPU.
+        let in_drop = first[0].unwrap() / last[0].unwrap();
+        let out_drop = first[2].unwrap() / last[2].unwrap();
+        assert!(out_drop <= in_drop * 1.1, "out {out_drop} vs in {in_drop}");
+    }
+}

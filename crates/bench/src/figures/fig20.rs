@@ -1,0 +1,77 @@
+//! Figure 20: input size vs identically-skewed inputs for the
+//! co-processing join (paper §V-E).
+//!
+//! Both inputs share the same zipf distribution and hot values at factors
+//! 0 (uniform), 0.25 and 0.5, with aggregation and materialization.
+//! Expected shape: up to zipf 0.5 there is no penalty vs uniform at small
+//! sizes; as relations grow the skewed outputs explode (hot-key matches
+//! grow quadratically) and the materializing runs collapse.
+
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, OutputMode};
+use hcj_workload::RelationSpec;
+
+use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let extra = 64;
+    let device = scaled_device(cfg).scaled_capacity(extra);
+    let mut series = Vec::new();
+    for mode in ["agg", "mat"] {
+        for theta in ["uniform", "zipf 0.25", "zipf 0.5"] {
+            series.push(format!("{theta} {mode}"));
+        }
+    }
+    let mut table = Table::new(
+        "fig20",
+        "Input size vs identically-skewed inputs (co-processing)",
+        "probe/build relation size (tuples)",
+        "billion tuples/s",
+        series,
+    );
+    table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
+
+    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+        let n = cfg.tuples(millions * 1_000_000 / extra);
+        let mut values = Vec::new();
+        for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
+            for theta in [0.0, 0.25, 0.5] {
+                let r = RelationSpec::zipf(n, n as u64, theta, 2000).generate();
+                let s = RelationSpec::zipf(n, n as u64, theta, 2001).generate();
+                let join_cfg = GpuJoinConfig::paper_default(device.clone())
+                    .with_radix_bits(scaled_bits(15, cfg.scale))
+                    .with_tuned_buckets(n / 16)
+                    .with_output(mode)
+                    .with_row_cap(1 << 18);
+                let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg))
+                    .execute(&r, &s)
+                    .expect("co-processing needs only buffers");
+                values.push(Some(btps(out.throughput_tuples_per_s())));
+            }
+        }
+        table.row(fmt_tuples(n), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig20_mild_skew_is_free_but_output_explosion_hurts_at_size() {
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let t = run(&cfg);
+        let first = &t.rows.first().unwrap().1;
+        // zipf 0.25 aggregation ~ uniform aggregation at the smallest size.
+        assert!(first[1].unwrap() > 0.7 * first[0].unwrap());
+        // At the largest size, zipf 0.5 materialization trails zipf 0.5
+        // aggregation (output volume).
+        let last = &t.rows.last().unwrap().1;
+        assert!(last[5].unwrap() <= last[2].unwrap() * 1.01);
+        // And the relative cost of skew grows with size for zipf 0.5 mat.
+        let rel_first = first[5].unwrap() / first[3].unwrap();
+        let rel_last = last[5].unwrap() / last[3].unwrap();
+        assert!(rel_last <= rel_first * 1.05, "first {rel_first}, last {rel_last}");
+    }
+}

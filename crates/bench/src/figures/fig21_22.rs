@@ -1,0 +1,106 @@
+//! Figures 21 & 22: alternative data-transfer mechanisms (paper §V-F).
+//!
+//! Fig. 21 (GPU-sized working set): throughput when the *last* step using
+//! UVA/UM moves from nothing (GPU-resident) through loading, partitioning
+//! and the whole join. Fig. 22 (out-of-GPU): Unified Memory vs UVA vs the
+//! explicit co-processing strategy. Expected shapes: resident ≫ UVA-load
+//! ≫ UVA-partition ≥ UVA-join; UM below resident; out of GPU, both
+//! transparent mechanisms collapse while co-processing holds the PCIe
+//! bound.
+
+use hcj_core::uva_exec::{run_out_of_gpu_mechanisms, run_with_mechanism, TransferMechanism};
+use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+/// Figure 21: in-GPU-sized data, bar per mechanism.
+pub fn run_fig21(cfg: &RunConfig) -> Table {
+    let n = cfg.mtuples(32);
+    let (r, s) = canonical_pair(n, n, 2100);
+    let config = resident_config(cfg, 15, n);
+    let mut table = Table::new(
+        "fig21",
+        "Effect of UVA and UM (GPU-sized working set)",
+        "last step using technique",
+        "billion tuples/s",
+        vec!["throughput".into()],
+    );
+    table.note(format!("{n} tuples/side, uniform unique keys"));
+    for (label, mech) in [
+        ("GPU data load", TransferMechanism::GpuResident),
+        ("UVA load", TransferMechanism::UvaLoad),
+        ("UVA part.", TransferMechanism::UvaPartition),
+        ("UVA join", TransferMechanism::UvaJoin),
+        ("UM", TransferMechanism::UnifiedLoad),
+    ] {
+        let out = run_with_mechanism(&config, &r, &s, mech);
+        table.row(label, vec![Some(btps(out.throughput_tuples_per_s()))]);
+    }
+    table
+}
+
+/// Figure 22: out-of-GPU data, bar per mechanism.
+pub fn run_fig22(cfg: &RunConfig) -> Table {
+    let extra = 64;
+    let n = cfg.tuples(512_000_000 / extra);
+    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let (r, s) = canonical_pair(n, n, 2200);
+    let mut table = Table::new(
+        "fig22",
+        "Throughput with UVA/UM vs co-processing (out-of-GPU data)",
+        "transfer technique",
+        "billion tuples/s",
+        vec!["throughput".into()],
+    );
+    table.note(format!(
+        "{n} tuples/side against a device of {} MB (scaled)",
+        device.device_mem_bytes >> 20
+    ));
+
+    let mech_cfg = GpuJoinConfig {
+        device: device.clone(),
+        ..resident_config(cfg, 15, n)
+    };
+    let (um, uva) = run_out_of_gpu_mechanisms(&mech_cfg, &r, &s);
+    table.row("UM", vec![Some(btps(um.throughput_tuples_per_s()))]);
+    table.row("UVA", vec![Some(btps(uva.throughput_tuples_per_s()))]);
+    let join_cfg = GpuJoinConfig::paper_default(device)
+        .with_radix_bits(scaled_bits(15, cfg.scale))
+        .with_tuned_buckets(n / 16);
+    let co = CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg))
+        .execute(&r, &s)
+        .expect("co-processing needs only buffers");
+    assert_eq!(co.check, um.check);
+    table.row("Co-processing", vec![Some(btps(co.throughput_tuples_per_s()))]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_bar_ordering() {
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let t = run_fig21(&cfg);
+        let v: Vec<f64> = t.rows.iter().map(|(_, v)| v[0].unwrap()).collect();
+        // resident >= uva-load > uva-part >= uva-join; um < resident.
+        assert!(v[0] >= v[1]);
+        assert!(v[1] > 2.0 * v[2], "UVA partitioning must collapse");
+        assert!(v[2] >= v[3] * 0.99);
+        assert!(v[4] < v[0]);
+    }
+
+    #[test]
+    fn fig22_coprocessing_dominates() {
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let t = run_fig22(&cfg);
+        let um = t.rows[0].1[0].unwrap();
+        let uva = t.rows[1].1[0].unwrap();
+        let co = t.rows[2].1[0].unwrap();
+        assert!(co > 2.0 * um, "co-processing {co} vs UM {um}");
+        assert!(co > 2.0 * uva, "co-processing {co} vs UVA {uva}");
+    }
+}

@@ -1,0 +1,73 @@
+//! One module per figure of the paper's evaluation section, plus the
+//! ablation studies. Each returns a [`Table`] with the same series the
+//! paper plots.
+
+pub mod ablations;
+pub mod common;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09_10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17_18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21_22;
+pub mod whatif;
+
+use crate::{RunConfig, Table};
+
+/// Every experiment, by id, with its runner. `repro all` walks this list.
+pub fn registry() -> Vec<(&'static str, fn(&RunConfig) -> Table)> {
+    vec![
+        ("fig05", fig05::run as fn(&RunConfig) -> Table),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09_10::run_fig09),
+        ("fig10", fig09_10::run_fig10),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17_18::run_fig17),
+        ("fig18", fig17_18::run_fig18),
+        ("fig19", fig19::run),
+        ("fig20", fig20::run),
+        ("fig21", fig21_22::run_fig21),
+        ("fig22", fig21_22::run_fig22),
+        ("ablations", ablations::run),
+        ("whatif-interconnect", whatif::run_interconnect),
+        ("whatif-devices", whatif::run_devices),
+        ("whatif-threads", whatif::run_auto_threads),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_cover_all_figures() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _)| *id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment ids");
+        for fig in 5..=22 {
+            assert!(
+                ids.iter().any(|id| id.contains(&format!("{fig:02}"))),
+                "figure {fig} missing from the registry"
+            );
+        }
+    }
+}

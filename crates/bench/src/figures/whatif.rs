@@ -1,0 +1,161 @@
+//! What-if studies beyond the paper's testbed — the extensions its
+//! conclusion points at:
+//!
+//! * **Interconnects** (§V-C: "under faster interconnects, like NVLink or
+//!   PCIe 4.0, our join algorithms would provide higher throughput"): the
+//!   out-of-GPU strategies swept across PCIe 3.0 / PCIe 4.0 / NVLink2-class
+//!   link rates;
+//! * **Devices**: the GPU-resident join on a V100-class part (more SMs,
+//!   HBM2, bigger shared memory and L2) vs the paper's GTX 1080;
+//! * **Thread auto-selection** (§IV-B's rule; the paper configures threads
+//!   statically and leaves adaptivity as future work): the machine-model
+//!   rule vs the paper's static 16.
+
+use hcj_core::{
+    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, StreamedProbeConfig,
+    StreamedProbeJoin,
+};
+use hcj_gpu::DeviceSpec;
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::{scaled_bits, scaled_device};
+use crate::{btps, RunConfig, Table};
+
+/// Interconnect sweep for the out-of-GPU strategies.
+pub fn run_interconnect(cfg: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "whatif-interconnect",
+        "Out-of-GPU strategies under faster interconnects",
+        "interconnect",
+        "billion tuples/s",
+        vec!["streamed probe".into(), "co-processing".into()],
+    );
+    table.note("the paper predicts out-of-GPU throughput scales with the link (§V-C)");
+    table.note(
+        "streamed probe scales ~linearly; co-processing scales sublinearly because \
+         CPU partitioning throughput becomes the next bottleneck",
+    );
+
+    let links: [(&str, f64); 3] =
+        [("PCIe 3.0 x16 (12 GB/s)", 12.0e9), ("PCIe 4.0 x16 (24 GB/s)", 24.0e9), ("NVLink2 (45 GB/s)", 45.0e9)];
+    let extra = 16;
+    let n = cfg.tuples(512_000_000 / extra);
+    let (r, s) = canonical_pair(n, 4 * n, 5000);
+    for (name, bw) in links {
+        let mut device = scaled_device(cfg).scaled_capacity(extra as u64);
+        device.pcie_bandwidth = bw;
+        device.pcie_pageable_bandwidth = bw / 2.0;
+        let join_cfg = GpuJoinConfig::paper_default(device)
+            .with_radix_bits(scaled_bits(15, cfg.scale))
+            .with_tuned_buckets(n / 16);
+        let streamed = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(join_cfg.clone()))
+            .execute(&r, &s)
+            .ok()
+            .map(|o| btps(o.throughput_tuples_per_s()));
+        let co = CoProcessingJoin::new(
+            CoProcessingConfig::paper_default(join_cfg).with_auto_threads(),
+        )
+        .execute(&r, &s)
+        .ok()
+        .map(|o| btps(o.throughput_tuples_per_s()));
+        table.row(name, vec![streamed, co]);
+    }
+    table
+}
+
+/// Device sweep for the GPU-resident join.
+pub fn run_devices(cfg: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "whatif-devices",
+        "GPU-resident partitioned join across device generations",
+        "device",
+        "billion tuples/s",
+        vec!["gpu-partitioned".into()],
+    );
+    let n = cfg.mtuples(64);
+    let (r, s) = canonical_pair(n, n, 5001);
+    for device in [DeviceSpec::gtx1080(), DeviceSpec::v100()] {
+        let name = device.name;
+        let join_cfg = GpuJoinConfig::paper_default(device)
+            .with_radix_bits(scaled_bits(15, cfg.scale))
+            .with_tuned_buckets(n);
+        let out = GpuPartitionedJoin::new(join_cfg).execute(&r, &s).unwrap();
+        table.row(name, vec![Some(btps(out.throughput_tuples_per_s()))]);
+    }
+    table.note(format!("{n} tuples/side, unique uniform keys"));
+    table
+}
+
+/// Static 16 threads (the paper's choice) vs the §IV-B selection rule.
+pub fn run_auto_threads(cfg: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "whatif-threads",
+        "Co-processing thread count: paper's static 16 vs the machine-model rule",
+        "policy",
+        "billion tuples/s",
+        vec!["throughput".into(), "threads used".into()],
+    );
+    let extra = 16;
+    let n = cfg.tuples(512_000_000 / extra);
+    let (r, s) = canonical_pair(n, n, 5002);
+    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let mk = |config: CoProcessingConfig| {
+        let threads = config.cpu_threads;
+        let out = CoProcessingJoin::new(config).execute(&r, &s).unwrap();
+        (btps(out.throughput_tuples_per_s()), threads)
+    };
+    let join_cfg = GpuJoinConfig::paper_default(device)
+        .with_radix_bits(scaled_bits(15, cfg.scale))
+        .with_tuned_buckets(n / 16);
+    let (static_tput, static_threads) = mk(CoProcessingConfig::paper_default(join_cfg.clone()));
+    let (auto_tput, auto_threads) =
+        mk(CoProcessingConfig::paper_default(join_cfg).with_auto_threads());
+    table.row("static (paper)", vec![Some(static_tput), Some(f64::from(static_threads))]);
+    table.row("auto (§IV-B rule)", vec![Some(auto_tput), Some(f64::from(auto_threads))]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig { scale: 64, quick: true, out_dir: None }
+    }
+
+    #[test]
+    fn faster_interconnects_raise_out_of_gpu_throughput() {
+        let t = run_interconnect(&cfg());
+        assert_eq!(t.rows.len(), 3);
+        for col in 0..2 {
+            let pcie3 = t.rows[0].1[col].unwrap();
+            let nvlink = t.rows[2].1[col].unwrap();
+            assert!(
+                nvlink > 1.5 * pcie3,
+                "col {col}: NVLink {nvlink} should be well above PCIe3 {pcie3}"
+            );
+        }
+    }
+
+    #[test]
+    fn v100_beats_gtx1080_on_resident_data() {
+        let t = run_devices(&cfg());
+        let gtx = t.rows[0].1[0].unwrap();
+        let v100 = t.rows[1].1[0].unwrap();
+        assert!(v100 > 1.5 * gtx, "V100 {v100} vs GTX 1080 {gtx}");
+    }
+
+    #[test]
+    fn auto_thread_rule_matches_the_static_plateau() {
+        let t = run_auto_threads(&cfg());
+        let static_tput = t.rows[0].1[0].unwrap();
+        let auto_tput = t.rows[1].1[0].unwrap();
+        // The rule must land in the same plateau (within 15%).
+        assert!(
+            (auto_tput / static_tput - 1.0).abs() < 0.15,
+            "auto {auto_tput} vs static {static_tput}"
+        );
+        let auto_threads = t.rows[1].1[1].unwrap();
+        assert!((4.0..=48.0).contains(&auto_threads));
+    }
+}

@@ -1,0 +1,100 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section (Figs. 5–22) plus ablations of the design
+//! choices, printing the same series the paper plots and writing CSV.
+//!
+//! Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p hcj-bench --bin repro -- all
+//! cargo run --release -p hcj-bench --bin repro -- fig8 --scale 32
+//! cargo run --release -p hcj-bench --bin repro -- ablations --out results/
+//! ```
+//!
+//! ## Scale
+//!
+//! The paper's largest experiments use multi-billion-tuple relations on an
+//! 8 GB GPU. `--scale k` divides every cardinality by `k` and shrinks
+//! device capacity (and the engine models' internal limits) with it, so
+//! capacity *ratios* — and therefore strategy crossovers and pipeline
+//! bottlenecks — are preserved while bandwidths stay physical. Figures
+//! whose effects are capacity-absolute (shared-memory sizing, Figs. 5–10)
+//! keep the device unscaled and shrink only cardinalities. The default
+//! scale per figure is chosen to complete in minutes on one core; the
+//! scale used is printed in each table's notes and recorded in
+//! EXPERIMENTS.md.
+
+pub mod figures;
+pub mod report;
+
+pub use report::Table;
+
+use std::path::PathBuf;
+
+/// Harness-wide run configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Divide paper cardinalities (and out-of-GPU device capacity) by this.
+    pub scale: u64,
+    /// Reduce sweep points (for smoke tests / CI).
+    pub quick: bool,
+    /// Write `<id>.csv` per figure here.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { scale: 16, quick: false, out_dir: None }
+    }
+}
+
+impl RunConfig {
+    /// A paper cardinality reduced by the configured scale (at least 1024
+    /// tuples so shapes stay measurable).
+    pub fn tuples(&self, paper_tuples: u64) -> usize {
+        ((paper_tuples / self.scale).max(1024)) as usize
+    }
+
+    /// Millions of tuples, scaled.
+    pub fn mtuples(&self, millions: u64) -> usize {
+        self.tuples(millions * 1_000_000)
+    }
+
+    /// Thin a sweep to its endpoints + midpoint when `quick`.
+    pub fn sweep<T: Copy>(&self, points: &[T]) -> Vec<T> {
+        if !self.quick || points.len() <= 3 {
+            return points.to_vec();
+        }
+        vec![points[0], points[points.len() / 2], points[points.len() - 1]]
+    }
+}
+
+/// Billions of tuples per second, the y-axis unit of most figures.
+pub fn btps(tuples_per_s: f64) -> f64 {
+    tuples_per_s / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_math() {
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        assert_eq!(cfg.mtuples(64), 4_000_000);
+        assert_eq!(cfg.tuples(1_000), 1024); // floor
+    }
+
+    #[test]
+    fn quick_sweeps_thin_out() {
+        let cfg = RunConfig { scale: 1, quick: true, out_dir: None };
+        assert_eq!(cfg.sweep(&[1, 2, 3, 4, 5, 6, 7, 8]), vec![1, 5, 8]);
+        assert_eq!(cfg.sweep(&[1, 2, 3]), vec![1, 2, 3]);
+        let full = RunConfig { quick: false, ..cfg };
+        assert_eq!(full.sweep(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn btps_scales() {
+        assert_eq!(btps(4.5e9), 4.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Result tables: aligned terminal output + CSV files.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One figure's regenerated data: an x-column plus one y-column per series.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Stable id, e.g. `fig08`.
+    pub id: &'static str,
+    /// Human title matching the paper's caption.
+    pub title: String,
+    pub x_label: &'static str,
+    pub y_label: &'static str,
+    pub series: Vec<String>,
+    /// `(x, y per series)`; `None` = the paper's "engine failed/absent".
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+    /// Scale factors, substitutions, commentary — printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        x_label: &'static str,
+        y_label: &'static str,
+        series: Vec<String>,
+    ) -> Self {
+        Table { id, title: title.into(), x_label, y_label, series, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Append one x-row; `values.len()` must equal the series count.
+    pub fn row(&mut self, x: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.series.len(), "row width != series count");
+        self.rows.push((x.into(), values));
+    }
+
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Aligned, human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8);
+        let widths: Vec<usize> = self.series.iter().map(|s| s.len().max(10)).collect();
+        let _ = write!(out, "{:>xw$}", self.x_label, xw = xw);
+        for (s, w) in self.series.iter().zip(&widths) {
+            let _ = write!(out, "  {s:>w$}", w = w);
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x:>xw$}", xw = xw);
+            for (v, w) in vals.iter().zip(&widths) {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>w$.4}", w = w);
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>w$}", "-", w = w);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// CSV rendering (header row + one line per x).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(s));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{}", csv_escape(x));
+            for v in vals {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `<id>.csv` into `dir`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "fig99",
+            "Sample",
+            "size",
+            "throughput",
+            vec!["ours".into(), "theirs".into()],
+        );
+        t.row("1M", vec![Some(4.5), Some(1.25)]);
+        t.row("2M", vec![Some(5.0), None]);
+        t.note("scale 1/16");
+        t
+    }
+
+    #[test]
+    fn render_aligns_and_marks_missing() {
+        let s = sample().render();
+        assert!(s.contains("fig99"));
+        assert!(s.contains("4.5000"));
+        assert!(s.lines().any(|l| l.trim_end().ends_with('-')));
+        assert!(s.contains("note: scale 1/16"));
+    }
+
+    #[test]
+    fn csv_round_trips_structure() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("size,ours,theirs"));
+        assert_eq!(lines.next(), Some("1M,4.5,1.25"));
+        assert_eq!(lines.next(), Some("2M,5,"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("hcj-bench-test-report");
+        sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("fig99.csv")).unwrap();
+        assert!(content.starts_with("size,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = sample();
+        t.row("bad", vec![Some(1.0)]);
+    }
+}

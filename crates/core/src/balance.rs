@@ -1,0 +1,91 @@
+//! Load-balance arithmetic for work assigned to streaming multiprocessors.
+//!
+//! Kernel cost models aggregate traffic device-wide, which implicitly
+//! assumes perfect balance across SMs. Pass assignment policies break that
+//! assumption (paper §III-A): assigning whole bucket *chains* to CUDA
+//! blocks leaves the block holding the longest chain running alone at the
+//! end. The imbalance factor computed here scales a pass's execution time
+//! accordingly: `time = balanced_time * imbalance`.
+
+/// Greedy round-robin assignment of `unit_weights` work units to `workers`
+/// equal workers, in order; returns `max_load / mean_load >= 1`.
+///
+/// Round-robin (not greedy-least-loaded) matches how the paper hands out
+/// buckets/chains to CUDA blocks.
+pub fn round_robin_imbalance(unit_weights: &[u64], workers: usize) -> f64 {
+    assert!(workers > 0, "need at least one worker");
+    let total: u64 = unit_weights.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut loads = vec![0u64; workers];
+    for (i, &w) in unit_weights.iter().enumerate() {
+        loads[i % workers] += w;
+    }
+    let max = *loads.iter().max().expect("non-empty");
+    let mean = total as f64 / workers as f64;
+    (max as f64 / mean).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_units_are_balanced() {
+        let units = vec![10u64; 64];
+        let f = round_robin_imbalance(&units, 16);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_giant_unit_dominates() {
+        // One unit carries 91 of 100 weight units across 10 workers:
+        // max load ≈ 91+ vs mean 10 → ~9x.
+        let mut units = vec![1u64; 9];
+        units.push(91);
+        let f = round_robin_imbalance(&units, 10);
+        assert!(f > 8.0, "f = {f}");
+    }
+
+    #[test]
+    fn decomposing_the_giant_restores_balance() {
+        // The same weight split into capacity-sized buckets round-robins
+        // evenly — the paper's bucket-at-a-time argument.
+        let mut units = vec![1u64; 9];
+        units.extend(std::iter::repeat(7).take(13)); // 91 split into 13 buckets
+        let f = round_robin_imbalance(&units, 10);
+        assert!(f < 1.6, "f = {f}");
+    }
+
+    #[test]
+    fn fewer_units_than_workers() {
+        let f = round_robin_imbalance(&[100], 20);
+        assert!((f - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_is_neutral() {
+        assert_eq!(round_robin_imbalance(&[], 8), 1.0);
+        assert_eq!(round_robin_imbalance(&[0, 0], 8), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = round_robin_imbalance(&[1], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn imbalance_is_at_least_one(
+            weights in proptest::collection::vec(0u64..1000, 0..200),
+            workers in 1usize..64,
+        ) {
+            let f = round_robin_imbalance(&weights, workers);
+            prop_assert!(f >= 1.0);
+            prop_assert!(f <= workers as f64 + 1e-9);
+        }
+    }
+}

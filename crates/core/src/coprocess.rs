@@ -1,0 +1,614 @@
+//! Out-of-GPU strategy 2: CPU–GPU co-processing (paper §IV-B–§IV-D,
+//! Fig. 3; evaluated in Figs. 12, 13, 16, 18, 20).
+//!
+//! Neither relation fits in device memory, so a host-side radix
+//! partitioning level is added: both relations are co-partitioned on the
+//! CPU (16-way by default, paper §V-C) into pinned memory; working sets of
+//! R partitions that fit the device budget are chosen (knapsack first,
+//! greedy rest — §IV-D), and for each working set the matching S
+//! partitions stream through the GPU where the in-GPU partitioned join of
+//! §III finishes the job. CPU partitioning, PCIe transfers and GPU joins
+//! all overlap; with enough partitioning threads the pipeline is
+//! PCIe-bound end to end.
+//!
+//! NUMA handling (§IV-B): data homed on the far socket is staged into
+//! near-socket pinned buffers by CPU threads before the DMA engine touches
+//! it; the `numa_staging: false` ablation reads the far socket directly
+//! across QPI and collides with partitioning coherence traffic (Fig. 16).
+
+use hcj_gpu::{Gpu, OutOfDeviceMemory, TransferKind};
+use hcj_host::{tasks, CpuTaskKind, HostMachine, HostSpec, Socket};
+use hcj_sim::{Op, OpId, Sim, SimTime};
+use hcj_workload::{Relation, Tuple};
+
+use crate::config::{GpuJoinConfig, OutputMode};
+use crate::join::join_all_copartitions;
+use crate::outcome::JoinOutcome;
+use crate::output::{late_materialization_cost, ROW_BYTES};
+use crate::packing::{naive_working_sets, pack_working_sets, PartitionSize};
+use crate::partition::GpuPartitioner;
+
+/// Configuration of the co-processing strategy.
+#[derive(Clone, Debug)]
+pub struct CoProcessingConfig {
+    /// The in-GPU join configuration; `join.radix_bits` is the *total*
+    /// partitioning depth including the CPU level.
+    pub join: GpuJoinConfig,
+    pub host: HostSpec,
+    /// CPU partitioning threads (paper default: 16; Fig. 13 sweeps this).
+    pub cpu_threads: u32,
+    /// CPU-level radix bits (paper: 4 → 16-way).
+    pub cpu_radix_bits: u32,
+    /// Probe-relation chunk size in tuples; `None` = device memory / 16.
+    pub s_chunk_tuples: Option<usize>,
+    /// Stage far-socket data into near-socket pinned memory before DMA
+    /// (paper's choice). `false` = the Fig. 16 "direct copy" ablation.
+    pub numa_staging: bool,
+    /// Fraction of device memory granted to the R working set.
+    pub gpu_budget_fraction: f64,
+    /// Device bytes a partition needs per input byte while being joined
+    /// (data + sub-partition pools + padding, §IV-D).
+    pub padding_factor: f64,
+    /// Use non-temporal stores in CPU partitioning (paper's choice).
+    pub non_temporal: bool,
+    /// Working-set packing policy (paper §IV-D); `Naive` is the ablation.
+    pub packing: PackingPolicy,
+}
+
+/// How partitions are grouped into working sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackingPolicy {
+    /// Knapsack first set, greedy rest, oversize rule (the paper's).
+    Knapsack,
+    /// First-fit in index order, ignoring skew (the strawman).
+    Naive,
+}
+
+impl CoProcessingConfig {
+    /// The configuration of the paper's §V-C experiments: 16 threads,
+    /// 16-way CPU partitioning, non-temporal stores, NUMA staging.
+    pub fn paper_default(join: GpuJoinConfig) -> Self {
+        CoProcessingConfig {
+            join,
+            host: HostSpec::dual_xeon_e5_2650l_v3(),
+            cpu_threads: 16,
+            cpu_radix_bits: 4,
+            s_chunk_tuples: None,
+            numa_staging: true,
+            gpu_budget_fraction: 0.5,
+            padding_factor: 3.0,
+            non_temporal: true,
+            packing: PackingPolicy::Knapsack,
+        }
+    }
+
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.cpu_threads = threads;
+        self
+    }
+
+    pub fn with_staging(mut self, staging: bool) -> Self {
+        self.numa_staging = staging;
+        self
+    }
+
+    pub fn with_packing(mut self, packing: PackingPolicy) -> Self {
+        self.packing = packing;
+        self
+    }
+
+    pub fn with_non_temporal(mut self, nt: bool) -> Self {
+        self.non_temporal = nt;
+        self
+    }
+
+    /// Pick the partitioning thread count automatically with the paper's
+    /// rule (§IV-B): the most threads that still leave the near socket
+    /// enough DRAM bandwidth for transfers at full PCIe rate. The paper
+    /// configures this statically and leaves dynamic adjustment as future
+    /// work; this implements the static rule from the machine model.
+    pub fn with_auto_threads(mut self) -> Self {
+        self.cpu_threads =
+            self.host.recommended_partition_threads(self.join.device.pcie_bandwidth);
+        self
+    }
+}
+
+/// The CPU–GPU co-processing join.
+pub struct CoProcessingJoin {
+    pub config: CoProcessingConfig,
+}
+
+impl CoProcessingJoin {
+    pub fn new(config: CoProcessingConfig) -> Self {
+        config.join.validate().expect("join configuration exceeds the device's shared memory");
+        assert!(
+            config.cpu_radix_bits < config.join.radix_bits,
+            "the CPU level must leave bits for GPU sub-partitioning"
+        );
+        assert!(config.cpu_threads >= 1);
+        assert!((0.0..1.0).contains(&config.gpu_budget_fraction) && config.gpu_budget_fraction > 0.0);
+        CoProcessingJoin { config }
+    }
+
+    /// Execute with both relations in host memory.
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, OutOfDeviceMemory> {
+        let cfg = &self.config;
+        let jcfg = &cfg.join;
+        let device = &jcfg.device;
+
+        // ---- functional CPU partitioning ----
+        // Possibly deepen the CPU level until every partition fits the
+        // device budget (paper §IV-B: oversized co-partitions "are further
+        // partitioned"). Mono-key partitions cannot shrink; their padded
+        // size is clamped and the GPU side degrades gracefully.
+        let budget = (device.device_mem_bytes as f64 * cfg.gpu_budget_fraction) as u64;
+        let mut cpu_bits = cfg.cpu_radix_bits;
+        let max_cpu_bits = (jcfg.radix_bits - 1).min(cfg.cpu_radix_bits + 8);
+        let r_parts = loop {
+            let parts = cpu_radix_partition(r, cpu_bits);
+            let oversized = parts
+                .iter()
+                .any(|p| (p.bytes() as f64 * cfg.padding_factor) as u64 > budget);
+            if !oversized || cpu_bits >= max_cpu_bits {
+                break parts;
+            }
+            cpu_bits += 1;
+        };
+        // CPU radix passes needed at this fanout (TLB-bounded fanout per
+        // pass, §II-B).
+        let tlb_bits = 31 - cfg.host.tlb_entries.leading_zeros();
+        let cpu_passes = cpu_bits.div_ceil(tlb_bits).max(1) as u64;
+
+        // ---- working-set packing (§IV-D) ----
+        let sizes: Vec<PartitionSize> = r_parts
+            .iter()
+            .enumerate()
+            .map(|(id, part)| PartitionSize {
+                id,
+                tuples: part.len() as u64,
+                padded_bytes: ((part.bytes() as f64 * cfg.padding_factor) as u64).min(budget),
+            })
+            .collect();
+        let working_sets = match cfg.packing {
+            PackingPolicy::Knapsack => pack_working_sets(&sizes, budget, budget / 4),
+            PackingPolicy::Naive => naive_working_sets(&sizes, budget),
+        };
+
+        // ---- simulation setup ----
+        let mut sim = Sim::new();
+        let gpu = Gpu::new(&mut sim, device.clone());
+        let host = HostMachine::new(&mut sim, cfg.host.clone());
+        let pool = host.thread_pool(&mut sim, "partition-threads", cfg.cpu_threads);
+
+        // Chunks as large as the remaining device memory allows (paper:
+        // "chunks that can be streamed through the remaining GPU memory"),
+        // but with at least ~8 chunks so the pipeline has stages to
+        // overlap. Too-small chunks re-stage the working set's R
+        // co-partitions from device memory once per chunk and turn the
+        // pipeline GPU-bound; too-few chunks leave nothing to pipeline.
+        let chunk_tuples = cfg.s_chunk_tuples.unwrap_or_else(|| {
+            // Budget arithmetic: working set 1/2 + two chunk buffers 2/6 +
+            // output buffers 1/8 < 1 device.
+            let cap = (device.device_mem_bytes / 6) / 8;
+            let floor = (device.device_mem_bytes / 16) / 8;
+            ((s.len() as u64 / 8).clamp(floor.min(cap), cap) as usize).max(1)
+        });
+        let chunk_bytes = (chunk_tuples * 8) as u64;
+
+        // Device reservations: R working-set budget + double chunk input
+        // buffers (+ double output buffers when materializing).
+        let _ws_budget = gpu.mem.reserve(budget)?;
+        let _in_buffers = gpu.mem.reserve(2 * chunk_bytes)?;
+        let _out_buffers = match jcfg.output {
+            OutputMode::Materialize => {
+                // Double output buffers, bounded by a slice of the device.
+                let want = 2 * u64::from(jcfg.join_block_threads) * 64 * ROW_BYTES;
+                Some(gpu.mem.reserve(want.min(device.device_mem_bytes / 8))?)
+            }
+            OutputMode::Aggregate => None,
+        };
+
+        // ---- sim: CPU partitioning of R ----
+        // R is split into thread-count chunks, each partitioned by one
+        // local thread; chunks alternate home sockets.
+        let r_chunk_count = cfg.cpu_threads as usize;
+        let r_chunk_bytes = r.bytes().div_ceil(r_chunk_count as u64);
+        let mut r_cpu_ops = Vec::new();
+        for i in 0..r_chunk_count {
+            let socket = if i % 2 == 0 { Socket::Near } else { Socket::Far };
+            r_cpu_ops.push(tasks::cpu_task(
+                &mut sim,
+                &host,
+                pool,
+                CpuTaskKind::Partition { non_temporal: cfg.non_temporal },
+                r_chunk_bytes * cpu_passes,
+                socket,
+                &[],
+            ));
+        }
+        let r_ready = sim.op(
+            Op::latency(SimTime::ZERO).label("cpu r partitioned").after_all(r_cpu_ops.clone()),
+        );
+
+        // ---- functional chunking + per-chunk CPU partitions of S ----
+        let s_chunks = s.chunks(chunk_tuples);
+        let s_chunk_parts: Vec<Vec<Relation>> =
+            s_chunks.iter().map(|c| cpu_radix_partition(c, cpu_bits)).collect();
+
+        // ---- the pipeline ----
+        let sub_cfg = GpuJoinConfig {
+            radix_bits: jcfg.radix_bits - cpu_bits,
+            ..jcfg.clone()
+        };
+        let sub_partitioner = GpuPartitioner::new(&sub_cfg);
+        let mut exec = gpu.stream();
+        let mut xfer = gpu.stream();
+        let mut drain = gpu.stream();
+        let mut sink = jcfg.make_sink();
+        let mut s_cpu_done: Vec<Option<OpId>> = vec![None; s_chunks.len()];
+        let mut prev_ws_last_join: Option<OpId> = None;
+        let mut drain_ops: Vec<OpId> = Vec::new();
+
+        for (w, ws) in working_sets.sets.iter().enumerate() {
+            // -- transfer the working set's R partitions (pinned) --
+            let r_ws_bytes: u64 = ws.iter().map(|&p| r_parts[p].bytes()).sum();
+            let mut deps = vec![r_ready];
+            if let Some(j) = prev_ws_last_join {
+                deps.push(j); // the budget region is reused across sets
+            }
+            // Half of the partitioned data lives on the far socket. With
+            // staging, CPU threads prefetch this working set's far half
+            // into near pinned buffers as soon as R is partitioned — the
+            // "CPU phase of the pipeline after the first working set"
+            // (§IV-B) — so the stages of later sets are long done before
+            // their transfers begin.
+            let far_half = if cfg.numa_staging {
+                let far = r_ws_bytes / 2;
+                let tasks_n = 2u64.min(u64::from(cfg.cpu_threads)).max(1);
+                let stages: Vec<OpId> = (0..tasks_n)
+                    .map(|_| {
+                        tasks::cpu_task(
+                            &mut sim,
+                            &host,
+                            pool,
+                            CpuTaskKind::StagingCopy,
+                            far.div_ceil(tasks_n),
+                            Socket::Far,
+                            &[r_ready],
+                        )
+                    })
+                    .collect();
+                deps.extend(stages);
+                0
+            } else {
+                r_ws_bytes / 2
+            };
+            let near_half = r_ws_bytes - far_half;
+            let r_xfer = self.transfer_h2d(
+                &mut sim,
+                &gpu,
+                &mut xfer,
+                &host,
+                pool,
+                format!("h2d r ws{w}"),
+                near_half,
+                far_half,
+                &deps,
+            );
+
+            // -- GPU sub-partitioning of the working set's R side --
+            let mut r_sub = Vec::with_capacity(ws.len());
+            let mut part_seconds = 0.0;
+            for &p in ws {
+                let out = sub_partitioner.partition_with_base(&r_parts[p], cpu_bits);
+                part_seconds += out.total_seconds();
+                r_sub.push(out.partitioned);
+            }
+            exec.wait_op(r_xfer);
+            gpu.kernel_raw(&mut sim, &mut exec, format!("part r ws{w}"), part_seconds);
+
+            // -- stream S chunk by chunk --
+            let mut join_ops: Vec<OpId> = Vec::with_capacity(s_chunks.len());
+            for (c, chunk_parts) in s_chunk_parts.iter().enumerate() {
+                // During the first working set the CPU partitions each S
+                // chunk just in time (overlapped with transfers); later
+                // sets reuse the pinned partitions.
+                if w == 0 {
+                    let socket = if c % 2 == 0 { Socket::Near } else { Socket::Far };
+                    let chunk_len_bytes: u64 =
+                        chunk_parts.iter().map(|p| p.bytes()).sum();
+                    let mut op = tasks::cpu_task(
+                        &mut sim,
+                        &host,
+                        pool,
+                        CpuTaskKind::Partition { non_temporal: cfg.non_temporal },
+                        chunk_len_bytes * cpu_passes,
+                        socket,
+                        &[],
+                    );
+                    if cfg.numa_staging {
+                        // Prefetch the chunk's far-half into near pinned
+                        // buffers as soon as it is partitioned.
+                        let stage = tasks::cpu_task(
+                            &mut sim,
+                            &host,
+                            pool,
+                            CpuTaskKind::StagingCopy,
+                            chunk_len_bytes / 2,
+                            Socket::Far,
+                            &[op],
+                        );
+                        op = sim.op(
+                            Op::latency(SimTime::ZERO)
+                                .label(format!("stage s chunk{c} done"))
+                                .after(op)
+                                .after(stage),
+                        );
+                    }
+                    s_cpu_done[c] = Some(op);
+                }
+                let s_bytes: u64 = ws.iter().map(|&p| chunk_parts[p].bytes()).sum();
+                // Transfer deps: chunk partitioned; input buffer freed by
+                // the join two chunks back (double buffering).
+                let mut tdeps = Vec::new();
+                if let Some(op) = s_cpu_done[c] {
+                    tdeps.push(op);
+                }
+                if c >= 2 {
+                    tdeps.push(join_ops[c - 2]);
+                }
+                let far_half = if cfg.numa_staging { 0 } else { s_bytes / 2 };
+                let near_half = s_bytes - far_half;
+                let s_xfer = self.transfer_h2d(
+                    &mut sim,
+                    &gpu,
+                    &mut xfer,
+                    &host,
+                    pool,
+                    format!("h2d s ws{w} c{c}"),
+                    near_half,
+                    far_half,
+                    &tdeps,
+                );
+
+                // -- GPU sub-partition + join of this chunk piece --
+                let matches_before = sink.matches();
+                let mut cost = hcj_gpu::KernelCost::ZERO;
+                let mut sub_seconds = 0.0;
+                for (i, &p) in ws.iter().enumerate() {
+                    if chunk_parts[p].is_empty() {
+                        continue;
+                    }
+                    let s_out = sub_partitioner.partition_with_base(&chunk_parts[p], cpu_bits);
+                    sub_seconds += s_out.total_seconds();
+                    cost += join_all_copartitions(jcfg, &r_sub[i], &s_out.partitioned, &mut sink);
+                }
+                let new_matches = sink.matches() - matches_before;
+                cost += late_materialization_cost(new_matches, r.payload_width, true);
+                cost += late_materialization_cost(new_matches, s.payload_width, true);
+                exec.wait_op(s_xfer);
+                let join = gpu.kernel_raw(
+                    &mut sim,
+                    &mut exec,
+                    format!("join ws{w} c{c}"),
+                    sub_seconds + cost.time(device),
+                );
+                join_ops.push(join);
+
+                // -- drain results (materialization) --
+                if jcfg.output == OutputMode::Materialize && new_matches > 0 {
+                    drain.wait_op(join);
+                    if drain_ops.len() >= 2 {
+                        drain.wait_op(drain_ops[drain_ops.len() - 2]);
+                    }
+                    let d = gpu.copy_d2h(
+                        &mut sim,
+                        &mut drain,
+                        format!("d2h ws{w} c{c}"),
+                        new_matches * ROW_BYTES,
+                        TransferKind::Pinned,
+                    );
+                    drain_ops.push(d);
+                }
+            }
+            prev_ws_last_join = join_ops.last().copied().or(prev_ws_last_join);
+        }
+
+        // Account the output sink's device-side traffic.
+        let sink_cost = sink.cost();
+        if sink_cost != hcj_gpu::KernelCost::ZERO {
+            gpu.kernel(&mut sim, &mut exec, "join output-flush", &sink_cost);
+        }
+
+        let schedule = sim.run();
+        let check = sink.check();
+        let rows = match jcfg.output {
+            OutputMode::Materialize => Some(sink.into_rows()),
+            OutputMode::Aggregate => None,
+        };
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64))
+    }
+
+    /// One host→device transfer: the PCIe copy and its host-side legs
+    /// (DRAM reads; the QPI crossing for far-socket data) run
+    /// concurrently — they are one transfer; the returned fence completes
+    /// when all legs do. The far-socket span is throttled to the QPI
+    /// peer-read rate *while it is being shipped* (legs are sequential
+    /// within the buffer), which is why direct copies lose to staging
+    /// (Fig. 16). With staging enabled the callers pass `far_bytes = 0`:
+    /// the data was prefetched into near pinned buffers beforehand.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_h2d(
+        &self,
+        sim: &mut Sim,
+        gpu: &hcj_gpu::Gpu,
+        xfer: &mut hcj_gpu::Stream,
+        host: &HostMachine,
+        _pool: hcj_host::numa::ThreadPool,
+        label: String,
+        near_bytes: u64,
+        far_bytes: u64,
+        deps: &[OpId],
+    ) -> OpId {
+        let pcie = gpu.spec.pcie_bandwidth;
+        // Shadows align with the copy: they also wait for whatever the
+        // copy engine was doing before this transfer.
+        let mut shadow_deps: Vec<OpId> = deps.to_vec();
+        if let Some(prev) = xfer.last_op() {
+            shadow_deps.push(prev);
+        }
+        for d in deps {
+            xfer.wait_op(*d);
+        }
+        let mut legs: Vec<OpId> = Vec::new();
+        if near_bytes > 0 {
+            let copy_near =
+                gpu.copy_h2d(sim, xfer, format!("{label} near"), near_bytes, TransferKind::Pinned);
+            legs.push(copy_near);
+            legs.push(tasks::dma_host_traffic(
+                sim, host, near_bytes, Socket::Near, pcie, &shadow_deps,
+            ));
+        }
+        if far_bytes > 0 {
+            // Inflate the on-engine work so the engine runs this span at
+            // `pcie * qpi_dma_efficiency`.
+            let inflated = (far_bytes as f64 / host.spec.qpi_dma_efficiency) as u64;
+            let copy_far =
+                gpu.copy_h2d(sim, xfer, format!("{label} far"), inflated, TransferKind::Pinned);
+            legs.push(copy_far);
+            legs.push(tasks::dma_host_traffic(
+                sim, host, far_bytes, Socket::Far, pcie, &shadow_deps,
+            ));
+        }
+        let fence = sim.op(Op::latency(SimTime::ZERO).label("h2d-fence").after_all(legs));
+        // Later stream work must respect the full transfer, not just the
+        // copy legs.
+        xfer.wait_op(fence);
+        fence
+    }
+}
+
+/// Functional CPU radix partitioning on the low `bits` of the key.
+pub fn cpu_radix_partition(rel: &Relation, bits: u32) -> Vec<Relation> {
+    let fanout = 1usize << bits;
+    let mask = (fanout - 1) as u32;
+    let mut out = vec![Relation::default(); fanout];
+    for t in rel.iter() {
+        out[(t.key & mask) as usize].push(Tuple { key: t.key, payload: t.payload });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::DeviceSpec;
+    use hcj_workload::generate::canonical_pair;
+    use hcj_workload::oracle::{assert_join_matches, JoinCheck};
+    use hcj_workload::RelationSpec;
+
+    fn small_device() -> DeviceSpec {
+        // 8 MB device: forces out-of-GPU behaviour with test-sized data.
+        DeviceSpec::gtx1080().scaled_capacity(1 << 10)
+    }
+
+    fn cfg(tuples: usize) -> CoProcessingConfig {
+        let join = GpuJoinConfig::paper_default(small_device())
+            .with_radix_bits(12)
+            .with_tuned_buckets(tuples / 16);
+        CoProcessingConfig::paper_default(join)
+    }
+
+    #[test]
+    fn cpu_radix_partition_is_correct() {
+        let rel = RelationSpec::unique(1000, 51).generate();
+        let parts = cpu_radix_partition(&rel, 4);
+        assert_eq!(parts.len(), 16);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 1000);
+        for (p, part) in parts.iter().enumerate() {
+            assert!(part.keys.iter().all(|&k| (k & 15) as usize == p));
+        }
+    }
+
+    #[test]
+    fn coprocessing_matches_oracle() {
+        let (r, s) = canonical_pair(100_000, 200_000, 52);
+        let join = CoProcessingJoin::new(cfg(100_000));
+        let out = join.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+        assert_eq!(out.tuples_in, 300_000);
+    }
+
+    #[test]
+    fn materialized_coprocessing_matches_oracle() {
+        let (r, s) = canonical_pair(30_000, 60_000, 53);
+        let mut c = cfg(30_000);
+        c.join = c.join.with_output(OutputMode::Materialize);
+        let out = CoProcessingJoin::new(c).execute(&r, &s).unwrap();
+        assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
+    }
+
+    #[test]
+    fn skewed_input_still_joins_correctly() {
+        let r = RelationSpec::zipf(80_000, 1 << 16, 0.9, 54).generate();
+        let s = RelationSpec::zipf(160_000, 1 << 16, 0.9, 55).generate();
+        let join = CoProcessingJoin::new(cfg(80_000));
+        let out = join.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn pipeline_overlaps_cpu_partitioning_with_transfers() {
+        let (r, s) = canonical_pair(200_000, 800_000, 56);
+        let join = CoProcessingJoin::new(cfg(200_000));
+        let out = join.execute(&r, &s).unwrap();
+        let overlap = out.schedule.overlap_time(
+            |sp| sp.label.starts_with("cpu-Partition"),
+            |sp| sp.label.starts_with("h2d"),
+        );
+        assert!(
+            overlap.as_nanos() > 0,
+            "CPU partitioning must overlap transfers\n{}",
+            out.schedule.render_gantt(80)
+        );
+    }
+
+    #[test]
+    fn more_threads_do_not_slow_the_join() {
+        let (r, s) = canonical_pair(150_000, 300_000, 57);
+        let slow = CoProcessingJoin::new(cfg(150_000).with_threads(2)).execute(&r, &s).unwrap();
+        let fast = CoProcessingJoin::new(cfg(150_000).with_threads(16)).execute(&r, &s).unwrap();
+        assert_eq!(slow.check, fast.check);
+        assert!(
+            fast.total_seconds() <= slow.total_seconds() * 1.05,
+            "16 threads {} vs 2 threads {}",
+            fast.total_seconds(),
+            slow.total_seconds()
+        );
+    }
+
+    #[test]
+    fn staging_beats_direct_copies() {
+        let (r, s) = canonical_pair(400_000, 400_000, 58);
+        let staged = CoProcessingJoin::new(cfg(400_000)).execute(&r, &s).unwrap();
+        let direct =
+            CoProcessingJoin::new(cfg(400_000).with_staging(false)).execute(&r, &s).unwrap();
+        assert_eq!(staged.check, direct.check);
+        assert!(
+            staged.total_seconds() < direct.total_seconds(),
+            "staged {} vs direct {}",
+            staged.total_seconds(),
+            direct.total_seconds()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU level must leave bits")]
+    fn cpu_bits_must_leave_room() {
+        let join = GpuJoinConfig::paper_default(small_device()).with_radix_bits(4);
+        let mut c = CoProcessingConfig::paper_default(join);
+        c.cpu_radix_bits = 4;
+        let _ = CoProcessingJoin::new(c);
+    }
+}

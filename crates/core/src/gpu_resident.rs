@@ -1,0 +1,223 @@
+//! The end-to-end GPU-resident partitioned join (paper §III, Figs. 5–10).
+//!
+//! Orchestration: both relations are radix-partitioned on the GPU into
+//! shared-memory-sized bucket chains, then every co-partition pair is
+//! joined by the configured probe kernel. All phases run as kernels on one
+//! stream (each pass reads the previous pass's output, so in-GPU execution
+//! is inherently serial); the simulated timeline therefore reflects kernel
+//! durations plus launch overheads.
+//!
+//! Device-memory pressure is enforced: inputs, bucket pools (input and
+//! output pools of a pass coexist) and materialized results all reserve
+//! accounted capacity, and the strategy reports [`OutOfDeviceMemory`] when
+//! the working set cannot fit — the condition that sends callers to the
+//! out-of-GPU strategies of §IV.
+
+use hcj_gpu::{Gpu, KernelCost, OutOfDeviceMemory};
+use hcj_sim::Sim;
+use hcj_workload::Relation;
+
+use crate::config::{GpuJoinConfig, OutputMode};
+use crate::join::join_all_copartitions;
+use crate::outcome::JoinOutcome;
+use crate::output::{late_materialization_cost, OutputSink};
+use crate::partition::GpuPartitioner;
+
+/// The paper's in-GPU partitioned hash/nested-loop join.
+#[derive(Clone, Debug)]
+pub struct GpuPartitionedJoin {
+    pub config: GpuJoinConfig,
+}
+
+impl GpuPartitionedJoin {
+    /// Create the strategy; panics if the configuration's kernels cannot
+    /// launch on the configured device (mirrors a CUDA launch failure).
+    pub fn new(config: GpuJoinConfig) -> Self {
+        config.validate().expect("join configuration exceeds the device's shared memory");
+        GpuPartitionedJoin { config }
+    }
+
+    /// Execute over GPU-resident relations; `Err` when device memory
+    /// cannot hold the working set.
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, OutOfDeviceMemory> {
+        let mut sim = Sim::new();
+        let gpu = Gpu::new(&mut sim, self.config.device.clone());
+        let mut stream = gpu.stream();
+
+        // Inputs are resident for this scenario.
+        let r_input = gpu.mem.reserve(r.bytes())?;
+        let s_input = gpu.mem.reserve(s.bytes())?;
+
+        // ---- partition both relations ----
+        // Bucket-pool recycling: a partitioning pass frees its source
+        // buffers as it drains them, so a relation's input and its full
+        // partitioned form never coexist (this is how a ~5 GB TPC-H
+        // working set fits the paper's 8 GB card, §V-C). The accounting
+        // below mirrors that: each input reservation drops when its
+        // partitioning completes.
+        let partitioner = GpuPartitioner::new(&self.config);
+        let r_out = partitioner.partition(r);
+        drop(r_input);
+        let _r_pool = gpu.mem.reserve(r_out.partitioned.pool.device_bytes())?;
+        for (i, pass) in r_out.passes.iter().enumerate() {
+            gpu.kernel_raw(&mut sim, &mut stream, format!("part r pass{i}"), pass.seconds);
+        }
+        let s_out = partitioner.partition(s);
+        drop(s_input);
+        let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
+        for (i, pass) in s_out.passes.iter().enumerate() {
+            gpu.kernel_raw(&mut sim, &mut stream, format!("part s pass{i}"), pass.seconds);
+        }
+
+        // ---- join co-partitions ----
+        let mut sink = self.config.make_sink();
+        let mut join_cost =
+            join_all_copartitions(&self.config, &r_out.partitioned, &s_out.partitioned, &mut sink);
+        join_cost += sink.cost();
+        // Late materialization of wide payloads: both sides were reordered
+        // by partitioning, so every fetch is scattered (Figs. 9–10).
+        join_cost += late_materialization_cost(sink.matches(), r.payload_width, true);
+        join_cost += late_materialization_cost(sink.matches(), s.payload_width, true);
+        let _result_buf = match self.config.output {
+            OutputMode::Materialize => {
+                Some(gpu.mem.reserve(self.config.result_buffer_bytes(sink.matches()))?)
+            }
+            OutputMode::Aggregate => None,
+        };
+        gpu.kernel(&mut sim, &mut stream, "join copartitions", &join_cost);
+
+        let schedule = sim.run();
+        let check = sink.check();
+        let rows = match self.config.output {
+            OutputMode::Materialize => Some(sink.into_rows()),
+            OutputMode::Aggregate => None,
+        };
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64))
+    }
+
+    /// The join-kernel traffic of the last phase for external composition
+    /// (used by the out-of-GPU strategies, which run the same co-partition
+    /// join per chunk).
+    pub fn join_kernel_cost(
+        &self,
+        r: &crate::partition::PartitionedRelation,
+        s: &crate::partition::PartitionedRelation,
+        sink: &mut OutputSink,
+    ) -> KernelCost {
+        join_all_copartitions(&self.config, r, s, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::DeviceSpec;
+    use hcj_workload::generate::canonical_pair;
+    use hcj_workload::oracle::{assert_join_matches, JoinCheck};
+    use hcj_workload::RelationSpec;
+
+    use crate::config::ProbeKind;
+
+    fn small_config(bits: u32, tuples: usize) -> GpuJoinConfig {
+        GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
+            .with_radix_bits(bits)
+            .with_tuned_buckets(tuples)
+    }
+
+    #[test]
+    fn aggregates_match_oracle() {
+        let (r, s) = canonical_pair(16_384, 65_536, 31);
+        let join = GpuPartitionedJoin::new(small_config(8, 16_384));
+        let out = join.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+        assert!(out.rows.is_none());
+        assert!(out.total_seconds() > 0.0);
+        assert!(out.throughput_tuples_per_s() > 0.0);
+    }
+
+    #[test]
+    fn materialization_matches_oracle() {
+        let (r, s) = canonical_pair(4096, 8192, 32);
+        let join = GpuPartitionedJoin::new(
+            small_config(6, 4096).with_output(OutputMode::Materialize),
+        );
+        let out = join.execute(&r, &s).unwrap();
+        assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
+    }
+
+    #[test]
+    fn materialization_is_slower_but_not_catastrophic() {
+        let (r, s) = canonical_pair(32_768, 32_768, 33);
+        let agg = GpuPartitionedJoin::new(small_config(9, 32_768)).execute(&r, &s).unwrap();
+        let mat = GpuPartitionedJoin::new(
+            small_config(9, 32_768).with_output(OutputMode::Materialize),
+        )
+        .execute(&r, &s)
+        .unwrap();
+        let t_agg = agg.total_seconds();
+        let t_mat = mat.total_seconds();
+        assert!(t_mat >= t_agg);
+        // Fig. 7: materialization "traces" aggregation — under 2x here.
+        assert!(t_mat < 2.0 * t_agg, "agg {t_agg} mat {t_mat}");
+    }
+
+    #[test]
+    fn nested_loop_probe_matches_oracle() {
+        let (r, s) = canonical_pair(4096, 4096, 34);
+        let join = GpuPartitionedJoin::new(
+            small_config(7, 4096).with_probe(ProbeKind::NestedLoop),
+        );
+        let out = join.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn phases_are_populated() {
+        let (r, s) = canonical_pair(8192, 8192, 35);
+        let out = GpuPartitionedJoin::new(small_config(8, 8192)).execute(&r, &s).unwrap();
+        use crate::outcome::Phase;
+        assert!(out.phases.time(Phase::GpuPartition).as_nanos() > 0);
+        assert!(out.phases.time(Phase::Join).as_nanos() > 0);
+        assert_eq!(out.phases.time(Phase::TransferIn).as_nanos(), 0);
+        assert!(out.join_phase_throughput() > out.throughput_tuples_per_s());
+    }
+
+    #[test]
+    fn too_large_working_set_reports_oom() {
+        // A 1 GB-capacity device cannot hold two 400 MB relations plus
+        // their bucket pools.
+        let device = DeviceSpec::gtx1080().scaled_capacity(8);
+        let cfg = GpuJoinConfig::paper_default(device).with_radix_bits(8);
+        let r = RelationSpec::unique(50_000_000 / 8 * 8, 1); // ~50M tuples = 400 MB
+        // Generating 50M tuples for real is wasteful here; fake the size
+        // with a small relation and an explicit byte check instead.
+        let _ = r;
+        let small = RelationSpec::unique(1024, 36).generate();
+        // Shrink the device below even the small inputs to exercise the path.
+        let tiny = DeviceSpec::gtx1080().scaled_capacity(1 << 24); // 512 B
+        let cfg = GpuJoinConfig { device: tiny, ..cfg };
+        let join = GpuPartitionedJoin::new(cfg.with_tuned_buckets(1024));
+        let err = join.execute(&small, &small).unwrap_err();
+        assert!(err.requested > 0);
+    }
+
+    #[test]
+    fn skewed_inputs_still_join_correctly() {
+        let r = RelationSpec::zipf(20_000, 4096, 0.9, 37).generate();
+        let s = RelationSpec::zipf(20_000, 4096, 0.9, 38).generate();
+        let join = GpuPartitionedJoin::new(small_config(6, 20_000));
+        let out = join.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn wide_payloads_slow_the_join() {
+        let (mut r, mut s) = canonical_pair(32_768, 32_768, 39);
+        let narrow = GpuPartitionedJoin::new(small_config(9, 32_768)).execute(&r, &s).unwrap();
+        r.payload_width = 128;
+        s.payload_width = 128;
+        let wide = GpuPartitionedJoin::new(small_config(9, 32_768)).execute(&r, &s).unwrap();
+        assert_eq!(narrow.check, wide.check);
+        assert!(wide.total_seconds() > narrow.total_seconds());
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-co-partition join kernels (paper §III-B/§III-C).
+//!
+//! After partitioning, the join degenerates into many independent small
+//! joins between co-partitions `(R_p, S_p)`. The kernels here are the
+//! paper's three variants:
+//!
+//! * [`sm_hash::sm_hash_join`] — hash table in shared memory, 16-bit
+//!   offset chains, wait-free atomic-exchange build (the default);
+//! * [`ballot_nl::ballot_nl_join`] — warp-cooperative nested loop using
+//!   ballot instructions (Listing 1);
+//! * [`device_hash::device_hash_join`] — the same chained table kept in
+//!   device memory (Fig. 6's strawman).
+//!
+//! [`join_all_copartitions`] drives one kernel over every co-partition
+//! pair and accumulates traffic; long final chains are decomposed across
+//! SMs (paper §III-A), so no imbalance factor applies to the probe phase.
+
+pub mod ballot_nl;
+pub mod device_hash;
+pub mod sm_hash;
+
+use hcj_gpu::KernelCost;
+
+use crate::config::{GpuJoinConfig, ProbeKind};
+use crate::output::OutputSink;
+use crate::partition::PartitionedRelation;
+
+/// Join every co-partition pair of two identically-partitioned relations,
+/// writing matches to `sink`. Returns the aggregate kernel traffic
+/// (excluding the sink's own output traffic — add `sink.cost()` once at
+/// the end of the probe phase).
+pub fn join_all_copartitions(
+    config: &GpuJoinConfig,
+    r: &PartitionedRelation,
+    s: &PartitionedRelation,
+    sink: &mut OutputSink,
+) -> KernelCost {
+    assert_eq!(
+        (r.fanout_bits, r.base_bits),
+        (s.fanout_bits, s.base_bits),
+        "co-partition join requires identically partitioned inputs"
+    );
+    let shift = r.fixed_bits();
+    let mut cost = KernelCost::ZERO;
+    for p in 0..r.fanout() {
+        if r.chains[p].is_empty() || s.chains[p].is_empty() {
+            continue;
+        }
+        let (r_keys, r_pays) = r.collect_partition(p);
+        let (s_keys, s_pays) = s.collect_partition(p);
+        cost += match config.probe {
+            ProbeKind::HashJoin => {
+                sm_hash::sm_hash_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
+            }
+            ProbeKind::NestedLoop => {
+                ballot_nl::ballot_nl_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
+            }
+            ProbeKind::DeviceHashJoin => {
+                device_hash::device_hash_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
+            }
+        };
+    }
+    cost
+}
+
+/// The in-partition hash function: multiplicative hashing over the key
+/// bits *above* the radix bits already equal within a partition
+/// (paper §III-C uses a second hash `h2` independent of the partitioning
+/// hash `h1`, Fig. 1).
+#[inline]
+pub fn bucket_hash(key: u32, shift: u32, buckets: usize) -> usize {
+    debug_assert!(buckets.is_power_of_two());
+    if buckets <= 1 {
+        return 0; // a 1-bucket table degenerates to a single chain
+    }
+    let x = (key >> shift).wrapping_mul(0x9E37_79B1);
+    // Take the high bits of the product: better avalanche than the low.
+    ((x >> (32 - buckets.trailing_zeros())) as usize) & (buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::DeviceSpec;
+    use hcj_workload::oracle::JoinCheck;
+    use hcj_workload::{RelationSpec, KeyDistribution};
+
+    use crate::config::OutputMode;
+    use crate::partition::GpuPartitioner;
+
+    fn run(probe: ProbeKind, r_tuples: usize, s_tuples: usize, bits: u32) -> (JoinCheck, JoinCheck) {
+        let mut cfg = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
+        cfg.radix_bits = bits;
+        cfg.bucket_capacity = 1024;
+        cfg.probe = probe;
+        let r = RelationSpec::unique(r_tuples, 11).generate();
+        let s = RelationSpec {
+            tuples: s_tuples,
+            distribution: KeyDistribution::UniformFk { distinct: r_tuples as u64 },
+            payload_width: 4,
+            seed: 12,
+        }
+        .generate();
+        let pr = GpuPartitioner::new(&cfg).partition(&r).partitioned;
+        let ps = GpuPartitioner::new(&cfg).partition(&s).partitioned;
+        let mut sink = OutputSink::new(OutputMode::Aggregate, 512);
+        let cost = join_all_copartitions(&cfg, &pr, &ps, &mut sink);
+        assert!(cost.time(&cfg.device) > 0.0);
+        (sink.check(), JoinCheck::compute(&r, &s))
+    }
+
+    #[test]
+    fn hash_join_matches_oracle() {
+        let (got, want) = run(ProbeKind::HashJoin, 4096, 16384, 6);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_loop_matches_oracle() {
+        let (got, want) = run(ProbeKind::NestedLoop, 2048, 8192, 5);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn device_hash_matches_oracle() {
+        let (got, want) = run(ProbeKind::DeviceHashJoin, 4096, 16384, 6);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "identically partitioned")]
+    fn mismatched_partitioning_rejected() {
+        let cfg = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
+        let r = PartitionedRelation::new(1024, 3);
+        let s = PartitionedRelation::new(1024, 4);
+        let mut sink = OutputSink::new(OutputMode::Aggregate, 512);
+        let _ = join_all_copartitions(&cfg, &r, &s, &mut sink);
+    }
+
+    #[test]
+    fn bucket_hash_ignores_partition_bits() {
+        // Keys differing only in the low `shift` bits hash identically.
+        assert_eq!(bucket_hash(0b1010_0011, 4, 256), bucket_hash(0b1010_1111, 4, 256));
+        // Keys differing above the shift usually do not all collide.
+        let distinct: std::collections::HashSet<usize> =
+            (0..1024u32).map(|k| bucket_hash(k << 4, 4, 256)).collect();
+        assert!(distinct.len() > 200, "hash too degenerate: {}", distinct.len());
+    }
+
+    #[test]
+    fn bucket_hash_stays_in_range() {
+        for k in (0..100_000u32).step_by(97) {
+            assert!(bucket_hash(k, 8, 2048) < 2048);
+        }
+    }
+
+    #[test]
+    fn bucket_hash_single_bucket_degenerates_cleanly() {
+        // buckets = 1 is a power of two and passes config validation; the
+        // hash must not shift by 32 (debug-build overflow panic).
+        for k in [0u32, 1, 12345, u32::MAX] {
+            assert_eq!(bucket_hash(k, 0, 1), 0);
+        }
+    }
+}

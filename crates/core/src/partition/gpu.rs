@@ -1,0 +1,348 @@
+//! The multi-pass GPU radix partitioner (paper §III-A), execution-driven:
+//! it really moves every tuple into bucket chains while counting the
+//! hardware traffic each pass generates.
+
+use hcj_gpu::KernelCost;
+use hcj_workload::{Relation, Tuple};
+
+use crate::balance::round_robin_imbalance;
+use crate::config::{GpuJoinConfig, PassAssignment};
+use crate::partition::bucket::PartitionedRelation;
+use crate::radix::PassBits;
+
+/// Per-pass traffic and timing statistics.
+#[derive(Clone, Debug)]
+pub struct PassStats {
+    pub cost: KernelCost,
+    /// Modeled execution time: `cost.time(device) * imbalance`.
+    pub seconds: f64,
+    /// Load-imbalance factor across SMs (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Buckets drawn from the pool (each draw is one global atomic).
+    pub buckets_allocated: u64,
+}
+
+/// The result of fully partitioning one relation.
+#[derive(Clone, Debug)]
+pub struct PartitionOutcome {
+    pub partitioned: PartitionedRelation,
+    pub passes: Vec<PassStats>,
+}
+
+impl PartitionOutcome {
+    /// Sum of the per-pass modeled times.
+    pub fn total_seconds(&self) -> f64 {
+        self.passes.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Peak device memory held by partition buffers during the passes:
+    /// input + output pools coexist within a pass.
+    pub fn peak_pool_bytes(&self) -> u64 {
+        // Both the final pool and (transiently) its predecessor of equal
+        // tuple count existed; a 2x bound is what the strategies reserve.
+        2 * self.partitioned.pool.device_bytes()
+    }
+}
+
+/// Multi-pass GPU radix partitioner for a fixed configuration.
+pub struct GpuPartitioner<'a> {
+    pub config: &'a GpuJoinConfig,
+}
+
+impl<'a> GpuPartitioner<'a> {
+    pub fn new(config: &'a GpuJoinConfig) -> Self {
+        GpuPartitioner { config }
+    }
+
+    /// Partition `rel` into `2^config.radix_bits` bucket chains on the
+    /// low radix bits.
+    pub fn partition(&self, rel: &Relation) -> PartitionOutcome {
+        self.partition_with_base(rel, 0)
+    }
+
+    /// Partition on the key bits `[base_bits, base_bits +
+    /// config.radix_bits)` — the GPU-side refinement of a CPU partition in
+    /// the co-processing strategy (all of `rel` already shares its low
+    /// `base_bits`).
+    pub fn partition_with_base(&self, rel: &Relation, base_bits: u32) -> PartitionOutcome {
+        let plan = self.config.pass_plan();
+        let mut passes = Vec::with_capacity(plan.num_passes());
+
+        // First pass: coalesced scan of the input columns.
+        let first = plan.passes()[0];
+        let mut current =
+            PartitionedRelation::with_base(self.config.bucket_capacity, first.bits, base_bits);
+        let mut allocs = 0u64;
+        for t in rel.iter() {
+            let p = first.local_index(t.key >> base_bits) as usize;
+            if current.push(p, t) {
+                allocs += 1;
+            }
+        }
+        passes.push(self.pass_stats(first, rel.len() as u64, allocs, 1.0, 1));
+
+        // Refinement passes: scan the previous pass's bucket chains.
+        for &pass in &plan.passes()[1..] {
+            let (next, stats) = self.refine(&current, pass);
+            current = next;
+            passes.push(stats);
+        }
+
+        PartitionOutcome { partitioned: current, passes }
+    }
+
+    fn refine(
+        &self,
+        parent: &PartitionedRelation,
+        pass: PassBits,
+    ) -> (PartitionedRelation, PassStats) {
+        let new_bits = pass.shift + pass.bits;
+        let mut next = PartitionedRelation::with_base(
+            self.config.bucket_capacity,
+            new_bits,
+            parent.base_bits,
+        );
+        let mut allocs = 0u64;
+        // Work units for load balancing: buckets (bucket-at-a-time) or
+        // whole chains (partition-at-a-time). The functional result is
+        // identical; only the imbalance factor and the per-unit metadata
+        // re-initialization differ (paper §III-A).
+        let mut unit_weights: Vec<u64> = Vec::new();
+        for p in 0..parent.fanout() {
+            if parent.chains[p].is_empty() {
+                continue;
+            }
+            match self.config.assignment {
+                PassAssignment::BucketAtATime => {
+                    for b in parent.buckets_of(p) {
+                        unit_weights.push(parent.pool.len_of(b) as u64);
+                    }
+                }
+                PassAssignment::PartitionAtATime => {
+                    unit_weights.push(parent.partition_len(p));
+                }
+            }
+            for t in parent.tuples_of(p) {
+                let g = pass.global_index(p as u32, t.key >> parent.base_bits) as usize;
+                if next.push(g, Tuple { key: t.key, payload: t.payload }) {
+                    allocs += 1;
+                }
+            }
+        }
+        let sms = self.config.device.sms as usize;
+        let imbalance = round_robin_imbalance(&unit_weights, sms);
+        let n = parent.total_tuples();
+        let stats = self.pass_stats(pass, n, allocs, imbalance, unit_weights.len().max(1) as u64);
+        (next, stats)
+    }
+
+    /// Traffic model of one pass over `n` tuples with `units` work units
+    /// (each unit re-initializes the per-partition metadata in shared
+    /// memory).
+    fn pass_stats(
+        &self,
+        pass: PassBits,
+        n: u64,
+        buckets_allocated: u64,
+        imbalance: f64,
+        units: u64,
+    ) -> PassStats {
+        let mut cost = KernelCost::ZERO;
+        // Coalesced streaming: read the tuples, write them to their new
+        // buckets (the shared-memory shuffle is what keeps writes
+        // coalesced, §III-A).
+        cost.add_coalesced(8 * n); // read keys+payloads
+        cost.add_coalesced(8 * n); // write to bucket chains
+        // Every tuple is staged into and out of the shuffle tile.
+        cost.add_shared(2 * 8 * n);
+        // One shared-memory atomic per tuple: the partition's offset
+        // counter.
+        cost.add_shared_atomics(n);
+        // Partition-index arithmetic and flow control.
+        cost.add_instructions(10 * n);
+        // Pool allocations are device-memory atomics plus a random write
+        // linking the chain.
+        cost.add_global_atomics(buckets_allocated);
+        cost.add_random(buckets_allocated);
+        // Per-unit metadata (re)initialization: one offset + one bucket
+        // pointer per in-flight partition of this pass, plus fetching the
+        // unit's chain descriptors from device memory — the "more time
+        // initializing internal data structures and accessing data in the
+        // GPU memory" that bucket-at-a-time pays on uniform inputs
+        // (paper §III-A; fine units = many fetches).
+        let fanout = u64::from(pass.fanout());
+        cost.add_shared(units * fanout * 8);
+        cost.add_instructions(units * fanout);
+        cost.add_random(2 * units);
+        let seconds = cost.time(&self.config.device) * imbalance;
+        PassStats { cost, seconds, imbalance, buckets_allocated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::DeviceSpec;
+    use hcj_workload::{KeyDistribution, RelationSpec};
+    use std::collections::HashMap;
+
+    fn config(radix_bits: u32) -> GpuJoinConfig {
+        let mut c = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
+        c.radix_bits = radix_bits;
+        c.bucket_capacity = 1024;
+        c.partition_block_threads = 1024;
+        c
+    }
+
+    fn check_is_correct_partition(rel: &Relation, out: &PartitionedRelation) {
+        let mask = (out.fanout() - 1) as u32;
+        let mut seen = 0u64;
+        for p in 0..out.fanout() {
+            for t in out.tuples_of(p) {
+                assert_eq!(t.key & mask, p as u32, "tuple in wrong partition");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, rel.len() as u64, "tuples lost or duplicated");
+        // Multiset equality via key counts.
+        let mut want: HashMap<u32, i64> = HashMap::new();
+        for t in rel.iter() {
+            *want.entry(t.key).or_default() += 1;
+        }
+        for p in 0..out.fanout() {
+            for t in out.tuples_of(p) {
+                *want.entry(t.key).or_default() -= 1;
+            }
+        }
+        assert!(want.values().all(|&c| c == 0), "multiset mismatch");
+    }
+
+    #[test]
+    fn single_pass_partitions_correctly() {
+        let rel = RelationSpec::unique(10_000, 1).generate();
+        let cfg = config(6);
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        assert_eq!(out.passes.len(), 1);
+        check_is_correct_partition(&rel, &out.partitioned);
+    }
+
+    #[test]
+    fn multi_pass_partitions_correctly() {
+        let rel = RelationSpec::unique(50_000, 2).generate();
+        let cfg = config(12); // two passes of 6 bits
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        assert_eq!(out.passes.len(), 2);
+        assert_eq!(out.partitioned.fanout(), 1 << 12);
+        check_is_correct_partition(&rel, &out.partitioned);
+    }
+
+    #[test]
+    fn zero_bits_gives_one_partition() {
+        let rel = RelationSpec::unique(1000, 3).generate();
+        let cfg = config(0);
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        assert_eq!(out.partitioned.fanout(), 1);
+        assert_eq!(out.partitioned.partition_len(0), 1000);
+    }
+
+    #[test]
+    fn uniform_partition_sizes_are_even() {
+        let rel = RelationSpec::unique(1 << 16, 4).generate();
+        let cfg = config(8);
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        for p in 0..256 {
+            assert_eq!(out.partitioned.partition_len(p), 256);
+        }
+    }
+
+    #[test]
+    fn passes_report_positive_time_and_traffic() {
+        let rel = RelationSpec::unique(100_000, 5).generate();
+        let cfg = config(10);
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        for pass in &out.passes {
+            assert!(pass.seconds > 0.0);
+            assert!(pass.cost.coalesced_bytes >= 2 * 8 * 100_000);
+            assert!(pass.imbalance >= 1.0);
+        }
+        assert!(out.total_seconds() > 0.0);
+        assert!(out.peak_pool_bytes() > 0);
+    }
+
+    #[test]
+    fn skew_hurts_partition_at_a_time_more() {
+        let rel = RelationSpec {
+            tuples: 200_000,
+            distribution: KeyDistribution::Zipf { distinct: 1 << 20, theta: 1.0 },
+            payload_width: 4,
+            seed: 6,
+        }
+        .generate();
+        let mut bucket_cfg = config(12);
+        bucket_cfg.assignment = PassAssignment::BucketAtATime;
+        let mut chain_cfg = config(12);
+        chain_cfg.assignment = PassAssignment::PartitionAtATime;
+        let by_bucket = GpuPartitioner::new(&bucket_cfg).partition(&rel);
+        let by_chain = GpuPartitioner::new(&chain_cfg).partition(&rel);
+        // Functional results agree.
+        assert_eq!(by_bucket.partitioned.total_tuples(), by_chain.partitioned.total_tuples());
+        // The refinement pass (index 1) must be more imbalanced per chain.
+        assert!(
+            by_chain.passes[1].imbalance > by_bucket.passes[1].imbalance,
+            "chain {} vs bucket {}",
+            by_chain.passes[1].imbalance,
+            by_bucket.passes[1].imbalance
+        );
+        assert!(by_chain.passes[1].seconds > by_bucket.passes[1].seconds);
+    }
+
+    #[test]
+    fn uniform_favors_partition_at_a_time() {
+        // For uniform data, bucket-at-a-time pays more metadata
+        // re-initialization (the trade-off the paper accepts).
+        let rel = RelationSpec::unique(1 << 18, 7).generate();
+        let mut bucket_cfg = config(14);
+        bucket_cfg.assignment = PassAssignment::BucketAtATime;
+        bucket_cfg.bucket_capacity = 1024;
+        let mut chain_cfg = bucket_cfg.clone();
+        chain_cfg.assignment = PassAssignment::PartitionAtATime;
+        let by_bucket = GpuPartitioner::new(&bucket_cfg).partition(&rel);
+        let by_chain = GpuPartitioner::new(&chain_cfg).partition(&rel);
+        assert!(
+            by_bucket.passes[1].cost.shared_bytes > by_chain.passes[1].cost.shared_bytes,
+            "bucket-at-a-time must pay more per-unit init traffic"
+        );
+    }
+
+    #[test]
+    fn base_shift_partitions_on_higher_bits() {
+        // All keys share the low nibble 0x3 (as if CPU-partitioned 16-way);
+        // the GPU refines on bits [4, 10).
+        let rel: Relation = (0..4096u32)
+            .map(|i| hcj_workload::Tuple { key: (i << 4) | 0x3, payload: i })
+            .collect();
+        let cfg = config(6);
+        let out = GpuPartitioner::new(&cfg).partition_with_base(&rel, 4);
+        assert_eq!(out.partitioned.base_bits, 4);
+        assert_eq!(out.partitioned.fixed_bits(), 10);
+        let mut seen = 0u64;
+        for p in 0..out.partitioned.fanout() {
+            for t in out.partitioned.tuples_of(p) {
+                assert_eq!(((t.key >> 4) & 0x3F) as usize, p);
+                assert_eq!(t.key & 0xF, 0x3);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 4096);
+    }
+
+    #[test]
+    fn bucket_allocations_match_chain_structure() {
+        let rel = RelationSpec::unique(10_000, 8).generate();
+        let cfg = config(4);
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        let total_buckets: usize =
+            (0..out.partitioned.fanout()).map(|p| out.partitioned.chain_buckets(p)).sum();
+        assert_eq!(out.passes[0].buckets_allocated, total_buckets as u64);
+    }
+}

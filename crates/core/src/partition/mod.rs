@@ -1,0 +1,15 @@
+//! Radix partitioning on the (modeled) GPU.
+//!
+//! The output layout follows paper §III-A: each partition is a linked list
+//! of fixed-capacity buckets drawn from a preallocated pool. Bucket
+//! capacity is a multiple of the thread-block size so that chain scans stay
+//! coalesced; metadata (per-partition fill offset + current bucket) lives
+//! in shared memory during a pass.
+
+mod bucket;
+pub(crate) mod gpu;
+mod histogram;
+
+pub use bucket::{BucketPool, PartitionChain, PartitionedRelation, NIL_BUCKET};
+pub use gpu::{GpuPartitioner, PartitionOutcome, PassStats};
+pub use histogram::HistogramPartitioner;

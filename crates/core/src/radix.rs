@@ -1,0 +1,219 @@
+//! Radix arithmetic and multi-pass planning.
+//!
+//! Radix partitioning assigns tuple `t` to partition `t.key & (2^B - 1)`,
+//! where `B` is the total number of radix bits. A single pass with fanout
+//! `2^B` would blow the shared-memory budget (each in-flight partition
+//! needs metadata and shuffle space in shared memory, §III-A), so the bits
+//! are split across passes: pass *i* refines on bits
+//! `[done_i, done_i + b_i)`, exactly like the TLB-bounded multi-pass radix
+//! join on CPUs (Boncz et al.).
+
+/// The bit range one partitioning pass refines on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassBits {
+    /// Bits already consumed by earlier passes (shift amount).
+    pub shift: u32,
+    /// Bits this pass consumes (fanout = `2^bits`).
+    pub bits: u32,
+}
+
+impl PassBits {
+    /// Fanout of this pass.
+    pub fn fanout(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// The local partition index of `key` within its parent partition.
+    pub fn local_index(&self, key: u32) -> u32 {
+        (key >> self.shift) & (self.fanout() - 1)
+    }
+
+    /// The global partition index after this pass, given the parent's
+    /// global index (which encodes the low `shift` bits).
+    pub fn global_index(&self, parent: u32, key: u32) -> u32 {
+        parent | (self.local_index(key) << self.shift)
+    }
+}
+
+/// A multi-pass plan consuming `total_bits` in passes of at most
+/// `max_bits_per_pass`.
+///
+/// ```
+/// use hcj_core::radix::PassPlan;
+///
+/// // The paper's 2^15 partitions under an 8-bit-per-pass fanout limit.
+/// let plan = PassPlan::new(15, 8);
+/// assert_eq!(plan.num_passes(), 2);
+/// assert_eq!(plan.fanout(), 1 << 15);
+/// // Pass-local indices compose to the final radix partition.
+/// let key = 0xDEAD_BEEFu32;
+/// let mut global = 0;
+/// for pass in plan.passes() {
+///     global = pass.global_index(global, key);
+/// }
+/// assert_eq!(global, plan.partition_of(key));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassPlan {
+    passes: Vec<PassBits>,
+    total_bits: u32,
+}
+
+impl PassPlan {
+    /// Split `total_bits` as evenly as possible into
+    /// `ceil(total / max_per_pass)` passes (even splits keep every pass
+    /// under the shared-memory fanout limit with headroom).
+    pub fn new(total_bits: u32, max_bits_per_pass: u32) -> Self {
+        assert!(total_bits <= 27, "2^{total_bits} partitions is beyond any sane configuration");
+        assert!(max_bits_per_pass >= 1, "need at least one bit per pass");
+        let n_passes = total_bits.div_ceil(max_bits_per_pass).max(1);
+        let mut passes = Vec::with_capacity(n_passes as usize);
+        let mut remaining = total_bits;
+        let mut shift = 0;
+        for i in 0..n_passes {
+            let left = n_passes - i;
+            let bits = remaining.div_ceil(left);
+            passes.push(PassBits { shift, bits });
+            shift += bits;
+            remaining -= bits;
+        }
+        PassPlan { passes, total_bits }
+    }
+
+    pub fn passes(&self) -> &[PassBits] {
+        &self.passes
+    }
+
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Total number of final partitions.
+    pub fn fanout(&self) -> u32 {
+        1 << self.total_bits
+    }
+
+    /// Final partition of `key`.
+    pub fn partition_of(&self, key: u32) -> u32 {
+        key & (self.fanout() - 1)
+    }
+}
+
+/// Radix bits needed so that `tuples / 2^bits <= target_partition_size`
+/// (expected size under a uniform distribution).
+pub fn bits_for_partition_size(tuples: usize, target_partition_size: usize) -> u32 {
+    assert!(target_partition_size > 0);
+    let mut bits = 0u32;
+    while (tuples >> bits) > target_partition_size {
+        bits += 1;
+    }
+    bits
+}
+
+/// The key bits that may still differ between two keys of the same final
+/// partition, bounded by the key domain: bits `[total_bits, bits_of(max))`.
+/// This is the `{indexes of bits that may differ}` set of paper Listing 1.
+pub fn differing_bits(total_partition_bits: u32, max_key: u32) -> Vec<u32> {
+    let high = 32 - max_key.leading_zeros(); // bits needed for the domain
+    (total_partition_bits..high.max(total_partition_bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_pass_plan() {
+        let p = PassPlan::new(6, 8);
+        assert_eq!(p.num_passes(), 1);
+        assert_eq!(p.passes()[0], PassBits { shift: 0, bits: 6 });
+        assert_eq!(p.fanout(), 64);
+    }
+
+    #[test]
+    fn two_even_passes_for_15_bits() {
+        // The paper's 2^15 partitions in two passes.
+        let p = PassPlan::new(15, 8);
+        assert_eq!(p.num_passes(), 2);
+        assert_eq!(p.passes()[0], PassBits { shift: 0, bits: 8 });
+        assert_eq!(p.passes()[1], PassBits { shift: 8, bits: 7 });
+        assert_eq!(p.fanout(), 1 << 15);
+    }
+
+    #[test]
+    fn zero_bits_is_one_identity_pass() {
+        let p = PassPlan::new(0, 8);
+        assert_eq!(p.num_passes(), 1);
+        assert_eq!(p.fanout(), 1);
+        assert_eq!(p.partition_of(12345), 0);
+    }
+
+    #[test]
+    fn pass_indices_compose_to_final_partition() {
+        let plan = PassPlan::new(11, 4);
+        for key in [0u32, 1, 255, 12345, 0xFFFF_FFFF, 0xDEAD_BEEF] {
+            let mut global = 0u32;
+            for pass in plan.passes() {
+                global = pass.global_index(global, key);
+            }
+            assert_eq!(global, plan.partition_of(key), "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn bits_for_partition_size_hits_target() {
+        assert_eq!(bits_for_partition_size(2_000_000, 1024), 11);
+        assert_eq!(bits_for_partition_size(1024, 1024), 0);
+        assert_eq!(bits_for_partition_size(1025, 1024), 1);
+        assert_eq!(bits_for_partition_size(0, 16), 0);
+    }
+
+    #[test]
+    fn differing_bits_covers_domain_above_partition_bits() {
+        assert_eq!(differing_bits(4, 255), vec![4, 5, 6, 7]);
+        assert_eq!(differing_bits(8, 255), Vec::<u32>::new());
+        assert_eq!(differing_bits(0, 1), vec![0]);
+        // 2M keys need 21 bits; with 15 partition bits, 6 bits can differ.
+        assert_eq!(differing_bits(15, 2_000_000).len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn composition_matches_direct_partition(
+            key in any::<u32>(),
+            total in 1u32..16,
+            per_pass in 1u32..8,
+        ) {
+            let plan = PassPlan::new(total, per_pass);
+            let mut global = 0u32;
+            for pass in plan.passes() {
+                global = pass.global_index(global, key);
+            }
+            prop_assert_eq!(global, plan.partition_of(key));
+        }
+
+        #[test]
+        fn pass_bits_sum_to_total(total in 0u32..20, per_pass in 1u32..9) {
+            let plan = PassPlan::new(total, per_pass);
+            let sum: u32 = plan.passes().iter().map(|p| p.bits).sum();
+            prop_assert_eq!(sum, total);
+            for p in plan.passes() {
+                prop_assert!(p.bits <= per_pass);
+            }
+        }
+
+        #[test]
+        fn bits_for_size_is_minimal(tuples in 1usize..5_000_000, target in 1usize..10_000) {
+            let bits = bits_for_partition_size(tuples, target);
+            prop_assert!((tuples >> bits) <= target);
+            if bits > 0 {
+                prop_assert!((tuples >> (bits - 1)) > target);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The timing model for the CPU baselines.
+//!
+//! Functional execution validates *what* PRO/NPO compute; this module
+//! computes *how long* the paper's 48-thread Xeon box takes, from the
+//! calibrated per-thread rates in [`HostSpec`]:
+//!
+//! * partitioning consumes input at `per_thread_partition_bw` per thread
+//!   per pass, capped by the machine's aggregate DRAM bandwidth;
+//! * cache-resident per-partition joins run at
+//!   `per_thread_join_tuples_per_s`;
+//! * probes whose working set outgrows the LLC decay toward
+//!   `per_thread_uncached_probe_tuples_per_s` in proportion to the miss
+//!   ratio `1 - llc/working_set` — the mechanism behind both NPO's decay
+//!   with table size (Fig. 8) and PRO's slow decline at huge inputs where
+//!   the TLB-bounded fanout can no longer produce cache-sized partitions
+//!   (Fig. 12).
+
+use hcj_host::HostSpec;
+use hcj_workload::oracle::{JoinCheck, JoinRow};
+
+/// Result of a CPU baseline join.
+#[derive(Clone, Debug)]
+pub struct CpuJoinOutcome {
+    pub check: JoinCheck,
+    pub rows: Option<Vec<JoinRow>>,
+    pub seconds: f64,
+    pub tuples_in: u64,
+}
+
+impl CpuJoinOutcome {
+    pub fn throughput_tuples_per_s(&self) -> f64 {
+        self.tuples_in as f64 / self.seconds
+    }
+}
+
+/// Effective aggregate partitioning bandwidth (bytes of input consumed per
+/// second) for `threads` threads: linear scaling capped by DRAM.
+pub fn partition_bw(host: &HostSpec, threads: u32) -> f64 {
+    let linear = host.partition_bw(threads);
+    let mem_cap = 0.9 * host.socket_mem_bandwidth * f64::from(host.sockets)
+        / host.partition_mem_amplification;
+    linear.min(mem_cap)
+}
+
+/// Seconds to radix-partition `bytes` of input in `passes` passes.
+pub fn partition_seconds(host: &HostSpec, threads: u32, bytes: u64, passes: u32) -> f64 {
+    bytes as f64 * f64::from(passes) / partition_bw(host, threads)
+}
+
+/// Per-thread probe/join rate (tuples/s) for a working set of
+/// `working_set_bytes` against `llc_bytes` of cache: full speed when it
+/// fits, linear blend toward the uncached rate with the miss fraction.
+pub fn probe_rate(host: &HostSpec, working_set_bytes: u64, llc_bytes: u64) -> f64 {
+    let cached = host.per_thread_join_tuples_per_s;
+    let uncached = host.per_thread_uncached_probe_tuples_per_s;
+    if working_set_bytes <= llc_bytes {
+        return cached;
+    }
+    let hit = llc_bytes as f64 / working_set_bytes as f64;
+    uncached + (cached - uncached) * hit
+}
+
+/// Seconds for `tuples` of build+probe work across `threads` threads at a
+/// per-thread `rate`.
+pub fn join_seconds(threads: u32, tuples: u64, rate: f64) -> f64 {
+    tuples as f64 / (f64::from(threads) * rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostSpec {
+        HostSpec::dual_xeon_e5_2650l_v3()
+    }
+
+    #[test]
+    fn partition_bw_scales_then_caps() {
+        let h = host();
+        assert_eq!(partition_bw(&h, 4), 10.0e9);
+        assert_eq!(partition_bw(&h, 16), 40.0e9);
+        // 48 threads would demand 120 GB/s of input; DRAM caps it.
+        let cap = partition_bw(&h, 48);
+        assert!(cap < 120.0e9 * 0.9);
+        assert!((cap - 0.9 * 2.0 * 55.0e9 / 2.0).abs() < 1e6);
+    }
+
+    #[test]
+    fn probe_rate_decays_with_working_set() {
+        let h = host();
+        let llc = 30 * 1024 * 1024;
+        let fast = probe_rate(&h, llc / 2, llc);
+        let half = probe_rate(&h, 2 * llc, llc);
+        let slow = probe_rate(&h, 100 * llc, llc);
+        assert_eq!(fast, h.per_thread_join_tuples_per_s);
+        assert!(half < fast && half > slow);
+        assert!(slow < 1.2 * h.per_thread_uncached_probe_tuples_per_s);
+    }
+
+    #[test]
+    fn pro_at_48_threads_lands_near_the_papers_half_billion() {
+        // Sanity-check the calibration end to end: 2 x 64M tuples, 2-pass
+        // partitioning, cache-resident partitions.
+        let h = host();
+        let tuples = 128_000_000u64;
+        let bytes = tuples * 8;
+        let t = partition_seconds(&h, 48, bytes, 2)
+            + join_seconds(48, tuples, h.per_thread_join_tuples_per_s);
+        let tput = tuples as f64 / t;
+        assert!(
+            (0.3e9..0.8e9).contains(&tput),
+            "PRO-shaped throughput at 48 threads = {tput:.3e}"
+        );
+    }
+
+    #[test]
+    fn outcome_throughput() {
+        let o = CpuJoinOutcome {
+            check: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+            rows: None,
+            seconds: 2.0,
+            tuples_in: 10,
+        };
+        assert_eq!(o.throughput_tuples_per_s(), 5.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! A behavioural model of DBMS-X, the commercial code-generating GPU
+//! engine of paper §V-C.
+//!
+//! Published behaviour reproduced here:
+//!
+//! * joins run as non-partitioned GPU hash joins over GPU-cached columns
+//!   while the build cardinality stays within a 32 M-tuple internal limit
+//!   (the paper suspects an integer-width issue);
+//! * past the limit, data stays CPU-resident and the join executes with
+//!   zero-copy accesses across PCIe — throughput collapses by an order of
+//!   magnitude (Fig. 15's right edge);
+//! * working sets that exhaust the allocator make the query error out
+//!   (the SF 100 lineitem ⨝ orders failure of Fig. 14).
+
+use hcj_core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hcj_core::OutputMode;
+use hcj_gpu::{DeviceSpec, UvaAccessPattern};
+use hcj_workload::Relation;
+
+use crate::result::{EngineError, EngineResult};
+
+/// Build-side cardinality up to which DBMS-X keeps data GPU-resident.
+pub const GPU_CACHE_TUPLE_LIMIT: usize = 32_000_000;
+
+/// Fraction of device memory the engine's allocator can actually give to
+/// one query's working set before erroring.
+pub const ALLOCATOR_FRACTION: f64 = 0.68;
+
+/// The DBMS-X model.
+#[derive(Clone, Debug)]
+pub struct DbmsXLike {
+    pub device: DeviceSpec,
+    /// Fixed per-query overhead of the codegen/driver stack, seconds.
+    pub query_overhead_s: f64,
+    /// Build-side cardinality up to which the engine keeps data
+    /// GPU-resident (defaults to the published 32 M; scaled-down
+    /// experiments scale it with the device).
+    pub gpu_cache_tuple_limit: usize,
+}
+
+impl DbmsXLike {
+    pub fn new(device: DeviceSpec) -> Self {
+        DbmsXLike {
+            device,
+            query_overhead_s: 3.0e-3,
+            gpu_cache_tuple_limit: GPU_CACHE_TUPLE_LIMIT,
+        }
+    }
+
+    /// Scale the caching limit along with a scaled device capacity.
+    pub fn with_cache_limit(mut self, tuples: usize) -> Self {
+        self.gpu_cache_tuple_limit = tuples;
+        self
+    }
+
+    /// Run R ⨝ S (warm: repeated executions, data wherever the engine
+    /// caches it — the paper's protocol).
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<EngineResult, EngineError> {
+        let ws_bytes = r.bytes() + s.bytes();
+        let limit = (self.device.device_mem_bytes as f64 * ALLOCATOR_FRACTION) as u64;
+        let gpu_resident = self.runs_gpu_resident(r, s);
+        if gpu_resident && ws_bytes > limit {
+            // It tried to place the working set on the GPU and the
+            // allocator gave up — the Fig. 14 SF100-orders error.
+            return Err(EngineError::WorkingSetTooLarge {
+                bytes: ws_bytes,
+                limit,
+                detail: "DBMS-X allocator failed to place the working set",
+            });
+        }
+
+        // The join itself: a non-partitioned chained hash join (the class
+        // of plan its code generator emits).
+        let join = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate);
+        let out = join.execute(r, s);
+        let kernel_s = out.kernel_seconds(&self.device);
+
+        let seconds = if gpu_resident {
+            self.query_overhead_s + kernel_s
+        } else {
+            // CPU-resident execution: the probe stream crosses PCIe
+            // sequentially, every hash-table access crosses it scattered.
+            let stream = UvaAccessPattern::Sequential.transfer_time(&self.device, ws_bytes);
+            // ~3 random accesses per probe (head, key, payload).
+            let lookups = UvaAccessPattern::RandomSector { access_bytes: 8 }
+                .transfer_time(&self.device, 3 * 8 * s.len() as u64);
+            self.query_overhead_s + kernel_s.max(stream + lookups)
+        };
+
+        Ok(EngineResult {
+            engine: "DBMS-X (model)",
+            check: out.check,
+            seconds,
+            tuples_in: (r.len() + s.len()) as u64,
+        })
+    }
+
+    /// Whether this input would run GPU-resident (Fig. 15 annotation).
+    pub fn runs_gpu_resident(&self, r: &Relation, s: &Relation) -> bool {
+        r.len() <= self.gpu_cache_tuple_limit && s.len() <= self.gpu_cache_tuple_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_workload::generate::canonical_pair;
+    use hcj_workload::oracle::JoinCheck;
+
+    fn engine() -> DbmsXLike {
+        DbmsXLike::new(DeviceSpec::gtx1080())
+    }
+
+    #[test]
+    fn small_join_runs_gpu_resident_and_correct() {
+        let (r, s) = canonical_pair(100_000, 100_000, 91);
+        let e = engine();
+        assert!(e.runs_gpu_resident(&r, &s));
+        let out = e.execute(&r, &s).unwrap();
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+        assert!(out.seconds > 0.0);
+    }
+
+    #[test]
+    fn beyond_32m_tuples_falls_off_a_cliff() {
+        // Use the model interface at reduced functional size but with the
+        // real thresholds exercised through a shrunken device: instead,
+        // compare the same data on both sides of the limit by lowering the
+        // constant via direct calls. Here: two sizes straddling the limit
+        // are too slow to generate functionally, so check the mechanism at
+        // small scale by comparing resident vs forced-CPU timing paths.
+        let (r, s) = canonical_pair(200_000, 200_000, 92);
+        let e = engine();
+        let resident = e.execute(&r, &s).unwrap();
+        // Force the CPU-resident path by making a fake >32M flag via a
+        // relation length check is not possible without generating 32M
+        // tuples; approximate by computing the model's CPU path directly.
+        let ws = r.bytes() + s.bytes();
+        let stream = UvaAccessPattern::Sequential.transfer_time(&e.device, ws);
+        let lookups = UvaAccessPattern::RandomSector { access_bytes: 8 }
+            .transfer_time(&e.device, 3 * 8 * s.len() as u64);
+        let cpu_path = stream + lookups;
+        assert!(
+            cpu_path > 3.0 * (resident.seconds - e.query_overhead_s),
+            "cpu path {cpu_path} vs resident kernel {}",
+            resident.seconds
+        );
+    }
+
+    #[test]
+    fn oversized_working_set_errors() {
+        // A shrunken device makes the allocator limit reachable at test
+        // scale.
+        let mut e = engine();
+        e.device = e.device.scaled_capacity(1 << 12); // 2 MB
+        let (r, s) = canonical_pair(150_000, 150_000, 93); // 2.4 MB
+        let err = e.execute(&r, &s).unwrap_err();
+        assert!(matches!(err, EngineError::WorkingSetTooLarge { .. }));
+    }
+}

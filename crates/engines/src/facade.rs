@@ -1,0 +1,168 @@
+//! The hcj engine facade: the paper's "customize the join algorithm based
+//! on data location" planner (§IV intro, Fig. 15's adaptive behaviour).
+//!
+//! Given two host-resident relations, the planner estimates the device
+//! working set of each strategy and picks:
+//!
+//! 1. the in-GPU partitioned join when inputs + partition pools fit device
+//!    memory (data is loaded once and cached, the paper's warm protocol);
+//! 2. the streamed-probe join when only the build side (plus its
+//!    partitions and chunk buffers) fits;
+//! 3. CPU–GPU co-processing otherwise.
+
+use hcj_core::{
+    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, JoinOutcome, StreamedProbeConfig,
+    StreamedProbeJoin,
+};
+use hcj_core::GpuPartitionedJoin;
+use hcj_workload::Relation;
+
+use crate::result::EngineResult;
+
+/// Which strategy the planner chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedStrategy {
+    GpuResident,
+    StreamedProbe,
+    CoProcessing,
+}
+
+/// The paper's engine: planner + the strategy family of `hcj-core`.
+#[derive(Clone, Debug)]
+pub struct HcjEngine {
+    pub config: GpuJoinConfig,
+    /// Peak-footprint factor per partitioned relation: with bucket-pool
+    /// recycling a relation's input and partitioned form never coexist,
+    /// so the peak is ~1.3x the inputs (chain slack + transients), not 3x.
+    pub pool_factor: f64,
+}
+
+impl HcjEngine {
+    pub fn new(config: GpuJoinConfig) -> Self {
+        HcjEngine { config, pool_factor: 1.3 }
+    }
+
+    /// Decide the strategy for the given input sizes.
+    pub fn plan(&self, r: &Relation, s: &Relation) -> PlannedStrategy {
+        let capacity = self.config.device.device_mem_bytes;
+        let resident_need = ((r.bytes() + s.bytes()) as f64 * self.pool_factor) as u64;
+        if resident_need <= capacity {
+            return PlannedStrategy::GpuResident;
+        }
+        // Streamed probe: R (recycled into its partitions) + two chunk
+        // buffers (chunk = R/2, the paper's rule).
+        let stream_need = (r.bytes() as f64 * (1.0 + self.pool_factor)) as u64;
+        if stream_need <= capacity {
+            return PlannedStrategy::StreamedProbe;
+        }
+        PlannedStrategy::CoProcessing
+    }
+
+    /// Plan and execute; the smaller relation becomes the build side.
+    ///
+    /// The plan is an *estimate* (bucket-pool slack depends on the data);
+    /// if the chosen strategy reports out-of-device-memory at run time the
+    /// engine escalates to the next one, exactly as the paper's system
+    /// "reverts into the streaming variant" when residency fails (§V-C).
+    pub fn execute(&self, r: &Relation, s: &Relation) -> (PlannedStrategy, JoinOutcome) {
+        let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
+        let mut strategy = self.plan(build, probe);
+        loop {
+            let attempt = match strategy {
+                PlannedStrategy::GpuResident => {
+                    GpuPartitionedJoin::new(self.config.clone()).execute(build, probe)
+                }
+                PlannedStrategy::StreamedProbe => {
+                    StreamedProbeJoin::new(StreamedProbeConfig::paper_default(self.config.clone()))
+                        .execute(build, probe)
+                }
+                PlannedStrategy::CoProcessing => {
+                    return (
+                        PlannedStrategy::CoProcessing,
+                        CoProcessingJoin::new(CoProcessingConfig::paper_default(
+                            self.config.clone(),
+                        ))
+                        .execute(build, probe)
+                        .expect("co-processing needs only the working-set budget and chunk buffers"),
+                    );
+                }
+            };
+            match attempt {
+                Ok(outcome) => return (strategy, outcome),
+                Err(_) => {
+                    strategy = match strategy {
+                        PlannedStrategy::GpuResident => PlannedStrategy::StreamedProbe,
+                        _ => PlannedStrategy::CoProcessing,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Execute and wrap as an [`EngineResult`] for the engine comparisons.
+    pub fn run(&self, r: &Relation, s: &Relation) -> EngineResult {
+        let (_, outcome) = self.execute(r, s);
+        EngineResult {
+            engine: "hcj (this paper)",
+            check: outcome.check,
+            seconds: outcome.total_seconds(),
+            tuples_in: outcome.tuples_in,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::DeviceSpec;
+    use hcj_workload::generate::canonical_pair;
+    use hcj_workload::oracle::JoinCheck;
+
+    fn engine(scale: u64, tuples: usize, bits: u32) -> HcjEngine {
+        let device = DeviceSpec::gtx1080().scaled_capacity(scale);
+        HcjEngine::new(
+            GpuJoinConfig::paper_default(device).with_radix_bits(bits).with_tuned_buckets(tuples),
+        )
+    }
+
+    #[test]
+    fn small_inputs_plan_gpu_resident() {
+        let (r, s) = canonical_pair(10_000, 10_000, 101);
+        let e = engine(1, 10_000, 8);
+        assert_eq!(e.plan(&r, &s), PlannedStrategy::GpuResident);
+        let (strategy, out) = e.execute(&r, &s);
+        assert_eq!(strategy, PlannedStrategy::GpuResident);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn big_probe_plans_streamed() {
+        // Device 2 MB; R 80 KB, S 3.2 MB: R fits with pools, R+S does not.
+        let (r, s) = canonical_pair(10_000, 400_000, 102);
+        let e = engine(1 << 12, 10_000, 8);
+        assert_eq!(e.plan(&r, &s), PlannedStrategy::StreamedProbe);
+        let (strategy, out) = e.execute(&r, &s);
+        assert_eq!(strategy, PlannedStrategy::StreamedProbe);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn nothing_fits_plans_coprocessing() {
+        // Device 256 KB; both sides ~1.6 MB.
+        let (r, s) = canonical_pair(200_000, 200_000, 103);
+        let e = engine(1 << 15, 200_000 / 16, 12);
+        assert_eq!(e.plan(&r, &s), PlannedStrategy::CoProcessing);
+        let (strategy, out) = e.execute(&r, &s);
+        assert_eq!(strategy, PlannedStrategy::CoProcessing);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn build_side_is_the_smaller_relation() {
+        let (r, s) = canonical_pair(50_000, 5_000, 104);
+        // r is larger here: the engine must swap.
+        let e = engine(1, 5_000, 8);
+        let (_, out) = e.execute(&r, &s);
+        assert_eq!(out.check, JoinCheck::compute(&s, &r));
+    }
+}

@@ -1,0 +1,73 @@
+//! Common result type for engine-level runs.
+
+use std::fmt;
+
+use hcj_workload::oracle::JoinCheck;
+
+/// Why an engine could not produce a result (both comparator systems fail
+/// on parts of the paper's workloads — Figs. 14–15 annotate these).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine refused or crashed on this working-set size.
+    WorkingSetTooLarge { bytes: u64, limit: u64, detail: &'static str },
+    /// Data loading failed (CoGaDB's internal resize failure at SF 100).
+    LoadFailed { bytes: u64, detail: &'static str },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkingSetTooLarge { bytes, limit, detail } => {
+                write!(f, "working set of {bytes} B exceeds engine limit {limit} B: {detail}")
+            }
+            EngineError::LoadFailed { bytes, detail } => {
+                write!(f, "failed to load {bytes} B: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A successful engine run.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Engine name, for reports.
+    pub engine: &'static str,
+    /// Join correctness summary (every engine model really computes it).
+    pub check: JoinCheck,
+    /// Modeled end-to-end seconds (warm: data already loaded where the
+    /// engine keeps it, matching the paper's measurement protocol).
+    pub seconds: f64,
+    pub tuples_in: u64,
+}
+
+impl EngineResult {
+    pub fn throughput_tuples_per_s(&self) -> f64 {
+        self.tuples_in as f64 / self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format() {
+        let e = EngineError::WorkingSetTooLarge { bytes: 100, limit: 50, detail: "allocator" };
+        assert!(e.to_string().contains("exceeds engine limit"));
+        let e = EngineError::LoadFailed { bytes: 7, detail: "resize" };
+        assert!(e.to_string().contains("failed to load"));
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = EngineResult {
+            engine: "x",
+            check: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+            seconds: 0.5,
+            tuples_in: 100,
+        };
+        assert_eq!(r.throughput_tuples_per_s(), 200.0);
+    }
+}

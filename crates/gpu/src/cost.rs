@@ -1,0 +1,234 @@
+//! The kernel cost model.
+//!
+//! Kernels in this workspace are real Rust functions; while they execute
+//! they *count* the memory traffic they generate (coalesced bytes, random
+//! sector transactions, shared-memory bytes, atomics, instructions) into a
+//! [`KernelCost`]. The cost is converted into simulated execution time with
+//! a roofline rule: the kernel takes as long as its most-loaded hardware
+//! path. This single rule is what makes partitioned joins win at scale —
+//! random device-memory transactions pay a full 32-byte sector at reduced
+//! efficiency, while the partitioned algorithms stream coalesced and do
+//! their random work in shared memory.
+
+use std::ops::{Add, AddAssign};
+
+use crate::spec::DeviceSpec;
+use crate::SECTOR_BYTES;
+
+/// Accumulated hardware traffic of one kernel (or one phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCost {
+    /// Device-memory bytes moved with fully coalesced access.
+    pub coalesced_bytes: u64,
+    /// Random (uncoalesced) device-memory accesses; each pays a full
+    /// [`SECTOR_BYTES`] sector at the device's random-access efficiency.
+    pub random_transactions: u64,
+    /// Random accesses whose working set is small enough to live in the
+    /// L2 cache (e.g. a co-partition-sized hash table in device memory):
+    /// one sector each, served at L2 bandwidth instead of DRAM.
+    pub l2_transactions: u64,
+    /// Shared-memory bytes read/written.
+    pub shared_bytes: u64,
+    /// Atomic operations on shared memory.
+    pub shared_atomics: u64,
+    /// Atomic operations on device memory.
+    pub global_atomics: u64,
+    /// Arithmetic/control instructions, summed over all threads.
+    pub instructions: u64,
+}
+
+impl KernelCost {
+    pub const ZERO: KernelCost = KernelCost {
+        coalesced_bytes: 0,
+        random_transactions: 0,
+        l2_transactions: 0,
+        shared_bytes: 0,
+        shared_atomics: 0,
+        global_atomics: 0,
+        instructions: 0,
+    };
+
+    /// A cost consisting only of coalesced traffic (typical streaming scan).
+    pub fn coalesced(bytes: u64) -> Self {
+        KernelCost { coalesced_bytes: bytes, ..Self::ZERO }
+    }
+
+    /// Record a coalesced read/write of `bytes`.
+    pub fn add_coalesced(&mut self, bytes: u64) {
+        self.coalesced_bytes += bytes;
+    }
+
+    /// Record `n` random sector-granularity device-memory accesses.
+    pub fn add_random(&mut self, n: u64) {
+        self.random_transactions += n;
+    }
+
+    /// Record `n` random accesses against an L2-resident working set.
+    pub fn add_l2(&mut self, n: u64) {
+        self.l2_transactions += n;
+    }
+
+    /// Record `bytes` of shared-memory traffic.
+    pub fn add_shared(&mut self, bytes: u64) {
+        self.shared_bytes += bytes;
+    }
+
+    /// Record `n` shared-memory atomics.
+    pub fn add_shared_atomics(&mut self, n: u64) {
+        self.shared_atomics += n;
+    }
+
+    /// Record `n` device-memory atomics.
+    pub fn add_global_atomics(&mut self, n: u64) {
+        self.global_atomics += n;
+    }
+
+    /// Record `n` instructions (across all threads).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Simulated execution time in seconds, excluding launch overhead
+    /// (which [`crate::Gpu::kernel`] adds as a pre-latency).
+    ///
+    /// Roofline: the device-memory path serializes coalesced and random
+    /// traffic on the same bus; shared-memory traffic and shared atomics
+    /// share the (much faster) on-chip path; global atomics and plain
+    /// instruction issue each form their own path. The slowest path bounds
+    /// the kernel. Paths overlap because the GPU runs thousands of threads:
+    /// latency is hidden, bandwidth is not.
+    pub fn time(&self, spec: &DeviceSpec) -> f64 {
+        let t_mem = self.coalesced_bytes as f64 / spec.mem_bandwidth
+            + (self.random_transactions * SECTOR_BYTES) as f64 / spec.random_access_bandwidth();
+        let t_l2 = (self.l2_transactions * SECTOR_BYTES) as f64 / spec.l2_bandwidth;
+        let t_shared = self.shared_bytes as f64 / spec.shared_mem_bandwidth
+            + self.shared_atomics as f64 / spec.shared_atomic_throughput;
+        let t_gatom = self.global_atomics as f64 / spec.global_atomic_throughput;
+        let t_inst = self.instructions as f64 / spec.instruction_throughput();
+        t_mem.max(t_l2).max(t_shared).max(t_gatom).max(t_inst)
+    }
+
+    /// Which path bounds this kernel, for reports: one of `"device-mem"`,
+    /// `"shared-mem"`, `"global-atomics"`, `"instructions"`.
+    pub fn bottleneck(&self, spec: &DeviceSpec) -> &'static str {
+        let t_mem = self.coalesced_bytes as f64 / spec.mem_bandwidth
+            + (self.random_transactions * SECTOR_BYTES) as f64 / spec.random_access_bandwidth();
+        let t_l2 = (self.l2_transactions * SECTOR_BYTES) as f64 / spec.l2_bandwidth;
+        let t_shared = self.shared_bytes as f64 / spec.shared_mem_bandwidth
+            + self.shared_atomics as f64 / spec.shared_atomic_throughput;
+        let t_gatom = self.global_atomics as f64 / spec.global_atomic_throughput;
+        let t_inst = self.instructions as f64 / spec.instruction_throughput();
+        let mx = t_mem.max(t_l2).max(t_shared).max(t_gatom).max(t_inst);
+        if mx == t_mem {
+            "device-mem"
+        } else if mx == t_l2 {
+            "l2"
+        } else if mx == t_shared {
+            "shared-mem"
+        } else if mx == t_gatom {
+            "global-atomics"
+        } else {
+            "instructions"
+        }
+    }
+}
+
+impl Add for KernelCost {
+    type Output = KernelCost;
+    fn add(self, rhs: KernelCost) -> KernelCost {
+        KernelCost {
+            coalesced_bytes: self.coalesced_bytes + rhs.coalesced_bytes,
+            random_transactions: self.random_transactions + rhs.random_transactions,
+            l2_transactions: self.l2_transactions + rhs.l2_transactions,
+            shared_bytes: self.shared_bytes + rhs.shared_bytes,
+            shared_atomics: self.shared_atomics + rhs.shared_atomics,
+            global_atomics: self.global_atomics + rhs.global_atomics,
+            instructions: self.instructions + rhs.instructions,
+        }
+    }
+}
+
+impl AddAssign for KernelCost {
+    fn add_assign(&mut self, rhs: KernelCost) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::gtx1080()
+    }
+
+    #[test]
+    fn coalesced_scan_runs_at_memory_bandwidth() {
+        let c = KernelCost::coalesced(320_000_000); // 0.32 GB
+        let t = c.time(&spec());
+        assert!((t - 0.001).abs() < 1e-9, "t={t}");
+        assert_eq!(c.bottleneck(&spec()), "device-mem");
+    }
+
+    #[test]
+    fn random_access_is_much_slower_than_coalesced_for_same_payload() {
+        // Reading 100M 8-byte tuples: coalesced = 800 MB; random = 100M
+        // sector transactions.
+        let coal = KernelCost::coalesced(800_000_000);
+        let mut rand = KernelCost::ZERO;
+        rand.add_random(100_000_000);
+        let s = spec();
+        assert!(rand.time(&s) > 3.0 * coal.time(&s));
+    }
+
+    #[test]
+    fn shared_memory_path_is_fast() {
+        let mut shared = KernelCost::ZERO;
+        shared.add_shared(800_000_000);
+        let coal = KernelCost::coalesced(800_000_000);
+        let s = spec();
+        assert!(shared.time(&s) < coal.time(&s) / 5.0);
+    }
+
+    #[test]
+    fn global_atomics_can_dominate() {
+        let mut c = KernelCost::coalesced(1000);
+        c.add_global_atomics(1_000_000_000);
+        assert_eq!(c.bottleneck(&spec()), "global-atomics");
+        assert!((c.time(&spec()) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paths_take_max_not_sum() {
+        let mut c = KernelCost::coalesced(320_000_000); // 1 ms on mem
+        c.add_instructions(1_000_000); // way under 1 ms of issue
+        assert!((c.time(&spec()) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_accumulates_fields() {
+        let mut a = KernelCost::coalesced(10);
+        a.add_random(1);
+        a.add_l2(7);
+        a.add_shared(2);
+        a.add_shared_atomics(3);
+        a.add_global_atomics(4);
+        a.add_instructions(5);
+        let b = a + a;
+        assert_eq!(b.coalesced_bytes, 20);
+        assert_eq!(b.random_transactions, 2);
+        assert_eq!(b.l2_transactions, 14);
+        assert_eq!(b.shared_bytes, 4);
+        assert_eq!(b.shared_atomics, 6);
+        assert_eq!(b.global_atomics, 8);
+        assert_eq!(b.instructions, 10);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn zero_cost_is_instant() {
+        assert_eq!(KernelCost::ZERO.time(&spec()), 0.0);
+    }
+}

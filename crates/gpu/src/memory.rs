@@ -1,0 +1,312 @@
+//! Device-memory accounting: typed buffers with strict capacity limits.
+//!
+//! Out-of-memory is a first-class, observable condition here: the paper's
+//! whole out-of-GPU section (§IV) exists because allocations fail on an
+//! 8 GB part. The algorithms in `hcj-core` ask [`DeviceMemory`] before
+//! choosing a strategy, and integration tests exercise the failure path.
+//!
+//! Buffers physically live in host RAM (this is a simulation), but are
+//! owned by the device-memory accountant: allocating consumes capacity,
+//! dropping returns it.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Error returned when a device allocation does not fit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    pub requested: u64,
+    pub available: u64,
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} B, {} B free of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+#[derive(Debug)]
+struct Accountant {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+}
+
+/// The device-memory allocator: capacity accounting over the modeled
+/// device-memory size. Cloning shares the same accountant.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    inner: Arc<Mutex<Accountant>>,
+}
+
+impl DeviceMemory {
+    /// A device with `capacity` bytes of global memory.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { inner: Arc::new(Mutex::new(Accountant { capacity, used: 0, peak: 0 })) }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// High-water mark of allocated bytes over the accountant's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        let g = self.inner.lock();
+        g.capacity - g.used
+    }
+
+    /// Would an allocation of `bytes` succeed right now?
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.available() >= bytes
+    }
+
+    /// Allocate a zero-initialized typed buffer of `len` elements.
+    pub fn alloc_zeroed<T: Copy + Default>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        self.alloc_with(len, |n| vec![T::default(); n])
+    }
+
+    /// Allocate a buffer holding a copy of `src`.
+    ///
+    /// Note: this performs the *functional* copy only. The simulated cost
+    /// of moving the bytes over PCIe is charged separately by
+    /// [`crate::Gpu::copy_h2d`]; callers that model a transfer must issue
+    /// that op themselves (the strategies in `hcj-core` always do).
+    pub fn alloc_from_slice<T: Copy>(
+        &self,
+        src: &[T],
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        self.alloc_with(src.len(), |_| src.to_vec())
+    }
+
+    /// Reserve `bytes` of device memory without backing storage — used for
+    /// large working buffers whose contents the simulation keeps in other
+    /// host-side structures (e.g. partition bucket pools). The reservation
+    /// participates fully in capacity accounting and frees on drop.
+    pub fn reserve(&self, bytes: u64) -> Result<Reservation, OutOfDeviceMemory> {
+        {
+            let mut g = self.inner.lock();
+            if g.capacity - g.used < bytes {
+                return Err(OutOfDeviceMemory {
+                    requested: bytes,
+                    available: g.capacity - g.used,
+                    capacity: g.capacity,
+                });
+            }
+            g.used += bytes;
+            g.peak = g.peak.max(g.used);
+        }
+        Ok(Reservation { bytes, owner: Arc::clone(&self.inner) })
+    }
+
+    fn alloc_with<T>(
+        &self,
+        len: usize,
+        make: impl FnOnce(usize) -> Vec<T>,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        {
+            let mut g = self.inner.lock();
+            if g.capacity - g.used < bytes {
+                return Err(OutOfDeviceMemory {
+                    requested: bytes,
+                    available: g.capacity - g.used,
+                    capacity: g.capacity,
+                });
+            }
+            g.used += bytes;
+            g.peak = g.peak.max(g.used);
+        }
+        Ok(DeviceBuffer { data: make(len), bytes, owner: Arc::clone(&self.inner) })
+    }
+}
+
+/// An accounting-only device-memory reservation (see
+/// [`DeviceMemory::reserve`]). Frees on drop.
+#[derive(Debug)]
+pub struct Reservation {
+    bytes: u64,
+    owner: Arc<Mutex<Accountant>>,
+}
+
+impl Reservation {
+    /// Accounted size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        let mut g = self.owner.lock();
+        g.used -= self.bytes;
+    }
+}
+
+/// A typed allocation in modeled device memory. Dereferences to a slice;
+/// frees its accounted bytes on drop.
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    bytes: u64,
+    owner: Arc<Mutex<Accountant>>,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Accounted size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<T> Deref for DeviceBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        let mut g = self.owner.lock();
+        g.used -= self.bytes;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviceBuffer({} elems, {} B)", self.data.len(), self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mem = DeviceMemory::new(1024);
+        assert_eq!(mem.available(), 1024);
+        let buf = mem.alloc_zeroed::<u64>(64).unwrap();
+        assert_eq!(buf.len(), 64);
+        assert_eq!(mem.used(), 512);
+        assert_eq!(mem.available(), 512);
+        drop(buf);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.peak(), 512);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let mem = DeviceMemory::new(100);
+        let _a = mem.alloc_zeroed::<u8>(60).unwrap();
+        let err = mem.alloc_zeroed::<u8>(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn failed_alloc_does_not_leak_accounting() {
+        let mem = DeviceMemory::new(100);
+        let _a = mem.alloc_zeroed::<u8>(90).unwrap();
+        assert!(mem.alloc_zeroed::<u8>(20).is_err());
+        assert_eq!(mem.used(), 90);
+    }
+
+    #[test]
+    fn from_slice_copies_contents() {
+        let mem = DeviceMemory::new(1 << 20);
+        let src = [1u32, 2, 3, 4];
+        let buf = mem.alloc_from_slice(&src).unwrap();
+        assert_eq!(&*buf, &src);
+        assert_eq!(buf.size_bytes(), 16);
+    }
+
+    #[test]
+    fn buffers_are_writable() {
+        let mem = DeviceMemory::new(1 << 10);
+        let mut buf = mem.alloc_zeroed::<u32>(8).unwrap();
+        buf[3] = 42;
+        assert_eq!(buf[3], 42);
+        assert_eq!(buf[0], 0);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let mem = DeviceMemory::new(1000);
+        let view = mem.clone();
+        let _buf = mem.alloc_zeroed::<u8>(600).unwrap();
+        assert_eq!(view.used(), 600);
+        assert!(!view.fits(500));
+        assert!(view.fits(400));
+    }
+
+    #[test]
+    fn zero_sized_alloc_ok() {
+        let mem = DeviceMemory::new(0);
+        let buf = mem.alloc_zeroed::<u64>(0).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reservation_accounts_without_storage() {
+        let mem = DeviceMemory::new(1000);
+        let r = mem.reserve(700).unwrap();
+        assert_eq!(mem.used(), 700);
+        assert_eq!(r.size_bytes(), 700);
+        assert!(mem.reserve(400).is_err());
+        drop(r);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.peak(), 700);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mem = DeviceMemory::new(1000);
+        let a = mem.alloc_zeroed::<u8>(400).unwrap();
+        let b = mem.alloc_zeroed::<u8>(300).unwrap();
+        drop(a);
+        let _c = mem.alloc_zeroed::<u8>(100).unwrap();
+        drop(b);
+        assert_eq!(mem.peak(), 700);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-thread-block shared-memory budgets.
+//!
+//! CUDA kernels declare their shared-memory needs at launch; a configuration
+//! exceeding the block's limit fails to launch. The paper leans on exactly
+//! this constraint: partition metadata, the bucket shuffle space, the
+//! per-partition hash table and the warp-level output buffer must *all* fit
+//! in the 48 KB block budget of a GTX 1080, which bounds the partitioning
+//! fanout to "a few thousand" (paper §III-A).
+//!
+//! [`SharedMemLayout`] is a tiny builder: kernels reserve named regions and
+//! either get a validated layout or a [`SharedMemOverflow`] naming the
+//! offending region — the same hard feedback a real launch failure gives.
+
+use std::fmt;
+
+/// Error: the block's shared-memory budget was exceeded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedMemOverflow {
+    /// The region whose reservation overflowed the budget.
+    pub region: String,
+    pub requested: u64,
+    pub in_use: u64,
+    pub budget: u64,
+}
+
+impl fmt::Display for SharedMemOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared memory overflow reserving `{}`: {} B requested, {} B already reserved, {} B budget",
+            self.region, self.requested, self.in_use, self.budget
+        )
+    }
+}
+
+impl std::error::Error for SharedMemOverflow {}
+
+/// A shared-memory reservation plan for one thread block.
+#[derive(Clone, Debug)]
+pub struct SharedMemLayout {
+    budget: u64,
+    reserved: u64,
+    regions: Vec<(String, u64)>,
+}
+
+impl SharedMemLayout {
+    /// Start a layout against a block budget (normally
+    /// [`crate::DeviceSpec::shared_mem_per_block`]).
+    pub fn new(budget: u64) -> Self {
+        SharedMemLayout { budget, reserved: 0, regions: Vec::new() }
+    }
+
+    /// Reserve space for `len` elements of `T` under `name`.
+    pub fn reserve<T>(&mut self, name: &str, len: usize) -> Result<(), SharedMemOverflow> {
+        self.reserve_bytes(name, (len * std::mem::size_of::<T>()) as u64)
+    }
+
+    /// Reserve raw bytes under `name`.
+    pub fn reserve_bytes(&mut self, name: &str, bytes: u64) -> Result<(), SharedMemOverflow> {
+        if self.budget - self.reserved < bytes {
+            return Err(SharedMemOverflow {
+                region: name.to_string(),
+                requested: bytes,
+                in_use: self.reserved,
+                budget: self.budget,
+            });
+        }
+        self.reserved += bytes;
+        self.regions.push((name.to_string(), bytes));
+        Ok(())
+    }
+
+    /// Total bytes reserved so far.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.reserved
+    }
+
+    /// The block budget this layout validates against.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Named regions in reservation order.
+    pub fn regions(&self) -> &[(String, u64)] {
+        &self.regions
+    }
+}
+
+/// Maximum single-pass partitioning fanout that fits the block budget,
+/// given the per-partition shared-memory cost (metadata + shuffle space).
+///
+/// This is the GPU analogue of the TLB-bound fanout of CPU radix joins
+/// (paper §III-A): `fanout * bytes_per_partition + fixed_bytes <= budget`.
+pub fn max_fanout(budget: u64, bytes_per_partition: u64, fixed_bytes: u64) -> u32 {
+    if budget <= fixed_bytes || bytes_per_partition == 0 {
+        return if budget > fixed_bytes { u32::MAX } else { 0 };
+    }
+    u32::try_from((budget - fixed_bytes) / bytes_per_partition).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_accumulate() {
+        let mut l = SharedMemLayout::new(1024);
+        l.reserve::<u32>("hash table", 128).unwrap();
+        l.reserve::<u16>("offsets", 64).unwrap();
+        assert_eq!(l.reserved(), 512 + 128);
+        assert_eq!(l.remaining(), 1024 - 640);
+        assert_eq!(l.regions().len(), 2);
+    }
+
+    #[test]
+    fn overflow_names_the_region() {
+        let mut l = SharedMemLayout::new(100);
+        l.reserve_bytes("meta", 80).unwrap();
+        let err = l.reserve_bytes("shuffle", 30).unwrap_err();
+        assert_eq!(err.region, "shuffle");
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.budget, 100);
+        // A failed reservation leaves the layout unchanged.
+        assert_eq!(l.reserved(), 80);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut l = SharedMemLayout::new(64);
+        l.reserve::<u64>("all", 8).unwrap();
+        assert_eq!(l.remaining(), 0);
+        assert!(l.reserve_bytes("more", 1).is_err());
+    }
+
+    #[test]
+    fn gtx1080_fanout_is_a_few_thousand() {
+        // 48 KB budget, ~16 B of metadata + shuffle per partition, 2 KB fixed:
+        // the fanout lands in the low thousands, matching the paper's claim.
+        let f = max_fanout(48 * 1024, 16, 2048);
+        assert!((1000..10_000).contains(&f), "fanout = {f}");
+    }
+
+    #[test]
+    fn degenerate_fanouts() {
+        assert_eq!(max_fanout(100, 16, 100), 0);
+        assert_eq!(max_fanout(100, 16, 200), 0);
+        assert_eq!(max_fanout(100, 0, 0), u32::MAX);
+    }
+}

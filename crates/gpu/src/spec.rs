@@ -1,0 +1,176 @@
+//! Physical device parameters.
+
+/// The physical parameters of a modeled GPU.
+///
+/// Only quantities that the paper's results actually depend on are modeled.
+/// Rates are in bytes/second or operations/second; capacities in bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in Hz (boost clock; kernels here are memory-bound, so the
+    /// precise value matters little).
+    pub clock_hz: f64,
+    /// Device (global) memory capacity in bytes.
+    pub device_mem_bytes: u64,
+    /// Peak device-memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Fraction of peak bandwidth achievable by random sector-granular
+    /// access (row activation and partial-sector waste).
+    pub random_access_efficiency: f64,
+    /// L2 cache size, bytes (shared by all SMs).
+    pub l2_bytes: u64,
+    /// Effective L2 bandwidth for sector-granular access, bytes/second.
+    pub l2_bandwidth: f64,
+    /// Shared memory available to one thread block, bytes.
+    pub shared_mem_per_block: u64,
+    /// Aggregate shared-memory bandwidth across the device, bytes/second.
+    /// On Pascal-class parts this is several TB/s — an order of magnitude
+    /// above device memory, which is why the paper pins hash tables there.
+    pub shared_mem_bandwidth: f64,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Aggregate throughput of shared-memory atomics, ops/second.
+    pub shared_atomic_throughput: f64,
+    /// Aggregate throughput of device-memory atomics, ops/second.
+    pub global_atomic_throughput: f64,
+    /// Effective host→device / device→host PCIe bandwidth for pinned
+    /// memory, bytes/second (per direction; the engines are independent).
+    pub pcie_bandwidth: f64,
+    /// Effective PCIe bandwidth for pageable memory (extra host-side
+    /// staging copy halves it, roughly).
+    pub pcie_pageable_bandwidth: f64,
+    /// Fixed kernel-launch overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Unified-memory page size, bytes.
+    pub um_page_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: NVIDIA GTX 1080 (Pascal), 8 GB GDDR5X,
+    /// on PCIe 3.0 x16 with CUDA 9.
+    pub fn gtx1080() -> Self {
+        DeviceSpec {
+            name: "GTX 1080",
+            sms: 20,
+            cores_per_sm: 128,
+            clock_hz: 1.607e9,
+            device_mem_bytes: 8 * (1 << 30),
+            mem_bandwidth: 320.0e9,
+            random_access_efficiency: 0.45,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_bandwidth: 1.2e12,
+            shared_mem_per_block: 48 * 1024,
+            shared_mem_bandwidth: 4.0e12,
+            max_threads_per_block: 1024,
+            shared_atomic_throughput: 200.0e9,
+            global_atomic_throughput: 2.5e9,
+            pcie_bandwidth: 12.0e9,
+            pcie_pageable_bandwidth: 6.0e9,
+            launch_overhead_s: 5.0e-6,
+            um_page_bytes: 64 * 1024,
+        }
+    }
+
+    /// A Tesla V100 (Volta): 80 SMs, HBM2 at 900 GB/s, 16 GB. Used by the
+    /// discussion in the paper's introduction; offered here so downstream
+    /// users can explore a newer part.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "Tesla V100",
+            sms: 80,
+            cores_per_sm: 64,
+            clock_hz: 1.53e9,
+            device_mem_bytes: 16 * (1 << 30),
+            mem_bandwidth: 900.0e9,
+            random_access_efficiency: 0.5,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_bandwidth: 2.5e12,
+            shared_mem_per_block: 96 * 1024,
+            shared_mem_bandwidth: 13.0e12,
+            max_threads_per_block: 1024,
+            shared_atomic_throughput: 600.0e9,
+            global_atomic_throughput: 6.0e9,
+            pcie_bandwidth: 12.0e9,
+            pcie_pageable_bandwidth: 6.0e9,
+            launch_overhead_s: 5.0e-6,
+            um_page_bytes: 64 * 1024,
+        }
+    }
+
+    /// Scale device-memory capacity down by `k` for reduced-scale
+    /// experiments (bandwidths and per-block shared memory stay physical;
+    /// see DESIGN.md §5). `k = 1` returns the spec unchanged.
+    ///
+    /// Fixed per-operation overheads (kernel launch) scale down with the
+    /// capacity: when every buffer shrinks by `k`, phase durations shrink
+    /// by `k` too, and overheads must follow or they would dominate the
+    /// scaled pipeline in a way they do not dominate the real one.
+    pub fn scaled_capacity(mut self, k: u64) -> Self {
+        assert!(k >= 1, "scale factor must be >= 1");
+        self.device_mem_bytes /= k;
+        self.launch_overhead_s /= k as f64;
+        self
+    }
+
+    /// Peak integer-operation throughput of the device, ops/second.
+    pub fn instruction_throughput(&self) -> f64 {
+        f64::from(self.sms) * f64::from(self.cores_per_sm) * self.clock_hz
+    }
+
+    /// Effective bandwidth of random sector-granularity access.
+    pub fn random_access_bandwidth(&self) -> f64 {
+        self.mem_bandwidth * self.random_access_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx1080_matches_paper_hardware() {
+        let s = DeviceSpec::gtx1080();
+        assert_eq!(s.device_mem_bytes, 8 << 30);
+        assert_eq!(s.sms, 20);
+        assert_eq!(s.shared_mem_per_block, 48 * 1024);
+        // The paper quotes 15.8 GB/s theoretical PCIe 3.0 x16; effective
+        // pinned bandwidth must be below that.
+        assert!(s.pcie_bandwidth < 15.8e9);
+    }
+
+    #[test]
+    fn v100_is_bigger_in_every_dimension_that_matters() {
+        let g = DeviceSpec::gtx1080();
+        let v = DeviceSpec::v100();
+        assert!(v.mem_bandwidth > g.mem_bandwidth);
+        assert!(v.device_mem_bytes > g.device_mem_bytes);
+        assert!(v.instruction_throughput() > g.instruction_throughput());
+    }
+
+    #[test]
+    fn scaling_shrinks_only_capacity() {
+        let s = DeviceSpec::gtx1080().scaled_capacity(8);
+        assert_eq!(s.device_mem_bytes, 1 << 30);
+        assert_eq!(s.shared_mem_per_block, 48 * 1024);
+        assert_eq!(s.mem_bandwidth, 320.0e9);
+        assert!((s.launch_overhead_s - 5.0e-6 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = DeviceSpec::gtx1080();
+        assert!((s.instruction_throughput() - 20.0 * 128.0 * 1.607e9).abs() < 1.0);
+        assert!(s.random_access_bandwidth() < s.mem_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        let _ = DeviceSpec::gtx1080().scaled_capacity(0);
+    }
+}

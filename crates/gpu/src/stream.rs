@@ -1,0 +1,323 @@
+//! CUDA-like streams, events and DMA copy engines over the sim engine.
+//!
+//! A [`Gpu`] registers three `hcj-sim` resources: the compute engine (one
+//! grid at a time — the paper's kernels each saturate the device) and the
+//! two DMA copy engines, one per PCIe direction, which is what lets input
+//! transfers, kernel execution and result write-back all overlap
+//! (paper §IV-A/§IV-C, Figs. 2–4).
+//!
+//! [`Stream`] reproduces CUDA stream semantics: operations issued to the
+//! same stream serialize in issue order; operations in different streams
+//! overlap unless ordered through a recorded [`GpuEvent`] that another
+//! stream waits on.
+
+use hcj_sim::{Op, OpId, ResourceId, Sim, SimTime};
+
+use crate::cost::KernelCost;
+use crate::memory::DeviceMemory;
+use crate::spec::DeviceSpec;
+
+/// Traffic-class tags carried on sim spans, for timeline analysis.
+pub const CLASS_KERNEL: u32 = 1;
+pub const CLASS_H2D: u32 = 2;
+pub const CLASS_D2H: u32 = 3;
+
+/// Whether a host buffer participating in a transfer is pinned
+/// (page-locked) or pageable. Pageable transfers bounce through a driver
+/// staging buffer and achieve roughly half the bandwidth, which is why the
+/// co-processing strategy stores partitions in pinned memory (paper §IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferKind {
+    Pinned,
+    Pageable,
+}
+
+/// A modeled GPU: spec + device-memory accountant + sim resources.
+pub struct Gpu {
+    pub spec: DeviceSpec,
+    pub mem: DeviceMemory,
+    compute: ResourceId,
+    dma_h2d: ResourceId,
+    dma_d2h: ResourceId,
+}
+
+impl Gpu {
+    /// Register the device's resources with `sim`.
+    pub fn new(sim: &mut Sim, spec: DeviceSpec) -> Self {
+        let mem = DeviceMemory::new(spec.device_mem_bytes);
+        let compute = sim.fifo_resource(format!("{} compute", spec.name), 1.0, 1);
+        let dma_h2d = sim.fifo_resource(format!("{} dma-h2d", spec.name), spec.pcie_bandwidth, 1);
+        let dma_d2h = sim.fifo_resource(format!("{} dma-d2h", spec.name), spec.pcie_bandwidth, 1);
+        Gpu { spec, mem, compute, dma_h2d, dma_d2h }
+    }
+
+    /// A fresh stream (no prior work).
+    pub fn stream(&self) -> Stream {
+        Stream { last: None, waits: Vec::new() }
+    }
+
+    /// The compute resource id (for timeline queries).
+    pub fn compute_resource(&self) -> ResourceId {
+        self.compute
+    }
+
+    /// The host→device DMA engine resource id.
+    pub fn h2d_resource(&self) -> ResourceId {
+        self.dma_h2d
+    }
+
+    /// The device→host DMA engine resource id.
+    pub fn d2h_resource(&self) -> ResourceId {
+        self.dma_d2h
+    }
+
+    /// Launch a kernel on `stream`: executes for `cost.time(spec)` plus the
+    /// launch overhead, after all stream-order and waited-event deps.
+    pub fn kernel(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        cost: &KernelCost,
+    ) -> OpId {
+        let work = cost.time(&self.spec);
+        let op = Op::new(self.compute, work)
+            .label(label)
+            .class(CLASS_KERNEL)
+            .pre_latency(SimTime::from_secs_f64(self.spec.launch_overhead_s))
+            .after_all(stream.take_deps());
+        let id = sim.op(op);
+        stream.last = Some(id);
+        id
+    }
+
+    /// Launch a kernel whose duration was computed externally (e.g. a cost
+    /// already scaled by a load-imbalance factor). `seconds` excludes the
+    /// launch overhead, which is added as on a normal launch.
+    pub fn kernel_raw(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        seconds: f64,
+    ) -> OpId {
+        let op = Op::new(self.compute, seconds)
+            .label(label)
+            .class(CLASS_KERNEL)
+            .pre_latency(SimTime::from_secs_f64(self.spec.launch_overhead_s))
+            .after_all(stream.take_deps());
+        let id = sim.op(op);
+        stream.last = Some(id);
+        id
+    }
+
+    /// Asynchronous host→device copy of `bytes` on `stream`.
+    pub fn copy_h2d(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        bytes: u64,
+        kind: TransferKind,
+    ) -> OpId {
+        self.copy(sim, stream, label, bytes, kind, self.dma_h2d, CLASS_H2D)
+    }
+
+    /// Asynchronous device→host copy of `bytes` on `stream`.
+    pub fn copy_d2h(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        bytes: u64,
+        kind: TransferKind,
+    ) -> OpId {
+        self.copy(sim, stream, label, bytes, kind, self.dma_d2h, CLASS_D2H)
+    }
+
+    fn copy(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        bytes: u64,
+        kind: TransferKind,
+        engine: ResourceId,
+        class: u32,
+    ) -> OpId {
+        // The DMA resource rate is the pinned bandwidth; pageable copies
+        // are modeled as proportionally more work on the same engine.
+        let slowdown = match kind {
+            TransferKind::Pinned => 1.0,
+            TransferKind::Pageable => self.spec.pcie_bandwidth / self.spec.pcie_pageable_bandwidth,
+        };
+        let op = Op::new(engine, bytes as f64 * slowdown)
+            .label(label)
+            .class(class)
+            .after_all(stream.take_deps());
+        let id = sim.op(op);
+        stream.last = Some(id);
+        id
+    }
+}
+
+/// An ordered queue of GPU operations (CUDA stream semantics).
+#[derive(Clone, Debug, Default)]
+pub struct Stream {
+    last: Option<OpId>,
+    waits: Vec<OpId>,
+}
+
+impl Stream {
+    /// Record an event capturing everything issued to this stream so far.
+    /// Waiting on the event (from any stream) orders after that work.
+    pub fn record_event(&self) -> GpuEvent {
+        GpuEvent { after: self.last }
+    }
+
+    /// Make the *next* operation issued to this stream wait for `event`.
+    pub fn wait_event(&mut self, event: &GpuEvent) {
+        if let Some(op) = event.after {
+            self.waits.push(op);
+        }
+    }
+
+    /// Make the next operation wait for an arbitrary sim op (used to tie
+    /// GPU work to host-side phases like CPU partitioning).
+    pub fn wait_op(&mut self, op: OpId) {
+        self.waits.push(op);
+    }
+
+    /// The op id of the last operation issued to this stream, if any.
+    /// Depending on it is equivalent to `cudaStreamSynchronize`.
+    pub fn last_op(&self) -> Option<OpId> {
+        self.last
+    }
+
+    fn take_deps(&mut self) -> Vec<OpId> {
+        let mut deps = std::mem::take(&mut self.waits);
+        if let Some(last) = self.last {
+            deps.push(last);
+        }
+        deps
+    }
+}
+
+/// A recorded point in a stream's history (CUDA event).
+#[derive(Clone, Copy, Debug)]
+pub struct GpuEvent {
+    after: Option<OpId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(sim: &mut Sim) -> Gpu {
+        Gpu::new(sim, DeviceSpec::gtx1080())
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut s = g.stream();
+        let a = g.copy_h2d(&mut sim, &mut s, "copy", 12_000_000_000, TransferKind::Pinned);
+        let k = g.kernel(&mut sim, &mut s, "join", &KernelCost::coalesced(320_000_000));
+        let sched = sim.run();
+        // 12 GB at 12 GB/s = 1 s; kernel starts after.
+        assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
+        assert_eq!(sched.start(k), sched.finish(a));
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut copy_stream = g.stream();
+        let mut exec_stream = g.stream();
+        let c = g.copy_h2d(&mut sim, &mut copy_stream, "copy", 12_000_000_000, TransferKind::Pinned);
+        let k = g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(320_000_000_000));
+        let sched = sim.run();
+        // Both start at t≈0: the copy does not wait for the kernel.
+        assert_eq!(sched.start(c), SimTime::ZERO);
+        assert_eq!(sched.start(k), SimTime::ZERO);
+        let _ = (c, k);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut copy_stream = g.stream();
+        let mut exec_stream = g.stream();
+        let c = g.copy_h2d(&mut sim, &mut copy_stream, "copy", 1_200_000_000, TransferKind::Pinned);
+        let ev = copy_stream.record_event();
+        exec_stream.wait_event(&ev);
+        let k = g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(1));
+        let sched = sim.run();
+        assert!(sched.start(k) >= sched.finish(c));
+    }
+
+    #[test]
+    fn h2d_and_d2h_use_separate_engines() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut up = g.stream();
+        let mut down = g.stream();
+        let a = g.copy_h2d(&mut sim, &mut up, "in", 12_000_000_000, TransferKind::Pinned);
+        let b = g.copy_d2h(&mut sim, &mut down, "out", 12_000_000_000, TransferKind::Pinned);
+        let sched = sim.run();
+        // Full-duplex: both 1 s transfers complete at t = 1 s.
+        assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
+        assert_eq!(sched.finish(b).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn two_h2d_copies_share_one_engine() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut s1 = g.stream();
+        let mut s2 = g.stream();
+        let a = g.copy_h2d(&mut sim, &mut s1, "a", 12_000_000_000, TransferKind::Pinned);
+        let b = g.copy_h2d(&mut sim, &mut s2, "b", 12_000_000_000, TransferKind::Pinned);
+        let sched = sim.run();
+        // Serialized on the single H2D engine: 1 s then 1 s.
+        assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
+        assert_eq!(sched.finish(b).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn pageable_is_slower_than_pinned() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut s = g.stream();
+        let a = g.copy_h2d(&mut sim, &mut s, "pageable", 6_000_000_000, TransferKind::Pageable);
+        let sched = sim.run();
+        // 6 GB at 6 GB/s pageable = 1 s.
+        assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn kernel_includes_launch_overhead() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut s = g.stream();
+        let k = g.kernel(&mut sim, &mut s, "empty", &KernelCost::ZERO);
+        let sched = sim.run();
+        assert_eq!(sched.finish(k).as_secs_f64(), g.spec.launch_overhead_s);
+    }
+
+    #[test]
+    fn wait_op_ties_to_host_work() {
+        let mut sim = Sim::new();
+        let cpu = sim.fifo_resource("cpu", 1.0, 1);
+        let part = sim.op(Op::new(cpu, 2.0).label("cpu-partition"));
+        let g = gpu(&mut sim);
+        let mut s = g.stream();
+        s.wait_op(part);
+        let c = g.copy_h2d(&mut sim, &mut s, "copy", 1, TransferKind::Pinned);
+        let sched = sim.run();
+        assert!(sched.start(c) >= sched.finish(part));
+    }
+}

@@ -1,0 +1,294 @@
+//! Unified Memory (on-demand page migration) model.
+//!
+//! CUDA Unified Memory moves whole pages between host and device on fault.
+//! For streaming scans it approaches PCIe bandwidth (each page is fetched
+//! once and fully used); for the join's partitioning scatter it thrashes —
+//! only a small part of each migrated page is touched before it is evicted,
+//! so the effective useful bandwidth collapses. The pager here is a real
+//! LRU over a bounded device-page frame pool; the experiments drive it with
+//! the page-access traces of the actual algorithms.
+
+use std::collections::HashMap;
+
+/// Outcome of a single page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageAccess {
+    /// Page was device-resident.
+    Hit,
+    /// Page was migrated in (and possibly another evicted).
+    Fault { evicted_dirty: bool },
+}
+
+/// An LRU page pool modeling Unified Memory oversubscription.
+#[derive(Debug)]
+pub struct UnifiedMemory {
+    page_bytes: u64,
+    capacity_pages: usize,
+    // Intrusive doubly-linked LRU over a slab; O(1) per access.
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    faults: u64,
+    hits: u64,
+    evictions_clean: u64,
+    evictions_dirty: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    page: u64,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl UnifiedMemory {
+    /// A pager with `device_bytes` of frame capacity in `page_bytes` pages.
+    pub fn new(page_bytes: u64, device_bytes: u64) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        let capacity_pages = (device_bytes / page_bytes) as usize;
+        assert!(capacity_pages > 0, "device must hold at least one page");
+        UnifiedMemory {
+            page_bytes,
+            capacity_pages,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            faults: 0,
+            hits: 0,
+            evictions_clean: 0,
+            evictions_dirty: 0,
+        }
+    }
+
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    pub fn resident_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Access one page by number; `write` marks it dirty.
+    pub fn access_page(&mut self, page: u64, write: bool) -> PageAccess {
+        if let Some(&idx) = self.map.get(&page) {
+            self.hits += 1;
+            self.nodes[idx].dirty |= write;
+            self.move_to_head(idx);
+            return PageAccess::Hit;
+        }
+        self.faults += 1;
+        let mut evicted_dirty = false;
+        if self.map.len() == self.capacity_pages {
+            evicted_dirty = self.evict_lru();
+        }
+        let idx = self.alloc_node(Node { page, dirty: write, prev: NIL, next: NIL });
+        self.map.insert(page, idx);
+        self.push_head(idx);
+        PageAccess::Fault { evicted_dirty }
+    }
+
+    /// Access a byte range: touches each covered page in order.
+    pub fn access_range(&mut self, start_byte: u64, len_bytes: u64, write: bool) {
+        if len_bytes == 0 {
+            return;
+        }
+        let first = start_byte / self.page_bytes;
+        let last = (start_byte + len_bytes - 1) / self.page_bytes;
+        for p in first..=last {
+            self.access_page(p, write);
+        }
+    }
+
+    /// Pages migrated host→device so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Bytes moved host→device by faults.
+    pub fn bytes_migrated_in(&self) -> u64 {
+        self.faults * self.page_bytes
+    }
+
+    /// Bytes moved device→host by dirty evictions.
+    pub fn bytes_written_back(&self) -> u64 {
+        self.evictions_dirty * self.page_bytes
+    }
+
+    /// Total PCIe traffic caused by the pager, both directions.
+    pub fn total_bus_bytes(&self) -> u64 {
+        self.bytes_migrated_in() + self.bytes_written_back()
+    }
+
+    fn evict_lru(&mut self) -> bool {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict from empty pool");
+        let node = self.nodes[idx];
+        self.unlink(idx);
+        self.map.remove(&node.page);
+        self.free.push(idx);
+        if node.dirty {
+            self.evictions_dirty += 1;
+        } else {
+            self.evictions_clean += 1;
+        }
+        node.dirty
+    }
+
+    fn alloc_node(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn push_head(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_head(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_head(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_faults_once_per_page() {
+        let mut um = UnifiedMemory::new(64 * 1024, 1 << 20); // 16 frames
+        um.access_range(0, 8 * 64 * 1024, false); // 8 pages
+        assert_eq!(um.faults(), 8);
+        assert_eq!(um.hits(), 0);
+        // Re-scan is all hits: pages fit.
+        um.access_range(0, 8 * 64 * 1024, false);
+        assert_eq!(um.faults(), 8);
+        assert_eq!(um.hits(), 8);
+    }
+
+    #[test]
+    fn oversubscribed_scan_thrashes() {
+        let mut um = UnifiedMemory::new(4096, 4 * 4096); // 4 frames
+        // Scan 8 pages twice: LRU keeps none of the needed pages → all faults.
+        for _ in 0..2 {
+            for p in 0..8 {
+                um.access_page(p, false);
+            }
+        }
+        assert_eq!(um.faults(), 16);
+        assert_eq!(um.hits(), 0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_page() {
+        let mut um = UnifiedMemory::new(4096, 2 * 4096); // 2 frames
+        um.access_page(0, false);
+        um.access_page(1, false);
+        um.access_page(0, false); // refresh 0
+        um.access_page(2, false); // evicts 1, not 0
+        assert_eq!(um.access_page(0, false), PageAccess::Hit);
+        assert!(matches!(um.access_page(1, false), PageAccess::Fault { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_write_back() {
+        let mut um = UnifiedMemory::new(4096, 4096); // 1 frame
+        um.access_page(0, true);
+        let out = um.access_page(1, false);
+        assert_eq!(out, PageAccess::Fault { evicted_dirty: true });
+        assert_eq!(um.bytes_written_back(), 4096);
+        assert_eq!(um.total_bus_bytes(), 2 * 4096 + 4096);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut um = UnifiedMemory::new(4096, 4096);
+        um.access_page(0, false);
+        um.access_page(0, true); // dirty via hit
+        let out = um.access_page(1, false);
+        assert_eq!(out, PageAccess::Fault { evicted_dirty: true });
+    }
+
+    #[test]
+    fn range_spanning_partial_pages() {
+        let mut um = UnifiedMemory::new(100, 1000);
+        um.access_range(50, 100, false); // bytes 50..150 → pages 0 and 1
+        assert_eq!(um.faults(), 2);
+        um.access_range(0, 0, false); // empty range: no touch
+        assert_eq!(um.faults(), 2);
+    }
+
+    #[test]
+    fn random_scatter_migrates_full_pages_for_tiny_writes() {
+        // The partitioning scatter under UM: an 8-byte write per page still
+        // moves the whole 64 KB page both ways — the Fig. 22 collapse.
+        let mut um = UnifiedMemory::new(64 * 1024, 64 * 1024); // 1 frame
+        for p in 0..100 {
+            um.access_page(p, true);
+        }
+        assert_eq!(um.faults(), 100);
+        assert_eq!(um.bytes_written_back(), 99 * 64 * 1024);
+        let useful = 100 * 8u64;
+        assert!(um.total_bus_bytes() > 1000 * useful);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_rejected() {
+        let _ = UnifiedMemory::new(4096, 100);
+    }
+
+    #[test]
+    fn resident_count_is_bounded() {
+        let mut um = UnifiedMemory::new(10, 30);
+        for p in 0..50 {
+            um.access_page(p, false);
+            assert!(um.resident_pages() <= um.capacity_pages());
+        }
+        assert_eq!(um.resident_pages(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Lockstep 32-lane warp primitives.
+//!
+//! CUDA warps execute one instruction across 32 lanes; intra-warp
+//! communication instructions (`__ballot_sync`, `__shfl_sync`) let lanes
+//! exchange registers without touching memory. The paper's nested-loop
+//! probe (Listing 1) and its warp-buffered output materialization both
+//! depend on these, so they are emulated faithfully here: each primitive
+//! takes all 32 lanes' inputs and produces all 32 lanes' outputs, exactly
+//! as the lockstep hardware would.
+
+use crate::WARP_SIZE;
+
+/// One register value per lane of a warp.
+pub type Lanes<T> = [T; WARP_SIZE];
+
+/// `__ballot_sync(FULL_MASK, pred)`: collect each lane's predicate into a
+/// 32-bit mask (bit *i* = lane *i*'s predicate) broadcast to every lane.
+pub fn ballot(preds: &Lanes<bool>) -> u32 {
+    preds
+        .iter()
+        .enumerate()
+        .fold(0u32, |m, (i, &p)| if p { m | (1 << i) } else { m })
+}
+
+/// `__shfl_sync(FULL_MASK, value, src_lane)`: every lane reads
+/// `values[src_lane]`.
+pub fn shfl<T: Copy>(values: &Lanes<T>, src_lane: usize) -> T {
+    assert!(src_lane < WARP_SIZE, "shfl source lane out of range");
+    values[src_lane]
+}
+
+/// `__any_sync`: true iff any lane's predicate holds.
+pub fn any(preds: &Lanes<bool>) -> bool {
+    preds.iter().any(|&p| p)
+}
+
+/// `__all_sync`: true iff every lane's predicate holds.
+pub fn all(preds: &Lanes<bool>) -> bool {
+    preds.iter().all(|&p| p)
+}
+
+/// Number of lanes whose bit is set below `lane` — the classic
+/// `__popc(mask & lanemask_lt())` idiom used to compute compacted write
+/// offsets inside a warp.
+pub fn rank_below(mask: u32, lane: usize) -> u32 {
+    assert!(lane < WARP_SIZE);
+    (mask & ((1u32 << lane) - 1)).count_ones()
+}
+
+/// Exclusive prefix sum across lanes plus the warp-wide total; the building
+/// block of the warp-level output buffering in paper §III-C (each matching
+/// lane gets a distinct slot in the shared-memory result buffer).
+pub fn prefix_sum_exclusive(values: &Lanes<u32>) -> (Lanes<u32>, u32) {
+    let mut out = [0u32; WARP_SIZE];
+    let mut acc = 0u32;
+    for i in 0..WARP_SIZE {
+        out[i] = acc;
+        acc += values[i];
+    }
+    (out, acc)
+}
+
+/// The ballot-based bit-comparison at the heart of paper Listing 1.
+///
+/// Each lane holds one value `r` from the inner (build) partition in its
+/// register; every lane also holds its own outer (probe) value `s`. For
+/// each bit position in `bit_indexes` (the key bits *not* already equal by
+/// virtue of partitioning), the warp ballots the `r` bits and each lane
+/// keeps only the lanes whose bit agrees with its own `s` bit. The result,
+/// per lane, is a 32-bit mask of which of the 32 `r` values equal that
+/// lane's `s` on all tested bits.
+///
+/// `valid_r` masks out lanes that loaded padding (partition tail).
+pub fn ballot_match(
+    r: &Lanes<u32>,
+    s: &Lanes<u32>,
+    bit_indexes: &[u32],
+    valid_r: u32,
+) -> Lanes<u32> {
+    let mut masks = [valid_r; WARP_SIZE];
+    for &i in bit_indexes {
+        debug_assert!(i < 32);
+        let bit = 1u32 << i;
+        // One ballot: every lane contributes the i-th bit of its r value.
+        let votes = {
+            let mut preds = [false; WARP_SIZE];
+            for lane in 0..WARP_SIZE {
+                preds[lane] = r[lane] & bit != 0;
+            }
+            ballot(&preds)
+        };
+        // Each lane narrows its candidate set using only register math.
+        for lane in 0..WARP_SIZE {
+            let keep = if s[lane] & bit != 0 { votes } else { !votes };
+            masks[lane] &= keep;
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes_from_fn<T: Copy + Default>(f: impl Fn(usize) -> T) -> Lanes<T> {
+        let mut out = [T::default(); WARP_SIZE];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f(i);
+        }
+        out
+    }
+
+    #[test]
+    fn ballot_collects_bits() {
+        let preds = lanes_from_fn(|i| i % 2 == 0);
+        assert_eq!(ballot(&preds), 0x5555_5555);
+        assert_eq!(ballot(&[false; WARP_SIZE]), 0);
+        assert_eq!(ballot(&[true; WARP_SIZE]), u32::MAX);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let vals = lanes_from_fn(|i| i as u64 * 10);
+        assert_eq!(shfl(&vals, 0), 0);
+        assert_eq!(shfl(&vals, 31), 310);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shfl_bad_lane_panics() {
+        let vals = [0u32; WARP_SIZE];
+        let _ = shfl(&vals, 32);
+    }
+
+    #[test]
+    fn any_all() {
+        let mut preds = [false; WARP_SIZE];
+        assert!(!any(&preds));
+        assert!(!all(&preds));
+        preds[7] = true;
+        assert!(any(&preds));
+        assert!(!all(&preds));
+        assert!(all(&[true; WARP_SIZE]));
+    }
+
+    #[test]
+    fn rank_below_counts_earlier_lanes() {
+        let mask = 0b1011; // lanes 0, 1, 3
+        assert_eq!(rank_below(mask, 0), 0);
+        assert_eq!(rank_below(mask, 1), 1);
+        assert_eq!(rank_below(mask, 2), 2);
+        assert_eq!(rank_below(mask, 3), 2);
+        assert_eq!(rank_below(mask, 31), 3);
+    }
+
+    #[test]
+    fn prefix_sum_matches_scalar() {
+        let vals = lanes_from_fn(|i| i as u32);
+        let (pre, total) = prefix_sum_exclusive(&vals);
+        assert_eq!(pre[0], 0);
+        assert_eq!(pre[5], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(total, (0..32).sum::<u32>());
+    }
+
+    #[test]
+    fn ballot_match_finds_exact_equalities() {
+        // r holds values 0..32; each lane probes with s = lane ^ 1.
+        let r = lanes_from_fn(|i| i as u32);
+        let s = lanes_from_fn(|i| (i as u32) ^ 1);
+        // All 5 low bits may differ (values 0..32 share no partition bits).
+        let bits: Vec<u32> = (0..5).collect();
+        let masks = ballot_match(&r, &s, &bits, u32::MAX);
+        for lane in 0..WARP_SIZE {
+            // s[lane] = lane^1 equals exactly r[lane^1].
+            assert_eq!(masks[lane], 1 << (lane ^ 1), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn ballot_match_respects_partition_bits() {
+        // All values share high bits (same partition); only bits 0..2 vary.
+        let r = lanes_from_fn(|i| 0xABCD_0000 | (i as u32 % 8));
+        let s = lanes_from_fn(|i| 0xABCD_0000 | ((i as u32 + 1) % 8));
+        let masks = ballot_match(&r, &s, &[0, 1, 2], u32::MAX);
+        for lane in 0..WARP_SIZE {
+            let want = (0..WARP_SIZE)
+                .filter(|&j| r[j] == s[lane])
+                .fold(0u32, |m, j| m | (1 << j));
+            assert_eq!(masks[lane], want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn ballot_match_honors_validity_mask() {
+        let r = lanes_from_fn(|i| i as u32 % 4);
+        let s = lanes_from_fn(|_| 0u32);
+        // Only the first 4 r lanes hold real data.
+        let masks = ballot_match(&r, &s, &[0, 1], 0b1111);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(masks[lane], 0b0001, "lane {lane}"); // r[0] == 0 only
+        }
+    }
+
+    #[test]
+    fn ballot_match_untested_bits_are_ignored() {
+        // Values differ in bit 7, but we only test bits 0..1 → they "match".
+        let r = lanes_from_fn(|_| 0b1000_0000u32);
+        let s = lanes_from_fn(|_| 0b0000_0000u32);
+        let masks = ballot_match(&r, &s, &[0, 1], u32::MAX);
+        assert_eq!(masks[0], u32::MAX);
+    }
+}

@@ -1,0 +1,18 @@
+//! Host (CPU side) machine model.
+//!
+//! The paper's out-of-GPU co-processing strategy (§IV-B) lives or dies on
+//! host details: the partitioning threads' aggregate throughput, the near
+//! socket's memory bandwidth being shared between partitioning and the
+//! GPU's DMA reads, and QPI congestion when DMA pulls data homed on the far
+//! socket. This crate models a dual-socket machine matching the paper's
+//! testbed (2 × 12-core Xeon E5-2650L v3, 256 GB) and provides task
+//! helpers that charge CPU work to *both* a thread lane and the right
+//! memory links, so interference emerges rather than being hard-coded.
+
+pub mod numa;
+pub mod spec;
+pub mod tasks;
+
+pub use numa::{HostMachine, Socket};
+pub use spec::HostSpec;
+pub use tasks::{CpuTaskKind, CLASS_CPU_COMPUTE, CLASS_DMA_READ};

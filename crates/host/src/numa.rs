@@ -1,0 +1,146 @@
+//! The NUMA machine: per-socket DRAM resources, the QPI link, thread pools.
+
+use hcj_sim::{ResourceId, Sim};
+
+use crate::spec::HostSpec;
+
+/// Which socket a buffer is homed on / a thread runs on. The GPU is
+/// attached to the PCIe root complex of [`Socket::Near`], as in the paper's
+/// testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Socket {
+    /// Socket 0: the GPU's socket.
+    Near,
+    /// Socket 1: reachable from the GPU only across QPI.
+    Far,
+}
+
+impl Socket {
+    pub fn index(self) -> usize {
+        match self {
+            Socket::Near => 0,
+            Socket::Far => 1,
+        }
+    }
+
+    pub fn other(self) -> Socket {
+        match self {
+            Socket::Near => Socket::Far,
+            Socket::Far => Socket::Near,
+        }
+    }
+}
+
+/// The modeled host: registers DRAM and QPI resources with the simulator.
+pub struct HostMachine {
+    pub spec: HostSpec,
+    dram: Vec<ResourceId>,
+    qpi: ResourceId,
+}
+
+impl HostMachine {
+    pub fn new(sim: &mut Sim, spec: HostSpec) -> Self {
+        assert_eq!(spec.sockets, 2, "the model covers the paper's dual-socket topology");
+        let dram = (0..spec.sockets)
+            .map(|s| {
+                sim.shared_resource(
+                    format!("dram-socket{s}"),
+                    spec.socket_mem_bandwidth,
+                    spec.mem_contention_factor,
+                )
+            })
+            .collect();
+        let qpi = sim.shared_resource("qpi", spec.qpi_bandwidth, spec.qpi_contention_factor);
+        HostMachine { spec, dram, qpi }
+    }
+
+    /// DRAM resource of `socket`.
+    pub fn dram(&self, socket: Socket) -> ResourceId {
+        self.dram[socket.index()]
+    }
+
+    /// The inter-socket link.
+    pub fn qpi(&self) -> ResourceId {
+        self.qpi
+    }
+
+    /// Create a pool of `threads` worker lanes. Work submitted to the pool
+    /// is expressed in seconds (rate 1.0) so tasks of different kinds can
+    /// share the pool; [`crate::tasks`] computes the durations.
+    pub fn thread_pool(&self, sim: &mut Sim, name: impl Into<String>, threads: u32) -> ThreadPool {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        assert!(
+            threads <= self.spec.total_threads(),
+            "pool of {threads} exceeds the machine's {} hardware threads",
+            self.spec.total_threads()
+        );
+        let resource = sim.fifo_resource(name, 1.0, threads);
+        ThreadPool { resource, threads }
+    }
+}
+
+/// A set of CPU worker lanes registered with the simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    pub(crate) resource: ResourceId,
+    pub(crate) threads: u32,
+}
+
+impl ThreadPool {
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_sim::Op;
+
+    #[test]
+    fn sockets_are_distinct_resources() {
+        let mut sim = Sim::new();
+        let m = HostMachine::new(&mut sim, HostSpec::dual_xeon_e5_2650l_v3());
+        assert_ne!(m.dram(Socket::Near), m.dram(Socket::Far));
+        assert_eq!(Socket::Near.other(), Socket::Far);
+        assert_eq!(Socket::Far.other(), Socket::Near);
+    }
+
+    #[test]
+    fn pool_limits_parallelism() {
+        let mut sim = Sim::new();
+        let m = HostMachine::new(&mut sim, HostSpec::dual_xeon_e5_2650l_v3());
+        let pool = m.thread_pool(&mut sim, "workers", 2);
+        // Three 1-second tasks on 2 threads: makespan 2 s.
+        for i in 0..3 {
+            sim.op(Op::new(pool.resource(), 1.0).label(format!("t{i}")));
+        }
+        let s = sim.run();
+        assert_eq!(s.makespan().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the machine")]
+    fn oversized_pool_rejected() {
+        let mut sim = Sim::new();
+        let m = HostMachine::new(&mut sim, HostSpec::dual_xeon_e5_2650l_v3());
+        let _ = m.thread_pool(&mut sim, "too-big", 49);
+    }
+
+    #[test]
+    fn dram_is_processor_shared() {
+        let mut sim = Sim::new();
+        let m = HostMachine::new(&mut sim, HostSpec::dual_xeon_e5_2650l_v3());
+        let bw = m.spec.socket_mem_bandwidth;
+        // Two same-class flows of 1 socket-second each → both take 2 s.
+        let a = sim.op(Op::new(m.dram(Socket::Near), bw).class(1));
+        let b = sim.op(Op::new(m.dram(Socket::Near), bw).class(1));
+        let s = sim.run();
+        assert!((s.finish(a).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert!((s.finish(b).as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+}

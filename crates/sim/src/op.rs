@@ -1,0 +1,143 @@
+//! Operation descriptions: units of work bound to a resource.
+
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+
+/// Identifies an operation submitted to [`crate::Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A unit of work to schedule.
+///
+/// Build one with [`Op::new`] (resource-bound work) or [`Op::latency`]
+/// (a fixed-duration step that occupies no resource, e.g. a kernel-launch
+/// overhead or an event-synchronization stub), then submit it with
+/// [`crate::Sim::op`].
+#[derive(Clone, Debug)]
+pub struct Op {
+    pub(crate) resource: Option<ResourceId>,
+    /// Work in the resource's units (bytes for links, seconds for rate-1.0
+    /// resources). For latency ops this is unused.
+    pub(crate) work: f64,
+    /// Fixed duration for latency ops; extra pre-latency for resource ops.
+    pub(crate) latency: SimTime,
+    pub(crate) deps: Vec<OpId>,
+    pub(crate) label: String,
+    /// Traffic class, used by `Shared` resources' contention factor and by
+    /// timeline analysis to group spans into phases.
+    pub(crate) class: u32,
+    /// On a `Shared` resource: the most work/second this op can consume
+    /// (its standalone demand). `None` = unlimited.
+    pub(crate) cap: Option<f64>,
+}
+
+impl Op {
+    /// Work of size `work` (resource units) on `resource`.
+    pub fn new(resource: ResourceId, work: f64) -> Self {
+        assert!(work >= 0.0 && work.is_finite(), "op work must be finite and >= 0");
+        Op {
+            resource: Some(resource),
+            work,
+            latency: SimTime::ZERO,
+            deps: Vec::new(),
+            label: String::new(),
+            class: 0,
+            cap: None,
+        }
+    }
+
+    /// A pure-latency step of fixed `duration` (no resource contention).
+    pub fn latency(duration: SimTime) -> Self {
+        Op {
+            resource: None,
+            work: 0.0,
+            latency: duration,
+            deps: Vec::new(),
+            label: String::new(),
+            class: 0,
+            cap: None,
+        }
+    }
+
+    /// Add a dependency: this op starts only after `dep` finishes.
+    pub fn after(mut self, dep: OpId) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Add several dependencies at once.
+    pub fn after_all(mut self, deps: impl IntoIterator<Item = OpId>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    /// Human-readable label recorded on the timeline span.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Traffic class (see [`crate::ResourceKind::Shared`]).
+    pub fn class(mut self, class: u32) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Fixed latency added *before* the resource work begins (e.g. a kernel
+    /// launch overhead preceding the kernel's execution).
+    pub fn pre_latency(mut self, latency: SimTime) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// On a `Shared` resource, cap this op's consumption at `cap`
+    /// work-units/second — its standalone demand. Shared capacity is then
+    /// divided *demand-proportionally* (weighted max-min/water-filling):
+    /// below saturation every op runs at its own cap; above, everyone is
+    /// squeezed in proportion. Ignored on FIFO resources.
+    pub fn rate_cap(mut self, cap: f64) -> Self {
+        assert!(cap > 0.0 && cap.is_finite(), "rate cap must be positive");
+        self.cap = Some(cap);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let r = ResourceId(0);
+        let op = Op::new(r, 100.0)
+            .label("copy")
+            .class(2)
+            .after(OpId(0))
+            .after_all([OpId(1), OpId(2)])
+            .pre_latency(SimTime::from_nanos(5));
+        assert_eq!(op.deps, vec![OpId(0), OpId(1), OpId(2)]);
+        assert_eq!(op.label, "copy");
+        assert_eq!(op.class, 2);
+        assert_eq!(op.latency.as_nanos(), 5);
+        assert_eq!(op.work, 100.0);
+    }
+
+    #[test]
+    fn latency_op_has_no_resource() {
+        let op = Op::latency(SimTime::from_nanos(42));
+        assert!(op.resource.is_none());
+        assert_eq!(op.latency.as_nanos(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_work_rejected() {
+        let _ = Op::new(ResourceId(0), -1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Resource descriptions: the hardware units operations contend for.
+
+/// Identifies a resource registered with [`crate::Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The sharing discipline of a resource.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResourceKind {
+    /// Serve up to `lanes` operations at once, each at the full rate, in
+    /// arrival order. A copy engine is `Fifo { lanes: 1 }`.
+    Fifo { lanes: u32 },
+    /// Processor sharing: the rate is divided evenly among all running
+    /// operations. While operations of at least two distinct
+    /// [`crate::Op::class`]es are running, the *total* rate is multiplied by
+    /// `contention_factor` (≤ 1.0), modeling cross-traffic penalties such as
+    /// cache-coherence interference on an interconnect.
+    Shared { contention_factor: f64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct Resource {
+    pub name: String,
+    /// Work units per second (bytes/s for links and buses, seconds/s = 1.0
+    /// for resources whose work is expressed directly in seconds).
+    pub rate: f64,
+    pub kind: ResourceKind,
+}
+
+impl Resource {
+    pub(crate) fn new(name: impl Into<String>, rate: f64, kind: ResourceKind) -> Self {
+        let name = name.into();
+        assert!(rate > 0.0 && rate.is_finite(), "resource {name}: rate must be positive");
+        if let ResourceKind::Shared { contention_factor } = kind {
+            assert!(
+                (0.0..=1.0).contains(&contention_factor) && contention_factor > 0.0,
+                "resource {name}: contention factor must be in (0, 1]"
+            );
+        }
+        if let ResourceKind::Fifo { lanes } = kind {
+            assert!(lanes > 0, "resource {name}: need at least one lane");
+        }
+        Resource { name, rate, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_resources_construct() {
+        let r = Resource::new("pcie", 12.0e9, ResourceKind::Fifo { lanes: 1 });
+        assert_eq!(r.name, "pcie");
+        let r = Resource::new("dram", 60.0e9, ResourceKind::Shared { contention_factor: 0.8 });
+        assert_eq!(r.rate, 60.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        Resource::new("bad", 0.0, ResourceKind::Fifo { lanes: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "contention factor")]
+    fn bad_contention_rejected() {
+        Resource::new("bad", 1.0, ResourceKind::Shared { contention_factor: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        Resource::new("bad", 1.0, ResourceKind::Fifo { lanes: 0 });
+    }
+}

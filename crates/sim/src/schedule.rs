@@ -1,0 +1,247 @@
+//! The solved timeline: spans, makespan, busy-time and overlap analysis.
+
+use crate::op::OpId;
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+
+/// One operation's occupancy on the timeline.
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub op: OpId,
+    /// `None` for pure-latency ops.
+    pub resource: Option<ResourceId>,
+    pub label: String,
+    pub class: u32,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Span {
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// The solved schedule produced by [`crate::Sim::run`].
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    spans: Vec<Span>,
+    resource_names: Vec<String>,
+    makespan: SimTime,
+}
+
+impl Schedule {
+    pub(crate) fn new(spans: Vec<Span>, resource_names: Vec<String>) -> Self {
+        let makespan = spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
+        Schedule { spans, resource_names, makespan }
+    }
+
+    /// Name the given resource was registered with.
+    pub fn resource_name(&self, resource: ResourceId) -> &str {
+        &self.resource_names[resource.index()]
+    }
+
+    /// When `op` began executing (after deps and queueing).
+    pub fn start(&self, op: OpId) -> SimTime {
+        self.spans[op.index()].start
+    }
+
+    /// When `op` finished.
+    pub fn finish(&self, op: OpId) -> SimTime {
+        self.spans[op.index()].end
+    }
+
+    /// Completion time of the whole DAG.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// All spans, in op-submission order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total time during which at least one span on `resource` was active
+    /// (union of intervals, not the sum of durations).
+    pub fn busy_time(&self, resource: ResourceId) -> SimTime {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .filter(|s| s.resource == Some(resource) && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect();
+        union_length(&mut intervals)
+    }
+
+    /// Utilization of `resource` over the makespan, in `[0, 1]`.
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_time(resource).as_secs_f64() / self.makespan.as_secs_f64()
+    }
+
+    /// Length of time during which spans matching `a` and spans matching
+    /// `b` were simultaneously active. Used by tests to assert that
+    /// pipelines genuinely overlap transfers with execution.
+    pub fn overlap_time(
+        &self,
+        a: impl Fn(&Span) -> bool,
+        b: impl Fn(&Span) -> bool,
+    ) -> SimTime {
+        let mut ia: Vec<(SimTime, SimTime)> =
+            self.spans.iter().filter(|s| a(s) && s.end > s.start).map(|s| (s.start, s.end)).collect();
+        let mut ib: Vec<(SimTime, SimTime)> =
+            self.spans.iter().filter(|s| b(s) && s.end > s.start).map(|s| (s.start, s.end)).collect();
+        let ua = union_intervals(&mut ia);
+        let ub = union_intervals(&mut ib);
+        intersection_length(&ua, &ub)
+    }
+
+    /// Sum of durations of spans whose label starts with `prefix`.
+    pub fn total_time_labeled(&self, prefix: &str) -> SimTime {
+        let ns: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.label.starts_with(prefix))
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        SimTime::from_nanos(ns)
+    }
+
+    /// A compact textual gantt chart (one row per resource-bound span),
+    /// useful when debugging pipeline structure. `width` is the number of
+    /// character cells representing the makespan.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let mut out = String::new();
+        let total = self.makespan.as_secs_f64().max(1e-12);
+        for s in &self.spans {
+            if s.resource.is_none() && s.duration() == SimTime::ZERO {
+                continue;
+            }
+            let a = ((s.start.as_secs_f64() / total) * width as f64) as usize;
+            let b = ((s.end.as_secs_f64() / total) * width as f64).ceil() as usize;
+            let b = b.clamp(a + 1, width.max(a + 1));
+            out.push_str(&" ".repeat(a));
+            out.push_str(&"#".repeat(b - a));
+            out.push_str(&" ".repeat(width.saturating_sub(b)));
+            let res = s.resource.map_or("-", |r| self.resource_name(r));
+            out.push_str(&format!(" | {res}: {} [{} .. {}]\n", s.label, s.start, s.end));
+        }
+        out
+    }
+}
+
+/// Sort + merge intervals, returning their union as disjoint intervals.
+fn union_intervals(intervals: &mut Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
+    intervals.sort_unstable();
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
+    for &(s, e) in intervals.iter() {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+fn union_length(intervals: &mut Vec<(SimTime, SimTime)>) -> SimTime {
+    let merged = union_intervals(intervals);
+    let ns: u64 = merged.iter().map(|(s, e)| (*e - *s).as_nanos()).sum();
+    SimTime::from_nanos(ns)
+}
+
+fn intersection_length(a: &[(SimTime, SimTime)], b: &[(SimTime, SimTime)]) -> SimTime {
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0u64;
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e > s {
+            total += (e - s).as_nanos();
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    SimTime::from_nanos(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Sim};
+
+    #[test]
+    fn busy_time_unions_overlapping_spans() {
+        let mut sim = Sim::new();
+        let r = sim.fifo_resource("r", 1.0, 2);
+        // Two overlapping 2 s spans on the same 2-lane resource.
+        sim.op(Op::new(r, 2.0));
+        sim.op(Op::new(r, 2.0));
+        let s = sim.run();
+        assert_eq!(s.busy_time(r).as_secs_f64(), 2.0); // union, not 4
+        assert!((s.utilization(r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_time_between_phases() {
+        let mut sim = Sim::new();
+        let copy = sim.fifo_resource("copy", 1.0, 1);
+        let exec = sim.fifo_resource("exec", 1.0, 1);
+        let c0 = sim.op(Op::new(copy, 2.0).label("copy0"));
+        let _k0 = sim.op(Op::new(exec, 2.0).label("exec0").after(c0));
+        let _c1 = sim.op(Op::new(copy, 2.0).label("copy1").after(c0));
+        let s = sim.run();
+        // exec0 runs [2,4) while copy1 runs [2,4): full 2 s overlap.
+        let ov = s.overlap_time(|sp| sp.label.starts_with("exec"), |sp| sp.label.starts_with("copy"));
+        assert_eq!(ov.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn total_time_labeled_sums_durations() {
+        let mut sim = Sim::new();
+        let r = sim.fifo_resource("r", 1.0, 1);
+        sim.op(Op::new(r, 1.0).label("x-a"));
+        sim.op(Op::new(r, 2.0).label("x-b"));
+        sim.op(Op::new(r, 4.0).label("y-a"));
+        let s = sim.run();
+        assert_eq!(s.total_time_labeled("x-").as_secs_f64(), 3.0);
+        assert_eq!(s.total_time_labeled("y-").as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut sim = Sim::new();
+        let r = sim.fifo_resource("r", 1.0, 1);
+        sim.op(Op::new(r, 1.0).label("first"));
+        sim.op(Op::new(r, 1.0).label("second"));
+        let s = sim.run();
+        let g = s.render_gantt(20);
+        assert!(g.contains("first"));
+        assert!(g.contains("second"));
+        assert_eq!(g.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_schedule_makespan_zero() {
+        let sim = Sim::new();
+        let s = sim.run();
+        assert_eq!(s.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let mut v = vec![
+            (SimTime::from_nanos(0), SimTime::from_nanos(10)),
+            (SimTime::from_nanos(5), SimTime::from_nanos(15)),
+            (SimTime::from_nanos(20), SimTime::from_nanos(25)),
+        ];
+        assert_eq!(union_length(&mut v).as_nanos(), 20);
+        let a = [(SimTime::from_nanos(0), SimTime::from_nanos(10))];
+        let b = [(SimTime::from_nanos(5), SimTime::from_nanos(20))];
+        assert_eq!(intersection_length(&a, &b).as_nanos(), 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the discrete-event engine's scheduling
+//! invariants: work conservation, capacity limits, dependency ordering,
+//! and determinism — over randomized DAGs and resource mixes.
+
+use proptest::prelude::*;
+
+use hcj_sim::{Op, OpId, Sim, SimTime};
+
+/// A randomized op description: work, optional rate cap, and dependencies
+/// on earlier ops (by index).
+#[derive(Clone, Debug)]
+struct OpSpec {
+    work: f64,
+    cap: Option<f64>,
+    deps: Vec<usize>,
+    shared: bool,
+}
+
+fn op_specs(max_ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec(
+        (
+            0.1f64..100.0,
+            proptest::option::of(0.5f64..20.0),
+            proptest::collection::vec(0usize..100, 0..4),
+            any::<bool>(),
+        ),
+        1..max_ops,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (work, cap, deps, shared))| OpSpec {
+                work,
+                cap,
+                // Deps may only point at strictly earlier ops.
+                deps: deps.into_iter().filter(|&d| d < i).map(|d| d % i.max(1)).collect(),
+                shared,
+            })
+            .collect()
+    })
+}
+
+fn build_and_run(specs: &[OpSpec]) -> (Vec<SimTime>, Vec<SimTime>, SimTime) {
+    let mut sim = Sim::new();
+    let fifo = sim.fifo_resource("fifo", 10.0, 2);
+    let shared = sim.shared_resource("shared", 10.0, 0.8);
+    let mut ids: Vec<OpId> = Vec::new();
+    for spec in specs {
+        let res = if spec.shared { shared } else { fifo };
+        let mut op = Op::new(res, spec.work);
+        if spec.shared {
+            if let Some(cap) = spec.cap {
+                op = op.rate_cap(cap);
+            }
+        }
+        for &d in &spec.deps {
+            op = op.after(ids[d]);
+        }
+        ids.push(sim.op(op));
+    }
+    let schedule = sim.run();
+    let starts = ids.iter().map(|&id| schedule.start(id)).collect();
+    let ends = ids.iter().map(|&id| schedule.finish(id)).collect();
+    (starts, ends, schedule.makespan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every op finishes; no op starts before its dependencies end; the
+    /// makespan is the max finish.
+    #[test]
+    fn dependencies_are_respected(specs in op_specs(40)) {
+        let (starts, ends, makespan) = build_and_run(&specs);
+        for (i, spec) in specs.iter().enumerate() {
+            prop_assert!(ends[i] >= starts[i]);
+            for &d in &spec.deps {
+                prop_assert!(
+                    starts[i] >= ends[d],
+                    "op {i} started {} before dep {d} ended {}",
+                    starts[i],
+                    ends[d]
+                );
+            }
+        }
+        let max_end = ends.iter().copied().max().unwrap();
+        prop_assert_eq!(makespan, max_end);
+    }
+
+    /// Work conservation: the whole DAG cannot finish faster than the
+    /// total work divided by the aggregate service capacity, nor faster
+    /// than any single op's best-case duration along a dependency chain.
+    #[test]
+    fn makespan_respects_capacity(specs in op_specs(40)) {
+        let (_, ends, makespan) = build_and_run(&specs);
+        let fifo_work: f64 = specs.iter().filter(|s| !s.shared).map(|s| s.work).sum();
+        let shared_work: f64 = specs.iter().filter(|s| s.shared).map(|s| s.work).sum();
+        // FIFO: 2 lanes x 10/s; shared: 10/s total (x0.8 only when classes
+        // mix, and all ops here share class 0, so full rate applies).
+        let lower = (fifo_work / 20.0).max(shared_work / 10.0);
+        prop_assert!(
+            makespan.as_secs_f64() >= lower * (1.0 - 1e-6) - 1e-9,
+            "makespan {} below capacity bound {lower}",
+            makespan.as_secs_f64()
+        );
+        // And no op finished faster than its own work at its own best rate.
+        for (i, spec) in specs.iter().enumerate() {
+            let best_rate = if spec.shared {
+                spec.cap.map_or(10.0, |c| c.min(10.0))
+            } else {
+                10.0
+            };
+            let min_dur = spec.work / best_rate;
+            prop_assert!(
+                ends[i].as_secs_f64() >= min_dur * (1.0 - 1e-6) - 1e-9,
+                "op {i} finished at {} under its minimum duration {min_dur}",
+                ends[i].as_secs_f64()
+            );
+        }
+    }
+
+    /// Determinism: running the same DAG twice gives identical schedules.
+    #[test]
+    fn schedules_are_deterministic(specs in op_specs(30)) {
+        let a = build_and_run(&specs);
+        let b = build_and_run(&specs);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Chains serialize exactly: a linear chain's makespan on a dedicated
+    /// FIFO equals the sum of its op durations.
+    #[test]
+    fn chain_makespan_is_sum(works in proptest::collection::vec(0.1f64..50.0, 1..20)) {
+        let mut sim = Sim::new();
+        let r = sim.fifo_resource("r", 4.0, 1);
+        let mut prev: Option<OpId> = None;
+        for &w in &works {
+            let mut op = Op::new(r, w);
+            if let Some(p) = prev {
+                op = op.after(p);
+            }
+            prev = Some(sim.op(op));
+        }
+        let schedule = sim.run();
+        let want: f64 = works.iter().map(|w| w / 4.0).sum();
+        let got = schedule.makespan().as_secs_f64();
+        prop_assert!((got - want).abs() < 1e-6 + want * 1e-9, "got {got}, want {want}");
+    }
+
+    /// Independent ops on an unlimited-lane FIFO all run at full rate:
+    /// makespan equals the longest op.
+    #[test]
+    fn wide_fifo_runs_everything_in_parallel(
+        works in proptest::collection::vec(0.1f64..50.0, 1..32)
+    ) {
+        let mut sim = Sim::new();
+        let r = sim.fifo_resource("r", 2.0, 64);
+        for &w in &works {
+            sim.op(Op::new(r, w));
+        }
+        let schedule = sim.run();
+        let want = works.iter().cloned().fold(0.0f64, f64::max) / 2.0;
+        let got = schedule.makespan().as_secs_f64();
+        prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+
+    /// Shared-resource completion order follows remaining-work order for
+    /// same-size caps: ops submitted with strictly increasing work finish
+    /// in submission order.
+    #[test]
+    fn shared_resource_orders_by_work(count in 2usize..12) {
+        let mut sim = Sim::new();
+        let bus = sim.shared_resource("bus", 10.0, 1.0);
+        let ids: Vec<OpId> =
+            (0..count).map(|i| sim.op(Op::new(bus, (i + 1) as f64 * 5.0))).collect();
+        let schedule = sim.run();
+        for w in ids.windows(2) {
+            prop_assert!(schedule.finish(w[0]) <= schedule.finish(w[1]));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Relation generators for every distribution the evaluation uses.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::relation::{Relation, Tuple};
+use crate::zipf::ZipfSampler;
+
+/// Key distribution of a generated relation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key in `1..=n` exactly once, in random order — the paper's
+    /// default micro-benchmark input ("unique and uniform", §V-B).
+    UniqueShuffled,
+    /// Foreign keys drawn uniformly from `1..=distinct`.
+    UniformFk { distinct: u64 },
+    /// Foreign keys drawn `Zipf(distinct, theta)`; rank 1 = hottest key.
+    Zipf { distinct: u64, theta: f64 },
+    /// Every key in `1..=n/replicas` exactly `replicas` times, shuffled —
+    /// the uniform-number-of-replicas workload of Fig. 19.
+    Replicated { replicas: u32 },
+}
+
+/// Specification of one relation to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelationSpec {
+    pub tuples: usize,
+    pub distribution: KeyDistribution,
+    /// Logical payload width in bytes (cost model only; ≥ 4).
+    pub payload_width: u32,
+    pub seed: u64,
+}
+
+impl RelationSpec {
+    /// Unique shuffled keys, 4-byte payload.
+    pub fn unique(tuples: usize, seed: u64) -> Self {
+        RelationSpec {
+            tuples,
+            distribution: KeyDistribution::UniqueShuffled,
+            payload_width: 4,
+            seed,
+        }
+    }
+
+    /// Zipf-skewed foreign keys over `distinct` values.
+    pub fn zipf(tuples: usize, distinct: u64, theta: f64, seed: u64) -> Self {
+        RelationSpec {
+            tuples,
+            distribution: KeyDistribution::Zipf { distinct, theta },
+            payload_width: 4,
+            seed,
+        }
+    }
+
+    pub fn with_payload_width(mut self, width: u32) -> Self {
+        assert!(width >= 4, "payload width is at least the 4-byte rid");
+        self.payload_width = width;
+        self
+    }
+
+    /// Generate the relation. Payloads are `key * 31 + 7` (checkable by the
+    /// oracle) unless payloads are late-materialized row ids, in which case
+    /// they are the row index — either way deterministic.
+    pub fn generate(&self) -> Relation {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rel = Relation::with_capacity(self.tuples);
+        rel.payload_width = self.payload_width;
+        match self.distribution {
+            KeyDistribution::UniqueShuffled => {
+                let mut keys: Vec<u32> = (1..=self.tuples as u32).collect();
+                keys.shuffle(&mut rng);
+                for k in keys {
+                    rel.push(Tuple { key: k, payload: payload_of(k) });
+                }
+            }
+            KeyDistribution::UniformFk { distinct } => {
+                assert!(distinct >= 1 && distinct <= u64::from(u32::MAX));
+                for _ in 0..self.tuples {
+                    let k = rng.gen_range(1..=distinct) as u32;
+                    rel.push(Tuple { key: k, payload: payload_of(k) });
+                }
+            }
+            KeyDistribution::Zipf { distinct, theta } => {
+                assert!(distinct >= 1 && distinct <= u64::from(u32::MAX));
+                let z = ZipfSampler::new(distinct, theta);
+                for _ in 0..self.tuples {
+                    let k = z.sample(&mut rng) as u32;
+                    rel.push(Tuple { key: k, payload: payload_of(k) });
+                }
+            }
+            KeyDistribution::Replicated { replicas } => {
+                assert!(replicas >= 1);
+                let distinct = self.tuples / replicas as usize;
+                assert!(distinct >= 1, "need tuples >= replicas");
+                let mut keys: Vec<u32> = (1..=distinct as u32)
+                    .flat_map(|k| std::iter::repeat(k).take(replicas as usize))
+                    .collect();
+                // Top up to the exact cardinality with wrap-around keys.
+                let mut next = 1u32;
+                while keys.len() < self.tuples {
+                    keys.push(next);
+                    next = next % distinct as u32 + 1;
+                }
+                keys.shuffle(&mut rng);
+                for k in keys {
+                    rel.push(Tuple { key: k, payload: payload_of(k) });
+                }
+            }
+        }
+        rel
+    }
+}
+
+/// Deterministic payload for key `k`; the oracle and the aggregation
+/// checks rely on this mapping.
+pub fn payload_of(k: u32) -> u32 {
+    k.wrapping_mul(31).wrapping_add(7)
+}
+
+/// Convenience: the paper's canonical pair of relations — a build side of
+/// `r_tuples` unique keys and a probe side of `s_tuples` tuples whose keys
+/// all hit the build side (same distinct set, §V-B "for each build-side
+/// table size, we keep the same set of distinct values in the probe-side").
+pub fn canonical_pair(r_tuples: usize, s_tuples: usize, seed: u64) -> (Relation, Relation) {
+    let r = RelationSpec::unique(r_tuples, seed).generate();
+    let s = RelationSpec {
+        tuples: s_tuples,
+        distribution: KeyDistribution::UniformFk { distinct: r_tuples as u64 },
+        payload_width: 4,
+        seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+    }
+    .generate();
+    (r, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn unique_shuffled_is_a_permutation() {
+        let r = RelationSpec::unique(1000, 1).generate();
+        let mut keys = r.keys.clone();
+        keys.sort_unstable();
+        assert_eq!(keys, (1..=1000).collect::<Vec<u32>>());
+        // Shuffled: the first few keys are not simply 1,2,3,...
+        assert_ne!(&r.keys[..10], &(1..=10).collect::<Vec<u32>>()[..]);
+    }
+
+    #[test]
+    fn payloads_follow_the_checkable_mapping() {
+        let r = RelationSpec::unique(100, 2).generate();
+        for t in r.iter() {
+            assert_eq!(t.payload, payload_of(t.key));
+        }
+    }
+
+    #[test]
+    fn uniform_fk_stays_in_domain() {
+        let s = RelationSpec {
+            tuples: 5000,
+            distribution: KeyDistribution::UniformFk { distinct: 64 },
+            payload_width: 4,
+            seed: 3,
+        }
+        .generate();
+        assert!(s.keys.iter().all(|&k| (1..=64).contains(&k)));
+        // All 64 values should appear in 5000 draws.
+        let distinct: std::collections::HashSet<u32> = s.keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn zipf_skews_toward_rank_one() {
+        let s = RelationSpec::zipf(50_000, 1000, 1.0, 4).generate();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &k in &s.keys {
+            *counts.entry(k).or_default() += 1;
+        }
+        let hot = counts.get(&1).copied().unwrap_or(0);
+        let cold = counts.get(&900).copied().unwrap_or(0);
+        assert!(hot > 50 * cold.max(1), "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn replicated_has_exact_multiplicity() {
+        let r = RelationSpec {
+            tuples: 4000,
+            distribution: KeyDistribution::Replicated { replicas: 4 },
+            payload_width: 4,
+            seed: 5,
+        }
+        .generate();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &k in &r.keys {
+            *counts.entry(k).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 1000);
+        assert!(counts.values().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn replicated_tops_up_non_divisible_cardinality() {
+        let r = RelationSpec {
+            tuples: 10,
+            distribution: KeyDistribution::Replicated { replicas: 3 },
+            payload_width: 4,
+            seed: 6,
+        }
+        .generate();
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn canonical_pair_probe_keys_all_match() {
+        let (r, s) = canonical_pair(256, 1024, 9);
+        let rset: std::collections::HashSet<u32> = r.keys.iter().copied().collect();
+        assert!(s.keys.iter().all(|k| rset.contains(k)));
+        assert_eq!(r.len(), 256);
+        assert_eq!(s.len(), 1024);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RelationSpec::zipf(1000, 100, 0.5, 77).generate();
+        let b = RelationSpec::zipf(1000, 100, 0.5, 77).generate();
+        assert_eq!(a, b);
+        let c = RelationSpec::zipf(1000, 100, 0.5, 78).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn payload_width_is_recorded() {
+        let r = RelationSpec::unique(10, 1).with_payload_width(64).generate();
+        assert_eq!(r.payload_width, 64);
+        assert_eq!(r.logical_bytes(), 10 * 68);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the 4-byte rid")]
+    fn tiny_payload_rejected() {
+        let _ = RelationSpec::unique(10, 1).with_payload_width(2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Reference join oracle: a simple, obviously-correct equi-join used to
+//! validate every join strategy in the workspace.
+
+use std::collections::HashMap;
+
+use crate::relation::Relation;
+
+/// One materialized join result row: `(key, r_payload, s_payload)`.
+pub type JoinRow = (u32, u32, u32);
+
+/// Hash-join the two relations with a plain `HashMap`, returning the
+/// result rows sorted (so strategy outputs can be compared order-free).
+pub fn reference_join(r: &Relation, s: &Relation) -> Vec<JoinRow> {
+    let mut table: HashMap<u32, Vec<u32>> = HashMap::with_capacity(r.len());
+    for t in r.iter() {
+        table.entry(t.key).or_default().push(t.payload);
+    }
+    let mut out = Vec::new();
+    for t in s.iter() {
+        if let Some(pays) = table.get(&t.key) {
+            for &rp in pays {
+                out.push((t.key, rp, t.payload));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Summary facts about the correct join result, for cheap validation of
+/// aggregate-only strategies (the paper's aggregation output mode sums the
+/// payload columns instead of materializing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinCheck {
+    /// Number of result rows.
+    pub matches: u64,
+    /// Sum over results of `r_payload` (wrapping).
+    pub sum_r_payload: u64,
+    /// Sum over results of `s_payload` (wrapping).
+    pub sum_s_payload: u64,
+}
+
+impl JoinCheck {
+    /// Compute the ground truth from the two inputs.
+    pub fn compute(r: &Relation, s: &Relation) -> JoinCheck {
+        let mut table: HashMap<u32, (u64, u64)> = HashMap::with_capacity(r.len());
+        for t in r.iter() {
+            let e = table.entry(t.key).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(t.payload);
+        }
+        let mut check = JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 };
+        for t in s.iter() {
+            if let Some(&(count, pay_sum)) = table.get(&t.key) {
+                check.matches += count;
+                check.sum_r_payload = check.sum_r_payload.wrapping_add(pay_sum);
+                check.sum_s_payload =
+                    check.sum_s_payload.wrapping_add(count * u64::from(t.payload));
+            }
+        }
+        check
+    }
+
+    /// Fold a materialized result into the same summary shape.
+    pub fn from_rows(rows: &[JoinRow]) -> JoinCheck {
+        let mut check = JoinCheck { matches: rows.len() as u64, sum_r_payload: 0, sum_s_payload: 0 };
+        for &(_, rp, sp) in rows {
+            check.sum_r_payload = check.sum_r_payload.wrapping_add(u64::from(rp));
+            check.sum_s_payload = check.sum_s_payload.wrapping_add(u64::from(sp));
+        }
+        check
+    }
+}
+
+/// Assert that `rows` (any order) equals the reference join of `r ⨝ s`.
+/// Panics with a diff-oriented message on mismatch. Test helper.
+pub fn assert_join_matches(r: &Relation, s: &Relation, rows: &[JoinRow]) {
+    let expected = reference_join(r, s);
+    let mut got = rows.to_vec();
+    got.sort_unstable();
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "result cardinality mismatch: got {}, expected {}",
+        got.len(),
+        expected.len()
+    );
+    if got != expected {
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(g, e, "first divergence at sorted row {i}");
+        }
+        unreachable!("lengths equal and rows compared");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{canonical_pair, payload_of, RelationSpec};
+    use crate::relation::Tuple;
+
+    #[test]
+    fn one_to_one_join() {
+        let r: Relation =
+            [(1, 10), (2, 20), (3, 30)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let s: Relation =
+            [(2, 200), (3, 300), (4, 400)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let rows = reference_join(&r, &s);
+        assert_eq!(rows, vec![(2, 20, 200), (3, 30, 300)]);
+    }
+
+    #[test]
+    fn many_to_many_multiplicity() {
+        let r: Relation =
+            [(7, 1), (7, 2)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let s: Relation =
+            [(7, 10), (7, 20), (7, 30)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let rows = reference_join(&r, &s);
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn check_matches_rows_on_canonical_pair() {
+        let (r, s) = canonical_pair(128, 512, 11);
+        let rows = reference_join(&r, &s);
+        assert_eq!(rows.len(), 512); // unique build keys: one match per probe
+        let from_rows = JoinCheck::from_rows(&rows);
+        let computed = JoinCheck::compute(&r, &s);
+        assert_eq!(from_rows, computed);
+        // Payloads are payload_of(key) on both sides here.
+        assert_eq!(computed.sum_r_payload, computed.sum_s_payload);
+        let expect: u64 = s.keys.iter().map(|&k| u64::from(payload_of(k))).sum();
+        assert_eq!(computed.sum_s_payload, expect);
+    }
+
+    #[test]
+    fn skewed_many_to_many_check_consistency() {
+        let r = RelationSpec::zipf(500, 40, 0.8, 1).generate();
+        let s = RelationSpec::zipf(800, 40, 0.8, 2).generate();
+        let rows = reference_join(&r, &s);
+        assert_eq!(JoinCheck::from_rows(&rows), JoinCheck::compute(&r, &s));
+        assert!(rows.len() as u64 > 800); // data explosion under identical skew
+    }
+
+    #[test]
+    fn empty_inputs_empty_output() {
+        let e = Relation::default();
+        let (r, _) = canonical_pair(8, 8, 1);
+        assert!(reference_join(&e, &r).is_empty());
+        assert!(reference_join(&r, &e).is_empty());
+        assert_eq!(JoinCheck::compute(&e, &e), JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 });
+    }
+
+    #[test]
+    fn assert_join_matches_accepts_shuffled_rows() {
+        let (r, s) = canonical_pair(16, 32, 3);
+        let mut rows = reference_join(&r, &s);
+        rows.reverse();
+        assert_join_matches(&r, &s, &rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality mismatch")]
+    fn assert_join_matches_rejects_missing_row() {
+        let (r, s) = canonical_pair(16, 32, 3);
+        let mut rows = reference_join(&r, &s);
+        rows.pop();
+        assert_join_matches(&r, &s, &rows);
+    }
+}

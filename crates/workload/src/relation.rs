@@ -1,0 +1,160 @@
+//! Columnar relations of narrow tuples.
+
+/// One `(key, payload)` tuple. Both fields are 4 bytes, matching the
+/// canonical join micro-benchmark schema the paper adopts (§V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    pub key: u32,
+    /// 4-byte payload, or a row identifier when payloads are late
+    /// materialized (Figs. 9–10).
+    pub payload: u32,
+}
+
+/// A columnar relation: parallel `keys` / `payloads` columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Relation {
+    pub keys: Vec<u32>,
+    pub payloads: Vec<u32>,
+    /// Logical payload width in bytes for late-materialization cost
+    /// modeling; the functional payload column stays 4 bytes. Defaults to 4
+    /// (payload *is* the value).
+    pub payload_width: u32,
+}
+
+impl Relation {
+    /// An empty relation with capacity for `n` tuples.
+    pub fn with_capacity(n: usize) -> Self {
+        Relation { keys: Vec::with_capacity(n), payloads: Vec::with_capacity(n), payload_width: 4 }
+    }
+
+    /// Build from parallel columns.
+    pub fn from_columns(keys: Vec<u32>, payloads: Vec<u32>) -> Self {
+        assert_eq!(keys.len(), payloads.len(), "column lengths differ");
+        Relation { keys, payloads, payload_width: 4 }
+    }
+
+    /// Build from tuples.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::default();
+        r.payload_width = 4;
+        for t in tuples {
+            r.push(t);
+        }
+        r
+    }
+
+    pub fn push(&mut self, t: Tuple) {
+        self.keys.push(t.key);
+        self.payloads.push(t.payload);
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    pub fn tuple(&self, i: usize) -> Tuple {
+        Tuple { key: self.keys[i], payload: self.payloads[i] }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.keys.iter().zip(&self.payloads).map(|(&key, &payload)| Tuple { key, payload })
+    }
+
+    /// Physical bytes of the narrow columnar representation (8 B/tuple).
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * 8
+    }
+
+    /// Logical bytes including the late-materialized payload width.
+    pub fn logical_bytes(&self) -> u64 {
+        self.len() as u64 * (4 + u64::from(self.payload_width))
+    }
+
+    /// Borrow a contiguous chunk `[start, start+len)` as a new relation
+    /// (copies; chunking for the streamed out-of-GPU strategies).
+    pub fn chunk(&self, start: usize, len: usize) -> Relation {
+        let end = (start + len).min(self.len());
+        Relation {
+            keys: self.keys[start..end].to_vec(),
+            payloads: self.payloads[start..end].to_vec(),
+            payload_width: self.payload_width,
+        }
+    }
+
+    /// Split into `ceil(len / chunk_len)` contiguous chunks.
+    pub fn chunks(&self, chunk_len: usize) -> Vec<Relation> {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        (0..self.len()).step_by(chunk_len).map(|s| self.chunk(s, chunk_len)).collect()
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Relation::from_tuples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: u32) -> Relation {
+        (0..n).map(|i| Tuple { key: i, payload: i * 10 }).collect()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let r = rel(4);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.tuple(2), Tuple { key: 2, payload: 20 });
+        assert_eq!(r.bytes(), 32);
+        assert_eq!(r.logical_bytes(), 32);
+    }
+
+    #[test]
+    fn payload_width_affects_logical_bytes_only() {
+        let mut r = rel(10);
+        r.payload_width = 64;
+        assert_eq!(r.bytes(), 80);
+        assert_eq!(r.logical_bytes(), 10 * 68);
+    }
+
+    #[test]
+    fn chunking_covers_everything_once() {
+        let r = rel(10);
+        let chunks = r.chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[3].len(), 1);
+        let total: usize = chunks.iter().map(Relation::len).sum();
+        assert_eq!(total, 10);
+        let rejoined: Relation = chunks.iter().flat_map(|c| c.iter().collect::<Vec<_>>()).collect();
+        assert_eq!(rejoined.keys, r.keys);
+    }
+
+    #[test]
+    fn chunk_past_end_truncates() {
+        let r = rel(5);
+        let c = r.chunk(3, 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column lengths differ")]
+    fn mismatched_columns_rejected() {
+        let _ = Relation::from_columns(vec![1, 2], vec![1]);
+    }
+
+    #[test]
+    fn iter_yields_tuples_in_order() {
+        let r = rel(3);
+        let v: Vec<Tuple> = r.iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].payload, 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Zipf-distributed key sampling.
+//!
+//! The skew experiments (paper Figs. 17–18, 20) draw keys from a Zipf
+//! distribution over `n` distinct values with exponent `theta` (the "zipf
+//! factor" on the x-axes): value `k` (1-based rank) has probability
+//! proportional to `1 / k^theta`. `theta = 0` degenerates to uniform;
+//! `theta = 1` is the classic heavy skew where the hottest key dominates.
+//!
+//! Sampling uses the rejection-inversion method of Hörmann & Derflinger,
+//! which is O(1) per sample with no per-distribution table, so generating
+//! the paper's multi-hundred-million-tuple skewed relations stays cheap.
+
+use rand::Rng;
+
+/// A sampler for `Zipf(n, theta)` over ranks `1..=n`.
+///
+/// ```
+/// use hcj_workload::ZipfSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let zipf = ZipfSampler::new(1_000_000, 1.1);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut head = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 1 {
+///         head += 1;
+///     }
+/// }
+/// // At theta > 1 the hottest of a million values carries ~10% of all mass.
+/// assert!(head > 300);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of rejection inversion.
+    h_integral_x1: f64,
+    h_integral_num_elements: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// `n` distinct values, exponent `theta >= 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one element");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and >= 0");
+        let h_integral_x1 = h_integral(1.5, theta) - 1.0;
+        let h_integral_num_elements = h_integral(n as f64 + 0.5, theta);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, theta) - h(2.0, theta), theta);
+        ZipfSampler { n, theta, h_integral_x1, h_integral_num_elements, s }
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw one rank in `1..=n` (rank 1 is the most popular value).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(1..=self.n);
+        }
+        loop {
+            let u = self.h_integral_num_elements
+                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_num_elements);
+            let x = h_integral_inverse(u, self.theta);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= h_integral(k + 0.5, self.theta) - h(k, self.theta) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x)`: integral of `h(x) = x^-theta`, with the theta→1 limit handled.
+fn h_integral(x: f64, theta: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - theta) * log_x) * log_x
+}
+
+fn h(x: f64, theta: f64) -> f64 {
+    (-theta * x.ln()).exp()
+}
+
+fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+    let mut t = x * (1.0 - theta);
+    if t < -1.0 {
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log1p(x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, theta: f64, samples: usize) -> Vec<u64> {
+        let z = ZipfSampler::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            counts[(k - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(100, 0.75);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let counts = histogram(10, 0.0, 100_000);
+        for &c in &counts {
+            let expect = 10_000.0;
+            assert!((c as f64 - expect).abs() < expect * 0.15, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn theta_one_matches_harmonic_law() {
+        let n = 100u64;
+        let samples = 200_000;
+        let counts = histogram(n, 1.0, samples);
+        let hn: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        // Check the first few ranks against 1/(k * H_n).
+        for k in 1..=5u64 {
+            let expect = samples as f64 / (k as f64 * hn);
+            let got = counts[(k - 1) as usize] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.15,
+                "rank {k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_mass() {
+        let c25 = histogram(1000, 0.25, 100_000);
+        let c75 = histogram(1000, 0.75, 100_000);
+        let c100 = histogram(1000, 1.0, 100_000);
+        assert!(c75[0] > 2 * c25[0], "0.75 head {} vs 0.25 head {}", c75[0], c25[0]);
+        assert!(c100[0] > c75[0]);
+    }
+
+    #[test]
+    fn rank_frequencies_are_monotone_under_skew() {
+        let counts = histogram(50, 0.9, 300_000);
+        // Allow small sampling noise, but the trend must be decreasing.
+        for w in counts.windows(2).take(10) {
+            assert!(w[0] as f64 >= w[1] as f64 * 0.8, "head not decreasing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_element_always_returns_one() {
+        let z = ZipfSampler::new(1, 0.9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = ZipfSampler::new(1000, 0.5);
+        let a: Vec<u64> =
+            (0..50).scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        let b: Vec<u64> =
+            (0..50).scan(SmallRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        let _ = ZipfSampler::new(0, 0.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the workload generators and the oracle.
+
+use proptest::prelude::*;
+
+use hcj_workload::generate::{canonical_pair, payload_of};
+use hcj_workload::oracle::{reference_join, JoinCheck};
+use hcj_workload::{KeyDistribution, Relation, RelationSpec, Tuple};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unique-shuffled relations are exact permutations of 1..=n.
+    #[test]
+    fn unique_is_a_permutation(n in 1usize..5000, seed in any::<u64>()) {
+        let r = RelationSpec::unique(n, seed).generate();
+        let mut keys = r.keys.clone();
+        keys.sort_unstable();
+        prop_assert_eq!(keys, (1..=n as u32).collect::<Vec<_>>());
+    }
+
+    /// Zipf keys stay within the declared domain, at any skew.
+    #[test]
+    fn zipf_stays_in_domain(
+        n in 1usize..4000,
+        distinct in 1u64..10_000,
+        theta in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let r = RelationSpec::zipf(n, distinct, theta, seed).generate();
+        prop_assert_eq!(r.len(), n);
+        prop_assert!(r.keys.iter().all(|&k| 1 <= k && u64::from(k) <= distinct));
+    }
+
+    /// Payloads always follow the checkable mapping, for every generator.
+    #[test]
+    fn payload_mapping_is_universal(
+        n in 1usize..2000,
+        distinct in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        for dist in [
+            KeyDistribution::UniqueShuffled,
+            KeyDistribution::UniformFk { distinct },
+            KeyDistribution::Zipf { distinct, theta: 0.8 },
+            KeyDistribution::Replicated { replicas: 3 },
+        ] {
+            if matches!(dist, KeyDistribution::Replicated { replicas } if n < replicas as usize) {
+                continue;
+            }
+            let r = RelationSpec { tuples: n, distribution: dist, payload_width: 4, seed }
+                .generate();
+            prop_assert!(r.iter().all(|t| t.payload == payload_of(t.key)));
+        }
+    }
+
+    /// The oracle's summary agrees with its own materialized rows, and a
+    /// join is symmetric in cardinality: |R ⨝ S| == |S ⨝ R|.
+    #[test]
+    fn oracle_is_self_consistent_and_symmetric(
+        r_tuples in 1usize..800,
+        s_tuples in 1usize..800,
+        distinct in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let r = RelationSpec::zipf(r_tuples, distinct, 0.6, seed).generate();
+        let s = RelationSpec::zipf(s_tuples, distinct, 0.6, seed ^ 1).generate();
+        let rows = reference_join(&r, &s);
+        prop_assert_eq!(JoinCheck::from_rows(&rows), JoinCheck::compute(&r, &s));
+        let flipped = reference_join(&s, &r);
+        prop_assert_eq!(rows.len(), flipped.len());
+        // Flipping swaps the payload columns row-by-row (after sorting).
+        let mut reflipped: Vec<_> =
+            flipped.into_iter().map(|(k, a, b)| (k, b, a)).collect();
+        reflipped.sort_unstable();
+        prop_assert_eq!(rows, reflipped);
+    }
+
+    /// canonical_pair: every probe key hits exactly one build tuple, so
+    /// the match count equals the probe cardinality.
+    #[test]
+    fn canonical_pair_matches_equal_probe_size(
+        build in 1usize..2000,
+        probe in 1usize..4000,
+        seed in any::<u64>(),
+    ) {
+        let (r, s) = canonical_pair(build, probe, seed);
+        prop_assert_eq!(JoinCheck::compute(&r, &s).matches, probe as u64);
+    }
+
+    /// Chunking is a partition of the relation: concatenating chunks
+    /// reproduces it exactly.
+    #[test]
+    fn chunks_concatenate_back(
+        n in 1usize..3000,
+        chunk in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let r = RelationSpec::unique(n, seed).generate();
+        let chunks = r.chunks(chunk);
+        let glued: Relation = chunks
+            .iter()
+            .flat_map(|c| c.iter().collect::<Vec<Tuple>>())
+            .collect();
+        prop_assert_eq!(glued.keys, r.keys);
+        prop_assert_eq!(glued.payloads, r.payloads);
+        prop_assert!(chunks.iter().take(chunks.len() - 1).all(|c| c.len() == chunk));
+    }
+}

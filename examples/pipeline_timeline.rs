@@ -1,0 +1,81 @@
+//! Visualize the out-of-GPU pipelines: prints the simulated execution
+//! timeline (a text gantt) of the streamed-probe and co-processing
+//! strategies, the overlap the paper's Figures 2-4 sketch.
+//!
+//! ```text
+//! cargo run --release --example pipeline_timeline
+//! ```
+
+use hashjoin_gpu::prelude::*;
+
+fn main() {
+    println!("== streamed probe (paper Fig. 2/4): transfers overlap joins ==\n");
+    let (r, s) = canonical_pair(1 << 16, 1 << 19, 9);
+    let mut config = StreamedProbeConfig::paper_default(
+        GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
+            .with_radix_bits(9)
+            .with_tuned_buckets(1 << 16)
+            .with_output(OutputMode::Materialize),
+    );
+    config.chunk_tuples = Some(1 << 17);
+    let out = StreamedProbeJoin::new(config).execute(&r, &s).unwrap();
+    print_gantt(&out, &["h2d", "join", "d2h"]);
+    let overlap = out.schedule.overlap_time(
+        |sp| sp.label.starts_with("join"),
+        |sp| sp.label.starts_with("h2d"),
+    );
+    println!("join/transfer overlap: {overlap} of {} makespan\n", out.schedule.makespan());
+
+    println!("== co-processing (paper Fig. 3): CPU partition ∥ transfer ∥ GPU join ==\n");
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
+    let (r, s) = canonical_pair(1 << 19, 1 << 20, 10);
+    let config = GpuJoinConfig::paper_default(device)
+        .with_radix_bits(12)
+        .with_tuned_buckets((1 << 19) / 16);
+    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
+        .execute(&r, &s)
+        .unwrap();
+    print_gantt(&out, &["cpu-Partition", "h2d", "part r", "join"]);
+    println!(
+        "phases: cpu {} | h2d {} | gpu-partition {} | join {} (sums; phases overlap)",
+        out.phases.time(Phase::CpuPartition),
+        out.phases.time(Phase::TransferIn),
+        out.phases.time(Phase::GpuPartition),
+        out.phases.time(Phase::Join),
+    );
+
+    println!("\nresource utilization over the makespan:");
+    for (name, util) in out.resource_report() {
+        println!("  {name:<24} {:>5.1}%", util * 100.0);
+    }
+}
+
+/// Render only the interesting span families, at most a handful per family.
+fn print_gantt(out: &JoinOutcome, families: &[&str]) {
+    let total = out.schedule.makespan().as_secs_f64().max(1e-12);
+    let width = 72usize;
+    for family in families {
+        let mut spans: Vec<_> = out
+            .schedule
+            .spans()
+            .iter()
+            .filter(|sp| sp.label.starts_with(family) && sp.end > sp.start)
+            .collect();
+        spans.sort_by_key(|sp| sp.start);
+        for sp in spans.iter().take(6) {
+            let a = ((sp.start.as_secs_f64() / total) * width as f64) as usize;
+            let b = (((sp.end.as_secs_f64() / total) * width as f64).ceil() as usize)
+                .clamp(a + 1, width);
+            println!(
+                "  |{}{}{}| {}",
+                " ".repeat(a),
+                "█".repeat(b - a),
+                " ".repeat(width - b),
+                sp.label
+            );
+        }
+        if spans.len() > 6 {
+            println!("  |{}| ... {} more `{family}` spans", " ".repeat(width), spans.len() - 6);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! TPC-H joins across engines (paper §V-C, Fig. 14): lineitem ⨝ customer
+//! and lineitem ⨝ orders, our engine vs the DBMS-X-like and CoGaDB-like
+//! comparator models.
+//!
+//! ```text
+//! cargo run --release --example tpch_analytics [scale-factor]
+//! ```
+//!
+//! The default scale factor is 0.05 so the example runs in seconds; pass
+//! a larger one to approach the paper's SF 10.
+
+use hashjoin_gpu::prelude::*;
+use hashjoin_gpu::workload::tpch::TpchTables;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.05);
+    println!("generating TPC-H join columns at SF {sf}...");
+    let t = TpchTables::generate(sf, 99);
+    println!(
+        "  customer: {} rows, orders: {} rows, lineitem: {} rows",
+        t.customer.len(),
+        t.orders.len(),
+        t.lineitem_orderkey.len()
+    );
+
+    let device = DeviceSpec::gtx1080();
+    let joins: [(&str, &Relation, &Relation); 2] = [
+        ("lineitem ⨝ customer", &t.customer, &t.lineitem_custkey),
+        ("lineitem ⨝ orders  ", &t.orders, &t.lineitem_orderkey),
+    ];
+
+    for (name, build, probe) in joins {
+        println!(
+            "\n{name}  (working set {:.1} MB)",
+            (build.bytes() + probe.bytes()) as f64 / 1e6
+        );
+        let config = GpuJoinConfig::paper_default(device.clone())
+            .with_radix_bits(12)
+            .with_tuned_buckets(build.len());
+        let ours = HcjEngine::new(config).run(build, probe);
+        println!(
+            "  {:<18} {:>9.2} M tuples/s",
+            ours.engine,
+            ours.throughput_tuples_per_s() / 1e6
+        );
+        match DbmsXLike::new(device.clone()).execute(build, probe) {
+            Ok(r) => {
+                assert_eq!(r.check, ours.check, "engines disagree on {name}");
+                println!(
+                    "  {:<18} {:>9.2} M tuples/s",
+                    r.engine,
+                    r.throughput_tuples_per_s() / 1e6
+                );
+            }
+            Err(e) => println!("  DBMS-X (model)     ERROR: {e}"),
+        }
+        match CoGaDbLike::new(device.clone()).execute(build, probe) {
+            Ok(r) => {
+                assert_eq!(r.check, ours.check, "engines disagree on {name}");
+                println!(
+                    "  {:<18} {:>9.2} M tuples/s",
+                    r.engine,
+                    r.throughput_tuples_per_s() / 1e6
+                );
+            }
+            Err(e) => println!("  CoGaDB (model)     ERROR: {e}"),
+        }
+    }
+
+    println!(
+        "\n(The paper's Fig. 14 shows the same ordering: the partitioned join \
+         outperforms both systems; at SF 100 DBMS-X errors on the orders join \
+         and CoGaDB fails to load — run with a large SF and a scaled device \
+         to reproduce those failure modes; see `repro fig14`.)"
+    );
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Paste a `repro all` transcript into EXPERIMENTS.md's reference-run block.
+
+Usage: python3 scripts/update_experiments.py /path/to/repro_output.txt
+"""
+import sys
+import pathlib
+
+BEGIN = "<!-- BEGIN REFERENCE RUN -->"
+END = "<!-- END REFERENCE RUN -->"
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    run = pathlib.Path(sys.argv[1]).read_text()
+    exp = pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = exp.read_text()
+    head, rest = text.split(BEGIN, 1)
+    _, tail = rest.split(END, 1)
+    block = f"{BEGIN}\n```text\n{run.rstrip()}\n```\n{END}"
+    exp.write_text(head + block + tail)
+    print(f"updated {exp}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

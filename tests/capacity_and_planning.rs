@@ -1,0 +1,117 @@
+//! Integration: device-memory pressure drives strategy selection — the
+//! planner's whole reason to exist (paper §IV: "a one-size-fits-all
+//! approach is not suitable for GPU joins").
+
+use hashjoin_gpu::prelude::*;
+
+fn config_for(device: DeviceSpec, build_tuples: usize) -> GpuJoinConfig {
+    GpuJoinConfig::paper_default(device)
+        .with_radix_bits(10)
+        .with_tuned_buckets(build_tuples / 8)
+}
+
+#[test]
+fn shrinking_device_walks_through_all_three_strategies() {
+    let (r, s) = canonical_pair(40_000, 160_000, 2001);
+    // Total input 1.6 MB. Walk capacity from plenty down to almost none.
+    let mut seen = Vec::new();
+    for scale_pow in [0u32, 13, 15] {
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << scale_pow);
+        let engine = HcjEngine::new(config_for(device, r.len()));
+        let (strategy, out) = engine.execute(&r, &s);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s), "{strategy:?}");
+        seen.push(strategy);
+    }
+    assert_eq!(
+        seen,
+        vec![
+            PlannedStrategy::GpuResident,
+            PlannedStrategy::StreamedProbe,
+            PlannedStrategy::CoProcessing
+        ],
+        "capacity pressure must escalate the strategy"
+    );
+}
+
+#[test]
+fn gpu_resident_join_reports_oom_rather_than_lying() {
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 16); // 128 KB
+    let (r, s) = canonical_pair(40_000, 40_000, 2002); // 640 KB
+    let err = GpuPartitionedJoin::new(config_for(device, r.len())).execute(&r, &s).unwrap_err();
+    assert!(err.requested > 0);
+    assert!(err.capacity <= 128 * 1024);
+}
+
+#[test]
+fn device_memory_is_returned_after_execution() {
+    let device = DeviceSpec::gtx1080();
+    let config = config_for(device, 10_000);
+    let (r, s) = canonical_pair(10_000, 10_000, 2003);
+    let join = GpuPartitionedJoin::new(config);
+    // Two consecutive executions: if reservations leaked, the second
+    // would see less capacity. (The Gpu is constructed inside execute(),
+    // so the stronger check is simply that repeated runs succeed and
+    // agree.)
+    let a = join.execute(&r, &s).unwrap();
+    let b = join.execute(&r, &s).unwrap();
+    assert_eq!(a.check, b.check);
+    assert_eq!(a.total_seconds(), b.total_seconds(), "simulation must be deterministic");
+}
+
+#[test]
+fn streamed_probe_requires_only_the_build_side_resident() {
+    // Device fits R (+pools +buffers) but not R+S.
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11); // 4 MB
+    let (r, s) = canonical_pair(50_000, 1_000_000, 2004); // R 400 KB, S 8 MB
+    let out = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(config_for(
+        device.clone(),
+        r.len(),
+    )))
+    .execute(&r, &s)
+    .unwrap();
+    assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    // And the in-GPU strategy must refuse the same workload.
+    assert!(GpuPartitionedJoin::new(config_for(device, r.len())).execute(&r, &s).is_err());
+}
+
+#[test]
+fn coprocessing_works_with_tiny_devices() {
+    // 64 KB of device memory: working sets become single partitions.
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 17);
+    let (r, s) = canonical_pair(30_000, 30_000, 2005);
+    let config = GpuJoinConfig::paper_default(device)
+        .with_radix_bits(12)
+        .with_tuned_buckets(64);
+    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
+        .execute(&r, &s)
+        .unwrap();
+    assert_eq!(out.check, JoinCheck::compute(&r, &s));
+}
+
+#[test]
+fn engine_models_fail_where_the_paper_says_they_fail() {
+    use hashjoin_gpu::engines::{CoGaDbLike, DbmsXLike, EngineError};
+    // Working sets beyond the device: CoGaDB cannot run at all; DBMS-X
+    // past its caching limit falls back to CPU-resident execution (slow
+    // but functional); DBMS-X *within* its caching limit but beyond the
+    // allocator errors out (the paper's SF100-orders failure).
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 12); // 2 MB
+    let (r, s) = canonical_pair(100_000, 400_000, 2006); // 4 MB total
+    let cog = CoGaDbLike::new(device.clone()).execute(&r, &s);
+    assert!(matches!(cog, Err(EngineError::WorkingSetTooLarge { .. })));
+    let dx_resident_attempt = DbmsXLike::new(device.clone()).execute(&r, &s);
+    assert!(matches!(dx_resident_attempt, Err(EngineError::WorkingSetTooLarge { .. })));
+    let dx = DbmsXLike::new(device).with_cache_limit(50_000).execute(&r, &s).unwrap();
+    assert_eq!(dx.check, JoinCheck::compute(&r, &s));
+}
+
+#[test]
+fn planner_swaps_sides_so_the_smaller_relation_builds() {
+    let (big, small) = canonical_pair(60_000, 6_000, 2007);
+    let engine = HcjEngine::new(config_for(DeviceSpec::gtx1080(), 6_000));
+    let (_, out) = engine.execute(&big, &small);
+    // canonical_pair makes `small`'s keys a subset of `big`'s domain...
+    // actually it generates small as FK into big's keyspace; regardless,
+    // the join result must match the oracle with either orientation.
+    assert_eq!(out.check, JoinCheck::compute(&big, &small));
+}

@@ -1,0 +1,176 @@
+//! Integration: end-to-end invariants of the hardware model that every
+//! strategy must respect — throughput ceilings, accounting conservation,
+//! determinism, and scale-invariance of bandwidth-bound results.
+
+use hashjoin_gpu::core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hashjoin_gpu::prelude::*;
+
+fn gpu_config(bits: u32, tuples: usize) -> GpuJoinConfig {
+    GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
+        .with_radix_bits(bits)
+        .with_tuned_buckets(tuples)
+}
+
+/// No strategy can beat the device's memory bandwidth: a resident join
+/// must read both inputs at least once, so throughput is bounded by
+/// `mem_bw / 8 bytes` tuples/s (counting both sides in the numerator,
+/// the paper's metric, doubles it).
+#[test]
+fn resident_throughput_respects_memory_bandwidth() {
+    let (r, s) = canonical_pair(1 << 21, 1 << 21, 6001);
+    let out = GpuPartitionedJoin::new(gpu_config(11, 1 << 21)).execute(&r, &s).unwrap();
+    let device = DeviceSpec::gtx1080();
+    let ceiling = 2.0 * device.mem_bandwidth / 8.0;
+    assert!(
+        out.throughput_tuples_per_s() < ceiling,
+        "throughput {:.3e} exceeds the physical ceiling {ceiling:.3e}",
+        out.throughput_tuples_per_s()
+    );
+    // And the non-partitioned comparator respects it too.
+    let np = NonPartitionedJoin::new(NonPartitionedKind::PerfectHash, OutputMode::Aggregate)
+        .execute(&r, &s);
+    let np_tput = (r.len() + s.len()) as f64 / np.kernel_seconds(&device);
+    assert!(np_tput < ceiling);
+}
+
+/// Out-of-GPU strategies cannot beat the PCIe link: every S byte crosses
+/// once, so `(|R|+|S|) / time <= pcie/8 * (1 + |R|/|S|)`.
+#[test]
+fn streamed_probe_respects_the_link() {
+    let (r, s) = canonical_pair(1 << 16, 1 << 21, 6002);
+    let out = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(gpu_config(9, 1 << 16)))
+        .execute(&r, &s)
+        .unwrap();
+    let pcie = DeviceSpec::gtx1080().pcie_bandwidth;
+    let ceiling = (r.len() + s.len()) as f64 / (s.bytes() as f64 / pcie);
+    assert!(
+        out.throughput_tuples_per_s() <= ceiling * 1.001,
+        "throughput {:.3e} vs link ceiling {ceiling:.3e}",
+        out.throughput_tuples_per_s()
+    );
+}
+
+/// Co-processing cannot beat the link either: both relations cross once.
+#[test]
+fn coprocessing_respects_the_link() {
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
+    let (r, s) = canonical_pair(1 << 19, 1 << 20, 6003);
+    let config = GpuJoinConfig::paper_default(device)
+        .with_radix_bits(12)
+        .with_tuned_buckets((1 << 19) / 16);
+    let out =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
+    let pcie = 12.0e9;
+    let ceiling = (r.len() + s.len()) as f64 / ((r.bytes() + s.bytes()) as f64 / pcie);
+    assert!(
+        out.throughput_tuples_per_s() <= ceiling * 1.001,
+        "throughput {:.3e} vs link ceiling {ceiling:.3e}",
+        out.throughput_tuples_per_s()
+    );
+}
+
+/// The whole stack is deterministic: same inputs, same schedule, same
+/// nanosecond timings, across strategies.
+#[test]
+fn end_to_end_determinism() {
+    let (r, s) = canonical_pair(60_000, 120_000, 6004);
+    let run_resident = || {
+        GpuPartitionedJoin::new(gpu_config(9, 60_000)).execute(&r, &s).unwrap().total_seconds()
+    };
+    assert_eq!(run_resident(), run_resident());
+
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 13);
+    let run_coproc = || {
+        let config = GpuJoinConfig::paper_default(device.clone())
+            .with_radix_bits(10)
+            .with_tuned_buckets(60_000 / 16);
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
+            .execute(&r, &s)
+            .unwrap()
+            .total_seconds()
+    };
+    assert_eq!(run_coproc(), run_coproc());
+}
+
+/// Scale-invariance of bandwidth-bound results: running the same
+/// out-of-GPU experiment at half the data and half the device capacity
+/// changes throughput by only a few percent.
+#[test]
+fn bandwidth_bound_results_are_scale_invariant() {
+    let tput_at = |k: u64| {
+        let device = DeviceSpec::gtx1080().scaled_capacity(1024 * k);
+        let n = (1 << 20) / k as usize;
+        let (r, s) = canonical_pair(n, n, 6005);
+        let config = GpuJoinConfig::paper_default(device)
+            .with_radix_bits(12)
+            .with_tuned_buckets(n / 16);
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
+            .execute(&r, &s)
+            .unwrap()
+            .throughput_tuples_per_s()
+    };
+    let full = tput_at(1);
+    let half = tput_at(2);
+    let ratio = full / half;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "scale-variance too high: {full:.3e} vs {half:.3e}"
+    );
+}
+
+/// Device-memory accounting balances: after a strategy completes, its
+/// Gpu (and all reservations) are dropped; a second run on a device sized
+/// exactly to the first run's peak succeeds, proving nothing leaked.
+#[test]
+fn accounting_has_no_leaks_across_runs() {
+    let (r, s) = canonical_pair(30_000, 30_000, 6006);
+    // Find a capacity that barely admits the join...
+    let mut lo = 1u64 << 18;
+    let mut hi = 1u64 << 26;
+    while lo + 4096 < hi {
+        let mid = (lo + hi) / 2;
+        let mut config = gpu_config(9, 30_000);
+        config.device.device_mem_bytes = mid;
+        match GpuPartitionedJoin::new(config).execute(&r, &s) {
+            Ok(_) => hi = mid,
+            Err(_) => lo = mid,
+        }
+    }
+    // ...and verify it keeps admitting it, run after run.
+    let mut config = gpu_config(9, 30_000);
+    config.device.device_mem_bytes = hi;
+    let join = GpuPartitionedJoin::new(config);
+    for _ in 0..3 {
+        join.execute(&r, &s).expect("repeat runs must not accumulate reservations");
+    }
+}
+
+/// Materialized output is identical across all strategies — byte-for-byte
+/// after sorting — on a many-to-many workload.
+#[test]
+fn materialized_outputs_are_identical_across_strategies() {
+    let r = RelationSpec::zipf(8_000, 512, 0.7, 6007).generate();
+    let s = RelationSpec::zipf(16_000, 512, 0.7, 6008).generate();
+    let mut want = reference_join(&r, &s);
+    want.sort_unstable();
+
+    let mut resident = GpuPartitionedJoin::new(
+        gpu_config(6, 8_000).with_output(OutputMode::Materialize),
+    )
+    .execute(&r, &s)
+    .unwrap()
+    .rows
+    .unwrap();
+    resident.sort_unstable();
+    assert_eq!(resident, want);
+
+    let mut streamed = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(
+        gpu_config(6, 8_000).with_output(OutputMode::Materialize),
+    ))
+    .execute(&r, &s)
+    .unwrap()
+    .rows
+    .unwrap();
+    streamed.sort_unstable();
+    assert_eq!(streamed, want);
+}

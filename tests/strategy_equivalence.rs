@@ -1,0 +1,200 @@
+//! Integration: every join strategy in the workspace computes the same
+//! join as the reference oracle, across workload classes, output modes and
+//! configurations — including property-based randomized checks.
+
+use hashjoin_gpu::core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hashjoin_gpu::core::uva_exec::{run_with_mechanism, TransferMechanism};
+use hashjoin_gpu::prelude::*;
+use proptest::prelude::*;
+
+fn gpu_config(bits: u32, tuples: usize) -> GpuJoinConfig {
+    GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
+        .with_radix_bits(bits)
+        .with_tuned_buckets(tuples)
+}
+
+fn workloads() -> Vec<(&'static str, Relation, Relation)> {
+    let n = 30_000;
+    let (u_r, u_s) = canonical_pair(n, 2 * n, 1001);
+    let zr = RelationSpec::zipf(n, 4096, 0.9, 1002).generate();
+    let zs = RelationSpec::zipf(2 * n, 4096, 0.9, 1003).generate();
+    let rep = RelationSpec {
+        tuples: n,
+        distribution: KeyDistribution::Replicated { replicas: 4 },
+        payload_width: 4,
+        seed: 1004,
+    }
+    .generate();
+    let rep_probe = RelationSpec {
+        tuples: n,
+        distribution: KeyDistribution::UniformFk { distinct: (n / 4) as u64 },
+        payload_width: 4,
+        seed: 1005,
+    }
+    .generate();
+    vec![
+        ("unique-uniform", u_r, u_s),
+        ("identical-zipf-0.9", zr, zs),
+        ("replicated-4x", rep, rep_probe),
+    ]
+}
+
+#[test]
+fn gpu_partitioned_join_agrees_with_oracle_on_all_workloads() {
+    for (name, r, s) in workloads() {
+        let want = JoinCheck::compute(&r, &s);
+        for probe in [ProbeKind::HashJoin, ProbeKind::NestedLoop, ProbeKind::DeviceHashJoin] {
+            let out = GpuPartitionedJoin::new(gpu_config(8, r.len()).with_probe(probe))
+                .execute(&r, &s)
+                .unwrap();
+            assert_eq!(out.check, want, "{name} with {probe:?}");
+        }
+    }
+}
+
+#[test]
+fn all_strategies_agree_with_each_other() {
+    for (name, r, s) in workloads() {
+        let want = JoinCheck::compute(&r, &s);
+        let resident = GpuPartitionedJoin::new(gpu_config(8, r.len())).execute(&r, &s).unwrap();
+        let streamed =
+            StreamedProbeJoin::new(StreamedProbeConfig::paper_default(gpu_config(8, r.len())))
+                .execute(&r, &s)
+                .unwrap();
+        let scaled = DeviceSpec::gtx1080().scaled_capacity(1 << 12);
+        let coproc = CoProcessingJoin::new(CoProcessingConfig::paper_default(
+            GpuJoinConfig::paper_default(scaled)
+                .with_radix_bits(10)
+                .with_tuned_buckets(r.len() / 16),
+        ))
+        .execute(&r, &s)
+        .unwrap();
+        let pro = ProJoin::paper_default().execute(&r, &s);
+        let npo = NpoJoin::paper_default().execute(&r, &s);
+        let nonpart = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
+            .execute(&r, &s);
+        for (algo, check) in [
+            ("gpu-resident", resident.check),
+            ("streamed-probe", streamed.check),
+            ("co-processing", coproc.check),
+            ("cpu-pro", pro.check),
+            ("cpu-npo", npo.check),
+            ("non-partitioned", nonpart.check),
+        ] {
+            assert_eq!(check, want, "{algo} on {name}");
+        }
+    }
+}
+
+#[test]
+fn materialized_rows_match_reference_join_rows() {
+    let (r, s) = canonical_pair(8_000, 24_000, 1010);
+    let mut want = reference_join(&r, &s);
+    want.sort_unstable();
+
+    let resident = GpuPartitionedJoin::new(
+        gpu_config(7, r.len()).with_output(OutputMode::Materialize),
+    )
+    .execute(&r, &s)
+    .unwrap();
+    let mut got = resident.rows.unwrap();
+    got.sort_unstable();
+    assert_eq!(got, want, "gpu-resident rows");
+
+    let streamed = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(
+        gpu_config(7, r.len()).with_output(OutputMode::Materialize),
+    ))
+    .execute(&r, &s)
+    .unwrap();
+    let mut got = streamed.rows.unwrap();
+    got.sort_unstable();
+    assert_eq!(got, want, "streamed-probe rows");
+
+    let scaled = DeviceSpec::gtx1080().scaled_capacity(1 << 13);
+    let coproc = CoProcessingJoin::new(CoProcessingConfig::paper_default(
+        GpuJoinConfig::paper_default(scaled)
+            .with_radix_bits(10)
+            .with_tuned_buckets(512)
+            .with_output(OutputMode::Materialize),
+    ))
+    .execute(&r, &s)
+    .unwrap();
+    let mut got = coproc.rows.unwrap();
+    got.sort_unstable();
+    assert_eq!(got, want, "co-processing rows");
+}
+
+#[test]
+fn transfer_mechanisms_agree_with_oracle() {
+    let (r, s) = canonical_pair(20_000, 20_000, 1011);
+    let want = JoinCheck::compute(&r, &s);
+    let config = gpu_config(8, r.len());
+    for m in [
+        TransferMechanism::GpuResident,
+        TransferMechanism::UvaLoad,
+        TransferMechanism::UvaPartition,
+        TransferMechanism::UvaJoin,
+        TransferMechanism::UnifiedLoad,
+    ] {
+        assert_eq!(run_with_mechanism(&config, &r, &s, m).check, want, "{m:?}");
+    }
+}
+
+#[test]
+fn probe_misses_and_empty_partitions_are_handled() {
+    // Build keys 1..=1000, probe keys 2000..3000: zero matches, and many
+    // co-partitions are empty on one side.
+    let r = RelationSpec::unique(1000, 1012).generate();
+    let s: Relation = (2000..3000u32).map(|k| Tuple { key: k, payload: k }).collect();
+    let out = GpuPartitionedJoin::new(gpu_config(6, 1000)).execute(&r, &s).unwrap();
+    assert_eq!(out.check.matches, 0);
+    let pro = ProJoin::paper_default().execute(&r, &s);
+    assert_eq!(pro.check.matches, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized cross-validation: random sizes, domains and skew; the
+    /// GPU partitioned join, the CPU baselines and the oracle must agree.
+    #[test]
+    fn random_workloads_all_agree(
+        r_tuples in 64usize..4000,
+        s_tuples in 64usize..8000,
+        distinct in 16u64..2000,
+        theta in 0.0f64..1.2,
+        bits in 2u32..10,
+        seed in any::<u64>(),
+    ) {
+        let r = RelationSpec::zipf(r_tuples, distinct, theta, seed).generate();
+        let s = RelationSpec::zipf(s_tuples, distinct, theta, seed ^ 0xABCD).generate();
+        let want = JoinCheck::compute(&r, &s);
+        let out = GpuPartitionedJoin::new(gpu_config(bits, r_tuples))
+            .execute(&r, &s)
+            .unwrap();
+        prop_assert_eq!(out.check, want);
+        let pro = ProJoin::paper_default().execute(&r, &s);
+        prop_assert_eq!(pro.check, want);
+        let npo = NpoJoin::paper_default().execute(&r, &s);
+        prop_assert_eq!(npo.check, want);
+    }
+
+    /// The engine facade picks some strategy and is always correct,
+    /// whatever the device capacity.
+    #[test]
+    fn facade_correct_at_any_capacity(
+        scale_pow in 0u32..18,
+        r_tuples in 500usize..5000,
+        s_tuples in 500usize..10000,
+        seed in any::<u64>(),
+    ) {
+        let device = DeviceSpec::gtx1080().scaled_capacity(1u64 << scale_pow);
+        let (r, s) = canonical_pair(r_tuples, s_tuples, seed);
+        let config = GpuJoinConfig::paper_default(device)
+            .with_radix_bits(9)
+            .with_tuned_buckets(r_tuples / 8);
+        let engine = HcjEngine::new(config);
+        let (_, out) = engine.execute(&r, &s);
+        prop_assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+}
