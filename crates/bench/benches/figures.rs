@@ -1,22 +1,16 @@
-//! Criterion benches, one per paper table/figure: each times the full
-//! regeneration of that figure at a deep scale (shape-preserving but
-//! small), so `cargo bench` exercises every experiment path end to end.
-//! The headline reproduction numbers come from `repro` (simulated clock);
-//! these benches track the harness's own host-side cost.
+//! Benches, one per paper table/figure: each times the full regeneration
+//! of that figure at a deep scale (shape-preserving but small), so
+//! `cargo bench` exercises every experiment path end to end. The headline
+//! reproduction numbers come from `repro` (simulated clock); these benches
+//! track the harness's own host-side cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hcj_bench::figures::registry;
+use hcj_bench::microbench::bench;
 use hcj_bench::RunConfig;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    let config = RunConfig { scale: 512, quick: true, out_dir: None };
+fn main() {
+    let config = RunConfig { scale: 512, quick: true, ..RunConfig::default() };
     for (id, runner) in registry() {
-        g.bench_function(id, |b| b.iter(|| runner(&config)));
+        bench("figures", id, || runner(&config));
     }
-    g.finish();
 }
-
-criterion_group!(figures, bench_figures);
-criterion_main!(figures);

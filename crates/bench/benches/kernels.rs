@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks of the hot kernels and substrate pieces
-//! (host wall time of the library itself — the simulated-clock results
-//! live in the `repro` binary).
+//! Microbenchmarks of the hot kernels and substrate pieces (host wall
+//! time of the library itself — the simulated-clock results live in the
+//! `repro` binary). Runs on the dependency-free harness in
+//! `hcj_bench::microbench`; pace with `HCJ_BENCH_BUDGET_MS`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hcj_bench::microbench::{bench, bench_with_setup};
 
-use hcj_core::join::sm_hash::sm_hash_join;
 use hcj_core::join::ballot_nl::ballot_nl_join;
+use hcj_core::join::sm_hash::sm_hash_join;
 use hcj_core::output::OutputSink;
 use hcj_core::packing::{pack_working_sets, PartitionSize};
 use hcj_core::partition::GpuPartitioner;
@@ -13,184 +14,126 @@ use hcj_core::{GpuJoinConfig, OutputMode};
 use hcj_gpu::warp::{ballot_match, Lanes};
 use hcj_gpu::DeviceSpec;
 use hcj_workload::generate::canonical_pair;
+use hcj_workload::rng::{Rng, SmallRng};
 use hcj_workload::{RelationSpec, ZipfSampler};
-use rand_like::*;
 
-/// Tiny deterministic value streams without pulling `rand` into benches.
-mod rand_like {
-    pub struct Lcg(pub u64);
-    impl Lcg {
-        pub fn next_u32(&mut self) -> u32 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (self.0 >> 33) as u32
-        }
-    }
-}
-
-fn bench_partitioning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gpu-radix-partition");
+fn bench_partitioning() {
     let n = 1 << 20;
     let rel = RelationSpec::unique(n, 1).generate();
-    g.throughput(Throughput::Elements(n as u64));
     for bits in [8u32, 12, 15] {
         let config = GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
             .with_radix_bits(bits)
             .with_tuned_buckets(n);
-        g.bench_function(format!("1M-tuples-{bits}bits"), |b| {
-            b.iter(|| GpuPartitioner::new(&config).partition(&rel))
+        bench("gpu-radix-partition", &format!("1M-tuples-{bits}bits"), || {
+            GpuPartitioner::new(&config).partition(&rel)
         });
     }
-    g.finish();
 }
 
-fn bench_probe_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("probe-kernels");
+fn bench_probe_kernels() {
     let n = 4096;
     let config = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
     let keys: Vec<u32> = (0..n as u32).collect();
     let pays = keys.clone();
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("sm-hash-4k-copartition", |b| {
-        b.iter_batched(
-            || OutputSink::new(OutputMode::Aggregate, 512),
-            |mut sink| sm_hash_join(&config, 0, &keys, &pays, &keys, &pays, &mut sink),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("ballot-nl-4k-copartition", |b| {
-        b.iter_batched(
-            || OutputSink::new(OutputMode::Aggregate, 512),
-            |mut sink| ballot_nl_join(&config, 0, &keys, &pays, &keys, &pays, &mut sink),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "probe-kernels",
+        "sm-hash-4k-copartition",
+        || OutputSink::new(OutputMode::Aggregate, 512),
+        |mut sink| sm_hash_join(&config, 0, &keys, &pays, &keys, &pays, &mut sink),
+    );
+    bench_with_setup(
+        "probe-kernels",
+        "ballot-nl-4k-copartition",
+        || OutputSink::new(OutputMode::Aggregate, 512),
+        |mut sink| ballot_nl_join(&config, 0, &keys, &pays, &keys, &pays, &mut sink),
+    );
 }
 
-fn bench_warp_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp");
-    let mut lcg = Lcg(7);
+fn bench_warp_primitives() {
+    let mut rng = SmallRng::seed_from_u64(7);
     let mut r: Lanes<u32> = [0; 32];
     let mut s: Lanes<u32> = [0; 32];
     for i in 0..32 {
-        r[i] = lcg.next_u32() & 0xFFFF;
-        s[i] = lcg.next_u32() & 0xFFFF;
+        r[i] = rng.next_u64() as u32 & 0xFFFF;
+        s[i] = rng.next_u64() as u32 & 0xFFFF;
     }
     let bits: Vec<u32> = (0..16).collect();
-    g.bench_function("ballot-match-16bits", |b| {
-        b.iter(|| ballot_match(std::hint::black_box(&r), std::hint::black_box(&s), &bits, u32::MAX))
+    bench("warp", "ballot-match-16bits", || {
+        ballot_match(std::hint::black_box(&r), std::hint::black_box(&s), &bits, u32::MAX)
     });
-    g.finish();
 }
 
-fn bench_zipf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(1));
+fn bench_zipf() {
     let z = ZipfSampler::new(1 << 24, 0.9);
-    g.bench_function("zipf-sample", |b| {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
-        let mut rng = SmallRng::seed_from_u64(3);
-        b.iter(|| z.sample(&mut rng))
-    });
-    g.finish();
+    let mut rng = SmallRng::seed_from_u64(3);
+    bench("workload", "zipf-sample", || z.sample(&mut rng));
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("working-set-packing");
-    let mut lcg = Lcg(11);
+fn bench_packing() {
+    let mut rng = SmallRng::seed_from_u64(11);
     let parts: Vec<PartitionSize> = (0..64)
         .map(|id| {
-            let t = u64::from(lcg.next_u32() % 10_000) + 1;
+            let t = rng.next_u64() % 10_000 + 1;
             PartitionSize { id, tuples: t, padded_bytes: t * 24 }
         })
         .collect();
     let budget = parts.iter().map(|p| p.padded_bytes).max().unwrap() * 6;
-    g.bench_function("knapsack-64-partitions", |b| {
-        b.iter(|| pack_working_sets(&parts, budget, budget / 4))
+    bench("working-set-packing", "knapsack-64-partitions", || {
+        pack_working_sets(&parts, budget, budget / 4)
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end-to-end");
-    g.sample_size(10);
+fn bench_end_to_end() {
     let n = 1 << 18;
     let (r, s) = canonical_pair(n, n, 5);
     let config = GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
         .with_radix_bits(9)
         .with_tuned_buckets(n);
-    g.throughput(Throughput::Elements(2 * n as u64));
-    g.bench_function("gpu-partitioned-join-256k", |b| {
-        b.iter(|| {
-            hcj_core::GpuPartitionedJoin::new(config.clone())
-                .execute(&r, &s)
-                .unwrap()
-        })
+    bench("end-to-end", "gpu-partitioned-join-256k", || {
+        hcj_core::GpuPartitionedJoin::new(config.clone()).execute(&r, &s).unwrap()
     });
-    g.finish();
 }
 
-fn bench_cpu_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu-baselines");
-    g.sample_size(10);
+fn bench_cpu_baselines() {
     let n = 1 << 17;
     let (r, s) = canonical_pair(n, n, 6);
-    g.throughput(Throughput::Elements(2 * n as u64));
-    g.bench_function("pro-128k", |b| {
-        b.iter(|| hcj_cpu_join::ProJoin::paper_default().execute(&r, &s))
-    });
-    g.bench_function("npo-128k", |b| {
-        b.iter(|| hcj_cpu_join::NpoJoin::paper_default().execute(&r, &s))
-    });
-    g.finish();
+    bench("cpu-baselines", "pro-128k", || hcj_cpu_join::ProJoin::paper_default().execute(&r, &s));
+    bench("cpu-baselines", "npo-128k", || hcj_cpu_join::NpoJoin::paper_default().execute(&r, &s));
 }
 
-fn bench_partitioner_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("partitioner-variants");
-    g.sample_size(10);
+fn bench_partitioner_variants() {
     let n = 1 << 19;
     let rel = RelationSpec::unique(n, 7).generate();
     let config = GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
         .with_radix_bits(12)
         .with_tuned_buckets(n);
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("atomic-chains-512k", |b| {
-        b.iter(|| GpuPartitioner::new(&config).partition(&rel))
+    bench("partitioner-variants", "atomic-chains-512k", || {
+        GpuPartitioner::new(&config).partition(&rel)
     });
-    g.bench_function("histogram-512k", |b| {
-        b.iter(|| hcj_core::partition::HistogramPartitioner::new(&config).partition(&rel))
+    bench("partitioner-variants", "histogram-512k", || {
+        hcj_core::partition::HistogramPartitioner::new(&config).partition(&rel)
     });
-    g.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload-generation");
-    g.sample_size(10);
+fn bench_workload_generation() {
     let n = 1 << 18;
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("unique-256k", |b| {
-        b.iter(|| RelationSpec::unique(n, 8).generate())
+    bench("workload-generation", "unique-256k", || RelationSpec::unique(n, 8).generate());
+    bench("workload-generation", "zipf-0.9-256k", || {
+        RelationSpec::zipf(n, 1 << 20, 0.9, 9).generate()
     });
-    g.bench_function("zipf-0.9-256k", |b| {
-        b.iter(|| RelationSpec::zipf(n, 1 << 20, 0.9, 9).generate())
+    bench("workload-generation", "tpch-sf0.01", || {
+        hcj_workload::tpch::TpchTables::generate(0.01, 10)
     });
-    g.bench_function("tpch-sf0.01", |b| {
-        b.iter(|| hcj_workload::tpch::TpchTables::generate(0.01, 10))
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_partitioning,
-    bench_probe_kernels,
-    bench_warp_primitives,
-    bench_zipf,
-    bench_packing,
-    bench_end_to_end,
-    bench_cpu_baselines,
-    bench_partitioner_variants,
-    bench_workload_generation
-);
-criterion_main!(benches);
+fn main() {
+    bench_partitioning();
+    bench_probe_kernels();
+    bench_warp_primitives();
+    bench_zipf();
+    bench_packing();
+    bench_end_to_end();
+    bench_cpu_baselines();
+    bench_partitioner_variants();
+    bench_workload_generation();
+}

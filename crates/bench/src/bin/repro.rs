@@ -1,13 +1,15 @@
 //! `repro` — regenerate the paper's evaluation.
 //!
 //! ```text
-//! repro all [--scale k] [--quick] [--out DIR]
+//! repro all [--scale k] [--quick] [--out DIR] [--trace DIR]
 //! repro fig5 fig12 ... [--scale k] [--out DIR]
 //! repro list
 //! ```
 //!
 //! Figures print as aligned tables; `--out DIR` additionally writes one
-//! CSV per figure. `--scale` divides the paper's cardinalities (and, for
+//! CSV per figure, and `--trace DIR` writes a Chrome `trace_event` JSON
+//! (`chrome://tracing` / Perfetto) of each figure's representative
+//! schedule. `--scale` divides the paper's cardinalities (and, for
 //! out-of-GPU figures, device capacity) — see DESIGN.md §5.
 
 use std::process::ExitCode;
@@ -19,7 +21,9 @@ use hcj_bench::RunConfig;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|list|figN...> [--scale K] [--quick] [--out DIR]");
+        eprintln!(
+            "usage: repro <all|list|figN...> [--scale K] [--quick] [--out DIR] [--trace DIR]"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -46,6 +50,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 config.out_dir = Some(dir.into());
+            }
+            "--trace" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--trace needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                config.trace_dir = Some(dir.into());
             }
             "all" => run_all = true,
             "list" => {

@@ -89,12 +89,10 @@ pub fn run(cfg: &RunConfig) -> Table {
             let join_cfg = GpuJoinConfig::paper_default(device.clone())
                 .with_radix_bits(scaled_bits(15, cfg.scale))
                 .with_tuned_buckets(n / 16);
-            CoProcessingJoin::new(
-                CoProcessingConfig::paper_default(join_cfg).with_packing(packing),
-            )
-            .execute(&r, &s)
-            .expect("buffers fit")
-            .total_seconds()
+            CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg).with_packing(packing))
+                .execute(&r, &s)
+                .expect("buffers fit")
+                .total_seconds()
         };
         push(
             &mut table,
@@ -163,9 +161,7 @@ pub fn run(cfg: &RunConfig) -> Table {
                 .with_radix_bits(scaled_bits(15, cfg.scale))
                 .with_tuned_buckets(n / 16);
             CoProcessingJoin::new(
-                CoProcessingConfig::paper_default(join_cfg)
-                    .with_threads(24)
-                    .with_non_temporal(nt),
+                CoProcessingConfig::paper_default(join_cfg).with_threads(24).with_non_temporal(nt),
             )
             .execute(&r, &s)
             .expect("buffers fit")
@@ -221,7 +217,7 @@ mod tests {
 
     #[test]
     fn ablations_vindicate_the_papers_choices_where_claimed() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let speedup = |name: &str| {
             t.rows

@@ -5,6 +5,7 @@ use hcj_gpu::DeviceSpec;
 use hcj_workload::generate::canonical_pair;
 use hcj_workload::Relation;
 
+use crate::report::Table;
 use crate::RunConfig;
 
 /// The paper's GPU, full capacity (in-GPU figures keep it physical).
@@ -40,6 +41,20 @@ pub fn run_resident(config: GpuJoinConfig, r: &Relation, s: &Relation) -> JoinOu
     GpuPartitionedJoin::new(config)
         .execute(r, s)
         .expect("in-GPU figure working set must fit device memory")
+}
+
+/// Record a representative outcome of a figure run: append a per-resource
+/// utilization note to the table (the saturation evidence behind the
+/// paper's pipelining claims) and, when `--trace` is active, export the
+/// outcome's schedule as a Chrome trace named `<name>.trace.json`.
+pub fn record_outcome(cfg: &RunConfig, table: &mut Table, name: &str, outcome: &JoinOutcome) {
+    let util: Vec<String> = outcome
+        .resource_report()
+        .into_iter()
+        .map(|(res, frac)| format!("{res} {:.0}%", frac * 100.0))
+        .collect();
+    table.note(format!("utilization [{name}]: {}", util.join(", ")));
+    cfg.trace_schedule(name, &outcome.schedule);
 }
 
 /// The canonical workload at a build:probe ratio (`ratio` = probe/build).

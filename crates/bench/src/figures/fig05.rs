@@ -13,7 +13,7 @@ use hcj_core::radix::bits_for_partition_size;
 use hcj_core::{GpuJoinConfig, ProbeKind};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{device, run_resident};
+use crate::figures::common::{device, record_outcome, run_resident};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -34,6 +34,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note("block: 1024 threads, 2048-element smem, 256 hash buckets (paper Fig. 5 config)");
 
     let (r, s) = canonical_pair(tuples, tuples, 505);
+    let mut rep = None;
     for part_size in cfg.sweep(&[256usize, 512, 1024, 2048]) {
         let bits = bits_for_partition_size(tuples, part_size);
         let base = {
@@ -56,6 +57,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(nl.join_phase_throughput())),
             ],
         );
+        rep = Some(hash);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig05-hash", out);
     }
     table
 }
@@ -66,7 +71,7 @@ mod tests {
 
     #[test]
     fn fig05_shape_holds() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 4);
         // Column order: hash total, hash join, nl total, nl join.

@@ -10,7 +10,7 @@
 use hcj_core::ProbeKind;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, resident_config, run_resident};
+use crate::figures::common::{fmt_tuples, record_outcome, resident_config, run_resident};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,6 +31,7 @@ pub fn run(cfg: &RunConfig) -> Table {
         cfg.scale
     ));
 
+    let mut rep = None;
     for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 600 + millions);
@@ -47,6 +48,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(device.join_phase_throughput())),
             ],
         );
+        rep = Some(shared);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig06-shared", out);
     }
     table
 }
@@ -57,7 +62,7 @@ mod tests {
 
     #[test]
     fn fig06_shared_memory_wins() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         for (x, vals) in &t.rows {
             let (sh_join, dev_join) = (vals[1].unwrap(), vals[3].unwrap());

@@ -9,7 +9,7 @@
 use hcj_core::OutputMode;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, resident_config, run_resident};
+use crate::figures::common::{fmt_tuples, record_outcome, resident_config, run_resident};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -22,6 +22,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 1M-128M divided by {}", cfg.scale));
 
+    let mut rep = None;
     for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 700 + millions);
@@ -29,11 +30,8 @@ pub fn run(cfg: &RunConfig) -> Table {
         let agg = run_resident(base.clone().with_output(OutputMode::Aggregate), &r, &s);
         // Cap retained rows: the figure measures throughput, not the
         // result's host-side copy; device traffic is accounted in full.
-        let mat = run_resident(
-            base.with_output(OutputMode::Materialize).with_row_cap(1 << 20),
-            &r,
-            &s,
-        );
+        let mat =
+            run_resident(base.with_output(OutputMode::Materialize).with_row_cap(1 << 20), &r, &s);
         assert_eq!(agg.check, mat.check);
         table.row(
             fmt_tuples(tuples),
@@ -42,6 +40,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(mat.throughput_tuples_per_s())),
             ],
         );
+        rep = Some(agg);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig07-aggregate", out);
     }
     table
 }
@@ -52,7 +54,7 @@ mod tests {
 
     #[test]
     fn fig07_materialization_traces_aggregation() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         for (x, vals) in &t.rows {
             let (agg, mat) = (vals[0].unwrap(), vals[1].unwrap());

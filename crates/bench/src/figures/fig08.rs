@@ -11,16 +11,16 @@ use hcj_core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
 use hcj_core::OutputMode;
 use hcj_cpu_join::{NpoJoin, ProJoin};
 
-use crate::figures::common::{device, fmt_tuples, ratio_pair, resident_config, run_resident};
+use crate::figures::common::{
+    device, fmt_tuples, ratio_pair, record_outcome, resident_config, run_resident,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
     let ratios = [1usize, 2, 4];
     let algos = ["gpu-part", "gpu-nonpart", "gpu-perfect", "cpu-pro", "cpu-npo"];
-    let series: Vec<String> = ratios
-        .iter()
-        .flat_map(|r| algos.iter().map(move |a| format!("{a} 1:{r}")))
-        .collect();
+    let series: Vec<String> =
+        ratios.iter().flat_map(|r| algos.iter().map(move |a| format!("{a} 1:{r}"))).collect();
     let mut table = Table::new(
         "fig08",
         "Hash joins across build-to-probe ratios: GPU partitioned vs non-partitioned vs CPU",
@@ -31,6 +31,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note(format!("paper build sizes 1M-128M divided by {}", cfg.scale));
     table.note("CPU PRO/NPO run the model of the paper's 48-thread dual Xeon");
 
+    let mut rep = None;
     for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
         let build = cfg.mtuples(millions);
         let mut values = Vec::new();
@@ -56,8 +57,12 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(pro.throughput_tuples_per_s())),
                 Some(btps(npo.throughput_tuples_per_s())),
             ]);
+            rep = Some(part);
         }
         table.row(fmt_tuples(build), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig08-gpu-part", out);
     }
     table
 }
@@ -68,7 +73,7 @@ mod tests {
 
     #[test]
     fn fig08_orderings_hold_at_scale() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         // Columns per ratio block: part, nonpart, perfect, pro, npo.
         let first = &t.rows.first().unwrap().1;

@@ -14,7 +14,7 @@ use hcj_core::output::late_materialization_cost;
 use hcj_core::OutputMode;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{device, resident_config, run_resident};
+use crate::figures::common::{device, record_outcome, resident_config, run_resident};
 use crate::{btps, RunConfig, Table};
 
 fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Table {
@@ -29,6 +29,7 @@ fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Tab
     );
     table.note(format!("{tuples} tuples per side; aggregation output (paper protocol)"));
 
+    let mut rep = None;
     for width in cfg.sweep(&[16u32, 32, 48, 64, 80, 96, 112, 128]) {
         let (mut r, mut s) = canonical_pair(tuples, tuples, 900 + u64::from(width));
         if vary_probe {
@@ -56,6 +57,10 @@ fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Tab
                 Some(btps((r.len() + s.len()) as f64 / np_seconds)),
             ],
         );
+        rep = Some(part);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, &format!("{id}-gpu-part"), out);
     }
     table
 }
@@ -75,7 +80,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: true, out_dir: None }
+        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
     }
 
     #[test]

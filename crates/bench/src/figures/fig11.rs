@@ -12,7 +12,7 @@ use hcj_core::{OutputMode, StreamedProbeConfig, StreamedProbeJoin};
 use hcj_cpu_join::ProJoin;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, resident_config};
+use crate::figures::common::{fmt_tuples, record_outcome, resident_config};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -32,6 +32,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     ));
     table.note("probe chunks are half the build size (paper's rule)");
 
+    let mut rep = None;
     for mult in cfg.sweep(&[1u64, 2, 4, 8, 16, 32]) {
         let probe = build * mult as usize;
         let (r, s) = canonical_pair(build, probe, 1100 + mult);
@@ -55,6 +56,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(pro.throughput_tuples_per_s())),
             ],
         );
+        rep = Some(agg);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig11-streamed-agg", out);
     }
     table
 }
@@ -65,7 +70,7 @@ mod tests {
 
     #[test]
     fn fig11_gpu_approaches_pcie_and_beats_cpu() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

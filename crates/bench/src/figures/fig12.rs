@@ -10,7 +10,7 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_cpu_join::{NpoJoin, ProJoin};
 
-use crate::figures::common::{fmt_tuples, ratio_pair, scaled_bits, scaled_device};
+use crate::figures::common::{fmt_tuples, ratio_pair, record_outcome, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -35,6 +35,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note("16 CPU threads, 16-way CPU partitioning, non-temporal stores (paper config)");
 
     let device = scaled_device(cfg).scaled_capacity(extra);
+    let mut rep = None;
     for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
         let build = cfg.tuples(millions * 1_000_000 / extra);
         let mut values = Vec::new();
@@ -47,6 +48,7 @@ pub fn run(cfg: &RunConfig) -> Table {
                 .execute(&r, &s)
                 .expect("co-processing needs only buffers");
             values.push(Some(btps(out.throughput_tuples_per_s())));
+            rep = Some(out);
         }
         let (r, s) = ratio_pair(build, 1, 1200 + millions + 1);
         let pro = ProJoin::paper_default().execute(&r, &s);
@@ -54,6 +56,9 @@ pub fn run(cfg: &RunConfig) -> Table {
         values.push(Some(btps(pro.throughput_tuples_per_s())));
         values.push(Some(btps(npo.throughput_tuples_per_s())));
         table.row(fmt_tuples(build), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig12-coproc", out);
     }
     table
 }
@@ -64,7 +69,7 @@ mod tests {
 
     #[test]
     fn fig12_coprocessing_is_flat_and_ahead() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

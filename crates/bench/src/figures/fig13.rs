@@ -11,7 +11,7 @@ use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_cpu_join::ProJoin;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{scaled_bits, scaled_device};
+use crate::figures::common::{record_outcome, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,6 +31,7 @@ pub fn run(cfg: &RunConfig) -> Table {
 
     let device = scaled_device(cfg).scaled_capacity(extra as u64);
     let (r, s) = canonical_pair(tuples, tuples, 1300);
+    let mut rep = None;
     for threads in cfg.sweep(&[2u32, 6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]) {
         let join_cfg = GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(scaled_bits(15, cfg.scale))
@@ -49,6 +50,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 Some(btps(pro.throughput_tuples_per_s())),
             ],
         );
+        rep = Some(co);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig13-coproc", out);
     }
     table
 }
@@ -59,7 +64,7 @@ mod tests {
 
     #[test]
     fn fig13_coprocessing_overtakes_with_few_threads_then_plateaus() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let col = |i: usize, c: usize| t.rows[i].1[c].unwrap();
         let n = t.rows.len();

@@ -10,7 +10,7 @@ use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine};
 use hcj_gpu::DeviceSpec;
 use hcj_workload::tpch::TpchTables;
 
-use crate::figures::common::scaled_bits;
+use crate::figures::common::{record_outcome, scaled_bits};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -25,11 +25,10 @@ pub fn run(cfg: &RunConfig) -> Table {
         "billion tuples/s",
         vec!["gpu-partitioned (ours)".into(), "dbms-x (model)".into(), "cogadb (model)".into()],
     );
-    table.note(format!(
-        "SF 10/100 divided by {tpch_scale}; device + engine limits scaled alike"
-    ));
+    table.note(format!("SF 10/100 divided by {tpch_scale}; device + engine limits scaled alike"));
     table.note("'-' = the engine failed, matching the paper's reported failures");
 
+    let mut rep = None;
     for paper_sf in [10u64, 100] {
         let sf = paper_sf as f64 / tpch_scale as f64;
         let t = TpchTables::generate(sf, 1400 + paper_sf);
@@ -40,7 +39,7 @@ pub fn run(cfg: &RunConfig) -> Table {
             let join_cfg = hcj_core::GpuJoinConfig::paper_default(device.clone())
                 .with_radix_bits(scaled_bits(15, tpch_scale))
                 .with_tuned_buckets(build.len());
-            let ours = HcjEngine::new(join_cfg).run(build, probe);
+            let (_, ours) = HcjEngine::new(join_cfg).execute(build, probe);
             // The caching cardinality limit stays physical: TPC-H's
             // build tables are well within it at both scale factors; the
             // SF100-orders failure is the *allocator*, which scales with
@@ -49,8 +48,7 @@ pub fn run(cfg: &RunConfig) -> Table {
             // Fixed driver overheads dilate with the scaled workload.
             dx.query_overhead_s /= tpch_scale as f64;
             let dbmsx = dx.execute(build, probe);
-            let mut cg = CoGaDbLike::new(device.clone())
-                .with_load_limit((4u64 << 30) / tpch_scale);
+            let mut cg = CoGaDbLike::new(device.clone()).with_load_limit((4u64 << 30) / tpch_scale);
             cg.operator_overhead_s /= tpch_scale as f64;
             let cogadb = cg.execute(build, probe);
             if let Ok(x) = &dbmsx {
@@ -64,7 +62,11 @@ pub fn run(cfg: &RunConfig) -> Table {
                     cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
                 ],
             );
+            rep = Some(ours);
         }
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig14-hcj", out);
     }
     table
 }
@@ -75,7 +77,7 @@ mod tests {
 
     #[test]
     fn fig14_failures_and_ordering_match_the_paper() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 4);
         let by_name: std::collections::HashMap<&str, &Vec<Option<f64>>> =

@@ -10,7 +10,7 @@
 use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -27,20 +27,19 @@ pub fn run(cfg: &RunConfig) -> Table {
         cfg.scale
     ));
 
+    let mut rep = None;
     for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512]) {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 1500 + millions);
         let join_cfg = hcj_core::GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(scaled_bits(15, cfg.scale))
-            .with_tuned_buckets(tuples / 4)
-            ;
-        let ours = HcjEngine::new(join_cfg).run(&r, &s);
-        let mut dx = DbmsXLike::new(device.clone())
-            .with_cache_limit((32_000_000 / cfg.scale) as usize);
+            .with_tuned_buckets(tuples / 4);
+        let (_, ours) = HcjEngine::new(join_cfg).execute(&r, &s);
+        let mut dx =
+            DbmsXLike::new(device.clone()).with_cache_limit((32_000_000 / cfg.scale) as usize);
         dx.query_overhead_s /= cfg.scale as f64;
         let dbmsx = dx.execute(&r, &s);
-        let mut cg = CoGaDbLike::new(device.clone())
-            .with_load_limit((4u64 << 30) / cfg.scale);
+        let mut cg = CoGaDbLike::new(device.clone()).with_load_limit((4u64 << 30) / cfg.scale);
         cg.operator_overhead_s /= cfg.scale as f64;
         let cogadb = cg.execute(&r, &s);
         table.row(
@@ -51,6 +50,10 @@ pub fn run(cfg: &RunConfig) -> Table {
                 cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
             ],
         );
+        rep = Some(ours);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig15-hcj", out);
     }
     table
 }
@@ -61,7 +64,7 @@ mod tests {
 
     #[test]
     fn fig15_cliffs_and_failures_match() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         // Ours leads wherever a comparator has a value.
         for (x, v) in &t.rows {
@@ -71,9 +74,8 @@ mod tests {
         }
         // DBMS-X's out-of-cache cliff: the 64M row (scaled 4M > 2M limit)
         // runs ~10x slower than its 16M row (scaled 1M, cached).
-        let val = |label: &str, col: usize| {
-            t.rows.iter().find(|(x, _)| x == label).map(|(_, v)| v[col])
-        };
+        let val =
+            |label: &str, col: usize| t.rows.iter().find(|(x, _)| x == label).map(|(_, v)| v[col]);
         let cached = val("1M", 1).flatten().expect("16M-paper row runs cached");
         let cliff = val("4M", 1).flatten().expect("64M-paper row runs uncached");
         assert!(cached > 3.0 * cliff, "DBMS-X cliff: cached {cached} vs uncached {cliff}");

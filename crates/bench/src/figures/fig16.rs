@@ -10,7 +10,7 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
 use crate::{RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -25,6 +25,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
 
+    let mut rep = None;
     for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
         let tuples = cfg.tuples(millions * 1_000_000 / extra);
         let (r, s) = canonical_pair(tuples, tuples, 1600 + millions);
@@ -32,11 +33,9 @@ pub fn run(cfg: &RunConfig) -> Table {
             let join_cfg = GpuJoinConfig::paper_default(device.clone())
                 .with_radix_bits(scaled_bits(15, cfg.scale))
                 .with_tuned_buckets(tuples / 16);
-            CoProcessingJoin::new(
-                CoProcessingConfig::paper_default(join_cfg).with_staging(staging),
-            )
-            .execute(&r, &s)
-            .expect("co-processing needs only buffers")
+            CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg).with_staging(staging))
+                .execute(&r, &s)
+                .expect("co-processing needs only buffers")
         };
         let staged = mk(true);
         let direct = mk(false);
@@ -45,6 +44,10 @@ pub fn run(cfg: &RunConfig) -> Table {
             fmt_tuples(tuples),
             vec![Some(staged.throughput_gbps()), Some(direct.throughput_gbps())],
         );
+        rep = Some(staged);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig16-staging", out);
     }
     table
 }
@@ -55,7 +58,7 @@ mod tests {
 
     #[test]
     fn fig16_staging_wins_everywhere() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         for (x, v) in &t.rows {
             let (staged, direct) = (v[0].unwrap(), v[1].unwrap());

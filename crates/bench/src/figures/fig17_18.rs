@@ -16,7 +16,7 @@ use hcj_core::{
 };
 use hcj_workload::{Relation, RelationSpec};
 
-use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 const THETAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
@@ -66,19 +66,22 @@ pub fn run_fig17(cfg: &RunConfig) -> Table {
     table.note(format!("{n} tuples/side (paper: 32M, scale 1/{})", cfg.scale * extra as u64));
     table.note("materialization row-capped (paper overwrites results to isolate in-GPU perf)");
 
+    let mut rep = None;
     for &theta in &cfg.sweep(&THETAS) {
         let mut values = Vec::new();
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
             for place in [SkewPlace::Probe, SkewPlace::Build, SkewPlace::Identical] {
                 let (r, s) = skewed_pair(n, theta, place, 1700);
-                let config = resident_config(cfg, 15, n)
-                    .with_output(mode)
-                    .with_row_cap(1 << 18);
+                let config = resident_config(cfg, 15, n).with_output(mode).with_row_cap(1 << 18);
                 let out = GpuPartitionedJoin::new(config).execute(&r, &s).unwrap();
                 values.push(Some(btps(out.throughput_tuples_per_s())));
+                rep = Some(out);
             }
         }
         table.row(format!("{theta}"), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig17-resident-skew", out);
     }
     table
 }
@@ -97,6 +100,7 @@ pub fn run_fig18(cfg: &RunConfig) -> Table {
     );
     table.note(format!("{n} tuples/side (paper: 512M, scale 1/{})", cfg.scale * extra as u64));
 
+    let mut rep = None;
     for &theta in &cfg.sweep(&THETAS) {
         let mut values = Vec::new();
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
@@ -111,9 +115,13 @@ pub fn run_fig18(cfg: &RunConfig) -> Table {
                     .execute(&r, &s)
                     .expect("co-processing needs only buffers");
                 values.push(Some(btps(out.throughput_tuples_per_s())));
+                rep = Some(out);
             }
         }
         table.row(format!("{theta}"), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig18-coproc-skew", out);
     }
     table
 }
@@ -123,7 +131,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: false, out_dir: None }
+        RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None }
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! gently with the replica count (more matches per probe, longer chains),
 //! with the out-of-GPU variant flatter (PCIe-bound).
 
-use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, OutputMode};
+use hcj_core::{
+    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, OutputMode,
+};
 use hcj_workload::{KeyDistribution, RelationSpec};
 
-use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,6 +33,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("GPU-resident at {n_resident} tuples/side; CPU-resident at {n_out}"));
 
+    let mut rep = None;
     for replicas in cfg.sweep(&[1u32, 2, 3, 4]) {
         let gen = |n: usize, seed: u64| {
             RelationSpec {
@@ -45,15 +48,15 @@ pub fn run(cfg: &RunConfig) -> Table {
         // GPU-resident.
         let (r, s) = (gen(n_resident, 1900), gen(n_resident, 1901));
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
-            let config = resident_config(cfg, 15, n_resident)
-                .with_output(mode)
-                .with_row_cap(1 << 18);
+            let config =
+                resident_config(cfg, 15, n_resident).with_output(mode).with_row_cap(1 << 18);
             let out = GpuPartitionedJoin::new(config).execute(&r, &s).unwrap();
             // ~k matches per probe tuple (the generator tops up non-divisible
             // cardinalities with a few extra replicas).
             let expect = (n_resident as u64) * u64::from(replicas);
             assert!(
-                out.check.matches >= expect && out.check.matches < expect + 8 * u64::from(replicas) + 8,
+                out.check.matches >= expect
+                    && out.check.matches < expect + 8 * u64::from(replicas) + 8,
                 "matches {} vs expected ~{expect}",
                 out.check.matches
             );
@@ -71,8 +74,12 @@ pub fn run(cfg: &RunConfig) -> Table {
                 .execute(&r, &s)
                 .expect("co-processing needs only buffers");
             values.push(Some(btps(out.throughput_tuples_per_s())));
+            rep = Some(out);
         }
         table.row(replicas.to_string(), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig19-coproc-replicas", out);
     }
     table
 }
@@ -83,7 +90,7 @@ mod tests {
 
     #[test]
     fn fig19_gentle_decline_with_replicas() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

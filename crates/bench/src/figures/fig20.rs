@@ -10,7 +10,7 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, OutputMode};
 use hcj_workload::RelationSpec;
 
-use crate::figures::common::{fmt_tuples, scaled_bits, scaled_device};
+use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,6 +31,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
 
+    let mut rep = None;
     for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
         let n = cfg.tuples(millions * 1_000_000 / extra);
         let mut values = Vec::new();
@@ -47,9 +48,13 @@ pub fn run(cfg: &RunConfig) -> Table {
                     .execute(&r, &s)
                     .expect("co-processing needs only buffers");
                 values.push(Some(btps(out.throughput_tuples_per_s())));
+                rep = Some(out);
             }
         }
         table.row(fmt_tuples(n), values);
+    }
+    if let Some(out) = &rep {
+        record_outcome(cfg, &mut table, "fig20-coproc-skew-size", out);
     }
     table
 }
@@ -60,7 +65,7 @@ mod tests {
 
     #[test]
     fn fig20_mild_skew_is_free_but_output_explosion_hurts_at_size() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         // zipf 0.25 aggregation ~ uniform aggregation at the smallest size.

@@ -12,7 +12,7 @@ use hcj_core::uva_exec::{run_out_of_gpu_mechanisms, run_with_mechanism, Transfer
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 /// Figure 21: in-GPU-sized data, bar per mechanism.
@@ -59,10 +59,7 @@ pub fn run_fig22(cfg: &RunConfig) -> Table {
         device.device_mem_bytes >> 20
     ));
 
-    let mech_cfg = GpuJoinConfig {
-        device: device.clone(),
-        ..resident_config(cfg, 15, n)
-    };
+    let mech_cfg = GpuJoinConfig { device: device.clone(), ..resident_config(cfg, 15, n) };
     let (um, uva) = run_out_of_gpu_mechanisms(&mech_cfg, &r, &s);
     table.row("UM", vec![Some(btps(um.throughput_tuples_per_s()))]);
     table.row("UVA", vec![Some(btps(uva.throughput_tuples_per_s()))]);
@@ -74,6 +71,7 @@ pub fn run_fig22(cfg: &RunConfig) -> Table {
         .expect("co-processing needs only buffers");
     assert_eq!(co.check, um.check);
     table.row("Co-processing", vec![Some(btps(co.throughput_tuples_per_s()))]);
+    record_outcome(cfg, &mut table, "fig22-coproc", &co);
     table
 }
 
@@ -83,7 +81,7 @@ mod tests {
 
     #[test]
     fn fig21_bar_ordering() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
         let t = run_fig21(&cfg);
         let v: Vec<f64> = t.rows.iter().map(|(_, v)| v[0].unwrap()).collect();
         // resident >= uva-load > uva-part >= uva-join; um < resident.
@@ -95,7 +93,7 @@ mod tests {
 
     #[test]
     fn fig22_coprocessing_dominates() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
         let t = run_fig22(&cfg);
         let um = t.rows[0].1[0].unwrap();
         let uva = t.rows[1].1[0].unwrap();

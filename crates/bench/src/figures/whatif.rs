@@ -36,8 +36,11 @@ pub fn run_interconnect(cfg: &RunConfig) -> Table {
          CPU partitioning throughput becomes the next bottleneck",
     );
 
-    let links: [(&str, f64); 3] =
-        [("PCIe 3.0 x16 (12 GB/s)", 12.0e9), ("PCIe 4.0 x16 (24 GB/s)", 24.0e9), ("NVLink2 (45 GB/s)", 45.0e9)];
+    let links: [(&str, f64); 3] = [
+        ("PCIe 3.0 x16 (12 GB/s)", 12.0e9),
+        ("PCIe 4.0 x16 (24 GB/s)", 24.0e9),
+        ("NVLink2 (45 GB/s)", 45.0e9),
+    ];
     let extra = 16;
     let n = cfg.tuples(512_000_000 / extra);
     let (r, s) = canonical_pair(n, 4 * n, 5000);
@@ -52,12 +55,11 @@ pub fn run_interconnect(cfg: &RunConfig) -> Table {
             .execute(&r, &s)
             .ok()
             .map(|o| btps(o.throughput_tuples_per_s()));
-        let co = CoProcessingJoin::new(
-            CoProcessingConfig::paper_default(join_cfg).with_auto_threads(),
-        )
-        .execute(&r, &s)
-        .ok()
-        .map(|o| btps(o.throughput_tuples_per_s()));
+        let co =
+            CoProcessingJoin::new(CoProcessingConfig::paper_default(join_cfg).with_auto_threads())
+                .execute(&r, &s)
+                .ok()
+                .map(|o| btps(o.throughput_tuples_per_s()));
         table.row(name, vec![streamed, co]);
     }
     table
@@ -120,7 +122,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: true, out_dir: None }
+        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! EXPERIMENTS.md.
 
 pub mod figures;
+pub mod microbench;
 pub mod report;
 
 pub use report::Table;
@@ -39,15 +40,28 @@ pub struct RunConfig {
     pub quick: bool,
     /// Write `<id>.csv` per figure here.
     pub out_dir: Option<PathBuf>,
+    /// Write `<name>.trace.json` Chrome traces of representative schedules
+    /// here (`repro --trace DIR`); `None` disables tracing.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: 16, quick: false, out_dir: None }
+        RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None }
     }
 }
 
 impl RunConfig {
+    /// Export `schedule` as `<trace_dir>/<name>.trace.json` when tracing is
+    /// enabled. Trace failures warn rather than abort: a full repro run
+    /// should not die on a read-only output directory.
+    pub fn trace_schedule(&self, name: &str, schedule: &hcj_sim::Schedule) {
+        let Some(dir) = &self.trace_dir else { return };
+        let path = dir.join(format!("{name}.trace.json"));
+        if let Err(e) = hcj_sim::TraceExporter::new().write(schedule, &path) {
+            eprintln!("warning: failed to write trace {}: {e}", path.display());
+        }
+    }
     /// A paper cardinality reduced by the configured scale (at least 1024
     /// tuples so shapes stay measurable).
     pub fn tuples(&self, paper_tuples: u64) -> usize {
@@ -79,14 +93,14 @@ mod tests {
 
     #[test]
     fn scaling_math() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None };
+        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
         assert_eq!(cfg.mtuples(64), 4_000_000);
         assert_eq!(cfg.tuples(1_000), 1024); // floor
     }
 
     #[test]
     fn quick_sweeps_thin_out() {
-        let cfg = RunConfig { scale: 1, quick: true, out_dir: None };
+        let cfg = RunConfig { scale: 1, quick: true, out_dir: None, trace_dir: None };
         assert_eq!(cfg.sweep(&[1, 2, 3, 4, 5, 6, 7, 8]), vec![1, 5, 8]);
         assert_eq!(cfg.sweep(&[1, 2, 3]), vec![1, 2, 3]);
         let full = RunConfig { quick: false, ..cfg };

@@ -1,0 +1,124 @@
+//! A minimal wall-clock micro-benchmark harness for the `harness = false`
+//! bench targets (the workspace builds offline, without `criterion`).
+//!
+//! Calibrates iteration counts toward a fixed time budget per benchmark,
+//! reports the best-of-runs nanoseconds per iteration, and — unlike a
+//! statistics-heavy harness — stays dependency-free. The simulated-clock
+//! reproduction numbers live in the `repro` binary; these track the host
+//! cost of the library itself.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Override the pace with
+/// `HCJ_BENCH_BUDGET_MS` (e.g. `=5` for a smoke pass in CI).
+fn budget() -> Duration {
+    let ms = std::env::var("HCJ_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Time `f`, printing `group/name: <ns>/iter`. Returns ns/iter.
+pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) -> f64 {
+    // Warm up and estimate a single-iteration cost.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+
+    let budget = budget();
+    let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    // Three runs of `iters`; keep the fastest (least-noise) run.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+        if t.elapsed() > budget {
+            break; // long benchmarks: one measured run is enough
+        }
+    }
+    println!("{group}/{name}: {} ({iters} iters/run)", fmt_ns(best));
+    best
+}
+
+/// Like [`bench`], but rebuilds fresh input with `setup` outside the timed
+/// region on every iteration (criterion's `iter_batched`).
+pub fn bench_with_setup<S, T>(
+    group: &str,
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> f64 {
+    let t0 = Instant::now();
+    black_box(f(setup()));
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+
+    let budget = budget();
+    let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            black_box(f(input));
+        }
+        let per_iter = t.elapsed().as_nanos() as f64 / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+        if t.elapsed() > budget {
+            break;
+        }
+    }
+    println!("{group}/{name}: {} ({iters} iters/run)", fmt_ns(best));
+    best
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        std::env::set_var("HCJ_BENCH_BUDGET_MS", "1");
+        let ns = bench("test", "noop-sum", || (0..100u64).sum::<u64>());
+        assert!(ns > 0.0);
+        let ns = bench_with_setup(
+            "test",
+            "sort",
+            || vec![3u32, 1, 2],
+            |mut v| {
+                v.sort_unstable();
+                v
+            },
+        );
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting_picks_unit() {
+        assert_eq!(fmt_ns(12.4), "12.4 ns/iter");
+        assert_eq!(fmt_ns(12_400.0), "12.400 us/iter");
+        assert_eq!(fmt_ns(12_400_000.0), "12.400 ms/iter");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s/iter");
+    }
+}

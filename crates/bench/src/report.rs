@@ -27,7 +27,15 @@ impl Table {
         y_label: &'static str,
         series: Vec<String>,
     ) -> Self {
-        Table { id, title: title.into(), x_label, y_label, series, rows: Vec::new(), notes: Vec::new() }
+        Table {
+            id,
+            title: title.into(),
+            x_label,
+            y_label,
+            series,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Append one x-row; `values.len()` must equal the series count.
@@ -45,13 +53,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         let _ = writeln!(out, "   ({} vs {})", self.y_label, self.x_label);
-        let xw = self
-            .rows
-            .iter()
-            .map(|(x, _)| x.len())
-            .chain([self.x_label.len()])
-            .max()
-            .unwrap_or(8);
+        let xw =
+            self.rows.iter().map(|(x, _)| x.len()).chain([self.x_label.len()]).max().unwrap_or(8);
         let widths: Vec<usize> = self.series.iter().map(|s| s.len().max(10)).collect();
         let _ = write!(out, "{:>xw$}", self.x_label, xw = xw);
         for (s, w) in self.series.iter().zip(&widths) {

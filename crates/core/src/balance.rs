@@ -30,7 +30,6 @@ pub fn round_robin_imbalance(unit_weights: &[u64], workers: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn uniform_units_are_balanced() {
@@ -77,15 +76,17 @@ mod tests {
         let _ = round_robin_imbalance(&[1], 0);
     }
 
-    proptest! {
-        #[test]
-        fn imbalance_is_at_least_one(
-            weights in proptest::collection::vec(0u64..1000, 0..200),
-            workers in 1usize..64,
-        ) {
+    #[test]
+    fn imbalance_is_at_least_one() {
+        use hcj_workload::rng::{Rng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0xBA1A);
+        for case in 0..256 {
+            let len = rng.gen_range_u64(0, 199) as usize;
+            let weights: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0, 999)).collect();
+            let workers = rng.gen_range_u64(1, 63) as usize;
             let f = round_robin_imbalance(&weights, workers);
-            prop_assert!(f >= 1.0);
-            prop_assert!(f <= workers as f64 + 1e-9);
+            assert!(f >= 1.0, "case {case}: imbalance {f} < 1");
+            assert!(f <= workers as f64 + 1e-9, "case {case}: imbalance {f} > {workers}");
         }
     }
 }

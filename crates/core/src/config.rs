@@ -127,8 +127,7 @@ impl GpuJoinConfig {
 
     /// Build the output sink this configuration implies.
     pub fn make_sink(&self) -> crate::output::OutputSink {
-        let sink =
-            crate::output::OutputSink::new(self.output, u64::from(self.join_block_threads));
+        let sink = crate::output::OutputSink::new(self.output, u64::from(self.join_block_threads));
         match self.row_cap {
             Some(cap) => sink.with_row_cap(cap),
             None => sink,
@@ -196,13 +195,7 @@ impl GpuJoinConfig {
     /// largest pass: per-partition metadata (a 4-byte offset counter and a
     /// 4-byte bucket pointer) plus one block-sized shuffle tile.
     pub fn validate_partition_kernel(&self) -> Result<SharedMemLayout, SharedMemOverflow> {
-        let fanout = self
-            .pass_plan()
-            .passes()
-            .iter()
-            .map(|p| p.fanout())
-            .max()
-            .unwrap_or(1);
+        let fanout = self.pass_plan().passes().iter().map(|p| p.fanout()).max().unwrap_or(1);
         let mut l = SharedMemLayout::new(self.device.shared_mem_per_block);
         l.reserve::<u32>("partition offsets", fanout as usize)?;
         l.reserve::<u32>("partition bucket ptrs", fanout as usize)?;

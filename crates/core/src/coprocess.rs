@@ -108,8 +108,7 @@ impl CoProcessingConfig {
     /// configures this statically and leaves dynamic adjustment as future
     /// work; this implements the static rule from the machine model.
     pub fn with_auto_threads(mut self) -> Self {
-        self.cpu_threads =
-            self.host.recommended_partition_threads(self.join.device.pcie_bandwidth);
+        self.cpu_threads = self.host.recommended_partition_threads(self.join.device.pcie_bandwidth);
         self
     }
 }
@@ -127,7 +126,9 @@ impl CoProcessingJoin {
             "the CPU level must leave bits for GPU sub-partitioning"
         );
         assert!(config.cpu_threads >= 1);
-        assert!((0.0..1.0).contains(&config.gpu_budget_fraction) && config.gpu_budget_fraction > 0.0);
+        assert!(
+            (0.0..1.0).contains(&config.gpu_budget_fraction) && config.gpu_budget_fraction > 0.0
+        );
         CoProcessingJoin { config }
     }
 
@@ -147,9 +148,8 @@ impl CoProcessingJoin {
         let max_cpu_bits = (jcfg.radix_bits - 1).min(cfg.cpu_radix_bits + 8);
         let r_parts = loop {
             let parts = cpu_radix_partition(r, cpu_bits);
-            let oversized = parts
-                .iter()
-                .any(|p| (p.bytes() as f64 * cfg.padding_factor) as u64 > budget);
+            let oversized =
+                parts.iter().any(|p| (p.bytes() as f64 * cfg.padding_factor) as u64 > budget);
             if !oversized || cpu_bits >= max_cpu_bits {
                 break parts;
             }
@@ -227,9 +227,8 @@ impl CoProcessingJoin {
                 &[],
             ));
         }
-        let r_ready = sim.op(
-            Op::latency(SimTime::ZERO).label("cpu r partitioned").after_all(r_cpu_ops.clone()),
-        );
+        let r_ready = sim
+            .op(Op::latency(SimTime::ZERO).label("cpu r partitioned").after_all(r_cpu_ops.clone()));
 
         // ---- functional chunking + per-chunk CPU partitions of S ----
         let s_chunks = s.chunks(chunk_tuples);
@@ -237,10 +236,7 @@ impl CoProcessingJoin {
             s_chunks.iter().map(|c| cpu_radix_partition(c, cpu_bits)).collect();
 
         // ---- the pipeline ----
-        let sub_cfg = GpuJoinConfig {
-            radix_bits: jcfg.radix_bits - cpu_bits,
-            ..jcfg.clone()
-        };
+        let sub_cfg = GpuJoinConfig { radix_bits: jcfg.radix_bits - cpu_bits, ..jcfg.clone() };
         let sub_partitioner = GpuPartitioner::new(&sub_cfg);
         let mut exec = gpu.stream();
         let mut xfer = gpu.stream();
@@ -316,8 +312,7 @@ impl CoProcessingJoin {
                 // sets reuse the pinned partitions.
                 if w == 0 {
                     let socket = if c % 2 == 0 { Socket::Near } else { Socket::Far };
-                    let chunk_len_bytes: u64 =
-                        chunk_parts.iter().map(|p| p.bytes()).sum();
+                    let chunk_len_bytes: u64 = chunk_parts.iter().map(|p| p.bytes()).sum();
                     let mut op = tasks::cpu_task(
                         &mut sim,
                         &host,
@@ -339,12 +334,10 @@ impl CoProcessingJoin {
                             Socket::Far,
                             &[op],
                         );
-                        op = sim.op(
-                            Op::latency(SimTime::ZERO)
-                                .label(format!("stage s chunk{c} done"))
-                                .after(op)
-                                .after(stage),
-                        );
+                        op = sim.op(Op::latency(SimTime::ZERO)
+                            .label(format!("stage s chunk{c} done"))
+                            .after(op)
+                            .after(stage));
                     }
                     s_cpu_done[c] = Some(op);
                 }
@@ -467,7 +460,12 @@ impl CoProcessingJoin {
                 gpu.copy_h2d(sim, xfer, format!("{label} near"), near_bytes, TransferKind::Pinned);
             legs.push(copy_near);
             legs.push(tasks::dma_host_traffic(
-                sim, host, near_bytes, Socket::Near, pcie, &shadow_deps,
+                sim,
+                host,
+                near_bytes,
+                Socket::Near,
+                pcie,
+                &shadow_deps,
             ));
         }
         if far_bytes > 0 {
@@ -478,7 +476,12 @@ impl CoProcessingJoin {
                 gpu.copy_h2d(sim, xfer, format!("{label} far"), inflated, TransferKind::Pinned);
             legs.push(copy_far);
             legs.push(tasks::dma_host_traffic(
-                sim, host, far_bytes, Socket::Far, pcie, &shadow_deps,
+                sim,
+                host,
+                far_bytes,
+                Socket::Far,
+                pcie,
+                &shadow_deps,
             ));
         }
         let fence = sim.op(Op::latency(SimTime::ZERO).label("h2d-fence").after_all(legs));

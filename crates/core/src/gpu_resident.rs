@@ -138,9 +138,8 @@ mod tests {
     #[test]
     fn materialization_matches_oracle() {
         let (r, s) = canonical_pair(4096, 8192, 32);
-        let join = GpuPartitionedJoin::new(
-            small_config(6, 4096).with_output(OutputMode::Materialize),
-        );
+        let join =
+            GpuPartitionedJoin::new(small_config(6, 4096).with_output(OutputMode::Materialize));
         let out = join.execute(&r, &s).unwrap();
         assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
     }
@@ -149,11 +148,10 @@ mod tests {
     fn materialization_is_slower_but_not_catastrophic() {
         let (r, s) = canonical_pair(32_768, 32_768, 33);
         let agg = GpuPartitionedJoin::new(small_config(9, 32_768)).execute(&r, &s).unwrap();
-        let mat = GpuPartitionedJoin::new(
-            small_config(9, 32_768).with_output(OutputMode::Materialize),
-        )
-        .execute(&r, &s)
-        .unwrap();
+        let mat =
+            GpuPartitionedJoin::new(small_config(9, 32_768).with_output(OutputMode::Materialize))
+                .execute(&r, &s)
+                .unwrap();
         let t_agg = agg.total_seconds();
         let t_mat = mat.total_seconds();
         assert!(t_mat >= t_agg);
@@ -164,9 +162,7 @@ mod tests {
     #[test]
     fn nested_loop_probe_matches_oracle() {
         let (r, s) = canonical_pair(4096, 4096, 34);
-        let join = GpuPartitionedJoin::new(
-            small_config(7, 4096).with_probe(ProbeKind::NestedLoop),
-        );
+        let join = GpuPartitionedJoin::new(small_config(7, 4096).with_probe(ProbeKind::NestedLoop));
         let out = join.execute(&r, &s).unwrap();
         assert_eq!(out.check, JoinCheck::compute(&r, &s));
     }
@@ -189,8 +185,8 @@ mod tests {
         let device = DeviceSpec::gtx1080().scaled_capacity(8);
         let cfg = GpuJoinConfig::paper_default(device).with_radix_bits(8);
         let r = RelationSpec::unique(50_000_000 / 8 * 8, 1); // ~50M tuples = 400 MB
-        // Generating 50M tuples for real is wasteful here; fake the size
-        // with a small relation and an explicit byte check instead.
+                                                             // Generating 50M tuples for real is wasteful here; fake the size
+                                                             // with a small relation and an explicit byte check instead.
         let _ = r;
         let small = RelationSpec::unique(1024, 36).generate();
         // Shrink the device below even the small inputs to exercise the path.

@@ -55,9 +55,9 @@ pub fn join_all_copartitions(
             ProbeKind::NestedLoop => {
                 ballot_nl::ballot_nl_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
             }
-            ProbeKind::DeviceHashJoin => {
-                device_hash::device_hash_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
-            }
+            ProbeKind::DeviceHashJoin => device_hash::device_hash_join(
+                config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink,
+            ),
         };
     }
     cost
@@ -83,12 +83,17 @@ mod tests {
     use super::*;
     use hcj_gpu::DeviceSpec;
     use hcj_workload::oracle::JoinCheck;
-    use hcj_workload::{RelationSpec, KeyDistribution};
+    use hcj_workload::{KeyDistribution, RelationSpec};
 
     use crate::config::OutputMode;
     use crate::partition::GpuPartitioner;
 
-    fn run(probe: ProbeKind, r_tuples: usize, s_tuples: usize, bits: u32) -> (JoinCheck, JoinCheck) {
+    fn run(
+        probe: ProbeKind,
+        r_tuples: usize,
+        s_tuples: usize,
+        bits: u32,
+    ) -> (JoinCheck, JoinCheck) {
         let mut cfg = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
         cfg.radix_bits = bits;
         cfg.bucket_capacity = 1024;

@@ -31,7 +31,11 @@ pub fn sm_hash_join(
     s_pays: &[u32],
     sink: &mut OutputSink,
 ) -> KernelCost {
-    let block = config.smem_elements;
+    // The chain links are 16-bit and `u16::MAX` is the NIL sentinel, so a
+    // build block may never exceed 65535 elements no matter how much shared
+    // memory the config claims — larger blocks would silently wrap `i as
+    // u16` below and drop or fabricate matches.
+    let block = config.smem_elements.min(usize::from(u16::MAX));
     let buckets = config.hash_buckets;
     let mut cost = KernelCost::ZERO;
     let n_blocks = r_keys.len().div_ceil(block).max(1);
@@ -88,11 +92,11 @@ pub fn sm_hash_join(
             }
         }
         cost.add_shared(2 * head_reads); // 2 B head per probe
-        // Chain walks diverge within the warp: each dependent step wastes
-        // most of the warp's shared-memory bank transaction, so a step
-        // costs a warp-wide access, not 6 B. Long chains (elements >>
-        // buckets) are what bends hash-join throughput back down past the
-        // paper's 1024-element sweet spot (Fig. 5).
+                                         // Chain walks diverge within the warp: each dependent step wastes
+                                         // most of the warp's shared-memory bank transaction, so a step
+                                         // costs a warp-wide access, not 6 B. Long chains (elements >>
+                                         // buckets) are what bends hash-join throughput back down past the
+                                         // paper's 1024-element sweet spot (Fig. 5).
         cost.add_shared(32 * chain_steps);
         cost.add_shared(4 * match_count); // matched payload read
         cost.add_instructions(4 * s_keys.len() as u64 + 3 * chain_steps);
@@ -180,6 +184,25 @@ mod tests {
         // The single probe walks a ~32-element chain: shared traffic well
         // above the 2-byte head read.
         assert!(cost.shared_bytes > 64 * 10 + 100);
+    }
+
+    #[test]
+    fn blocks_beyond_u16_offsets_are_split_not_wrapped() {
+        // A config claiming room for >65535 elements must still cap blocks
+        // at the 16-bit offset limit: element 65536 stored as `0u16` used
+        // to shadow the real element 0 and corrupt the join.
+        let mut config = cfg();
+        config.smem_elements = 100_000;
+        let n = 70_000u32;
+        let r: Vec<(u32, u32)> = (0..n).map(|i| (i, i)).collect();
+        // Probe keys on both sides of the 65535 boundary.
+        let s: Vec<(u32, u32)> =
+            [0, 1, 65_534, 65_535, 65_536, 69_999].into_iter().map(|k| (k, k + 1)).collect();
+        let (rows, cost) = run(&config, &r, &s);
+        let want: Vec<(u32, u32, u32)> = s.iter().map(|&(k, p)| (k, k, p)).collect();
+        assert_eq!(rows, want);
+        // Two build blocks → the probe side is re-scanned twice.
+        assert_eq!(cost.coalesced_bytes, 2 * 8 * s.len() as u64 + 8 * u64::from(n));
     }
 
     #[test]

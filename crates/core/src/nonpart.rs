@@ -41,9 +41,7 @@ impl NonPartitionedOutcome {
     /// Total kernel seconds on `device`, including the two launch
     /// overheads (build kernel + probe kernel).
     pub fn kernel_seconds(&self, device: &DeviceSpec) -> f64 {
-        self.build_cost.time(device)
-            + self.probe_cost.time(device)
-            + 2.0 * device.launch_overhead_s
+        self.build_cost.time(device) + self.probe_cost.time(device) + 2.0 * device.launch_overhead_s
     }
 }
 
@@ -225,10 +223,7 @@ mod tests {
         let chain_tx = chain.probe_cost.random_transactions + chain.probe_cost.l2_transactions;
         let perfect_tx =
             perfect.probe_cost.random_transactions + perfect.probe_cost.l2_transactions;
-        assert!(
-            chain_tx > 2 * perfect_tx,
-            "chaining {chain_tx} vs perfect {perfect_tx}"
-        );
+        assert!(chain_tx > 2 * perfect_tx, "chaining {chain_tx} vs perfect {perfect_tx}");
     }
 
     #[test]
@@ -245,11 +240,10 @@ mod tests {
         // Probe keys outside the build domain: no matches, chains walked
         // only on hash collisions.
         let (r, _) = canonical_pair(1024, 1, 25);
-        let s: Relation = (0..2048u32)
-            .map(|i| hcj_workload::Tuple { key: 1_000_000 + i, payload: i })
-            .collect();
-        let out =
-            NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate).execute(&r, &s);
+        let s: Relation =
+            (0..2048u32).map(|i| hcj_workload::Tuple { key: 1_000_000 + i, payload: i }).collect();
+        let out = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
+            .execute(&r, &s);
         assert_eq!(out.check.matches, 0);
     }
 

@@ -172,18 +172,13 @@ fn knapsack_max_tuples(partitions: &[PartitionSize], budget_bytes: u64) -> Vec<u
         }
     }
     let argmax = (0..=cap).max_by_key(|&c| best[c]).unwrap_or(0);
-    partitions
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| choice[argmax][*i])
-        .map(|(_, p)| p.id)
-        .collect()
+    partitions.iter().enumerate().filter(|(i, _)| choice[argmax][*i]).map(|(_, p)| p.id).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hcj_workload::rng::{Rng, SmallRng};
 
     fn part(id: usize, tuples: u64, bytes: u64) -> PartitionSize {
         PartitionSize { id, tuples, padded_bytes: bytes }
@@ -215,10 +210,8 @@ mod tests {
         parts.extend((1..10).map(|i| part(i, 100, 10)));
         let ws = pack_working_sets(&parts, 100, 50);
         assert!(ws.sets[0].contains(&0), "first set must include the hot partition");
-        let tuples: u64 = ws.sets[0]
-            .iter()
-            .map(|&id| parts.iter().find(|p| p.id == id).unwrap().tuples)
-            .sum();
+        let tuples: u64 =
+            ws.sets[0].iter().map(|&id| parts.iter().find(|p| p.id == id).unwrap().tuples).sum();
         assert!(tuples >= 10_000 + 4 * 100);
     }
 
@@ -258,7 +251,7 @@ mod tests {
     #[test]
     fn naive_packs_everything_in_order() {
         let parts: Vec<_> = (0..7).map(|i| part(i, 10, 30)).collect();
-        let ws = naive_working_sets(&parts, 100, );
+        let ws = naive_working_sets(&parts, 100);
         assert_eq!(ws.sets, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
     }
 
@@ -283,36 +276,34 @@ mod tests {
         let _ = pack_working_sets(&parts, 100, 50);
     }
 
-    proptest! {
-        #[test]
-        fn every_partition_packed_exactly_once(
-            sizes in proptest::collection::vec((1u64..1000, 1u64..50), 1..40)
-        ) {
-            let parts: Vec<_> = sizes
-                .iter()
-                .enumerate()
-                .map(|(i, &(t, b))| part(i, t, b))
+    #[test]
+    fn every_partition_packed_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(0x9ACC);
+        for case in 0..256 {
+            let len = rng.gen_range_u64(1, 39) as usize;
+            let parts: Vec<_> = (0..len)
+                .map(|i| part(i, rng.gen_range_u64(1, 999), rng.gen_range_u64(1, 49)))
                 .collect();
             let ws = pack_working_sets(&parts, 100, 60);
             let mut seen: Vec<usize> = ws.sets.iter().flatten().copied().collect();
             seen.sort_unstable();
             let want: Vec<usize> = (0..parts.len()).collect();
-            prop_assert_eq!(seen, want);
+            assert_eq!(seen, want, "case {case}");
         }
+    }
 
-        #[test]
-        fn no_set_overflows_budget(
-            sizes in proptest::collection::vec((1u64..1000, 1u64..80), 1..40),
-            budget in 80u64..200,
-        ) {
-            let parts: Vec<_> = sizes
-                .iter()
-                .enumerate()
-                .map(|(i, &(t, b))| part(i, t, b))
+    #[test]
+    fn no_set_overflows_budget() {
+        let mut rng = SmallRng::seed_from_u64(0xB0D9);
+        for case in 0..256 {
+            let len = rng.gen_range_u64(1, 39) as usize;
+            let parts: Vec<_> = (0..len)
+                .map(|i| part(i, rng.gen_range_u64(1, 999), rng.gen_range_u64(1, 79)))
                 .collect();
+            let budget = rng.gen_range_u64(80, 199);
             let ws = pack_working_sets(&parts, budget, budget / 2);
             for s in &ws.sets {
-                prop_assert!(total_bytes(s, &parts) <= budget);
+                assert!(total_bytes(s, &parts) <= budget, "case {case}: budget {budget}");
             }
         }
     }

@@ -22,7 +22,13 @@ impl BucketPool {
     /// An empty pool of buckets holding `capacity` elements each.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "bucket capacity must be positive");
-        BucketPool { capacity, keys: Vec::new(), payloads: Vec::new(), lens: Vec::new(), next: Vec::new() }
+        BucketPool {
+            capacity,
+            keys: Vec::new(),
+            payloads: Vec::new(),
+            lens: Vec::new(),
+            next: Vec::new(),
+        }
     }
 
     pub fn capacity(&self) -> usize {

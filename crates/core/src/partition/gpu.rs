@@ -97,11 +97,8 @@ impl<'a> GpuPartitioner<'a> {
         pass: PassBits,
     ) -> (PartitionedRelation, PassStats) {
         let new_bits = pass.shift + pass.bits;
-        let mut next = PartitionedRelation::with_base(
-            self.config.bucket_capacity,
-            new_bits,
-            parent.base_bits,
-        );
+        let mut next =
+            PartitionedRelation::with_base(self.config.bucket_capacity, new_bits, parent.base_bits);
         let mut allocs = 0u64;
         // Work units for load balancing: buckets (bucket-at-a-time) or
         // whole chains (partition-at-a-time). The functional result is
@@ -153,7 +150,7 @@ impl<'a> GpuPartitioner<'a> {
         // coalesced, §III-A).
         cost.add_coalesced(8 * n); // read keys+payloads
         cost.add_coalesced(8 * n); // write to bucket chains
-        // Every tuple is staged into and out of the shuffle tile.
+                                   // Every tuple is staged into and out of the shuffle tile.
         cost.add_shared(2 * 8 * n);
         // One shared-memory atomic per tuple: the partition's offset
         // counter.
@@ -318,9 +315,8 @@ mod tests {
     fn base_shift_partitions_on_higher_bits() {
         // All keys share the low nibble 0x3 (as if CPU-partitioned 16-way);
         // the GPU refines on bits [4, 10).
-        let rel: Relation = (0..4096u32)
-            .map(|i| hcj_workload::Tuple { key: (i << 4) | 0x3, payload: i })
-            .collect();
+        let rel: Relation =
+            (0..4096u32).map(|i| hcj_workload::Tuple { key: (i << 4) | 0x3, payload: i }).collect();
         let cfg = config(6);
         let out = GpuPartitioner::new(&cfg).partition_with_base(&rel, 4);
         assert_eq!(out.partitioned.base_bits, 4);

@@ -86,8 +86,8 @@ impl<'a> HistogramPartitioner<'a> {
             cost.add_shared(2 * 8 * n); // shuffle staging
             cost.add_shared_atomics(n); // scatter cursors
             cost.add_instructions(14 * n + (bounds.len() as u64) * 4);
-            let seconds = cost.time(&self.config.device)
-                + 2.0 * self.config.device.launch_overhead_s;
+            let seconds =
+                cost.time(&self.config.device) + 2.0 * self.config.device.launch_overhead_s;
             passes.push(PassStats { cost, seconds, imbalance: 1.0, buckets_allocated: 0 });
         }
 

@@ -125,7 +125,7 @@ pub fn differing_bits(total_partition_bits: u32, max_key: u32) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hcj_workload::rng::{Rng, SmallRng};
 
     #[test]
     fn single_pass_plan() {
@@ -182,37 +182,48 @@ mod tests {
         assert_eq!(differing_bits(15, 2_000_000).len(), 6);
     }
 
-    proptest! {
-        #[test]
-        fn composition_matches_direct_partition(
-            key in any::<u32>(),
-            total in 1u32..16,
-            per_pass in 1u32..8,
-        ) {
-            let plan = PassPlan::new(total, per_pass);
-            let mut global = 0u32;
-            for pass in plan.passes() {
-                global = pass.global_index(global, key);
-            }
-            prop_assert_eq!(global, plan.partition_of(key));
-        }
-
-        #[test]
-        fn pass_bits_sum_to_total(total in 0u32..20, per_pass in 1u32..9) {
-            let plan = PassPlan::new(total, per_pass);
-            let sum: u32 = plan.passes().iter().map(|p| p.bits).sum();
-            prop_assert_eq!(sum, total);
-            for p in plan.passes() {
-                prop_assert!(p.bits <= per_pass);
+    #[test]
+    fn composition_matches_direct_partition_randomized() {
+        let mut rng = SmallRng::seed_from_u64(0x5AD1);
+        for total in 1u32..16 {
+            for per_pass in 1u32..8 {
+                let plan = PassPlan::new(total, per_pass);
+                for _ in 0..8 {
+                    let key = rng.next_u64() as u32;
+                    let mut global = 0u32;
+                    for pass in plan.passes() {
+                        global = pass.global_index(global, key);
+                    }
+                    assert_eq!(global, plan.partition_of(key), "key {key:#x} {total}/{per_pass}");
+                }
             }
         }
+    }
 
-        #[test]
-        fn bits_for_size_is_minimal(tuples in 1usize..5_000_000, target in 1usize..10_000) {
+    #[test]
+    fn pass_bits_sum_to_total() {
+        for total in 0u32..20 {
+            for per_pass in 1u32..9 {
+                let plan = PassPlan::new(total, per_pass);
+                let sum: u32 = plan.passes().iter().map(|p| p.bits).sum();
+                assert_eq!(sum, total, "{total}/{per_pass}");
+                for p in plan.passes() {
+                    assert!(p.bits <= per_pass);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_for_size_is_minimal() {
+        let mut rng = SmallRng::seed_from_u64(0xB175);
+        for case in 0..256 {
+            let tuples = rng.gen_range_u64(1, 4_999_999) as usize;
+            let target = rng.gen_range_u64(1, 9_999) as usize;
             let bits = bits_for_partition_size(tuples, target);
-            prop_assert!((tuples >> bits) <= target);
+            assert!((tuples >> bits) <= target, "case {case}: {tuples}/{target}");
             if bits > 0 {
-                prop_assert!((tuples >> (bits - 1)) > target);
+                assert!((tuples >> (bits - 1)) > target, "case {case}: {bits} not minimal");
             }
         }
     }

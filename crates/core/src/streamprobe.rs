@@ -146,13 +146,7 @@ impl StreamedProbeJoin {
             // DRAM) runs concurrently with the PCIe leg; align it with
             // the engine's queue so it cannot run ahead of its transfer.
             let shadow_deps: Vec<OpId> = xfer.last_op().into_iter().collect();
-            let copy = gpu.copy_h2d(
-                &mut sim,
-                &mut xfer,
-                format!("h2d s chunk{k}"),
-                bytes,
-                kind,
-            );
+            let copy = gpu.copy_h2d(&mut sim, &mut xfer, format!("h2d s chunk{k}"), bytes, kind);
             let shadow = tasks::dma_host_traffic(
                 &mut sim,
                 &host,
@@ -161,24 +155,25 @@ impl StreamedProbeJoin {
                 cfg.device.pcie_bandwidth,
                 &shadow_deps,
             );
-            let copy_fence = sim.op(
-                hcj_sim::Op::latency(hcj_sim::SimTime::ZERO)
-                    .label(format!("h2d-fence{k}"))
-                    .after(copy)
-                    .after(shadow),
-            );
+            let copy_fence = sim.op(hcj_sim::Op::latency(hcj_sim::SimTime::ZERO)
+                .label(format!("h2d-fence{k}"))
+                .after(copy)
+                .after(shadow));
             copy_done.push(copy_fence);
 
             // -- join chunk k against R (functional: partition the chunk,
             // then join co-partitions).
             let matches_before = sink.matches();
             let s_out = partitioner.partition(chunk);
-            let mut cost = join_all_copartitions(cfg, &r_out.partitioned, &s_out.partitioned, &mut sink);
+            let mut cost =
+                join_all_copartitions(cfg, &r_out.partitioned, &s_out.partitioned, &mut sink);
             for p in &s_out.passes {
                 cost += p.cost;
             }
-            cost += late_materialization_cost(sink.matches() - matches_before, r.payload_width, true);
-            cost += late_materialization_cost(sink.matches() - matches_before, s.payload_width, true);
+            cost +=
+                late_materialization_cost(sink.matches() - matches_before, r.payload_width, true);
+            cost +=
+                late_materialization_cost(sink.matches() - matches_before, s.payload_width, true);
             exec.wait_op(copy_fence);
             let join = gpu.kernel(&mut sim, &mut exec, format!("join chunk{k}"), &cost);
             join_done.push(join);
@@ -247,9 +242,8 @@ mod tests {
     #[test]
     fn materialized_stream_matches_oracle() {
         let (r, s) = canonical_pair(4096, 16_384, 42);
-        let mut c = StreamedProbeConfig::paper_default(
-            cfg(6, 4096).with_output(OutputMode::Materialize),
-        );
+        let mut c =
+            StreamedProbeConfig::paper_default(cfg(6, 4096).with_output(OutputMode::Materialize));
         c.chunk_tuples = Some(2048);
         let out = StreamedProbeJoin::new(c).execute(&r, &s).unwrap();
         assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
@@ -291,7 +285,8 @@ mod tests {
     #[test]
     fn build_too_large_for_device_errors() {
         let device = DeviceSpec::gtx1080().scaled_capacity(1 << 20); // 8 KB
-        let config = GpuJoinConfig::paper_default(device).with_radix_bits(4).with_tuned_buckets(4096);
+        let config =
+            GpuJoinConfig::paper_default(device).with_radix_bits(4).with_tuned_buckets(4096);
         let (r, s) = canonical_pair(4096, 8192, 45);
         let join = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(config));
         assert!(join.execute(&r, &s).is_err());

@@ -260,10 +260,7 @@ mod tests {
     fn out_of_gpu_mechanisms_thrash() {
         // Data 4x the (scaled) device memory: UM must re-migrate pages.
         let device = DeviceSpec::gtx1080().scaled_capacity(1 << 12); // 2 MB
-        let config = GpuJoinConfig {
-            device,
-            ..cfg(200_000)
-        };
+        let config = GpuJoinConfig { device, ..cfg(200_000) };
         let (r, s) = canonical_pair(200_000, 200_000, 63); // 3.2 MB of input
         let (um, uva) = run_out_of_gpu_mechanisms(&config, &r, &s);
         assert_eq!(um.check, JoinCheck::compute(&r, &s));

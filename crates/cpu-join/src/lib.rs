@@ -9,7 +9,7 @@
 //! * **NPO** — the non-partitioned shared hash join of Blanas et al.: one
 //!   global chained hash table built by all threads, probed in parallel.
 //!
-//! Both are *functionally real* (multithreaded via crossbeam, outputs
+//! Both are *functionally real* (multithreaded via std::thread::scope, outputs
 //! validated against the oracle). Execution time comes from the calibrated
 //! host model in `hcj-host`, scaled by thread count and cache behaviour —
 //! see DESIGN.md for the calibration argument. The machine defaults to the

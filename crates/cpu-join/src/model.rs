@@ -107,10 +107,7 @@ mod tests {
         let t = partition_seconds(&h, 48, bytes, 2)
             + join_seconds(48, tuples, h.per_thread_join_tuples_per_s);
         let tput = tuples as f64 / t;
-        assert!(
-            (0.3e9..0.8e9).contains(&tput),
-            "PRO-shaped throughput at 48 threads = {tput:.3e}"
-        );
+        assert!((0.3e9..0.8e9).contains(&tput), "PRO-shaped throughput at 48 threads = {tput:.3e}");
     }
 
     #[test]

@@ -48,14 +48,14 @@ impl NpoJoin {
         let heads: Vec<AtomicU32> = (0..slots).map(|_| AtomicU32::new(NIL)).collect();
         let next: Vec<AtomicU32> = (0..r.len()).map(|_| AtomicU32::new(NIL)).collect();
         let chunk = r.len().div_ceil(fthreads).max(1);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..fthreads {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(r.len());
                 let heads = &heads;
                 let next = &next;
                 let keys = &r.keys;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in lo..hi {
                         let h = hash(keys[i]) & mask;
                         // atomic exchange + link: wait-free front insert.
@@ -64,13 +64,12 @@ impl NpoJoin {
                     }
                 });
             }
-        })
-        .expect("build scope failed");
+        });
 
         // ---- probe in parallel ----
         let chunk = s.len().div_ceil(fthreads).max(1);
         let mut partials: Vec<(u64, u64, u64, Vec<JoinRow>)> = Vec::with_capacity(fthreads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(fthreads);
             for t in 0..fthreads {
                 let lo = t * chunk;
@@ -80,7 +79,7 @@ impl NpoJoin {
                 let materialize = self.materialize;
                 let (rk, rp) = (&r.keys, &r.payloads);
                 let (sk, sp) = (&s.keys, &s.payloads);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut matches = 0u64;
                     let (mut sum_r, mut sum_s) = (0u64, 0u64);
                     let mut rows = Vec::new();
@@ -106,8 +105,7 @@ impl NpoJoin {
             for h in handles {
                 partials.push(h.join().expect("probe worker panicked"));
             }
-        })
-        .expect("probe scope failed");
+        });
 
         let mut check = JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 };
         let mut rows = Vec::new();
@@ -190,9 +188,8 @@ mod tests {
 
     #[test]
     fn many_to_many_duplicates_counted() {
-        let r: Relation = (0..100u32)
-            .map(|i| hcj_workload::Tuple { key: i % 10, payload: i })
-            .collect();
+        let r: Relation =
+            (0..100u32).map(|i| hcj_workload::Tuple { key: i % 10, payload: i }).collect();
         let s = r.clone();
         let out = NpoJoin::paper_default().execute(&r, &s);
         assert_eq!(out.check.matches, 1000); // 10 keys x 10 x 10

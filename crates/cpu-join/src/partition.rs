@@ -37,17 +37,15 @@ pub fn parallel_radix_partition(
     let chunk_len = rel.len().div_ceil(threads).max(1);
 
     // Each thread partitions its chunk into local buffers.
-    let chunks: Vec<(usize, usize)> = (0..rel.len())
-        .step_by(chunk_len)
-        .map(|s| (s, (s + chunk_len).min(rel.len())))
-        .collect();
+    let chunks: Vec<(usize, usize)> =
+        (0..rel.len()).step_by(chunk_len).map(|s| (s, (s + chunk_len).min(rel.len()))).collect();
     let mut per_thread: Vec<Vec<Relation>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(chunks.len());
         for &(lo, hi) in &chunks {
             let keys = &rel.keys[lo..hi];
             let pays = &rel.payloads[lo..hi];
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = vec![Relation::default(); fanout];
                 for (&k, &p) in keys.iter().zip(pays) {
                     local[((k >> shift) & mask) as usize].push(Tuple { key: k, payload: p });
@@ -58,8 +56,7 @@ pub fn parallel_radix_partition(
         for h in handles {
             per_thread.push(h.join().expect("partition worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Concatenate the per-thread buffers of each partition.
     let mut out = vec![Relation::default(); fanout];

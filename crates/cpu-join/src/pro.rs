@@ -162,8 +162,7 @@ mod tests {
         let pro = ProJoin::paper_default();
         let model_tput = |tuples: u64| {
             let bits = pro.radix_bits_for(tuples as usize);
-            let passes =
-                passes_needed(bits, 31 - pro.host.tlb_entries.leading_zeros());
+            let passes = passes_needed(bits, 31 - pro.host.tlb_entries.leading_zeros());
             let t_part = partition_seconds(&pro.host, 48, tuples * 16, passes);
             let table = (tuples * 8 / (1u64 << bits)).max(1) * 2;
             let rate = probe_rate(&pro.host, table, pro.host.llc_bytes_per_core);

@@ -107,12 +107,7 @@ mod tests {
         let (r, s) = canonical_pair(500_000, 500_000, 96);
         let cog = CoGaDbLike::new(DeviceSpec::gtx1080()).execute(&r, &s).unwrap();
         let dx = DbmsXLike::new(DeviceSpec::gtx1080()).execute(&r, &s).unwrap();
-        assert!(
-            cog.seconds > dx.seconds,
-            "CoGaDB {} vs DBMS-X {}",
-            cog.seconds,
-            dx.seconds
-        );
+        assert!(cog.seconds > dx.seconds, "CoGaDB {} vs DBMS-X {}", cog.seconds, dx.seconds);
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub struct DbmsXLike {
 
 impl DbmsXLike {
     pub fn new(device: DeviceSpec) -> Self {
-        DbmsXLike {
-            device,
-            query_overhead_s: 3.0e-3,
-            gpu_cache_tuple_limit: GPU_CACHE_TUPLE_LIMIT,
-        }
+        DbmsXLike { device, query_overhead_s: 3.0e-3, gpu_cache_tuple_limit: GPU_CACHE_TUPLE_LIMIT }
     }
 
     /// Scale the caching limit along with a scaled device capacity.

@@ -10,11 +10,11 @@
 //!    partitions and chunk buffers) fits;
 //! 3. CPU–GPU co-processing otherwise.
 
+use hcj_core::GpuPartitionedJoin;
 use hcj_core::{
     CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, JoinOutcome, StreamedProbeConfig,
     StreamedProbeJoin,
 };
-use hcj_core::GpuPartitionedJoin;
 use hcj_workload::Relation;
 
 use crate::result::EngineResult;
@@ -83,7 +83,9 @@ impl HcjEngine {
                             self.config.clone(),
                         ))
                         .execute(build, probe)
-                        .expect("co-processing needs only the working-set budget and chunk buffers"),
+                        .expect(
+                            "co-processing needs only the working-set budget and chunk buffers",
+                        ),
                     );
                 }
             };

@@ -13,7 +13,7 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Error returned when a device allocation does not fit.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,22 +57,22 @@ impl DeviceMemory {
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.lock().capacity
+        self.inner.lock().expect("device-memory accountant poisoned").capacity
     }
 
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
-        self.inner.lock().used
+        self.inner.lock().expect("device-memory accountant poisoned").used
     }
 
     /// High-water mark of allocated bytes over the accountant's lifetime.
     pub fn peak(&self) -> u64 {
-        self.inner.lock().peak
+        self.inner.lock().expect("device-memory accountant poisoned").peak
     }
 
     /// Bytes currently free.
     pub fn available(&self) -> u64 {
-        let g = self.inner.lock();
+        let g = self.inner.lock().expect("device-memory accountant poisoned");
         g.capacity - g.used
     }
 
@@ -108,7 +108,7 @@ impl DeviceMemory {
     /// participates fully in capacity accounting and frees on drop.
     pub fn reserve(&self, bytes: u64) -> Result<Reservation, OutOfDeviceMemory> {
         {
-            let mut g = self.inner.lock();
+            let mut g = self.inner.lock().expect("device-memory accountant poisoned");
             if g.capacity - g.used < bytes {
                 return Err(OutOfDeviceMemory {
                     requested: bytes,
@@ -129,7 +129,7 @@ impl DeviceMemory {
     ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         {
-            let mut g = self.inner.lock();
+            let mut g = self.inner.lock().expect("device-memory accountant poisoned");
             if g.capacity - g.used < bytes {
                 return Err(OutOfDeviceMemory {
                     requested: bytes,
@@ -161,7 +161,7 @@ impl Reservation {
 
 impl Drop for Reservation {
     fn drop(&mut self) {
-        let mut g = self.owner.lock();
+        let mut g = self.owner.lock().expect("device-memory accountant poisoned");
         g.used -= self.bytes;
     }
 }
@@ -205,7 +205,7 @@ impl<T> DerefMut for DeviceBuffer<T> {
 
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        let mut g = self.owner.lock();
+        let mut g = self.owner.lock().expect("device-memory accountant poisoned");
         g.used -= self.bytes;
     }
 }

@@ -236,8 +236,10 @@ mod tests {
         let g = gpu(&mut sim);
         let mut copy_stream = g.stream();
         let mut exec_stream = g.stream();
-        let c = g.copy_h2d(&mut sim, &mut copy_stream, "copy", 12_000_000_000, TransferKind::Pinned);
-        let k = g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(320_000_000_000));
+        let c =
+            g.copy_h2d(&mut sim, &mut copy_stream, "copy", 12_000_000_000, TransferKind::Pinned);
+        let k =
+            g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(320_000_000_000));
         let sched = sim.run();
         // Both start at t≈0: the copy does not wait for the kernel.
         assert_eq!(sched.start(c), SimTime::ZERO);

@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn oversubscribed_scan_thrashes() {
         let mut um = UnifiedMemory::new(4096, 4 * 4096); // 4 frames
-        // Scan 8 pages twice: LRU keeps none of the needed pages → all faults.
+                                                         // Scan 8 pages twice: LRU keeps none of the needed pages → all faults.
         for _ in 0..2 {
             for p in 0..8 {
                 um.access_page(p, false);

@@ -16,10 +16,7 @@ pub type Lanes<T> = [T; WARP_SIZE];
 /// `__ballot_sync(FULL_MASK, pred)`: collect each lane's predicate into a
 /// 32-bit mask (bit *i* = lane *i*'s predicate) broadcast to every lane.
 pub fn ballot(preds: &Lanes<bool>) -> u32 {
-    preds
-        .iter()
-        .enumerate()
-        .fold(0u32, |m, (i, &p)| if p { m | (1 << i) } else { m })
+    preds.iter().enumerate().fold(0u32, |m, (i, &p)| if p { m | (1 << i) } else { m })
 }
 
 /// `__shfl_sync(FULL_MASK, value, src_lane)`: every lane reads
@@ -183,9 +180,7 @@ mod tests {
         let s = lanes_from_fn(|i| 0xABCD_0000 | ((i as u32 + 1) % 8));
         let masks = ballot_match(&r, &s, &[0, 1, 2], u32::MAX);
         for lane in 0..WARP_SIZE {
-            let want = (0..WARP_SIZE)
-                .filter(|&j| r[j] == s[lane])
-                .fold(0u32, |m, j| m | (1 << j));
+            let want = (0..WARP_SIZE).filter(|&j| r[j] == s[lane]).fold(0u32, |m, j| m | (1 << j));
             assert_eq!(masks[lane], want, "lane {lane}");
         }
     }

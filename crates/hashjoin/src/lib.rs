@@ -62,6 +62,7 @@ pub mod prelude {
     pub use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine, PlannedStrategy};
     pub use hcj_gpu::DeviceSpec;
     pub use hcj_host::HostSpec;
+    pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};
     pub use hcj_workload::generate::canonical_pair;
     pub use hcj_workload::oracle::{reference_join, JoinCheck};
     pub use hcj_workload::{KeyDistribution, Relation, RelationSpec, Tuple};

@@ -116,8 +116,7 @@ impl HostSpec {
         // transfers — the upper bound, when the link leaves any.
         let usable = self.socket_mem_bandwidth * self.mem_contention_factor.max(0.5);
         let headroom = (usable - pcie_bw).max(0.0);
-        let per_thread_near =
-            self.per_thread_partition_bw * self.partition_mem_amplification / 2.0;
+        let per_thread_near = self.per_thread_partition_bw * self.partition_mem_amplification / 2.0;
         let room = (headroom / per_thread_near).floor() as u32;
         // When the link is faster than the DRAM headroom allows, feeding
         // it wins (transfers will contend either way).

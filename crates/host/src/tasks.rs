@@ -52,24 +52,18 @@ pub fn cpu_task(
             (spec.per_thread_partition_bw, spec.partition_mem_amplification_no_nt)
         }
         CpuTaskKind::StagingCopy => (spec.per_thread_copy_bw, 1.0),
-        CpuTaskKind::Custom { bytes_per_s, mem_amplification } => {
-            (bytes_per_s, mem_amplification)
-        }
+        CpuTaskKind::Custom { bytes_per_s, mem_amplification } => (bytes_per_s, mem_amplification),
     };
     let label = format!("cpu-{kind:?}");
-    let compute = sim.op(
-        Op::new(pool.resource(), bytes as f64 / rate)
-            .label(label.clone())
-            .class(CLASS_CPU_COMPUTE)
-            .after_all(deps.iter().copied()),
-    );
-    let mem = sim.op(
-        Op::new(machine.dram(socket), bytes as f64 * amp)
-            .rate_cap(rate * amp)
-            .label(format!("{label}-dram"))
-            .class(CLASS_CPU_COMPUTE)
-            .after_all(deps.iter().copied()),
-    );
+    let compute = sim.op(Op::new(pool.resource(), bytes as f64 / rate)
+        .label(label.clone())
+        .class(CLASS_CPU_COMPUTE)
+        .after_all(deps.iter().copied()));
+    let mem = sim.op(Op::new(machine.dram(socket), bytes as f64 * amp)
+        .rate_cap(rate * amp)
+        .label(format!("{label}-dram"))
+        .class(CLASS_CPU_COMPUTE)
+        .after_all(deps.iter().copied()));
     let mut combiner = Op::latency(hcj_sim::SimTime::ZERO).label(format!("{label}-done"));
     combiner = combiner.after(compute).after(mem);
     // Partitioning threads on either socket keep cache lines bouncing:
@@ -78,32 +72,26 @@ pub fn cpu_task(
     // this class shares QPI with DMA reads, the contention factor throttles
     // both.
     if matches!(kind, CpuTaskKind::Partition { .. }) {
-        let coherence = sim.op(
-            Op::new(machine.qpi(), bytes as f64 * 0.25)
-                .rate_cap(rate * 0.25)
-                .label(format!("{label}-qpi-coherence"))
-                .class(CLASS_CPU_COMPUTE)
-                .after_all(deps.iter().copied()),
-        );
+        let coherence = sim.op(Op::new(machine.qpi(), bytes as f64 * 0.25)
+            .rate_cap(rate * 0.25)
+            .label(format!("{label}-qpi-coherence"))
+            .class(CLASS_CPU_COMPUTE)
+            .after_all(deps.iter().copied()));
         combiner = combiner.after(coherence);
     }
     // A staging copy from the far socket also writes the near socket and
     // crosses QPI.
     if kind == CpuTaskKind::StagingCopy && socket == Socket::Far {
-        let qpi = sim.op(
-            Op::new(machine.qpi(), bytes as f64)
-                .rate_cap(rate)
-                .label("staging-qpi")
-                .class(CLASS_CPU_COMPUTE)
-                .after_all(deps.iter().copied()),
-        );
-        let near = sim.op(
-            Op::new(machine.dram(Socket::Near), bytes as f64)
-                .rate_cap(rate)
-                .label("staging-near-write")
-                .class(CLASS_CPU_COMPUTE)
-                .after_all(deps.iter().copied()),
-        );
+        let qpi = sim.op(Op::new(machine.qpi(), bytes as f64)
+            .rate_cap(rate)
+            .label("staging-qpi")
+            .class(CLASS_CPU_COMPUTE)
+            .after_all(deps.iter().copied()));
+        let near = sim.op(Op::new(machine.dram(Socket::Near), bytes as f64)
+            .rate_cap(rate)
+            .label("staging-near-write")
+            .class(CLASS_CPU_COMPUTE)
+            .after_all(deps.iter().copied()));
         combiner = combiner.after(qpi).after(near);
     }
     sim.op(combiner)
@@ -122,23 +110,18 @@ pub fn dma_host_traffic(
     link_rate: f64,
     deps: &[OpId],
 ) -> OpId {
-    let dram = sim.op(
-        Op::new(machine.dram(socket), bytes as f64)
-            .rate_cap(link_rate)
-            .label("dma-host-dram")
-            .class(CLASS_DMA_READ)
-            .after_all(deps.iter().copied()),
-    );
-    let mut combiner =
-        Op::latency(hcj_sim::SimTime::ZERO).label("dma-host-done").after(dram);
+    let dram = sim.op(Op::new(machine.dram(socket), bytes as f64)
+        .rate_cap(link_rate)
+        .label("dma-host-dram")
+        .class(CLASS_DMA_READ)
+        .after_all(deps.iter().copied()));
+    let mut combiner = Op::latency(hcj_sim::SimTime::ZERO).label("dma-host-done").after(dram);
     if socket == Socket::Far {
-        let qpi = sim.op(
-            Op::new(machine.qpi(), bytes as f64)
-                .rate_cap(link_rate * machine.spec.qpi_dma_efficiency)
-                .label("dma-qpi")
-                .class(CLASS_DMA_READ)
-                .after_all(deps.iter().copied()),
-        );
+        let qpi = sim.op(Op::new(machine.qpi(), bytes as f64)
+            .rate_cap(link_rate * machine.spec.qpi_dma_efficiency)
+            .label("dma-qpi")
+            .class(CLASS_DMA_READ)
+            .after_all(deps.iter().copied()));
         combiner = combiner.after(qpi);
     }
     sim.op(combiner)

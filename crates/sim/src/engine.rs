@@ -5,8 +5,9 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::op::{Op, OpId};
 use crate::resource::{Resource, ResourceId, ResourceKind};
-use crate::schedule::{Schedule, Span};
+use crate::schedule::{RateSegment, ResourceMeta, Schedule, Span};
 use crate::time::SimTime;
+use crate::validate::ScheduleValidator;
 
 /// The simulation: a set of resources plus a DAG of operations.
 ///
@@ -69,8 +70,26 @@ impl Sim {
     /// Solve the schedule. Panics if the DAG cannot complete (which, given
     /// the acyclicity enforced at submission time, cannot happen unless the
     /// engine itself is buggy).
+    ///
+    /// In debug builds (and whenever `HCJ_VALIDATE` is set to anything but
+    /// `0`/`off`/`false`) the solved schedule is checked against the hard
+    /// invariants of [`ScheduleValidator`] before being returned, so every
+    /// test run doubles as a self-check of the solver.
     pub fn run(self) -> Schedule {
-        Solver::new(&self.resources, &self.ops).run()
+        let schedule = Solver::new(&self.resources, &self.ops).run();
+        if validation_enabled() {
+            if let Err(e) = ScheduleValidator::new().validate(&schedule) {
+                panic!("solver produced an invalid schedule:\n{e}");
+            }
+        }
+        schedule
+    }
+}
+
+fn validation_enabled() -> bool {
+    match std::env::var("HCJ_VALIDATE") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+        Err(_) => cfg!(debug_assertions),
     }
 }
 
@@ -141,6 +160,7 @@ struct Solver<'a> {
     finish: Vec<SimTime>,
     fifo: Vec<FifoRes>,
     shared: Vec<SharedRes>,
+    segments: Vec<RateSegment>,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
     now: SimTime,
@@ -168,10 +188,8 @@ impl<'a> Solver<'a> {
                 children[d.index()].push(i as u32);
             }
         }
-        let fifo = resources
-            .iter()
-            .map(|_| FifoRes { queue: VecDeque::new(), busy_lanes: 0 })
-            .collect();
+        let fifo =
+            resources.iter().map(|_| FifoRes { queue: VecDeque::new(), busy_lanes: 0 }).collect();
         let shared = resources
             .iter()
             .map(|_| SharedRes {
@@ -192,6 +210,7 @@ impl<'a> Solver<'a> {
             finish: vec![SimTime::ZERO; n],
             fifo,
             shared,
+            segments: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -239,17 +258,30 @@ impl<'a> Solver<'a> {
             .ops
             .iter()
             .enumerate()
-            .map(|(i, op)| Span {
-                op: OpId(i as u32),
-                resource: op.resource,
-                label: op.label.clone(),
-                class: op.class,
-                start: self.start[i],
-                end: self.finish[i],
+            .map(|(i, op)| {
+                let mut deps = op.deps.clone();
+                deps.sort_unstable();
+                deps.dedup();
+                Span {
+                    op: OpId(i as u32),
+                    resource: op.resource,
+                    label: op.label.clone(),
+                    class: op.class,
+                    start: self.start[i],
+                    end: self.finish[i],
+                    work: op.work,
+                    pre_latency: op.latency,
+                    cap: op.cap,
+                    deps,
+                }
             })
             .collect();
-        let names = self.resources.iter().map(|r| r.name.clone()).collect();
-        Schedule::new(spans, names)
+        let resources = self
+            .resources
+            .iter()
+            .map(|r| ResourceMeta { name: r.name.clone(), rate: r.rate, kind: r.kind })
+            .collect();
+        Schedule::new(spans, resources, self.segments)
     }
 
     /// An op's dependencies are all satisfied: route it to its resource.
@@ -295,13 +327,23 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Advance a shared resource's members to `self.now`.
+    /// Advance a shared resource's members to `self.now`, recording the
+    /// constant-rate interval each member just completed on the timeline.
     fn shared_settle(&mut self, res: usize) {
         let s = &mut self.shared[res];
         let dt = (self.now - s.last_update).as_secs_f64();
         if dt > 0.0 && !s.members.is_empty() {
-            for (rem, &rate) in s.remaining.iter_mut().zip(&s.rates) {
+            for ((rem, &rate), &m) in s.remaining.iter_mut().zip(&s.rates).zip(&s.members) {
                 *rem = (*rem - rate * dt).max(0.0);
+                if rate > 0.0 {
+                    self.segments.push(RateSegment {
+                        resource: ResourceId(res as u32),
+                        op: OpId(m),
+                        start: s.last_update,
+                        end: self.now,
+                        rate,
+                    });
+                }
             }
         }
         s.last_update = self.now;
@@ -323,11 +365,8 @@ impl<'a> Solver<'a> {
             unreachable!()
         };
         // The contention penalty applies while ops of >= 2 classes coexist.
-        let mut classes: Vec<u32> = self.shared[res]
-            .members
-            .iter()
-            .map(|&m| self.ops[m as usize].class)
-            .collect();
+        let mut classes: Vec<u32> =
+            self.shared[res].members.iter().map(|&m| self.ops[m as usize].class).collect();
         classes.sort_unstable();
         classes.dedup();
         let factor = if classes.len() >= 2 { contention_factor } else { 1.0 };
@@ -344,8 +383,15 @@ impl<'a> Solver<'a> {
         let mut active: Vec<usize> = (0..n).collect();
         let mut remaining_rate = total;
         loop {
+            // Guaranteed by `Op::rate_cap` rejecting non-positive and
+            // non-finite caps, but a zero divisor here would silently yield
+            // NaN rates and hang the event loop, so check in release too.
             let weight_sum: f64 = active.iter().map(|&i| weights[i]).sum();
-            debug_assert!(weight_sum > 0.0);
+            assert!(
+                weight_sum > 0.0,
+                "shared resource {}: water-filling weight sum must be positive",
+                self.resources[res].name
+            );
             let mut saturated = Vec::new();
             for &i in &active {
                 let share = remaining_rate * weights[i] / weight_sum;

@@ -51,12 +51,16 @@ mod op;
 mod resource;
 mod schedule;
 mod time;
+pub mod trace;
+pub mod validate;
 
 pub use engine::Sim;
 pub use op::{Op, OpId};
 pub use resource::{ResourceId, ResourceKind};
-pub use schedule::{Schedule, Span};
+pub use schedule::{RateSegment, ResourceMeta, Schedule, Span};
 pub use time::SimTime;
+pub use trace::TraceExporter;
+pub use validate::{Invariant, ScheduleValidator, ValidationError, Violation};
 
 /// Convenience: bytes-per-second rate from GB/s (decimal gigabytes).
 pub const fn gbps(x: f64) -> f64 {

@@ -140,4 +140,28 @@ mod tests {
     fn negative_work_rejected() {
         let _ = Op::new(ResourceId(0), -1.0);
     }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn zero_rate_cap_rejected() {
+        let _ = Op::new(ResourceId(0), 1.0).rate_cap(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn negative_rate_cap_rejected() {
+        let _ = Op::new(ResourceId(0), 1.0).rate_cap(-4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn nan_rate_cap_rejected() {
+        let _ = Op::new(ResourceId(0), 1.0).rate_cap(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn infinite_rate_cap_rejected() {
+        let _ = Op::new(ResourceId(0), 1.0).rate_cap(f64::INFINITY);
+    }
 }

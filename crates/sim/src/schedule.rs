@@ -1,7 +1,7 @@
 //! The solved timeline: spans, makespan, busy-time and overlap analysis.
 
 use crate::op::OpId;
-use crate::resource::ResourceId;
+use crate::resource::{ResourceId, ResourceKind};
 use crate::time::SimTime;
 
 /// One operation's occupancy on the timeline.
@@ -14,6 +14,14 @@ pub struct Span {
     pub class: u32,
     pub start: SimTime,
     pub end: SimTime,
+    /// The op's work in resource units (0 for latency-only ops).
+    pub work: f64,
+    /// Pre-latency for resource ops; the whole duration for latency ops.
+    pub pre_latency: SimTime,
+    /// Rate cap the op declared on a `Shared` resource.
+    pub cap: Option<f64>,
+    /// Dependencies the op was submitted with (deduplicated).
+    pub deps: Vec<OpId>,
 }
 
 impl Span {
@@ -22,23 +30,71 @@ impl Span {
     }
 }
 
+/// Description of a resource as registered with [`crate::Sim`], retained on
+/// the schedule so validators and exporters can interpret the spans.
+#[derive(Clone, Debug)]
+pub struct ResourceMeta {
+    pub name: String,
+    /// Work units per second.
+    pub rate: f64,
+    pub kind: ResourceKind,
+}
+
+/// A constant-rate interval of one op's progress on a `Shared` resource.
+///
+/// The solver emits one segment per member every time allocations change
+/// (a member joins or departs), so the segments of an op tile the interval
+/// from its join (start + pre-latency) to its finish, and
+/// `sum(rate * duration)` recovers the op's work.
+#[derive(Clone, Copy, Debug)]
+pub struct RateSegment {
+    pub resource: ResourceId,
+    pub op: OpId,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Work units per second allocated to `op` during the interval.
+    pub rate: f64,
+}
+
 /// The solved schedule produced by [`crate::Sim::run`].
 #[derive(Clone, Debug)]
 pub struct Schedule {
     spans: Vec<Span>,
-    resource_names: Vec<String>,
+    resources: Vec<ResourceMeta>,
+    rate_segments: Vec<RateSegment>,
     makespan: SimTime,
 }
 
 impl Schedule {
-    pub(crate) fn new(spans: Vec<Span>, resource_names: Vec<String>) -> Self {
+    pub(crate) fn new(
+        spans: Vec<Span>,
+        resources: Vec<ResourceMeta>,
+        rate_segments: Vec<RateSegment>,
+    ) -> Self {
         let makespan = spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
-        Schedule { spans, resource_names, makespan }
+        Schedule { spans, resources, rate_segments, makespan }
     }
 
     /// Name the given resource was registered with.
     pub fn resource_name(&self, resource: ResourceId) -> &str {
-        &self.resource_names[resource.index()]
+        &self.resources[resource.index()].name
+    }
+
+    /// Metadata of every registered resource, in registration order.
+    pub fn resources(&self) -> &[ResourceMeta] {
+        &self.resources
+    }
+
+    /// Constant-rate allocation intervals on `Shared` resources (empty when
+    /// no shared resource saw work).
+    pub fn rate_segments(&self) -> &[RateSegment] {
+        &self.rate_segments
+    }
+
+    /// Check this schedule against the engine's hard invariants; see
+    /// [`crate::validate::ScheduleValidator`].
+    pub fn validate(&self) -> Result<(), crate::validate::ValidationError> {
+        crate::validate::ScheduleValidator::new().validate(self)
     }
 
     /// When `op` began executing (after deps and queueing).
@@ -84,15 +140,19 @@ impl Schedule {
     /// Length of time during which spans matching `a` and spans matching
     /// `b` were simultaneously active. Used by tests to assert that
     /// pipelines genuinely overlap transfers with execution.
-    pub fn overlap_time(
-        &self,
-        a: impl Fn(&Span) -> bool,
-        b: impl Fn(&Span) -> bool,
-    ) -> SimTime {
-        let mut ia: Vec<(SimTime, SimTime)> =
-            self.spans.iter().filter(|s| a(s) && s.end > s.start).map(|s| (s.start, s.end)).collect();
-        let mut ib: Vec<(SimTime, SimTime)> =
-            self.spans.iter().filter(|s| b(s) && s.end > s.start).map(|s| (s.start, s.end)).collect();
+    pub fn overlap_time(&self, a: impl Fn(&Span) -> bool, b: impl Fn(&Span) -> bool) -> SimTime {
+        let mut ia: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .filter(|s| a(s) && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect();
+        let mut ib: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .filter(|s| b(s) && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect();
         let ua = union_intervals(&mut ia);
         let ub = union_intervals(&mut ib);
         intersection_length(&ua, &ub)
@@ -133,7 +193,7 @@ impl Schedule {
 }
 
 /// Sort + merge intervals, returning their union as disjoint intervals.
-fn union_intervals(intervals: &mut Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
+fn union_intervals(intervals: &mut [(SimTime, SimTime)]) -> Vec<(SimTime, SimTime)> {
     intervals.sort_unstable();
     let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
     for &(s, e) in intervals.iter() {
@@ -145,7 +205,7 @@ fn union_intervals(intervals: &mut Vec<(SimTime, SimTime)>) -> Vec<(SimTime, Sim
     merged
 }
 
-fn union_length(intervals: &mut Vec<(SimTime, SimTime)>) -> SimTime {
+fn union_length(intervals: &mut [(SimTime, SimTime)]) -> SimTime {
     let merged = union_intervals(intervals);
     let ns: u64 = merged.iter().map(|(s, e)| (*e - *s).as_nanos()).sum();
     SimTime::from_nanos(ns)
@@ -196,7 +256,8 @@ mod tests {
         let _c1 = sim.op(Op::new(copy, 2.0).label("copy1").after(c0));
         let s = sim.run();
         // exec0 runs [2,4) while copy1 runs [2,4): full 2 s overlap.
-        let ov = s.overlap_time(|sp| sp.label.starts_with("exec"), |sp| sp.label.starts_with("copy"));
+        let ov =
+            s.overlap_time(|sp| sp.label.starts_with("exec"), |sp| sp.label.starts_with("copy"));
         assert_eq!(ov.as_secs_f64(), 2.0);
     }
 

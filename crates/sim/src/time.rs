@@ -68,11 +68,7 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimTime underflow: subtracting a later time"),
-        )
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow: subtracting a later time"))
     }
 }
 

@@ -1,0 +1,357 @@
+//! Export a [`Schedule`] as Chrome `trace_event` JSON.
+//!
+//! The emitted file loads directly into `chrome://tracing`, Perfetto
+//! (<https://ui.perfetto.dev>) or `about:tracing`: one track (thread) per
+//! simulated resource, one complete event per span, and a counter track per
+//! `Shared` resource showing the total rate it hands out over time. This
+//! turns the textual gantt of [`Schedule::render_gantt`] into a zoomable
+//! timeline for debugging pipeline structure.
+//!
+//! The format is the "JSON Object Format" of the Trace Event spec: a
+//! top-level object with a `traceEvents` array; `ph: "X"` complete events
+//! carry microsecond `ts`/`dur`; `ph: "M"` metadata events name the
+//! process and threads; `ph: "C"` counter events plot the rates. All JSON
+//! is rendered by hand — the workspace is dependency-free by design.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::resource::ResourceKind;
+use crate::schedule::Schedule;
+use crate::time::SimTime;
+
+/// Serializes schedules to Chrome trace JSON; see the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceExporter;
+
+impl TraceExporter {
+    pub fn new() -> Self {
+        TraceExporter
+    }
+
+    /// Render `schedule` as a Chrome trace JSON document.
+    pub fn to_json(&self, schedule: &Schedule) -> String {
+        let mut events: Vec<String> = Vec::new();
+        events.push(
+            r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"hcj-sim"}}"#
+                .to_string(),
+        );
+
+        // One named track per resource; latency-only ops share a final track.
+        let latency_tid = schedule.resources().len() as u32;
+        for (i, meta) in schedule.resources().iter().enumerate() {
+            let kind = match meta.kind {
+                ResourceKind::Fifo { lanes } => format!("fifo x{lanes}"),
+                ResourceKind::Shared { .. } => "shared".to_string(),
+            };
+            events.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":{}}}}}"#,
+                i,
+                json_string(&format!("{} ({kind}, {:.3e}/s)", meta.name, meta.rate)),
+            ));
+        }
+        if schedule.spans().iter().any(|sp| sp.resource.is_none()) {
+            events.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{latency_tid},"args":{{"name":"(latency)"}}}}"#,
+            ));
+        }
+
+        // Complete events, one per span.
+        for sp in schedule.spans() {
+            let tid = sp.resource.map_or(latency_tid, |r| r.index() as u32);
+            let name =
+                if sp.label.is_empty() { format!("op{}", sp.op.index()) } else { sp.label.clone() };
+            events.push(format!(
+                r#"{{"name":{},"cat":{},"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"args":{{"op":{},"class":{},"work":{}}}}}"#,
+                json_string(&name),
+                json_string(&format!("class-{}", sp.class)),
+                tid,
+                micros(sp.start),
+                micros(sp.duration()),
+                sp.op.index(),
+                sp.class,
+                json_f64(sp.work),
+            ));
+        }
+
+        // Counter tracks: total allocated rate per shared resource.
+        for (i, meta) in schedule.resources().iter().enumerate() {
+            if !matches!(meta.kind, ResourceKind::Shared { .. }) {
+                continue;
+            }
+            let segs: Vec<_> = schedule
+                .rate_segments()
+                .iter()
+                .filter(|g| g.resource.index() == i && g.end > g.start)
+                .collect();
+            if segs.is_empty() {
+                continue;
+            }
+            let mut bounds: Vec<SimTime> = segs.iter().flat_map(|g| [g.start, g.end]).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            let counter = json_string(&format!("{} rate", meta.name));
+            for w in bounds.windows(2) {
+                let total: f64 =
+                    segs.iter().filter(|g| g.start <= w[0] && g.end >= w[1]).map(|g| g.rate).sum();
+                events.push(format!(
+                    r#"{{"name":{counter},"ph":"C","pid":0,"ts":{},"args":{{"rate":{}}}}}"#,
+                    micros(w[0]),
+                    json_f64(total),
+                ));
+            }
+            // Drop the counter back to zero at the end of the last segment.
+            events.push(format!(
+                r#"{{"name":{counter},"ph":"C","pid":0,"ts":{},"args":{{"rate":0}}}}"#,
+                micros(*bounds.last().expect("non-empty bounds")),
+            ));
+        }
+
+        let mut out = String::with_capacity(events.iter().map(|e| e.len() + 4).sum::<usize>() + 64);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, ev) in events.iter().enumerate() {
+            out.push_str(ev);
+            out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Write the trace to `path`, creating parent directories as needed.
+    pub fn write(&self, schedule: &Schedule, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json(schedule))
+    }
+}
+
+/// Microseconds with nanosecond precision (trace `ts`/`dur` unit).
+fn micros(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// A finite f64 as a JSON number (trace args never need inf/NaN).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Sim};
+
+    /// Minimal recursive-descent JSON syntax checker so the tests prove the
+    /// hand-rolled output is structurally valid, not merely non-empty.
+    mod json {
+        pub fn parse(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing bytes at {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, b"true"),
+                Some(b'f') => literal(b, i, b"false"),
+                Some(b'n') => literal(b, i, b"null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // {
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // [
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    c if c < 0x20 => return Err(format!("raw control byte in string at {i}")),
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|_| ())
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+
+        fn literal(b: &[u8], i: &mut usize, want: &[u8]) -> Result<(), String> {
+            if b.len() - *i >= want.len() && &b[*i..*i + want.len()] == want {
+                *i += want.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+    }
+
+    fn sample_schedule() -> Schedule {
+        let mut sim = Sim::new();
+        let pcie = sim.fifo_resource("pcie-h2d", 12.0e9, 1);
+        let bus = sim.shared_resource("dram", 60.0e9, 0.8);
+        let gpu = sim.fifo_resource("gpu", 1.0, 1);
+        let c = sim.op(Op::new(pcie, 1.0e9).label("h2d chunk \"0\""));
+        let k = sim.op(Op::new(gpu, 0.05).label("join0").after(c));
+        sim.op(Op::new(bus, 10.0e9).class(1).rate_cap(30.0e9).after(k));
+        sim.op(Op::new(bus, 5.0e9).class(2));
+        sim.op(Op::latency(SimTime::from_nanos(1500)));
+        sim.run()
+    }
+
+    #[test]
+    fn trace_is_valid_json() {
+        let json = TraceExporter::new().to_json(&sample_schedule());
+        json::parse(&json).expect("trace must parse as JSON");
+    }
+
+    #[test]
+    fn trace_contains_tracks_spans_and_counters() {
+        let json = TraceExporter::new().to_json(&sample_schedule());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("pcie-h2d"));
+        assert!(json.contains("join0"));
+        assert!(json.contains("\\\"0\\\"")); // label quotes escaped
+        assert!(json.contains("(latency)"));
+        assert!(json.contains("dram rate")); // shared counter track
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("hcj-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("pipeline.trace.json");
+        TraceExporter::new().write(&sample_schedule(), &path).expect("write trace");
+        let body = std::fs::read_to_string(&path).expect("read trace back");
+        json::parse(&body).expect("written trace must parse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn micros_formats_nanosecond_precision() {
+        assert_eq!(micros(SimTime::from_nanos(1500)), "1.500");
+        assert_eq!(micros(SimTime::from_nanos(42)), "0.042");
+        assert_eq!(micros(SimTime::from_nanos(2_000_000)), "2000.000");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_schedule_still_valid() {
+        let json = TraceExporter::new().to_json(&Sim::new().run());
+        json::parse(&json).expect("empty trace must parse");
+    }
+}

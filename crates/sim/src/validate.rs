@@ -1,0 +1,576 @@
+//! Schedule validation: checks a solved [`Schedule`] against the hard
+//! invariants the solver is supposed to uphold.
+//!
+//! The engine is the single source of truth for every simulated number the
+//! workspace reports, so a silent scheduling bug (an over-admitted FIFO, a
+//! shared bus handing out more bandwidth than it has) would corrupt every
+//! figure downstream without failing a single join-correctness check. The
+//! [`ScheduleValidator`] re-derives the constraints from the schedule's
+//! recorded metadata and rejects any timeline that violates them:
+//!
+//! 1. **Span bounds** — every span has `start <= end` and ends at or before
+//!    the makespan.
+//! 2. **Dependency ordering** — no op starts before all of its dependencies
+//!    have finished.
+//! 3. **FIFO lane limits** — at every instant, a FIFO resource runs at most
+//!    `lanes` overlapping spans.
+//! 4. **Fixed-op timing** — a FIFO span lasts exactly `work / rate +
+//!    pre_latency`; a latency-only span lasts exactly its latency.
+//! 5. **Shared capacity conservation** — at every instant, the rates a
+//!    shared resource hands out sum to at most `rate * contention_factor`
+//!    (the factor applying only while ops of >= 2 classes coexist), and no
+//!    op exceeds its declared cap.
+//! 6. **Shared work conservation** — integrating each shared op's recorded
+//!    rate segments over time recovers exactly its submitted work.
+//! 7. **Busy-time sanity** — no resource is busy for longer than the
+//!    makespan.
+//!
+//! [`crate::Sim::run`] applies the validator automatically in debug builds
+//! (opt in/out anywhere with the `HCJ_VALIDATE` environment variable), so
+//! the entire test suite doubles as a continuous audit of the solver.
+
+use std::fmt;
+
+use crate::resource::ResourceKind;
+use crate::schedule::Schedule;
+use crate::time::SimTime;
+
+/// The invariant classes a schedule can violate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Span start/end outside `[0, makespan]` or inverted.
+    SpanBounds,
+    /// An op started before a dependency finished.
+    DepOrdering,
+    /// A FIFO resource ran more concurrent spans than it has lanes.
+    FifoLanes,
+    /// A fixed-duration span's length disagrees with `work / rate`.
+    FixedTiming,
+    /// A shared resource's handed-out rates exceeded its capacity.
+    SharedCapacity,
+    /// A shared op ran above its declared rate cap.
+    SharedRateCap,
+    /// A shared op's integrated rate does not equal its work.
+    WorkConservation,
+    /// A resource's busy time exceeds the makespan.
+    BusyTime,
+}
+
+/// One detected violation, with a human-readable diagnosis.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub invariant: Invariant,
+    pub message: String,
+}
+
+/// All violations found in one validation pass.
+#[derive(Clone, Debug)]
+pub struct ValidationError {
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} schedule invariant violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  [{:?}] {}", v.invariant, v.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Relative tolerance on rate sums and work integrals. Rates are exact
+/// f64s but interval lengths are rounded to the 1 ns clock, so integrals
+/// drift by up to one rate-times-nanosecond per segment.
+const REL_EPS: f64 = 1e-6;
+
+/// Validates [`Schedule`]s; see the module docs for the invariant list.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScheduleValidator;
+
+impl ScheduleValidator {
+    pub fn new() -> Self {
+        ScheduleValidator
+    }
+
+    /// Check every invariant, returning all violations (not just the first).
+    pub fn validate(&self, schedule: &Schedule) -> Result<(), ValidationError> {
+        let mut violations = Vec::new();
+        self.check_span_bounds(schedule, &mut violations);
+        self.check_dep_ordering(schedule, &mut violations);
+        self.check_fifo_lanes(schedule, &mut violations);
+        self.check_fixed_timing(schedule, &mut violations);
+        self.check_shared_capacity(schedule, &mut violations);
+        self.check_work_conservation(schedule, &mut violations);
+        self.check_busy_time(schedule, &mut violations);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationError { violations })
+        }
+    }
+
+    fn check_span_bounds(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        let makespan = s.makespan();
+        for sp in s.spans() {
+            if sp.end < sp.start {
+                out.push(Violation {
+                    invariant: Invariant::SpanBounds,
+                    message: format!(
+                        "op {:?} ({}) ends at {} before it starts at {}",
+                        sp.op, sp.label, sp.end, sp.start
+                    ),
+                });
+            }
+            if sp.end > makespan {
+                out.push(Violation {
+                    invariant: Invariant::SpanBounds,
+                    message: format!(
+                        "op {:?} ({}) ends at {} past the makespan {}",
+                        sp.op, sp.label, sp.end, makespan
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_dep_ordering(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        let spans = s.spans();
+        for sp in spans {
+            for d in &sp.deps {
+                let Some(dep) = spans.get(d.index()) else {
+                    out.push(Violation {
+                        invariant: Invariant::DepOrdering,
+                        message: format!("op {:?} depends on unknown op {d:?}", sp.op),
+                    });
+                    continue;
+                };
+                if sp.start < dep.end {
+                    out.push(Violation {
+                        invariant: Invariant::DepOrdering,
+                        message: format!(
+                            "op {:?} ({}) starts at {} before its dependency {:?} ({}) \
+                             finishes at {}",
+                            sp.op, sp.label, sp.start, dep.op, dep.label, dep.end
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_fifo_lanes(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        for (idx, meta) in s.resources().iter().enumerate() {
+            let ResourceKind::Fifo { lanes } = meta.kind else { continue };
+            // Sweep span starts (+1) / ends (-1); spans are half-open, so
+            // ends sort before starts at the same instant and zero-length
+            // spans never occupy a lane.
+            let mut events: Vec<(SimTime, i64)> = Vec::new();
+            for sp in s.spans() {
+                if sp.resource.map(|r| r.index()) == Some(idx) && sp.end > sp.start {
+                    events.push((sp.start, 1));
+                    events.push((sp.end, -1));
+                }
+            }
+            events.sort_unstable_by_key(|&(t, delta)| (t, delta));
+            let mut occupied = 0i64;
+            for (t, delta) in events {
+                occupied += delta;
+                if occupied > i64::from(lanes) {
+                    out.push(Violation {
+                        invariant: Invariant::FifoLanes,
+                        message: format!(
+                            "resource {} runs {} concurrent spans at {} but has {} lane(s)",
+                            meta.name, occupied, t, lanes
+                        ),
+                    });
+                    break; // one report per resource is enough
+                }
+            }
+        }
+    }
+
+    fn check_fixed_timing(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        // The solver computes FIFO durations as `from_secs_f64(work/rate) +
+        // latency`; recomputing the same expression must agree to the clock
+        // tick (1 ns of slack absorbs the double rounding).
+        let tick = SimTime::from_nanos(1);
+        for sp in s.spans() {
+            if sp.end < sp.start {
+                continue; // already reported by the bounds check
+            }
+            let expected = match sp.resource {
+                None => sp.pre_latency,
+                Some(r) => {
+                    let meta = &s.resources()[r.index()];
+                    match meta.kind {
+                        ResourceKind::Shared { .. } => continue, // rate varies
+                        ResourceKind::Fifo { .. } => {
+                            SimTime::from_secs_f64(sp.work / meta.rate) + sp.pre_latency
+                        }
+                    }
+                }
+            };
+            let got = sp.duration();
+            let diff = if got > expected { got - expected } else { expected - got };
+            if diff > tick {
+                out.push(Violation {
+                    invariant: Invariant::FixedTiming,
+                    message: format!(
+                        "op {:?} ({}) ran for {} but its work implies {}",
+                        sp.op, sp.label, got, expected
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_shared_capacity(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        for (idx, meta) in s.resources().iter().enumerate() {
+            let ResourceKind::Shared { contention_factor } = meta.kind else { continue };
+            let segs: Vec<_> = s
+                .rate_segments()
+                .iter()
+                .filter(|g| g.resource.index() == idx && g.end > g.start)
+                .collect();
+            if segs.is_empty() {
+                continue;
+            }
+            // Per-op cap check.
+            for g in &segs {
+                let Some(sp) = s.spans().get(g.op.index()) else { continue };
+                if let Some(cap) = sp.cap {
+                    if g.rate > cap * (1.0 + REL_EPS) {
+                        out.push(Violation {
+                            invariant: Invariant::SharedRateCap,
+                            message: format!(
+                                "op {:?} ({}) ran at {:.3e}/s over its cap {:.3e}/s on {}",
+                                g.op, sp.label, g.rate, cap, meta.name
+                            ),
+                        });
+                    }
+                }
+            }
+            // Conservation: sum the rates over every elementary interval
+            // between segment boundaries.
+            let mut bounds: Vec<SimTime> = segs.iter().flat_map(|g| [g.start, g.end]).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let covering: Vec<_> =
+                    segs.iter().filter(|g| g.start <= lo && g.end >= hi).collect();
+                if covering.is_empty() {
+                    continue;
+                }
+                let total: f64 = covering.iter().map(|g| g.rate).sum();
+                let mut classes: Vec<u32> = covering
+                    .iter()
+                    .filter_map(|g| s.spans().get(g.op.index()).map(|sp| sp.class))
+                    .collect();
+                classes.sort_unstable();
+                classes.dedup();
+                let factor = if classes.len() >= 2 { contention_factor } else { 1.0 };
+                let budget = meta.rate * factor;
+                if total > budget * (1.0 + REL_EPS) {
+                    out.push(Violation {
+                        invariant: Invariant::SharedCapacity,
+                        message: format!(
+                            "resource {} hands out {:.6e}/s in [{lo} .. {hi}] but has \
+                             {:.6e}/s ({} class(es) present)",
+                            meta.name,
+                            total,
+                            budget,
+                            classes.len()
+                        ),
+                    });
+                    break; // one report per resource is enough
+                }
+            }
+        }
+    }
+
+    fn check_work_conservation(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        for sp in s.spans() {
+            let Some(r) = sp.resource else { continue };
+            let Some(meta) = s.resources().get(r.index()) else { continue };
+            if !matches!(meta.kind, ResourceKind::Shared { .. }) {
+                continue;
+            }
+            let mut done = 0.0f64;
+            for g in s.rate_segments() {
+                if g.op == sp.op {
+                    done += g.rate * (g.end - g.start).as_secs_f64();
+                }
+            }
+            // Completion fires once remaining work dips under the solver's
+            // epsilon (~2 ns at the resource's rate), so allow that much
+            // slack on top of the relative tolerance. The resource rate (not
+            // the observed segment rate) bounds the slack: a tiny op can
+            // finish inside one clock tick with *no* recorded segment.
+            let tol = sp.work * REL_EPS + meta.rate * 8e-9 + 1e-9;
+            if (done - sp.work).abs() > tol {
+                out.push(Violation {
+                    invariant: Invariant::WorkConservation,
+                    message: format!(
+                        "op {:?} ({}) integrated {:.6e} work units over its rate \
+                         segments but was submitted with {:.6e}",
+                        sp.op, sp.label, done, sp.work
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_busy_time(&self, s: &Schedule, out: &mut Vec<Violation>) {
+        for (idx, meta) in s.resources().iter().enumerate() {
+            let busy = s.busy_time(crate::resource::ResourceId(idx as u32));
+            if busy > s.makespan() {
+                out.push(Violation {
+                    invariant: Invariant::BusyTime,
+                    message: format!(
+                        "resource {} is busy for {} but the makespan is only {}",
+                        meta.name,
+                        busy,
+                        s.makespan()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpId;
+    use crate::resource::ResourceId;
+    use crate::schedule::{RateSegment, ResourceMeta, Span};
+    use crate::{Op, Sim};
+
+    fn secs(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    /// A hand-built span on `resource` with sane defaults.
+    fn span(op: u32, resource: Option<u32>, start: f64, end: f64, work: f64) -> Span {
+        Span {
+            op: OpId(op),
+            resource: resource.map(ResourceId),
+            label: format!("op{op}"),
+            class: 0,
+            start: secs(start),
+            end: secs(end),
+            work,
+            pre_latency: SimTime::ZERO,
+            cap: None,
+            deps: Vec::new(),
+        }
+    }
+
+    fn fifo_meta(name: &str, rate: f64, lanes: u32) -> ResourceMeta {
+        ResourceMeta { name: name.into(), rate, kind: ResourceKind::Fifo { lanes } }
+    }
+
+    fn shared_meta(name: &str, rate: f64, factor: f64) -> ResourceMeta {
+        ResourceMeta {
+            name: name.into(),
+            rate,
+            kind: ResourceKind::Shared { contention_factor: factor },
+        }
+    }
+
+    fn violations_of(s: &Schedule) -> Vec<Invariant> {
+        match ScheduleValidator::new().validate(s) {
+            Ok(()) => Vec::new(),
+            Err(e) => e.violations.iter().map(|v| v.invariant).collect(),
+        }
+    }
+
+    #[test]
+    fn valid_solver_output_passes() {
+        let mut sim = Sim::new();
+        let link = sim.fifo_resource("link", 2.0, 1);
+        let bus = sim.shared_resource("bus", 10.0, 0.8);
+        let a = sim.op(Op::new(link, 4.0).label("copy"));
+        sim.op(Op::new(bus, 10.0).class(1).after(a));
+        sim.op(Op::new(bus, 5.0).class(2).rate_cap(4.0));
+        let s = sim.run(); // run() itself validates in debug builds
+        assert!(s.validate().is_ok());
+        assert!(!s.rate_segments().is_empty());
+    }
+
+    #[test]
+    fn overcommitted_fifo_lanes_fail() {
+        // Two overlapping spans on a 1-lane FIFO.
+        let meta = vec![fifo_meta("link", 1.0, 1)];
+        let spans = vec![span(0, Some(0), 0.0, 1.0, 1.0), span(1, Some(0), 0.5, 1.5, 1.0)];
+        let s = Schedule::new(spans, meta, Vec::new());
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::FifoLanes), "got {v:?}");
+    }
+
+    #[test]
+    fn back_to_back_fifo_spans_pass() {
+        // Touching half-open spans are legal on one lane.
+        let meta = vec![fifo_meta("link", 1.0, 1)];
+        let spans = vec![span(0, Some(0), 0.0, 1.0, 1.0), span(1, Some(0), 1.0, 2.0, 1.0)];
+        let s = Schedule::new(spans, meta, Vec::new());
+        assert_eq!(violations_of(&s), Vec::new());
+    }
+
+    #[test]
+    fn rate_overcommitment_fails_conservation() {
+        // Two ops on a 10/s bus each recorded at 8/s: 16/s handed out.
+        let meta = vec![shared_meta("bus", 10.0, 1.0)];
+        let spans = vec![span(0, Some(0), 0.0, 1.0, 8.0), span(1, Some(0), 0.0, 1.0, 8.0)];
+        let segs = vec![
+            RateSegment {
+                resource: ResourceId(0),
+                op: OpId(0),
+                start: secs(0.0),
+                end: secs(1.0),
+                rate: 8.0,
+            },
+            RateSegment {
+                resource: ResourceId(0),
+                op: OpId(1),
+                start: secs(0.0),
+                end: secs(1.0),
+                rate: 8.0,
+            },
+        ];
+        let s = Schedule::new(spans, meta, segs);
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::SharedCapacity), "got {v:?}");
+    }
+
+    #[test]
+    fn contention_factor_tightens_the_budget() {
+        // 6/s + 3/s fits a 10/s bus — but not when two classes shrink the
+        // budget to 10 * 0.5 = 5/s.
+        let meta = vec![shared_meta("bus", 10.0, 0.5)];
+        let mut s0 = span(0, Some(0), 0.0, 1.0, 6.0);
+        let mut s1 = span(1, Some(0), 0.0, 1.0, 3.0);
+        s0.class = 1;
+        s1.class = 2;
+        let segs = vec![
+            RateSegment {
+                resource: ResourceId(0),
+                op: OpId(0),
+                start: secs(0.0),
+                end: secs(1.0),
+                rate: 6.0,
+            },
+            RateSegment {
+                resource: ResourceId(0),
+                op: OpId(1),
+                start: secs(0.0),
+                end: secs(1.0),
+                rate: 3.0,
+            },
+        ];
+        let s = Schedule::new(vec![s0, s1], meta, segs);
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::SharedCapacity), "got {v:?}");
+    }
+
+    #[test]
+    fn dep_ordering_violation_fails() {
+        let meta = vec![fifo_meta("link", 1.0, 2)];
+        let mut dependent = span(1, Some(0), 0.5, 1.5, 1.0);
+        dependent.deps = vec![OpId(0)]; // dep finishes at 1.0 > start 0.5
+        let spans = vec![span(0, Some(0), 0.0, 1.0, 1.0), dependent];
+        let s = Schedule::new(spans, meta, Vec::new());
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::DepOrdering), "got {v:?}");
+    }
+
+    #[test]
+    fn inverted_span_fails_bounds() {
+        let meta = vec![fifo_meta("link", 1.0, 1)];
+        let mut sp = span(0, Some(0), 2.0, 1.0, 0.0);
+        sp.work = 0.0;
+        let s = Schedule::new(vec![sp], meta, Vec::new());
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::SpanBounds), "got {v:?}");
+    }
+
+    #[test]
+    fn wrong_fifo_duration_fails_timing() {
+        // 4 units at 2/s must take 2 s, not 3.
+        let meta = vec![fifo_meta("link", 2.0, 1)];
+        let s = Schedule::new(vec![span(0, Some(0), 0.0, 3.0, 4.0)], meta, Vec::new());
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::FixedTiming), "got {v:?}");
+    }
+
+    #[test]
+    fn cap_overrun_fails() {
+        let meta = vec![shared_meta("bus", 10.0, 1.0)];
+        let mut sp = span(0, Some(0), 0.0, 1.0, 6.0);
+        sp.cap = Some(3.0);
+        let segs = vec![RateSegment {
+            resource: ResourceId(0),
+            op: OpId(0),
+            start: secs(0.0),
+            end: secs(1.0),
+            rate: 6.0,
+        }];
+        let s = Schedule::new(vec![sp], meta, segs);
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::SharedRateCap), "got {v:?}");
+    }
+
+    #[test]
+    fn missing_work_fails_conservation() {
+        // Op claims 10 units of work but its segments only integrate 5.
+        let meta = vec![shared_meta("bus", 10.0, 1.0)];
+        let sp = span(0, Some(0), 0.0, 1.0, 10.0);
+        let segs = vec![RateSegment {
+            resource: ResourceId(0),
+            op: OpId(0),
+            start: secs(0.0),
+            end: secs(1.0),
+            rate: 5.0,
+        }];
+        let s = Schedule::new(vec![sp], meta, segs);
+        let v = violations_of(&s);
+        assert!(v.contains(&Invariant::WorkConservation), "got {v:?}");
+    }
+
+    #[test]
+    fn every_violation_is_reported_not_just_the_first() {
+        // Inverted span AND an over-long FIFO op: both must surface.
+        let meta = vec![fifo_meta("link", 1.0, 1)];
+        let spans = vec![span(0, Some(0), 2.0, 1.0, 0.0), span(1, Some(0), 3.0, 9.0, 1.0)];
+        let s = Schedule::new(spans, meta, Vec::new());
+        let err = ScheduleValidator::new().validate(&s).unwrap_err();
+        assert!(err.violations.len() >= 2, "{err}");
+        let text = err.to_string();
+        assert!(text.contains("SpanBounds") && text.contains("FixedTiming"), "{text}");
+    }
+
+    #[test]
+    fn shared_pipeline_with_churn_passes() {
+        // Joins and departures at many instants: segments must still tile
+        // and conserve work.
+        let mut sim = Sim::new();
+        let bus = sim.shared_resource("bus", 64.0, 0.7);
+        let gate = sim.fifo_resource("gate", 1.0, 1);
+        let mut prev = None;
+        for i in 0..6 {
+            let mut g = Op::new(gate, 0.3).label(format!("gate{i}"));
+            if let Some(p) = prev {
+                g = g.after(p);
+            }
+            let g = sim.op(g);
+            sim.op(Op::new(bus, 40.0).class(i % 3).rate_cap(30.0 + i as f64).after(g));
+            prev = Some(g);
+        }
+        let s = sim.run();
+        assert!(s.validate().is_ok(), "{:?}", s.validate().err());
+    }
+}

@@ -1,8 +1,10 @@
-//! Property-based tests of the discrete-event engine's scheduling
+//! Property-style tests of the discrete-event engine's scheduling
 //! invariants: work conservation, capacity limits, dependency ordering,
-//! and determinism — over randomized DAGs and resource mixes.
-
-use proptest::prelude::*;
+//! and determinism — over seeded randomized DAGs and resource mixes.
+//!
+//! Randomness comes from a local splitmix64 stream (the workspace builds
+//! offline, without `proptest`), so every case is reproducible: a failure
+//! message names the case index, and re-running replays it exactly.
 
 use hcj_sim::{Op, OpId, Sim, SimTime};
 
@@ -16,28 +18,45 @@ struct OpSpec {
     shared: bool,
 }
 
-fn op_specs(max_ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
-    proptest::collection::vec(
-        (
-            0.1f64..100.0,
-            proptest::option::of(0.5f64..20.0),
-            proptest::collection::vec(0usize..100, 0..4),
-            any::<bool>(),
-        ),
-        1..max_ops,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (work, cap, deps, shared))| OpSpec {
-                work,
-                cap,
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    fn usize_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn op_specs(gen: &mut Gen, max_ops: usize) -> Vec<OpSpec> {
+    let count = 1 + gen.usize_below(max_ops - 1);
+    (0..count)
+        .map(|i| {
+            let n_deps = gen.usize_below(4);
+            OpSpec {
+                work: gen.f64_in(0.1, 100.0),
+                cap: gen.bool().then(|| gen.f64_in(0.5, 20.0)),
                 // Deps may only point at strictly earlier ops.
-                deps: deps.into_iter().filter(|&d| d < i).map(|d| d % i.max(1)).collect(),
-                shared,
-            })
-            .collect()
-    })
+                deps: (0..n_deps).filter(|_| i > 0).map(|_| gen.usize_below(i)).collect(),
+                shared: gen.bool(),
+            }
+        })
+        .collect()
 }
 
 fn build_and_run(specs: &[OpSpec]) -> (Vec<SimTime>, Vec<SimTime>, SimTime) {
@@ -64,75 +83,83 @@ fn build_and_run(specs: &[OpSpec]) -> (Vec<SimTime>, Vec<SimTime>, SimTime) {
     (starts, ends, schedule.makespan())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Every op finishes; no op starts before its dependencies end; the
-    /// makespan is the max finish.
-    #[test]
-    fn dependencies_are_respected(specs in op_specs(40)) {
+/// Every op finishes; no op starts before its dependencies end; the
+/// makespan is the max finish.
+#[test]
+fn dependencies_are_respected() {
+    for case in 0..CASES {
+        let specs = op_specs(&mut Gen(case), 40);
         let (starts, ends, makespan) = build_and_run(&specs);
         for (i, spec) in specs.iter().enumerate() {
-            prop_assert!(ends[i] >= starts[i]);
+            assert!(ends[i] >= starts[i], "case {case}");
             for &d in &spec.deps {
-                prop_assert!(
+                assert!(
                     starts[i] >= ends[d],
-                    "op {i} started {} before dep {d} ended {}",
+                    "case {case}: op {i} started {} before dep {d} ended {}",
                     starts[i],
                     ends[d]
                 );
             }
         }
         let max_end = ends.iter().copied().max().unwrap();
-        prop_assert_eq!(makespan, max_end);
+        assert_eq!(makespan, max_end, "case {case}");
     }
+}
 
-    /// Work conservation: the whole DAG cannot finish faster than the
-    /// total work divided by the aggregate service capacity, nor faster
-    /// than any single op's best-case duration along a dependency chain.
-    #[test]
-    fn makespan_respects_capacity(specs in op_specs(40)) {
+/// Work conservation: the whole DAG cannot finish faster than the total
+/// work divided by the aggregate service capacity, nor faster than any
+/// single op's best-case duration along a dependency chain.
+#[test]
+fn makespan_respects_capacity() {
+    for case in 0..CASES {
+        let specs = op_specs(&mut Gen(1000 + case), 40);
         let (_, ends, makespan) = build_and_run(&specs);
         let fifo_work: f64 = specs.iter().filter(|s| !s.shared).map(|s| s.work).sum();
         let shared_work: f64 = specs.iter().filter(|s| s.shared).map(|s| s.work).sum();
         // FIFO: 2 lanes x 10/s; shared: 10/s total (x0.8 only when classes
         // mix, and all ops here share class 0, so full rate applies).
         let lower = (fifo_work / 20.0).max(shared_work / 10.0);
-        prop_assert!(
+        assert!(
             makespan.as_secs_f64() >= lower * (1.0 - 1e-6) - 1e-9,
-            "makespan {} below capacity bound {lower}",
+            "case {case}: makespan {} below capacity bound {lower}",
             makespan.as_secs_f64()
         );
         // And no op finished faster than its own work at its own best rate.
         for (i, spec) in specs.iter().enumerate() {
-            let best_rate = if spec.shared {
-                spec.cap.map_or(10.0, |c| c.min(10.0))
-            } else {
-                10.0
-            };
+            let best_rate = if spec.shared { spec.cap.map_or(10.0, |c| c.min(10.0)) } else { 10.0 };
             let min_dur = spec.work / best_rate;
-            prop_assert!(
+            assert!(
                 ends[i].as_secs_f64() >= min_dur * (1.0 - 1e-6) - 1e-9,
-                "op {i} finished at {} under its minimum duration {min_dur}",
+                "case {case}: op {i} finished at {} under its minimum duration {min_dur}",
                 ends[i].as_secs_f64()
             );
         }
     }
+}
 
-    /// Determinism: running the same DAG twice gives identical schedules.
-    #[test]
-    fn schedules_are_deterministic(specs in op_specs(30)) {
+/// Determinism: running the same DAG twice gives identical schedules.
+#[test]
+fn schedules_are_deterministic() {
+    for case in 0..CASES {
+        let specs = op_specs(&mut Gen(2000 + case), 30);
         let a = build_and_run(&specs);
         let b = build_and_run(&specs);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-        prop_assert_eq!(a.2, b.2);
+        assert_eq!(a.0, b.0, "case {case}");
+        assert_eq!(a.1, b.1, "case {case}");
+        assert_eq!(a.2, b.2, "case {case}");
     }
+}
 
-    /// Chains serialize exactly: a linear chain's makespan on a dedicated
-    /// FIFO equals the sum of its op durations.
-    #[test]
-    fn chain_makespan_is_sum(works in proptest::collection::vec(0.1f64..50.0, 1..20)) {
+/// Chains serialize exactly: a linear chain's makespan on a dedicated
+/// FIFO equals the sum of its op durations.
+#[test]
+fn chain_makespan_is_sum() {
+    for case in 0..CASES {
+        let mut gen = Gen(3000 + case);
+        let len = 1 + gen.usize_below(19);
+        let works: Vec<f64> = (0..len).map(|_| gen.f64_in(0.1, 50.0)).collect();
         let mut sim = Sim::new();
         let r = sim.fifo_resource("r", 4.0, 1);
         let mut prev: Option<OpId> = None;
@@ -146,15 +173,18 @@ proptest! {
         let schedule = sim.run();
         let want: f64 = works.iter().map(|w| w / 4.0).sum();
         let got = schedule.makespan().as_secs_f64();
-        prop_assert!((got - want).abs() < 1e-6 + want * 1e-9, "got {got}, want {want}");
+        assert!((got - want).abs() < 1e-6 + want * 1e-9, "case {case}: got {got}, want {want}");
     }
+}
 
-    /// Independent ops on an unlimited-lane FIFO all run at full rate:
-    /// makespan equals the longest op.
-    #[test]
-    fn wide_fifo_runs_everything_in_parallel(
-        works in proptest::collection::vec(0.1f64..50.0, 1..32)
-    ) {
+/// Independent ops on an unlimited-lane FIFO all run at full rate:
+/// makespan equals the longest op.
+#[test]
+fn wide_fifo_runs_everything_in_parallel() {
+    for case in 0..CASES {
+        let mut gen = Gen(4000 + case);
+        let len = 1 + gen.usize_below(31);
+        let works: Vec<f64> = (0..len).map(|_| gen.f64_in(0.1, 50.0)).collect();
         let mut sim = Sim::new();
         let r = sim.fifo_resource("r", 2.0, 64);
         for &w in &works {
@@ -163,21 +193,23 @@ proptest! {
         let schedule = sim.run();
         let want = works.iter().cloned().fold(0.0f64, f64::max) / 2.0;
         let got = schedule.makespan().as_secs_f64();
-        prop_assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        assert!((got - want).abs() < 1e-6, "case {case}: got {got}, want {want}");
     }
+}
 
-    /// Shared-resource completion order follows remaining-work order for
-    /// same-size caps: ops submitted with strictly increasing work finish
-    /// in submission order.
-    #[test]
-    fn shared_resource_orders_by_work(count in 2usize..12) {
+/// Shared-resource completion order follows remaining-work order for
+/// same-size caps: ops submitted with strictly increasing work finish in
+/// submission order.
+#[test]
+fn shared_resource_orders_by_work() {
+    for count in 2usize..12 {
         let mut sim = Sim::new();
         let bus = sim.shared_resource("bus", 10.0, 1.0);
         let ids: Vec<OpId> =
             (0..count).map(|i| sim.op(Op::new(bus, (i + 1) as f64 * 5.0))).collect();
         let schedule = sim.run();
         for w in ids.windows(2) {
-            prop_assert!(schedule.finish(w[0]) <= schedule.finish(w[1]));
+            assert!(schedule.finish(w[0]) <= schedule.finish(w[1]), "count {count}");
         }
     }
 }

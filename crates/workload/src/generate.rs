@@ -1,10 +1,7 @@
 //! Relation generators for every distribution the evaluation uses.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use crate::relation::{Relation, Tuple};
+use crate::rng::{Rng, SmallRng};
 use crate::zipf::ZipfSampler;
 
 /// Key distribution of a generated relation.
@@ -69,7 +66,7 @@ impl RelationSpec {
         match self.distribution {
             KeyDistribution::UniqueShuffled => {
                 let mut keys: Vec<u32> = (1..=self.tuples as u32).collect();
-                keys.shuffle(&mut rng);
+                rng.shuffle(&mut keys);
                 for k in keys {
                     rel.push(Tuple { key: k, payload: payload_of(k) });
                 }
@@ -77,7 +74,7 @@ impl RelationSpec {
             KeyDistribution::UniformFk { distinct } => {
                 assert!(distinct >= 1 && distinct <= u64::from(u32::MAX));
                 for _ in 0..self.tuples {
-                    let k = rng.gen_range(1..=distinct) as u32;
+                    let k = rng.gen_range_u64(1, distinct) as u32;
                     rel.push(Tuple { key: k, payload: payload_of(k) });
                 }
             }
@@ -102,7 +99,7 @@ impl RelationSpec {
                     keys.push(next);
                     next = next % distinct as u32 + 1;
                 }
-                keys.shuffle(&mut rng);
+                rng.shuffle(&mut keys);
                 for k in keys {
                     rel.push(Tuple { key: k, payload: payload_of(k) });
                 }

@@ -20,10 +20,12 @@
 pub mod generate;
 pub mod oracle;
 pub mod relation;
+pub mod rng;
 pub mod tpch;
 pub mod zipf;
 
-pub use generate::{RelationSpec, KeyDistribution};
+pub use generate::{KeyDistribution, RelationSpec};
 pub use oracle::{reference_join, JoinCheck};
 pub use relation::{Relation, Tuple};
+pub use rng::{Rng, SmallRng};
 pub use zipf::ZipfSampler;

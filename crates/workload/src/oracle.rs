@@ -63,7 +63,8 @@ impl JoinCheck {
 
     /// Fold a materialized result into the same summary shape.
     pub fn from_rows(rows: &[JoinRow]) -> JoinCheck {
-        let mut check = JoinCheck { matches: rows.len() as u64, sum_r_payload: 0, sum_s_payload: 0 };
+        let mut check =
+            JoinCheck { matches: rows.len() as u64, sum_r_payload: 0, sum_s_payload: 0 };
         for &(_, rp, sp) in rows {
             check.sum_r_payload = check.sum_r_payload.wrapping_add(u64::from(rp));
             check.sum_s_payload = check.sum_s_payload.wrapping_add(u64::from(sp));
@@ -101,10 +102,14 @@ mod tests {
 
     #[test]
     fn one_to_one_join() {
-        let r: Relation =
-            [(1, 10), (2, 20), (3, 30)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
-        let s: Relation =
-            [(2, 200), (3, 300), (4, 400)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let r: Relation = [(1, 10), (2, 20), (3, 30)]
+            .map(|(k, p)| Tuple { key: k, payload: p })
+            .into_iter()
+            .collect();
+        let s: Relation = [(2, 200), (3, 300), (4, 400)]
+            .map(|(k, p)| Tuple { key: k, payload: p })
+            .into_iter()
+            .collect();
         let rows = reference_join(&r, &s);
         assert_eq!(rows, vec![(2, 20, 200), (3, 30, 300)]);
     }
@@ -113,8 +118,10 @@ mod tests {
     fn many_to_many_multiplicity() {
         let r: Relation =
             [(7, 1), (7, 2)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
-        let s: Relation =
-            [(7, 10), (7, 20), (7, 30)].map(|(k, p)| Tuple { key: k, payload: p }).into_iter().collect();
+        let s: Relation = [(7, 10), (7, 20), (7, 30)]
+            .map(|(k, p)| Tuple { key: k, payload: p })
+            .into_iter()
+            .collect();
         let rows = reference_join(&r, &s);
         assert_eq!(rows.len(), 6);
     }
@@ -148,7 +155,10 @@ mod tests {
         let (r, _) = canonical_pair(8, 8, 1);
         assert!(reference_join(&e, &r).is_empty());
         assert!(reference_join(&r, &e).is_empty());
-        assert_eq!(JoinCheck::compute(&e, &e), JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 });
+        assert_eq!(
+            JoinCheck::compute(&e, &e),
+            JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 }
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ impl Relation {
 
     /// Build from tuples.
     pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
-        let mut r = Relation::default();
-        r.payload_width = 4;
+        let mut r = Relation { payload_width: 4, ..Relation::default() };
         for t in tuples {
             r.push(t);
         }

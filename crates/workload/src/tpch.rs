@@ -18,11 +18,9 @@
 //! Fractional scale factors are supported so the harness can run reduced
 //! scales with the same shape (DESIGN.md §5).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::generate::payload_of;
 use crate::relation::{Relation, Tuple};
+use crate::rng::{Rng, SmallRng};
 
 /// The generated join columns of one TPC-H instance.
 #[derive(Clone, Debug)]
@@ -64,13 +62,13 @@ impl TpchTables {
             let okey = sparse_orderkey(i);
             // dbgen: a third of customers never appear in orders.
             let custkey = loop {
-                let c = rng.gen_range(1..=n_cust as u32);
+                let c = rng.gen_range_u64(1, n_cust as u64) as u32;
                 if c % 3 != 0 || n_cust < 3 {
                     break c;
                 }
             };
             orders.push(Tuple { key: okey, payload: payload_of(okey) });
-            let lines = rng.gen_range(1..=7u32);
+            let lines = rng.gen_range_u64(1, 7) as u32;
             for _ in 0..lines {
                 lineitem_orderkey.push(Tuple { key: okey, payload: payload_of(okey) });
                 lineitem_custkey.push(Tuple { key: custkey, payload: payload_of(custkey) });

@@ -10,13 +10,12 @@
 //! which is O(1) per sample with no per-distribution table, so generating
 //! the paper's multi-hundred-million-tuple skewed relations stays cheap.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A sampler for `Zipf(n, theta)` over ranks `1..=n`.
 ///
 /// ```
-/// use hcj_workload::ZipfSampler;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use hcj_workload::{SmallRng, ZipfSampler};
 ///
 /// let zipf = ZipfSampler::new(1_000_000, 1.1);
 /// let mut rng = SmallRng::seed_from_u64(1);
@@ -61,11 +60,11 @@ impl ZipfSampler {
     /// Draw one rank in `1..=n` (rank 1 is the most popular value).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         if self.theta == 0.0 {
-            return rng.gen_range(1..=self.n);
+            return rng.gen_range_u64(1, self.n);
         }
         loop {
             let u = self.h_integral_num_elements
-                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_num_elements);
+                + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_num_elements);
             let x = h_integral_inverse(u, self.theta);
             let k = x.round().clamp(1.0, self.n as f64);
             if k - x <= self.s || u >= h_integral(k + 0.5, self.theta) - h(k, self.theta) {
@@ -114,8 +113,7 @@ fn helper2(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SmallRng;
 
     fn histogram(n: u64, theta: f64, samples: usize) -> Vec<u64> {
         let z = ZipfSampler::new(n, theta);
@@ -157,10 +155,7 @@ mod tests {
         for k in 1..=5u64 {
             let expect = samples as f64 / (k as f64 * hn);
             let got = counts[(k - 1) as usize] as f64;
-            assert!(
-                (got - expect).abs() < expect * 0.15,
-                "rank {k}: got {got}, expected {expect}"
-            );
+            assert!((got - expect).abs() < expect * 0.15, "rank {k}: got {got}, expected {expect}");
         }
     }
 

@@ -1,43 +1,56 @@
-//! Property-based tests of the workload generators and the oracle.
-
-use proptest::prelude::*;
+//! Property-style tests of the workload generators and the oracle, over
+//! seeded randomized parameter sweeps (reproducible: each case's inputs
+//! derive from the case index).
 
 use hcj_workload::generate::{canonical_pair, payload_of};
 use hcj_workload::oracle::{reference_join, JoinCheck};
+use hcj_workload::rng::{Rng, SmallRng};
 use hcj_workload::{KeyDistribution, Relation, RelationSpec, Tuple};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Unique-shuffled relations are exact permutations of 1..=n.
-    #[test]
-    fn unique_is_a_permutation(n in 1usize..5000, seed in any::<u64>()) {
-        let r = RelationSpec::unique(n, seed).generate();
+fn params(case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xC0FFEE ^ case.wrapping_mul(0x9E37_79B9))
+}
+
+/// Unique-shuffled relations are exact permutations of 1..=n.
+#[test]
+fn unique_is_a_permutation() {
+    for case in 0..CASES {
+        let mut p = params(case);
+        let n = p.gen_range_u64(1, 4999) as usize;
+        let r = RelationSpec::unique(n, p.next_u64()).generate();
         let mut keys = r.keys.clone();
         keys.sort_unstable();
-        prop_assert_eq!(keys, (1..=n as u32).collect::<Vec<_>>());
+        assert_eq!(keys, (1..=n as u32).collect::<Vec<_>>(), "case {case}, n {n}");
     }
+}
 
-    /// Zipf keys stay within the declared domain, at any skew.
-    #[test]
-    fn zipf_stays_in_domain(
-        n in 1usize..4000,
-        distinct in 1u64..10_000,
-        theta in 0.0f64..1.5,
-        seed in any::<u64>(),
-    ) {
-        let r = RelationSpec::zipf(n, distinct, theta, seed).generate();
-        prop_assert_eq!(r.len(), n);
-        prop_assert!(r.keys.iter().all(|&k| 1 <= k && u64::from(k) <= distinct));
+/// Zipf keys stay within the declared domain, at any skew.
+#[test]
+fn zipf_stays_in_domain() {
+    for case in 0..CASES {
+        let mut p = params(100 + case);
+        let n = p.gen_range_u64(1, 3999) as usize;
+        let distinct = p.gen_range_u64(1, 9_999);
+        let theta = p.gen_f64() * 1.5;
+        let r = RelationSpec::zipf(n, distinct, theta, p.next_u64()).generate();
+        assert_eq!(r.len(), n);
+        assert!(
+            r.keys.iter().all(|&k| 1 <= k && u64::from(k) <= distinct),
+            "case {case}: key out of 1..={distinct}"
+        );
     }
+}
 
-    /// Payloads always follow the checkable mapping, for every generator.
-    #[test]
-    fn payload_mapping_is_universal(
-        n in 1usize..2000,
-        distinct in 1u64..1000,
-        seed in any::<u64>(),
-    ) {
+/// Payloads always follow the checkable mapping, for every generator.
+#[test]
+fn payload_mapping_is_universal() {
+    for case in 0..CASES {
+        let mut p = params(200 + case);
+        let n = p.gen_range_u64(1, 1999) as usize;
+        let distinct = p.gen_range_u64(1, 999);
+        let seed = p.next_u64();
         for dist in [
             KeyDistribution::UniqueShuffled,
             KeyDistribution::UniformFk { distinct },
@@ -47,62 +60,66 @@ proptest! {
             if matches!(dist, KeyDistribution::Replicated { replicas } if n < replicas as usize) {
                 continue;
             }
-            let r = RelationSpec { tuples: n, distribution: dist, payload_width: 4, seed }
-                .generate();
-            prop_assert!(r.iter().all(|t| t.payload == payload_of(t.key)));
+            let r =
+                RelationSpec { tuples: n, distribution: dist, payload_width: 4, seed }.generate();
+            assert!(r.iter().all(|t| t.payload == payload_of(t.key)), "case {case} {dist:?}");
         }
     }
+}
 
-    /// The oracle's summary agrees with its own materialized rows, and a
-    /// join is symmetric in cardinality: |R ⨝ S| == |S ⨝ R|.
-    #[test]
-    fn oracle_is_self_consistent_and_symmetric(
-        r_tuples in 1usize..800,
-        s_tuples in 1usize..800,
-        distinct in 1u64..200,
-        seed in any::<u64>(),
-    ) {
+/// The oracle's summary agrees with its own materialized rows, and a join
+/// is symmetric in cardinality: |R ⨝ S| == |S ⨝ R|.
+#[test]
+fn oracle_is_self_consistent_and_symmetric() {
+    for case in 0..CASES {
+        let mut p = params(300 + case);
+        let r_tuples = p.gen_range_u64(1, 799) as usize;
+        let s_tuples = p.gen_range_u64(1, 799) as usize;
+        let distinct = p.gen_range_u64(1, 199);
+        let seed = p.next_u64();
         let r = RelationSpec::zipf(r_tuples, distinct, 0.6, seed).generate();
         let s = RelationSpec::zipf(s_tuples, distinct, 0.6, seed ^ 1).generate();
         let rows = reference_join(&r, &s);
-        prop_assert_eq!(JoinCheck::from_rows(&rows), JoinCheck::compute(&r, &s));
+        assert_eq!(JoinCheck::from_rows(&rows), JoinCheck::compute(&r, &s), "case {case}");
         let flipped = reference_join(&s, &r);
-        prop_assert_eq!(rows.len(), flipped.len());
+        assert_eq!(rows.len(), flipped.len(), "case {case}");
         // Flipping swaps the payload columns row-by-row (after sorting).
-        let mut reflipped: Vec<_> =
-            flipped.into_iter().map(|(k, a, b)| (k, b, a)).collect();
+        let mut reflipped: Vec<_> = flipped.into_iter().map(|(k, a, b)| (k, b, a)).collect();
         reflipped.sort_unstable();
-        prop_assert_eq!(rows, reflipped);
+        assert_eq!(rows, reflipped, "case {case}");
     }
+}
 
-    /// canonical_pair: every probe key hits exactly one build tuple, so
-    /// the match count equals the probe cardinality.
-    #[test]
-    fn canonical_pair_matches_equal_probe_size(
-        build in 1usize..2000,
-        probe in 1usize..4000,
-        seed in any::<u64>(),
-    ) {
-        let (r, s) = canonical_pair(build, probe, seed);
-        prop_assert_eq!(JoinCheck::compute(&r, &s).matches, probe as u64);
+/// canonical_pair: every probe key hits exactly one build tuple, so the
+/// match count equals the probe cardinality.
+#[test]
+fn canonical_pair_matches_equal_probe_size() {
+    for case in 0..CASES {
+        let mut p = params(400 + case);
+        let build = p.gen_range_u64(1, 1999) as usize;
+        let probe = p.gen_range_u64(1, 3999) as usize;
+        let (r, s) = canonical_pair(build, probe, p.next_u64());
+        assert_eq!(JoinCheck::compute(&r, &s).matches, probe as u64, "case {case}");
     }
+}
 
-    /// Chunking is a partition of the relation: concatenating chunks
-    /// reproduces it exactly.
-    #[test]
-    fn chunks_concatenate_back(
-        n in 1usize..3000,
-        chunk in 1usize..500,
-        seed in any::<u64>(),
-    ) {
-        let r = RelationSpec::unique(n, seed).generate();
+/// Chunking is a partition of the relation: concatenating chunks
+/// reproduces it exactly.
+#[test]
+fn chunks_concatenate_back() {
+    for case in 0..CASES {
+        let mut p = params(500 + case);
+        let n = p.gen_range_u64(1, 2999) as usize;
+        let chunk = p.gen_range_u64(1, 499) as usize;
+        let r = RelationSpec::unique(n, p.next_u64()).generate();
         let chunks = r.chunks(chunk);
-        let glued: Relation = chunks
-            .iter()
-            .flat_map(|c| c.iter().collect::<Vec<Tuple>>())
-            .collect();
-        prop_assert_eq!(glued.keys, r.keys);
-        prop_assert_eq!(glued.payloads, r.payloads);
-        prop_assert!(chunks.iter().take(chunks.len() - 1).all(|c| c.len() == chunk));
+        let glued: Relation =
+            chunks.iter().flat_map(|c| c.iter().collect::<Vec<Tuple>>()).collect();
+        assert_eq!(glued.keys, r.keys, "case {case}");
+        assert_eq!(glued.payloads, r.payloads, "case {case}");
+        assert!(
+            chunks.iter().take(chunks.len() - 1).all(|c| c.len() == chunk),
+            "case {case}: non-final chunk not full"
+        );
     }
 }

@@ -16,7 +16,11 @@ fn main() {
     // GPU against multi-GB relations (bandwidths stay physical, so
     // throughput numbers remain comparable).
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
-    println!("device: {} with {} MB of memory (scaled)", device.name, device.device_mem_bytes >> 20);
+    println!(
+        "device: {} with {} MB of memory (scaled)",
+        device.name,
+        device.device_mem_bytes >> 20
+    );
 
     for (r_tuples, s_tuples) in [(20_000, 40_000), (30_000, 1_200_000), (600_000, 1_200_000)] {
         let (r, s) = canonical_pair(r_tuples, s_tuples, 11);
@@ -30,10 +34,7 @@ fn main() {
             println!("  (planned {plan:?}, escalated to {strategy:?} at run time)");
         }
         assert_eq!(outcome.check, JoinCheck::compute(&r, &s));
-        println!(
-            "\n{:>9} ⨝ {:>9} tuples → {:?}",
-            r_tuples, s_tuples, strategy
-        );
+        println!("\n{:>9} ⨝ {:>9} tuples → {:?}", r_tuples, s_tuples, strategy);
         println!(
             "  runtime {:.3} ms, throughput {:.2e} tuples/s",
             outcome.total_seconds() * 1e3,

@@ -3,12 +3,17 @@
 //! strategies, the overlap the paper's Figures 2-4 sketch.
 //!
 //! ```text
-//! cargo run --release --example pipeline_timeline
+//! cargo run --release --example pipeline_timeline [TRACE_DIR]
 //! ```
+//!
+//! Every schedule shown is first checked by [`ScheduleValidator`]; with a
+//! `TRACE_DIR` argument the same timelines are also written as Chrome
+//! `trace_event` JSON (open in `chrome://tracing` or Perfetto).
 
 use hashjoin_gpu::prelude::*;
 
 fn main() {
+    let trace_dir = std::env::args().nth(1).map(std::path::PathBuf::from);
     println!("== streamed probe (paper Fig. 2/4): transfers overlap joins ==\n");
     let (r, s) = canonical_pair(1 << 16, 1 << 19, 9);
     let mut config = StreamedProbeConfig::paper_default(
@@ -19,22 +24,21 @@ fn main() {
     );
     config.chunk_tuples = Some(1 << 17);
     let out = StreamedProbeJoin::new(config).execute(&r, &s).unwrap();
+    check_and_trace(&out.schedule, "streamed-probe", trace_dir.as_deref());
     print_gantt(&out, &["h2d", "join", "d2h"]);
-    let overlap = out.schedule.overlap_time(
-        |sp| sp.label.starts_with("join"),
-        |sp| sp.label.starts_with("h2d"),
-    );
+    let overlap = out
+        .schedule
+        .overlap_time(|sp| sp.label.starts_with("join"), |sp| sp.label.starts_with("h2d"));
     println!("join/transfer overlap: {overlap} of {} makespan\n", out.schedule.makespan());
 
     println!("== co-processing (paper Fig. 3): CPU partition ∥ transfer ∥ GPU join ==\n");
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
     let (r, s) = canonical_pair(1 << 19, 1 << 20, 10);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets((1 << 19) / 16);
-    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
-        .execute(&r, &s)
-        .unwrap();
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets((1 << 19) / 16);
+    let out =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
+    check_and_trace(&out.schedule, "co-processing", trace_dir.as_deref());
     print_gantt(&out, &["cpu-Partition", "h2d", "part r", "join"]);
     println!(
         "phases: cpu {} | h2d {} | gpu-partition {} | join {} (sums; phases overlap)",
@@ -47,6 +51,21 @@ fn main() {
     println!("\nresource utilization over the makespan:");
     for (name, util) in out.resource_report() {
         println!("  {name:<24} {:>5.1}%", util * 100.0);
+    }
+}
+
+/// Audit the schedule against the simulator's invariants, then (optionally)
+/// export it as `<dir>/<name>.trace.json` for chrome://tracing / Perfetto.
+fn check_and_trace(schedule: &Schedule, name: &str, dir: Option<&std::path::Path>) {
+    ScheduleValidator::new()
+        .validate(schedule)
+        .unwrap_or_else(|e| panic!("{name}: invalid schedule:\n{e}"));
+    if let Some(dir) = dir {
+        let path = dir.join(format!("{name}.trace.json"));
+        TraceExporter::new().write(schedule, &path).expect("trace write failed");
+        println!("(validated; trace written to {})", path.display());
+    } else {
+        println!("(schedule validated: all simulator invariants hold)");
     }
 }
 

@@ -30,19 +30,12 @@ fn main() {
     ];
 
     for (name, build, probe) in joins {
-        println!(
-            "\n{name}  (working set {:.1} MB)",
-            (build.bytes() + probe.bytes()) as f64 / 1e6
-        );
+        println!("\n{name}  (working set {:.1} MB)", (build.bytes() + probe.bytes()) as f64 / 1e6);
         let config = GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(12)
             .with_tuned_buckets(build.len());
         let ours = HcjEngine::new(config).run(build, probe);
-        println!(
-            "  {:<18} {:>9.2} M tuples/s",
-            ours.engine,
-            ours.throughput_tuples_per_s() / 1e6
-        );
+        println!("  {:<18} {:>9.2} M tuples/s", ours.engine, ours.throughput_tuples_per_s() / 1e6);
         match DbmsXLike::new(device.clone()).execute(build, probe) {
             Ok(r) => {
                 assert_eq!(r.check, ours.check, "engines disagree on {name}");

@@ -14,9 +14,7 @@ fn main() {
     println!("== GPU-resident join across device generations ==");
     for device in [DeviceSpec::gtx1080(), DeviceSpec::v100()] {
         let name = device.name;
-        let config = GpuJoinConfig::paper_default(device)
-            .with_radix_bits(12)
-            .with_tuned_buckets(n);
+        let config = GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets(n);
         let out = GpuPartitionedJoin::new(config).execute(&r, &s).unwrap();
         println!(
             "  {name:<12} {:>6.2} B tuples/s  (partition {:>8}, join {:>8})",
@@ -36,9 +34,8 @@ fn main() {
         let mut device = DeviceSpec::gtx1080().scaled_capacity(1 << 10); // 8 MB
         device.pcie_bandwidth = bw;
         device.pcie_pageable_bandwidth = bw / 2.0;
-        let config = GpuJoinConfig::paper_default(device)
-            .with_radix_bits(12)
-            .with_tuned_buckets(n / 16);
+        let config =
+            GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets(n / 16);
         // Thread count re-derived per link with the paper's §IV-B rule:
         // faster links need more feeding but leave less DRAM headroom.
         let co = CoProcessingConfig::paper_default(config).with_auto_threads();

@@ -5,9 +5,7 @@
 use hashjoin_gpu::prelude::*;
 
 fn config_for(device: DeviceSpec, build_tuples: usize) -> GpuJoinConfig {
-    GpuJoinConfig::paper_default(device)
-        .with_radix_bits(10)
-        .with_tuned_buckets(build_tuples / 8)
+    GpuJoinConfig::paper_default(device).with_radix_bits(10).with_tuned_buckets(build_tuples / 8)
 }
 
 #[test]
@@ -79,12 +77,9 @@ fn coprocessing_works_with_tiny_devices() {
     // 64 KB of device memory: working sets become single partitions.
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 17);
     let (r, s) = canonical_pair(30_000, 30_000, 2005);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets(64);
-    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
-        .execute(&r, &s)
-        .unwrap();
+    let config = GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets(64);
+    let out =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
     assert_eq!(out.check, JoinCheck::compute(&r, &s));
 }
 

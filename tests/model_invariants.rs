@@ -55,9 +55,8 @@ fn streamed_probe_respects_the_link() {
 fn coprocessing_respects_the_link() {
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
     let (r, s) = canonical_pair(1 << 19, 1 << 20, 6003);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets((1 << 19) / 16);
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets((1 << 19) / 16);
     let out =
         CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
     let pcie = 12.0e9;
@@ -74,9 +73,8 @@ fn coprocessing_respects_the_link() {
 #[test]
 fn end_to_end_determinism() {
     let (r, s) = canonical_pair(60_000, 120_000, 6004);
-    let run_resident = || {
-        GpuPartitionedJoin::new(gpu_config(9, 60_000)).execute(&r, &s).unwrap().total_seconds()
-    };
+    let run_resident =
+        || GpuPartitionedJoin::new(gpu_config(9, 60_000)).execute(&r, &s).unwrap().total_seconds();
     assert_eq!(run_resident(), run_resident());
 
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 13);
@@ -101,9 +99,8 @@ fn bandwidth_bound_results_are_scale_invariant() {
         let device = DeviceSpec::gtx1080().scaled_capacity(1024 * k);
         let n = (1 << 20) / k as usize;
         let (r, s) = canonical_pair(n, n, 6005);
-        let config = GpuJoinConfig::paper_default(device)
-            .with_radix_bits(12)
-            .with_tuned_buckets(n / 16);
+        let config =
+            GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets(n / 16);
         CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
             .execute(&r, &s)
             .unwrap()
@@ -112,10 +109,7 @@ fn bandwidth_bound_results_are_scale_invariant() {
     let full = tput_at(1);
     let half = tput_at(2);
     let ratio = full / half;
-    assert!(
-        (0.8..1.25).contains(&ratio),
-        "scale-variance too high: {full:.3e} vs {half:.3e}"
-    );
+    assert!((0.8..1.25).contains(&ratio), "scale-variance too high: {full:.3e} vs {half:.3e}");
 }
 
 /// Device-memory accounting balances: after a strategy completes, its
@@ -154,13 +148,12 @@ fn materialized_outputs_are_identical_across_strategies() {
     let mut want = reference_join(&r, &s);
     want.sort_unstable();
 
-    let mut resident = GpuPartitionedJoin::new(
-        gpu_config(6, 8_000).with_output(OutputMode::Materialize),
-    )
-    .execute(&r, &s)
-    .unwrap()
-    .rows
-    .unwrap();
+    let mut resident =
+        GpuPartitionedJoin::new(gpu_config(6, 8_000).with_output(OutputMode::Materialize))
+            .execute(&r, &s)
+            .unwrap()
+            .rows
+            .unwrap();
     resident.sort_unstable();
     assert_eq!(resident, want);
 

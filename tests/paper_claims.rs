@@ -19,8 +19,8 @@ fn partitioned_tput(r: &Relation, s: &Relation, bits: u32) -> f64 {
 }
 
 fn nonpartitioned_tput(r: &Relation, s: &Relation) -> f64 {
-    let out = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
-        .execute(r, s);
+    let out =
+        NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate).execute(r, s);
     (r.len() + s.len()) as f64 / out.kernel_seconds(&DeviceSpec::gtx1080())
 }
 
@@ -31,10 +31,7 @@ fn nonpartitioned_tput(r: &Relation, s: &Relation) -> f64 {
 fn gpu_resident_throughput_is_billions_of_tuples_per_second() {
     let (r, s) = canonical_pair(1 << 21, 1 << 21, 4001);
     let tput = partitioned_tput(&r, &s, 11);
-    assert!(
-        tput > 1.0e9 && tput < 20.0e9,
-        "GPU-resident partitioned join: {tput:.3e} tuples/s"
-    );
+    assert!(tput > 1.0e9 && tput < 20.0e9, "GPU-resident partitioned join: {tput:.3e} tuples/s");
 }
 
 /// Claim (Fig. 8): partitioned overtakes non-partitioned as relations
@@ -80,12 +77,10 @@ fn gpu_beats_cpu_on_resident_data() {
 fn out_of_gpu_still_beats_cpu() {
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
     let (r, s) = canonical_pair(1 << 20, 1 << 20, 4005);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets((1 << 20) / 16);
-    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
-        .execute(&r, &s)
-        .unwrap();
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets((1 << 20) / 16);
+    let out =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
     let co = out.throughput_tuples_per_s();
     let pro = ProJoin::paper_default().execute(&r, &s).throughput_tuples_per_s();
     assert!(co > pro, "co-processing {co:.3e} must beat PRO {pro:.3e}");
@@ -109,8 +104,7 @@ fn few_coprocessing_threads_beat_full_cpu() {
     let with6 = mk(6);
     let with16 = mk(16);
     let with26 = mk(26);
-    let pro48 =
-        ProJoin::paper_default().with_threads(48).execute(&r, &s).throughput_tuples_per_s();
+    let pro48 = ProJoin::paper_default().with_threads(48).execute(&r, &s).throughput_tuples_per_s();
     assert!(with6 > pro48, "6-thread co-processing {with6:.3e} vs 48-thread PRO {pro48:.3e}");
     // Plateau: 16 → 26 threads gains little (< 25%).
     assert!(with26 < with16 * 1.25, "16t {with16:.3e}, 26t {with26:.3e}");
@@ -168,16 +162,12 @@ fn numa_staging_beats_direct() {
 #[test]
 fn materialization_overhead_is_bounded() {
     let (r, s) = canonical_pair(1 << 20, 1 << 20, 4012);
-    let agg = GpuPartitionedJoin::new(gpu_config(10, 1 << 20))
+    let agg =
+        GpuPartitionedJoin::new(gpu_config(10, 1 << 20)).execute(&r, &s).unwrap().total_seconds();
+    let mat = GpuPartitionedJoin::new(gpu_config(10, 1 << 20).with_output(OutputMode::Materialize))
         .execute(&r, &s)
         .unwrap()
         .total_seconds();
-    let mat = GpuPartitionedJoin::new(
-        gpu_config(10, 1 << 20).with_output(OutputMode::Materialize),
-    )
-    .execute(&r, &s)
-    .unwrap()
-    .total_seconds();
     assert!(mat >= agg);
     assert!(mat < 1.8 * agg, "agg {agg}, mat {mat}");
 }

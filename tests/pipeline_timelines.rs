@@ -65,10 +65,9 @@ fn materialization_drains_on_the_second_dma_engine() {
     // D2H drains exist and overlap H2D input transfers (full duplex).
     let d2h = out.phases.time(Phase::TransferOut);
     assert!(d2h.as_nanos() > 0, "no result drain recorded");
-    let overlap = out.schedule.overlap_time(
-        |sp| sp.label.starts_with("d2h"),
-        |sp| sp.label.starts_with("h2d"),
-    );
+    let overlap = out
+        .schedule
+        .overlap_time(|sp| sp.label.starts_with("d2h"), |sp| sp.label.starts_with("h2d"));
     assert!(
         overlap.as_secs_f64() > 0.3 * d2h.as_secs_f64(),
         "result drains should overlap input transfers (full duplex): overlap {overlap} of {d2h}"
@@ -79,21 +78,17 @@ fn materialization_drains_on_the_second_dma_engine() {
 fn coprocessing_pipeline_overlaps_all_three_phases() {
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11); // 4 MB
     let (r, s) = canonical_pair(400_000, 1_600_000, 3004);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets(400_000 / 16);
-    let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config))
-        .execute(&r, &s)
-        .unwrap();
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets(400_000 / 16);
+    let out =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
     assert_eq!(out.check, JoinCheck::compute(&r, &s));
-    let cpu_with_h2d = out.schedule.overlap_time(
-        |sp| sp.label.starts_with("cpu-Partition"),
-        |sp| sp.label.starts_with("h2d"),
-    );
-    let join_with_h2d = out.schedule.overlap_time(
-        |sp| sp.label.starts_with("join"),
-        |sp| sp.label.starts_with("h2d"),
-    );
+    let cpu_with_h2d = out
+        .schedule
+        .overlap_time(|sp| sp.label.starts_with("cpu-Partition"), |sp| sp.label.starts_with("h2d"));
+    let join_with_h2d = out
+        .schedule
+        .overlap_time(|sp| sp.label.starts_with("join"), |sp| sp.label.starts_with("h2d"));
     assert!(cpu_with_h2d.as_nanos() > 0, "CPU partitioning must overlap transfers");
     assert!(join_with_h2d.as_nanos() > 0, "GPU joins must overlap transfers");
 }
@@ -102,9 +97,8 @@ fn coprocessing_pipeline_overlaps_all_three_phases() {
 fn coprocessing_throughput_is_transfer_bound_with_enough_threads() {
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
     let (r, s) = canonical_pair(1 << 19, 1 << 20, 3005);
-    let config = GpuJoinConfig::paper_default(device)
-        .with_radix_bits(12)
-        .with_tuned_buckets((1 << 19) / 16);
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets((1 << 19) / 16);
     let out = CoProcessingJoin::new(CoProcessingConfig::paper_default(config).with_threads(16))
         .execute(&r, &s)
         .unwrap();
@@ -117,6 +111,32 @@ fn coprocessing_throughput_is_transfer_bound_with_enough_threads() {
         tput > ceiling * 0.4 && tput < ceiling * 1.5,
         "tput {tput:.3e} vs PCIe ceiling {ceiling:.3e}"
     );
+}
+
+#[test]
+fn every_strategy_schedule_passes_the_validator() {
+    // Explicit (release-mode-proof) audit: every out-of-GPU strategy's
+    // timeline satisfies the simulator's invariants — FIFO lane limits,
+    // shared-resource conservation, dependency ordering, work conservation.
+    let validator = ScheduleValidator::new();
+
+    let (r, s) = canonical_pair(1 << 15, 1 << 18, 3007);
+    let resident = GpuPartitionedJoin::new(gpu_config(9, 1 << 15)).execute(&r, &s).unwrap();
+    validator.validate(&resident.schedule).expect("gpu-resident schedule");
+
+    let streamed = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(
+        gpu_config(9, 1 << 15).with_output(OutputMode::Materialize),
+    ))
+    .execute(&r, &s)
+    .unwrap();
+    validator.validate(&streamed.schedule).expect("streamed-probe schedule");
+
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 11);
+    let config =
+        GpuJoinConfig::paper_default(device).with_radix_bits(12).with_tuned_buckets((1 << 15) / 16);
+    let co =
+        CoProcessingJoin::new(CoProcessingConfig::paper_default(config)).execute(&r, &s).unwrap();
+    validator.validate(&co.schedule).expect("co-processing schedule");
 }
 
 #[test]
