@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's evaluation.
 //!
 //! ```text
-//! repro all [--scale k] [--quick] [--out DIR] [--trace DIR]
+//! repro all [--scale k] [--quick] [--jobs N] [--out DIR] [--trace DIR]
 //! repro fig5 fig12 ... [--scale k] [--out DIR]
 //! repro list
 //! ```
@@ -10,20 +10,25 @@
 //! CSV per figure, and `--trace DIR` writes a Chrome `trace_event` JSON
 //! (`chrome://tracing` / Perfetto) of each figure's representative
 //! schedule. `--scale` divides the paper's cardinalities (and, for
-//! out-of-GPU figures, device capacity) — see DESIGN.md §5.
+//! out-of-GPU figures, device capacity) — see DESIGN.md §5. `--jobs N`
+//! (or `HCJ_JOBS=N`) sets the host worker count; results are identical
+//! for every worker count, only wall-clock changes. Tables and CSV go to
+//! stdout/files; timing diagnostics go to stderr so stdout is
+//! byte-for-byte reproducible.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hcj_bench::figures::registry;
-use hcj_bench::RunConfig;
+use hcj_bench::{RunConfig, MAX_SCALE};
+
+const USAGE: &str =
+    "usage: repro <all|list|figN...> [--scale K] [--quick] [--jobs N] [--out DIR] [--trace DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: repro <all|list|figN...> [--scale K] [--quick] [--out DIR] [--trace DIR]"
-        );
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -40,9 +45,28 @@ fn main() -> ExitCode {
                     eprintln!("--scale needs a positive integer");
                     return ExitCode::FAILURE;
                 };
+                if v > MAX_SCALE {
+                    eprintln!(
+                        "--scale {v} exceeds the maximum {MAX_SCALE}: every cardinality would \
+                         floor to the 1024-tuple minimum and the figures would be meaningless"
+                    );
+                    return ExitCode::FAILURE;
+                }
                 config.scale = v;
             }
             "--quick" => config.quick = true,
+            "--jobs" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|v| (1..=256).contains(v))
+                else {
+                    eprintln!("--jobs needs an integer between 1 and 256");
+                    return ExitCode::FAILURE;
+                };
+                hcj_host::pool::set_jobs(v);
+            }
             "--out" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -66,9 +90,26 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            other => wanted.push(normalize(other)),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                let id = normalize(other);
+                if !wanted.contains(&id) {
+                    wanted.push(id);
+                }
+            }
         }
         i += 1;
+    }
+
+    if config.scale_floors_sweeps() {
+        eprintln!(
+            "warning: --scale {} floors most cardinalities to the 1024-tuple minimum; \
+             sweeps will look flat",
+            config.scale
+        );
     }
 
     let reg = registry();
@@ -97,11 +138,18 @@ fn main() -> ExitCode {
         config.scale,
         if config.quick { ", quick" } else { "" }
     );
-    for (id, runner) in selected {
+    // Independent figures run concurrently on the worker pool; tables are
+    // buffered and printed in selection order, so the output is identical
+    // to a serial run.
+    let total = Instant::now();
+    let results = hcj_host::Pool::current().map(&selected, |_, &(id, runner)| {
         let started = Instant::now();
         let table = runner(&config);
+        (id, table, started.elapsed())
+    });
+    for (id, table, elapsed) in &results {
         println!("\n{}", table.render());
-        println!("  [{} regenerated in {:.1?}]", id, started.elapsed());
+        eprintln!("  [{} regenerated in {:.1?}]", id, elapsed);
         if let Some(dir) = &config.out_dir {
             if let Err(e) = table.write_csv(dir) {
                 eprintln!("failed to write {id}.csv: {e}");
@@ -109,6 +157,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    eprintln!("  [{} figure(s) in {:.1?}]", results.len(), total.elapsed());
     ExitCode::SUCCESS
 }
 

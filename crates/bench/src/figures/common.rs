@@ -62,12 +62,34 @@ pub fn ratio_pair(build: usize, ratio: usize, seed: u64) -> (Relation, Relation)
     canonical_pair(build, build * ratio, seed)
 }
 
-/// Label like `4M` / `512K` for tuple counts.
+/// Run one closure per sweep point on pool workers, returning results in
+/// point order — figures buffer their rows through this so the rendered
+/// table is byte-identical for every `--jobs` value. Under `repro all`'s
+/// figure-level parallelism the points of a figure run inline on that
+/// figure's worker (the pool flattens nesting).
+pub fn parallel_points<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    hcj_host::Pool::current().map(points, |_, p| f(p))
+}
+
+/// Label like `4M` / `512K` for tuple counts; non-multiples keep one
+/// decimal (`1.5M`), so 1 500 000 is no longer mislabeled `1500K`.
 pub fn fmt_tuples(n: usize) -> String {
-    if n >= 1_000_000 && n % 1_000_000 == 0 {
-        format!("{}M", n / 1_000_000)
+    let with_unit = |unit: usize, suffix: &str| {
+        if n % unit == 0 {
+            format!("{}{suffix}", n / unit)
+        } else {
+            format!("{:.1}{suffix}", n as f64 / unit as f64)
+        }
+    };
+    if n >= 1_000_000 {
+        with_unit(1_000_000, "M")
     } else if n >= 1_000 {
-        format!("{}K", n / 1_000)
+        with_unit(1_000, "K")
     } else {
         n.to_string()
     }
@@ -86,10 +108,34 @@ mod tests {
     }
 
     #[test]
+    fn scaled_bits_edge_scales() {
+        // Non-power-of-two scales round down: floor(log2(3)) = 1.
+        assert_eq!(scaled_bits(15, 3), 14);
+        assert_eq!(scaled_bits(15, 1 << 15), 1); // exactly consumed → floor
+        assert_eq!(scaled_bits(15, u64::MAX), 1); // absurd scale stays sane
+        assert_eq!(scaled_bits(1, 1), 1);
+    }
+
+    #[test]
     fn tuple_formatting() {
         assert_eq!(fmt_tuples(4_000_000), "4M");
         assert_eq!(fmt_tuples(512_000), "512K");
         assert_eq!(fmt_tuples(999), "999");
+    }
+
+    #[test]
+    fn tuple_formatting_non_multiples_keep_a_decimal() {
+        assert_eq!(fmt_tuples(1_500_000), "1.5M"); // was "1500K"
+        assert_eq!(fmt_tuples(62_500), "62.5K");
+        assert_eq!(fmt_tuples(1_536), "1.5K");
+        assert_eq!(fmt_tuples(1_000_000), "1M");
+        assert_eq!(fmt_tuples(1_000), "1K");
+    }
+
+    #[test]
+    fn parallel_points_preserve_order() {
+        let points: Vec<u64> = (0..9).collect();
+        assert_eq!(parallel_points(&points, |&p| p * 7), (0..9).map(|p| p * 7).collect::<Vec<_>>());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use hcj_core::radix::bits_for_partition_size;
 use hcj_core::{GpuJoinConfig, ProbeKind};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{device, record_outcome, run_resident};
+use crate::figures::common::{device, parallel_points, record_outcome, run_resident};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -34,8 +34,8 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note("block: 1024 threads, 2048-element smem, 256 hash buckets (paper Fig. 5 config)");
 
     let (r, s) = canonical_pair(tuples, tuples, 505);
-    let mut rep = None;
-    for part_size in cfg.sweep(&[256usize, 512, 1024, 2048]) {
+    let points = cfg.sweep(&[256usize, 512, 1024, 2048]);
+    let results = parallel_points(&points, |&part_size| {
         let bits = bits_for_partition_size(tuples, part_size);
         let base = {
             let mut c = GpuJoinConfig::paper_default(device());
@@ -48,18 +48,18 @@ pub fn run(cfg: &RunConfig) -> Table {
         let hash = run_resident(base.clone().with_probe(ProbeKind::HashJoin), &r, &s);
         let nl = run_resident(base.with_probe(ProbeKind::NestedLoop), &r, &s);
         assert_eq!(hash.check, nl.check, "probe kernels disagree");
-        table.row(
-            part_size.to_string(),
-            vec![
-                Some(btps(hash.throughput_tuples_per_s())),
-                Some(btps(hash.join_phase_throughput())),
-                Some(btps(nl.throughput_tuples_per_s())),
-                Some(btps(nl.join_phase_throughput())),
-            ],
-        );
-        rep = Some(hash);
+        let row = vec![
+            Some(btps(hash.throughput_tuples_per_s())),
+            Some(btps(hash.join_phase_throughput())),
+            Some(btps(nl.throughput_tuples_per_s())),
+            Some(btps(nl.join_phase_throughput())),
+        ];
+        (row, hash)
+    });
+    for (part_size, (row, _)) in points.iter().zip(&results) {
+        table.row(part_size.to_string(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig05-hash", out);
     }
     table

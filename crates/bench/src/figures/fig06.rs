@@ -10,7 +10,9 @@
 use hcj_core::ProbeKind;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, record_outcome, resident_config, run_resident};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, record_outcome, resident_config, run_resident,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,26 +33,26 @@ pub fn run(cfg: &RunConfig) -> Table {
         cfg.scale
     ));
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
+    let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]);
+    let results = parallel_points(&points, |&millions| {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 600 + millions);
         let base = resident_config(cfg, 15, tuples);
         let shared = run_resident(base.clone().with_probe(ProbeKind::HashJoin), &r, &s);
         let device = run_resident(base.with_probe(ProbeKind::DeviceHashJoin), &r, &s);
         assert_eq!(shared.check, device.check);
-        table.row(
-            fmt_tuples(tuples),
-            vec![
-                Some(btps(shared.throughput_tuples_per_s())),
-                Some(btps(shared.join_phase_throughput())),
-                Some(btps(device.throughput_tuples_per_s())),
-                Some(btps(device.join_phase_throughput())),
-            ],
-        );
-        rep = Some(shared);
+        let row = vec![
+            Some(btps(shared.throughput_tuples_per_s())),
+            Some(btps(shared.join_phase_throughput())),
+            Some(btps(device.throughput_tuples_per_s())),
+            Some(btps(device.join_phase_throughput())),
+        ];
+        (fmt_tuples(tuples), row, shared)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig06-shared", out);
     }
     table

@@ -9,7 +9,9 @@
 use hcj_core::OutputMode;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, record_outcome, resident_config, run_resident};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, record_outcome, resident_config, run_resident,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -22,8 +24,8 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 1M-128M divided by {}", cfg.scale));
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
+    let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]);
+    let results = parallel_points(&points, |&millions| {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 700 + millions);
         let base = resident_config(cfg, 15, tuples);
@@ -33,16 +35,16 @@ pub fn run(cfg: &RunConfig) -> Table {
         let mat =
             run_resident(base.with_output(OutputMode::Materialize).with_row_cap(1 << 20), &r, &s);
         assert_eq!(agg.check, mat.check);
-        table.row(
-            fmt_tuples(tuples),
-            vec![
-                Some(btps(agg.throughput_tuples_per_s())),
-                Some(btps(mat.throughput_tuples_per_s())),
-            ],
-        );
-        rep = Some(agg);
+        let row = vec![
+            Some(btps(agg.throughput_tuples_per_s())),
+            Some(btps(mat.throughput_tuples_per_s())),
+        ];
+        (fmt_tuples(tuples), row, agg)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig07-aggregate", out);
     }
     table

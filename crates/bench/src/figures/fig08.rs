@@ -12,7 +12,7 @@ use hcj_core::OutputMode;
 use hcj_cpu_join::{NpoJoin, ProJoin};
 
 use crate::figures::common::{
-    device, fmt_tuples, ratio_pair, record_outcome, resident_config, run_resident,
+    device, fmt_tuples, parallel_points, ratio_pair, record_outcome, resident_config, run_resident,
 };
 use crate::{btps, RunConfig, Table};
 
@@ -31,10 +31,11 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note(format!("paper build sizes 1M-128M divided by {}", cfg.scale));
     table.note("CPU PRO/NPO run the model of the paper's 48-thread dual Xeon");
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]) {
+    let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128]);
+    let results = parallel_points(&points, |&millions| {
         let build = cfg.mtuples(millions);
         let mut values = Vec::new();
+        let mut rep = None;
         for &ratio in &ratios {
             let (r, s) = ratio_pair(build, ratio, 800 + millions * 10 + ratio as u64);
             let part = run_resident(resident_config(cfg, 15, build), &r, &s);
@@ -59,9 +60,12 @@ pub fn run(cfg: &RunConfig) -> Table {
             ]);
             rep = Some(part);
         }
-        table.row(fmt_tuples(build), values);
+        (fmt_tuples(build), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig08-gpu-part", out);
     }
     table

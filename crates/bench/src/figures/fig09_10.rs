@@ -14,7 +14,9 @@ use hcj_core::output::late_materialization_cost;
 use hcj_core::OutputMode;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{device, record_outcome, resident_config, run_resident};
+use crate::figures::common::{
+    device, parallel_points, record_outcome, resident_config, run_resident,
+};
 use crate::{btps, RunConfig, Table};
 
 fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Table {
@@ -29,8 +31,8 @@ fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Tab
     );
     table.note(format!("{tuples} tuples per side; aggregation output (paper protocol)"));
 
-    let mut rep = None;
-    for width in cfg.sweep(&[16u32, 32, 48, 64, 80, 96, 112, 128]) {
+    let points = cfg.sweep(&[16u32, 32, 48, 64, 80, 96, 112, 128]);
+    let results = parallel_points(&points, |&width| {
         let (mut r, mut s) = canonical_pair(tuples, tuples, 900 + u64::from(width));
         if vary_probe {
             s.payload_width = width;
@@ -50,16 +52,16 @@ fn run_payload_sweep(cfg: &RunConfig, vary_probe: bool, id: &'static str) -> Tab
         let np_seconds = np_cost.time(&device());
         assert_eq!(part.check, np.check);
 
-        table.row(
-            width.to_string(),
-            vec![
-                Some(btps(part.throughput_tuples_per_s())),
-                Some(btps((r.len() + s.len()) as f64 / np_seconds)),
-            ],
-        );
-        rep = Some(part);
+        let row = vec![
+            Some(btps(part.throughput_tuples_per_s())),
+            Some(btps((r.len() + s.len()) as f64 / np_seconds)),
+        ];
+        (row, part)
+    });
+    for (width, (row, _)) in points.iter().zip(&results) {
+        table.row(width.to_string(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, out)) = results.last() {
         record_outcome(cfg, &mut table, &format!("{id}-gpu-part"), out);
     }
     table

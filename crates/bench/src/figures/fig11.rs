@@ -12,7 +12,7 @@ use hcj_core::{OutputMode, StreamedProbeConfig, StreamedProbeJoin};
 use hcj_cpu_join::ProJoin;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, record_outcome, resident_config};
+use crate::figures::common::{fmt_tuples, parallel_points, record_outcome, resident_config};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -32,8 +32,8 @@ pub fn run(cfg: &RunConfig) -> Table {
     ));
     table.note("probe chunks are half the build size (paper's rule)");
 
-    let mut rep = None;
-    for mult in cfg.sweep(&[1u64, 2, 4, 8, 16, 32]) {
+    let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32]);
+    let results = parallel_points(&points, |&mult| {
         let probe = build * mult as usize;
         let (r, s) = canonical_pair(build, probe, 1100 + mult);
         let base = resident_config(cfg, 15, build);
@@ -48,17 +48,17 @@ pub fn run(cfg: &RunConfig) -> Table {
         let pro = ProJoin::paper_default().execute(&r, &s);
         assert_eq!(agg.check, mat.check);
         assert_eq!(agg.check, pro.check);
-        table.row(
-            fmt_tuples(probe),
-            vec![
-                Some(btps(agg.throughput_tuples_per_s())),
-                Some(btps(mat.throughput_tuples_per_s())),
-                Some(btps(pro.throughput_tuples_per_s())),
-            ],
-        );
-        rep = Some(agg);
+        let row = vec![
+            Some(btps(agg.throughput_tuples_per_s())),
+            Some(btps(mat.throughput_tuples_per_s())),
+            Some(btps(pro.throughput_tuples_per_s())),
+        ];
+        (fmt_tuples(probe), row, agg)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig11-streamed-agg", out);
     }
     table

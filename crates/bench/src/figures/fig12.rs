@@ -10,7 +10,9 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_cpu_join::{NpoJoin, ProJoin};
 
-use crate::figures::common::{fmt_tuples, ratio_pair, record_outcome, scaled_bits, scaled_device};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, ratio_pair, record_outcome, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -35,10 +37,11 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note("16 CPU threads, 16-way CPU partitioning, non-temporal stores (paper config)");
 
     let device = scaled_device(cfg).scaled_capacity(extra);
-    let mut rep = None;
-    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+    let points = cfg.sweep(&[256u64, 512, 1024, 2048]);
+    let results = parallel_points(&points, |&millions| {
         let build = cfg.tuples(millions * 1_000_000 / extra);
         let mut values = Vec::new();
+        let mut rep = None;
         for ratio in [1usize, 2, 4] {
             let (r, s) = ratio_pair(build, ratio, 1200 + millions + ratio as u64);
             let join_cfg = GpuJoinConfig::paper_default(device.clone())
@@ -55,9 +58,12 @@ pub fn run(cfg: &RunConfig) -> Table {
         let npo = NpoJoin::paper_default().execute(&r, &s);
         values.push(Some(btps(pro.throughput_tuples_per_s())));
         values.push(Some(btps(npo.throughput_tuples_per_s())));
-        table.row(fmt_tuples(build), values);
+        (fmt_tuples(build), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig12-coproc", out);
     }
     table

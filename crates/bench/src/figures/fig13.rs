@@ -11,7 +11,7 @@ use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_cpu_join::ProJoin;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{record_outcome, scaled_bits, scaled_device};
+use crate::figures::common::{parallel_points, record_outcome, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,8 +31,8 @@ pub fn run(cfg: &RunConfig) -> Table {
 
     let device = scaled_device(cfg).scaled_capacity(extra as u64);
     let (r, s) = canonical_pair(tuples, tuples, 1300);
-    let mut rep = None;
-    for threads in cfg.sweep(&[2u32, 6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]) {
+    let points = cfg.sweep(&[2u32, 6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]);
+    let results = parallel_points(&points, |&threads| {
         let join_cfg = GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(scaled_bits(15, cfg.scale))
             .with_tuned_buckets(tuples / 16);
@@ -43,16 +43,16 @@ pub fn run(cfg: &RunConfig) -> Table {
         .expect("co-processing needs only buffers");
         let pro = ProJoin::paper_default().with_threads(threads).execute(&r, &s);
         assert_eq!(co.check, pro.check);
-        table.row(
-            threads.to_string(),
-            vec![
-                Some(btps(co.throughput_tuples_per_s())),
-                Some(btps(pro.throughput_tuples_per_s())),
-            ],
-        );
-        rep = Some(co);
+        let row = vec![
+            Some(btps(co.throughput_tuples_per_s())),
+            Some(btps(pro.throughput_tuples_per_s())),
+        ];
+        (threads.to_string(), row, co)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig13-coproc", out);
     }
     table

@@ -10,7 +10,7 @@ use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine};
 use hcj_gpu::DeviceSpec;
 use hcj_workload::tpch::TpchTables;
 
-use crate::figures::common::{record_outcome, scaled_bits};
+use crate::figures::common::{parallel_points, record_outcome, scaled_bits};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -28,10 +28,11 @@ pub fn run(cfg: &RunConfig) -> Table {
     table.note(format!("SF 10/100 divided by {tpch_scale}; device + engine limits scaled alike"));
     table.note("'-' = the engine failed, matching the paper's reported failures");
 
-    let mut rep = None;
-    for paper_sf in [10u64, 100] {
+    let points = [10u64, 100];
+    let per_sf = parallel_points(&points, |&paper_sf| {
         let sf = paper_sf as f64 / tpch_scale as f64;
         let t = TpchTables::generate(sf, 1400 + paper_sf);
+        let mut rows = Vec::new();
         for (join_name, build, probe) in [
             ("customer", &t.customer, &t.lineitem_custkey),
             ("orders", &t.orders, &t.lineitem_orderkey),
@@ -54,18 +55,20 @@ pub fn run(cfg: &RunConfig) -> Table {
             if let Ok(x) = &dbmsx {
                 assert_eq!(x.check, ours.check, "{join_name}@SF{paper_sf}");
             }
-            table.row(
-                format!("{join_name} SF{paper_sf}"),
-                vec![
-                    Some(btps(ours.throughput_tuples_per_s())),
-                    dbmsx.ok().map(|x| btps(x.throughput_tuples_per_s())),
-                    cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
-                ],
-            );
-            rep = Some(ours);
+            let row = vec![
+                Some(btps(ours.throughput_tuples_per_s())),
+                dbmsx.ok().map(|x| btps(x.throughput_tuples_per_s())),
+                cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
+            ];
+            rows.push((format!("{join_name} SF{paper_sf}"), row, ours));
         }
+        rows
+    });
+    let results: Vec<_> = per_sf.into_iter().flatten().collect();
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig14-hcj", out);
     }
     table

@@ -10,7 +10,9 @@
 use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, record_outcome, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -27,8 +29,8 @@ pub fn run(cfg: &RunConfig) -> Table {
         cfg.scale
     ));
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512]) {
+    let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+    let results = parallel_points(&points, |&millions| {
         let tuples = cfg.mtuples(millions);
         let (r, s) = canonical_pair(tuples, tuples, 1500 + millions);
         let join_cfg = hcj_core::GpuJoinConfig::paper_default(device.clone())
@@ -42,17 +44,17 @@ pub fn run(cfg: &RunConfig) -> Table {
         let mut cg = CoGaDbLike::new(device.clone()).with_load_limit((4u64 << 30) / cfg.scale);
         cg.operator_overhead_s /= cfg.scale as f64;
         let cogadb = cg.execute(&r, &s);
-        table.row(
-            fmt_tuples(tuples),
-            vec![
-                Some(btps(ours.throughput_tuples_per_s())),
-                dbmsx.ok().map(|x| btps(x.throughput_tuples_per_s())),
-                cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
-            ],
-        );
-        rep = Some(ours);
+        let row = vec![
+            Some(btps(ours.throughput_tuples_per_s())),
+            dbmsx.ok().map(|x| btps(x.throughput_tuples_per_s())),
+            cogadb.ok().map(|x| btps(x.throughput_tuples_per_s())),
+        ];
+        (fmt_tuples(tuples), row, ours)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig15-hcj", out);
     }
     table

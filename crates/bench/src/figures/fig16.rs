@@ -10,7 +10,9 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, record_outcome, scaled_bits, scaled_device,
+};
 use crate::{RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -25,8 +27,8 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+    let points = cfg.sweep(&[256u64, 512, 1024, 2048]);
+    let results = parallel_points(&points, |&millions| {
         let tuples = cfg.tuples(millions * 1_000_000 / extra);
         let (r, s) = canonical_pair(tuples, tuples, 1600 + millions);
         let mk = |staging: bool| {
@@ -40,13 +42,13 @@ pub fn run(cfg: &RunConfig) -> Table {
         let staged = mk(true);
         let direct = mk(false);
         assert_eq!(staged.check, direct.check);
-        table.row(
-            fmt_tuples(tuples),
-            vec![Some(staged.throughput_gbps()), Some(direct.throughput_gbps())],
-        );
-        rep = Some(staged);
+        let row = vec![Some(staged.throughput_gbps()), Some(direct.throughput_gbps())];
+        (fmt_tuples(tuples), row, staged)
+    });
+    for (label, row, _) in &results {
+        table.row(label.clone(), row.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig16-staging", out);
     }
     table

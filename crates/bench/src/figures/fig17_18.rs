@@ -16,7 +16,9 @@ use hcj_core::{
 };
 use hcj_workload::{Relation, RelationSpec};
 
-use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{
+    parallel_points, record_outcome, resident_config, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 const THETAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
@@ -66,9 +68,10 @@ pub fn run_fig17(cfg: &RunConfig) -> Table {
     table.note(format!("{n} tuples/side (paper: 32M, scale 1/{})", cfg.scale * extra as u64));
     table.note("materialization row-capped (paper overwrites results to isolate in-GPU perf)");
 
-    let mut rep = None;
-    for &theta in &cfg.sweep(&THETAS) {
+    let points = cfg.sweep(&THETAS);
+    let results = parallel_points(&points, |&theta| {
         let mut values = Vec::new();
+        let mut rep = None;
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
             for place in [SkewPlace::Probe, SkewPlace::Build, SkewPlace::Identical] {
                 let (r, s) = skewed_pair(n, theta, place, 1700);
@@ -78,9 +81,12 @@ pub fn run_fig17(cfg: &RunConfig) -> Table {
                 rep = Some(out);
             }
         }
-        table.row(format!("{theta}"), values);
+        (format!("{theta}"), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig17-resident-skew", out);
     }
     table
@@ -100,9 +106,10 @@ pub fn run_fig18(cfg: &RunConfig) -> Table {
     );
     table.note(format!("{n} tuples/side (paper: 512M, scale 1/{})", cfg.scale * extra as u64));
 
-    let mut rep = None;
-    for &theta in &cfg.sweep(&THETAS) {
+    let points = cfg.sweep(&THETAS);
+    let results = parallel_points(&points, |&theta| {
         let mut values = Vec::new();
+        let mut rep = None;
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
             for place in [SkewPlace::Probe, SkewPlace::Build, SkewPlace::Identical] {
                 let (r, s) = skewed_pair(n, theta, place, 1800);
@@ -118,9 +125,12 @@ pub fn run_fig18(cfg: &RunConfig) -> Table {
                 rep = Some(out);
             }
         }
-        table.row(format!("{theta}"), values);
+        (format!("{theta}"), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig18-coproc-skew", out);
     }
     table

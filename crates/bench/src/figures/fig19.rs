@@ -11,7 +11,9 @@ use hcj_core::{
 };
 use hcj_workload::{KeyDistribution, RelationSpec};
 
-use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{
+    parallel_points, record_outcome, resident_config, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -33,8 +35,8 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("GPU-resident at {n_resident} tuples/side; CPU-resident at {n_out}"));
 
-    let mut rep = None;
-    for replicas in cfg.sweep(&[1u32, 2, 3, 4]) {
+    let points = cfg.sweep(&[1u32, 2, 3, 4]);
+    let results = parallel_points(&points, |&replicas| {
         let gen = |n: usize, seed: u64| {
             RelationSpec {
                 tuples: n,
@@ -64,6 +66,7 @@ pub fn run(cfg: &RunConfig) -> Table {
         }
         // CPU-resident (co-processing).
         let (r, s) = (gen(n_out, 1902), gen(n_out, 1903));
+        let mut rep = None;
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
             let join_cfg = GpuJoinConfig::paper_default(device_out.clone())
                 .with_radix_bits(scaled_bits(15, cfg.scale))
@@ -76,9 +79,12 @@ pub fn run(cfg: &RunConfig) -> Table {
             values.push(Some(btps(out.throughput_tuples_per_s())));
             rep = Some(out);
         }
-        table.row(replicas.to_string(), values);
+        (replicas.to_string(), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig19-coproc-replicas", out);
     }
     table

@@ -10,7 +10,9 @@
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, OutputMode};
 use hcj_workload::RelationSpec;
 
-use crate::figures::common::{fmt_tuples, record_outcome, scaled_bits, scaled_device};
+use crate::figures::common::{
+    fmt_tuples, parallel_points, record_outcome, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 pub fn run(cfg: &RunConfig) -> Table {
@@ -31,10 +33,11 @@ pub fn run(cfg: &RunConfig) -> Table {
     );
     table.note(format!("paper sizes 256M-2048M divided by {}", cfg.scale * extra));
 
-    let mut rep = None;
-    for millions in cfg.sweep(&[256u64, 512, 1024, 2048]) {
+    let points = cfg.sweep(&[256u64, 512, 1024, 2048]);
+    let results = parallel_points(&points, |&millions| {
         let n = cfg.tuples(millions * 1_000_000 / extra);
         let mut values = Vec::new();
+        let mut rep = None;
         for mode in [OutputMode::Aggregate, OutputMode::Materialize] {
             for theta in [0.0, 0.25, 0.5] {
                 let r = RelationSpec::zipf(n, n as u64, theta, 2000).generate();
@@ -51,9 +54,12 @@ pub fn run(cfg: &RunConfig) -> Table {
                 rep = Some(out);
             }
         }
-        table.row(fmt_tuples(n), values);
+        (fmt_tuples(n), values, rep)
+    });
+    for (label, values, _) in &results {
+        table.row(label.clone(), values.clone());
     }
-    if let Some(out) = &rep {
+    if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig20-coproc-skew-size", out);
     }
     table

@@ -12,7 +12,9 @@ use hcj_core::uva_exec::{run_out_of_gpu_mechanisms, run_with_mechanism, Transfer
 use hcj_core::{CoProcessingConfig, CoProcessingJoin, GpuJoinConfig};
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{record_outcome, resident_config, scaled_bits, scaled_device};
+use crate::figures::common::{
+    parallel_points, record_outcome, resident_config, scaled_bits, scaled_device,
+};
 use crate::{btps, RunConfig, Table};
 
 /// Figure 21: in-GPU-sized data, bar per mechanism.
@@ -28,15 +30,19 @@ pub fn run_fig21(cfg: &RunConfig) -> Table {
         vec!["throughput".into()],
     );
     table.note(format!("{n} tuples/side, uniform unique keys"));
-    for (label, mech) in [
+    let points = [
         ("GPU data load", TransferMechanism::GpuResident),
         ("UVA load", TransferMechanism::UvaLoad),
         ("UVA part.", TransferMechanism::UvaPartition),
         ("UVA join", TransferMechanism::UvaJoin),
         ("UM", TransferMechanism::UnifiedLoad),
-    ] {
+    ];
+    let results = parallel_points(&points, |&(label, mech)| {
         let out = run_with_mechanism(&config, &r, &s, mech);
-        table.row(label, vec![Some(btps(out.throughput_tuples_per_s()))]);
+        (label, vec![Some(btps(out.throughput_tuples_per_s()))])
+    });
+    for (label, row) in &results {
+        table.row(*label, row.clone());
     }
     table
 }

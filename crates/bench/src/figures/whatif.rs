@@ -18,7 +18,7 @@ use hcj_core::{
 use hcj_gpu::DeviceSpec;
 use hcj_workload::generate::canonical_pair;
 
-use crate::figures::common::{scaled_bits, scaled_device};
+use crate::figures::common::{parallel_points, scaled_bits, scaled_device};
 use crate::{btps, RunConfig, Table};
 
 /// Interconnect sweep for the out-of-GPU strategies.
@@ -44,7 +44,7 @@ pub fn run_interconnect(cfg: &RunConfig) -> Table {
     let extra = 16;
     let n = cfg.tuples(512_000_000 / extra);
     let (r, s) = canonical_pair(n, 4 * n, 5000);
-    for (name, bw) in links {
+    let results = parallel_points(&links, |&(name, bw)| {
         let mut device = scaled_device(cfg).scaled_capacity(extra as u64);
         device.pcie_bandwidth = bw;
         device.pcie_pageable_bandwidth = bw / 2.0;
@@ -60,7 +60,10 @@ pub fn run_interconnect(cfg: &RunConfig) -> Table {
                 .execute(&r, &s)
                 .ok()
                 .map(|o| btps(o.throughput_tuples_per_s()));
-        table.row(name, vec![streamed, co]);
+        (name, vec![streamed, co])
+    });
+    for (name, row) in &results {
+        table.row(*name, row.clone());
     }
     table
 }
@@ -76,13 +79,17 @@ pub fn run_devices(cfg: &RunConfig) -> Table {
     );
     let n = cfg.mtuples(64);
     let (r, s) = canonical_pair(n, n, 5001);
-    for device in [DeviceSpec::gtx1080(), DeviceSpec::v100()] {
+    let devices = [DeviceSpec::gtx1080(), DeviceSpec::v100()];
+    let results = parallel_points(&devices, |device| {
         let name = device.name;
-        let join_cfg = GpuJoinConfig::paper_default(device)
+        let join_cfg = GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(scaled_bits(15, cfg.scale))
             .with_tuned_buckets(n);
         let out = GpuPartitionedJoin::new(join_cfg).execute(&r, &s).unwrap();
-        table.row(name, vec![Some(btps(out.throughput_tuples_per_s()))]);
+        (name, vec![Some(btps(out.throughput_tuples_per_s()))])
+    });
+    for (name, row) in &results {
+        table.row(*name, row.clone());
     }
     table.note(format!("{n} tuples/side, unique uniform keys"));
     table

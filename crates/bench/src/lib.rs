@@ -31,6 +31,11 @@ pub use report::Table;
 
 use std::path::PathBuf;
 
+/// Largest accepted `--scale`. Beyond this even the paper's biggest
+/// cardinalities (2048 M tuples) divide below the 1024-tuple floor, so
+/// every sweep collapses to one flat point and the figures say nothing.
+pub const MAX_SCALE: u64 = 1 << 20;
+
 /// Harness-wide run configuration.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -68,6 +73,13 @@ impl RunConfig {
         ((paper_tuples / self.scale).max(1024)) as usize
     }
 
+    /// True when the scale floors even the paper's mid-size (16 M tuple)
+    /// cardinalities to the 1024-tuple minimum — most sweeps then
+    /// degenerate to flat lines and the run only smoke-tests the code.
+    pub fn scale_floors_sweeps(&self) -> bool {
+        self.scale > 16_000_000 / 1024
+    }
+
     /// Millions of tuples, scaled.
     pub fn mtuples(&self, millions: u64) -> usize {
         self.tuples(millions * 1_000_000)
@@ -96,6 +108,18 @@ mod tests {
         let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
         assert_eq!(cfg.mtuples(64), 4_000_000);
         assert_eq!(cfg.tuples(1_000), 1024); // floor
+    }
+
+    #[test]
+    fn degenerate_scales_are_flagged() {
+        let sane = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        assert!(!sane.scale_floors_sweeps());
+        let floored = RunConfig { scale: 20_000, ..sane.clone() };
+        assert!(floored.scale_floors_sweeps());
+        // Even at the acceptance bound the floor keeps runs non-zero.
+        let max = RunConfig { scale: MAX_SCALE, ..sane };
+        assert_eq!(max.tuples(2_048_000_000), 2_048_000_000 / MAX_SCALE as usize);
+        assert_eq!(max.tuples(1_000_000), 1024);
     }
 
     #[test]

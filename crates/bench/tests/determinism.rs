@@ -1,0 +1,78 @@
+//! The worker count may only change wall-clock time — never a match
+//! count, a simulated schedule, or a rendered byte. These tests pin that
+//! guarantee by running representative work at `--jobs 1` and `--jobs 4`
+//! and comparing everything observable.
+
+use std::sync::Mutex;
+
+use hcj_bench::figures::common::{resident_config, run_resident};
+use hcj_bench::figures::{fig05, fig13};
+use hcj_bench::RunConfig;
+use hcj_host::pool;
+use hcj_workload::generate::canonical_pair;
+
+/// `pool::set_jobs` is process-global; tests in this binary serialize
+/// their mutations so a parallel test run cannot interleave them.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let prev = pool::jobs();
+    pool::set_jobs(jobs);
+    let result = f();
+    pool::set_jobs(prev);
+    result
+}
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
+}
+
+/// An in-GPU figure (kernel-level parallelism: partitioning + probe).
+#[test]
+fn in_gpu_figure_renders_identically_across_jobs() {
+    let serial = with_jobs(1, || fig05::run(&cfg()));
+    let parallel = with_jobs(4, || fig05::run(&cfg()));
+    assert_eq!(serial.render(), parallel.render(), "rendered table must not depend on --jobs");
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV bytes must not depend on --jobs");
+}
+
+/// An out-of-GPU figure (sweep-level parallelism over thread counts).
+#[test]
+fn out_of_gpu_figure_renders_identically_across_jobs() {
+    let serial = with_jobs(1, || fig13::run(&cfg()));
+    let parallel = with_jobs(4, || fig13::run(&cfg()));
+    assert_eq!(serial.render(), parallel.render(), "rendered table must not depend on --jobs");
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "CSV bytes must not depend on --jobs");
+}
+
+/// The join outcome itself: match counts, checksums and the simulated
+/// schedule, span by span. Host-side parallelism must not perturb the
+/// modeled timeline, and the parallel-built schedule must still pass the
+/// structural validator.
+#[test]
+fn join_outcome_and_schedule_are_identical_across_jobs() {
+    let n = 1 << 17;
+    let (r, s) = canonical_pair(n, n, 42);
+    let config = resident_config(&cfg(), 15, n);
+    let serial = with_jobs(1, || run_resident(config.clone(), &r, &s));
+    let parallel = with_jobs(4, || run_resident(config.clone(), &r, &s));
+
+    assert_eq!(serial.check, parallel.check, "match count / checksum diverged");
+    assert_eq!(serial.tuples_in, parallel.tuples_in);
+    assert_eq!(serial.schedule.makespan(), parallel.schedule.makespan());
+
+    let a = serial.schedule.spans();
+    let b = parallel.schedule.spans();
+    assert_eq!(a.len(), b.len(), "span count diverged");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.op, y.op);
+        assert_eq!(x.label, y.label, "op {:?}", x.op);
+        assert_eq!(x.resource, y.resource, "op {} ({})", x.label, "resource");
+        assert_eq!(x.start, y.start, "op {} start", x.label);
+        assert_eq!(x.end, y.end, "op {} end", x.label);
+        assert_eq!(x.deps, y.deps, "op {} deps", x.label);
+    }
+
+    parallel.schedule.validate().expect("parallel-built schedule must stay structurally valid");
+}

@@ -9,8 +9,10 @@
 
 use hcj_gpu::warp::{ballot_match, Lanes};
 use hcj_gpu::{KernelCost, WARP_SIZE};
+use hcj_host::Pool;
 
 use crate::config::GpuJoinConfig;
+use crate::join::PROBE_PAR_MIN;
 use crate::output::OutputSink;
 use crate::radix::differing_bits;
 
@@ -50,34 +52,55 @@ pub fn ballot_nl_join(
         // Probe scan (repeated per block).
         cost.add_coalesced(8 * s_keys.len() as u64);
 
+        // Probe warps are independent: chunk the warp groups across pool
+        // workers (chunk boundaries stay WARP_SIZE-aligned), emit into
+        // forked sinks, and merge counters and sinks in chunk order —
+        // bit-identical to the serial scan.
+        let pool = Pool::current();
+        let n_warps = s_keys.len().div_ceil(WARP_SIZE);
+        let warp_ranges = pool.chunks(n_warps, PROBE_PAR_MIN.div_ceil(WARP_SIZE));
         let mut steps = 0u64;
-        for s0 in (0..s_keys.len()).step_by(WARP_SIZE) {
-            let s_valid = (s_keys.len() - s0).min(WARP_SIZE);
-            let mut s_lane: Lanes<u32> = [0; WARP_SIZE];
-            s_lane[..s_valid].copy_from_slice(&s_keys[s0..s0 + s_valid]);
+        let mut match_count = 0u64;
+        let per_chunk = pool.map(&warp_ranges, |_, wr| {
+            let mut local = sink.fork();
+            let (mut c_steps, mut c_matches) = (0u64, 0u64);
+            for w in wr.clone() {
+                let s0 = w * WARP_SIZE;
+                let s_valid = (s_keys.len() - s0).min(WARP_SIZE);
+                let mut s_lane: Lanes<u32> = [0; WARP_SIZE];
+                s_lane[..s_valid].copy_from_slice(&s_keys[s0..s0 + s_valid]);
 
-            for r0 in (0..rk.len()).step_by(WARP_SIZE) {
-                let r_valid = (rk.len() - r0).min(WARP_SIZE);
-                let mut r_lane: Lanes<u32> = [0; WARP_SIZE];
-                r_lane[..r_valid].copy_from_slice(&rk[r0..r0 + r_valid]);
-                let valid_mask =
-                    if r_valid == WARP_SIZE { u32::MAX } else { (1u32 << r_valid) - 1 };
-                // Lines 4–9 of Listing 1, executed for real.
-                let masks = ballot_match(&r_lane, &s_lane, &bits, valid_mask);
-                steps += 1;
-                for (lane, &mask) in masks.iter().enumerate().take(s_valid) {
-                    let mut m = mask;
-                    while m != 0 {
-                        let j = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        // Matched: fetch the build payload from shared
-                        // memory and emit.
-                        cost.add_shared(4);
-                        sink.emit(s_keys[s0 + lane], rp[r0 + j], s_pays[s0 + lane]);
+                for r0 in (0..rk.len()).step_by(WARP_SIZE) {
+                    let r_valid = (rk.len() - r0).min(WARP_SIZE);
+                    let mut r_lane: Lanes<u32> = [0; WARP_SIZE];
+                    r_lane[..r_valid].copy_from_slice(&rk[r0..r0 + r_valid]);
+                    let valid_mask =
+                        if r_valid == WARP_SIZE { u32::MAX } else { (1u32 << r_valid) - 1 };
+                    // Lines 4–9 of Listing 1, executed for real.
+                    let masks = ballot_match(&r_lane, &s_lane, &bits, valid_mask);
+                    c_steps += 1;
+                    for (lane, &mask) in masks.iter().enumerate().take(s_valid) {
+                        let mut m = mask;
+                        while m != 0 {
+                            let j = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            // Matched: fetch the build payload from shared
+                            // memory and emit.
+                            c_matches += 1;
+                            local.emit(s_keys[s0 + lane], rp[r0 + j], s_pays[s0 + lane]);
+                        }
                     }
                 }
             }
+            (c_steps, c_matches, local)
+        });
+        for (c_steps, c_matches, local) in per_chunk {
+            steps += c_steps;
+            match_count += c_matches;
+            sink.merge(local);
         }
+        // Matched payload reads.
+        cost.add_shared(4 * match_count);
         // Per step: each of 32 lanes reads one 4-byte value from shared
         // memory (line 4), then |bits| ballots with a couple of mask ops
         // each (lines 6–9).

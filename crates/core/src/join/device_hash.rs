@@ -4,9 +4,11 @@
 //! instead of a shared-memory access, and offsets are full 32-bit.
 
 use hcj_gpu::KernelCost;
+use hcj_host::Pool;
 
 use crate::config::GpuJoinConfig;
 use crate::join::bucket_hash;
+use crate::join::PROBE_PAR_MIN;
 use crate::output::OutputSink;
 
 const NIL: u32 = u32::MAX;
@@ -54,26 +56,40 @@ pub fn device_hash_join(
 
     // ---- probe ----
     cost.add_coalesced(8 * s_keys.len() as u64);
+    // Independent probe tuples: chunked across pool workers with forked
+    // sinks merged in chunk order (bit-identical to the serial scan).
+    let pool = Pool::current();
+    let ranges = pool.chunks(s_keys.len(), PROBE_PAR_MIN);
     let mut chain_steps = 0u64;
     let mut match_count = 0u64;
-    for (j, &skey) in s_keys.iter().enumerate() {
-        let h = bucket_hash(skey, shift, buckets);
-        let mut idx = heads[h];
-        // One transaction for the head slot.
-        charge(&mut cost, 1);
-        while idx != NIL {
-            chain_steps += 1;
-            let i = idx as usize;
-            if r_keys[i] == skey {
-                match_count += 1;
-                sink.emit(skey, r_pays[i], s_pays[j]);
+    let per_chunk = pool.map(&ranges, |_, range| {
+        let mut local = sink.fork();
+        let (mut steps, mut matches) = (0u64, 0u64);
+        for j in range.clone() {
+            let skey = s_keys[j];
+            let h = bucket_hash(skey, shift, buckets);
+            let mut idx = heads[h];
+            while idx != NIL {
+                steps += 1;
+                let i = idx as usize;
+                if r_keys[i] == skey {
+                    matches += 1;
+                    local.emit(skey, r_pays[i], s_pays[j]);
+                }
+                idx = next[i];
             }
-            idx = next[i];
         }
-        let _ = j;
+        (steps, matches, local)
+    });
+    for (steps, matches, local) in per_chunk {
+        chain_steps += steps;
+        match_count += matches;
+        sink.merge(local);
     }
-    // Each chain step reads the key and the next pointer: two
-    // transactions; each match adds a payload read.
+    // One transaction per probe for the head slot; each chain step reads
+    // the key and the next pointer: two transactions; each match adds a
+    // payload read.
+    charge(&mut cost, s_keys.len() as u64);
     charge(&mut cost, 2 * chain_steps + match_count);
     cost.add_instructions(4 * s_keys.len() as u64 + 3 * chain_steps);
     cost

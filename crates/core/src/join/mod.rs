@@ -20,10 +20,16 @@ pub mod device_hash;
 pub mod sm_hash;
 
 use hcj_gpu::KernelCost;
+use hcj_host::Pool;
 
 use crate::config::{GpuJoinConfig, ProbeKind};
 use crate::output::OutputSink;
 use crate::partition::PartitionedRelation;
+
+/// Minimum probe tuples per worker chunk inside a single kernel: below
+/// this, forking sinks and merging counters costs more than the loop, so
+/// tiny co-partitions stay inline.
+pub(crate) const PROBE_PAR_MIN: usize = 8192;
 
 /// Join every co-partition pair of two identically-partitioned relations,
 /// writing matches to `sink`. Returns the aggregate kernel traffic
@@ -41,24 +47,32 @@ pub fn join_all_copartitions(
         "co-partition join requires identically partitioned inputs"
     );
     let shift = r.fixed_bits();
-    let mut cost = KernelCost::ZERO;
-    for p in 0..r.fanout() {
-        if r.chains[p].is_empty() || s.chains[p].is_empty() {
-            continue;
-        }
+    // Co-partition pairs are fully independent: run them on pool workers,
+    // each joining into a forked sink, and fold costs and sinks back in
+    // partition order so the outcome is identical to the serial loop.
+    let live: Vec<usize> =
+        (0..r.fanout()).filter(|&p| !r.chains[p].is_empty() && !s.chains[p].is_empty()).collect();
+    let per_partition = Pool::current().map(&live, |_, &p| {
         let (r_keys, r_pays) = r.collect_partition(p);
         let (s_keys, s_pays) = s.collect_partition(p);
-        cost += match config.probe {
+        let mut local = sink.fork();
+        let c = match config.probe {
             ProbeKind::HashJoin => {
-                sm_hash::sm_hash_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
+                sm_hash::sm_hash_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, &mut local)
             }
-            ProbeKind::NestedLoop => {
-                ballot_nl::ballot_nl_join(config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink)
-            }
+            ProbeKind::NestedLoop => ballot_nl::ballot_nl_join(
+                config, shift, &r_keys, &r_pays, &s_keys, &s_pays, &mut local,
+            ),
             ProbeKind::DeviceHashJoin => device_hash::device_hash_join(
-                config, shift, &r_keys, &r_pays, &s_keys, &s_pays, sink,
+                config, shift, &r_keys, &r_pays, &s_keys, &s_pays, &mut local,
             ),
         };
+        (c, local)
+    });
+    let mut cost = KernelCost::ZERO;
+    for (c, local) in per_partition {
+        cost += c;
+        sink.merge(local);
     }
     cost
 }

@@ -13,9 +13,11 @@
 //! per block (paper §V-E) — correctness is preserved, throughput pays.
 
 use hcj_gpu::KernelCost;
+use hcj_host::Pool;
 
 use crate::config::GpuJoinConfig;
 use crate::join::bucket_hash;
+use crate::join::PROBE_PAR_MIN;
 use crate::output::OutputSink;
 
 const NIL: u16 = u16::MAX;
@@ -74,22 +76,40 @@ pub fn sm_hash_join(
         // Coalesced scan of the probe partition's bucket chain (re-read
         // once per build block — the nested-loop degradation).
         cost.add_coalesced(8 * s_keys.len() as u64);
+        // Probe tuples are independent: split the probe side into chunks
+        // executed on pool workers, each emitting into a forked sink, and
+        // merge counters and sinks back in chunk order — bit-identical to
+        // the serial scan for every worker count.
+        let pool = Pool::current();
+        let ranges = pool.chunks(s_keys.len(), PROBE_PAR_MIN);
         let mut chain_steps = 0u64;
         let mut head_reads = 0u64;
         let mut match_count = 0u64;
-        for (j, &skey) in s_keys.iter().enumerate() {
-            let h = bucket_hash(skey, shift, buckets);
-            head_reads += 1;
-            let mut idx = heads[h];
-            while idx != NIL {
-                chain_steps += 1;
-                let i = idx as usize;
-                if rk[i] == skey {
-                    match_count += 1;
-                    sink.emit(skey, rp[i], s_pays[j]);
+        let per_chunk = pool.map(&ranges, |_, range| {
+            let mut local = sink.fork();
+            let (mut heads_n, mut steps, mut matches) = (0u64, 0u64, 0u64);
+            for j in range.clone() {
+                let skey = s_keys[j];
+                let h = bucket_hash(skey, shift, buckets);
+                heads_n += 1;
+                let mut idx = heads[h];
+                while idx != NIL {
+                    steps += 1;
+                    let i = idx as usize;
+                    if rk[i] == skey {
+                        matches += 1;
+                        local.emit(skey, rp[i], s_pays[j]);
+                    }
+                    idx = next[i];
                 }
-                idx = next[i];
             }
+            (heads_n, steps, matches, local)
+        });
+        for (heads_n, steps, matches, local) in per_chunk {
+            head_reads += heads_n;
+            chain_steps += steps;
+            match_count += matches;
+            sink.merge(local);
         }
         cost.add_shared(2 * head_reads); // 2 B head per probe
                                          // Chain walks diverge within the warp: each dependent step wastes

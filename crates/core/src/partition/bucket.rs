@@ -174,6 +174,64 @@ impl PartitionedRelation {
         n
     }
 
+    /// Build a relation whose chain layout is fixed up front from the
+    /// per-partition tuple `counts` — the scatter target of the two-phase
+    /// parallel partitioners. Partition `p` receives *consecutive* bucket
+    /// ids, so its tuples occupy one contiguous run of pool slots: tuple
+    /// `i` of `p` lives at column slot `base[p] + i`, where `base` is the
+    /// returned vector ([`columns_mut`](Self::columns_mut) exposes the
+    /// columns). Every observable property — chain lengths, bucket counts,
+    /// iteration order, pool footprint — matches a relation grown
+    /// tuple-by-tuple with [`push`](Self::push) from the same counts;
+    /// only the (unobservable) bucket-id assignment order differs.
+    pub fn from_counts(
+        pool_capacity: usize,
+        fanout_bits: u32,
+        base_bits: u32,
+        counts: &[u64],
+    ) -> (Self, Vec<usize>) {
+        assert!(pool_capacity > 0, "bucket capacity must be positive");
+        assert_eq!(counts.len(), 1 << fanout_bits, "one count per partition");
+        let cap = pool_capacity;
+        let total_buckets: usize = counts.iter().map(|&c| (c as usize).div_ceil(cap)).sum();
+        let mut lens = Vec::with_capacity(total_buckets);
+        let mut next = Vec::with_capacity(total_buckets);
+        let mut chains = Vec::with_capacity(counts.len());
+        let mut base = Vec::with_capacity(counts.len());
+        for &count in counts {
+            let count = count as usize;
+            base.push(lens.len() * cap);
+            if count == 0 {
+                chains.push(PartitionChain::EMPTY);
+                continue;
+            }
+            let head = lens.len() as u32;
+            let n_buckets = count.div_ceil(cap);
+            for b in 0..n_buckets {
+                let last = b + 1 == n_buckets;
+                lens.push(if last { (count - b * cap) as u32 } else { cap as u32 });
+                next.push(if last { NIL_BUCKET } else { head + b as u32 + 1 });
+            }
+            let tail = head + (n_buckets - 1) as u32;
+            chains.push(PartitionChain { head, tail, tuples: count as u64 });
+        }
+        let pool = BucketPool {
+            capacity: cap,
+            keys: vec![0u32; total_buckets * cap],
+            payloads: vec![0u32; total_buckets * cap],
+            lens,
+            next,
+        };
+        (PartitionedRelation { pool, chains, fanout_bits, base_bits }, base)
+    }
+
+    /// Mutable key/payload columns of the backing pool, for disjoint
+    /// parallel scatter into the slots advertised by
+    /// [`from_counts`](Self::from_counts).
+    pub fn columns_mut(&mut self) -> (&mut [u32], &mut [u32]) {
+        (&mut self.pool.keys, &mut self.pool.payloads)
+    }
+
     /// Append one tuple to partition `p`, extending the chain as needed.
     /// Returns `true` if a new bucket had to be allocated.
     pub fn push(&mut self, p: usize, t: Tuple) -> bool {
@@ -332,5 +390,39 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = BucketPool::new(0);
+    }
+
+    #[test]
+    fn from_counts_matches_push_built_observables() {
+        // Same tuples, pushed vs counted-then-scattered: every observable
+        // must agree (partition 2 left empty, partition 1 spans buckets).
+        let assign = |k: u32| (k % 4) as usize;
+        let tuples: Vec<Tuple> = (0..23u32).filter(|&k| assign(k) != 2).map(t).collect();
+        let mut pushed = PartitionedRelation::new(3, 2);
+        let mut counts = vec![0u64; 4];
+        for &tp in &tuples {
+            pushed.push(assign(tp.key), tp);
+            counts[assign(tp.key)] += 1;
+        }
+        let (mut packed, base) = PartitionedRelation::from_counts(3, 2, 0, &counts);
+        {
+            let (keys, pays) = packed.columns_mut();
+            let mut cursor = base.clone();
+            for &tp in &tuples {
+                let p = assign(tp.key);
+                keys[cursor[p]] = tp.key;
+                pays[cursor[p]] = tp.payload;
+                cursor[p] += 1;
+            }
+        }
+        assert_eq!(packed.pool.device_bytes(), pushed.pool.device_bytes());
+        assert_eq!(packed.pool.num_buckets(), pushed.pool.num_buckets());
+        for p in 0..4 {
+            assert_eq!(packed.partition_len(p), pushed.partition_len(p), "partition {p}");
+            assert_eq!(packed.chain_buckets(p), pushed.chain_buckets(p), "partition {p}");
+            let a: Vec<Tuple> = packed.tuples_of(p).collect();
+            let b: Vec<Tuple> = pushed.tuples_of(p).collect();
+            assert_eq!(a, b, "partition {p}");
+        }
     }
 }

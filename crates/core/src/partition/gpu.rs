@@ -3,11 +3,13 @@
 //! hardware traffic each pass generates.
 
 use hcj_gpu::KernelCost;
-use hcj_workload::{Relation, Tuple};
+use hcj_host::{DisjointSlice, Pool};
+use hcj_workload::Relation;
 
 use crate::balance::round_robin_imbalance;
 use crate::config::{GpuJoinConfig, PassAssignment};
 use crate::partition::bucket::PartitionedRelation;
+use crate::partition::PART_PAR_MIN;
 use crate::radix::PassBits;
 
 /// Per-pass traffic and timing statistics.
@@ -68,16 +70,67 @@ impl<'a> GpuPartitioner<'a> {
         let plan = self.config.pass_plan();
         let mut passes = Vec::with_capacity(plan.num_passes());
 
-        // First pass: coalesced scan of the input columns.
+        // First pass: coalesced scan of the input columns, parallelized as
+        // count → prefix → scatter. Per-chunk histograms fix every tuple's
+        // output slot before any worker writes, so the result is
+        // bit-identical to a serial tuple-by-tuple scan for any worker
+        // count (tuple order within a partition is input order either way).
         let first = plan.passes()[0];
-        let mut current =
-            PartitionedRelation::with_base(self.config.bucket_capacity, first.bits, base_bits);
-        let mut allocs = 0u64;
-        for t in rel.iter() {
-            let p = first.local_index(t.key >> base_bits) as usize;
-            if current.push(p, t) {
-                allocs += 1;
+        let fanout = first.fanout() as usize;
+        let pool = Pool::current();
+        let ranges = pool.chunks(rel.len(), PART_PAR_MIN);
+        let hists = pool.map(&ranges, |_, range| {
+            let mut h = vec![0u64; fanout];
+            for &k in &rel.keys[range.clone()] {
+                h[first.local_index(k >> base_bits) as usize] += 1;
             }
+            h
+        });
+        let mut counts = vec![0u64; fanout];
+        for h in &hists {
+            for (p, &c) in h.iter().enumerate() {
+                counts[p] += c;
+            }
+        }
+        let (mut current, base) = PartitionedRelation::from_counts(
+            self.config.bucket_capacity,
+            first.bits,
+            base_bits,
+            &counts,
+        );
+        let allocs = current.pool.num_buckets() as u64;
+        // Exclusive per-chunk write cursors: chunk c starts partition p at
+        // base[p] plus everything earlier chunks contribute to p.
+        let chunk_starts: Vec<Vec<usize>> = {
+            let mut cursor = base;
+            hists
+                .iter()
+                .map(|h| {
+                    let start = cursor.clone();
+                    for (p, &c) in h.iter().enumerate() {
+                        cursor[p] += c as usize;
+                    }
+                    start
+                })
+                .collect()
+        };
+        {
+            let (keys, pays) = current.columns_mut();
+            let key_slots = DisjointSlice::new(keys);
+            let pay_slots = DisjointSlice::new(pays);
+            pool.map(&ranges, |c, range| {
+                let mut cursor = chunk_starts[c].clone();
+                for i in range.clone() {
+                    let p = first.local_index(rel.keys[i] >> base_bits) as usize;
+                    // SAFETY: the prefix sums give every (chunk, partition)
+                    // a private slot range; each slot has one writer.
+                    unsafe {
+                        key_slots.write(cursor[p], rel.keys[i]);
+                        pay_slots.write(cursor[p], rel.payloads[i]);
+                    }
+                    cursor[p] += 1;
+                }
+            });
         }
         passes.push(self.pass_stats(first, rel.len() as u64, allocs, 1.0, 1));
 
@@ -97,18 +150,16 @@ impl<'a> GpuPartitioner<'a> {
         pass: PassBits,
     ) -> (PartitionedRelation, PassStats) {
         let new_bits = pass.shift + pass.bits;
-        let mut next =
-            PartitionedRelation::with_base(self.config.bucket_capacity, new_bits, parent.base_bits);
-        let mut allocs = 0u64;
+        let local_fanout = pass.fanout() as usize;
+        let shift = pass.shift as usize;
         // Work units for load balancing: buckets (bucket-at-a-time) or
         // whole chains (partition-at-a-time). The functional result is
         // identical; only the imbalance factor and the per-unit metadata
         // re-initialization differ (paper §III-A).
         let mut unit_weights: Vec<u64> = Vec::new();
-        for p in 0..parent.fanout() {
-            if parent.chains[p].is_empty() {
-                continue;
-            }
+        let live: Vec<usize> =
+            (0..parent.fanout()).filter(|&p| !parent.chains[p].is_empty()).collect();
+        for &p in &live {
             match self.config.assignment {
                 PassAssignment::BucketAtATime => {
                     for b in parent.buckets_of(p) {
@@ -119,12 +170,51 @@ impl<'a> GpuPartitioner<'a> {
                     unit_weights.push(parent.partition_len(p));
                 }
             }
+        }
+        // Parents refine independently: every child partition
+        // `p | (local << shift)` belongs to exactly one parent `p`, so
+        // per-parent counting and scattering touch disjoint slot ranges
+        // with no cross-parent offsets, and each child's tuple order is
+        // its parent's chain order — identical to the serial scan.
+        let pool = Pool::current();
+        let per_parent = pool.map(&live, |_, &p| {
+            let mut h = vec![0u64; local_fanout];
             for t in parent.tuples_of(p) {
-                let g = pass.global_index(p as u32, t.key >> parent.base_bits) as usize;
-                if next.push(g, Tuple { key: t.key, payload: t.payload }) {
-                    allocs += 1;
-                }
+                h[pass.local_index(t.key >> parent.base_bits) as usize] += 1;
             }
+            h
+        });
+        let mut counts = vec![0u64; 1 << new_bits];
+        for (h, &p) in per_parent.iter().zip(&live) {
+            for (local, &c) in h.iter().enumerate() {
+                counts[p | (local << shift)] = c;
+            }
+        }
+        let (mut next, base) = PartitionedRelation::from_counts(
+            self.config.bucket_capacity,
+            new_bits,
+            parent.base_bits,
+            &counts,
+        );
+        let allocs = next.pool.num_buckets() as u64;
+        {
+            let (keys, pays) = next.columns_mut();
+            let key_slots = DisjointSlice::new(keys);
+            let pay_slots = DisjointSlice::new(pays);
+            pool.map(&live, |_, &p| {
+                let mut cursor: Vec<usize> =
+                    (0..local_fanout).map(|local| base[p | (local << shift)]).collect();
+                for t in parent.tuples_of(p) {
+                    let local = pass.local_index(t.key >> parent.base_bits) as usize;
+                    // SAFETY: children of distinct parents are disjoint
+                    // partitions, so every slot has exactly one writer.
+                    unsafe {
+                        key_slots.write(cursor[local], t.key);
+                        pay_slots.write(cursor[local], t.payload);
+                    }
+                    cursor[local] += 1;
+                }
+            });
         }
         let sms = self.config.device.sms as usize;
         let imbalance = round_robin_imbalance(&unit_weights, sms);

@@ -12,7 +12,8 @@
 //! the paper's chained-bucket design eliminates.
 
 use hcj_gpu::KernelCost;
-use hcj_workload::{Relation, Tuple};
+use hcj_host::{DisjointSlice, Pool};
+use hcj_workload::Relation;
 
 use crate::config::GpuJoinConfig;
 use crate::partition::gpu::{PartitionOutcome, PassStats};
@@ -37,6 +38,7 @@ impl<'a> HistogramPartitioner<'a> {
         let mut passes = Vec::with_capacity(plan.num_passes());
 
         // Work through the passes over dense intermediate vectors.
+        let pool = Pool::current();
         let mut keys: Vec<u32> = rel.keys.clone();
         let mut pays: Vec<u32> = rel.payloads.clone();
         let mut bounds: Vec<usize> = vec![0, keys.len()]; // partition boundaries so far
@@ -45,29 +47,48 @@ impl<'a> HistogramPartitioner<'a> {
             let n = keys.len() as u64;
             let mut new_keys = vec![0u32; keys.len()];
             let mut new_pays = vec![0u32; pays.len()];
-            let mut new_bounds = Vec::with_capacity((bounds.len() - 1) * fanout + 1);
+            // Windows are disjoint input ranges whose output also stays
+            // inside [lo, hi): each can run on its own pool worker writing
+            // through disjoint slots, identical to the serial loop.
+            let windows: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+            let hists = {
+                let key_slots = DisjointSlice::new(&mut new_keys);
+                let pay_slots = DisjointSlice::new(&mut new_pays);
+                pool.map(&windows, |_, &(lo, hi)| {
+                    // Phase 1: histogram.
+                    let mut hist = vec![0usize; fanout];
+                    for &k in &keys[lo..hi] {
+                        hist[pass.local_index(k) as usize] += 1;
+                    }
+                    // Phase 2: exclusive prefix sum -> write cursors.
+                    let mut cursors = vec![0usize; fanout];
+                    let mut acc = lo;
+                    for q in 0..fanout {
+                        cursors[q] = acc;
+                        acc += hist[q];
+                    }
+                    // Phase 3: scatter.
+                    for i in lo..hi {
+                        let q = pass.local_index(keys[i]) as usize;
+                        // SAFETY: cursors stay within this window's
+                        // [lo, hi); windows are disjoint → one writer per
+                        // slot.
+                        unsafe {
+                            key_slots.write(cursors[q], keys[i]);
+                            pay_slots.write(cursors[q], pays[i]);
+                        }
+                        cursors[q] += 1;
+                    }
+                    hist
+                })
+            };
+            let mut new_bounds = Vec::with_capacity(windows.len() * fanout + 1);
             new_bounds.push(0usize);
-            for w in bounds.windows(2) {
-                let (lo, hi) = (w[0], w[1]);
-                // Phase 1: histogram.
-                let mut hist = vec![0usize; fanout];
-                for &k in &keys[lo..hi] {
-                    hist[pass.local_index(k) as usize] += 1;
-                }
-                // Phase 2: exclusive prefix sum -> write cursors.
-                let mut cursors = vec![0usize; fanout];
+            for (&(lo, _), hist) in windows.iter().zip(&hists) {
                 let mut acc = lo;
-                for q in 0..fanout {
-                    cursors[q] = acc;
-                    acc += hist[q];
+                for &h in hist {
+                    acc += h;
                     new_bounds.push(acc);
-                }
-                // Phase 3: scatter.
-                for i in lo..hi {
-                    let q = pass.local_index(keys[i]) as usize;
-                    new_keys[cursors[q]] = keys[i];
-                    new_pays[cursors[q]] = pays[i];
-                    cursors[q] += 1;
                 }
             }
             keys = new_keys;
@@ -95,19 +116,44 @@ impl<'a> HistogramPartitioner<'a> {
         // partition one exact chain; capacity can hold the largest).
         let largest = bounds.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(1).max(1);
         let capacity = largest.next_multiple_of(32);
-        let mut out = PartitionedRelation::with_base(capacity, plan.total_bits(), 0);
-        for w in bounds.windows(2) {
-            if w[0] == w[1] {
-                continue;
-            }
-            // Segments are contiguous runs of one radix partition, but the
-            // multi-pass refinement leaves them in parent-major order:
-            // derive the partition index from the keys themselves.
-            let p = plan.partition_of(keys[w[0]]) as usize;
-            for i in w[0]..w[1] {
-                debug_assert_eq!(plan.partition_of(keys[i]) as usize, p);
-                out.push(p, Tuple { key: keys[i], payload: pays[i] });
-            }
+        // Segments are contiguous runs of one radix partition, but the
+        // multi-pass refinement leaves them in parent-major order: derive
+        // the partition index from the keys themselves.
+        let segments: Vec<(usize, usize, usize)> = bounds
+            .windows(2)
+            .filter(|w| w[0] < w[1])
+            .map(|w| (plan.partition_of(keys[w[0]]) as usize, w[0], w[1]))
+            .collect();
+        let mut counts = vec![0u64; 1 << plan.total_bits()];
+        for &(p, lo, hi) in &segments {
+            counts[p] += (hi - lo) as u64;
+        }
+        let (mut out, base) =
+            PartitionedRelation::from_counts(capacity, plan.total_bits(), 0, &counts);
+        {
+            let mut cursor = base;
+            let starts: Vec<usize> = segments
+                .iter()
+                .map(|&(p, lo, hi)| {
+                    let s = cursor[p];
+                    cursor[p] += hi - lo;
+                    s
+                })
+                .collect();
+            let (out_keys, out_pays) = out.columns_mut();
+            let key_slots = DisjointSlice::new(out_keys);
+            let pay_slots = DisjointSlice::new(out_pays);
+            pool.map(&segments, |s, &(p, lo, hi)| {
+                for i in lo..hi {
+                    debug_assert_eq!(plan.partition_of(keys[i]) as usize, p);
+                    // SAFETY: the running cursors give every segment a
+                    // private slot run; one writer per slot.
+                    unsafe {
+                        key_slots.write(starts[s] + (i - lo), keys[i]);
+                        pay_slots.write(starts[s] + (i - lo), pays[i]);
+                    }
+                }
+            });
         }
         PartitionOutcome { partitioned: out, passes }
     }

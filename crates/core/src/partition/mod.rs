@@ -10,6 +10,10 @@ mod bucket;
 pub(crate) mod gpu;
 mod histogram;
 
+/// Minimum tuples per worker chunk inside a partitioning pass: below this
+/// the per-chunk histogram and cursor bookkeeping outweighs the scan.
+pub(crate) const PART_PAR_MIN: usize = 1 << 15;
+
 pub use bucket::{BucketPool, PartitionChain, PartitionedRelation, NIL_BUCKET};
 pub use gpu::{GpuPartitioner, PartitionOutcome, PassStats};
 pub use histogram::HistogramPartitioner;

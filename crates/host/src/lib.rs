@@ -10,9 +10,11 @@
 //! memory links, so interference emerges rather than being hard-coded.
 
 pub mod numa;
+pub mod pool;
 pub mod spec;
 pub mod tasks;
 
 pub use numa::{HostMachine, Socket};
+pub use pool::{DisjointSlice, Pool};
 pub use spec::HostSpec;
 pub use tasks::{CpuTaskKind, CLASS_CPU_COMPUTE, CLASS_DMA_READ};

@@ -1,0 +1,305 @@
+//! A std-only work-stealing thread pool for the *real* execution of the
+//! simulated kernels and the repro harness.
+//!
+//! Everything in this repository runs the actual join on real data while a
+//! discrete-event model computes how long the hardware would take. The
+//! model's clock is unaffected by how the host executes that work — which
+//! means the host side is free to use every core it has, as long as the
+//! results stay deterministic. This module provides that: a chunked,
+//! work-stealing `map` built on [`std::thread::scope`] whose output is
+//! **bit-identical for every worker count**, because each item's result is
+//! stored at the item's own index and merged in input order.
+//!
+//! The worker count comes from (highest priority first) an explicit
+//! [`Pool::new`], the process-wide [`set_jobs`] override (the `repro
+//! --jobs N` flag), the `HCJ_JOBS` environment variable, and finally
+//! [`std::thread::available_parallelism`].
+//!
+//! Nested parallelism is flattened: a `map` issued from inside a pool
+//! worker runs inline on that worker. The outermost layer that asks for
+//! parallelism gets it (figures under `repro all`, sweep points within a
+//! single figure, or kernel blocks within a single join), and inner layers
+//! do not oversubscribe the machine with threads-spawning-threads.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 = unset (fall back to the
+/// environment).
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on threads spawned by [`Pool::map`]: nested maps run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide worker count (the `repro --jobs N` flag).
+/// Clamped to at least 1. Overrides `HCJ_JOBS`.
+pub fn set_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs.max(1), Ordering::SeqCst);
+}
+
+/// The effective process-wide worker count: [`set_jobs`] if called, else
+/// `HCJ_JOBS`, else the machine's available parallelism.
+pub fn jobs() -> usize {
+    match GLOBAL_JOBS.load(Ordering::SeqCst) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// The worker count before any [`set_jobs`] override: `HCJ_JOBS` when set
+/// to a positive integer, else [`std::thread::available_parallelism`].
+/// Resolved once per process (kernels consult it per block).
+pub fn default_jobs() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("HCJ_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// A handle expressing "run with this many workers". Cheap to construct;
+/// threads are scoped per [`Pool::map`] call, so nothing persists between
+/// calls and the pool can be created anywhere without lifetime plumbing.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `jobs` workers (clamped to ≥ 1; 1 = inline).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The pool implied by the process-wide setting (see [`jobs`]).
+    pub fn current() -> Pool {
+        Pool::new(jobs())
+    }
+
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether this map call would actually spawn workers (false inside a
+    /// worker or with 1 job) — callers can use it to pick chunk counts.
+    pub fn is_parallel(&self) -> bool {
+        self.jobs > 1 && !IN_WORKER.with(Cell::get)
+    }
+
+    /// Apply `f` to every item, returning results **in item order** no
+    /// matter how work was distributed. Work is handed out in contiguous
+    /// index chunks from a shared atomic cursor (work stealing without
+    /// queues); each result is written to its item's slot, so the output —
+    /// and therefore everything downstream — is identical for every worker
+    /// count, including 1.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(n);
+        if workers == 1 || IN_WORKER.with(Cell::get) {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let mut out: Vec<Option<R>> = Vec::new();
+        out.resize_with(n, || None);
+        {
+            let slots = DisjointSlice::new(&mut out);
+            let cursor = AtomicUsize::new(0);
+            // Chunks small enough that uneven items still balance, large
+            // enough that the cursor is not contended per item.
+            let chunk = (n / (workers * 4)).max(1);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                let r = f(i, item);
+                                // SAFETY: the cursor hands out every index
+                                // exactly once, so slot `i` has a single
+                                // writer and no concurrent reader.
+                                unsafe { slots.write(i, Some(r)) };
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter().map(|r| r.expect("every map slot filled")).collect()
+    }
+
+    /// Split `0..len` into chunks suited to this pool: one per worker slice
+    /// of roughly `len / (4 * jobs)` items (at least `min_chunk`), in
+    /// order. A serial pool returns the full range as one chunk.
+    pub fn chunks(&self, len: usize, min_chunk: usize) -> Vec<std::ops::Range<usize>> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let target =
+            if self.is_parallel() { (len / (self.jobs * 4)).max(min_chunk.max(1)) } else { len };
+        let mut ranges = Vec::with_capacity(len.div_ceil(target));
+        let mut start = 0;
+        while start < len {
+            let end = (start + target).min(len);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+}
+
+/// A shared view of a mutable slice that workers write at **provably
+/// disjoint** indices — the scatter side of the two-phase parallel
+/// partitioners, where every output position is computed from exclusive
+/// prefix sums before any worker starts.
+///
+/// Writes overwrite without reading or dropping the previous value, so the
+/// slice should hold plain data (`Copy` types or freshly-initialized
+/// `Option`s, as in [`Pool::map`]).
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sharing is sound because writers promise disjoint indices (the
+// `write` contract); `T: Send` moves values across threads.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `index` (bounds-checked).
+    ///
+    /// # Safety
+    /// Each index must be written by at most one thread while the slice is
+    /// shared, and not read until all writers are done. The previous value
+    /// is overwritten without being dropped.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "DisjointSlice write out of bounds");
+        // SAFETY: in-bounds by the assert; exclusivity is the caller's
+        // contract.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let got = Pool::new(4).map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        let want: Vec<u64> = (0..1000).map(|x| x * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_is_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..4097).collect();
+        let serial = Pool::new(1).map(&items, |_, &x| x.wrapping_mul(0x9E37_79B1));
+        for jobs in [2, 3, 8, 64] {
+            let parallel = Pool::new(jobs).map(&items, |_, &x| x.wrapping_mul(0x9E37_79B1));
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_balances_uneven_work() {
+        // One item is 1000x the others; with chunked stealing the other
+        // workers drain the rest. (Correctness, not timing, is asserted.)
+        let items: Vec<u32> = (0..64).collect();
+        let got = Pool::new(4).map(&items, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 100 };
+            (0..spins).fold(x, |acc, _| acc.wrapping_mul(31).wrapping_add(1))
+        });
+        assert_eq!(got.len(), 64);
+    }
+
+    #[test]
+    fn nested_maps_run_inline_without_deadlock() {
+        let outer: Vec<usize> = (0..8).collect();
+        let got = Pool::new(4).map(&outer, |_, &i| {
+            let inner: Vec<usize> = (0..16).collect();
+            Pool::new(4).map(&inner, |_, &j| i * 100 + j).iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Pool::new(8).map(&empty, |_, &x| x).is_empty());
+        assert_eq!(Pool::new(8).map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn disjoint_slice_scatter() {
+        let mut data = vec![0u32; 256];
+        {
+            let slice = DisjointSlice::new(&mut data);
+            let idx: Vec<usize> = (0..256).collect();
+            Pool::new(4).map(&idx, |_, &i| {
+                // Permuted target: still one writer per index.
+                let target = (i * 97) % 256;
+                // SAFETY: i -> (i*97)%256 is a bijection on 0..256 (97 is
+                // coprime with 256), so each target index has one writer.
+                unsafe { slice.write(target, i as u32) };
+            });
+        }
+        for (target, &v) in data.iter().enumerate() {
+            assert_eq!((v as usize * 97) % 256, target);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        let pool = Pool::new(3);
+        let chunks = pool.chunks(1000, 16);
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, 1000);
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert!(Pool::new(1).chunks(1000, 16).len() == 1);
+        assert!(pool.chunks(0, 16).is_empty());
+    }
+
+    #[test]
+    fn jobs_clamp_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_repro.json: wall-clock of `repro` per figure, serial
+# (--jobs 1) vs parallel (--jobs 4), at the default scale.
+#
+#   scripts/bench_repro.sh [--quick]
+#
+# Results are bit-deterministic across worker counts (see
+# crates/bench/tests/determinism.rs), so this only measures time. On a
+# single-core machine the speedup is necessarily ~1x; the JSON records
+# the core count so readers can interpret the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG=""
+QUICK_JSON=false
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK_FLAG="--quick"
+    QUICK_JSON=true
+fi
+
+cargo build --release -p hcj-bench --bin repro >&2
+REPRO=target/release/repro
+
+now_ms() { date +%s%3N; }
+
+time_figure() { # figure jobs -> ms
+    local fig=$1 jobs=$2 t0 t1
+    t0=$(now_ms)
+    "$REPRO" "$fig" $QUICK_FLAG --jobs "$jobs" >/dev/null 2>&1
+    t1=$(now_ms)
+    echo $((t1 - t0))
+}
+
+CORES=$(nproc)
+OUT=BENCH_repro.json
+{
+    echo "{"
+    echo "  \"note\": \"host-parallelism wall-clock; results are bit-identical at every job count. speedup = serial_ms / jobs4_ms; on a 1-core host it is necessarily ~1x (scheduling overhead only).\","
+    echo "  \"cores\": $CORES,"
+    echo "  \"jobs_parallel\": 4,"
+    echo "  \"quick\": $QUICK_JSON,"
+    echo "  \"scale\": \"default\","
+    echo "  \"figures\": {"
+    first=true
+    for fig in $("$REPRO" list); do
+        s=$(time_figure "$fig" 1)
+        p=$(time_figure "$fig" 4)
+        speedup=$(awk -v s="$s" -v p="$p" 'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
+        $first || echo ","
+        first=false
+        printf '    "%s": { "serial_ms": %s, "jobs4_ms": %s, "speedup": %s }' \
+            "$fig" "$s" "$p" "$speedup"
+        echo " [$fig] serial ${s}ms, jobs=4 ${p}ms (${speedup}x)" >&2
+    done
+    echo ""
+    echo "  },"
+    t0=$(now_ms); "$REPRO" all $QUICK_FLAG --jobs 1 >/dev/null 2>&1; t1=$(now_ms)
+    ALL_S=$((t1 - t0))
+    t0=$(now_ms); "$REPRO" all $QUICK_FLAG --jobs 4 >/dev/null 2>&1; t1=$(now_ms)
+    ALL_P=$((t1 - t0))
+    ALL_X=$(awk -v s="$ALL_S" -v p="$ALL_P" 'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')
+    echo "  \"all\": { \"serial_ms\": $ALL_S, \"jobs4_ms\": $ALL_P, \"speedup\": $ALL_X }"
+    echo "}"
+} > "$OUT"
+echo "wrote $OUT" >&2
