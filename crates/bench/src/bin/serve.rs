@@ -1,0 +1,156 @@
+//! `serve` — deterministic closed-loop soak of the multi-tenant join
+//! service (`hcj_engines::service`).
+//!
+//! ```text
+//! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
+//!       [--capacity-div K] [--trace DIR]
+//! ```
+//!
+//! Drives N seeded closed-loop clients with mixed relation sizes, skews
+//! and payload widths against one shared (simulated) GPU, then prints the
+//! service summary. The summary on stdout is byte-for-byte identical for
+//! the same `--seed` at any `--jobs` count — the CI soak step diffs two
+//! runs. Wall-clock timing goes to stderr. `--trace DIR` writes the whole
+//! run as one Chrome `trace_event` timeline (a track per client, a
+//! device-memory counter).
+//!
+//! Defaults contend hard on purpose: the device is the paper's GTX 1080
+//! with capacity divided by `--capacity-div` (default 16384 → 512 KB), so
+//! a few resident joins fill it and later arrivals must queue, back off
+//! and degrade down the strategy ladder.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hcj_core::GpuJoinConfig;
+use hcj_engines::service::{mixed_workload, JoinService, ServiceConfig};
+use hcj_engines::HcjEngine;
+use hcj_gpu::DeviceSpec;
+use hcj_sim::TraceExporter;
+
+const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
+                     [--capacity-div K] [--trace DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 1u64;
+    let mut quick = false;
+    let mut clients = 16usize;
+    let mut requests = 25usize;
+    let mut capacity_div = 1u64 << 14; // 512 KB of the 8 GB part
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--jobs" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|v| (1..=256).contains(v))
+                else {
+                    eprintln!("--jobs needs an integer between 1 and 256");
+                    return ExitCode::FAILURE;
+                };
+                hcj_host::pool::set_jobs(v);
+            }
+            "--clients" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()).filter(|&v| v >= 1)
+                else {
+                    eprintln!("--clients needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                clients = v;
+            }
+            "--requests" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()).filter(|&v| v >= 1)
+                else {
+                    eprintln!("--requests needs a positive integer (per client)");
+                    return ExitCode::FAILURE;
+                };
+                requests = v;
+            }
+            "--capacity-div" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()).filter(|&v| v >= 1)
+                else {
+                    eprintln!("--capacity-div needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                capacity_div = v;
+            }
+            "--trace" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--trace needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                trace_dir = Some(dir.into());
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    // Quick mode: the CI soak — 8 clients x 25 requests = 200, small
+    // relations, same contention regime.
+    let (clients, requests, base_tuples) =
+        if quick { (8, 25, 1_000) } else { (clients, requests, 2_000) };
+
+    let device = DeviceSpec::gtx1080().scaled_capacity(capacity_div);
+    // Buckets tuned for the largest build side the workload can draw
+    // (4 * base_tuples); radix bits stay above the co-processing CPU bits.
+    let engine = HcjEngine::new(
+        GpuJoinConfig::paper_default(device.clone())
+            .with_radix_bits(8)
+            .with_tuned_buckets(4 * base_tuples),
+    );
+    let service = JoinService::new(engine, ServiceConfig::default());
+    let workload = mixed_workload(clients, requests, base_tuples, seed);
+    let total: usize = workload.iter().map(|c| c.requests.len()).sum();
+
+    println!(
+        "# hcj join service soak — seed {seed}, {clients} clients x {requests} requests, \
+         device {} KB",
+        device.device_mem_bytes >> 10
+    );
+    let started = Instant::now();
+    let report = service.run(&workload);
+    eprintln!("  [{total} requests served in {:.1?} wall-clock]", started.elapsed());
+
+    print!("{}", report.summary());
+
+    if let Some(dir) = &trace_dir {
+        let path = dir.join(format!("service_seed{seed}.trace.json"));
+        if let Err(e) = TraceExporter::new().write_timeline(&report.timeline, &path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  [service timeline written to {}]", path.display());
+    }
+
+    if report.completed() != total || report.checks_passed() != total {
+        eprintln!(
+            "FAIL: {}/{} completed, {}/{} oracle checks passed",
+            report.completed(),
+            total,
+            report.checks_passed(),
+            total
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

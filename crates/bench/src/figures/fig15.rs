@@ -36,7 +36,9 @@ pub fn run(cfg: &RunConfig) -> Table {
         let join_cfg = hcj_core::GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(scaled_bits(15, cfg.scale))
             .with_tuned_buckets(tuples / 4);
-        let (_, ours) = HcjEngine::new(join_cfg).execute(&r, &s);
+        let (_, ours) = HcjEngine::new(join_cfg)
+            .execute(&r, &s)
+            .expect("the hcj engine runs every table size (Fig. 15 claim)");
         let mut dx =
             DbmsXLike::new(device.clone()).with_cache_limit((32_000_000 / cfg.scale) as usize);
         dx.query_overhead_s /= cfg.scale as f64;

@@ -9,12 +9,21 @@
 //! 2. the streamed-probe join when only the build side (plus its
 //!    partitions and chunk buffers) fits;
 //! 3. CPU–GPU co-processing otherwise.
+//!
+//! The plan is an *estimate*; when the chosen strategy reports
+//! out-of-device-memory at run time the engine degrades down the same
+//! ladder, exactly as the paper's system "reverts into the streaming
+//! variant" when residency fails (§V-C). Co-processing is the floor: if
+//! even its buffers cannot be reserved the error propagates to the caller
+//! (nothing panics), which is what the multi-tenant service layer in
+//! [`crate::service`] relies on for graceful degradation under contention.
 
 use hcj_core::GpuPartitionedJoin;
 use hcj_core::{
     CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, JoinOutcome, StreamedProbeConfig,
     StreamedProbeJoin,
 };
+use hcj_gpu::OutOfDeviceMemory;
 use hcj_workload::Relation;
 
 use crate::result::EngineResult;
@@ -25,6 +34,39 @@ pub enum PlannedStrategy {
     GpuResident,
     StreamedProbe,
     CoProcessing,
+}
+
+impl PlannedStrategy {
+    /// The degradation ladder, most- to least-demanding of device memory.
+    pub const LADDER: [PlannedStrategy; 3] = [
+        PlannedStrategy::GpuResident,
+        PlannedStrategy::StreamedProbe,
+        PlannedStrategy::CoProcessing,
+    ];
+
+    /// Position on the ladder: 0 = GPU-resident, 2 = co-processing. A
+    /// larger rank is a *more degraded* (less device-hungry) strategy.
+    pub fn rank(self) -> usize {
+        Self::LADDER.iter().position(|s| *s == self).expect("strategy on the ladder")
+    }
+
+    /// The next strategy down the ladder; `None` at the co-processing
+    /// floor. Each step strictly increases [`rank`](Self::rank), so any
+    /// escalation loop terminates after at most two steps.
+    pub fn degraded(self) -> Option<PlannedStrategy> {
+        Self::LADDER.get(self.rank() + 1).copied()
+    }
+}
+
+impl std::fmt::Display for PlannedStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            PlannedStrategy::GpuResident => "gpu-resident",
+            PlannedStrategy::StreamedProbe => "streamed-probe",
+            PlannedStrategy::CoProcessing => "co-processing",
+        };
+        f.write_str(name)
+    }
 }
 
 /// The paper's engine: planner + the strategy family of `hcj-core`.
@@ -42,18 +84,45 @@ impl HcjEngine {
         HcjEngine { config, pool_factor: 1.3 }
     }
 
-    /// Decide the strategy for the given input sizes.
+    /// Estimated peak device-memory footprint of running `strategy` with
+    /// `build` as the build side. This is the quantity admission control
+    /// reserves before dispatch: [`plan`](Self::plan) is exactly "the
+    /// highest-ranked strategy whose estimate fits the device".
+    pub fn footprint_estimate(
+        &self,
+        strategy: PlannedStrategy,
+        build: &Relation,
+        probe: &Relation,
+    ) -> u64 {
+        let capacity = self.config.device.device_mem_bytes;
+        match strategy {
+            PlannedStrategy::GpuResident => {
+                ((build.bytes() + probe.bytes()) as f64 * self.pool_factor) as u64
+            }
+            // Streamed probe: R (recycled into its partitions) + two chunk
+            // buffers (chunk = R/2, the paper's rule).
+            PlannedStrategy::StreamedProbe => {
+                (build.bytes() as f64 * (1.0 + self.pool_factor)) as u64
+            }
+            // Co-processing reserves the working-set budget (half the
+            // device by default) plus two streamed S chunk buffers of at
+            // most one sixth of the device each; the total never exceeds
+            // capacity, so an idle device can always admit it.
+            PlannedStrategy::CoProcessing => {
+                let chunk = (probe.bytes().max(8)).min(capacity / 6);
+                (capacity / 2 + 2 * chunk).min(capacity)
+            }
+        }
+    }
+
+    /// Decide the strategy for the given input sizes (`r` is the build
+    /// side; [`execute`](Self::execute) swaps so the smaller side builds).
     pub fn plan(&self, r: &Relation, s: &Relation) -> PlannedStrategy {
         let capacity = self.config.device.device_mem_bytes;
-        let resident_need = ((r.bytes() + s.bytes()) as f64 * self.pool_factor) as u64;
-        if resident_need <= capacity {
-            return PlannedStrategy::GpuResident;
-        }
-        // Streamed probe: R (recycled into its partitions) + two chunk
-        // buffers (chunk = R/2, the paper's rule).
-        let stream_need = (r.bytes() as f64 * (1.0 + self.pool_factor)) as u64;
-        if stream_need <= capacity {
-            return PlannedStrategy::StreamedProbe;
+        for strategy in [PlannedStrategy::GpuResident, PlannedStrategy::StreamedProbe] {
+            if self.footprint_estimate(strategy, r, s) <= capacity {
+                return strategy;
+            }
         }
         PlannedStrategy::CoProcessing
     }
@@ -62,11 +131,29 @@ impl HcjEngine {
     ///
     /// The plan is an *estimate* (bucket-pool slack depends on the data);
     /// if the chosen strategy reports out-of-device-memory at run time the
-    /// engine escalates to the next one, exactly as the paper's system
-    /// "reverts into the streaming variant" when residency fails (§V-C).
-    pub fn execute(&self, r: &Relation, s: &Relation) -> (PlannedStrategy, JoinOutcome) {
+    /// engine degrades to the next one down the ladder. `Err` only when
+    /// even co-processing cannot reserve its buffers.
+    pub fn execute(
+        &self,
+        r: &Relation,
+        s: &Relation,
+    ) -> Result<(PlannedStrategy, JoinOutcome), OutOfDeviceMemory> {
         let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
-        let mut strategy = self.plan(build, probe);
+        self.execute_from(self.plan(build, probe), r, s)
+    }
+
+    /// Execute starting at `start` on the ladder (skipping the planner) and
+    /// degrading on runtime out-of-memory. The service layer dispatches
+    /// here after admission control has already (possibly) degraded the
+    /// planned strategy under memory pressure.
+    pub fn execute_from(
+        &self,
+        start: PlannedStrategy,
+        r: &Relation,
+        s: &Relation,
+    ) -> Result<(PlannedStrategy, JoinOutcome), OutOfDeviceMemory> {
+        let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
+        let mut strategy = start;
         loop {
             let attempt = match strategy {
                 PlannedStrategy::GpuResident => {
@@ -77,39 +164,29 @@ impl HcjEngine {
                         .execute(build, probe)
                 }
                 PlannedStrategy::CoProcessing => {
-                    return (
-                        PlannedStrategy::CoProcessing,
-                        CoProcessingJoin::new(CoProcessingConfig::paper_default(
-                            self.config.clone(),
-                        ))
+                    CoProcessingJoin::new(CoProcessingConfig::paper_default(self.config.clone()))
                         .execute(build, probe)
-                        .expect(
-                            "co-processing needs only the working-set budget and chunk buffers",
-                        ),
-                    );
                 }
             };
             match attempt {
-                Ok(outcome) => return (strategy, outcome),
-                Err(_) => {
-                    strategy = match strategy {
-                        PlannedStrategy::GpuResident => PlannedStrategy::StreamedProbe,
-                        _ => PlannedStrategy::CoProcessing,
-                    };
-                }
+                Ok(outcome) => return Ok((strategy, outcome)),
+                Err(oom) => match strategy.degraded() {
+                    Some(next) => strategy = next,
+                    None => return Err(oom),
+                },
             }
         }
     }
 
     /// Execute and wrap as an [`EngineResult`] for the engine comparisons.
-    pub fn run(&self, r: &Relation, s: &Relation) -> EngineResult {
-        let (_, outcome) = self.execute(r, s);
-        EngineResult {
+    pub fn run(&self, r: &Relation, s: &Relation) -> Result<EngineResult, OutOfDeviceMemory> {
+        let (_, outcome) = self.execute(r, s)?;
+        Ok(EngineResult {
             engine: "hcj (this paper)",
             check: outcome.check,
             seconds: outcome.total_seconds(),
             tuples_in: outcome.tuples_in,
-        }
+        })
     }
 }
 
@@ -132,7 +209,7 @@ mod tests {
         let (r, s) = canonical_pair(10_000, 10_000, 101);
         let e = engine(1, 10_000, 8);
         assert_eq!(e.plan(&r, &s), PlannedStrategy::GpuResident);
-        let (strategy, out) = e.execute(&r, &s);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
         assert_eq!(strategy, PlannedStrategy::GpuResident);
         assert_eq!(out.check, JoinCheck::compute(&r, &s));
     }
@@ -143,7 +220,7 @@ mod tests {
         let (r, s) = canonical_pair(10_000, 400_000, 102);
         let e = engine(1 << 12, 10_000, 8);
         assert_eq!(e.plan(&r, &s), PlannedStrategy::StreamedProbe);
-        let (strategy, out) = e.execute(&r, &s);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
         assert_eq!(strategy, PlannedStrategy::StreamedProbe);
         assert_eq!(out.check, JoinCheck::compute(&r, &s));
     }
@@ -154,7 +231,7 @@ mod tests {
         let (r, s) = canonical_pair(200_000, 200_000, 103);
         let e = engine(1 << 15, 200_000 / 16, 12);
         assert_eq!(e.plan(&r, &s), PlannedStrategy::CoProcessing);
-        let (strategy, out) = e.execute(&r, &s);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
         assert_eq!(strategy, PlannedStrategy::CoProcessing);
         assert_eq!(out.check, JoinCheck::compute(&r, &s));
     }
@@ -164,7 +241,39 @@ mod tests {
         let (r, s) = canonical_pair(50_000, 5_000, 104);
         // r is larger here: the engine must swap.
         let e = engine(1, 5_000, 8);
-        let (_, out) = e.execute(&r, &s);
+        let (_, out) = e.execute(&r, &s).unwrap();
         assert_eq!(out.check, JoinCheck::compute(&s, &r));
+    }
+
+    #[test]
+    fn ladder_descends_and_terminates() {
+        assert_eq!(PlannedStrategy::GpuResident.degraded(), Some(PlannedStrategy::StreamedProbe));
+        assert_eq!(PlannedStrategy::StreamedProbe.degraded(), Some(PlannedStrategy::CoProcessing));
+        assert_eq!(PlannedStrategy::CoProcessing.degraded(), None);
+        for s in PlannedStrategy::LADDER {
+            if let Some(next) = s.degraded() {
+                assert!(next.rank() > s.rank(), "degrading must strictly descend");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_estimate_fits_capacity_unless_coprocessing() {
+        let (r, s) = canonical_pair(10_000, 40_000, 105);
+        for scale_pow in 0..20u32 {
+            let e = engine(1 << scale_pow, 10_000, 8);
+            let plan = e.plan(&r, &s);
+            if plan != PlannedStrategy::CoProcessing {
+                assert!(
+                    e.footprint_estimate(plan, &r, &s) <= e.config.device.device_mem_bytes,
+                    "scale 2^{scale_pow}: chosen {plan} must fit its estimate"
+                );
+            }
+            // The co-processing floor is always admissible on an idle device.
+            assert!(
+                e.footprint_estimate(PlannedStrategy::CoProcessing, &r, &s)
+                    <= e.config.device.device_mem_bytes
+            );
+        }
     }
 }

@@ -25,8 +25,13 @@ pub mod cogadb;
 pub mod dbmsx;
 pub mod facade;
 pub mod result;
+pub mod service;
 
 pub use cogadb::CoGaDbLike;
 pub use dbmsx::DbmsXLike;
 pub use facade::{HcjEngine, PlannedStrategy};
 pub use result::{EngineError, EngineResult};
+pub use service::{
+    mixed_workload, ClientSpec, JoinService, RequestMetrics, RequestSpec, ServiceConfig,
+    ServiceReport,
+};

@@ -1,0 +1,612 @@
+//! A multi-tenant join service over the shared simulated GPU.
+//!
+//! The ROADMAP's north star is a system serving heavy join traffic, not a
+//! benchmark that owns the device. This module adds the missing layer: a
+//! service that accepts a stream of join requests from many clients and
+//! arbitrates the one device between them, the concurrency regime studied
+//! by He et al. (co-processing under shared memory) and Shanbhag et al.
+//! (contended-device crossovers).
+//!
+//! Design:
+//!
+//! * **Admission control.** Before a request may dispatch, the service
+//!   takes a [`DeviceMemory`] reservation for the planner's footprint
+//!   estimate of the request's current strategy
+//!   ([`HcjEngine::footprint_estimate`]). The reservation is held for the
+//!   whole simulated execution and freed on completion, so concurrently
+//!   admitted requests can never oversubscribe the modeled 8 GB part.
+//! * **Backpressure.** The dispatch queue has bounded depth; submissions
+//!   beyond it park in a FIFO of blocked clients and enter the queue as
+//!   slots free (closed-loop clients stall, they are not dropped).
+//! * **Backoff + degradation.** A rejected reservation retries with capped
+//!   exponential backoff; after `max_retries` failures at one rung the
+//!   request degrades down the strategy ladder (resident → streamed →
+//!   co-processing) and starts over. Co-processing is the floor and its
+//!   estimate never exceeds device capacity, so every request eventually
+//!   admits once running work drains — nothing panics, nothing starves
+//!   forever.
+//! * **Determinism.** The service is a single-threaded virtual-time event
+//!   loop (a [`SimTime`]-keyed calendar with a tie-breaking sequence
+//!   number). Only the *execution* of an admitted batch fans out, via
+//!   [`Pool::map`], whose results are bit-identical for every worker
+//!   count (PR 2's guarantee). All reservations, queue moves and metric
+//!   updates happen on the loop thread at deterministic virtual times, so
+//!   the same seed reproduces the same admission decisions byte-for-byte
+//!   at any `--jobs` value.
+//! * **Observability.** Every request records queue wait, retries,
+//!   planned vs. executed strategy and device occupancy at admission; the
+//!   whole run renders as one Chrome timeline ([`hcj_sim::Timeline`])
+//!   with a track per client and a device-memory counter.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hcj_gpu::{DeviceMemory, Reservation};
+use hcj_host::pool::Pool;
+use hcj_sim::{SimTime, Timeline, TrackId};
+use hcj_workload::generate::{KeyDistribution, RelationSpec};
+use hcj_workload::oracle::JoinCheck;
+use hcj_workload::rng::{Rng, SmallRng};
+use hcj_workload::Relation;
+
+use crate::facade::{HcjEngine, PlannedStrategy};
+
+/// Tuning of the service layer (the engine config rides in [`HcjEngine`]).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Dispatch-queue depth; submissions beyond it block their client.
+    pub queue_depth: usize,
+    /// Failed admissions tolerated per ladder rung before degrading.
+    pub max_retries: u32,
+    /// First retry delay; doubles per failed attempt at the same rung.
+    pub backoff_base: SimTime,
+    /// Upper bound on any retry delay.
+    pub backoff_cap: SimTime,
+    /// Closed-loop client think time between completion and next submit.
+    pub think_time: SimTime,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 8,
+            max_retries: 3,
+            backoff_base: SimTime::from_nanos(50_000), // 50 us
+            backoff_cap: SimTime::from_nanos(5_000_000), // 5 ms
+            think_time: SimTime::from_nanos(10_000),   // 10 us
+        }
+    }
+}
+
+/// One join a client wants to run: generator specs, not materialized
+/// relations, so a whole workload is cheap to describe and perfectly
+/// reproducible from its seeds.
+#[derive(Clone, Debug)]
+pub struct RequestSpec {
+    pub r: RelationSpec,
+    pub s: RelationSpec,
+}
+
+/// The request sequence of one closed-loop client.
+#[derive(Clone, Debug, Default)]
+pub struct ClientSpec {
+    pub requests: Vec<RequestSpec>,
+}
+
+/// A seeded mixed workload: `clients` closed-loop clients with
+/// `per_client` requests each, relation sizes in
+/// `[base_tuples, 4*base_tuples]`, probe sides 1–6x the build side, skew
+/// drawn from {uniform, zipf 0.25/0.75/1.0} and payload widths from
+/// {4, 16, 64} bytes. Build sides are unique-key relations and probe keys
+/// stay in the build domain, so result cardinality equals the probe size
+/// and oracle checks stay cheap.
+pub fn mixed_workload(
+    clients: usize,
+    per_client: usize,
+    base_tuples: usize,
+    seed: u64,
+) -> Vec<ClientSpec> {
+    let thetas = [0.0, 0.25, 0.75, 1.0];
+    let widths = [4u32, 16, 64];
+    (0..clients)
+        .map(|c| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
+            let requests = (0..per_client)
+                .map(|i| {
+                    let r_tuples = base_tuples * rng.gen_range_u64(1, 4) as usize;
+                    let s_tuples = r_tuples * rng.gen_range_u64(1, 6) as usize;
+                    let theta = thetas[rng.gen_range_u64(0, 3) as usize];
+                    let width = widths[rng.gen_range_u64(0, 2) as usize];
+                    let rs = seed
+                        .wrapping_mul(0x100000001B3)
+                        .wrapping_add((c as u64) << 20)
+                        .wrapping_add(i as u64);
+                    let r = RelationSpec::unique(r_tuples, rs).with_payload_width(width);
+                    let s = RelationSpec {
+                        tuples: s_tuples,
+                        distribution: if theta == 0.0 {
+                            KeyDistribution::UniformFk { distinct: r_tuples as u64 }
+                        } else {
+                            KeyDistribution::Zipf { distinct: r_tuples as u64, theta }
+                        },
+                        payload_width: width,
+                        seed: rs ^ 0x5DEE_CE66,
+                    };
+                    RequestSpec { r, s }
+                })
+                .collect();
+            ClientSpec { requests }
+        })
+        .collect()
+}
+
+/// Everything the service observed about one request.
+#[derive(Clone, Debug)]
+pub struct RequestMetrics {
+    pub client: usize,
+    /// Index within the client's request sequence.
+    pub index: usize,
+    pub submitted_at: SimTime,
+    pub admitted_at: SimTime,
+    pub completed_at: SimTime,
+    /// Failed admission attempts (reservation rejections).
+    pub retries: u32,
+    /// Whether the submission hit queue-depth backpressure.
+    pub blocked: bool,
+    /// What the planner chose on an idle device.
+    pub planned: PlannedStrategy,
+    /// What actually ran; `None` when even the co-processing floor failed
+    /// at run time (only possible on absurdly tiny devices).
+    pub executed: Option<PlannedStrategy>,
+    /// Device bytes in use (including this request) right after admission.
+    pub device_used_at_admit: u64,
+    /// Did the outcome match `JoinCheck::compute` on the inputs?
+    pub check_ok: bool,
+    pub matches: u64,
+}
+
+impl RequestMetrics {
+    /// Time spent between submission and admission (blocked + queued +
+    /// backing off).
+    pub fn queue_wait(&self) -> SimTime {
+        self.admitted_at - self.submitted_at
+    }
+
+    /// Did admission degrade this request below its plan?
+    pub fn degraded(&self) -> bool {
+        self.executed.is_some_and(|e| e.rank() > self.planned.rank())
+    }
+}
+
+/// The result of a whole service run.
+#[derive(Debug)]
+pub struct ServiceReport {
+    pub requests: Vec<RequestMetrics>,
+    /// Virtual time at which the last request completed.
+    pub makespan: SimTime,
+    /// High-water mark of reserved device bytes.
+    pub device_peak: u64,
+    pub device_capacity: u64,
+    /// The whole run as one Chrome-traceable timeline.
+    pub timeline: Timeline,
+}
+
+impl ServiceReport {
+    pub fn completed(&self) -> usize {
+        self.requests.iter().filter(|m| m.executed.is_some()).count()
+    }
+
+    pub fn checks_passed(&self) -> usize {
+        self.requests.iter().filter(|m| m.check_ok).count()
+    }
+
+    /// Requests that observably waited before admission.
+    pub fn queued(&self) -> usize {
+        self.requests.iter().filter(|m| m.queue_wait() > SimTime::ZERO).count()
+    }
+
+    pub fn retries_total(&self) -> u64 {
+        self.requests.iter().map(|m| u64::from(m.retries)).sum()
+    }
+
+    /// Requests that ran below their planned strategy under pressure.
+    pub fn degraded(&self) -> usize {
+        self.requests.iter().filter(|m| m.degraded()).count()
+    }
+
+    pub fn backpressured(&self) -> usize {
+        self.requests.iter().filter(|m| m.blocked).count()
+    }
+
+    pub fn executed_count(&self, strategy: PlannedStrategy) -> usize {
+        self.requests.iter().filter(|m| m.executed == Some(strategy)).count()
+    }
+
+    /// Deterministic human-readable summary; the soak harness diffs this
+    /// byte-for-byte across runs and `--jobs` counts.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<26}{v}\n"));
+        };
+        line("requests completed", format!("{}", self.completed()));
+        line("oracle checks", format!("{}/{} ok", self.checks_passed(), self.requests.len()));
+        line("queued (waited > 0)", format!("{}", self.queued()));
+        line("admission retries", format!("{}", self.retries_total()));
+        line("degraded under pressure", format!("{}", self.degraded()));
+        line("backpressured submits", format!("{}", self.backpressured()));
+        for s in PlannedStrategy::LADDER {
+            line(&format!("executed {s}"), format!("{}", self.executed_count(s)));
+        }
+        line(
+            "device peak",
+            format!(
+                "{} B of {} B ({:.1}%)",
+                self.device_peak,
+                self.device_capacity,
+                100.0 * self.device_peak as f64 / self.device_capacity.max(1) as f64
+            ),
+        );
+        line("virtual makespan", format!("{}", self.makespan));
+        out
+    }
+}
+
+/// Calendar events of the virtual-time loop.
+enum Event {
+    /// A client submits request `index`.
+    Submit { client: usize, index: usize },
+    /// A backoff timer fired; the request is eligible again.
+    Retry,
+    /// An admitted request finished its simulated execution.
+    Complete { req: usize },
+}
+
+/// Per-request live state (metrics plus loop bookkeeping).
+struct RequestState {
+    metrics: RequestMetrics,
+    /// Materialized inputs; dropped once the request completes.
+    inputs: Option<(Relation, Relation)>,
+    /// Current rung on the ladder (degrades under pressure).
+    level: PlannedStrategy,
+    /// Failed attempts at the current rung.
+    attempts: u32,
+    /// Not eligible for admission before this time (backoff).
+    eligible_at: SimTime,
+    /// Held from admission to completion.
+    reservation: Option<Reservation>,
+}
+
+/// The multi-tenant join service. Owns the engine (planner + strategies)
+/// and the device-memory accountant all requests share.
+pub struct JoinService {
+    pub engine: HcjEngine,
+    pub config: ServiceConfig,
+}
+
+impl JoinService {
+    pub fn new(engine: HcjEngine, config: ServiceConfig) -> Self {
+        JoinService { engine, config }
+    }
+
+    /// Retry delay after `attempts` consecutive failures at one rung:
+    /// `base * 2^(attempts-1)`, capped.
+    fn backoff(&self, attempts: u32) -> SimTime {
+        let base = self.config.backoff_base.as_nanos().max(1);
+        let delay = base.saturating_mul(1u64 << (attempts.saturating_sub(1)).min(20));
+        SimTime::from_nanos(delay.min(self.config.backoff_cap.as_nanos()))
+    }
+
+    /// Drive the whole workload to completion, returning per-request
+    /// metrics, the service timeline and aggregate counters.
+    pub fn run(&self, workload: &[ClientSpec]) -> ServiceReport {
+        let device = DeviceMemory::new(self.engine.config.device.device_mem_bytes);
+        let mut calendar: BTreeMap<(SimTime, u64), Event> = BTreeMap::new();
+        let mut seq = 0u64;
+        let mut schedule = |cal: &mut BTreeMap<(SimTime, u64), Event>, at: SimTime, e: Event| {
+            cal.insert((at, seq), e);
+            seq += 1;
+        };
+
+        let mut requests: Vec<RequestState> = Vec::new();
+        // Dispatch queue (request ids, FIFO) and the backpressure park.
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut blocked: VecDeque<usize> = VecDeque::new();
+
+        let mut timeline = Timeline::new("hcj join service");
+        let tracks: Vec<TrackId> =
+            (0..workload.len()).map(|c| timeline.track(format!("client {c}"))).collect();
+        let device_counter = timeline.counter("device reserved (B)");
+
+        for (c, client) in workload.iter().enumerate() {
+            if !client.requests.is_empty() {
+                schedule(&mut calendar, SimTime::ZERO, Event::Submit { client: c, index: 0 });
+            }
+        }
+
+        let mut makespan = SimTime::ZERO;
+        while let Some((&(now, _), _)) = calendar.iter().next() {
+            // Drain every event at `now` in sequence order, then run one
+            // admission wave over the resulting queue state.
+            while let Some((&key, _)) = calendar.iter().next() {
+                if key.0 != now {
+                    break;
+                }
+                let event = calendar.remove(&key).expect("peeked key present");
+                match event {
+                    Event::Submit { client, index } => {
+                        let spec = &workload[client].requests[index];
+                        let (r, s) = (spec.r.generate(), spec.s.generate());
+                        let (build, probe) = if r.len() <= s.len() { (&r, &s) } else { (&s, &r) };
+                        let planned = self.engine.plan(build, probe);
+                        let id = requests.len();
+                        requests.push(RequestState {
+                            metrics: RequestMetrics {
+                                client,
+                                index,
+                                submitted_at: now,
+                                admitted_at: now,
+                                completed_at: now,
+                                retries: 0,
+                                blocked: false,
+                                planned,
+                                executed: None,
+                                device_used_at_admit: 0,
+                                check_ok: false,
+                                matches: 0,
+                            },
+                            inputs: Some((r, s)),
+                            level: planned,
+                            attempts: 0,
+                            eligible_at: now,
+                            reservation: None,
+                        });
+                        if queue.len() < self.config.queue_depth {
+                            queue.push_back(id);
+                        } else {
+                            requests[id].metrics.blocked = true;
+                            blocked.push_back(id);
+                        }
+                    }
+                    Event::Retry => {
+                        // Pure wake-up: eligibility is checked by the wave.
+                    }
+                    Event::Complete { req } => {
+                        let st = &mut requests[req];
+                        st.metrics.completed_at = now;
+                        st.reservation = None; // frees the accounted bytes
+                        makespan = makespan.max(now);
+                        let m = &st.metrics;
+                        if m.queue_wait() > SimTime::ZERO {
+                            timeline.span(
+                                tracks[m.client],
+                                format!("wait r{}.{}", m.client, m.index),
+                                0,
+                                m.submitted_at,
+                                m.admitted_at,
+                            );
+                        }
+                        if let Some(executed) = m.executed {
+                            timeline.span(
+                                tracks[m.client],
+                                format!("{} r{}.{}", executed, m.client, m.index),
+                                executed.rank() as u32 + 1,
+                                m.admitted_at,
+                                m.completed_at,
+                            );
+                        }
+                        timeline.sample(device_counter, now, device.used() as f64);
+                        let (client, index) = (st.metrics.client, st.metrics.index);
+                        if index + 1 < workload[client].requests.len() {
+                            schedule(
+                                &mut calendar,
+                                now + self.config.think_time,
+                                Event::Submit { client, index: index + 1 },
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Backpressure release: parked submissions enter in FIFO order.
+            while queue.len() < self.config.queue_depth {
+                match blocked.pop_front() {
+                    Some(id) => queue.push_back(id),
+                    None => break,
+                }
+            }
+
+            // Admission wave: scan the queue in order; requests still
+            // backing off are skipped, rejected ones reschedule themselves.
+            let mut batch: Vec<usize> = Vec::new();
+            queue.retain(|&id| {
+                let st = &mut requests[id];
+                if st.eligible_at > now {
+                    return true;
+                }
+                let (r, s) = st.inputs.as_ref().expect("queued request has inputs");
+                let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
+                let estimate = self.engine.footprint_estimate(st.level, build, probe);
+                match device.reserve(estimate) {
+                    Ok(res) => {
+                        st.reservation = Some(res);
+                        st.metrics.admitted_at = now;
+                        st.metrics.device_used_at_admit = device.used();
+                        batch.push(id);
+                        false
+                    }
+                    Err(_) => {
+                        st.metrics.retries += 1;
+                        st.attempts += 1;
+                        if st.attempts > self.config.max_retries {
+                            if let Some(next) = st.level.degraded() {
+                                st.level = next;
+                                st.attempts = 0;
+                            }
+                        }
+                        st.eligible_at = now + self.backoff(st.attempts.max(1));
+                        true
+                    }
+                }
+            });
+            // Wake the loop when each rejected request's backoff expires
+            // (Retry is a pure wake-up; eligibility is re-checked then).
+            let wakeups: Vec<SimTime> = queue
+                .iter()
+                .filter(|&&id| requests[id].eligible_at > now)
+                .map(|&id| requests[id].eligible_at)
+                .collect();
+            for at in wakeups {
+                schedule(&mut calendar, at, Event::Retry);
+            }
+
+            if batch.is_empty() {
+                continue;
+            }
+            timeline.sample(device_counter, now, device.used() as f64);
+            // Execute the admitted batch on the host pool. The closure is
+            // pure over shared state; results come back in batch order, so
+            // everything downstream is independent of the worker count.
+            struct Executed {
+                strategy: Option<PlannedStrategy>,
+                check: JoinCheck,
+                expected: JoinCheck,
+                duration: SimTime,
+            }
+            let engine = &self.engine;
+            let results: Vec<Executed> = Pool::current().map(&batch, |_, &id| {
+                let st = &requests[id];
+                let (r, s) = st.inputs.as_ref().expect("admitted request has inputs");
+                let expected = JoinCheck::compute(r, s);
+                match engine.execute_from(st.level, r, s) {
+                    Ok((strategy, outcome)) => Executed {
+                        strategy: Some(strategy),
+                        check: outcome.check,
+                        expected,
+                        duration: SimTime::from_nanos(
+                            outcome.schedule.makespan().as_nanos().max(1),
+                        ),
+                    },
+                    Err(_) => Executed {
+                        strategy: None,
+                        check: expected,
+                        expected,
+                        duration: SimTime::from_nanos(1),
+                    },
+                }
+            });
+            for (&id, exec) in batch.iter().zip(results) {
+                let st = &mut requests[id];
+                st.metrics.executed = exec.strategy;
+                st.metrics.check_ok = exec.strategy.is_some() && exec.check == exec.expected;
+                st.metrics.matches = exec.check.matches;
+                st.inputs = None; // inputs are no longer needed; free them
+                schedule(&mut calendar, now + exec.duration, Event::Complete { req: id });
+            }
+        }
+
+        ServiceReport {
+            makespan,
+            device_peak: device.peak(),
+            device_capacity: device.capacity(),
+            timeline,
+            requests: requests.into_iter().map(|st| st.metrics).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_core::GpuJoinConfig;
+    use hcj_gpu::DeviceSpec;
+
+    /// A device small enough that a handful of concurrent requests contend:
+    /// `scale` divides the 8 GB part's capacity.
+    fn service(scale: u64, tuned_for: usize) -> JoinService {
+        let device = DeviceSpec::gtx1080().scaled_capacity(scale);
+        let engine = HcjEngine::new(
+            GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(tuned_for),
+        );
+        JoinService::new(engine, ServiceConfig::default())
+    }
+
+    #[test]
+    fn single_request_completes_without_waiting() {
+        let svc = service(1 << 10, 2_000); // 8 MB device, tiny join
+        let workload = vec![ClientSpec {
+            requests: vec![RequestSpec {
+                r: RelationSpec::unique(2_000, 1),
+                s: RelationSpec::unique(2_000, 2),
+            }],
+        }];
+        let report = svc.run(&workload);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.checks_passed(), 1);
+        assert_eq!(report.queued(), 0);
+        assert_eq!(report.requests[0].executed, Some(PlannedStrategy::GpuResident));
+        assert!(report.makespan > SimTime::ZERO);
+        assert!(report.timeline.span_count() >= 1);
+    }
+
+    #[test]
+    fn contended_device_queues_and_degrades() {
+        // 512 KB device; 8 clients x 3 requests of ~48-130 KB resident
+        // footprint each: a few run resident, the rest must wait or degrade.
+        let svc = service(1 << 14, 6_000);
+        let workload = mixed_workload(8, 3, 2_000, 42);
+        let report = svc.run(&workload);
+        assert_eq!(report.completed(), 24);
+        assert_eq!(report.checks_passed(), 24);
+        assert!(report.queued() > 0, "contention must be observable:\n{}", report.summary());
+        assert!(report.retries_total() > 0);
+        assert!(report.device_peak <= report.device_capacity);
+    }
+
+    #[test]
+    fn same_seed_same_report_any_worker_count() {
+        let workload = mixed_workload(4, 2, 1_000, 7);
+        let mut summaries = Vec::new();
+        for jobs in [1usize, 4] {
+            hcj_host::pool::set_jobs(jobs);
+            let report = service(1 << 14, 4_000).run(&workload);
+            summaries.push(report.summary());
+        }
+        hcj_host::pool::set_jobs(1);
+        assert_eq!(summaries[0], summaries[1], "summary must not depend on --jobs");
+    }
+
+    #[test]
+    fn backpressure_parks_past_queue_depth() {
+        let config = ServiceConfig { queue_depth: 1, ..ServiceConfig::default() };
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+        let engine = HcjEngine::new(
+            GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(4_000),
+        );
+        let svc = JoinService::new(engine, config);
+        // 4 clients submit at t=0 into a depth-1 queue: at least two park.
+        let workload = mixed_workload(4, 1, 4_000, 3);
+        let report = svc.run(&workload);
+        assert_eq!(report.completed(), 4);
+        assert!(report.backpressured() >= 2, "{}", report.summary());
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic_and_mixed() {
+        let a = mixed_workload(3, 5, 1_000, 9);
+        let b = mixed_workload(3, 5, 1_000, 9);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let sizes: std::collections::HashSet<usize> =
+            a.iter().flat_map(|c| c.requests.iter().map(|q| q.r.tuples)).collect();
+        assert!(sizes.len() > 1, "sizes must vary: {sizes:?}");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let svc = service(1, 1_000);
+        let base = svc.config.backoff_base;
+        assert_eq!(svc.backoff(1), base);
+        assert_eq!(svc.backoff(2).as_nanos(), base.as_nanos() * 2);
+        assert_eq!(svc.backoff(3).as_nanos(), base.as_nanos() * 4);
+        assert_eq!(svc.backoff(63), svc.config.backoff_cap);
+    }
+}

@@ -38,7 +38,7 @@ pub mod uva;
 pub mod warp;
 
 pub use cost::KernelCost;
-pub use memory::{DeviceBuffer, DeviceMemory, OutOfDeviceMemory};
+pub use memory::{DeviceBuffer, DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use shared::{SharedMemLayout, SharedMemOverflow};
 pub use spec::DeviceSpec;
 pub use stream::{Gpu, GpuEvent, Stream, TransferKind};

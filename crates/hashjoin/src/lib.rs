@@ -42,7 +42,7 @@
 //! | [`sim`] (`hcj-sim`) | discrete-event engine under both models |
 //! | [`workload`] (`hcj-workload`) | generators: uniform/zipf/replicated/TPC-H, oracle |
 //! | [`cpu_join`] (`hcj-cpu-join`) | CPU baselines PRO and NPO |
-//! | [`engines`] (`hcj-engines`) | planner facade + DBMS-X/CoGaDB behavioural models |
+//! | [`engines`] (`hcj-engines`) | planner facade, multi-tenant join service + DBMS-X/CoGaDB behavioural models |
 
 pub use hcj_core as core;
 pub use hcj_cpu_join as cpu_join;
@@ -59,7 +59,10 @@ pub mod prelude {
         OutputMode, PassAssignment, Phase, ProbeKind, StreamedProbeConfig, StreamedProbeJoin,
     };
     pub use hcj_cpu_join::{NpoJoin, ProJoin};
-    pub use hcj_engines::{CoGaDbLike, DbmsXLike, HcjEngine, PlannedStrategy};
+    pub use hcj_engines::{
+        mixed_workload, ClientSpec, CoGaDbLike, DbmsXLike, HcjEngine, JoinService, PlannedStrategy,
+        RequestSpec, ServiceConfig, ServiceReport,
+    };
     pub use hcj_gpu::DeviceSpec;
     pub use hcj_host::HostSpec;
     pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};

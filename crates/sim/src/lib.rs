@@ -59,7 +59,7 @@ pub use op::{Op, OpId};
 pub use resource::{ResourceId, ResourceKind};
 pub use schedule::{RateSegment, ResourceMeta, Schedule, Span};
 pub use time::SimTime;
-pub use trace::TraceExporter;
+pub use trace::{CounterId, Timeline, TimelineSpan, TraceExporter, TrackId};
 pub use validate::{Invariant, ScheduleValidator, ValidationError, Violation};
 
 /// Convenience: bytes-per-second rate from GB/s (decimal gigabytes).

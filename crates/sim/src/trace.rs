@@ -20,6 +20,79 @@ use crate::resource::ResourceKind;
 use crate::schedule::Schedule;
 use crate::time::SimTime;
 
+/// A hand-built timeline for trace export: named tracks of closed spans
+/// plus counter series, in the same `trace_event` vocabulary a
+/// [`Schedule`] exports to. Layers above the simulator (e.g. a join
+/// *service* multiplexing many schedules over one device) use this to
+/// render their own virtual-time history — queue waits, admissions,
+/// device-memory pressure — as one Chrome/Perfetto timeline.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    process_name: String,
+    tracks: Vec<(String, Vec<TimelineSpan>)>,
+    counters: Vec<(String, Vec<(SimTime, f64)>)>,
+}
+
+/// One closed `[start, end]` span on a [`Timeline`] track. `class` maps to
+/// the trace category (colors groups of spans alike in viewers).
+#[derive(Clone, Debug)]
+pub struct TimelineSpan {
+    pub label: String,
+    pub class: u32,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// Index of a track within its [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackId(usize);
+
+/// Index of a counter series within its [`Timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+impl Timeline {
+    pub fn new(process_name: impl Into<String>) -> Self {
+        Timeline { process_name: process_name.into(), tracks: Vec::new(), counters: Vec::new() }
+    }
+
+    /// Add a named track; spans land on it via [`Timeline::span`].
+    pub fn track(&mut self, name: impl Into<String>) -> TrackId {
+        self.tracks.push((name.into(), Vec::new()));
+        TrackId(self.tracks.len() - 1)
+    }
+
+    /// Record a closed span on `track`. Zero-length spans are kept (they
+    /// export with their true zero duration and mark instants).
+    pub fn span(
+        &mut self,
+        track: TrackId,
+        label: impl Into<String>,
+        class: u32,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(start <= end, "span must close after it opens");
+        self.tracks[track.0].1.push(TimelineSpan { label: label.into(), class, start, end });
+    }
+
+    /// Add a counter series; points land on it via [`Timeline::sample`].
+    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
+        self.counters.push((name.into(), Vec::new()));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Record that `counter` has `value` from `at` onward.
+    pub fn sample(&mut self, counter: CounterId, at: SimTime, value: f64) {
+        self.counters[counter.0].1.push((at, value));
+    }
+
+    /// Number of spans across all tracks.
+    pub fn span_count(&self) -> usize {
+        self.tracks.iter().map(|(_, s)| s.len()).sum()
+    }
+}
+
 /// Serializes schedules to Chrome trace JSON; see the module docs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TraceExporter;
@@ -125,6 +198,63 @@ impl TraceExporter {
             }
         }
         std::fs::write(path, self.to_json(schedule))
+    }
+
+    /// Render a hand-built [`Timeline`] as a Chrome trace JSON document:
+    /// one thread per track, one complete event per span, one counter
+    /// track per series.
+    pub fn timeline_to_json(&self, timeline: &Timeline) -> String {
+        let mut events: Vec<String> = Vec::new();
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{{"name":{}}}}}"#,
+            json_string(&timeline.process_name),
+        ));
+        for (tid, (name, _)) in timeline.tracks.iter().enumerate() {
+            events.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":{}}}}}"#,
+                json_string(name),
+            ));
+        }
+        for (tid, (_, spans)) in timeline.tracks.iter().enumerate() {
+            for sp in spans {
+                events.push(format!(
+                    r#"{{"name":{},"cat":{},"ph":"X","pid":0,"tid":{tid},"ts":{},"dur":{},"args":{{"class":{}}}}}"#,
+                    json_string(&sp.label),
+                    json_string(&format!("class-{}", sp.class)),
+                    micros(sp.start),
+                    micros(sp.end - sp.start),
+                    sp.class,
+                ));
+            }
+        }
+        for (name, points) in &timeline.counters {
+            let counter = json_string(name);
+            for (at, value) in points {
+                events.push(format!(
+                    r#"{{"name":{counter},"ph":"C","pid":0,"ts":{},"args":{{"value":{}}}}}"#,
+                    micros(*at),
+                    json_f64(*value),
+                ));
+            }
+        }
+        let mut out = String::with_capacity(events.iter().map(|e| e.len() + 4).sum::<usize>() + 64);
+        out.push_str("{\"traceEvents\":[\n");
+        for (i, ev) in events.iter().enumerate() {
+            out.push_str(ev);
+            out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Write a [`Timeline`] to `path`, creating parent directories.
+    pub fn write_timeline(&self, timeline: &Timeline, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.timeline_to_json(timeline))
     }
 }
 
@@ -353,5 +483,54 @@ mod tests {
     fn empty_schedule_still_valid() {
         let json = TraceExporter::new().to_json(&Sim::new().run());
         json::parse(&json).expect("empty trace must parse");
+    }
+
+    fn sample_timeline() -> Timeline {
+        let mut tl = Timeline::new("join-service");
+        let c0 = tl.track("client 0");
+        let c1 = tl.track("client \"1\"");
+        tl.span(c0, "wait r0.0", 1, SimTime::ZERO, SimTime::from_nanos(2_000));
+        tl.span(c0, "GpuResident r0.0", 2, SimTime::from_nanos(2_000), SimTime::from_nanos(9_000));
+        tl.span(c1, "instant", 3, SimTime::from_nanos(500), SimTime::from_nanos(500));
+        let mem = tl.counter("device used");
+        tl.sample(mem, SimTime::ZERO, 0.0);
+        tl.sample(mem, SimTime::from_nanos(2_000), 4096.0);
+        tl.sample(mem, SimTime::from_nanos(9_000), 0.0);
+        tl
+    }
+
+    #[test]
+    fn timeline_is_valid_json_with_tracks_and_counters() {
+        let tl = sample_timeline();
+        assert_eq!(tl.span_count(), 3);
+        let json = TraceExporter::new().timeline_to_json(&tl);
+        json::parse(&json).expect("timeline must parse as JSON");
+        assert!(json.contains("join-service"));
+        assert!(json.contains("client 0"));
+        assert!(json.contains("\\\"1\\\"")); // track-name quotes escaped
+        assert!(json.contains("GpuResident r0.0"));
+        assert!(json.contains("device used"));
+        assert!(json.contains("\"ph\":\"C\""));
+        // The zero-length span exports with zero duration, not dropped.
+        assert!(json.contains(
+            r#""name":"instant","cat":"class-3","ph":"X","pid":0,"tid":1,"ts":0.500,"dur":0.000"#
+        ));
+    }
+
+    #[test]
+    fn timeline_write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("hcj-timeline-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("service.trace.json");
+        TraceExporter::new().write_timeline(&sample_timeline(), &path).expect("write timeline");
+        let body = std::fs::read_to_string(&path).expect("read timeline back");
+        json::parse(&body).expect("written timeline must parse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_timeline_still_valid() {
+        let json = TraceExporter::new().timeline_to_json(&Timeline::new("empty"));
+        json::parse(&json).expect("empty timeline must parse");
     }
 }

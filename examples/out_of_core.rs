@@ -29,7 +29,7 @@ fn main() {
             .with_tuned_buckets(r_tuples / 8);
         let engine = HcjEngine::new(config);
         let plan = engine.plan(&r, &s);
-        let (strategy, outcome) = engine.execute(&r, &s);
+        let (strategy, outcome) = engine.execute(&r, &s).expect("a 4 MB device still co-processes");
         if plan != strategy {
             println!("  (planned {plan:?}, escalated to {strategy:?} at run time)");
         }

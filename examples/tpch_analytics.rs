@@ -34,7 +34,8 @@ fn main() {
         let config = GpuJoinConfig::paper_default(device.clone())
             .with_radix_bits(12)
             .with_tuned_buckets(build.len());
-        let ours = HcjEngine::new(config).run(build, probe);
+        let ours =
+            HcjEngine::new(config).run(build, probe).expect("TPC-H fits the full-size device");
         println!("  {:<18} {:>9.2} M tuples/s", ours.engine, ours.throughput_tuples_per_s() / 1e6);
         match DbmsXLike::new(device.clone()).execute(build, probe) {
             Ok(r) => {

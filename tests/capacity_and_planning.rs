@@ -16,7 +16,7 @@ fn shrinking_device_walks_through_all_three_strategies() {
     for scale_pow in [0u32, 13, 15] {
         let device = DeviceSpec::gtx1080().scaled_capacity(1 << scale_pow);
         let engine = HcjEngine::new(config_for(device, r.len()));
-        let (strategy, out) = engine.execute(&r, &s);
+        let (strategy, out) = engine.execute(&r, &s).unwrap();
         assert_eq!(out.check, JoinCheck::compute(&r, &s), "{strategy:?}");
         seen.push(strategy);
     }
@@ -100,11 +100,102 @@ fn engine_models_fail_where_the_paper_says_they_fail() {
     assert_eq!(dx.check, JoinCheck::compute(&r, &s));
 }
 
+// --- Planner property tests (seeded loops, the repo's vendored-rng -------
+// --- replacement for proptest) -------------------------------------------
+
+/// Property: escalation always terminates. The ladder is finite and every
+/// `degraded()` step strictly increases the rank, so `execute_from` can
+/// attempt at most `LADDER.len()` strategies from any start.
+#[test]
+fn property_escalation_terminates_from_any_start() {
+    use hashjoin_gpu::workload::rng::{Rng, SmallRng};
+    for case in 0..12u64 {
+        let mut p = SmallRng::seed_from_u64(0x7E21 ^ case.wrapping_mul(0x9E37_79B9));
+        let r_tuples = p.gen_range_u64(500, 4999) as usize;
+        let s_tuples = p.gen_range_u64(500, 9999) as usize;
+        let scale_pow = p.gen_range_u64(0, 16) as u32;
+        let (r, s) = canonical_pair(r_tuples, s_tuples, p.next_u64());
+        let device = DeviceSpec::gtx1080().scaled_capacity(1u64 << scale_pow);
+        let engine = HcjEngine::new(config_for(device, r_tuples));
+        // The ladder itself strictly descends...
+        for strategy in PlannedStrategy::LADDER {
+            if let Some(next) = strategy.degraded() {
+                assert!(next.rank() > strategy.rank(), "case {case}");
+            }
+        }
+        // ...and execution from every rung returns (Ok here: these
+        // capacities keep the co-processing floor viable).
+        for start in PlannedStrategy::LADDER {
+            let (landed, out) = engine
+                .execute_from(start, &r, &s)
+                .unwrap_or_else(|e| panic!("case {case} from {start}: {e}"));
+            assert!(landed.rank() >= start.rank(), "case {case}: no upward escalation");
+            assert_eq!(out.check, JoinCheck::compute(&r, &s), "case {case} from {start}");
+        }
+    }
+}
+
+/// Property: whatever the planner picks, the picked strategy's own
+/// footprint estimate fits device capacity (co-processing, the floor, is
+/// always admissible by construction).
+#[test]
+fn property_chosen_estimate_fits_capacity() {
+    use hashjoin_gpu::workload::rng::{Rng, SmallRng};
+    for case in 0..64u64 {
+        let mut p = SmallRng::seed_from_u64(0xF17 ^ case.wrapping_mul(0x9E37_79B9));
+        let r_tuples = p.gen_range_u64(100, 49_999) as usize;
+        let s_tuples = p.gen_range_u64(100, 99_999) as usize;
+        let scale_pow = p.gen_range_u64(0, 24) as u32;
+        let (r, s) = canonical_pair(r_tuples, s_tuples, p.next_u64());
+        let device = DeviceSpec::gtx1080().scaled_capacity(1u64 << scale_pow);
+        let capacity = device.device_mem_bytes;
+        let engine = HcjEngine::new(config_for(device, r_tuples));
+        let plan = engine.plan(&r, &s);
+        assert!(
+            engine.footprint_estimate(plan, &r, &s) <= capacity,
+            "case {case}: {plan} estimated over capacity (2^{scale_pow})"
+        );
+    }
+}
+
+/// Property: monotonicity. Growing `device_mem_bytes` (shrinking the
+/// scale divisor) never moves `plan()` to a *more* degraded strategy —
+/// more memory can only help.
+#[test]
+fn property_plan_is_monotone_in_capacity() {
+    use hashjoin_gpu::workload::rng::{Rng, SmallRng};
+    for case in 0..24u64 {
+        let mut p = SmallRng::seed_from_u64(0x0A07 ^ case.wrapping_mul(0x9E37_79B9));
+        let r_tuples = p.gen_range_u64(100, 79_999) as usize;
+        let s_tuples = p.gen_range_u64(100, 159_999) as usize;
+        let (r, s) = canonical_pair(r_tuples, s_tuples, p.next_u64());
+        let mut last_rank: Option<usize> = None;
+        // Walk capacity upward: 8 GB / 2^20 ... 8 GB.
+        for scale_pow in (0..=20u32).rev() {
+            let device = DeviceSpec::gtx1080().scaled_capacity(1u64 << scale_pow);
+            let engine = HcjEngine::new(config_for(device, r_tuples));
+            let rank = engine.plan(&r, &s).rank();
+            if let Some(prev) = last_rank {
+                assert!(
+                    rank <= prev,
+                    "case {case}: capacity grew (2^{}→2^{scale_pow} divisor) but the plan \
+                     degraded from rank {prev} to {rank}",
+                    scale_pow + 1
+                );
+            }
+            last_rank = Some(rank);
+        }
+        // And at full capacity the paper's device always runs resident
+        // workloads this small.
+        assert_eq!(last_rank, Some(PlannedStrategy::GpuResident.rank()), "case {case}");
+    }
+}
+
 #[test]
 fn planner_swaps_sides_so_the_smaller_relation_builds() {
     let (big, small) = canonical_pair(60_000, 6_000, 2007);
     let engine = HcjEngine::new(config_for(DeviceSpec::gtx1080(), 6_000));
-    let (_, out) = engine.execute(&big, &small);
+    let (_, out) = engine.execute(&big, &small).unwrap();
     // canonical_pair makes `small`'s keys a subset of `big`'s domain...
     // actually it generates small as FK into big's keyspace; regardless,
     // the join result must match the oracle with either orientation.

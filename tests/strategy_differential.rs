@@ -1,0 +1,152 @@
+//! Oracle-differential suite: every join strategy in the workspace ×
+//! every skew class × payload widths, all validated against the reference
+//! oracle (`hcj_workload::oracle`). Each cell's inputs derive from one
+//! printed seed, so any mismatch replays with a one-line reproducer.
+//!
+//! Strategies covered (the full menu the engine facade and the service
+//! can dispatch to):
+//!
+//! * GPU-resident partitioned join with all three probe kernels
+//!   (shared-memory hash, device-memory hash, ballot nested-loop);
+//! * streamed probe (build resident, probe chunks over PCIe);
+//! * CPU–GPU co-processing (CPU pre-partitions, working sets beyond the
+//!   device);
+//! * the CPU baselines NPO and PRO;
+//! * the non-partitioned GPU join.
+
+use hashjoin_gpu::core::nonpart::{NonPartitionedJoin, NonPartitionedKind};
+use hashjoin_gpu::prelude::*;
+
+/// The skew grid the ISSUE mandates: uniform plus three zipf exponents.
+const SKEWS: [(&str, f64); 4] =
+    [("uniform", 0.0), ("zipf-0.25", 0.25), ("zipf-0.75", 0.75), ("zipf-1.0", 1.0)];
+
+/// Payload widths: the narrow 8-byte tuple of the micro-benchmarks and a
+/// wide tuple that stresses the cost model's byte accounting.
+const WIDTHS: [u32; 2] = [4, 64];
+
+/// One probe-side relation per (skew, width) cell over a unique build
+/// side; the seed is derived from the cell so failures print it.
+fn cell(skew: f64, width: u32, seed: u64) -> (Relation, Relation) {
+    let r_tuples = 6_000;
+    let s_tuples = 18_000;
+    let r = RelationSpec::unique(r_tuples, seed).with_payload_width(width).generate();
+    let s = RelationSpec {
+        tuples: s_tuples,
+        distribution: if skew == 0.0 {
+            KeyDistribution::UniformFk { distinct: r_tuples as u64 }
+        } else {
+            KeyDistribution::Zipf { distinct: r_tuples as u64, theta: skew }
+        },
+        payload_width: width,
+        seed: seed ^ 0x00DD_BA11,
+    }
+    .generate();
+    (r, s)
+}
+
+fn gpu_config(tuples: usize) -> GpuJoinConfig {
+    GpuJoinConfig::paper_default(DeviceSpec::gtx1080())
+        .with_radix_bits(8)
+        .with_tuned_buckets(tuples)
+}
+
+/// Run every strategy on one cell and compare each against the oracle.
+fn differential(name: &str, skew: f64, width: u32) {
+    let seed = 0xD1FF ^ (((skew * 100.0) as u64) << 8) ^ u64::from(width);
+    let (r, s) = cell(skew, width, seed);
+    let want = JoinCheck::compute(&r, &s);
+    let reproduce = format!("cell {name} width {width}: seed {seed:#x}");
+
+    for probe in [ProbeKind::HashJoin, ProbeKind::DeviceHashJoin, ProbeKind::NestedLoop] {
+        let out = GpuPartitionedJoin::new(gpu_config(r.len()).with_probe(probe))
+            .execute(&r, &s)
+            .unwrap_or_else(|e| panic!("resident {probe:?} OOM ({reproduce}): {e}"));
+        assert_eq!(out.check, want, "resident {probe:?} ({reproduce})");
+    }
+
+    let streamed = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(gpu_config(r.len())))
+        .execute(&r, &s)
+        .unwrap_or_else(|e| panic!("streamed OOM ({reproduce}): {e}"));
+    assert_eq!(streamed.check, want, "streamed-probe ({reproduce})");
+
+    // Co-processing on a scaled-down device so its chunking really cuts.
+    let scaled = DeviceSpec::gtx1080().scaled_capacity(1 << 13);
+    let coproc = CoProcessingJoin::new(CoProcessingConfig::paper_default(
+        GpuJoinConfig::paper_default(scaled).with_radix_bits(10).with_tuned_buckets(r.len() / 16),
+    ))
+    .execute(&r, &s)
+    .unwrap_or_else(|e| panic!("co-processing OOM ({reproduce}): {e}"));
+    assert_eq!(coproc.check, want, "co-processing ({reproduce})");
+
+    let npo = NpoJoin::paper_default().execute(&r, &s);
+    assert_eq!(npo.check, want, "cpu-npo ({reproduce})");
+    let pro = ProJoin::paper_default().execute(&r, &s);
+    assert_eq!(pro.check, want, "cpu-pro ({reproduce})");
+
+    let nonpart = NonPartitionedJoin::new(NonPartitionedKind::Chaining, OutputMode::Aggregate)
+        .execute(&r, &s);
+    assert_eq!(nonpart.check, want, "non-partitioned ({reproduce})");
+
+    // Materialized rows must also agree, not just the aggregates (one
+    // strategy per cell keeps the suite fast; the resident join is the
+    // one whose output layout is most intricate).
+    let mat = GpuPartitionedJoin::new(gpu_config(r.len()).with_output(OutputMode::Materialize))
+        .execute(&r, &s)
+        .unwrap_or_else(|e| panic!("materialize OOM ({reproduce}): {e}"));
+    let mut got = mat.rows.expect("materialize mode returns rows");
+    got.sort_unstable();
+    assert_eq!(got, reference_join(&r, &s), "materialized rows ({reproduce})");
+}
+
+// One #[test] per skew class: cells run (and fail) independently, and a
+// full-suite run covers the whole strategy × skew × width grid.
+
+#[test]
+fn differential_uniform() {
+    for width in WIDTHS {
+        differential(SKEWS[0].0, SKEWS[0].1, width);
+    }
+}
+
+#[test]
+fn differential_zipf_025() {
+    for width in WIDTHS {
+        differential(SKEWS[1].0, SKEWS[1].1, width);
+    }
+}
+
+#[test]
+fn differential_zipf_075() {
+    for width in WIDTHS {
+        differential(SKEWS[2].0, SKEWS[2].1, width);
+    }
+}
+
+#[test]
+fn differential_zipf_100() {
+    for width in WIDTHS {
+        differential(SKEWS[3].0, SKEWS[3].1, width);
+    }
+}
+
+/// The facade must agree with the oracle on every cell too (it adds the
+/// planner and the escalation loop on top of the strategies above).
+#[test]
+fn differential_facade_over_all_cells() {
+    for (name, skew) in SKEWS {
+        for width in WIDTHS {
+            let seed = 0xFACE ^ (((skew * 100.0) as u64) << 8) ^ u64::from(width);
+            let (r, s) = cell(skew, width, seed);
+            let engine = HcjEngine::new(gpu_config(r.len()));
+            let (strategy, out) = engine.execute(&r, &s).unwrap_or_else(|e| {
+                panic!("facade OOM (cell {name} width {width}, seed {seed:#x}): {e}")
+            });
+            assert_eq!(
+                out.check,
+                JoinCheck::compute(&r, &s),
+                "facade via {strategy} (cell {name} width {width}, seed {seed:#x})"
+            );
+        }
+    }
+}

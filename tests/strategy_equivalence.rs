@@ -191,7 +191,7 @@ fn facade_correct_at_any_capacity() {
             .with_radix_bits(9)
             .with_tuned_buckets(r_tuples / 8);
         let engine = HcjEngine::new(config);
-        let (_, out) = engine.execute(&r, &s);
+        let (_, out) = engine.execute(&r, &s).unwrap();
         assert_eq!(out.check, JoinCheck::compute(&r, &s), "case {case}, capacity 2^{scale_pow}");
     }
 }
