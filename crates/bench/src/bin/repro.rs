@@ -14,7 +14,10 @@
 //! (or `HCJ_JOBS=N`) sets the host worker count; results are identical
 //! for every worker count, only wall-clock changes. Tables and CSV go to
 //! stdout/files; timing diagnostics go to stderr so stdout is
-//! byte-for-byte reproducible.
+//! byte-for-byte reproducible. `--chaos SEED` arms the ambient
+//! deterministic fault plan on every simulated device the figures build
+//! (seed 0 arms the layer with all probabilities zero — the CI
+//! determinism control: output must match a run without the flag).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -22,8 +25,8 @@ use std::time::Instant;
 use hcj_bench::figures::registry;
 use hcj_bench::{RunConfig, MAX_SCALE};
 
-const USAGE: &str =
-    "usage: repro <all|list|figN...> [--scale K] [--quick] [--jobs N] [--out DIR] [--trace DIR]";
+const USAGE: &str = "usage: repro <all|list|figN...> [--scale K] [--quick] [--jobs N] \
+                     [--chaos SEED] [--out DIR] [--trace DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +69,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 hcj_host::pool::set_jobs(v);
+            }
+            "--chaos" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--chaos needs an integer seed (0 disables every fault)");
+                    return ExitCode::FAILURE;
+                };
+                let cfg = if v == 0 {
+                    hcj_gpu::FaultConfig::disabled(0)
+                } else {
+                    hcj_gpu::FaultConfig::chaos(v)
+                };
+                hcj_gpu::faults::set_ambient(Some(cfg));
             }
             "--out" => {
                 i += 1;

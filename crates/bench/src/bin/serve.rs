@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
-//!       [--capacity-div K] [--trace DIR]
+//!       [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]
 //! ```
 //!
 //! Drives N seeded closed-loop clients with mixed relation sizes, skews
@@ -18,6 +18,17 @@
 //! with capacity divided by `--capacity-div` (default 16384 → 512 KB), so
 //! a few resident joins fill it and later arrivals must queue, back off
 //! and degrade down the strategy ladder.
+//!
+//! `--chaos SEED` arms the deterministic fault plan (`FaultConfig::chaos`)
+//! on the simulated device: transient transfer/kernel faults, stalls,
+//! sticky device-lost, capacity shrinks. Seed 0 compiles the fault layer
+//! in but disables every probability — output must match a run without
+//! the flag. `--deadline-ms MS` gives every request a virtual-time budget;
+//! expired requests cancel, release their reservation and report
+//! `deadline-exceeded`. With either flag the exit check relaxes from
+//! "everything completed" to "every request is accounted for (completed,
+//! deadline-exceeded or typed error), every finished request passed the
+//! oracle, and no internal invariant broke".
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -25,11 +36,11 @@ use std::time::Instant;
 use hcj_core::GpuJoinConfig;
 use hcj_engines::service::{mixed_workload, JoinService, ServiceConfig};
 use hcj_engines::HcjEngine;
-use hcj_gpu::DeviceSpec;
-use hcj_sim::TraceExporter;
+use hcj_gpu::{DeviceSpec, FaultConfig};
+use hcj_sim::{SimTime, TraceExporter};
 
 const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
-                     [--capacity-div K] [--trace DIR]";
+                     [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +49,8 @@ fn main() -> ExitCode {
     let mut clients = 16usize;
     let mut requests = 25usize;
     let mut capacity_div = 1u64 << 14; // 512 KB of the 8 GB part
+    let mut chaos: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -90,6 +103,23 @@ fn main() -> ExitCode {
                 };
                 capacity_div = v;
             }
+            "--chaos" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--chaos needs an integer seed (0 disables every fault)");
+                    return ExitCode::FAILURE;
+                };
+                chaos = Some(v);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()).filter(|&v| v >= 1)
+                else {
+                    eprintln!("--deadline-ms needs a positive integer (virtual milliseconds)");
+                    return ExitCode::FAILURE;
+                };
+                deadline_ms = Some(v);
+            }
             "--trace" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -113,19 +143,34 @@ fn main() -> ExitCode {
     let device = DeviceSpec::gtx1080().scaled_capacity(capacity_div);
     // Buckets tuned for the largest build side the workload can draw
     // (4 * base_tuples); radix bits stay above the co-processing CPU bits.
-    let engine = HcjEngine::new(
-        GpuJoinConfig::paper_default(device.clone())
-            .with_radix_bits(8)
-            .with_tuned_buckets(4 * base_tuples),
-    );
-    let service = JoinService::new(engine, ServiceConfig::default());
+    let mut join_config = GpuJoinConfig::paper_default(device.clone())
+        .with_radix_bits(8)
+        .with_tuned_buckets(4 * base_tuples);
+    if let Some(fault_seed) = chaos {
+        // Seed 0: fault layer armed but every probability zero — a
+        // determinism control, not a chaos run.
+        let cfg =
+            if fault_seed == 0 { FaultConfig::disabled(0) } else { FaultConfig::chaos(fault_seed) };
+        join_config = join_config.with_faults(cfg);
+    }
+    let engine = HcjEngine::new(join_config);
+    let deadline = deadline_ms.map(|ms| SimTime::from_nanos(ms * 1_000_000));
+    let service = JoinService::new(engine, ServiceConfig::default().with_deadline(deadline));
     let workload = mixed_workload(clients, requests, base_tuples, seed);
     let total: usize = workload.iter().map(|c| c.requests.len()).sum();
 
     println!(
         "# hcj join service soak — seed {seed}, {clients} clients x {requests} requests, \
-         device {} KB",
-        device.device_mem_bytes >> 10
+         device {} KB, chaos {}, deadline {}",
+        device.device_mem_bytes >> 10,
+        match chaos {
+            Some(s) => format!("seed {s}"),
+            None => "off".into(),
+        },
+        match deadline_ms {
+            Some(ms) => format!("{ms} ms"),
+            None => "none".into(),
+        },
     );
     let started = Instant::now();
     let report = service.run(&workload);
@@ -142,7 +187,29 @@ fn main() -> ExitCode {
         eprintln!("  [service timeline written to {}]", path.display());
     }
 
-    if report.completed() != total || report.checks_passed() != total {
+    if !report.invariant_violations.is_empty() {
+        eprintln!("FAIL: {} internal invariant violation(s)", report.invariant_violations.len());
+        for v in &report.invariant_violations {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let chaotic = chaos.is_some_and(|s| s != 0) || deadline_ms.is_some();
+    if chaotic {
+        // Under chaos/deadlines some requests may legitimately cancel or
+        // fail — but every one must be accounted for with a typed outcome,
+        // and every request that did finish must be oracle-correct.
+        let accounted = report.completed() + report.deadline_exceeded() + report.errored();
+        if accounted != total || report.checks_passed() != report.completed() {
+            eprintln!(
+                "FAIL: {accounted}/{total} accounted for, {}/{} finished requests passed the \
+                 oracle",
+                report.checks_passed(),
+                report.completed()
+            );
+            return ExitCode::FAILURE;
+        }
+    } else if report.completed() != total || report.checks_passed() != total {
         eprintln!(
             "FAIL: {}/{} completed, {}/{} oracle checks passed",
             report.completed(),

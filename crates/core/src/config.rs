@@ -1,7 +1,8 @@
 //! Configuration of the GPU partitioned join and validation against the
 //! device's shared-memory budget.
 
-use hcj_gpu::{DeviceSpec, SharedMemLayout, SharedMemOverflow};
+use hcj_gpu::{DeviceSpec, FaultConfig, Gpu, SharedMemLayout, SharedMemOverflow};
+use hcj_sim::Sim;
 
 use crate::radix::PassPlan;
 
@@ -67,6 +68,10 @@ pub struct GpuJoinConfig {
     /// isolating in-GPU performance when skew makes the output explode
     /// (§V-E). `None` materializes everything.
     pub row_cap: Option<usize>,
+    /// Deterministic fault injection for the simulated device (`--chaos`).
+    /// `None` = no fault layer; every strategy then behaves exactly as
+    /// before the layer existed.
+    pub faults: Option<FaultConfig>,
 }
 
 impl GpuJoinConfig {
@@ -88,12 +93,34 @@ impl GpuJoinConfig {
             output: OutputMode::Aggregate,
             assignment: PassAssignment::BucketAtATime,
             row_cap: None,
+            // Binaries can arm a process-wide chaos config (`repro
+            // --chaos`); libraries and tests see `None` unless they opt in
+            // via `with_faults`.
+            faults: hcj_gpu::faults::ambient(),
         }
     }
 
     pub fn with_radix_bits(mut self, bits: u32) -> Self {
         self.radix_bits = bits;
         self
+    }
+
+    /// Arm deterministic device-fault injection for every execution using
+    /// this configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Register this configuration's device with `sim`, arming the fault
+    /// plan when one is configured. All strategies build their `Gpu` here
+    /// so fault injection covers every path uniformly.
+    pub fn build_gpu(&self, sim: &mut Sim) -> Gpu {
+        let mut gpu = Gpu::new(sim, self.device.clone());
+        if let Some(f) = &self.faults {
+            gpu.arm_faults(f.clone());
+        }
+        gpu
     }
 
     pub fn with_probe(mut self, probe: ProbeKind) -> Self {

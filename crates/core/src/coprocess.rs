@@ -15,8 +15,15 @@
 //! near-socket pinned buffers by CPU threads before the DMA engine touches
 //! it; the `numa_staging: false` ablation reads the far socket directly
 //! across QPI and collides with partitioning coherence traffic (Fig. 16).
+//!
+//! Recovery is partition-granular: each working set's transfers and joins
+//! are independently retried ops, so a transient fault in working set `w`
+//! re-issues only the faulted op (after backoff) — working sets `0..w`
+//! are checkpointed by construction and their charged cost is never paid
+//! twice. Device-lost aborts with a typed error; the facade then falls
+//! back to the CPU baseline.
 
-use hcj_gpu::{Gpu, OutOfDeviceMemory, TransferKind};
+use hcj_gpu::{JoinError, RetryPolicy, TransferKind};
 use hcj_host::{tasks, CpuTaskKind, HostMachine, HostSpec, Socket};
 use hcj_sim::{Op, OpId, Sim, SimTime};
 use hcj_workload::{Relation, Tuple};
@@ -133,7 +140,7 @@ impl CoProcessingJoin {
     }
 
     /// Execute with both relations in host memory.
-    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, OutOfDeviceMemory> {
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, JoinError> {
         let cfg = &self.config;
         let jcfg = &cfg.join;
         let device = &jcfg.device;
@@ -177,7 +184,8 @@ impl CoProcessingJoin {
 
         // ---- simulation setup ----
         let mut sim = Sim::new();
-        let gpu = Gpu::new(&mut sim, device.clone());
+        let gpu = jcfg.build_gpu(&mut sim);
+        let retry = RetryPolicy::default();
         let host = HostMachine::new(&mut sim, cfg.host.clone());
         let pool = host.thread_pool(&mut sim, "partition-threads", cfg.cpu_threads);
 
@@ -291,7 +299,8 @@ impl CoProcessingJoin {
                 near_half,
                 far_half,
                 &deps,
-            );
+                &retry,
+            )?;
 
             // -- GPU sub-partitioning of the working set's R side --
             let mut r_sub = Vec::with_capacity(ws.len());
@@ -302,7 +311,13 @@ impl CoProcessingJoin {
                 r_sub.push(out.partitioned);
             }
             exec.wait_op(r_xfer);
-            gpu.kernel_raw(&mut sim, &mut exec, format!("part r ws{w}"), part_seconds);
+            gpu.kernel_raw_retrying(
+                &mut sim,
+                &mut exec,
+                &format!("part r ws{w}"),
+                part_seconds,
+                &retry,
+            )?;
 
             // -- stream S chunk by chunk --
             let mut join_ops: Vec<OpId> = Vec::with_capacity(s_chunks.len());
@@ -363,7 +378,8 @@ impl CoProcessingJoin {
                     near_half,
                     far_half,
                     &tdeps,
-                );
+                    &retry,
+                )?;
 
                 // -- GPU sub-partition + join of this chunk piece --
                 let matches_before = sink.matches();
@@ -381,12 +397,15 @@ impl CoProcessingJoin {
                 cost += late_materialization_cost(new_matches, r.payload_width, true);
                 cost += late_materialization_cost(new_matches, s.payload_width, true);
                 exec.wait_op(s_xfer);
-                let join = gpu.kernel_raw(
-                    &mut sim,
-                    &mut exec,
-                    format!("join ws{w} c{c}"),
-                    sub_seconds + cost.time(device),
-                );
+                let join = gpu
+                    .kernel_raw_retrying(
+                        &mut sim,
+                        &mut exec,
+                        &format!("join ws{w} c{c}"),
+                        sub_seconds + cost.time(device),
+                        &retry,
+                    )?
+                    .op;
                 join_ops.push(join);
 
                 // -- drain results (materialization) --
@@ -395,13 +414,16 @@ impl CoProcessingJoin {
                     if drain_ops.len() >= 2 {
                         drain.wait_op(drain_ops[drain_ops.len() - 2]);
                     }
-                    let d = gpu.copy_d2h(
-                        &mut sim,
-                        &mut drain,
-                        format!("d2h ws{w} c{c}"),
-                        new_matches * ROW_BYTES,
-                        TransferKind::Pinned,
-                    );
+                    let d = gpu
+                        .copy_d2h_retrying(
+                            &mut sim,
+                            &mut drain,
+                            &format!("d2h ws{w} c{c}"),
+                            new_matches * ROW_BYTES,
+                            TransferKind::Pinned,
+                            &retry,
+                        )?
+                        .op;
                     drain_ops.push(d);
                 }
             }
@@ -411,16 +433,17 @@ impl CoProcessingJoin {
         // Account the output sink's device-side traffic.
         let sink_cost = sink.cost();
         if sink_cost != hcj_gpu::KernelCost::ZERO {
-            gpu.kernel(&mut sim, &mut exec, "join output-flush", &sink_cost);
+            gpu.kernel_retrying(&mut sim, &mut exec, "join output-flush", &sink_cost, &retry)?;
         }
 
         let schedule = sim.run();
+        let faults = gpu.fault_log(&schedule);
         let check = sink.check();
         let rows = match jcfg.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
     }
 
     /// One host→device transfer: the PCIe copy and its host-side legs
@@ -443,7 +466,8 @@ impl CoProcessingJoin {
         near_bytes: u64,
         far_bytes: u64,
         deps: &[OpId],
-    ) -> OpId {
+        retry: &RetryPolicy,
+    ) -> Result<OpId, JoinError> {
         let pcie = gpu.spec.pcie_bandwidth;
         // Shadows align with the copy: they also wait for whatever the
         // copy engine was doing before this transfer.
@@ -456,8 +480,16 @@ impl CoProcessingJoin {
         }
         let mut legs: Vec<OpId> = Vec::new();
         if near_bytes > 0 {
-            let copy_near =
-                gpu.copy_h2d(sim, xfer, format!("{label} near"), near_bytes, TransferKind::Pinned);
+            let copy_near = gpu
+                .copy_h2d_retrying(
+                    sim,
+                    xfer,
+                    &format!("{label} near"),
+                    near_bytes,
+                    TransferKind::Pinned,
+                    retry,
+                )?
+                .op;
             legs.push(copy_near);
             legs.push(tasks::dma_host_traffic(
                 sim,
@@ -472,8 +504,16 @@ impl CoProcessingJoin {
             // Inflate the on-engine work so the engine runs this span at
             // `pcie * qpi_dma_efficiency`.
             let inflated = (far_bytes as f64 / host.spec.qpi_dma_efficiency) as u64;
-            let copy_far =
-                gpu.copy_h2d(sim, xfer, format!("{label} far"), inflated, TransferKind::Pinned);
+            let copy_far = gpu
+                .copy_h2d_retrying(
+                    sim,
+                    xfer,
+                    &format!("{label} far"),
+                    inflated,
+                    TransferKind::Pinned,
+                    retry,
+                )?
+                .op;
             legs.push(copy_far);
             legs.push(tasks::dma_host_traffic(
                 sim,
@@ -488,7 +528,7 @@ impl CoProcessingJoin {
         // Later stream work must respect the full transfer, not just the
         // copy legs.
         xfer.wait_op(fence);
-        fence
+        Ok(fence)
     }
 }
 

@@ -9,11 +9,14 @@
 //!
 //! Device-memory pressure is enforced: inputs, bucket pools (input and
 //! output pools of a pass coexist) and materialized results all reserve
-//! accounted capacity, and the strategy reports [`OutOfDeviceMemory`] when
-//! the working set cannot fit — the condition that sends callers to the
-//! out-of-GPU strategies of §IV.
+//! accounted capacity, and the strategy reports a typed
+//! [`JoinError::OutOfDeviceMemory`] when the working set cannot fit — the
+//! condition that sends callers to the out-of-GPU strategies of §IV.
+//! With a fault plan armed ([`GpuJoinConfig::faults`]) transient kernel
+//! faults are retried with backoff; device-lost propagates for the engine
+//! facade to handle (CPU fallback).
 
-use hcj_gpu::{Gpu, KernelCost, OutOfDeviceMemory};
+use hcj_gpu::{JoinError, KernelCost, RetryPolicy};
 use hcj_sim::Sim;
 use hcj_workload::Relation;
 
@@ -38,10 +41,12 @@ impl GpuPartitionedJoin {
     }
 
     /// Execute over GPU-resident relations; `Err` when device memory
-    /// cannot hold the working set.
-    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, OutOfDeviceMemory> {
+    /// cannot hold the working set, a device fault survives its retries,
+    /// or the device is lost.
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, JoinError> {
         let mut sim = Sim::new();
-        let gpu = Gpu::new(&mut sim, self.config.device.clone());
+        let gpu = self.config.build_gpu(&mut sim);
+        let retry = RetryPolicy::default();
         let mut stream = gpu.stream();
 
         // Inputs are resident for this scenario.
@@ -60,13 +65,25 @@ impl GpuPartitionedJoin {
         drop(r_input);
         let _r_pool = gpu.mem.reserve(r_out.partitioned.pool.device_bytes())?;
         for (i, pass) in r_out.passes.iter().enumerate() {
-            gpu.kernel_raw(&mut sim, &mut stream, format!("part r pass{i}"), pass.seconds);
+            gpu.kernel_raw_retrying(
+                &mut sim,
+                &mut stream,
+                &format!("part r pass{i}"),
+                pass.seconds,
+                &retry,
+            )?;
         }
         let s_out = partitioner.partition(s);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
         for (i, pass) in s_out.passes.iter().enumerate() {
-            gpu.kernel_raw(&mut sim, &mut stream, format!("part s pass{i}"), pass.seconds);
+            gpu.kernel_raw_retrying(
+                &mut sim,
+                &mut stream,
+                &format!("part s pass{i}"),
+                pass.seconds,
+                &retry,
+            )?;
         }
 
         // ---- join co-partitions ----
@@ -84,15 +101,16 @@ impl GpuPartitionedJoin {
             }
             OutputMode::Aggregate => None,
         };
-        gpu.kernel(&mut sim, &mut stream, "join copartitions", &join_cost);
+        gpu.kernel_retrying(&mut sim, &mut stream, "join copartitions", &join_cost, &retry)?;
 
         let schedule = sim.run();
+        let faults = gpu.fault_log(&schedule);
         let check = sink.check();
         let rows = match self.config.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
     }
 
     /// The join-kernel traffic of the last phase for external composition
@@ -194,7 +212,11 @@ mod tests {
         let cfg = GpuJoinConfig { device: tiny, ..cfg };
         let join = GpuPartitionedJoin::new(cfg.with_tuned_buckets(1024));
         let err = join.execute(&small, &small).unwrap_err();
-        assert!(err.requested > 0);
+        assert!(err.is_transient());
+        match err {
+            JoinError::OutOfDeviceMemory(oom) => assert!(oom.requested > 0),
+            other => panic!("expected OOM, got {other}"),
+        }
     }
 
     #[test]

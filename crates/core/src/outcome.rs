@@ -1,6 +1,7 @@
 //! Results of a join execution: correctness artifacts plus the solved
 //! timeline and the throughput metrics the paper reports.
 
+use hcj_gpu::FaultLog;
 use hcj_sim::{Schedule, SimTime};
 use hcj_workload::oracle::{JoinCheck, JoinRow};
 
@@ -80,6 +81,9 @@ pub struct JoinOutcome {
     /// `|R| + |S|`: the paper's throughput denominator counts both inputs.
     pub tuples_in: u64,
     pub phases: PhaseBreakdown,
+    /// Every injected fault, retry and capacity-shrink event, stamped with
+    /// virtual time. Empty unless the execution ran with faults armed.
+    pub faults: FaultLog,
 }
 
 impl JoinOutcome {
@@ -90,7 +94,14 @@ impl JoinOutcome {
         tuples_in: u64,
     ) -> Self {
         let phases = PhaseBreakdown::from_schedule(&schedule);
-        JoinOutcome { check, rows, schedule, tuples_in, phases }
+        JoinOutcome { check, rows, schedule, tuples_in, phases, faults: FaultLog::default() }
+    }
+
+    /// Attach the device's fault log (resolved against this outcome's
+    /// schedule).
+    pub fn with_faults(mut self, faults: FaultLog) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// End-to-end simulated seconds.

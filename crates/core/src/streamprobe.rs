@@ -11,8 +11,16 @@
 //!
 //! With materialization enabled, a mirrored double-buffered device→host
 //! pipeline drains results on the second DMA engine (§IV-C, Fig. 4).
+//!
+//! Recovery: with a fault plan armed, every per-chunk transfer and join
+//! carries bounded retry with exponential virtual-time backoff — a
+//! transient fault costs one chunk a few backoff slots, never the whole
+//! stream. The functional join result is computed exactly once per chunk
+//! (retries re-issue only the simulated op), so matches are never double
+//! counted. Device-lost aborts with a typed error for the facade's CPU
+//! fallback.
 
-use hcj_gpu::{Gpu, OutOfDeviceMemory, TransferKind};
+use hcj_gpu::{JoinError, RetryPolicy, TransferKind};
 use hcj_host::{tasks, HostMachine, HostSpec, Socket};
 use hcj_sim::{OpId, Sim};
 use hcj_workload::Relation;
@@ -78,10 +86,11 @@ impl StreamedProbeJoin {
     }
 
     /// Execute with R GPU-resident and S streamed from host memory.
-    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, OutOfDeviceMemory> {
+    pub fn execute(&self, r: &Relation, s: &Relation) -> Result<JoinOutcome, JoinError> {
         let cfg = &self.config.join;
         let mut sim = Sim::new();
-        let gpu = Gpu::new(&mut sim, cfg.device.clone());
+        let gpu = cfg.build_gpu(&mut sim);
+        let retry = RetryPolicy::default();
         let host = HostMachine::new(&mut sim, self.config.host.clone());
 
         let chunk_tuples = self.config.chunk_tuples.unwrap_or_else(|| (r.len() / 2).max(1));
@@ -113,7 +122,8 @@ impl StreamedProbeJoin {
         let mut exec = gpu.stream();
         let mut xfer = gpu.stream();
         let mut drain = gpu.stream();
-        let r_copy = gpu.copy_h2d(&mut sim, &mut xfer, "h2d r", r.bytes(), kind);
+        let r_copy =
+            gpu.copy_h2d_retrying(&mut sim, &mut xfer, "h2d r", r.bytes(), kind, &retry)?.op;
         let r_shadow = tasks::dma_host_traffic(
             &mut sim,
             &host,
@@ -125,7 +135,13 @@ impl StreamedProbeJoin {
         exec.wait_op(r_copy);
         exec.wait_op(r_shadow);
         for (i, pass) in r_out.passes.iter().enumerate() {
-            gpu.kernel_raw(&mut sim, &mut exec, format!("part r pass{i}"), pass.seconds);
+            gpu.kernel_raw_retrying(
+                &mut sim,
+                &mut exec,
+                &format!("part r pass{i}"),
+                pass.seconds,
+                &retry,
+            )?;
         }
 
         // Stream S chunk by chunk.
@@ -146,7 +162,18 @@ impl StreamedProbeJoin {
             // DRAM) runs concurrently with the PCIe leg; align it with
             // the engine's queue so it cannot run ahead of its transfer.
             let shadow_deps: Vec<OpId> = xfer.last_op().into_iter().collect();
-            let copy = gpu.copy_h2d(&mut sim, &mut xfer, format!("h2d s chunk{k}"), bytes, kind);
+            // Chunk-level bounded retry: a transient PCIe fault re-issues
+            // only this chunk's copy (after backoff), not the stream.
+            let copy = gpu
+                .copy_h2d_retrying(
+                    &mut sim,
+                    &mut xfer,
+                    &format!("h2d s chunk{k}"),
+                    bytes,
+                    kind,
+                    &retry,
+                )?
+                .op;
             let shadow = tasks::dma_host_traffic(
                 &mut sim,
                 &host,
@@ -175,7 +202,9 @@ impl StreamedProbeJoin {
             cost +=
                 late_materialization_cost(sink.matches() - matches_before, s.payload_width, true);
             exec.wait_op(copy_fence);
-            let join = gpu.kernel(&mut sim, &mut exec, format!("join chunk{k}"), &cost);
+            let join = gpu
+                .kernel_retrying(&mut sim, &mut exec, &format!("join chunk{k}"), &cost, &retry)?
+                .op;
             join_done.push(join);
 
             // -- result drain (materialization only): D2H of this chunk's
@@ -188,13 +217,16 @@ impl StreamedProbeJoin {
                     // whose previous drain completed; order explicitly.
                     drain.wait_op(drain_done[drain_done.len() - nbuf]);
                 }
-                let d = gpu.copy_d2h(
-                    &mut sim,
-                    &mut drain,
-                    format!("d2h rows chunk{k}"),
-                    out_bytes,
-                    kind,
-                );
+                let d = gpu
+                    .copy_d2h_retrying(
+                        &mut sim,
+                        &mut drain,
+                        &format!("d2h rows chunk{k}"),
+                        out_bytes,
+                        kind,
+                        &retry,
+                    )?
+                    .op;
                 drain_done.push(d);
             }
         }
@@ -203,16 +235,17 @@ impl StreamedProbeJoin {
         // is what matters for the timeline's last kernel).
         let sink_cost = sink.cost();
         if sink_cost != hcj_gpu::KernelCost::ZERO {
-            gpu.kernel(&mut sim, &mut exec, "join output-flush", &sink_cost);
+            gpu.kernel_retrying(&mut sim, &mut exec, "join output-flush", &sink_cost, &retry)?;
         }
 
         let schedule = sim.run();
+        let faults = gpu.fault_log(&schedule);
         let check = sink.check();
         let rows = match cfg.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
     }
 }
 

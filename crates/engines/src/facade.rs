@@ -10,44 +10,69 @@
 //!    partitions and chunk buffers) fits;
 //! 3. CPU–GPU co-processing otherwise.
 //!
-//! The plan is an *estimate*; when the chosen strategy reports
-//! out-of-device-memory at run time the engine degrades down the same
-//! ladder, exactly as the paper's system "reverts into the streaming
-//! variant" when residency fails (§V-C). Co-processing is the floor: if
-//! even its buffers cannot be reserved the error propagates to the caller
-//! (nothing panics), which is what the multi-tenant service layer in
-//! [`crate::service`] relies on for graceful degradation under contention.
+//! The plan is an *estimate*; when the chosen strategy reports a
+//! transient error at run time (out-of-device-memory, or a device fault
+//! that survived bounded retry) the engine degrades down the same ladder,
+//! exactly as the paper's system "reverts into the streaming variant"
+//! when residency fails (§V-C). Co-processing is the floor for
+//! out-of-memory: if even its buffers cannot be reserved the error
+//! propagates to the caller (nothing panics), which is what the
+//! multi-tenant service layer in [`crate::service`] relies on for
+//! graceful degradation under contention.
+//!
+//! Two failures escape the ladder entirely and land on the CPU baseline
+//! ([`PlannedStrategy::CpuFallback`], the PRO radix join): a sticky
+//! device-lost fault (the GPU is gone for this context), and a transient
+//! device fault that still fails after bounded retry at the
+//! co-processing floor (the device is too unreliable to finish). Both
+//! still return `Ok` with a correct join result — availability degrades
+//! to CPU speed, not to an error.
 
 use hcj_core::GpuPartitionedJoin;
 use hcj_core::{
-    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, JoinOutcome, StreamedProbeConfig,
-    StreamedProbeJoin,
+    CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, JoinOutcome, OutputMode,
+    StreamedProbeConfig, StreamedProbeJoin,
 };
-use hcj_gpu::OutOfDeviceMemory;
+use hcj_cpu_join::ProJoin;
+use hcj_gpu::JoinError;
+use hcj_sim::{Op, Sim};
 use hcj_workload::Relation;
 
 use crate::result::EngineResult;
 
-/// Which strategy the planner chose.
+/// Which strategy the planner chose (or recovery forced).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlannedStrategy {
     GpuResident,
     StreamedProbe,
     CoProcessing,
+    /// The GPU could not finish the join (device lost, or transient
+    /// faults exhausted retry at the co-processing floor); the PRO CPU
+    /// radix join ran instead. Never planned up front — only reached
+    /// through fault recovery — and therefore not on [`Self::LADDER`].
+    CpuFallback,
 }
 
 impl PlannedStrategy {
     /// The degradation ladder, most- to least-demanding of device memory.
+    /// `CpuFallback` is deliberately absent: the planner never chooses it
+    /// and out-of-memory never degrades into it; only device faults do.
     pub const LADDER: [PlannedStrategy; 3] = [
         PlannedStrategy::GpuResident,
         PlannedStrategy::StreamedProbe,
         PlannedStrategy::CoProcessing,
     ];
 
-    /// Position on the ladder: 0 = GPU-resident, 2 = co-processing. A
-    /// larger rank is a *more degraded* (less device-hungry) strategy.
+    /// Position on the degradation order: 0 = GPU-resident, 2 =
+    /// co-processing, 3 = CPU fallback. A larger rank is a *more
+    /// degraded* (less device-dependent) strategy.
     pub fn rank(self) -> usize {
-        Self::LADDER.iter().position(|s| *s == self).expect("strategy on the ladder")
+        match self {
+            PlannedStrategy::GpuResident => 0,
+            PlannedStrategy::StreamedProbe => 1,
+            PlannedStrategy::CoProcessing => 2,
+            PlannedStrategy::CpuFallback => 3,
+        }
     }
 
     /// The next strategy down the ladder; `None` at the co-processing
@@ -64,6 +89,7 @@ impl std::fmt::Display for PlannedStrategy {
             PlannedStrategy::GpuResident => "gpu-resident",
             PlannedStrategy::StreamedProbe => "streamed-probe",
             PlannedStrategy::CoProcessing => "co-processing",
+            PlannedStrategy::CpuFallback => "cpu-fallback",
         };
         f.write_str(name)
     }
@@ -112,6 +138,8 @@ impl HcjEngine {
                 let chunk = (probe.bytes().max(8)).min(capacity / 6);
                 (capacity / 2 + 2 * chunk).min(capacity)
             }
+            // The CPU fallback touches no device memory at all.
+            PlannedStrategy::CpuFallback => 0,
         }
     }
 
@@ -130,20 +158,23 @@ impl HcjEngine {
     /// Plan and execute; the smaller relation becomes the build side.
     ///
     /// The plan is an *estimate* (bucket-pool slack depends on the data);
-    /// if the chosen strategy reports out-of-device-memory at run time the
-    /// engine degrades to the next one down the ladder. `Err` only when
-    /// even co-processing cannot reserve its buffers.
+    /// if the chosen strategy reports a transient error at run time the
+    /// engine degrades to the next one down the ladder. Device-lost (and
+    /// transient faults that survive retry at the co-processing floor)
+    /// recover onto the CPU baseline instead. `Err` only when even
+    /// co-processing cannot reserve its buffers, or on a fatal
+    /// non-recoverable error.
     pub fn execute(
         &self,
         r: &Relation,
         s: &Relation,
-    ) -> Result<(PlannedStrategy, JoinOutcome), OutOfDeviceMemory> {
+    ) -> Result<(PlannedStrategy, JoinOutcome), JoinError> {
         let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
         self.execute_from(self.plan(build, probe), r, s)
     }
 
     /// Execute starting at `start` on the ladder (skipping the planner) and
-    /// degrading on runtime out-of-memory. The service layer dispatches
+    /// degrading on runtime transient errors. The service layer dispatches
     /// here after admission control has already (possibly) degraded the
     /// planned strategy under memory pressure.
     pub fn execute_from(
@@ -151,7 +182,7 @@ impl HcjEngine {
         start: PlannedStrategy,
         r: &Relation,
         s: &Relation,
-    ) -> Result<(PlannedStrategy, JoinOutcome), OutOfDeviceMemory> {
+    ) -> Result<(PlannedStrategy, JoinOutcome), JoinError> {
         let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
         let mut strategy = start;
         loop {
@@ -167,19 +198,51 @@ impl HcjEngine {
                     CoProcessingJoin::new(CoProcessingConfig::paper_default(self.config.clone()))
                         .execute(build, probe)
                 }
+                PlannedStrategy::CpuFallback => {
+                    return Ok((strategy, self.cpu_fallback(build, probe)));
+                }
             };
             match attempt {
                 Ok(outcome) => return Ok((strategy, outcome)),
-                Err(oom) => match strategy.degraded() {
+                Err(err) if err.is_device_lost() => {
+                    // The GPU is gone for this context; only the CPU can
+                    // still finish the join.
+                    strategy = PlannedStrategy::CpuFallback;
+                }
+                Err(err) if err.is_transient() => match strategy.degraded() {
                     Some(next) => strategy = next,
-                    None => return Err(oom),
+                    // At the co-processing floor: out-of-memory means the
+                    // *request* does not fit and must be re-queued by the
+                    // caller (the service relies on this), but an
+                    // exhausted-retry device fault means the *device* is
+                    // unreliable — fall back to the CPU.
+                    None if matches!(err, JoinError::Device(_)) => {
+                        strategy = PlannedStrategy::CpuFallback;
+                    }
+                    None => return Err(err),
                 },
+                Err(err) => return Err(err),
             }
         }
     }
 
+    /// The recovery floor: run the join on the CPU baseline (the PRO
+    /// parallel radix join) and wrap its result as a [`JoinOutcome`] with
+    /// a one-span schedule, so callers see the same shape they would from
+    /// a GPU strategy.
+    fn cpu_fallback(&self, build: &Relation, probe: &Relation) -> JoinOutcome {
+        let mut pro = ProJoin::paper_default();
+        pro.materialize = self.config.output == OutputMode::Materialize;
+        let out = pro.execute(build, probe);
+        let mut sim = Sim::new();
+        let cpu = sim.fifo_resource("host cpu (fallback)", 1.0, 1);
+        sim.op(Op::new(cpu, out.seconds).label("cpu fallback join"));
+        let schedule = sim.run();
+        JoinOutcome::new(out.check, out.rows, schedule, out.tuples_in)
+    }
+
     /// Execute and wrap as an [`EngineResult`] for the engine comparisons.
-    pub fn run(&self, r: &Relation, s: &Relation) -> Result<EngineResult, OutOfDeviceMemory> {
+    pub fn run(&self, r: &Relation, s: &Relation) -> Result<EngineResult, JoinError> {
         let (_, outcome) = self.execute(r, s)?;
         Ok(EngineResult {
             engine: "hcj (this paper)",
@@ -255,6 +318,60 @@ mod tests {
                 assert!(next.rank() > s.rank(), "degrading must strictly descend");
             }
         }
+        // The CPU fallback is the most degraded state but never a ladder
+        // step: out-of-memory alone must not reach it.
+        assert!(!PlannedStrategy::LADDER.contains(&PlannedStrategy::CpuFallback));
+        assert_eq!(PlannedStrategy::CpuFallback.rank(), 3);
+        assert_eq!(PlannedStrategy::CpuFallback.degraded(), None);
+    }
+
+    #[test]
+    fn device_lost_falls_back_to_cpu_and_stays_correct() {
+        use hcj_gpu::FaultConfig;
+        let (r, s) = canonical_pair(10_000, 10_000, 106);
+        let mut e = engine(1, 10_000, 8);
+        // Certain device loss on the very first kernel of every strategy
+        // (device_lost_p is conditional on a kernel fault).
+        let cfg =
+            FaultConfig { kernel_fault_p: 1.0, device_lost_p: 1.0, ..FaultConfig::disabled(1) };
+        e.config = e.config.with_faults(cfg);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
+        assert_eq!(strategy, PlannedStrategy::CpuFallback);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+        assert!(out.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn persistent_transient_faults_exhaust_the_ladder_onto_the_cpu() {
+        use hcj_gpu::FaultConfig;
+        let (r, s) = canonical_pair(10_000, 10_000, 107);
+        let mut e = engine(1, 10_000, 8);
+        // Every transfer and kernel faults transiently, every time: each
+        // strategy exhausts its bounded retries, the ladder runs out, and
+        // the engine lands on the CPU with a correct result.
+        let cfg =
+            FaultConfig { transfer_fault_p: 1.0, kernel_fault_p: 1.0, ..FaultConfig::disabled(2) };
+        e.config = e.config.with_faults(cfg);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
+        assert_eq!(strategy, PlannedStrategy::CpuFallback);
+        assert_eq!(out.check, JoinCheck::compute(&r, &s));
+    }
+
+    #[test]
+    fn materializing_fallback_produces_rows() {
+        use hcj_core::OutputMode;
+        use hcj_gpu::FaultConfig;
+        use hcj_workload::oracle::assert_join_matches;
+        let (r, s) = canonical_pair(5_000, 5_000, 108);
+        let mut e = engine(1, 5_000, 8);
+        e.config = e.config.with_output(OutputMode::Materialize).with_faults(FaultConfig {
+            kernel_fault_p: 1.0,
+            device_lost_p: 1.0,
+            ..FaultConfig::disabled(3)
+        });
+        let (strategy, out) = e.execute(&r, &s).unwrap();
+        assert_eq!(strategy, PlannedStrategy::CpuFallback);
+        assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
     }
 
     #[test]

@@ -1,33 +1,16 @@
 //! Common result type for engine-level runs.
 
-use std::fmt;
-
 use hcj_workload::oracle::JoinCheck;
 
-/// Why an engine could not produce a result (both comparator systems fail
-/// on parts of the paper's workloads — Figs. 14–15 annotate these).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EngineError {
-    /// The engine refused or crashed on this working-set size.
-    WorkingSetTooLarge { bytes: u64, limit: u64, detail: &'static str },
-    /// Data loading failed (CoGaDB's internal resize failure at SF 100).
-    LoadFailed { bytes: u64, detail: &'static str },
-}
+pub use hcj_gpu::{ErrorClass, JoinError};
 
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::WorkingSetTooLarge { bytes, limit, detail } => {
-                write!(f, "working set of {bytes} B exceeds engine limit {limit} B: {detail}")
-            }
-            EngineError::LoadFailed { bytes, detail } => {
-                write!(f, "failed to load {bytes} B: {detail}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
+/// Engine-level error: an alias for the workspace-wide [`JoinError`]
+/// taxonomy, so the facade, both comparator models and the service layer
+/// share one type — and one recovery policy via [`JoinError::class`] and
+/// [`JoinError::is_transient`]. The comparator models' documented
+/// failures (Figs. 14–15) use the `WorkingSetTooLarge` / `LoadFailed`
+/// variants.
+pub type EngineError = JoinError;
 
 /// A successful engine run.
 #[derive(Clone, Debug)]
@@ -56,8 +39,10 @@ mod tests {
     fn errors_format() {
         let e = EngineError::WorkingSetTooLarge { bytes: 100, limit: 50, detail: "allocator" };
         assert!(e.to_string().contains("exceeds engine limit"));
+        assert!(!e.is_transient());
         let e = EngineError::LoadFailed { bytes: 7, detail: "resize" };
         assert!(e.to_string().contains("failed to load"));
+        assert_eq!(e.class(), ErrorClass::Fatal);
     }
 
     #[test]

@@ -33,14 +33,25 @@
 //!   updates happen on the loop thread at deterministic virtual times, so
 //!   the same seed reproduces the same admission decisions byte-for-byte
 //!   at any `--jobs` value.
+//! * **Deadlines.** With [`ServiceConfig::deadline`] set, every request
+//!   carries a per-request virtual-time budget from submission. An expired
+//!   request cancels cleanly wherever it is — parked, queued, backing off
+//!   or mid-execution — releases its [`Reservation`] immediately, and
+//!   reports `deadline-exceeded`; its client moves on to the next request.
+//! * **Typed invariants.** The event loop never panics on "cannot happen"
+//!   states: broken internal invariants are recorded as typed
+//!   [`JoinError::Internal`]-style violations, surfaced in the
+//!   [`ServiceReport`] and its summary, and the run keeps going.
 //! * **Observability.** Every request records queue wait, retries,
-//!   planned vs. executed strategy and device occupancy at admission; the
-//!   whole run renders as one Chrome timeline ([`hcj_sim::Timeline`])
-//!   with a track per client and a device-memory counter.
+//!   planned vs. executed strategy, device occupancy at admission, and
+//!   its device fault/retry counters; the whole run renders as one Chrome
+//!   timeline ([`hcj_sim::Timeline`]) with a track per client, a
+//!   device-memory counter, and instant markers for injected faults,
+//!   retries and deadline cancellations.
 
 use std::collections::{BTreeMap, VecDeque};
 
-use hcj_gpu::{DeviceMemory, Reservation};
+use hcj_gpu::{DeviceMemory, FaultSummary, JoinError, Reservation};
 use hcj_host::pool::Pool;
 use hcj_sim::{SimTime, Timeline, TrackId};
 use hcj_workload::generate::{KeyDistribution, RelationSpec};
@@ -63,6 +74,10 @@ pub struct ServiceConfig {
     pub backoff_cap: SimTime,
     /// Closed-loop client think time between completion and next submit.
     pub think_time: SimTime,
+    /// Per-request virtual-time budget from submission; `None` = no
+    /// deadline. Expired requests cancel cleanly (reservation released,
+    /// `deadline-exceeded` reported) wherever they are in the pipeline.
+    pub deadline: Option<SimTime>,
 }
 
 impl Default for ServiceConfig {
@@ -73,7 +88,15 @@ impl Default for ServiceConfig {
             backoff_base: SimTime::from_nanos(50_000), // 50 us
             backoff_cap: SimTime::from_nanos(5_000_000), // 5 ms
             think_time: SimTime::from_nanos(10_000),   // 10 us
+            deadline: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    pub fn with_deadline(mut self, deadline: Option<SimTime>) -> Self {
+        self.deadline = deadline;
+        self
     }
 }
 
@@ -162,6 +185,12 @@ pub struct RequestMetrics {
     /// Did the outcome match `JoinCheck::compute` on the inputs?
     pub check_ok: bool,
     pub matches: u64,
+    /// Device fault/retry counters from the execution (empty when the
+    /// fault layer is disabled or the request never ran).
+    pub faults: FaultSummary,
+    /// Stable tag of the terminal error, when the request did not finish
+    /// ([`JoinError::tag`]; `"deadline-exceeded"` for cancelled requests).
+    pub error: Option<&'static str>,
 }
 
 impl RequestMetrics {
@@ -175,6 +204,11 @@ impl RequestMetrics {
     pub fn degraded(&self) -> bool {
         self.executed.is_some_and(|e| e.rank() > self.planned.rank())
     }
+
+    /// Finished with a result (not errored, not cancelled).
+    pub fn finished(&self) -> bool {
+        self.executed.is_some() && self.error.is_none()
+    }
 }
 
 /// The result of a whole service run.
@@ -186,13 +220,41 @@ pub struct ServiceReport {
     /// High-water mark of reserved device bytes.
     pub device_peak: u64,
     pub device_capacity: u64,
+    /// Reserved device bytes still held when the loop drained — any
+    /// non-zero value is a reservation leak.
+    pub device_used_at_end: u64,
+    /// Broken "cannot happen" internal invariants, surfaced instead of
+    /// panicking. Always empty in a healthy run.
+    pub invariant_violations: Vec<String>,
     /// The whole run as one Chrome-traceable timeline.
     pub timeline: Timeline,
 }
 
 impl ServiceReport {
     pub fn completed(&self) -> usize {
-        self.requests.iter().filter(|m| m.executed.is_some()).count()
+        self.requests.iter().filter(|m| m.finished()).count()
+    }
+
+    /// Requests cancelled by their per-request deadline.
+    pub fn deadline_exceeded(&self) -> usize {
+        self.requests.iter().filter(|m| m.error == Some("deadline-exceeded")).count()
+    }
+
+    /// Requests that ended in a typed error other than a deadline.
+    pub fn errored(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|m| m.error.is_some() && m.error != Some("deadline-exceeded"))
+            .count()
+    }
+
+    /// Summed device fault/retry counters across all requests.
+    pub fn faults_total(&self) -> FaultSummary {
+        let mut total = FaultSummary::default();
+        for m in &self.requests {
+            total.absorb(&m.faults);
+        }
+        total
     }
 
     pub fn checks_passed(&self) -> usize {
@@ -218,7 +280,7 @@ impl ServiceReport {
     }
 
     pub fn executed_count(&self, strategy: PlannedStrategy) -> usize {
-        self.requests.iter().filter(|m| m.executed == Some(strategy)).count()
+        self.requests.iter().filter(|m| m.finished() && m.executed == Some(strategy)).count()
     }
 
     /// Deterministic human-readable summary; the soak harness diffs this
@@ -234,9 +296,23 @@ impl ServiceReport {
         line("admission retries", format!("{}", self.retries_total()));
         line("degraded under pressure", format!("{}", self.degraded()));
         line("backpressured submits", format!("{}", self.backpressured()));
-        for s in PlannedStrategy::LADDER {
+        for s in [
+            PlannedStrategy::GpuResident,
+            PlannedStrategy::StreamedProbe,
+            PlannedStrategy::CoProcessing,
+            PlannedStrategy::CpuFallback,
+        ] {
             line(&format!("executed {s}"), format!("{}", self.executed_count(s)));
         }
+        let f = self.faults_total();
+        line("transfer faults", format!("{}", f.transfer_faults));
+        line("kernel faults", format!("{}", f.kernel_faults));
+        line("device stalls", format!("{}", f.stalls));
+        line("fault retries", format!("{}", f.retries));
+        line("capacity shrinks", format!("{} ({} B stolen)", f.shrinks, f.stolen_bytes));
+        line("deadline exceeded", format!("{}", self.deadline_exceeded()));
+        line("typed errors", format!("{}", self.errored()));
+        line("invariant violations", format!("{}", self.invariant_violations.len()));
         line(
             "device peak",
             format!(
@@ -259,6 +335,9 @@ enum Event {
     Retry,
     /// An admitted request finished its simulated execution.
     Complete { req: usize },
+    /// A request's per-request deadline expired. Stale once the request
+    /// is done; otherwise cancels it wherever it is.
+    Deadline { req: usize },
 }
 
 /// Per-request live state (metrics plus loop bookkeeping).
@@ -274,6 +353,9 @@ struct RequestState {
     eligible_at: SimTime,
     /// Held from admission to completion.
     reservation: Option<Reservation>,
+    /// Set exactly once, by `Complete` or by a deadline cancellation;
+    /// whichever fires second sees the flag and becomes a no-op.
+    done: bool,
 }
 
 /// The multi-tenant join service. Owns the engine (planner + strategies)
@@ -316,6 +398,7 @@ impl JoinService {
         let tracks: Vec<TrackId> =
             (0..workload.len()).map(|c| timeline.track(format!("client {c}"))).collect();
         let device_counter = timeline.counter("device reserved (B)");
+        let mut invariants: Vec<String> = Vec::new();
 
         for (c, client) in workload.iter().enumerate() {
             if !client.requests.is_empty() {
@@ -331,7 +414,13 @@ impl JoinService {
                 if key.0 != now {
                     break;
                 }
-                let event = calendar.remove(&key).expect("peeked key present");
+                let Some(event) = calendar.remove(&key) else {
+                    // "Cannot happen": the key was just peeked. Record the
+                    // broken invariant and keep serving.
+                    invariants
+                        .push(format!("calendar key vanished between peek and remove at {now}"));
+                    continue;
+                };
                 match event {
                     Event::Submit { client, index } => {
                         let spec = &workload[client].requests[index];
@@ -353,12 +442,15 @@ impl JoinService {
                                 device_used_at_admit: 0,
                                 check_ok: false,
                                 matches: 0,
+                                faults: FaultSummary::default(),
+                                error: None,
                             },
                             inputs: Some((r, s)),
                             level: planned,
                             attempts: 0,
                             eligible_at: now,
                             reservation: None,
+                            done: false,
                         });
                         if queue.len() < self.config.queue_depth {
                             queue.push_back(id);
@@ -366,12 +458,22 @@ impl JoinService {
                             requests[id].metrics.blocked = true;
                             blocked.push_back(id);
                         }
+                        if let Some(budget) = self.config.deadline {
+                            schedule(&mut calendar, now + budget, Event::Deadline { req: id });
+                        }
                     }
                     Event::Retry => {
                         // Pure wake-up: eligibility is checked by the wave.
                     }
                     Event::Complete { req } => {
                         let st = &mut requests[req];
+                        if st.done {
+                            // Cancelled by a deadline while executing; the
+                            // result was discarded and the reservation is
+                            // already released.
+                            continue;
+                        }
+                        st.done = true;
                         st.metrics.completed_at = now;
                         st.reservation = None; // frees the accounted bytes
                         makespan = makespan.max(now);
@@ -404,6 +506,46 @@ impl JoinService {
                             );
                         }
                     }
+                    Event::Deadline { req } => {
+                        let st = &mut requests[req];
+                        if st.done {
+                            continue; // completed in time; stale timer
+                        }
+                        // Cancel cleanly wherever the request is: parked,
+                        // queued, backing off, or mid-execution. The
+                        // reservation (if admitted) is released *now*, so
+                        // the expired request stops occupying the device.
+                        st.done = true;
+                        st.reservation = None;
+                        st.inputs = None;
+                        st.metrics.completed_at = now;
+                        st.metrics.error = Some(
+                            JoinError::DeadlineExceeded {
+                                deadline: self.config.deadline.unwrap_or(SimTime::ZERO),
+                                elapsed: now - st.metrics.submitted_at,
+                            }
+                            .tag(),
+                        );
+                        st.metrics.check_ok = false;
+                        makespan = makespan.max(now);
+                        let (client, index) = (st.metrics.client, st.metrics.index);
+                        queue.retain(|&id| id != req);
+                        blocked.retain(|&id| id != req);
+                        timeline.instant(
+                            tracks[client],
+                            format!("deadline r{client}.{index}"),
+                            9,
+                            now,
+                        );
+                        timeline.sample(device_counter, now, device.used() as f64);
+                        if index + 1 < workload[client].requests.len() {
+                            schedule(
+                                &mut calendar,
+                                now + self.config.think_time,
+                                Event::Submit { client, index: index + 1 },
+                            );
+                        }
+                    }
                 }
             }
 
@@ -423,7 +565,17 @@ impl JoinService {
                 if st.eligible_at > now {
                     return true;
                 }
-                let (r, s) = st.inputs.as_ref().expect("queued request has inputs");
+                let Some((r, s)) = st.inputs.as_ref() else {
+                    // "Cannot happen": only undone requests sit in the
+                    // queue, and undone requests keep their inputs. Record
+                    // the broken invariant, fail the request typed, and
+                    // drop it from the queue instead of panicking.
+                    invariants.push(format!("queued request {id} has no inputs at {now}"));
+                    st.metrics.error = Some(JoinError::Internal { detail: String::new() }.tag());
+                    st.metrics.completed_at = now;
+                    st.done = true;
+                    return false;
+                };
                 let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
                 let estimate = self.engine.footprint_estimate(st.level, build, probe);
                 match device.reserve(estimate) {
@@ -471,11 +623,40 @@ impl JoinService {
                 check: JoinCheck,
                 expected: JoinCheck,
                 duration: SimTime,
+                faults: FaultSummary,
+                /// `(offset into the execution, label)` per fault event,
+                /// for timeline markers at service time.
+                fault_marks: Vec<(SimTime, String)>,
+                error: Option<&'static str>,
+                /// A broken invariant observed inside the (possibly
+                /// parallel) execution closure, reported typed.
+                invariant: Option<String>,
             }
             let engine = &self.engine;
             let results: Vec<Executed> = Pool::current().map(&batch, |_, &id| {
                 let st = &requests[id];
-                let (r, s) = st.inputs.as_ref().expect("admitted request has inputs");
+                // Each request draws from its own fault stream (seed mixed
+                // with the request id) — deterministic for any worker
+                // count, but not the same verdicts for every tenant.
+                let reseeded = engine.config.faults.as_ref().map(|f| {
+                    let mut e = engine.clone();
+                    e.config = e.config.clone().with_faults(f.reseeded(id as u64));
+                    e
+                });
+                let engine = reseeded.as_ref().unwrap_or(engine);
+                let Some((r, s)) = st.inputs.as_ref() else {
+                    // "Cannot happen": admission just verified the inputs.
+                    return Executed {
+                        strategy: None,
+                        check: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+                        expected: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+                        duration: SimTime::from_nanos(1),
+                        faults: FaultSummary::default(),
+                        fault_marks: Vec::new(),
+                        error: Some(JoinError::Internal { detail: String::new() }.tag()),
+                        invariant: Some(format!("admitted request {id} has no inputs")),
+                    };
+                };
                 let expected = JoinCheck::compute(r, s);
                 match engine.execute_from(st.level, r, s) {
                     Ok((strategy, outcome)) => Executed {
@@ -485,12 +666,30 @@ impl JoinService {
                         duration: SimTime::from_nanos(
                             outcome.schedule.makespan().as_nanos().max(1),
                         ),
+                        faults: outcome.faults.summary(),
+                        fault_marks: outcome
+                            .faults
+                            .events
+                            .iter()
+                            .map(|e| {
+                                (
+                                    e.at.unwrap_or(SimTime::ZERO),
+                                    format!("{} {} `{}`", e.kind, e.site, e.label),
+                                )
+                            })
+                            .collect(),
+                        error: None,
+                        invariant: None,
                     },
-                    Err(_) => Executed {
+                    Err(err) => Executed {
                         strategy: None,
                         check: expected,
                         expected,
                         duration: SimTime::from_nanos(1),
+                        faults: FaultSummary::default(),
+                        fault_marks: Vec::new(),
+                        error: Some(err.tag()),
+                        invariant: None,
                     },
                 }
             });
@@ -499,15 +698,30 @@ impl JoinService {
                 st.metrics.executed = exec.strategy;
                 st.metrics.check_ok = exec.strategy.is_some() && exec.check == exec.expected;
                 st.metrics.matches = exec.check.matches;
+                st.metrics.faults = exec.faults;
+                st.metrics.error = exec.error;
+                if let Some(v) = exec.invariant {
+                    invariants.push(v);
+                }
+                let admitted = st.metrics.admitted_at;
+                let track = tracks[st.metrics.client];
+                for (offset, label) in exec.fault_marks {
+                    timeline.instant(track, label, 8, admitted + offset);
+                }
                 st.inputs = None; // inputs are no longer needed; free them
                 schedule(&mut calendar, now + exec.duration, Event::Complete { req: id });
             }
         }
 
+        // Drop any reservation a broken invariant might have stranded,
+        // then audit: a healthy loop leaves zero bytes reserved.
+        requests.iter_mut().for_each(|st| st.reservation = None);
         ServiceReport {
             makespan,
             device_peak: device.peak(),
             device_capacity: device.capacity(),
+            device_used_at_end: device.used(),
+            invariant_violations: invariants,
             timeline,
             requests: requests.into_iter().map(|st| st.metrics).collect(),
         }
@@ -598,6 +812,66 @@ mod tests {
         let sizes: std::collections::HashSet<usize> =
             a.iter().flat_map(|c| c.requests.iter().map(|q| q.r.tuples)).collect();
         assert!(sizes.len() > 1, "sizes must vary: {sizes:?}");
+    }
+
+    #[test]
+    fn tight_deadline_cancels_cleanly_and_releases_reservations() {
+        let config = ServiceConfig::default().with_deadline(Some(SimTime::from_nanos(1)));
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+        let engine = HcjEngine::new(
+            GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(4_000),
+        );
+        let svc = JoinService::new(engine, config);
+        let workload = mixed_workload(4, 2, 2_000, 11);
+        let report = svc.run(&workload);
+        // A 1 ns budget expires before any execution can complete: every
+        // request cancels, every client still advances through its
+        // sequence, and no reservation leaks.
+        assert_eq!(report.requests.len(), 8, "{}", report.summary());
+        assert_eq!(report.deadline_exceeded(), 8, "{}", report.summary());
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.device_used_at_end, 0, "cancelled requests must release bytes");
+        assert!(report.invariant_violations.is_empty());
+        assert!(report.requests.iter().all(|m| m.error == Some("deadline-exceeded")));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let workload = mixed_workload(3, 2, 1_000, 13);
+        let base = service(1 << 14, 4_000).run(&workload).summary();
+        let config = ServiceConfig::default().with_deadline(Some(SimTime::from_secs_f64(1e6)));
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+        let engine = HcjEngine::new(
+            GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(4_000),
+        );
+        let with_deadline = JoinService::new(engine, config).run(&workload).summary();
+        assert_eq!(base, with_deadline, "an unreachable deadline must be invisible");
+    }
+
+    #[test]
+    fn deadline_runs_are_deterministic_across_worker_counts() {
+        let workload = mixed_workload(4, 2, 1_000, 17);
+        let mut summaries = Vec::new();
+        for jobs in [1usize, 4] {
+            hcj_host::pool::set_jobs(jobs);
+            let config = ServiceConfig::default().with_deadline(Some(SimTime::from_nanos(200_000)));
+            let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+            let engine = HcjEngine::new(
+                GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(4_000),
+            );
+            summaries.push(JoinService::new(engine, config).run(&workload).summary());
+        }
+        hcj_host::pool::set_jobs(1);
+        assert_eq!(summaries[0], summaries[1]);
+    }
+
+    #[test]
+    fn no_invariant_violations_or_leaks_in_healthy_runs() {
+        let svc = service(1 << 14, 6_000);
+        let report = svc.run(&mixed_workload(8, 3, 2_000, 42));
+        assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
+        assert_eq!(report.device_used_at_end, 0);
+        assert!(report.summary().contains(&format!("{:<26}0", "invariant violations")));
     }
 
     #[test]

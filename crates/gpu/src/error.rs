@@ -1,0 +1,199 @@
+//! The one typed error taxonomy for join execution.
+//!
+//! Every layer — `Gpu` ops, the strategies in `hcj-core`, the engine
+//! facade and the comparator models in `hcj-engines`, and the multi-tenant
+//! service — reports failure as a [`JoinError`], classified into
+//! [`ErrorClass::Transient`] (retry/degrade may help),
+//! [`ErrorClass::Fatal`] (it will not), and
+//! [`ErrorClass::DeadlineExceeded`] (the request ran out of time, not the
+//! device out of resources).
+
+use std::fmt;
+
+use hcj_sim::SimTime;
+
+use crate::faults::{DeviceFault, FaultKind};
+use crate::memory::OutOfDeviceMemory;
+
+/// Coarse classification driving recovery policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying, degrading down the strategy ladder, or backing off for
+    /// memory may succeed.
+    Transient,
+    /// No amount of retrying helps (device lost, engine limits, broken
+    /// invariants).
+    Fatal,
+    /// The request exceeded its deadline; the work was cancelled.
+    DeadlineExceeded,
+}
+
+/// Why a join (or one of its device operations) failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinError {
+    /// A device allocation or reservation did not fit.
+    OutOfDeviceMemory(OutOfDeviceMemory),
+    /// A device-layer fault (transfer failure, kernel fault, device-lost).
+    Device(DeviceFault),
+    /// The request's deadline expired before the join completed.
+    DeadlineExceeded {
+        /// The per-request budget that was exceeded.
+        deadline: SimTime,
+        /// How far the request had gotten when it was cancelled.
+        elapsed: SimTime,
+    },
+    /// The engine refused or crashed on this working-set size (the
+    /// comparator models' documented failures, Figs. 14–15).
+    WorkingSetTooLarge { bytes: u64, limit: u64, detail: &'static str },
+    /// Data loading failed (CoGaDB's internal resize failure at SF 100).
+    LoadFailed { bytes: u64, detail: &'static str },
+    /// A "cannot happen" internal invariant was violated; surfaced as a
+    /// typed error instead of a panic so a service run degrades, not dies.
+    Internal { detail: String },
+}
+
+impl JoinError {
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            JoinError::OutOfDeviceMemory(_) => ErrorClass::Transient,
+            JoinError::Device(f) => match f.kind {
+                FaultKind::Transient => ErrorClass::Transient,
+                FaultKind::DeviceLost => ErrorClass::Fatal,
+            },
+            JoinError::DeadlineExceeded { .. } => ErrorClass::DeadlineExceeded,
+            JoinError::WorkingSetTooLarge { .. }
+            | JoinError::LoadFailed { .. }
+            | JoinError::Internal { .. } => ErrorClass::Fatal,
+        }
+    }
+
+    /// Would retrying (or degrading down the ladder) plausibly help?
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Sticky device-lost: the GPU is gone for this context; the only
+    /// recovery is falling back to the CPU baselines.
+    pub fn is_device_lost(&self) -> bool {
+        matches!(self, JoinError::Device(f) if f.kind == FaultKind::DeviceLost)
+    }
+
+    /// Short stable tag for summaries and CSVs (no payload, so counts
+    /// aggregate across requests).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JoinError::OutOfDeviceMemory(_) => "out-of-device-memory",
+            JoinError::Device(f) => match f.kind {
+                FaultKind::Transient => "device-fault",
+                FaultKind::DeviceLost => "device-lost",
+            },
+            JoinError::DeadlineExceeded { .. } => "deadline-exceeded",
+            JoinError::WorkingSetTooLarge { .. } => "working-set-too-large",
+            JoinError::LoadFailed { .. } => "load-failed",
+            JoinError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::OutOfDeviceMemory(e) => e.fmt(f),
+            JoinError::Device(e) => e.fmt(f),
+            JoinError::DeadlineExceeded { deadline, elapsed } => write!(
+                f,
+                "deadline exceeded: {:.6} s budget, cancelled at {:.6} s",
+                deadline.as_secs_f64(),
+                elapsed.as_secs_f64()
+            ),
+            JoinError::WorkingSetTooLarge { bytes, limit, detail } => {
+                write!(f, "working set of {bytes} B exceeds engine limit {limit} B: {detail}")
+            }
+            JoinError::LoadFailed { bytes, detail } => {
+                write!(f, "failed to load {bytes} B: {detail}")
+            }
+            JoinError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<OutOfDeviceMemory> for JoinError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        JoinError::OutOfDeviceMemory(e)
+    }
+}
+
+impl From<DeviceFault> for JoinError {
+    fn from(e: DeviceFault) -> Self {
+        JoinError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSite;
+
+    fn device(kind: FaultKind) -> JoinError {
+        JoinError::Device(DeviceFault { site: FaultSite::Kernel, kind, label: "join p0".into() })
+    }
+
+    #[test]
+    fn classification_matches_recovery_policy() {
+        let oom = JoinError::from(OutOfDeviceMemory { requested: 10, available: 5, capacity: 20 });
+        assert!(oom.is_transient());
+        assert_eq!(oom.class(), ErrorClass::Transient);
+
+        assert!(device(FaultKind::Transient).is_transient());
+        assert!(!device(FaultKind::Transient).is_device_lost());
+
+        let lost = device(FaultKind::DeviceLost);
+        assert!(!lost.is_transient());
+        assert!(lost.is_device_lost());
+        assert_eq!(lost.class(), ErrorClass::Fatal);
+
+        let dl = JoinError::DeadlineExceeded {
+            deadline: SimTime::from_nanos(1_000),
+            elapsed: SimTime::from_nanos(2_000),
+        };
+        assert_eq!(dl.class(), ErrorClass::DeadlineExceeded);
+        assert!(!dl.is_transient());
+
+        for fatal in [
+            JoinError::WorkingSetTooLarge { bytes: 1, limit: 0, detail: "x" },
+            JoinError::LoadFailed { bytes: 1, detail: "y" },
+            JoinError::Internal { detail: "z".into() },
+        ] {
+            assert_eq!(fatal.class(), ErrorClass::Fatal);
+        }
+    }
+
+    #[test]
+    fn tags_are_stable_and_distinct() {
+        let mut tags: Vec<&str> = vec![
+            JoinError::from(OutOfDeviceMemory { requested: 1, available: 0, capacity: 1 }).tag(),
+            device(FaultKind::Transient).tag(),
+            device(FaultKind::DeviceLost).tag(),
+            JoinError::DeadlineExceeded { deadline: SimTime::ZERO, elapsed: SimTime::ZERO }.tag(),
+            JoinError::WorkingSetTooLarge { bytes: 1, limit: 0, detail: "x" }.tag(),
+            JoinError::LoadFailed { bytes: 1, detail: "y" }.tag(),
+            JoinError::Internal { detail: "z".into() }.tag(),
+        ];
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 7);
+    }
+
+    #[test]
+    fn displays_mention_the_cause() {
+        assert!(device(FaultKind::Transient).to_string().contains("transient"));
+        assert!(device(FaultKind::DeviceLost).to_string().contains("device lost"));
+        let dl = JoinError::DeadlineExceeded {
+            deadline: SimTime::from_secs_f64(0.5),
+            elapsed: SimTime::from_secs_f64(0.75),
+        };
+        assert!(dl.to_string().contains("deadline exceeded"));
+    }
+}

@@ -1,0 +1,638 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] is a seeded source of device misbehaviour: transient
+//! PCIe transfer failures, ECC-style kernel faults (transient or sticky
+//! device-lost), slow-device stalls that inflate charged time, and
+//! capacity-shrink events where a co-tenant steals device bytes mid-run.
+//! The plan is consulted once per issued operation, in issue order; since
+//! simulation construction is single-threaded, the whole fault sequence is
+//! a pure function of the seed and the op stream — runs are byte-identical
+//! across repetitions and `--jobs` settings.
+//!
+//! Faults are drawn from the same xoshiro256** generator family as
+//! `hcj_workload::rng` (vendored here: this crate sits below the workload
+//! layer). Injection sites live in [`crate::stream::Gpu`] (ops) and
+//! [`crate::memory::DeviceMemory`] (allocations); recovery policy lives in
+//! the layers above.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use hcj_sim::{OpId, Schedule, SimTime};
+
+/// xoshiro256** seeded via splitmix64 — the same generator family as
+/// `hcj_workload::rng::SmallRng`, vendored because `hcj-gpu` sits below
+/// the workload crate in the dependency stack.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    s: [u64; 4],
+}
+
+impl FaultRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        FaultRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Where in the device a fault was injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Host→device DMA transfer.
+    H2D,
+    /// Device→host DMA transfer.
+    D2H,
+    /// Kernel execution on the compute engine.
+    Kernel,
+    /// Device-memory allocation / reservation.
+    Alloc,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultSite::H2D => "h2d",
+            FaultSite::D2H => "d2h",
+            FaultSite::Kernel => "kernel",
+            FaultSite::Alloc => "alloc",
+        })
+    }
+}
+
+/// How badly an operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// ECC-style transient: the op failed but the device is healthy; a
+    /// retry of the same op may succeed.
+    Transient,
+    /// Sticky device-lost: the device is gone; every subsequent operation
+    /// fails until the context is torn down. Recovery means falling back
+    /// to the CPU baselines.
+    DeviceLost,
+}
+
+/// A device-layer failure: the typed payload of
+/// [`JoinError::Device`](crate::error::JoinError::Device).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceFault {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+    /// Label of the operation that failed.
+    pub label: String,
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Transient => {
+                write!(f, "transient {} fault in `{}`", self.site, self.label)
+            }
+            FaultKind::DeviceLost => write!(f, "device lost during {} `{}`", self.site, self.label),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// Per-site fault probabilities and magnitudes, all drawn from one seed.
+/// Probabilities are per *issued operation* (or per allocation for
+/// `shrink_p`), so longer pipelines see proportionally more faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    pub seed: u64,
+    /// P(an H2D/D2H transfer fails in flight) — transient, retryable.
+    pub transfer_fault_p: f64,
+    /// P(a kernel launch hits an ECC-style fault).
+    pub kernel_fault_p: f64,
+    /// P(a kernel fault is sticky device-lost | kernel fault).
+    pub device_lost_p: f64,
+    /// P(any op is stalled: charged `stall_factor`× its normal time).
+    pub stall_p: f64,
+    /// Work multiplier for stalled ops (> 1).
+    pub stall_factor: f64,
+    /// P(a co-tenant steals device bytes | allocation attempt).
+    pub shrink_p: f64,
+    /// Fraction of the currently-free bytes a shrink event steals.
+    pub shrink_fraction: f64,
+}
+
+impl FaultConfig {
+    /// The chaos preset used by `serve --chaos SEED` / `repro --chaos
+    /// SEED`: a few percent of ops misbehave — enough to exercise every
+    /// recovery path in a quick soak without drowning the workload.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transfer_fault_p: 0.02,
+            kernel_fault_p: 0.015,
+            device_lost_p: 0.04,
+            stall_p: 0.03,
+            stall_factor: 4.0,
+            shrink_p: 0.01,
+            shrink_fraction: 0.25,
+        }
+    }
+
+    /// A fault layer that is armed but injects nothing: every draw is a
+    /// no-op. Runs with this config must be byte-identical to runs with no
+    /// fault layer at all (checked in CI).
+    pub fn disabled(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transfer_fault_p: 0.0,
+            kernel_fault_p: 0.0,
+            device_lost_p: 0.0,
+            stall_p: 0.0,
+            stall_factor: 1.0,
+            shrink_p: 0.0,
+            shrink_fraction: 0.0,
+        }
+    }
+
+    /// Derive an independent fault stream for `stream` (e.g. a service
+    /// request id): same seed + same stream always yields the same
+    /// faults, while different streams decorrelate — without this, every
+    /// request in a multi-tenant run would replay the identical verdict
+    /// prefix from the shared seed.
+    pub fn reseeded(&self, stream: u64) -> Self {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultConfig { seed: z ^ (z >> 31), ..self.clone() }
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.transfer_fault_p == 0.0
+            && self.kernel_fault_p == 0.0
+            && self.stall_p == 0.0
+            && self.shrink_p == 0.0
+    }
+}
+
+/// What the plan decided for one issued operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpVerdict {
+    /// Run normally.
+    Run,
+    /// Run, but charged `factor`× the normal time (slow-device stall).
+    Stall(f64),
+    /// Fail after a partial amount of work.
+    Fault(FaultKind),
+    /// The device was already lost; the op is not even issued.
+    Lost,
+}
+
+/// One recorded injection, tied to the sim op that charged its cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRecord {
+    pub site: FaultSite,
+    pub kind: FaultEventKind,
+    pub label: String,
+    /// The sim op charging the (partial/stalled/backoff) cost, when any.
+    pub op: Option<OpId>,
+}
+
+/// The kind of event in a fault log (injections *and* recovery actions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventKind {
+    Transient,
+    DeviceLost,
+    Stall,
+    Retry { attempt: u32 },
+    Shrink { bytes: u64 },
+}
+
+impl fmt::Display for FaultEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEventKind::Transient => f.write_str("transient"),
+            FaultEventKind::DeviceLost => f.write_str("device-lost"),
+            FaultEventKind::Stall => f.write_str("stall"),
+            FaultEventKind::Retry { attempt } => write!(f, "retry {attempt}"),
+            FaultEventKind::Shrink { bytes } => write!(f, "shrink {bytes} B"),
+        }
+    }
+}
+
+/// The seeded fault source. One plan per armed [`crate::Gpu`]; shared with
+/// its [`crate::DeviceMemory`] so allocation-time shrink events draw from
+/// the same deterministic stream.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: FaultRng,
+    lost: bool,
+    records: Vec<FaultRecord>,
+}
+
+/// Shared handle: the `Gpu` and its `DeviceMemory` consult one plan.
+pub type FaultHandle = Arc<Mutex<FaultPlan>>;
+
+impl FaultPlan {
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = FaultRng::seed_from_u64(cfg.seed);
+        FaultPlan { cfg, rng, lost: false, records: Vec::new() }
+    }
+
+    pub fn handle(cfg: FaultConfig) -> FaultHandle {
+        Arc::new(Mutex::new(FaultPlan::new(cfg)))
+    }
+
+    /// Decide the fate of the next issued op at `site`. Exactly one
+    /// decision per op, in issue order — the determinism contract.
+    pub fn verdict(&mut self, site: FaultSite) -> OpVerdict {
+        if self.lost {
+            return OpVerdict::Lost;
+        }
+        let p_fault = match site {
+            FaultSite::H2D | FaultSite::D2H => self.cfg.transfer_fault_p,
+            FaultSite::Kernel => self.cfg.kernel_fault_p,
+            FaultSite::Alloc => 0.0,
+        };
+        if p_fault > 0.0 && self.rng.gen_f64() < p_fault {
+            let sticky = site == FaultSite::Kernel
+                && self.cfg.device_lost_p > 0.0
+                && self.rng.gen_f64() < self.cfg.device_lost_p;
+            if sticky {
+                self.lost = true;
+                return OpVerdict::Fault(FaultKind::DeviceLost);
+            }
+            return OpVerdict::Fault(FaultKind::Transient);
+        }
+        if self.cfg.stall_p > 0.0 && self.rng.gen_f64() < self.cfg.stall_p {
+            return OpVerdict::Stall(self.cfg.stall_factor);
+        }
+        OpVerdict::Run
+    }
+
+    /// Fraction of an op's work charged before a fault manifests.
+    pub fn partial_fraction(&mut self) -> f64 {
+        0.1 + 0.8 * self.rng.gen_f64()
+    }
+
+    /// Draw a capacity-shrink event at an allocation site: `Some(bytes)`
+    /// when a co-tenant steals part of the `available` bytes. The steal is
+    /// clamped to what is actually free, so accounting can never exceed
+    /// capacity.
+    pub fn shrink_bytes(&mut self, available: u64) -> Option<u64> {
+        if self.lost || self.cfg.shrink_p == 0.0 || available == 0 {
+            return None;
+        }
+        if self.rng.gen_f64() < self.cfg.shrink_p {
+            let steal = (available as f64 * self.cfg.shrink_fraction) as u64;
+            return Some(steal.min(available));
+        }
+        None
+    }
+
+    /// Append to the fault log.
+    pub fn record(
+        &mut self,
+        site: FaultSite,
+        kind: FaultEventKind,
+        label: String,
+        op: Option<OpId>,
+    ) {
+        self.records.push(FaultRecord { site, kind, label, op });
+    }
+
+    /// Sticky device-lost already drawn?
+    pub fn device_lost(&self) -> bool {
+        self.lost
+    }
+
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+}
+
+/// A resolved fault log: records stamped with virtual time, ready for
+/// timeline instants and summary counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultLog {
+    pub events: Vec<FaultEvent>,
+}
+
+/// One resolved event: what happened, where, and when (finish time of the
+/// op that charged the cost; `None` for events with no charged op).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    pub at: Option<SimTime>,
+    pub site: FaultSite,
+    pub kind: FaultEventKind,
+    pub label: String,
+}
+
+impl FaultLog {
+    /// Stamp `records` against the solved `schedule`.
+    pub fn resolve(records: &[FaultRecord], schedule: &Schedule) -> Self {
+        let events = records
+            .iter()
+            .map(|r| FaultEvent {
+                at: r.op.map(|op| schedule.finish(op)),
+                site: r.site,
+                kind: r.kind,
+                label: r.label.clone(),
+            })
+            .collect();
+        FaultLog { events }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn summary(&self) -> FaultSummary {
+        let mut s = FaultSummary::default();
+        for e in &self.events {
+            match e.kind {
+                FaultEventKind::Transient => match e.site {
+                    FaultSite::Kernel => s.kernel_faults += 1,
+                    _ => s.transfer_faults += 1,
+                },
+                FaultEventKind::DeviceLost => {
+                    s.kernel_faults += 1;
+                    s.device_lost = true;
+                }
+                FaultEventKind::Stall => s.stalls += 1,
+                FaultEventKind::Retry { .. } => s.retries += 1,
+                FaultEventKind::Shrink { bytes } => {
+                    s.shrinks += 1;
+                    s.stolen_bytes += bytes;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Aggregate fault counters for one execution (or, summed, one service
+/// run) — the numbers `serve` prints and tests assert on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    pub transfer_faults: u32,
+    pub kernel_faults: u32,
+    pub stalls: u32,
+    pub retries: u32,
+    pub shrinks: u32,
+    pub stolen_bytes: u64,
+    pub device_lost: bool,
+}
+
+impl FaultSummary {
+    pub fn is_empty(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+
+    pub fn absorb(&mut self, other: &FaultSummary) {
+        self.transfer_faults += other.transfer_faults;
+        self.kernel_faults += other.kernel_faults;
+        self.stalls += other.stalls;
+        self.retries += other.retries;
+        self.shrinks += other.shrinks;
+        self.stolen_bytes += other.stolen_bytes;
+        self.device_lost |= other.device_lost;
+    }
+}
+
+/// Bounded-retry policy for transient device faults. Backoff is virtual
+/// time charged to the issuing stream (exponential, capped), mirroring a
+/// driver-level retry loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 4 = up to 3 retries).
+    pub max_attempts: u32,
+    pub backoff_base: SimTime,
+    pub backoff_cap: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: SimTime::from_nanos(50_000),
+            backoff_cap: SimTime::from_nanos(1_000_000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): base·2^(attempt-1),
+    /// capped.
+    pub fn delay(&self, attempt: u32) -> SimTime {
+        let shift = (attempt.saturating_sub(1)).min(20);
+        let ns = self.backoff_base.as_nanos().saturating_mul(1u64 << shift);
+        SimTime::from_nanos(ns.min(self.backoff_cap.as_nanos()))
+    }
+}
+
+static AMBIENT: Mutex<Option<FaultConfig>> = Mutex::new(None);
+
+/// Set the process-wide ambient fault config consulted by
+/// `GpuJoinConfig::paper_default`. Only binaries (`repro --chaos`) set
+/// this, once, before any work is spawned; library code and tests pass
+/// configs explicitly.
+pub fn set_ambient(cfg: Option<FaultConfig>) {
+    *AMBIENT.lock().expect("ambient fault config poisoned") = cfg;
+}
+
+/// The ambient fault config, if a binary armed one.
+pub fn ambient() -> Option<FaultConfig> {
+    AMBIENT.lock().expect("ambient fault config poisoned").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_matches_workload_small_rng() {
+        // Same algorithm, same seed → the vendored generator must agree
+        // with the reference stream (first values from xoshiro256** seeded
+        // via splitmix64(7)); determinism across crates matters because
+        // test expectations are shared.
+        let mut a = FaultRng::seed_from_u64(7);
+        let mut b = FaultRng::seed_from_u64(7);
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_per_seed() {
+        let draw = || {
+            let mut p = FaultPlan::new(FaultConfig::chaos(42));
+            (0..256)
+                .map(|i| {
+                    let site = match i % 3 {
+                        0 => FaultSite::H2D,
+                        1 => FaultSite::Kernel,
+                        _ => FaultSite::D2H,
+                    };
+                    p.verdict(site)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn disabled_config_injects_nothing() {
+        let mut p = FaultPlan::new(FaultConfig::disabled(7));
+        for _ in 0..10_000 {
+            assert_eq!(p.verdict(FaultSite::Kernel), OpVerdict::Run);
+        }
+        assert_eq!(p.shrink_bytes(1 << 30), None);
+        assert!(p.records().is_empty());
+        assert!(FaultConfig::disabled(7).is_noop());
+        assert!(!FaultConfig::chaos(7).is_noop());
+    }
+
+    #[test]
+    fn device_lost_is_sticky() {
+        // Force device-lost: every kernel faults and every fault is sticky.
+        let cfg =
+            FaultConfig { kernel_fault_p: 1.0, device_lost_p: 1.0, ..FaultConfig::disabled(3) };
+        let mut p = FaultPlan::new(cfg);
+        assert_eq!(p.verdict(FaultSite::Kernel), OpVerdict::Fault(FaultKind::DeviceLost));
+        assert!(p.device_lost());
+        // Everything after — including transfers — reports Lost.
+        assert_eq!(p.verdict(FaultSite::Kernel), OpVerdict::Lost);
+        assert_eq!(p.verdict(FaultSite::H2D), OpVerdict::Lost);
+        assert_eq!(p.shrink_bytes(1 << 20), None);
+    }
+
+    #[test]
+    fn shrink_clamps_to_available() {
+        let cfg = FaultConfig { shrink_p: 1.0, shrink_fraction: 5.0, ..FaultConfig::disabled(11) };
+        let mut p = FaultPlan::new(cfg);
+        // fraction > 1 would steal more than free: must clamp.
+        assert_eq!(p.shrink_bytes(1000), Some(1000));
+        assert_eq!(p.shrink_bytes(0), None);
+    }
+
+    #[test]
+    fn chaos_preset_fires_all_fault_kinds_eventually() {
+        let mut p = FaultPlan::new(FaultConfig::chaos(1));
+        let mut transfer = 0;
+        let mut kernel = 0;
+        let mut stall = 0;
+        for i in 0..4000 {
+            if p.device_lost() {
+                break;
+            }
+            let site = if i % 2 == 0 { FaultSite::H2D } else { FaultSite::Kernel };
+            match p.verdict(site) {
+                OpVerdict::Fault(_) if site == FaultSite::H2D => transfer += 1,
+                OpVerdict::Fault(_) => kernel += 1,
+                OpVerdict::Stall(f) => {
+                    assert!(f > 1.0);
+                    stall += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(transfer > 0, "chaos preset must produce transfer faults");
+        assert!(kernel > 0, "chaos preset must produce kernel faults");
+        assert!(stall > 0, "chaos preset must produce stalls");
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(1).as_nanos(), 50_000);
+        assert_eq!(p.delay(2).as_nanos(), 100_000);
+        assert_eq!(p.delay(3).as_nanos(), 200_000);
+        assert_eq!(p.delay(30).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn summary_counts_by_kind_and_site() {
+        let records = vec![
+            FaultRecord {
+                site: FaultSite::H2D,
+                kind: FaultEventKind::Transient,
+                label: "h2d a".into(),
+                op: None,
+            },
+            FaultRecord {
+                site: FaultSite::Kernel,
+                kind: FaultEventKind::DeviceLost,
+                label: "join b".into(),
+                op: None,
+            },
+            FaultRecord {
+                site: FaultSite::Kernel,
+                kind: FaultEventKind::Stall,
+                label: "join c".into(),
+                op: None,
+            },
+            FaultRecord {
+                site: FaultSite::H2D,
+                kind: FaultEventKind::Retry { attempt: 1 },
+                label: "h2d a".into(),
+                op: None,
+            },
+            FaultRecord {
+                site: FaultSite::Alloc,
+                kind: FaultEventKind::Shrink { bytes: 4096 },
+                label: "reserve".into(),
+                op: None,
+            },
+        ];
+        let sim = hcj_sim::Sim::new();
+        let sched = sim.run();
+        let log = FaultLog::resolve(&records, &sched);
+        let s = log.summary();
+        assert_eq!(s.transfer_faults, 1);
+        assert_eq!(s.kernel_faults, 1);
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.shrinks, 1);
+        assert_eq!(s.stolen_bytes, 4096);
+        assert!(s.device_lost);
+        let mut total = FaultSummary::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.transfer_faults, 2);
+        assert!(total.device_lost);
+    }
+
+    #[test]
+    fn ambient_round_trip() {
+        assert_eq!(ambient(), None);
+        set_ambient(Some(FaultConfig::disabled(1)));
+        assert_eq!(ambient(), Some(FaultConfig::disabled(1)));
+        set_ambient(None);
+        assert_eq!(ambient(), None);
+    }
+}

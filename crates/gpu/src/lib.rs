@@ -29,6 +29,8 @@
 //! the model only decides how long it took.
 
 pub mod cost;
+pub mod error;
+pub mod faults;
 pub mod memory;
 pub mod shared;
 pub mod spec;
@@ -38,10 +40,15 @@ pub mod uva;
 pub mod warp;
 
 pub use cost::KernelCost;
+pub use error::{ErrorClass, JoinError};
+pub use faults::{
+    DeviceFault, FaultConfig, FaultEvent, FaultEventKind, FaultKind, FaultLog, FaultPlan,
+    FaultSite, FaultSummary, RetryPolicy,
+};
 pub use memory::{DeviceBuffer, DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use shared::{SharedMemLayout, SharedMemOverflow};
 pub use spec::DeviceSpec;
-pub use stream::{Gpu, GpuEvent, Stream, TransferKind};
+pub use stream::{Gpu, GpuEvent, Retried, Stream, TransferKind};
 pub use unified::UnifiedMemory;
 pub use uva::UvaAccessPattern;
 

@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use std::sync::Mutex;
 
+use crate::faults::{FaultEventKind, FaultHandle, FaultSite};
+
 /// Error returned when a device allocation does not fit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutOfDeviceMemory {
@@ -40,6 +42,10 @@ struct Accountant {
     capacity: u64,
     used: u64,
     peak: u64,
+    /// Bytes currently held by the simulated co-tenant (capacity-shrink
+    /// fault events). Included in `used`, released by
+    /// [`DeviceMemory::evict_co_tenant`].
+    stolen: u64,
 }
 
 /// The device-memory allocator: capacity accounting over the modeled
@@ -47,12 +53,61 @@ struct Accountant {
 #[derive(Clone, Debug)]
 pub struct DeviceMemory {
     inner: Arc<Mutex<Accountant>>,
+    /// Armed fault plan: allocation attempts draw capacity-shrink events
+    /// from it (a co-tenant stealing free bytes mid-run).
+    faults: Option<FaultHandle>,
 }
 
 impl DeviceMemory {
     /// A device with `capacity` bytes of global memory.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { inner: Arc::new(Mutex::new(Accountant { capacity, used: 0, peak: 0 })) }
+        DeviceMemory {
+            inner: Arc::new(Mutex::new(Accountant { capacity, used: 0, peak: 0, stolen: 0 })),
+            faults: None,
+        }
+    }
+
+    /// Arm fault injection: every subsequent allocation attempt may draw a
+    /// capacity-shrink event. (Usually called via
+    /// [`crate::Gpu::arm_faults`], which shares one plan between ops and
+    /// allocations.) Only this handle's clones see the plan; the shared
+    /// accountant is unaffected.
+    pub fn arm_faults(&mut self, plan: FaultHandle) {
+        self.faults = Some(plan);
+    }
+
+    /// Bytes currently held by the simulated co-tenant (shrink events).
+    pub fn stolen(&self) -> u64 {
+        self.inner.lock().expect("device-memory accountant poisoned").stolen
+    }
+
+    /// Release everything the co-tenant stole (modeling the co-tenant
+    /// finishing); used by tests and teardown paths.
+    pub fn evict_co_tenant(&self) {
+        let mut g = self.inner.lock().expect("device-memory accountant poisoned");
+        g.used -= g.stolen;
+        g.stolen = 0;
+    }
+
+    /// Draw a capacity-shrink event (if armed) before an allocation of
+    /// `requested` bytes: the co-tenant steals a slice of the *free* bytes,
+    /// so `used` can never exceed `capacity` — the shrink squeezes the
+    /// allocation, it does not corrupt accounting.
+    fn maybe_shrink(&self, requested: u64) {
+        let Some(plan) = &self.faults else { return };
+        let mut plan = plan.lock().expect("fault plan poisoned");
+        let mut g = self.inner.lock().expect("device-memory accountant poisoned");
+        if let Some(steal) = plan.shrink_bytes(g.capacity - g.used) {
+            g.used += steal;
+            g.stolen += steal;
+            g.peak = g.peak.max(g.used);
+            plan.record(
+                FaultSite::Alloc,
+                FaultEventKind::Shrink { bytes: steal },
+                format!("co-tenant steals {steal} B (alloc of {requested} B pending)"),
+                None,
+            );
+        }
     }
 
     /// Total capacity in bytes.
@@ -107,6 +162,7 @@ impl DeviceMemory {
     /// host-side structures (e.g. partition bucket pools). The reservation
     /// participates fully in capacity accounting and frees on drop.
     pub fn reserve(&self, bytes: u64) -> Result<Reservation, OutOfDeviceMemory> {
+        self.maybe_shrink(bytes);
         {
             let mut g = self.inner.lock().expect("device-memory accountant poisoned");
             if g.capacity - g.used < bytes {
@@ -128,6 +184,7 @@ impl DeviceMemory {
         make: impl FnOnce(usize) -> Vec<T>,
     ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
+        self.maybe_shrink(bytes);
         {
             let mut g = self.inner.lock().expect("device-memory accountant poisoned");
             if g.capacity - g.used < bytes {
@@ -297,6 +354,76 @@ mod tests {
         drop(r);
         assert_eq!(mem.used(), 0);
         assert_eq!(mem.peak(), 700);
+    }
+
+    #[test]
+    fn reservation_dropped_mid_execution_releases_bytes() {
+        // A fault or cancellation drops the Reservation early, out of
+        // allocation order; accounting must return every byte regardless.
+        let mem = DeviceMemory::new(1000);
+        let r = mem.reserve(500).unwrap();
+        let buf = mem.alloc_zeroed::<u8>(200).unwrap();
+        drop(r); // "mid-execution" release, before the buffer
+        assert_eq!(mem.used(), 200);
+        drop(buf);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.peak(), 700);
+    }
+
+    #[test]
+    fn shrink_steals_free_bytes_and_peak_stays_within_capacity() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig { shrink_p: 1.0, shrink_fraction: 0.5, ..FaultConfig::disabled(5) };
+        let mut mem = DeviceMemory::new(1000);
+        mem.arm_faults(FaultPlan::handle(cfg));
+        // Every allocation attempt first loses half the free bytes to the
+        // co-tenant: 1000 free → steal 500 → 300 fits in the remaining 500.
+        let a = mem.reserve(300).unwrap();
+        assert_eq!(mem.stolen(), 500);
+        assert_eq!(mem.used(), 800);
+        // Next attempt shrinks again (steal 100 of the 200 free) and the
+        // request no longer fits — typed OOM, accounting intact.
+        let err = mem.reserve(150).unwrap_err();
+        assert_eq!(err.capacity, 1000);
+        assert!(err.available < 150);
+        assert!(mem.peak() <= mem.capacity(), "peak must never exceed capacity under shrink");
+        assert_eq!(mem.used(), 300 + mem.stolen());
+        drop(a);
+        mem.evict_co_tenant();
+        assert_eq!(mem.used(), 0);
+        assert!(mem.peak() <= mem.capacity());
+    }
+
+    #[test]
+    fn shrink_under_pressure_never_overflows_capacity() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig { shrink_p: 1.0, shrink_fraction: 0.9, ..FaultConfig::disabled(9) };
+        let mut mem = DeviceMemory::new(4096);
+        mem.arm_faults(FaultPlan::handle(cfg));
+        let mut held = Vec::new();
+        for _ in 0..64 {
+            if let Ok(r) = mem.reserve(64) {
+                held.push(r);
+            }
+            assert!(mem.used() <= mem.capacity());
+            assert!(mem.peak() <= mem.capacity());
+        }
+        // At least one allocation must eventually fail under 90% steals.
+        assert!(held.len() < 64);
+        held.clear();
+        mem.evict_co_tenant();
+        assert_eq!(mem.used(), 0);
+    }
+
+    #[test]
+    fn unarmed_memory_never_shrinks() {
+        let mem = DeviceMemory::new(1000);
+        for _ in 0..100 {
+            let r = mem.reserve(1000).unwrap();
+            drop(r);
+        }
+        assert_eq!(mem.stolen(), 0);
+        assert_eq!(mem.peak(), 1000);
     }
 
     #[test]

@@ -11,9 +11,14 @@
 //! overlap unless ordered through a recorded [`GpuEvent`] that another
 //! stream waits on.
 
-use hcj_sim::{Op, OpId, ResourceId, Sim, SimTime};
+use hcj_sim::{Op, OpId, ResourceId, Schedule, Sim, SimTime};
 
 use crate::cost::KernelCost;
+use crate::error::JoinError;
+use crate::faults::{
+    DeviceFault, FaultConfig, FaultEventKind, FaultHandle, FaultKind, FaultLog, FaultPlan,
+    FaultSite, OpVerdict, RetryPolicy,
+};
 use crate::memory::DeviceMemory;
 use crate::spec::DeviceSpec;
 
@@ -21,6 +26,10 @@ use crate::spec::DeviceSpec;
 pub const CLASS_KERNEL: u32 = 1;
 pub const CLASS_H2D: u32 = 2;
 pub const CLASS_D2H: u32 = 3;
+/// Partial work charged by an op that faulted mid-flight.
+pub const CLASS_FAULT: u32 = 4;
+/// Virtual-time backoff before a retry of a faulted op.
+pub const CLASS_RETRY: u32 = 5;
 
 /// Whether a host buffer participating in a transfer is pinned
 /// (page-locked) or pageable. Pageable transfers bounce through a driver
@@ -39,6 +48,11 @@ pub struct Gpu {
     compute: ResourceId,
     dma_h2d: ResourceId,
     dma_d2h: ResourceId,
+    /// Armed fault plan, shared with `mem` so allocation-time shrink
+    /// events draw from the same deterministic stream. `None` = the
+    /// fault layer is compiled in but inert (zero overhead on the op
+    /// stream, identical schedules).
+    faults: Option<FaultHandle>,
 }
 
 impl Gpu {
@@ -48,7 +62,37 @@ impl Gpu {
         let compute = sim.fifo_resource(format!("{} compute", spec.name), 1.0, 1);
         let dma_h2d = sim.fifo_resource(format!("{} dma-h2d", spec.name), spec.pcie_bandwidth, 1);
         let dma_d2h = sim.fifo_resource(format!("{} dma-d2h", spec.name), spec.pcie_bandwidth, 1);
-        Gpu { spec, mem, compute, dma_h2d, dma_d2h }
+        Gpu { spec, mem, compute, dma_h2d, dma_d2h, faults: None }
+    }
+
+    /// Arm deterministic fault injection for this device (and its memory
+    /// accountant). Every subsequently issued op consults the seeded plan
+    /// in issue order.
+    pub fn arm_faults(&mut self, cfg: FaultConfig) {
+        let plan = FaultPlan::handle(cfg);
+        self.mem.arm_faults(FaultHandle::clone(&plan));
+        self.faults = Some(plan);
+    }
+
+    /// The armed fault plan, if any (shared with [`DeviceMemory`]).
+    pub fn fault_plan(&self) -> Option<&FaultHandle> {
+        self.faults.as_ref()
+    }
+
+    /// Has a sticky device-lost fault fired?
+    pub fn device_lost(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.lock().expect("fault plan poisoned").device_lost())
+    }
+
+    /// The fault log resolved against a solved schedule: every injection,
+    /// retry and shrink stamped with virtual time. Empty when unarmed.
+    pub fn fault_log(&self, schedule: &Schedule) -> FaultLog {
+        match &self.faults {
+            None => FaultLog::default(),
+            Some(p) => {
+                FaultLog::resolve(p.lock().expect("fault plan poisoned").records(), schedule)
+            }
+        }
     }
 
     /// A fresh stream (no prior work).
@@ -73,22 +117,16 @@ impl Gpu {
 
     /// Launch a kernel on `stream`: executes for `cost.time(spec)` plus the
     /// launch overhead, after all stream-order and waited-event deps.
+    /// `Err` only when an armed fault plan injects a fault into this op.
     pub fn kernel(
         &self,
         sim: &mut Sim,
         stream: &mut Stream,
         label: impl Into<String>,
         cost: &KernelCost,
-    ) -> OpId {
+    ) -> Result<OpId, JoinError> {
         let work = cost.time(&self.spec);
-        let op = Op::new(self.compute, work)
-            .label(label)
-            .class(CLASS_KERNEL)
-            .pre_latency(SimTime::from_secs_f64(self.spec.launch_overhead_s))
-            .after_all(stream.take_deps());
-        let id = sim.op(op);
-        stream.last = Some(id);
-        id
+        self.launch(sim, stream, label.into(), self.compute, CLASS_KERNEL, work, true)
     }
 
     /// Launch a kernel whose duration was computed externally (e.g. a cost
@@ -100,15 +138,8 @@ impl Gpu {
         stream: &mut Stream,
         label: impl Into<String>,
         seconds: f64,
-    ) -> OpId {
-        let op = Op::new(self.compute, seconds)
-            .label(label)
-            .class(CLASS_KERNEL)
-            .pre_latency(SimTime::from_secs_f64(self.spec.launch_overhead_s))
-            .after_all(stream.take_deps());
-        let id = sim.op(op);
-        stream.last = Some(id);
-        id
+    ) -> Result<OpId, JoinError> {
+        self.launch(sim, stream, label.into(), self.compute, CLASS_KERNEL, seconds, true)
     }
 
     /// Asynchronous host→device copy of `bytes` on `stream`.
@@ -119,8 +150,16 @@ impl Gpu {
         label: impl Into<String>,
         bytes: u64,
         kind: TransferKind,
-    ) -> OpId {
-        self.copy(sim, stream, label, bytes, kind, self.dma_h2d, CLASS_H2D)
+    ) -> Result<OpId, JoinError> {
+        self.launch(
+            sim,
+            stream,
+            label.into(),
+            self.dma_h2d,
+            CLASS_H2D,
+            bytes as f64 * self.pageable_slowdown(kind),
+            false,
+        )
     }
 
     /// Asynchronous device→host copy of `bytes` on `stream`.
@@ -131,34 +170,200 @@ impl Gpu {
         label: impl Into<String>,
         bytes: u64,
         kind: TransferKind,
-    ) -> OpId {
-        self.copy(sim, stream, label, bytes, kind, self.dma_d2h, CLASS_D2H)
+    ) -> Result<OpId, JoinError> {
+        self.launch(
+            sim,
+            stream,
+            label.into(),
+            self.dma_d2h,
+            CLASS_D2H,
+            bytes as f64 * self.pageable_slowdown(kind),
+            false,
+        )
     }
 
-    fn copy(
+    /// [`kernel`](Self::kernel) with bounded retry: transient faults are
+    /// retried after an exponential virtual-time backoff charged to the
+    /// stream; device-lost and retry exhaustion propagate.
+    pub fn kernel_retrying(
         &self,
         sim: &mut Sim,
         stream: &mut Stream,
-        label: impl Into<String>,
+        label: &str,
+        cost: &KernelCost,
+        policy: &RetryPolicy,
+    ) -> Result<Retried, JoinError> {
+        let work = cost.time(&self.spec);
+        self.kernel_raw_retrying(sim, stream, label, work, policy)
+    }
+
+    /// [`kernel_raw`](Self::kernel_raw) with bounded retry.
+    pub fn kernel_raw_retrying(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: &str,
+        seconds: f64,
+        policy: &RetryPolicy,
+    ) -> Result<Retried, JoinError> {
+        self.with_retries(sim, stream, label, FaultSite::Kernel, policy, |g, sim, stream, l| {
+            g.launch(sim, stream, l, g.compute, CLASS_KERNEL, seconds, true)
+        })
+    }
+
+    /// [`copy_h2d`](Self::copy_h2d) with bounded retry.
+    pub fn copy_h2d_retrying(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: &str,
         bytes: u64,
         kind: TransferKind,
-        engine: ResourceId,
-        class: u32,
-    ) -> OpId {
+        policy: &RetryPolicy,
+    ) -> Result<Retried, JoinError> {
+        let work = bytes as f64 * self.pageable_slowdown(kind);
+        self.with_retries(sim, stream, label, FaultSite::H2D, policy, |g, sim, stream, l| {
+            g.launch(sim, stream, l, g.dma_h2d, CLASS_H2D, work, false)
+        })
+    }
+
+    /// [`copy_d2h`](Self::copy_d2h) with bounded retry.
+    pub fn copy_d2h_retrying(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: &str,
+        bytes: u64,
+        kind: TransferKind,
+        policy: &RetryPolicy,
+    ) -> Result<Retried, JoinError> {
+        let work = bytes as f64 * self.pageable_slowdown(kind);
+        self.with_retries(sim, stream, label, FaultSite::D2H, policy, |g, sim, stream, l| {
+            g.launch(sim, stream, l, g.dma_d2h, CLASS_D2H, work, false)
+        })
+    }
+
+    fn pageable_slowdown(&self, kind: TransferKind) -> f64 {
         // The DMA resource rate is the pinned bandwidth; pageable copies
         // are modeled as proportionally more work on the same engine.
-        let slowdown = match kind {
+        match kind {
             TransferKind::Pinned => 1.0,
             TransferKind::Pageable => self.spec.pcie_bandwidth / self.spec.pcie_pageable_bandwidth,
-        };
-        let op = Op::new(engine, bytes as f64 * slowdown)
-            .label(label)
-            .class(class)
-            .after_all(stream.take_deps());
-        let id = sim.op(op);
-        stream.last = Some(id);
-        id
+        }
     }
+
+    /// Issue one op, consulting the fault plan (if armed) exactly once.
+    /// Faulted ops still charge a partial amount of work on the resource
+    /// (tagged [`CLASS_FAULT`]), and the failed attempt stays in stream
+    /// order so a retry serializes after it.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: String,
+        resource: ResourceId,
+        class: u32,
+        work: f64,
+        launch_overhead: bool,
+    ) -> Result<OpId, JoinError> {
+        let site = match class {
+            CLASS_H2D => FaultSite::H2D,
+            CLASS_D2H => FaultSite::D2H,
+            _ => FaultSite::Kernel,
+        };
+        let pre = if launch_overhead {
+            SimTime::from_secs_f64(self.spec.launch_overhead_s)
+        } else {
+            SimTime::ZERO
+        };
+        let issue = |sim: &mut Sim, stream: &mut Stream, label: String, work: f64, class: u32| {
+            let op = Op::new(resource, work)
+                .label(label)
+                .class(class)
+                .pre_latency(pre)
+                .after_all(stream.take_deps());
+            let id = sim.op(op);
+            stream.last = Some(id);
+            id
+        };
+        let Some(plan) = &self.faults else {
+            return Ok(issue(sim, stream, label, work, class));
+        };
+        let mut plan = plan.lock().expect("fault plan poisoned");
+        match plan.verdict(site) {
+            OpVerdict::Run => Ok(issue(sim, stream, label, work, class)),
+            OpVerdict::Stall(factor) => {
+                let id = issue(sim, stream, label.clone(), work * factor, class);
+                plan.record(site, FaultEventKind::Stall, label, Some(id));
+                Ok(id)
+            }
+            OpVerdict::Lost => {
+                // The device is already gone: nothing to charge, nothing
+                // runs. (The op that killed the device was recorded.)
+                Err(JoinError::Device(DeviceFault { site, kind: FaultKind::DeviceLost, label }))
+            }
+            OpVerdict::Fault(kind) => {
+                let fraction = plan.partial_fraction();
+                let id =
+                    issue(sim, stream, format!("{label} [fault]"), work * fraction, CLASS_FAULT);
+                let event = match kind {
+                    FaultKind::Transient => FaultEventKind::Transient,
+                    FaultKind::DeviceLost => FaultEventKind::DeviceLost,
+                };
+                plan.record(site, event, label.clone(), Some(id));
+                Err(JoinError::Device(DeviceFault { site, kind, label }))
+            }
+        }
+    }
+
+    /// Bounded-retry driver shared by the `*_retrying` variants. Each
+    /// retry is preceded by a [`CLASS_RETRY`] virtual-time backoff op in
+    /// stream order, so recovery costs show up on the timeline.
+    fn with_retries(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: &str,
+        site: FaultSite,
+        policy: &RetryPolicy,
+        attempt: impl Fn(&Gpu, &mut Sim, &mut Stream, String) -> Result<OpId, JoinError>,
+    ) -> Result<Retried, JoinError> {
+        let mut retries = 0u32;
+        loop {
+            let lbl =
+                if retries == 0 { label.to_string() } else { format!("{label} [retry {retries}]") };
+            match attempt(self, sim, stream, lbl) {
+                Ok(op) => return Ok(Retried { op, retries }),
+                Err(e) if e.is_transient() && retries + 1 < policy.max_attempts => {
+                    retries += 1;
+                    let backoff = Op::latency(policy.delay(retries))
+                        .label(format!("{label} [backoff {retries}]"))
+                        .class(CLASS_RETRY)
+                        .after_all(stream.take_deps());
+                    let id = sim.op(backoff);
+                    stream.last = Some(id);
+                    if let Some(plan) = &self.faults {
+                        plan.lock().expect("fault plan poisoned").record(
+                            site,
+                            FaultEventKind::Retry { attempt: retries },
+                            label.to_string(),
+                            Some(id),
+                        );
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The outcome of a successful `*_retrying` op: the final op id plus how
+/// many faulted attempts preceded it.
+#[derive(Clone, Copy, Debug)]
+pub struct Retried {
+    pub op: OpId,
+    pub retries: u32,
 }
 
 /// An ordered queue of GPU operations (CUDA stream semantics).
@@ -222,8 +427,8 @@ mod tests {
         let mut sim = Sim::new();
         let g = gpu(&mut sim);
         let mut s = g.stream();
-        let a = g.copy_h2d(&mut sim, &mut s, "copy", 12_000_000_000, TransferKind::Pinned);
-        let k = g.kernel(&mut sim, &mut s, "join", &KernelCost::coalesced(320_000_000));
+        let a = g.copy_h2d(&mut sim, &mut s, "copy", 12_000_000_000, TransferKind::Pinned).unwrap();
+        let k = g.kernel(&mut sim, &mut s, "join", &KernelCost::coalesced(320_000_000)).unwrap();
         let sched = sim.run();
         // 12 GB at 12 GB/s = 1 s; kernel starts after.
         assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
@@ -236,10 +441,12 @@ mod tests {
         let g = gpu(&mut sim);
         let mut copy_stream = g.stream();
         let mut exec_stream = g.stream();
-        let c =
-            g.copy_h2d(&mut sim, &mut copy_stream, "copy", 12_000_000_000, TransferKind::Pinned);
-        let k =
-            g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(320_000_000_000));
+        let c = g
+            .copy_h2d(&mut sim, &mut copy_stream, "copy", 12_000_000_000, TransferKind::Pinned)
+            .unwrap();
+        let k = g
+            .kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(320_000_000_000))
+            .unwrap();
         let sched = sim.run();
         // Both start at t≈0: the copy does not wait for the kernel.
         assert_eq!(sched.start(c), SimTime::ZERO);
@@ -253,10 +460,12 @@ mod tests {
         let g = gpu(&mut sim);
         let mut copy_stream = g.stream();
         let mut exec_stream = g.stream();
-        let c = g.copy_h2d(&mut sim, &mut copy_stream, "copy", 1_200_000_000, TransferKind::Pinned);
+        let c = g
+            .copy_h2d(&mut sim, &mut copy_stream, "copy", 1_200_000_000, TransferKind::Pinned)
+            .unwrap();
         let ev = copy_stream.record_event();
         exec_stream.wait_event(&ev);
-        let k = g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(1));
+        let k = g.kernel(&mut sim, &mut exec_stream, "join", &KernelCost::coalesced(1)).unwrap();
         let sched = sim.run();
         assert!(sched.start(k) >= sched.finish(c));
     }
@@ -267,8 +476,9 @@ mod tests {
         let g = gpu(&mut sim);
         let mut up = g.stream();
         let mut down = g.stream();
-        let a = g.copy_h2d(&mut sim, &mut up, "in", 12_000_000_000, TransferKind::Pinned);
-        let b = g.copy_d2h(&mut sim, &mut down, "out", 12_000_000_000, TransferKind::Pinned);
+        let a = g.copy_h2d(&mut sim, &mut up, "in", 12_000_000_000, TransferKind::Pinned).unwrap();
+        let b =
+            g.copy_d2h(&mut sim, &mut down, "out", 12_000_000_000, TransferKind::Pinned).unwrap();
         let sched = sim.run();
         // Full-duplex: both 1 s transfers complete at t = 1 s.
         assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
@@ -281,8 +491,8 @@ mod tests {
         let g = gpu(&mut sim);
         let mut s1 = g.stream();
         let mut s2 = g.stream();
-        let a = g.copy_h2d(&mut sim, &mut s1, "a", 12_000_000_000, TransferKind::Pinned);
-        let b = g.copy_h2d(&mut sim, &mut s2, "b", 12_000_000_000, TransferKind::Pinned);
+        let a = g.copy_h2d(&mut sim, &mut s1, "a", 12_000_000_000, TransferKind::Pinned).unwrap();
+        let b = g.copy_h2d(&mut sim, &mut s2, "b", 12_000_000_000, TransferKind::Pinned).unwrap();
         let sched = sim.run();
         // Serialized on the single H2D engine: 1 s then 1 s.
         assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
@@ -294,7 +504,9 @@ mod tests {
         let mut sim = Sim::new();
         let g = gpu(&mut sim);
         let mut s = g.stream();
-        let a = g.copy_h2d(&mut sim, &mut s, "pageable", 6_000_000_000, TransferKind::Pageable);
+        let a = g
+            .copy_h2d(&mut sim, &mut s, "pageable", 6_000_000_000, TransferKind::Pageable)
+            .unwrap();
         let sched = sim.run();
         // 6 GB at 6 GB/s pageable = 1 s.
         assert_eq!(sched.finish(a).as_secs_f64(), 1.0);
@@ -305,9 +517,198 @@ mod tests {
         let mut sim = Sim::new();
         let g = gpu(&mut sim);
         let mut s = g.stream();
-        let k = g.kernel(&mut sim, &mut s, "empty", &KernelCost::ZERO);
+        let k = g.kernel(&mut sim, &mut s, "empty", &KernelCost::ZERO).unwrap();
         let sched = sim.run();
         assert_eq!(sched.finish(k).as_secs_f64(), g.spec.launch_overhead_s);
+    }
+
+    #[test]
+    fn armed_but_disabled_faults_change_nothing() {
+        // The CI determinism check in miniature: arming the fault layer
+        // with zero probabilities must produce the identical schedule.
+        let run = |arm: bool| {
+            let mut sim = Sim::new();
+            let mut g = gpu(&mut sim);
+            if arm {
+                g.arm_faults(crate::faults::FaultConfig::disabled(7));
+            }
+            let mut s = g.stream();
+            g.copy_h2d(&mut sim, &mut s, "copy", 12_000_000_000, TransferKind::Pinned).unwrap();
+            g.kernel(&mut sim, &mut s, "join", &KernelCost::coalesced(320_000_000)).unwrap();
+            let sched = sim.run();
+            (sched.makespan(), sched.spans().len())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn transfer_fault_charges_partial_work_and_errors() {
+        let cfg = crate::faults::FaultConfig {
+            transfer_fault_p: 1.0,
+            ..crate::faults::FaultConfig::disabled(1)
+        };
+        let mut sim = Sim::new();
+        let mut g = gpu(&mut sim);
+        g.arm_faults(cfg);
+        let mut s = g.stream();
+        let err = g
+            .copy_h2d(&mut sim, &mut s, "h2d r", 12_000_000_000, TransferKind::Pinned)
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("transient h2d fault"));
+        let sched = sim.run();
+        // The failed attempt still charged partial time on the DMA engine.
+        assert_eq!(sched.spans().len(), 1);
+        let span = &sched.spans()[0];
+        assert_eq!(span.class, CLASS_FAULT);
+        assert!(span.label.contains("[fault]"));
+        let t = (span.end - span.start).as_secs_f64();
+        assert!(t > 0.0 && t < 1.0, "partial work must be a strict fraction of the 1 s copy");
+        let log = g.fault_log(&sched);
+        assert_eq!(log.summary().transfer_faults, 1);
+        assert!(log.events[0].at.is_some());
+    }
+
+    #[test]
+    fn retrying_copy_survives_transient_faults_with_backoff() {
+        // Fault probability 1 on the first draws, then... still 1: with
+        // max_attempts 4 the op fails. Use a seed-dependent plan instead:
+        // moderate probability so some attempt succeeds.
+        let cfg = crate::faults::FaultConfig {
+            transfer_fault_p: 0.5,
+            ..crate::faults::FaultConfig::disabled(3)
+        };
+        let mut sim = Sim::new();
+        let mut g = gpu(&mut sim);
+        g.arm_faults(cfg);
+        let mut s = g.stream();
+        let policy = RetryPolicy::default();
+        let mut recovered_retries = 0;
+        let mut exhausted = 0;
+        for i in 0..32 {
+            match g.copy_h2d_retrying(
+                &mut sim,
+                &mut s,
+                &format!("h2d chunk{i}"),
+                1_200_000,
+                TransferKind::Pinned,
+                &policy,
+            ) {
+                Ok(r) => recovered_retries += r.retries,
+                // A chain that exhausts its 4 attempts is still a *typed*
+                // transient error, never a panic.
+                Err(e) => {
+                    assert!(e.is_transient());
+                    exhausted += 1;
+                }
+            }
+        }
+        assert!(recovered_retries > 0, "seed 3 at p=0.5 must recover via retry at least once");
+        let sched = sim.run();
+        let log = g.fault_log(&sched);
+        // The log counts every backoff, including those of exhausted chains.
+        assert!(log.summary().retries >= recovered_retries);
+        assert_eq!(
+            log.summary().retries,
+            recovered_retries + 3 * exhausted,
+            "an exhausted chain backs off exactly max_attempts-1 times"
+        );
+        // Backoff ops appear on the timeline between attempts.
+        assert!(sched.spans().iter().any(|sp| sp.class == CLASS_RETRY));
+        // Failed attempts and their retries serialize in stream order.
+        assert!(sched.spans().iter().any(|sp| sp.label.contains("[retry ")));
+    }
+
+    #[test]
+    fn device_lost_is_sticky_across_ops_and_streams() {
+        let cfg = crate::faults::FaultConfig {
+            kernel_fault_p: 1.0,
+            device_lost_p: 1.0,
+            ..crate::faults::FaultConfig::disabled(2)
+        };
+        let mut sim = Sim::new();
+        let mut g = gpu(&mut sim);
+        g.arm_faults(cfg);
+        let mut s = g.stream();
+        let err =
+            g.kernel(&mut sim, &mut s, "join p0", &KernelCost::coalesced(1 << 20)).unwrap_err();
+        assert!(err.is_device_lost());
+        assert!(g.device_lost());
+        // Every subsequent op fails without charging new work...
+        let mut other = g.stream();
+        let before = sim.op_count();
+        let err2 =
+            g.copy_h2d(&mut sim, &mut other, "h2d", 1_000, TransferKind::Pinned).unwrap_err();
+        assert!(err2.is_device_lost());
+        assert_eq!(sim.op_count(), before, "ops after device-lost must not be issued");
+        // ...and retrying does not help (fatal, not transient).
+        assert!(g
+            .kernel_retrying(
+                &mut sim,
+                &mut s,
+                "join p1",
+                &KernelCost::coalesced(1),
+                &RetryPolicy::default()
+            )
+            .unwrap_err()
+            .is_device_lost());
+    }
+
+    #[test]
+    fn stalls_inflate_charged_time_deterministically() {
+        let cfg = crate::faults::FaultConfig {
+            stall_p: 1.0,
+            stall_factor: 4.0,
+            ..crate::faults::FaultConfig::disabled(4)
+        };
+        let run = |arm: bool| {
+            let mut sim = Sim::new();
+            let mut g = gpu(&mut sim);
+            if arm {
+                g.arm_faults(cfg.clone());
+            }
+            let mut s = g.stream();
+            let op = g
+                .copy_h2d(&mut sim, &mut s, "h2d r", 12_000_000_000, TransferKind::Pinned)
+                .unwrap();
+            let sched = sim.run();
+            (sched.finish(op).as_secs_f64(), g.fault_log(&sched).summary().stalls)
+        };
+        let (clean, stalls_clean) = run(false);
+        let (stalled, stalls) = run(true);
+        assert_eq!(clean, 1.0);
+        assert_eq!(stalled, 4.0, "stall factor 4 must charge 4x the transfer time");
+        assert_eq!((stalls_clean, stalls), (0, 1));
+    }
+
+    #[test]
+    fn faulted_attempt_stays_in_stream_order() {
+        // A faulted op's partial work must still serialize the stream: the
+        // retry starts only after the failed attempt (plus backoff).
+        let cfg = crate::faults::FaultConfig {
+            transfer_fault_p: 0.9,
+            ..crate::faults::FaultConfig::disabled(12)
+        };
+        let mut sim = Sim::new();
+        let mut g = gpu(&mut sim);
+        g.arm_faults(cfg);
+        let mut s = g.stream();
+        if let Ok(r) = g.copy_h2d_retrying(
+            &mut sim,
+            &mut s,
+            "h2d r",
+            1_200_000_000,
+            TransferKind::Pinned,
+            &RetryPolicy::default(),
+        ) {
+            let sched = sim.run();
+            let final_start = sched.start(r.op);
+            for sp in sched.spans() {
+                if sp.label.contains("[fault]") || sp.label.contains("[backoff") {
+                    assert!(sp.end <= final_start, "recovery work precedes the final attempt");
+                }
+            }
+        }
     }
 
     #[test]
@@ -318,7 +719,7 @@ mod tests {
         let g = gpu(&mut sim);
         let mut s = g.stream();
         s.wait_op(part);
-        let c = g.copy_h2d(&mut sim, &mut s, "copy", 1, TransferKind::Pinned);
+        let c = g.copy_h2d(&mut sim, &mut s, "copy", 1, TransferKind::Pinned).unwrap();
         let sched = sim.run();
         assert!(sched.start(c) >= sched.finish(part));
     }

@@ -63,7 +63,7 @@ pub mod prelude {
         mixed_workload, ClientSpec, CoGaDbLike, DbmsXLike, HcjEngine, JoinService, PlannedStrategy,
         RequestSpec, ServiceConfig, ServiceReport,
     };
-    pub use hcj_gpu::DeviceSpec;
+    pub use hcj_gpu::{DeviceSpec, ErrorClass, FaultConfig, FaultSummary, JoinError, RetryPolicy};
     pub use hcj_host::HostSpec;
     pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};
     pub use hcj_workload::generate::canonical_pair;

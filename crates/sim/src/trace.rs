@@ -76,6 +76,12 @@ impl Timeline {
         self.tracks[track.0].1.push(TimelineSpan { label: label.into(), class, start, end });
     }
 
+    /// Record an instant (zero-length span) on `track` — fault injections,
+    /// retries and deadline cancellations render as markers this way.
+    pub fn instant(&mut self, track: TrackId, label: impl Into<String>, class: u32, at: SimTime) {
+        self.span(track, label, class, at, at);
+    }
+
     /// Add a counter series; points land on it via [`Timeline::sample`].
     pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
         self.counters.push((name.into(), Vec::new()));
@@ -491,7 +497,7 @@ mod tests {
         let c1 = tl.track("client \"1\"");
         tl.span(c0, "wait r0.0", 1, SimTime::ZERO, SimTime::from_nanos(2_000));
         tl.span(c0, "GpuResident r0.0", 2, SimTime::from_nanos(2_000), SimTime::from_nanos(9_000));
-        tl.span(c1, "instant", 3, SimTime::from_nanos(500), SimTime::from_nanos(500));
+        tl.instant(c1, "instant", 3, SimTime::from_nanos(500));
         let mem = tl.counter("device used");
         tl.sample(mem, SimTime::ZERO, 0.0);
         tl.sample(mem, SimTime::from_nanos(2_000), 4096.0);

@@ -36,8 +36,11 @@ fn gpu_resident_join_reports_oom_rather_than_lying() {
     let device = DeviceSpec::gtx1080().scaled_capacity(1 << 16); // 128 KB
     let (r, s) = canonical_pair(40_000, 40_000, 2002); // 640 KB
     let err = GpuPartitionedJoin::new(config_for(device, r.len())).execute(&r, &s).unwrap_err();
-    assert!(err.requested > 0);
-    assert!(err.capacity <= 128 * 1024);
+    let JoinError::OutOfDeviceMemory(oom) = &err else {
+        panic!("expected a typed OOM, got {err:?}");
+    };
+    assert!(oom.requested > 0);
+    assert!(oom.capacity <= 128 * 1024);
 }
 
 #[test]

@@ -1,0 +1,249 @@
+//! Chaos differential suite: every strategy, engine ladder and the
+//! service layer under the deterministic fault plan, diffed against the
+//! host oracle. The contract everywhere: for any fault seed the system
+//! either produces the oracle-correct answer or a *typed* error — it
+//! never panics, never silently corrupts a result, and never leaks
+//! device reservations. Fixed seeds also pin determinism: the same seed
+//! yields byte-identical service summaries at any worker count.
+
+use hashjoin_gpu::prelude::*;
+use hashjoin_gpu::sim::SimTime;
+
+const FAULT_SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+/// A device comfortably larger than the test working sets, so the only
+/// errors chaos can produce are injected ones (or shrink-induced OOM).
+fn chaos_config(tuples: usize, seed: u64) -> GpuJoinConfig {
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 12); // 2 MB
+    GpuJoinConfig::paper_default(device)
+        .with_radix_bits(8)
+        .with_tuned_buckets(tuples)
+        .with_faults(FaultConfig::chaos(seed))
+}
+
+/// Strip the retry suffix: `join ws0 c3 [retry 2]` → `join ws0 c3`.
+fn base_label(label: &str) -> &str {
+    match label.find(" [retry") {
+        Some(i) => &label[..i],
+        None => label,
+    }
+}
+
+/// Grid: fault seeds × all three GPU strategies, run directly. Each run
+/// must end in an oracle-correct outcome or a typed error.
+#[test]
+fn strategies_are_oracle_correct_or_typed_under_chaos() {
+    let (r, s) = canonical_pair(4_000, 16_000, 9001);
+    let expected = JoinCheck::compute(&r, &s);
+    for seed in FAULT_SEEDS {
+        let cfg = chaos_config(4_000, seed);
+        let runs: [(&str, Result<JoinOutcome, JoinError>); 3] = [
+            ("resident", GpuPartitionedJoin::new(cfg.clone()).execute(&r, &s)),
+            (
+                "streamed",
+                StreamedProbeJoin::new(StreamedProbeConfig::paper_default(cfg.clone()))
+                    .execute(&r, &s),
+            ),
+            (
+                "coprocess",
+                CoProcessingJoin::new(CoProcessingConfig::paper_default(cfg)).execute(&r, &s),
+            ),
+        ];
+        for (name, result) in runs {
+            match result {
+                Ok(out) => {
+                    assert_eq!(
+                        out.check, expected,
+                        "seed {seed}: {name} survived chaos but returned a wrong join"
+                    );
+                }
+                Err(err) => {
+                    // Typed, classifiable, and displayable — the service
+                    // layer relies on all three.
+                    assert!(!err.tag().is_empty(), "seed {seed}: {name} untagged error");
+                    assert!(!err.to_string().is_empty());
+                    let _ = err.class();
+                }
+            }
+        }
+    }
+}
+
+/// The engine ladder under chaos: device-lost and exhausted transient
+/// faults recover onto the CPU, so with a device that fits the workload
+/// the only acceptable error is (shrink-induced) out-of-memory — and any
+/// success must be oracle-correct whatever rung it landed on.
+#[test]
+fn engine_ladder_lands_somewhere_correct_under_chaos() {
+    let (r, s) = canonical_pair(4_000, 16_000, 9002);
+    let expected = JoinCheck::compute(&r, &s);
+    for seed in FAULT_SEEDS {
+        let engine = HcjEngine::new(chaos_config(4_000, seed));
+        match engine.execute(&r, &s) {
+            Ok((strategy, out)) => {
+                assert_eq!(out.check, expected, "seed {seed}: wrong join via {strategy}");
+            }
+            Err(JoinError::OutOfDeviceMemory(_)) => {} // co-tenant shrink won
+            Err(err) => panic!("seed {seed}: ladder leaked a recoverable error: {err}"),
+        }
+    }
+}
+
+/// Partition-granular recovery in co-processing: a transient kernel fault
+/// re-runs only the faulted working-set chunk. Completed chunks are never
+/// recomputed — the faulted run executes exactly the same set of join
+/// kernels as the fault-free run, once each, plus the charged partial
+/// work of the faulted attempts.
+#[test]
+fn coprocessing_does_not_recompute_completed_work_after_faults() {
+    let (r, s) = canonical_pair(8_000, 32_000, 9003);
+    let expected = JoinCheck::compute(&r, &s);
+
+    let clean_cfg = chaos_config(8_000, 0); // seed irrelevant below
+    let clean = CoProcessingJoin::new(CoProcessingConfig::paper_default(GpuJoinConfig {
+        faults: None,
+        ..clean_cfg.clone()
+    }))
+    .execute(&r, &s)
+    .expect("fault-free co-processing run");
+    let clean_joins: Vec<String> = clean
+        .schedule
+        .spans()
+        .iter()
+        .filter(|sp| sp.label.starts_with("join ws"))
+        .map(|sp| sp.label.clone())
+        .collect();
+    assert!(!clean_joins.is_empty(), "co-processing issued no join kernels");
+    let clean_join_work: f64 = clean
+        .schedule
+        .spans()
+        .iter()
+        .filter(|sp| sp.label.starts_with("join ws"))
+        .map(|sp| sp.work)
+        .sum();
+
+    // Deterministically find a seed whose kernel faults are transient and
+    // recovered (no device-lost, no exhausted retry chains).
+    let mut exercised = false;
+    for seed in 1..=60u64 {
+        let faults =
+            FaultConfig { kernel_fault_p: 0.15, device_lost_p: 0.0, ..FaultConfig::disabled(seed) };
+        let cfg = GpuJoinConfig { faults: None, ..clean_cfg.clone() }.with_faults(faults);
+        let Ok(out) = CoProcessingJoin::new(CoProcessingConfig::paper_default(cfg)).execute(&r, &s)
+        else {
+            continue; // retry chain exhausted under this seed; try the next
+        };
+        if out.faults.summary().kernel_faults == 0 {
+            continue;
+        }
+        // Every join kernel from the clean run completes exactly once
+        // (possibly as a `[retry n]` re-issue); nothing runs twice.
+        let mut completed: Vec<String> = Vec::new();
+        let mut completed_work = 0.0f64;
+        let mut faulted = 0usize;
+        for sp in out.schedule.spans() {
+            if !sp.label.starts_with("join ws") {
+                continue;
+            }
+            if sp.label.contains("[fault]") {
+                faulted += 1;
+            } else if !sp.label.contains("[backoff") {
+                completed.push(base_label(&sp.label).to_string());
+                completed_work += sp.work;
+            }
+        }
+        if faulted == 0 {
+            continue; // this seed only faulted partitioning kernels
+        }
+        exercised = true;
+        assert_eq!(out.check, expected, "seed {seed}: recovered run is wrong");
+        let mut clean_sorted = clean_joins.clone();
+        clean_sorted.sort();
+        let mut completed_sorted = completed.clone();
+        completed_sorted.sort();
+        assert_eq!(
+            completed_sorted, clean_sorted,
+            "seed {seed}: completed join kernels differ from the fault-free run — \
+             a finished chunk was recomputed or dropped"
+        );
+        // Charged-cost accounting: with stalls disarmed, the completed
+        // join work equals the fault-free run's exactly — recovery re-ran
+        // only the faulted chunk, and charged nothing else twice.
+        assert!(
+            (completed_work - clean_join_work).abs() <= 1e-12 * clean_join_work.max(1.0),
+            "seed {seed}: completed join work {completed_work} != clean {clean_join_work}"
+        );
+        break;
+    }
+    assert!(exercised, "no seed in 1..=60 produced a recovered kernel fault");
+}
+
+/// Service soak under chaos: summaries are byte-identical across worker
+/// counts for a fixed fault seed, every request is accounted for, and no
+/// device bytes leak.
+#[test]
+fn service_chaos_summaries_identical_across_worker_counts() {
+    for fault_seed in [7u64, 9] {
+        let workload = mixed_workload(4, 2, 1_000, 21);
+        let total: usize = workload.iter().map(|c| c.requests.len()).sum();
+        let mut summaries = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            hashjoin_gpu::host::pool::set_jobs(jobs);
+            let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+            let engine = HcjEngine::new(
+                GpuJoinConfig::paper_default(device)
+                    .with_radix_bits(8)
+                    .with_tuned_buckets(4_000)
+                    .with_faults(FaultConfig::chaos(fault_seed)),
+            );
+            let report = JoinService::new(engine, ServiceConfig::default()).run(&workload);
+            assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
+            assert_eq!(report.device_used_at_end, 0, "leaked device bytes");
+            assert_eq!(
+                report.completed() + report.deadline_exceeded() + report.errored(),
+                total,
+                "fault seed {fault_seed}: unaccounted requests"
+            );
+            assert_eq!(report.checks_passed(), report.completed());
+            summaries.push(report.summary());
+        }
+        hashjoin_gpu::host::pool::set_jobs(1);
+        assert_eq!(summaries[0], summaries[1], "fault seed {fault_seed}: jobs 1 vs 2");
+        assert_eq!(summaries[0], summaries[2], "fault seed {fault_seed}: jobs 1 vs 4");
+    }
+}
+
+/// Deadlines and chaos together: expired or errored requests release
+/// their reservations, the accounting always closes, and peak device use
+/// never exceeds capacity even with co-tenant shrink events armed.
+#[test]
+fn deadline_plus_chaos_releases_everything() {
+    let workload = mixed_workload(6, 3, 1_500, 33);
+    let total: usize = workload.iter().map(|c| c.requests.len()).sum();
+    let capacity = DeviceSpec::gtx1080().scaled_capacity(1 << 14).device_mem_bytes;
+    for fault_seed in FAULT_SEEDS {
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+        let engine = HcjEngine::new(
+            GpuJoinConfig::paper_default(device)
+                .with_radix_bits(8)
+                .with_tuned_buckets(6_000)
+                .with_faults(FaultConfig::chaos(fault_seed)),
+        );
+        let config = ServiceConfig::default().with_deadline(Some(SimTime::from_nanos(60_000)));
+        let report = JoinService::new(engine, config).run(&workload);
+        assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
+        assert_eq!(report.device_used_at_end, 0, "fault seed {fault_seed}: leaked reservation");
+        assert_eq!(
+            report.completed() + report.deadline_exceeded() + report.errored(),
+            total,
+            "fault seed {fault_seed}: unaccounted requests"
+        );
+        assert_eq!(report.checks_passed(), report.completed(), "finished request failed oracle");
+        assert!(report.device_peak <= capacity, "peak above capacity under shrink");
+        for m in &report.requests {
+            if m.error == Some("deadline-exceeded") {
+                assert!(!m.check_ok, "cancelled request cannot claim a correct join");
+            }
+        }
+    }
+}

@@ -28,8 +28,13 @@ fn coprocessing_floor_oom_propagates_instead_of_panicking() {
     let engine = engine_with_pool_factor(1 << 30, 4_000, 1.3);
     let (r, s) = canonical_pair(4_000, 8_000, 3001);
     let err = engine.execute(&r, &s).unwrap_err();
-    assert!(err.requested > err.capacity, "{err}");
-    assert_eq!(err.capacity, 8);
+    let JoinError::OutOfDeviceMemory(oom) = &err else {
+        panic!("expected a typed OOM, got {err:?}");
+    };
+    assert!(oom.requested > oom.capacity, "{err}");
+    assert_eq!(oom.capacity, 8);
+    // OOM is transient: the service's admission loop may retry it later.
+    assert!(err.is_transient());
     // The Display form is the service layer's log line; keep it stable.
     assert!(err.to_string().contains("out of device memory"));
 }
