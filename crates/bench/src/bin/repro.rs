@@ -18,6 +18,11 @@
 //! deterministic fault plan on every simulated device the figures build
 //! (seed 0 arms the layer with all probabilities zero — the CI
 //! determinism control: output must match a run without the flag).
+//! `--profile` prints an nvprof-style per-kernel hardware-counter table
+//! under each figure, writes `<name>.profile.json` beside the CSVs
+//! (`--out`) and overlays counter tracks on Chrome traces (`--trace`);
+//! counters are simulated and deterministic, so profiled output is as
+//! byte-reproducible as the tables.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -26,7 +31,7 @@ use hcj_bench::figures::registry;
 use hcj_bench::{RunConfig, MAX_SCALE};
 
 const USAGE: &str = "usage: repro <all|list|figN...> [--scale K] [--quick] [--jobs N] \
-                     [--chaos SEED] [--out DIR] [--trace DIR]";
+                     [--chaos SEED] [--out DIR] [--trace DIR] [--profile]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +63,7 @@ fn main() -> ExitCode {
                 config.scale = v;
             }
             "--quick" => config.quick = true,
+            "--profile" => config.profile = true,
             "--jobs" => {
                 i += 1;
                 let Some(v) = args

@@ -82,7 +82,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     {
         let extra = 64;
         let n = cfg.tuples(512_000_000 / extra);
-        let device = scaled_device(cfg).scaled_capacity(extra as u64);
+        let device = scaled_device(cfg).scaled_capacity(extra);
         let r = RelationSpec::zipf(n, 1 << 22, 0.9, 3002).generate();
         let s = RelationSpec::zipf(2 * n, 1 << 22, 0.9, 3003).generate();
         let t = |packing| {
@@ -154,7 +154,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     {
         let extra = 64;
         let n = cfg.tuples(512_000_000 / extra);
-        let device = scaled_device(cfg).scaled_capacity(extra as u64);
+        let device = scaled_device(cfg).scaled_capacity(extra);
         let (r, s) = canonical_pair(n, n, 3005);
         let t = |nt| {
             let join_cfg = GpuJoinConfig::paper_default(device.clone())
@@ -188,7 +188,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     {
         let extra = 64;
         let n = cfg.tuples(512_000_000 / extra);
-        let device = scaled_device(cfg).scaled_capacity(extra as u64);
+        let device = scaled_device(cfg).scaled_capacity(extra);
         let (r, s) = canonical_pair(n, 2 * n, 3006);
         let t = |chunk_tuples: Option<usize>| {
             let join_cfg = GpuJoinConfig::paper_default(device.clone())
@@ -217,7 +217,8 @@ mod tests {
 
     #[test]
     fn ablations_vindicate_the_papers_choices_where_claimed() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let speedup = |name: &str| {
             t.rows

@@ -45,8 +45,11 @@ pub fn run_resident(config: GpuJoinConfig, r: &Relation, s: &Relation) -> JoinOu
 
 /// Record a representative outcome of a figure run: append a per-resource
 /// utilization note to the table (the saturation evidence behind the
-/// paper's pipelining claims) and, when `--trace` is active, export the
-/// outcome's schedule as a Chrome trace named `<name>.trace.json`.
+/// paper's pipelining claims); when `--trace` is active, export the
+/// outcome's schedule as a Chrome trace named `<name>.trace.json`; when
+/// `--profile` is active, additionally attach the nvprof-style per-kernel
+/// counter table, write `<name>.profile.json` next to the CSVs and overlay
+/// counter tracks on the trace.
 pub fn record_outcome(cfg: &RunConfig, table: &mut Table, name: &str, outcome: &JoinOutcome) {
     let util: Vec<String> = outcome
         .resource_report()
@@ -54,7 +57,11 @@ pub fn record_outcome(cfg: &RunConfig, table: &mut Table, name: &str, outcome: &
         .map(|(res, frac)| format!("{res} {:.0}%", frac * 100.0))
         .collect();
     table.note(format!("utilization [{name}]: {}", util.join(", ")));
-    cfg.trace_schedule(name, &outcome.schedule);
+    if cfg.profile && !outcome.counters.is_empty() {
+        table.profile(name, &outcome.counters.render_table());
+        cfg.write_profile(name, &outcome.counters);
+    }
+    cfg.trace_schedule_profiled(name, &outcome.schedule, &outcome.counters);
 }
 
 /// The canonical workload at a build:probe ratio (`ratio` = probe/build).

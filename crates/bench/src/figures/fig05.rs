@@ -71,7 +71,8 @@ mod tests {
 
     #[test]
     fn fig05_shape_holds() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 4);
         // Column order: hash total, hash join, nl total, nl join.

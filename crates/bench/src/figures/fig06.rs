@@ -64,7 +64,8 @@ mod tests {
 
     #[test]
     fn fig06_shared_memory_wins() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         for (x, vals) in &t.rows {
             let (sh_join, dev_join) = (vals[1].unwrap(), vals[3].unwrap());

@@ -56,7 +56,8 @@ mod tests {
 
     #[test]
     fn fig07_materialization_traces_aggregation() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         for (x, vals) in &t.rows {
             let (agg, mat) = (vals[0].unwrap(), vals[1].unwrap());

@@ -77,7 +77,8 @@ mod tests {
 
     #[test]
     fn fig08_orderings_hold_at_scale() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         // Columns per ratio block: part, nonpart, perfect, pro, npo.
         let first = &t.rows.first().unwrap().1;

@@ -82,7 +82,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
+        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false }
     }
 
     #[test]

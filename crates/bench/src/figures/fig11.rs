@@ -26,10 +26,8 @@ pub fn run(cfg: &RunConfig) -> Table {
         "billion tuples/s",
         vec!["gpu aggregation".into(), "gpu materialization".into(), "cpu-pro".into()],
     );
-    table.note(format!(
-        "build fixed at {build} tuples (paper: 64M, scale 1/{})",
-        cfg.scale * extra as u64
-    ));
+    table
+        .note(format!("build fixed at {build} tuples (paper: 64M, scale 1/{})", cfg.scale * extra));
     table.note("probe chunks are half the build size (paper's rule)");
 
     let points = cfg.sweep(&[1u64, 2, 4, 8, 16, 32]);
@@ -70,7 +68,8 @@ mod tests {
 
     #[test]
     fn fig11_gpu_approaches_pcie_and_beats_cpu() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

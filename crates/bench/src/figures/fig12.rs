@@ -75,7 +75,8 @@ mod tests {
 
     #[test]
     fn fig12_coprocessing_is_flat_and_ahead() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

@@ -24,12 +24,9 @@ pub fn run(cfg: &RunConfig) -> Table {
         "billion tuples/s",
         vec!["gpu co-processing".into(), "cpu-pro".into()],
     );
-    table.note(format!(
-        "{tuples} tuples per side (paper-scale 512M / {})",
-        cfg.scale * extra as u64
-    ));
+    table.note(format!("{tuples} tuples per side (paper-scale 512M / {})", cfg.scale * extra));
 
-    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let device = scaled_device(cfg).scaled_capacity(extra);
     let (r, s) = canonical_pair(tuples, tuples, 1300);
     let points = cfg.sweep(&[2u32, 6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]);
     let results = parallel_points(&points, |&threads| {
@@ -64,7 +61,8 @@ mod tests {
 
     #[test]
     fn fig13_coprocessing_overtakes_with_few_threads_then_plateaus() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let col = |i: usize, c: usize| t.rows[i].1[c].unwrap();
         let n = t.rows.len();

@@ -82,7 +82,8 @@ mod tests {
 
     #[test]
     fn fig14_failures_and_ordering_match_the_paper() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 4);
         let by_name: std::collections::HashMap<&str, &Vec<Option<f64>>> =

@@ -68,7 +68,8 @@ mod tests {
 
     #[test]
     fn fig15_cliffs_and_failures_match() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         // Ours leads wherever a comparator has a value.
         for (x, v) in &t.rows {

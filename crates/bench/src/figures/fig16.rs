@@ -60,7 +60,8 @@ mod tests {
 
     #[test]
     fn fig16_staging_wins_everywhere() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         for (x, v) in &t.rows {
             let (staged, direct) = (v[0].unwrap(), v[1].unwrap());

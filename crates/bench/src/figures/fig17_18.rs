@@ -65,7 +65,7 @@ pub fn run_fig17(cfg: &RunConfig) -> Table {
         "billion tuples/s",
         series(),
     );
-    table.note(format!("{n} tuples/side (paper: 32M, scale 1/{})", cfg.scale * extra as u64));
+    table.note(format!("{n} tuples/side (paper: 32M, scale 1/{})", cfg.scale * extra));
     table.note("materialization row-capped (paper overwrites results to isolate in-GPU perf)");
 
     let points = cfg.sweep(&THETAS);
@@ -96,7 +96,7 @@ pub fn run_fig17(cfg: &RunConfig) -> Table {
 pub fn run_fig18(cfg: &RunConfig) -> Table {
     let extra = 64;
     let n = cfg.tuples(512_000_000 / extra);
-    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let device = scaled_device(cfg).scaled_capacity(extra);
     let mut table = Table::new(
         "fig18",
         "Skew on CPU-resident data (co-processing)",
@@ -104,7 +104,7 @@ pub fn run_fig18(cfg: &RunConfig) -> Table {
         "billion tuples/s",
         series(),
     );
-    table.note(format!("{n} tuples/side (paper: 512M, scale 1/{})", cfg.scale * extra as u64));
+    table.note(format!("{n} tuples/side (paper: 512M, scale 1/{})", cfg.scale * extra));
 
     let points = cfg.sweep(&THETAS);
     let results = parallel_points(&points, |&theta| {
@@ -141,7 +141,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None }
+        RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None, profile: false }
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub fn run(cfg: &RunConfig) -> Table {
     let n_resident = cfg.mtuples(32);
     let extra = 64;
     let n_out = cfg.tuples(512_000_000 / extra);
-    let device_out = scaled_device(cfg).scaled_capacity(extra as u64);
+    let device_out = scaled_device(cfg).scaled_capacity(extra);
     let mut table = Table::new(
         "fig19",
         "Uniform number of replicas per key",
@@ -96,7 +96,8 @@ mod tests {
 
     #[test]
     fn fig19_gentle_decline_with_replicas() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         let last = &t.rows.last().unwrap().1;

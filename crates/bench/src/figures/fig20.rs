@@ -71,7 +71,8 @@ mod tests {
 
     #[test]
     fn fig20_mild_skew_is_free_but_output_explosion_hurts_at_size() {
-        let cfg = RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false };
         let t = run(&cfg);
         let first = &t.rows.first().unwrap().1;
         // zipf 0.25 aggregation ~ uniform aggregation at the smallest size.

@@ -51,7 +51,7 @@ pub fn run_fig21(cfg: &RunConfig) -> Table {
 pub fn run_fig22(cfg: &RunConfig) -> Table {
     let extra = 64;
     let n = cfg.tuples(512_000_000 / extra);
-    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let device = scaled_device(cfg).scaled_capacity(extra);
     let (r, s) = canonical_pair(n, n, 2200);
     let mut table = Table::new(
         "fig22",
@@ -87,7 +87,8 @@ mod tests {
 
     #[test]
     fn fig21_bar_ordering() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run_fig21(&cfg);
         let v: Vec<f64> = t.rows.iter().map(|(_, v)| v[0].unwrap()).collect();
         // resident >= uva-load > uva-part >= uva-join; um < resident.
@@ -99,7 +100,8 @@ mod tests {
 
     #[test]
     fn fig22_coprocessing_dominates() {
-        let cfg = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        let cfg =
+            RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None, profile: false };
         let t = run_fig22(&cfg);
         let um = t.rows[0].1[0].unwrap();
         let uva = t.rows[1].1[0].unwrap();

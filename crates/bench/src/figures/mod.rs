@@ -23,10 +23,13 @@ pub mod whatif;
 
 use crate::{RunConfig, Table};
 
+/// A figure runner: regenerates one experiment's table for a run config.
+pub type FigureRunner = fn(&RunConfig) -> Table;
+
 /// Every experiment, by id, with its runner. `repro all` walks this list.
-pub fn registry() -> Vec<(&'static str, fn(&RunConfig) -> Table)> {
+pub fn registry() -> Vec<(&'static str, FigureRunner)> {
     vec![
-        ("fig05", fig05::run as fn(&RunConfig) -> Table),
+        ("fig05", fig05::run as FigureRunner),
         ("fig06", fig06::run),
         ("fig07", fig07::run),
         ("fig08", fig08::run),

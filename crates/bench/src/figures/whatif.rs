@@ -45,7 +45,7 @@ pub fn run_interconnect(cfg: &RunConfig) -> Table {
     let n = cfg.tuples(512_000_000 / extra);
     let (r, s) = canonical_pair(n, 4 * n, 5000);
     let results = parallel_points(&links, |&(name, bw)| {
-        let mut device = scaled_device(cfg).scaled_capacity(extra as u64);
+        let mut device = scaled_device(cfg).scaled_capacity(extra);
         device.pcie_bandwidth = bw;
         device.pcie_pageable_bandwidth = bw / 2.0;
         let join_cfg = GpuJoinConfig::paper_default(device)
@@ -107,7 +107,7 @@ pub fn run_auto_threads(cfg: &RunConfig) -> Table {
     let extra = 16;
     let n = cfg.tuples(512_000_000 / extra);
     let (r, s) = canonical_pair(n, n, 5002);
-    let device = scaled_device(cfg).scaled_capacity(extra as u64);
+    let device = scaled_device(cfg).scaled_capacity(extra);
     let mk = |config: CoProcessingConfig| {
         let threads = config.cpu_threads;
         let out = CoProcessingJoin::new(config).execute(&r, &s).unwrap();
@@ -129,7 +129,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> RunConfig {
-        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
+        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false }
     }
 
     #[test]

@@ -48,11 +48,16 @@ pub struct RunConfig {
     /// Write `<name>.trace.json` Chrome traces of representative schedules
     /// here (`repro --trace DIR`); `None` disables tracing.
     pub trace_dir: Option<PathBuf>,
+    /// Surface the simulated hardware counters (`repro --profile`): print
+    /// an nvprof-style per-kernel table under each figure, write
+    /// `<name>.profile.json` next to the CSVs, and overlay counter tracks
+    /// on Chrome traces. Collection is always on; this only gates output.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None }
+        RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None, profile: false }
     }
 }
 
@@ -65,6 +70,43 @@ impl RunConfig {
         let path = dir.join(format!("{name}.trace.json"));
         if let Err(e) = hcj_sim::TraceExporter::new().write(schedule, &path) {
             eprintln!("warning: failed to write trace {}: {e}", path.display());
+        }
+    }
+
+    /// Export `schedule` with the counter tracks of `counters` overlaid
+    /// (`--trace` + `--profile`); without `--profile` this is
+    /// [`RunConfig::trace_schedule`]. Warns rather than aborts, like all
+    /// output paths.
+    pub fn trace_schedule_profiled(
+        &self,
+        name: &str,
+        schedule: &hcj_sim::Schedule,
+        counters: &hcj_gpu::CounterSet,
+    ) {
+        if !self.profile || counters.is_empty() {
+            return self.trace_schedule(name, schedule);
+        }
+        let Some(dir) = &self.trace_dir else { return };
+        let path = dir.join(format!("{name}.trace.json"));
+        let overlay = counters.counter_timeline(schedule);
+        if let Err(e) = hcj_sim::TraceExporter::new().write_with_counters(schedule, &overlay, &path)
+        {
+            eprintln!("warning: failed to write trace {}: {e}", path.display());
+        }
+    }
+
+    /// Write `<out_dir>/<name>.profile.json` when `--profile` and `--out`
+    /// are both active. Warns rather than aborts.
+    pub fn write_profile(&self, name: &str, counters: &hcj_gpu::CounterSet) {
+        if !self.profile {
+            return;
+        }
+        let Some(dir) = &self.out_dir else { return };
+        let path = dir.join(format!("{name}.profile.json"));
+        let write =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, counters.to_json()));
+        if let Err(e) = write {
+            eprintln!("warning: failed to write profile {}: {e}", path.display());
         }
     }
     /// A paper cardinality reduced by the configured scale (at least 1024
@@ -105,14 +147,14 @@ mod tests {
 
     #[test]
     fn scaling_math() {
-        let cfg = RunConfig { scale: 16, quick: false, out_dir: None, trace_dir: None };
+        let cfg = RunConfig { scale: 16, ..RunConfig::default() };
         assert_eq!(cfg.mtuples(64), 4_000_000);
         assert_eq!(cfg.tuples(1_000), 1024); // floor
     }
 
     #[test]
     fn degenerate_scales_are_flagged() {
-        let sane = RunConfig { scale: 64, quick: false, out_dir: None, trace_dir: None };
+        let sane = RunConfig { scale: 64, ..RunConfig::default() };
         assert!(!sane.scale_floors_sweeps());
         let floored = RunConfig { scale: 20_000, ..sane.clone() };
         assert!(floored.scale_floors_sweeps());
@@ -124,7 +166,7 @@ mod tests {
 
     #[test]
     fn quick_sweeps_thin_out() {
-        let cfg = RunConfig { scale: 1, quick: true, out_dir: None, trace_dir: None };
+        let cfg = RunConfig { scale: 1, quick: true, ..RunConfig::default() };
         assert_eq!(cfg.sweep(&[1, 2, 3, 4, 5, 6, 7, 8]), vec![1, 5, 8]);
         assert_eq!(cfg.sweep(&[1, 2, 3]), vec![1, 2, 3]);
         let full = RunConfig { quick: false, ..cfg };

@@ -48,7 +48,7 @@ pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
-/// Like [`bench`], but rebuilds fresh input with `setup` outside the timed
+/// Like [`fn@bench`], but rebuilds fresh input with `setup` outside the timed
 /// region on every iteration (criterion's `iter_batched`).
 pub fn bench_with_setup<S, T>(
     group: &str,

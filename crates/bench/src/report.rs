@@ -17,6 +17,9 @@ pub struct Table {
     pub rows: Vec<(String, Vec<Option<f64>>)>,
     /// Scale factors, substitutions, commentary — printed under the table.
     pub notes: Vec<String>,
+    /// Pre-rendered hardware-counter profile blocks (`repro --profile`),
+    /// printed verbatim after the notes; empty without `--profile`.
+    pub profiles: Vec<String>,
 }
 
 impl Table {
@@ -35,6 +38,7 @@ impl Table {
             series,
             rows: Vec::new(),
             notes: Vec::new(),
+            profiles: Vec::new(),
         }
     }
 
@@ -46,6 +50,18 @@ impl Table {
 
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Attach a rendered per-kernel counter profile for one representative
+    /// run (`--profile`); printed indented under a `profile [name]:` header.
+    pub fn profile(&mut self, name: &str, rendered: &str) {
+        let mut block = format!("  profile [{name}]:\n");
+        for line in rendered.lines() {
+            block.push_str("    ");
+            block.push_str(line);
+            block.push('\n');
+        }
+        self.profiles.push(block);
     }
 
     /// Aligned, human-readable rendering.
@@ -77,6 +93,9 @@ impl Table {
         }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
+        }
+        for p in &self.profiles {
+            out.push_str(p);
         }
         out
     }

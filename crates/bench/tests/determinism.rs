@@ -25,7 +25,7 @@ fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
 }
 
 fn cfg() -> RunConfig {
-    RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None }
+    RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false }
 }
 
 /// An in-GPU figure (kernel-level parallelism: partitioning + probe).
@@ -75,4 +75,42 @@ fn join_outcome_and_schedule_are_identical_across_jobs() {
     }
 
     parallel.schedule.validate().expect("parallel-built schedule must stay structurally valid");
+}
+
+/// `--profile` output: the rendered per-kernel counter tables and the
+/// profile JSON are byte-identical across worker counts, run-to-run, and
+/// under the chaos-0 control (the armed-but-all-zero fault layer).
+#[test]
+fn profile_output_is_stable_across_jobs_runs_and_chaos_zero() {
+    let profiled = RunConfig { profile: true, ..cfg() };
+    let serial = with_jobs(1, || fig05::run(&profiled));
+    let parallel = with_jobs(4, || fig05::run(&profiled));
+    assert!(
+        serial.render().contains("profile [fig05-hash]"),
+        "--profile must attach a counter table"
+    );
+    assert_eq!(serial.render(), parallel.render(), "profiled render must not depend on --jobs");
+
+    let again = with_jobs(1, || fig05::run(&profiled));
+    assert_eq!(serial.render(), again.render(), "profiled render must be stable run-to-run");
+
+    // Counter JSON, straight from a join outcome (what --out writes).
+    let n = 1 << 16;
+    let (r, s) = canonical_pair(n, n, 42);
+    let config = resident_config(&profiled, 15, n);
+    let baseline = with_jobs(1, || run_resident(config.clone(), &r, &s));
+    let rerun = with_jobs(4, || run_resident(config.clone(), &r, &s));
+    assert_eq!(baseline.counters.to_json(), rerun.counters.to_json());
+
+    let chaos_zero = with_jobs(1, || {
+        hcj_gpu::faults::set_ambient(Some(hcj_gpu::FaultConfig::disabled(0)));
+        let out = run_resident(config.clone(), &r, &s);
+        hcj_gpu::faults::set_ambient(None);
+        out
+    });
+    assert_eq!(
+        baseline.counters.to_json(),
+        chaos_zero.counters.to_json(),
+        "chaos-0 control must not perturb profile JSON"
+    );
 }

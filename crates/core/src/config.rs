@@ -190,6 +190,32 @@ impl GpuJoinConfig {
         PassPlan::new(self.radix_bits, self.max_bits_per_pass)
     }
 
+    /// Grid shape of a partitioning pass over `tuples` inputs, for
+    /// occupancy accounting: one `partition_block_threads`-wide block per
+    /// tile, with the pass kernel's reserved shared memory per block.
+    pub fn partition_launch_shape(&self, tuples: usize) -> hcj_gpu::LaunchShape {
+        hcj_gpu::LaunchShape {
+            blocks: (tuples as u64).div_ceil(u64::from(self.partition_block_threads)).max(1),
+            threads_per_block: self.partition_block_threads,
+            shared_bytes_per_block: self
+                .validate_partition_kernel()
+                .map(|l| l.reserved())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Grid shape of the co-partition join kernel: one
+    /// `join_block_threads`-wide block per live co-partition pair, with
+    /// the join kernel's reserved shared memory (hash table, chains,
+    /// output buffer) per block.
+    pub fn join_launch_shape(&self, live_copartitions: usize) -> hcj_gpu::LaunchShape {
+        hcj_gpu::LaunchShape {
+            blocks: (live_copartitions as u64).max(1),
+            threads_per_block: self.join_block_threads,
+            shared_bytes_per_block: self.validate_join_kernel().map(|l| l.reserved()).unwrap_or(0),
+        }
+    }
+
     /// Validate the join kernel's shared-memory footprint against the
     /// device budget, mirroring a CUDA launch-configuration failure.
     ///

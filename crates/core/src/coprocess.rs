@@ -305,17 +305,24 @@ impl CoProcessingJoin {
             // -- GPU sub-partitioning of the working set's R side --
             let mut r_sub = Vec::with_capacity(ws.len());
             let mut part_seconds = 0.0;
+            let mut part_cost = hcj_gpu::KernelCost::ZERO;
             for &p in ws {
                 let out = sub_partitioner.partition_with_base(&r_parts[p], cpu_bits);
                 part_seconds += out.total_seconds();
+                for pass in &out.passes {
+                    part_cost += pass.cost;
+                }
                 r_sub.push(out.partitioned);
             }
             exec.wait_op(r_xfer);
-            gpu.kernel_raw_retrying(
+            let ws_tuples: usize = ws.iter().map(|&p| r_parts[p].len()).sum();
+            gpu.kernel_costed_retrying(
                 &mut sim,
                 &mut exec,
                 &format!("part r ws{w}"),
                 part_seconds,
+                &part_cost,
+                sub_cfg.partition_launch_shape(ws_tuples),
                 &retry,
             )?;
 
@@ -385,12 +392,17 @@ impl CoProcessingJoin {
                 let matches_before = sink.matches();
                 let mut cost = hcj_gpu::KernelCost::ZERO;
                 let mut sub_seconds = 0.0;
+                let mut live = 0usize;
                 for (i, &p) in ws.iter().enumerate() {
                     if chunk_parts[p].is_empty() {
                         continue;
                     }
                     let s_out = sub_partitioner.partition_with_base(&chunk_parts[p], cpu_bits);
                     sub_seconds += s_out.total_seconds();
+                    for pass in &s_out.passes {
+                        cost += pass.cost;
+                    }
+                    live += crate::join::live_copartitions(&r_sub[i], &s_out.partitioned);
                     cost += join_all_copartitions(jcfg, &r_sub[i], &s_out.partitioned, &mut sink);
                 }
                 let new_matches = sink.matches() - matches_before;
@@ -398,11 +410,13 @@ impl CoProcessingJoin {
                 cost += late_materialization_cost(new_matches, s.payload_width, true);
                 exec.wait_op(s_xfer);
                 let join = gpu
-                    .kernel_raw_retrying(
+                    .kernel_costed_retrying(
                         &mut sim,
                         &mut exec,
                         &format!("join ws{w} c{c}"),
                         sub_seconds + cost.time(device),
+                        &cost,
+                        jcfg.join_launch_shape(live),
                         &retry,
                     )?
                     .op;
@@ -438,12 +452,15 @@ impl CoProcessingJoin {
 
         let schedule = sim.run();
         let faults = gpu.fault_log(&schedule);
+        let counters = gpu.counters();
         let check = sink.check();
         let rows = match jcfg.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64)
+            .with_faults(faults)
+            .with_counters(counters))
     }
 
     /// One host→device transfer: the PCIe copy and its host-side legs

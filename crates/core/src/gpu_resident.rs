@@ -64,24 +64,30 @@ impl GpuPartitionedJoin {
         let r_out = partitioner.partition(r);
         drop(r_input);
         let _r_pool = gpu.mem.reserve(r_out.partitioned.pool.device_bytes())?;
+        let r_shape = self.config.partition_launch_shape(r.len());
         for (i, pass) in r_out.passes.iter().enumerate() {
-            gpu.kernel_raw_retrying(
+            gpu.kernel_costed_retrying(
                 &mut sim,
                 &mut stream,
                 &format!("part r pass{i}"),
                 pass.seconds,
+                &pass.cost,
+                r_shape,
                 &retry,
             )?;
         }
         let s_out = partitioner.partition(s);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
+        let s_shape = self.config.partition_launch_shape(s.len());
         for (i, pass) in s_out.passes.iter().enumerate() {
-            gpu.kernel_raw_retrying(
+            gpu.kernel_costed_retrying(
                 &mut sim,
                 &mut stream,
                 &format!("part s pass{i}"),
                 pass.seconds,
+                &pass.cost,
+                s_shape,
                 &retry,
             )?;
         }
@@ -101,16 +107,31 @@ impl GpuPartitionedJoin {
             }
             OutputMode::Aggregate => None,
         };
-        gpu.kernel_retrying(&mut sim, &mut stream, "join copartitions", &join_cost, &retry)?;
+        let join_shape = self.config.join_launch_shape(crate::join::live_copartitions(
+            &r_out.partitioned,
+            &s_out.partitioned,
+        ));
+        gpu.kernel_costed_retrying(
+            &mut sim,
+            &mut stream,
+            "join copartitions",
+            join_cost.time(&gpu.spec),
+            &join_cost,
+            join_shape,
+            &retry,
+        )?;
 
         let schedule = sim.run();
         let faults = gpu.fault_log(&schedule);
+        let counters = gpu.counters();
         let check = sink.check();
         let rows = match self.config.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64)
+            .with_faults(faults)
+            .with_counters(counters))
     }
 
     /// The join-kernel traffic of the last phase for external composition

@@ -77,6 +77,16 @@ pub fn join_all_copartitions(
     cost
 }
 
+/// Number of co-partition pairs the join kernel actually launches blocks
+/// for: partitions where both sides are non-empty (one thread block per
+/// live pair — the grid dimension of the co-partition join, used for
+/// occupancy accounting).
+pub fn live_copartitions(r: &PartitionedRelation, s: &PartitionedRelation) -> usize {
+    (0..r.fanout().min(s.fanout()))
+        .filter(|&p| !r.chains[p].is_empty() && !s.chains[p].is_empty())
+        .count()
+}
+
 /// The in-partition hash function: multiplicative hashing over the key
 /// bits *above* the radix bits already equal within a partition
 /// (paper §III-C uses a second hash `h2` independent of the partitioning

@@ -45,6 +45,32 @@ impl NonPartitionedOutcome {
     pub fn kernel_seconds(&self, device: &DeviceSpec) -> f64 {
         self.build_cost.time(device) + self.probe_cost.time(device) + 2.0 * device.launch_overhead_s
     }
+
+    /// Hardware-counter snapshot on `device`. The non-partitioned variants
+    /// are pure kernel-cost models (they never run through a simulated
+    /// [`hcj_gpu::Gpu`]), so the counters are synthesized from the build
+    /// and probe traffic at the same charge points a `Gpu` launch would
+    /// record them.
+    pub fn counters(&self, device: &DeviceSpec) -> hcj_gpu::CounterSet {
+        let mut set = hcj_gpu::CounterSet::for_device(device);
+        set.record_kernel(
+            None,
+            "build global table",
+            &self.build_cost,
+            hcj_gpu::LaunchShape::UNSHAPED,
+            self.build_cost.time(device) + device.launch_overhead_s,
+            device,
+        );
+        set.record_kernel(
+            None,
+            "probe global table",
+            &self.probe_cost,
+            hcj_gpu::LaunchShape::UNSHAPED,
+            self.probe_cost.time(device) + device.launch_overhead_s,
+            device,
+        );
+        set
+    }
 }
 
 /// The non-partitioned GPU hash join.

@@ -1,7 +1,7 @@
 //! Results of a join execution: correctness artifacts plus the solved
 //! timeline and the throughput metrics the paper reports.
 
-use hcj_gpu::FaultLog;
+use hcj_gpu::{CounterSet, FaultLog};
 use hcj_sim::{Schedule, SimTime};
 use hcj_workload::oracle::{JoinCheck, JoinRow};
 
@@ -84,6 +84,10 @@ pub struct JoinOutcome {
     /// Every injected fault, retry and capacity-shrink event, stamped with
     /// virtual time. Empty unless the execution ran with faults armed.
     pub faults: FaultLog,
+    /// Simulated hardware counters accumulated at every charge point
+    /// (kernel launches, DMA copies); see [`hcj_gpu::counters`]. Empty for
+    /// strategies that never touch a simulated device (CPU fallback).
+    pub counters: CounterSet,
 }
 
 impl JoinOutcome {
@@ -94,13 +98,27 @@ impl JoinOutcome {
         tuples_in: u64,
     ) -> Self {
         let phases = PhaseBreakdown::from_schedule(&schedule);
-        JoinOutcome { check, rows, schedule, tuples_in, phases, faults: FaultLog::default() }
+        JoinOutcome {
+            check,
+            rows,
+            schedule,
+            tuples_in,
+            phases,
+            faults: FaultLog::default(),
+            counters: CounterSet::default(),
+        }
     }
 
     /// Attach the device's fault log (resolved against this outcome's
     /// schedule).
     pub fn with_faults(mut self, faults: FaultLog) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach the device's hardware-counter snapshot.
+    pub fn with_counters(mut self, counters: CounterSet) -> Self {
+        self.counters = counters;
         self
     }
 

@@ -134,12 +134,15 @@ impl StreamedProbeJoin {
         );
         exec.wait_op(r_copy);
         exec.wait_op(r_shadow);
+        let part_shape = cfg.partition_launch_shape(r.len());
         for (i, pass) in r_out.passes.iter().enumerate() {
-            gpu.kernel_raw_retrying(
+            gpu.kernel_costed_retrying(
                 &mut sim,
                 &mut exec,
                 &format!("part r pass{i}"),
                 pass.seconds,
+                &pass.cost,
+                part_shape,
                 &retry,
             )?;
         }
@@ -202,8 +205,20 @@ impl StreamedProbeJoin {
             cost +=
                 late_materialization_cost(sink.matches() - matches_before, s.payload_width, true);
             exec.wait_op(copy_fence);
+            let join_shape = cfg.join_launch_shape(crate::join::live_copartitions(
+                &r_out.partitioned,
+                &s_out.partitioned,
+            ));
             let join = gpu
-                .kernel_retrying(&mut sim, &mut exec, &format!("join chunk{k}"), &cost, &retry)?
+                .kernel_costed_retrying(
+                    &mut sim,
+                    &mut exec,
+                    &format!("join chunk{k}"),
+                    cost.time(&gpu.spec),
+                    &cost,
+                    join_shape,
+                    &retry,
+                )?
                 .op;
             join_done.push(join);
 
@@ -240,12 +255,15 @@ impl StreamedProbeJoin {
 
         let schedule = sim.run();
         let faults = gpu.fault_log(&schedule);
+        let counters = gpu.counters();
         let check = sink.check();
         let rows = match cfg.output {
             OutputMode::Materialize => Some(sink.into_rows()),
             OutputMode::Aggregate => None,
         };
-        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64).with_faults(faults))
+        Ok(JoinOutcome::new(check, rows, schedule, (r.len() + s.len()) as u64)
+            .with_faults(faults)
+            .with_counters(counters))
     }
 }
 

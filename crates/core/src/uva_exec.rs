@@ -158,11 +158,11 @@ pub fn run_out_of_gpu_mechanisms(
         let region = (moved_bytes / fanout).max(1);
         let mut cursor = vec![0u64; fanout as usize];
         for pr in [&r_out.partitioned, &s_out.partitioned] {
-            for p in 0..pr.fanout() {
+            for (p, cur) in cursor.iter_mut().enumerate().take(pr.fanout()) {
                 for t in pr.tuples_of(p) {
                     let _ = t;
-                    let off = input_bytes + p as u64 * region + (cursor[p] * 8) % region;
-                    cursor[p] += 1;
+                    let off = input_bytes + p as u64 * region + (*cur * 8) % region;
+                    *cur += 1;
                     um.access_range(off, 8, true);
                 }
             }

@@ -25,6 +25,7 @@ pub const LOAD_RESIZE_LIMIT: u64 = 4 << 30;
 /// The CoGaDB model.
 #[derive(Clone, Debug)]
 pub struct CoGaDbLike {
+    /// The simulated device the model runs on.
     pub device: DeviceSpec,
     /// Per-operator dispatch overhead, seconds.
     pub operator_overhead_s: f64,
@@ -34,6 +35,7 @@ pub struct CoGaDbLike {
 }
 
 impl CoGaDbLike {
+    /// The model at its published overheads and limits.
     pub fn new(device: DeviceSpec) -> Self {
         CoGaDbLike { device, operator_overhead_s: 2.0e-3, load_limit_bytes: LOAD_RESIZE_LIMIT }
     }
@@ -121,8 +123,11 @@ mod tests {
     #[test]
     fn load_limit_models_the_sf100_failure() {
         // The limit itself is what matters: SF100's ~6 GB working set must
-        // exceed it while SF10's ~0.6 GB must not.
-        assert!(6 * (1u64 << 30) > LOAD_RESIZE_LIMIT);
-        assert!((600 << 20) < LOAD_RESIZE_LIMIT);
+        // exceed it while SF10's ~0.6 GB must not. Computed sizes keep the
+        // comparisons non-constant for the compiler.
+        let sf100 = 6 * (1u64 << 30);
+        let sf10 = sf100 / 10;
+        assert!(sf100 > LOAD_RESIZE_LIMIT);
+        assert!(sf10 < LOAD_RESIZE_LIMIT);
     }
 }

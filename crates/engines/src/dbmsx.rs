@@ -29,6 +29,7 @@ pub const ALLOCATOR_FRACTION: f64 = 0.68;
 /// The DBMS-X model.
 #[derive(Clone, Debug)]
 pub struct DbmsXLike {
+    /// The simulated device the model runs on.
     pub device: DeviceSpec,
     /// Fixed per-query overhead of the codegen/driver stack, seconds.
     pub query_overhead_s: f64,
@@ -39,6 +40,7 @@ pub struct DbmsXLike {
 }
 
 impl DbmsXLike {
+    /// The model at its published overheads and limits.
     pub fn new(device: DeviceSpec) -> Self {
         DbmsXLike { device, query_overhead_s: 3.0e-3, gpu_cache_tuple_limit: GPU_CACHE_TUPLE_LIMIT }
     }

@@ -43,8 +43,11 @@ use crate::result::EngineResult;
 /// Which strategy the planner chose (or recovery forced).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlannedStrategy {
+    /// Both relations fit device memory: partition + join entirely on-GPU.
     GpuResident,
+    /// Build side fits, probe side streams over PCIe in chunks.
     StreamedProbe,
+    /// Neither fits: host partitions, GPU joins co-partition chunks.
     CoProcessing,
     /// The GPU could not finish the join (device lost, or transient
     /// faults exhausted retry at the co-processing floor); the PRO CPU
@@ -98,6 +101,8 @@ impl std::fmt::Display for PlannedStrategy {
 /// The paper's engine: planner + the strategy family of `hcj-core`.
 #[derive(Clone, Debug)]
 pub struct HcjEngine {
+    /// Join configuration (device, radix bits, bucket tuning) every
+    /// strategy shares.
     pub config: GpuJoinConfig,
     /// Peak-footprint factor per partitioned relation: with bucket-pool
     /// recycling a relation's input and partitioned form never coexist,
@@ -106,6 +111,7 @@ pub struct HcjEngine {
 }
 
 impl HcjEngine {
+    /// An engine with the default bucket-pool peak factor.
     pub fn new(config: GpuJoinConfig) -> Self {
         HcjEngine { config, pool_factor: 1.3 }
     }

@@ -22,10 +22,12 @@ pub struct EngineResult {
     /// Modeled end-to-end seconds (warm: data already loaded where the
     /// engine keeps it, matching the paper's measurement protocol).
     pub seconds: f64,
+    /// Total input tuples (|R| + |S|), the paper's throughput denominator.
     pub tuples_in: u64,
 }
 
 impl EngineResult {
+    /// Input tuples joined per modeled second.
     pub fn throughput_tuples_per_s(&self) -> f64 {
         self.tuples_in as f64 / self.seconds
     }

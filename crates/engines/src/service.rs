@@ -51,7 +51,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use hcj_gpu::{DeviceMemory, FaultSummary, JoinError, Reservation};
+use hcj_gpu::{CounterRollup, DeviceMemory, FaultSummary, JoinError, Reservation};
 use hcj_host::pool::Pool;
 use hcj_sim::{SimTime, Timeline, TrackId};
 use hcj_workload::generate::{KeyDistribution, RelationSpec};
@@ -94,6 +94,7 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// Set (or clear) the per-request completion deadline.
     pub fn with_deadline(mut self, deadline: Option<SimTime>) -> Self {
         self.deadline = deadline;
         self
@@ -105,13 +106,17 @@ impl ServiceConfig {
 /// reproducible from its seeds.
 #[derive(Clone, Debug)]
 pub struct RequestSpec {
+    /// Build-side relation recipe.
     pub r: RelationSpec,
+    /// Probe-side relation recipe.
     pub s: RelationSpec,
 }
 
 /// The request sequence of one closed-loop client.
 #[derive(Clone, Debug, Default)]
 pub struct ClientSpec {
+    /// Requests issued back-to-back (closed loop: next after previous
+    /// completes).
     pub requests: Vec<RequestSpec>,
 }
 
@@ -165,11 +170,15 @@ pub fn mixed_workload(
 /// Everything the service observed about one request.
 #[derive(Clone, Debug)]
 pub struct RequestMetrics {
+    /// Which client issued the request.
     pub client: usize,
     /// Index within the client's request sequence.
     pub index: usize,
+    /// Virtual time the client submitted the request.
     pub submitted_at: SimTime,
+    /// Virtual time admission control let it onto the device.
     pub admitted_at: SimTime,
+    /// Virtual time its result (or failure) was final.
     pub completed_at: SimTime,
     /// Failed admission attempts (reservation rejections).
     pub retries: u32,
@@ -184,10 +193,14 @@ pub struct RequestMetrics {
     pub device_used_at_admit: u64,
     /// Did the outcome match `JoinCheck::compute` on the inputs?
     pub check_ok: bool,
+    /// Join result cardinality.
     pub matches: u64,
     /// Device fault/retry counters from the execution (empty when the
     /// fault layer is disabled or the request never ran).
     pub faults: FaultSummary,
+    /// Simulated hardware-counter rollup from the execution (zeroed when
+    /// the request never ran or fell back to the CPU).
+    pub counters: CounterRollup,
     /// Stable tag of the terminal error, when the request did not finish
     /// ([`JoinError::tag`]; `"deadline-exceeded"` for cancelled requests).
     pub error: Option<&'static str>,
@@ -214,11 +227,13 @@ impl RequestMetrics {
 /// The result of a whole service run.
 #[derive(Debug)]
 pub struct ServiceReport {
+    /// Per-request metrics, in completion order.
     pub requests: Vec<RequestMetrics>,
     /// Virtual time at which the last request completed.
     pub makespan: SimTime,
     /// High-water mark of reserved device bytes.
     pub device_peak: u64,
+    /// Device capacity the run was admitted against.
     pub device_capacity: u64,
     /// Reserved device bytes still held when the loop drained — any
     /// non-zero value is a reservation leak.
@@ -231,6 +246,8 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// Requests that produced a result (successfully executed or fell
+    /// back to the CPU).
     pub fn completed(&self) -> usize {
         self.requests.iter().filter(|m| m.finished()).count()
     }
@@ -257,6 +274,16 @@ impl ServiceReport {
         total
     }
 
+    /// Summed simulated hardware counters across all requests.
+    pub fn counters_total(&self) -> CounterRollup {
+        let mut total = CounterRollup::default();
+        for m in &self.requests {
+            total.absorb(&m.counters);
+        }
+        total
+    }
+
+    /// Requests whose result matched the oracle join.
     pub fn checks_passed(&self) -> usize {
         self.requests.iter().filter(|m| m.check_ok).count()
     }
@@ -266,6 +293,7 @@ impl ServiceReport {
         self.requests.iter().filter(|m| m.queue_wait() > SimTime::ZERO).count()
     }
 
+    /// Total failed admission attempts across all requests.
     pub fn retries_total(&self) -> u64 {
         self.requests.iter().map(|m| u64::from(m.retries)).sum()
     }
@@ -275,10 +303,12 @@ impl ServiceReport {
         self.requests.iter().filter(|m| m.degraded()).count()
     }
 
+    /// Requests that hit queue-depth backpressure on submission.
     pub fn backpressured(&self) -> usize {
         self.requests.iter().filter(|m| m.blocked).count()
     }
 
+    /// Finished requests that actually ran under `strategy`.
     pub fn executed_count(&self, strategy: PlannedStrategy) -> usize {
         self.requests.iter().filter(|m| m.finished() && m.executed == Some(strategy)).count()
     }
@@ -310,6 +340,12 @@ impl ServiceReport {
         line("device stalls", format!("{}", f.stalls));
         line("fault retries", format!("{}", f.retries));
         line("capacity shrinks", format!("{} ({} B stolen)", f.shrinks, f.stolen_bytes));
+        let c = self.counters_total();
+        line("kernel launches", format!("{}", c.kernel_launches));
+        line("pcie transfers", format!("{}", c.transfers));
+        line("device bytes", format!("{} B", c.device_bytes));
+        line("h2d / d2h bytes", format!("{} B / {} B", c.h2d_bytes, c.d2h_bytes));
+        line("coalescing efficiency", format!("{:.3}", c.coalescing_efficiency()));
         line("deadline exceeded", format!("{}", self.deadline_exceeded()));
         line("typed errors", format!("{}", self.errored()));
         line("invariant violations", format!("{}", self.invariant_violations.len()));
@@ -361,11 +397,14 @@ struct RequestState {
 /// The multi-tenant join service. Owns the engine (planner + strategies)
 /// and the device-memory accountant all requests share.
 pub struct JoinService {
+    /// Planner + strategy implementations shared by all requests.
     pub engine: HcjEngine,
+    /// Admission-control and deadline policy.
     pub config: ServiceConfig,
 }
 
 impl JoinService {
+    /// A service over `engine` with policy `config`.
     pub fn new(engine: HcjEngine, config: ServiceConfig) -> Self {
         JoinService { engine, config }
     }
@@ -443,6 +482,7 @@ impl JoinService {
                                 check_ok: false,
                                 matches: 0,
                                 faults: FaultSummary::default(),
+                                counters: CounterRollup::default(),
                                 error: None,
                             },
                             inputs: Some((r, s)),
@@ -624,6 +664,7 @@ impl JoinService {
                 expected: JoinCheck,
                 duration: SimTime,
                 faults: FaultSummary,
+                counters: CounterRollup,
                 /// `(offset into the execution, label)` per fault event,
                 /// for timeline markers at service time.
                 fault_marks: Vec<(SimTime, String)>,
@@ -652,6 +693,7 @@ impl JoinService {
                         expected: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
                         duration: SimTime::from_nanos(1),
                         faults: FaultSummary::default(),
+                        counters: CounterRollup::default(),
                         fault_marks: Vec::new(),
                         error: Some(JoinError::Internal { detail: String::new() }.tag()),
                         invariant: Some(format!("admitted request {id} has no inputs")),
@@ -667,6 +709,7 @@ impl JoinService {
                             outcome.schedule.makespan().as_nanos().max(1),
                         ),
                         faults: outcome.faults.summary(),
+                        counters: outcome.counters.rollup(),
                         fault_marks: outcome
                             .faults
                             .events
@@ -687,6 +730,7 @@ impl JoinService {
                         expected,
                         duration: SimTime::from_nanos(1),
                         faults: FaultSummary::default(),
+                        counters: CounterRollup::default(),
                         fault_marks: Vec::new(),
                         error: Some(err.tag()),
                         invariant: None,
@@ -699,6 +743,7 @@ impl JoinService {
                 st.metrics.check_ok = exec.strategy.is_some() && exec.check == exec.expected;
                 st.metrics.matches = exec.check.matches;
                 st.metrics.faults = exec.faults;
+                st.metrics.counters = exec.counters;
                 st.metrics.error = exec.error;
                 if let Some(v) = exec.invariant {
                     invariants.push(v);

@@ -38,6 +38,7 @@ pub struct KernelCost {
 }
 
 impl KernelCost {
+    /// The empty cost: no traffic of any kind.
     pub const ZERO: KernelCost = KernelCost {
         coalesced_bytes: 0,
         random_transactions: 0,

@@ -44,15 +44,31 @@ pub enum JoinError {
     },
     /// The engine refused or crashed on this working-set size (the
     /// comparator models' documented failures, Figs. 14–15).
-    WorkingSetTooLarge { bytes: u64, limit: u64, detail: &'static str },
+    WorkingSetTooLarge {
+        /// Working-set size that was rejected.
+        bytes: u64,
+        /// The engine's documented limit.
+        limit: u64,
+        /// Which engine/limit refused, for the error message.
+        detail: &'static str,
+    },
     /// Data loading failed (CoGaDB's internal resize failure at SF 100).
-    LoadFailed { bytes: u64, detail: &'static str },
+    LoadFailed {
+        /// Size of the load that failed.
+        bytes: u64,
+        /// Which loader failed, for the error message.
+        detail: &'static str,
+    },
     /// A "cannot happen" internal invariant was violated; surfaced as a
     /// typed error instead of a panic so a service run degrades, not dies.
-    Internal { detail: String },
+    Internal {
+        /// What broke, for the error message.
+        detail: String,
+    },
 }
 
 impl JoinError {
+    /// Transient (retry/degrade) or permanent (fall back / give up)?
     pub fn class(&self) -> ErrorClass {
         match self {
             JoinError::OutOfDeviceMemory(_) => ErrorClass::Transient,

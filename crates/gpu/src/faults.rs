@@ -29,6 +29,7 @@ pub struct FaultRng {
 }
 
 impl FaultRng {
+    /// Seed the generator state via splitmix64, like the reference.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
         let mut next = || {
@@ -41,6 +42,7 @@ impl FaultRng {
         FaultRng { s: [next(), next(), next(), next()] }
     }
 
+    /// The next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -99,7 +101,9 @@ pub enum FaultKind {
 /// [`JoinError::Device`](crate::error::JoinError::Device).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviceFault {
+    /// Where the fault was injected.
     pub site: FaultSite,
+    /// Transient or sticky device-lost.
     pub kind: FaultKind,
     /// Label of the operation that failed.
     pub label: String,
@@ -123,6 +127,7 @@ impl std::error::Error for DeviceFault {}
 /// `shrink_p`), so longer pipelines see proportionally more faults.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
+    /// Seed of the fault stream; same seed + same op order = same faults.
     pub seed: u64,
     /// P(an H2D/D2H transfer fails in flight) — transient, retryable.
     pub transfer_fault_p: f64,
@@ -213,8 +218,11 @@ pub enum OpVerdict {
 /// One recorded injection, tied to the sim op that charged its cost.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultRecord {
+    /// Where the event was injected.
     pub site: FaultSite,
+    /// What happened (injection or recovery action).
     pub kind: FaultEventKind,
+    /// Label of the affected operation.
     pub label: String,
     /// The sim op charging the (partial/stalled/backoff) cost, when any.
     pub op: Option<OpId>,
@@ -223,11 +231,22 @@ pub struct FaultRecord {
 /// The kind of event in a fault log (injections *and* recovery actions).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultEventKind {
+    /// A retryable fault was injected.
     Transient,
+    /// The sticky device-lost fault was injected.
     DeviceLost,
+    /// The op ran, charged a stall multiple of its normal time.
     Stall,
-    Retry { attempt: u32 },
-    Shrink { bytes: u64 },
+    /// A recovery retry was issued.
+    Retry {
+        /// Retry number, 1-based.
+        attempt: u32,
+    },
+    /// A co-tenant stole device capacity at an allocation site.
+    Shrink {
+        /// Bytes stolen from the free pool.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for FaultEventKind {
@@ -257,11 +276,13 @@ pub struct FaultPlan {
 pub type FaultHandle = Arc<Mutex<FaultPlan>>;
 
 impl FaultPlan {
+    /// A fresh plan seeded from `cfg`.
     pub fn new(cfg: FaultConfig) -> Self {
         let rng = FaultRng::seed_from_u64(cfg.seed);
         FaultPlan { cfg, rng, lost: false, records: Vec::new() }
     }
 
+    /// A fresh plan behind a shareable [`FaultHandle`].
     pub fn handle(cfg: FaultConfig) -> FaultHandle {
         Arc::new(Mutex::new(FaultPlan::new(cfg)))
     }
@@ -329,6 +350,7 @@ impl FaultPlan {
         self.lost
     }
 
+    /// Everything recorded so far, in issue order.
     pub fn records(&self) -> &[FaultRecord] {
         &self.records
     }
@@ -338,6 +360,7 @@ impl FaultPlan {
 /// timeline instants and summary counters.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultLog {
+    /// All resolved events, in issue order.
     pub events: Vec<FaultEvent>,
 }
 
@@ -345,9 +368,13 @@ pub struct FaultLog {
 /// op that charged the cost; `None` for events with no charged op).
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultEvent {
+    /// Finish time of the op that charged the cost; `None` when no op did.
     pub at: Option<SimTime>,
+    /// Where the event was injected.
     pub site: FaultSite,
+    /// What happened.
     pub kind: FaultEventKind,
+    /// Label of the affected operation.
     pub label: String,
 }
 
@@ -366,10 +393,12 @@ impl FaultLog {
         FaultLog { events }
     }
 
+    /// True when nothing was injected or retried.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
+    /// Fold the log into aggregate counters.
     pub fn summary(&self) -> FaultSummary {
         let mut s = FaultSummary::default();
         for e in &self.events {
@@ -398,20 +427,29 @@ impl FaultLog {
 /// run) — the numbers `serve` prints and tests assert on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultSummary {
+    /// Transient H2D/D2H transfer faults.
     pub transfer_faults: u32,
+    /// Kernel faults (transient and device-lost).
     pub kernel_faults: u32,
+    /// Slow-device stall events.
     pub stalls: u32,
+    /// Recovery retries issued.
     pub retries: u32,
+    /// Capacity-shrink events.
     pub shrinks: u32,
+    /// Total bytes stolen by shrink events.
     pub stolen_bytes: u64,
+    /// Whether the device was lost for good.
     pub device_lost: bool,
 }
 
 impl FaultSummary {
+    /// True when every counter is zero.
     pub fn is_empty(&self) -> bool {
         *self == FaultSummary::default()
     }
 
+    /// Accumulate another summary into this one.
     pub fn absorb(&mut self, other: &FaultSummary) {
         self.transfer_faults += other.transfer_faults;
         self.kernel_faults += other.kernel_faults;
@@ -430,7 +468,9 @@ impl FaultSummary {
 pub struct RetryPolicy {
     /// Total attempts, including the first (so 4 = up to 3 retries).
     pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
     pub backoff_base: SimTime,
+    /// Upper bound on any backoff delay.
     pub backoff_cap: SimTime,
 }
 

@@ -28,7 +28,10 @@
 //! Everything a kernel computes is computed for real on host-side buffers;
 //! the model only decides how long it took.
 
+#![warn(missing_docs)]
+
 pub mod cost;
+pub mod counters;
 pub mod error;
 pub mod faults;
 pub mod memory;
@@ -40,6 +43,7 @@ pub mod uva;
 pub mod warp;
 
 pub use cost::KernelCost;
+pub use counters::{CounterRollup, CounterSet, KernelStats, LaunchShape, TransferStats};
 pub use error::{ErrorClass, JoinError};
 pub use faults::{
     DeviceFault, FaultConfig, FaultEvent, FaultEventKind, FaultKind, FaultLog, FaultPlan,

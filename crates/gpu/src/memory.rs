@@ -20,8 +20,11 @@ use crate::faults::{FaultEventKind, FaultHandle, FaultSite};
 /// Error returned when a device allocation does not fit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutOfDeviceMemory {
+    /// Bytes the allocation asked for.
     pub requested: u64,
+    /// Bytes that were free at the time.
     pub available: u64,
+    /// Total device capacity.
     pub capacity: u64,
 }
 
@@ -237,6 +240,7 @@ impl<T> DeviceBuffer<T> {
         self.data.len()
     }
 
+    /// True when the buffer holds no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }

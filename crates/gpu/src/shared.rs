@@ -18,8 +18,11 @@ use std::fmt;
 pub struct SharedMemOverflow {
     /// The region whose reservation overflowed the budget.
     pub region: String,
+    /// Bytes the reservation asked for.
     pub requested: u64,
+    /// Bytes already reserved by other regions.
     pub in_use: u64,
+    /// The block's total shared-memory budget.
     pub budget: u64,
 }
 

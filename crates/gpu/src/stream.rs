@@ -14,6 +14,7 @@
 use hcj_sim::{Op, OpId, ResourceId, Schedule, Sim, SimTime};
 
 use crate::cost::KernelCost;
+use crate::counters::{CounterHandle, CounterSet, LaunchShape};
 use crate::error::JoinError;
 use crate::faults::{
     DeviceFault, FaultConfig, FaultEventKind, FaultHandle, FaultKind, FaultLog, FaultPlan,
@@ -22,9 +23,11 @@ use crate::faults::{
 use crate::memory::DeviceMemory;
 use crate::spec::DeviceSpec;
 
-/// Traffic-class tags carried on sim spans, for timeline analysis.
+/// Traffic-class tag carried on kernel sim spans, for timeline analysis.
 pub const CLASS_KERNEL: u32 = 1;
+/// Traffic-class tag for host→device transfer spans.
 pub const CLASS_H2D: u32 = 2;
+/// Traffic-class tag for device→host transfer spans.
 pub const CLASS_D2H: u32 = 3;
 /// Partial work charged by an op that faulted mid-flight.
 pub const CLASS_FAULT: u32 = 4;
@@ -37,13 +40,17 @@ pub const CLASS_RETRY: u32 = 5;
 /// co-processing strategy stores partitions in pinned memory (paper §IV-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransferKind {
+    /// Page-locked host memory: full PCIe bandwidth.
     Pinned,
+    /// Pageable host memory: staged through the driver at reduced rate.
     Pageable,
 }
 
 /// A modeled GPU: spec + device-memory accountant + sim resources.
 pub struct Gpu {
+    /// Physical parameters of the modeled device.
     pub spec: DeviceSpec,
+    /// The device-memory accountant (strict capacity, typed OOM).
     pub mem: DeviceMemory,
     compute: ResourceId,
     dma_h2d: ResourceId,
@@ -53,6 +60,10 @@ pub struct Gpu {
     /// fault layer is compiled in but inert (zero overhead on the op
     /// stream, identical schedules).
     faults: Option<FaultHandle>,
+    /// Always-on hardware counters, updated once per successfully issued
+    /// logical op (see [`crate::counters`]). Collection is a map update
+    /// per op; only *surfacing* is gated behind `--profile`.
+    counters: CounterHandle,
 }
 
 impl Gpu {
@@ -62,7 +73,8 @@ impl Gpu {
         let compute = sim.fifo_resource(format!("{} compute", spec.name), 1.0, 1);
         let dma_h2d = sim.fifo_resource(format!("{} dma-h2d", spec.name), spec.pcie_bandwidth, 1);
         let dma_d2h = sim.fifo_resource(format!("{} dma-d2h", spec.name), spec.pcie_bandwidth, 1);
-        Gpu { spec, mem, compute, dma_h2d, dma_d2h, faults: None }
+        let counters = CounterSet::handle(&spec);
+        Gpu { spec, mem, compute, dma_h2d, dma_d2h, faults: None, counters }
     }
 
     /// Arm deterministic fault injection for this device (and its memory
@@ -95,6 +107,40 @@ impl Gpu {
         }
     }
 
+    /// A snapshot of the hardware counters accumulated so far.
+    pub fn counters(&self) -> CounterSet {
+        self.counters.lock().expect("counter set poisoned").clone()
+    }
+
+    /// The shared counter handle (e.g. to keep after the `Gpu` is gone).
+    pub fn counter_handle(&self) -> CounterHandle {
+        CounterHandle::clone(&self.counters)
+    }
+
+    /// Record one successfully issued kernel into the counters.
+    fn note_kernel(&self, op: OpId, label: &str, cost: &KernelCost, shape: LaunchShape, secs: f64) {
+        self.counters.lock().expect("counter set poisoned").record_kernel(
+            Some(op),
+            label,
+            cost,
+            shape,
+            secs,
+            &self.spec,
+        );
+    }
+
+    /// Record one successfully completed transfer into the counters.
+    fn note_transfer(&self, op: OpId, to_device: bool, bytes: u64, kind: TransferKind) {
+        let seconds = bytes as f64 * self.pageable_slowdown(kind) / self.spec.pcie_bandwidth;
+        self.counters.lock().expect("counter set poisoned").record_transfer(
+            Some(op),
+            to_device,
+            bytes,
+            kind == TransferKind::Pageable,
+            seconds,
+        );
+    }
+
     /// A fresh stream (no prior work).
     pub fn stream(&self) -> Stream {
         Stream { last: None, waits: Vec::new() }
@@ -125,8 +171,27 @@ impl Gpu {
         label: impl Into<String>,
         cost: &KernelCost,
     ) -> Result<OpId, JoinError> {
-        let work = cost.time(&self.spec);
-        self.launch(sim, stream, label.into(), self.compute, CLASS_KERNEL, work, true)
+        self.kernel_costed(sim, stream, label, cost.time(&self.spec), cost, LaunchShape::UNSHAPED)
+    }
+
+    /// [`kernel`](Self::kernel) with full counter attribution: `seconds`
+    /// is the externally computed duration (e.g. a cost scaled by a
+    /// load-imbalance factor), `cost` the traffic behind it, and `shape`
+    /// the grid geometry for occupancy accounting.
+    pub fn kernel_costed(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: impl Into<String>,
+        seconds: f64,
+        cost: &KernelCost,
+        shape: LaunchShape,
+    ) -> Result<OpId, JoinError> {
+        let label = label.into();
+        let op =
+            self.launch(sim, stream, label.clone(), self.compute, CLASS_KERNEL, seconds, true)?;
+        self.note_kernel(op, &label, cost, shape, seconds);
+        Ok(op)
     }
 
     /// Launch a kernel whose duration was computed externally (e.g. a cost
@@ -139,7 +204,7 @@ impl Gpu {
         label: impl Into<String>,
         seconds: f64,
     ) -> Result<OpId, JoinError> {
-        self.launch(sim, stream, label.into(), self.compute, CLASS_KERNEL, seconds, true)
+        self.kernel_costed(sim, stream, label, seconds, &KernelCost::ZERO, LaunchShape::UNSHAPED)
     }
 
     /// Asynchronous host→device copy of `bytes` on `stream`.
@@ -151,7 +216,7 @@ impl Gpu {
         bytes: u64,
         kind: TransferKind,
     ) -> Result<OpId, JoinError> {
-        self.launch(
+        let op = self.launch(
             sim,
             stream,
             label.into(),
@@ -159,7 +224,9 @@ impl Gpu {
             CLASS_H2D,
             bytes as f64 * self.pageable_slowdown(kind),
             false,
-        )
+        )?;
+        self.note_transfer(op, true, bytes, kind);
+        Ok(op)
     }
 
     /// Asynchronous device→host copy of `bytes` on `stream`.
@@ -171,7 +238,7 @@ impl Gpu {
         bytes: u64,
         kind: TransferKind,
     ) -> Result<OpId, JoinError> {
-        self.launch(
+        let op = self.launch(
             sim,
             stream,
             label.into(),
@@ -179,7 +246,9 @@ impl Gpu {
             CLASS_D2H,
             bytes as f64 * self.pageable_slowdown(kind),
             false,
-        )
+        )?;
+        self.note_transfer(op, false, bytes, kind);
+        Ok(op)
     }
 
     /// [`kernel`](Self::kernel) with bounded retry: transient faults are
@@ -194,7 +263,7 @@ impl Gpu {
         policy: &RetryPolicy,
     ) -> Result<Retried, JoinError> {
         let work = cost.time(&self.spec);
-        self.kernel_raw_retrying(sim, stream, label, work, policy)
+        self.kernel_costed_retrying(sim, stream, label, work, cost, LaunchShape::UNSHAPED, policy)
     }
 
     /// [`kernel_raw`](Self::kernel_raw) with bounded retry.
@@ -206,9 +275,43 @@ impl Gpu {
         seconds: f64,
         policy: &RetryPolicy,
     ) -> Result<Retried, JoinError> {
-        self.with_retries(sim, stream, label, FaultSite::Kernel, policy, |g, sim, stream, l| {
-            g.launch(sim, stream, l, g.compute, CLASS_KERNEL, seconds, true)
-        })
+        let zero = KernelCost::ZERO;
+        self.kernel_costed_retrying(
+            sim,
+            stream,
+            label,
+            seconds,
+            &zero,
+            LaunchShape::UNSHAPED,
+            policy,
+        )
+    }
+
+    /// [`kernel_costed`](Self::kernel_costed) with bounded retry. Counters
+    /// record the launch once, on overall success — faulted attempts and
+    /// backoffs charge schedule time but never count as kernel work, which
+    /// keeps counters chaos-invariant for runs that complete.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel_costed_retrying(
+        &self,
+        sim: &mut Sim,
+        stream: &mut Stream,
+        label: &str,
+        seconds: f64,
+        cost: &KernelCost,
+        shape: LaunchShape,
+        policy: &RetryPolicy,
+    ) -> Result<Retried, JoinError> {
+        let r = self.with_retries(
+            sim,
+            stream,
+            label,
+            FaultSite::Kernel,
+            policy,
+            |g, sim, stream, l| g.launch(sim, stream, l, g.compute, CLASS_KERNEL, seconds, true),
+        )?;
+        self.note_kernel(r.op, label, cost, shape, seconds);
+        Ok(r)
     }
 
     /// [`copy_h2d`](Self::copy_h2d) with bounded retry.
@@ -222,9 +325,12 @@ impl Gpu {
         policy: &RetryPolicy,
     ) -> Result<Retried, JoinError> {
         let work = bytes as f64 * self.pageable_slowdown(kind);
-        self.with_retries(sim, stream, label, FaultSite::H2D, policy, |g, sim, stream, l| {
-            g.launch(sim, stream, l, g.dma_h2d, CLASS_H2D, work, false)
-        })
+        let r =
+            self.with_retries(sim, stream, label, FaultSite::H2D, policy, |g, sim, stream, l| {
+                g.launch(sim, stream, l, g.dma_h2d, CLASS_H2D, work, false)
+            })?;
+        self.note_transfer(r.op, true, bytes, kind);
+        Ok(r)
     }
 
     /// [`copy_d2h`](Self::copy_d2h) with bounded retry.
@@ -238,9 +344,12 @@ impl Gpu {
         policy: &RetryPolicy,
     ) -> Result<Retried, JoinError> {
         let work = bytes as f64 * self.pageable_slowdown(kind);
-        self.with_retries(sim, stream, label, FaultSite::D2H, policy, |g, sim, stream, l| {
-            g.launch(sim, stream, l, g.dma_d2h, CLASS_D2H, work, false)
-        })
+        let r =
+            self.with_retries(sim, stream, label, FaultSite::D2H, policy, |g, sim, stream, l| {
+                g.launch(sim, stream, l, g.dma_d2h, CLASS_D2H, work, false)
+            })?;
+        self.note_transfer(r.op, false, bytes, kind);
+        Ok(r)
     }
 
     fn pageable_slowdown(&self, kind: TransferKind) -> f64 {
@@ -362,7 +471,9 @@ impl Gpu {
 /// many faulted attempts preceded it.
 #[derive(Clone, Copy, Debug)]
 pub struct Retried {
+    /// The op that finally succeeded.
     pub op: OpId,
+    /// Faulted attempts before it (0 = first try succeeded).
     pub retries: u32,
 }
 
@@ -708,6 +819,63 @@ mod tests {
                     assert!(sp.end <= final_start, "recovery work precedes the final attempt");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn counters_record_charged_work_at_launch_points() {
+        let mut sim = Sim::new();
+        let g = gpu(&mut sim);
+        let mut s = g.stream();
+        g.copy_h2d(&mut sim, &mut s, "h2d r", 1_000, TransferKind::Pinned).unwrap();
+        g.copy_h2d(&mut sim, &mut s, "h2d s chunk0", 500, TransferKind::Pageable).unwrap();
+        let cost = KernelCost::coalesced(3200);
+        let shape =
+            LaunchShape { blocks: 20, threads_per_block: 1024, shared_bytes_per_block: 1024 };
+        g.kernel_costed(&mut sim, &mut s, "join chunk0", cost.time(&g.spec), &cost, shape).unwrap();
+        g.copy_d2h(&mut sim, &mut s, "d2h rows chunk0", 64, TransferKind::Pinned).unwrap();
+        let sched = sim.run();
+        let counters = g.counters();
+        assert_eq!(counters.h2d.bytes, 1_500);
+        assert_eq!(counters.h2d.pageable_bytes, 500);
+        assert_eq!(counters.d2h.bytes, 64);
+        let join = counters.kernel("join chunk0").expect("kernel recorded");
+        assert_eq!(join.launches, 1);
+        assert_eq!(join.cost, cost);
+        assert_eq!(join.occupancy, Some(1.0));
+        // The counter timeline resolves against the solved schedule.
+        let tl = counters.counter_timeline(&sched);
+        let json = hcj_sim::TraceExporter::new().timeline_to_json(&tl);
+        assert!(json.contains("h2d GB/s"));
+        assert!(json.contains("occupancy"));
+    }
+
+    #[test]
+    fn counters_skip_faulted_attempts_and_count_success_once() {
+        // A retried transfer records its payload exactly once, no matter
+        // how many faulted attempts preceded success: counters reflect
+        // useful charged work, so they are chaos-invariant for completed
+        // runs.
+        let cfg = crate::faults::FaultConfig {
+            transfer_fault_p: 0.9,
+            ..crate::faults::FaultConfig::disabled(12)
+        };
+        let mut sim = Sim::new();
+        let mut g = gpu(&mut sim);
+        g.arm_faults(cfg);
+        let mut s = g.stream();
+        if let Ok(r) = g.copy_h2d_retrying(
+            &mut sim,
+            &mut s,
+            "h2d r",
+            1_200_000_000,
+            TransferKind::Pinned,
+            &RetryPolicy::default(),
+        ) {
+            let _ = r;
+            let counters = g.counters();
+            assert_eq!(counters.h2d.transfers, 1);
+            assert_eq!(counters.h2d.bytes, 1_200_000_000);
         }
     }
 

@@ -16,7 +16,10 @@ pub enum PageAccess {
     /// Page was device-resident.
     Hit,
     /// Page was migrated in (and possibly another evicted).
-    Fault { evicted_dirty: bool },
+    Fault {
+        /// Whether the evicted page was dirty (costs a write-back).
+        evicted_dirty: bool,
+    },
 }
 
 /// An LRU page pool modeling Unified Memory oversubscription.
@@ -67,14 +70,17 @@ impl UnifiedMemory {
         }
     }
 
+    /// Bytes per migrated page.
     pub fn page_bytes(&self) -> u64 {
         self.page_bytes
     }
 
+    /// Device capacity in pages.
     pub fn capacity_pages(&self) -> usize {
         self.capacity_pages
     }
 
+    /// Pages currently device-resident.
     pub fn resident_pages(&self) -> usize {
         self.map.len()
     }
@@ -115,6 +121,7 @@ impl UnifiedMemory {
         self.faults
     }
 
+    /// Accesses served from device-resident pages.
     pub fn hits(&self) -> u64 {
         self.hits
     }

@@ -19,7 +19,10 @@ pub enum UvaAccessPattern {
     Sequential,
     /// Scattered accesses of `access_bytes` useful bytes each; every access
     /// still moves at least one full sector (and one bus transaction).
-    RandomSector { access_bytes: u64 },
+    RandomSector {
+        /// Useful bytes per scattered access.
+        access_bytes: u64,
+    },
 }
 
 impl UvaAccessPattern {

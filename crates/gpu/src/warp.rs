@@ -155,7 +155,7 @@ mod tests {
         let vals = lanes_from_fn(|i| i as u32);
         let (pre, total) = prefix_sum_exclusive(&vals);
         assert_eq!(pre[0], 0);
-        assert_eq!(pre[5], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(pre[5], 1 + 2 + 3 + 4);
         assert_eq!(total, (0..32).sum::<u32>());
     }
 
@@ -167,9 +167,9 @@ mod tests {
         // All 5 low bits may differ (values 0..32 share no partition bits).
         let bits: Vec<u32> = (0..5).collect();
         let masks = ballot_match(&r, &s, &bits, u32::MAX);
-        for lane in 0..WARP_SIZE {
+        for (lane, &mask) in masks.iter().enumerate() {
             // s[lane] = lane^1 equals exactly r[lane^1].
-            assert_eq!(masks[lane], 1 << (lane ^ 1), "lane {lane}");
+            assert_eq!(mask, 1 << (lane ^ 1), "lane {lane}");
         }
     }
 
@@ -179,9 +179,9 @@ mod tests {
         let r = lanes_from_fn(|i| 0xABCD_0000 | (i as u32 % 8));
         let s = lanes_from_fn(|i| 0xABCD_0000 | ((i as u32 + 1) % 8));
         let masks = ballot_match(&r, &s, &[0, 1, 2], u32::MAX);
-        for lane in 0..WARP_SIZE {
+        for (lane, &mask) in masks.iter().enumerate() {
             let want = (0..WARP_SIZE).filter(|&j| r[j] == s[lane]).fold(0u32, |m, j| m | (1 << j));
-            assert_eq!(masks[lane], want, "lane {lane}");
+            assert_eq!(mask, want, "lane {lane}");
         }
     }
 
@@ -191,8 +191,8 @@ mod tests {
         let s = lanes_from_fn(|_| 0u32);
         // Only the first 4 r lanes hold real data.
         let masks = ballot_match(&r, &s, &[0, 1], 0b1111);
-        for lane in 0..WARP_SIZE {
-            assert_eq!(masks[lane], 0b0001, "lane {lane}"); // r[0] == 0 only
+        for (lane, &mask) in masks.iter().enumerate() {
+            assert_eq!(mask, 0b0001, "lane {lane}"); // r[0] == 0 only
         }
     }
 

@@ -3,7 +3,7 @@
 //! The join algorithms in this workspace execute *functionally* (they really
 //! partition, build, probe and materialize), while the time they would take
 //! on the paper's hardware is computed by this engine. A strategy describes
-//! its execution as a DAG of [`Op`]s bound to [`Resource`]s (PCIe links, DMA
+//! its execution as a DAG of [`Op`]s bound to [`ResourceId`]s (PCIe links, DMA
 //! engines, GPU compute, socket memory buses, CPU threads); the engine then
 //! solves the schedule: every operation starts when its dependencies finish
 //! and its resource admits it, and runs at a rate determined by the

@@ -110,6 +110,37 @@ impl TraceExporter {
 
     /// Render `schedule` as a Chrome trace JSON document.
     pub fn to_json(&self, schedule: &Schedule) -> String {
+        assemble(self.schedule_events(schedule))
+    }
+
+    /// Render `schedule` plus the counter series of `counters` (its tracks
+    /// are ignored) as one Chrome trace document. This is how `--profile`
+    /// overlays hardware-counter tracks — bandwidth per direction,
+    /// occupancy — on a figure's schedule trace.
+    pub fn to_json_with_counters(&self, schedule: &Schedule, counters: &Timeline) -> String {
+        let mut events = self.schedule_events(schedule);
+        push_counter_events(counters, &mut events);
+        assemble(events)
+    }
+
+    /// Write the schedule-plus-counter-tracks trace to `path`.
+    pub fn write_with_counters(
+        &self,
+        schedule: &Schedule,
+        counters: &Timeline,
+        path: &Path,
+    ) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_with_counters(schedule, counters))
+    }
+
+    /// The event list of a schedule trace (metadata, spans, shared-resource
+    /// rate counters), before assembly into a document.
+    fn schedule_events(&self, schedule: &Schedule) -> Vec<String> {
         let mut events: Vec<String> = Vec::new();
         events.push(
             r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"hcj-sim"}}"#
@@ -185,15 +216,7 @@ impl TraceExporter {
                 micros(*bounds.last().expect("non-empty bounds")),
             ));
         }
-
-        let mut out = String::with_capacity(events.iter().map(|e| e.len() + 4).sum::<usize>() + 64);
-        out.push_str("{\"traceEvents\":[\n");
-        for (i, ev) in events.iter().enumerate() {
-            out.push_str(ev);
-            out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        events
     }
 
     /// Write the trace to `path`, creating parent directories as needed.
@@ -233,24 +256,8 @@ impl TraceExporter {
                 ));
             }
         }
-        for (name, points) in &timeline.counters {
-            let counter = json_string(name);
-            for (at, value) in points {
-                events.push(format!(
-                    r#"{{"name":{counter},"ph":"C","pid":0,"ts":{},"args":{{"value":{}}}}}"#,
-                    micros(*at),
-                    json_f64(*value),
-                ));
-            }
-        }
-        let mut out = String::with_capacity(events.iter().map(|e| e.len() + 4).sum::<usize>() + 64);
-        out.push_str("{\"traceEvents\":[\n");
-        for (i, ev) in events.iter().enumerate() {
-            out.push_str(ev);
-            out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        push_counter_events(timeline, &mut events);
+        assemble(events)
     }
 
     /// Write a [`Timeline`] to `path`, creating parent directories.
@@ -262,6 +269,32 @@ impl TraceExporter {
         }
         std::fs::write(path, self.timeline_to_json(timeline))
     }
+}
+
+/// Append one `ph: "C"` event per sample of every counter series.
+fn push_counter_events(timeline: &Timeline, events: &mut Vec<String>) {
+    for (name, points) in &timeline.counters {
+        let counter = json_string(name);
+        for (at, value) in points {
+            events.push(format!(
+                r#"{{"name":{counter},"ph":"C","pid":0,"ts":{},"args":{{"value":{}}}}}"#,
+                micros(*at),
+                json_f64(*value),
+            ));
+        }
+    }
+}
+
+/// Wrap an event list into the trace-document object.
+fn assemble(events: Vec<String>) -> String {
+    let mut out = String::with_capacity(events.iter().map(|e| e.len() + 4).sum::<usize>() + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
 }
 
 /// Microseconds with nanosecond precision (trace `ts`/`dur` unit).
@@ -532,6 +565,22 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("read timeline back");
         json::parse(&body).expect("written timeline must parse");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schedule_with_counter_overlay_merges_both() {
+        let schedule = sample_schedule();
+        let mut overlay = Timeline::new("counters");
+        let bw = overlay.counter("device-mem GB/s");
+        overlay.sample(bw, SimTime::ZERO, 120.0);
+        overlay.sample(bw, SimTime::from_nanos(50_000), 0.0);
+        let json = TraceExporter::new().to_json_with_counters(&schedule, &overlay);
+        json::parse(&json).expect("merged trace must parse as JSON");
+        assert!(json.contains("join0"), "schedule spans present");
+        assert!(json.contains("device-mem GB/s"), "overlay counters present");
+        // The overlay's tracks would collide with schedule tids; only its
+        // counter series are merged.
+        assert!(!json.contains("\"name\":\"counters\""));
     }
 
     #[test]
