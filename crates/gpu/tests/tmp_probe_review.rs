@@ -1,0 +1,23 @@
+use hcj_gpu::faults::FaultConfig;
+use hcj_gpu::spec::DeviceSpec;
+use hcj_gpu::stream::{Gpu, TransferKind};
+use hcj_gpu::RetryPolicy;
+use hcj_sim::Sim;
+
+#[test]
+fn probe_retry_branch() {
+    let cfg = FaultConfig { transfer_fault_p: 0.9, ..FaultConfig::disabled(12) };
+    let mut sim = Sim::new();
+    let mut g = Gpu::new(&mut sim, DeviceSpec::gtx1080());
+    g.arm_faults(cfg);
+    let mut s = g.stream();
+    let r = g.copy_h2d_retrying(
+        &mut sim,
+        &mut s,
+        "h2d r",
+        1_200_000_000,
+        TransferKind::Pinned,
+        &RetryPolicy::default(),
+    );
+    panic!("RESULT_IS_OK={}", r.is_ok());
+}
