@@ -4,6 +4,7 @@
 //! ```text
 //! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
 //!       [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]
+//!       [--cache] [--popularity-skew THETA]
 //! ```
 //!
 //! Drives N seeded closed-loop clients with mixed relation sizes, skews
@@ -29,18 +30,33 @@
 //! "everything completed" to "every request is accounted for (completed,
 //! deadline-exceeded or typed error), every finished request passed the
 //! oracle, and no internal invariant broke".
+//!
+//! `--cache` enables the device-resident build-side cache: requests whose
+//! build side matches a resident cached table (same catalog id and
+//! content version) skip the rebuild and probe it in place. `--popularity-
+//! skew THETA` switches the workload to skewed serving traffic: build
+//! sides drawn Zipf(THETA) from a catalog of 12 versioned dimension
+//! tables (one content update every 40 draws), the traffic the cache is
+//! for. The two compose — a skewed run without `--cache` is the baseline
+//! a cached run's counters are compared against.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hcj_core::GpuJoinConfig;
-use hcj_engines::service::{mixed_workload, JoinService, ServiceConfig};
-use hcj_engines::HcjEngine;
+use hcj_engines::service::{mixed_workload, skewed_workload, JoinService, ServiceConfig};
+use hcj_engines::{BuildCacheConfig, HcjEngine};
 use hcj_gpu::{DeviceSpec, FaultConfig};
 use hcj_sim::{SimTime, TraceExporter};
 
 const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
-                     [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]";
+                     [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR] \
+                     [--cache] [--popularity-skew THETA]";
+
+/// Catalog size of the skewed-popularity workload.
+const CATALOG_SIZE: usize = 12;
+/// One catalog relation receives a content update every this many draws.
+const BUMP_EVERY: usize = 40;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +68,8 @@ fn main() -> ExitCode {
     let mut chaos: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut cache = false;
+    let mut popularity_skew: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +146,19 @@ fn main() -> ExitCode {
                 };
                 trace_dir = Some(dir.into());
             }
+            "--cache" => cache = true,
+            "--popularity-skew" => {
+                i += 1;
+                let Some(v) = args
+                    .get(i)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                else {
+                    eprintln!("--popularity-skew needs a Zipf exponent >= 0 (0 = uniform)");
+                    return ExitCode::FAILURE;
+                };
+                popularity_skew = Some(v);
+            }
             other => {
                 eprintln!("unknown option `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -155,13 +186,22 @@ fn main() -> ExitCode {
     }
     let engine = HcjEngine::new(join_config);
     let deadline = deadline_ms.map(|ms| SimTime::from_nanos(ms * 1_000_000));
-    let service = JoinService::new(engine, ServiceConfig::default().with_deadline(deadline));
-    let workload = mixed_workload(clients, requests, base_tuples, seed);
+    let cache_config = cache.then(BuildCacheConfig::default);
+    let service = JoinService::new(
+        engine,
+        ServiceConfig::default().with_deadline(deadline).with_cache(cache_config),
+    );
+    let workload = match popularity_skew {
+        Some(theta) => {
+            skewed_workload(clients, requests, base_tuples, CATALOG_SIZE, theta, BUMP_EVERY, seed)
+        }
+        None => mixed_workload(clients, requests, base_tuples, seed),
+    };
     let total: usize = workload.iter().map(|c| c.requests.len()).sum();
 
     println!(
         "# hcj join service soak — seed {seed}, {clients} clients x {requests} requests, \
-         device {} KB, chaos {}, deadline {}",
+         device {} KB, chaos {}, deadline {}, cache {}, skew {}",
         device.device_mem_bytes >> 10,
         match chaos {
             Some(s) => format!("seed {s}"),
@@ -170,6 +210,11 @@ fn main() -> ExitCode {
         match deadline_ms {
             Some(ms) => format!("{ms} ms"),
             None => "none".into(),
+        },
+        if cache { "on" } else { "off" },
+        match popularity_skew {
+            Some(theta) => format!("zipf {theta}"),
+            None => "mixed".into(),
         },
     );
     let started = Instant::now();

@@ -32,6 +32,7 @@
 //! `hcj-host` (see DESIGN.md for the substitution argument).
 
 pub mod balance;
+pub mod cached_build;
 pub mod config;
 pub mod coprocess;
 pub mod gpu_resident;
@@ -45,6 +46,7 @@ pub mod radix;
 pub mod streamprobe;
 pub mod uva_exec;
 
+pub use cached_build::{CachedBuild, CachedBuildJoin};
 pub use config::{GpuJoinConfig, OutputMode, PassAssignment, ProbeKind};
 pub use coprocess::{CoProcessingConfig, CoProcessingJoin};
 pub use gpu_resident::GpuPartitionedJoin;

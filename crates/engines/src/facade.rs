@@ -149,6 +149,14 @@ impl HcjEngine {
         }
     }
 
+    /// Estimated peak device footprint of executing against an already
+    /// resident cached build: only the staged probe side plus its
+    /// partitions — the cached table's own bytes are covered by the
+    /// reservation its cache entry holds.
+    pub fn cached_probe_estimate(&self, probe: &Relation) -> u64 {
+        (probe.bytes() as f64 * (1.0 + self.pool_factor)) as u64
+    }
+
     /// Decide the strategy for the given input sizes (`r` is the build
     /// side; [`execute`](Self::execute) swaps so the smaller side builds).
     pub fn plan(&self, r: &Relation, s: &Relation) -> PlannedStrategy {

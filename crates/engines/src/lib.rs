@@ -21,17 +21,19 @@
 //! These are *models of published behaviour*, not re-implementations of
 //! proprietary systems; DESIGN.md records the substitution.
 
+pub mod cache;
 pub mod cogadb;
 pub mod dbmsx;
 pub mod facade;
 pub mod result;
 pub mod service;
 
+pub use cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTable};
 pub use cogadb::CoGaDbLike;
 pub use dbmsx::DbmsXLike;
 pub use facade::{HcjEngine, PlannedStrategy};
 pub use result::{EngineError, EngineResult};
 pub use service::{
-    mixed_workload, ClientSpec, JoinService, RequestMetrics, RequestSpec, ServiceConfig,
-    ServiceReport,
+    mixed_workload, skewed_workload, CacheRole, ClientSpec, JoinService, RequestMetrics,
+    RequestSpec, ServiceConfig, ServiceReport,
 };

@@ -50,15 +50,19 @@
 //!   retries and deadline cancellations.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
+use hcj_core::{CachedBuild, CachedBuildJoin};
 use hcj_gpu::{CounterRollup, DeviceMemory, FaultSummary, JoinError, Reservation};
 use hcj_host::pool::Pool;
 use hcj_sim::{SimTime, Timeline, TrackId};
+use hcj_workload::catalog::{BuildCatalog, BuildRef, PopularityStream};
 use hcj_workload::generate::{KeyDistribution, RelationSpec};
 use hcj_workload::oracle::JoinCheck;
 use hcj_workload::rng::{Rng, SmallRng};
 use hcj_workload::Relation;
 
+use crate::cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTable};
 use crate::facade::{HcjEngine, PlannedStrategy};
 
 /// Tuning of the service layer (the engine config rides in [`HcjEngine`]).
@@ -78,6 +82,9 @@ pub struct ServiceConfig {
     /// deadline. Expired requests cancel cleanly (reservation released,
     /// `deadline-exceeded` reported) wherever they are in the pipeline.
     pub deadline: Option<SimTime>,
+    /// Build-side cache policy; `None` disables the cache entirely (the
+    /// service then behaves byte-for-byte as before the cache existed).
+    pub cache: Option<BuildCacheConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +96,7 @@ impl Default for ServiceConfig {
             backoff_cap: SimTime::from_nanos(5_000_000), // 5 ms
             think_time: SimTime::from_nanos(10_000),   // 10 us
             deadline: None,
+            cache: None,
         }
     }
 }
@@ -97,6 +105,12 @@ impl ServiceConfig {
     /// Set (or clear) the per-request completion deadline.
     pub fn with_deadline(mut self, deadline: Option<SimTime>) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Enable (or disable) the device-resident build-side cache.
+    pub fn with_cache(mut self, cache: Option<BuildCacheConfig>) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -110,6 +124,11 @@ pub struct RequestSpec {
     pub r: RelationSpec,
     /// Probe-side relation recipe.
     pub s: RelationSpec,
+    /// Catalog identity of the build side, when the request joins against
+    /// a named, versioned relation ([`BuildRef`]). `None` means the build
+    /// side is anonymous and can never be cached. Only honoured when `r`
+    /// actually is the smaller (build) side.
+    pub build: Option<BuildRef>,
 }
 
 /// The request sequence of one closed-loop client.
@@ -159,12 +178,81 @@ pub fn mixed_workload(
                         payload_width: width,
                         seed: rs ^ 0x5DEE_CE66,
                     };
-                    RequestSpec { r, s }
+                    RequestSpec { r, s, build: None }
                 })
                 .collect();
             ClientSpec { requests }
         })
         .collect()
+}
+
+/// A seeded skewed-popularity serving workload over a shared
+/// [`BuildCatalog`]: `clients` closed-loop clients draw the build side of
+/// every request from a catalog of `catalog_size` dimension tables with
+/// Zipf(`theta`) popularity (catalog index 0 is the hottest), so the same
+/// few build sides recur across clients — the traffic shape the build
+/// cache exists for. Probe sides are fresh per request: 2–5x the build
+/// side, foreign keys uniform over the build side's *current* key domain.
+/// Every `bump_every`-th draw first updates the drawn relation (content
+/// version bump, key domain grows), so cached builds of the old version
+/// go stale mid-run; `bump_every = 0` disables updates.
+pub fn skewed_workload(
+    clients: usize,
+    per_client: usize,
+    base_tuples: usize,
+    catalog_size: usize,
+    theta: f64,
+    bump_every: usize,
+    seed: u64,
+) -> Vec<ClientSpec> {
+    let mut catalog = BuildCatalog::dimension_tables(catalog_size, base_tuples, seed);
+    let mut popularity = PopularityStream::new(catalog_size, theta, seed ^ 0xA5A5_5A5A);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0BAD_CAFE);
+    let mut specs: Vec<ClientSpec> = vec![ClientSpec::default(); clients];
+    // Draw slot-major (request 0 of every client, then request 1, ...):
+    // that interleaving approximates the order closed-loop clients reach
+    // each slot, so version bumps land mid-run for every client.
+    let mut draw = 0usize;
+    for _slot in 0..per_client {
+        for (client, spec) in specs.iter_mut().enumerate() {
+            draw += 1;
+            let idx = popularity.next_index();
+            if bump_every > 0 && draw % bump_every == 0 {
+                catalog.bump_version(idx);
+            }
+            let rel = *catalog.get(idx);
+            let s_tuples = rel.tuples() * rng.gen_range_u64(2, 5) as usize;
+            let s = RelationSpec {
+                tuples: s_tuples,
+                distribution: KeyDistribution::UniformFk { distinct: rel.tuples() as u64 },
+                payload_width: rel.payload_width,
+                seed: seed
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add((client as u64) << 24)
+                    .wrapping_add(draw as u64),
+            };
+            spec.requests.push(RequestSpec { r: rel.spec(), s, build: Some(rel.build_ref()) });
+        }
+    }
+    specs
+}
+
+/// How the build cache participated in a request's admission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheRole {
+    /// Cache disabled, or the request named no build relation (or the
+    /// named side was not actually the build side).
+    #[default]
+    None,
+    /// Reused a resident cached build: probe-only execution against the
+    /// pinned table.
+    Hit,
+    /// Missed; the execution built the table once and installed it for
+    /// later requests.
+    Install,
+    /// Missed without installing: the request was not going to run
+    /// GPU-resident, or it predates a fresher cached version.
+    Bypass,
 }
 
 /// Everything the service observed about one request.
@@ -204,6 +292,8 @@ pub struct RequestMetrics {
     /// Stable tag of the terminal error, when the request did not finish
     /// ([`JoinError::tag`]; `"deadline-exceeded"` for cancelled requests).
     pub error: Option<&'static str>,
+    /// How the build cache participated (decided at admission).
+    pub cache_role: CacheRole,
 }
 
 impl RequestMetrics {
@@ -241,6 +331,9 @@ pub struct ServiceReport {
     /// Broken "cannot happen" internal invariants, surfaced instead of
     /// panicking. Always empty in a healthy run.
     pub invariant_violations: Vec<String>,
+    /// Build-cache aggregate (`None` when the cache was disabled, so
+    /// uncached summaries stay byte-identical to pre-cache builds).
+    pub cache: Option<CacheReport>,
     /// The whole run as one Chrome-traceable timeline.
     pub timeline: Timeline,
 }
@@ -346,6 +439,17 @@ impl ServiceReport {
         line("device bytes", format!("{} B", c.device_bytes));
         line("h2d / d2h bytes", format!("{} B / {} B", c.h2d_bytes, c.d2h_bytes));
         line("coalescing efficiency", format!("{:.3}", c.coalescing_efficiency()));
+        if let Some(cache) = &self.cache {
+            let cc = cache.counters;
+            line("cache hits / misses", format!("{} / {}", cc.hits, cc.misses));
+            line("cache evictions", format!("{}", cc.evictions));
+            line("cache reclaims", format!("{} ({} B reclaimed)", cc.reclaims, cc.reclaimed_bytes));
+            line("cache invalidations", format!("{}", cc.invalidations));
+            line(
+                "cache peak / resident",
+                format!("{} B / {} B", cache.peak_bytes, cache.bytes_at_end),
+            );
+        }
         line("deadline exceeded", format!("{}", self.deadline_exceeded()));
         line("typed errors", format!("{}", self.errored()));
         line("invariant violations", format!("{}", self.invariant_violations.len()));
@@ -389,6 +493,14 @@ struct RequestState {
     eligible_at: SimTime,
     /// Held from admission to completion.
     reservation: Option<Reservation>,
+    /// Catalog identity of the build side, copied from the spec.
+    build: Option<BuildRef>,
+    /// On a cache hit: the pinned resident table, held from admission to
+    /// completion so eviction cannot free it mid-flight.
+    hit: Option<Arc<CachedTable>>,
+    /// On a cache miss that rebuilt: the table the execution produced,
+    /// installed into the cache at completion.
+    install: Option<CachedBuild>,
     /// Set exactly once, by `Complete` or by a deadline cancellation;
     /// whichever fires second sees the flag and becomes a no-op.
     done: bool,
@@ -439,6 +551,18 @@ impl JoinService {
         let device_counter = timeline.counter("device reserved (B)");
         let mut invariants: Vec<String> = Vec::new();
 
+        // The build-side cache. Entries hold real reservations against
+        // `device`, so admission control sees cached bytes like any
+        // tenant's working set; under pressure they are reclaimed in the
+        // admission wave below.
+        let mut cache = self
+            .config
+            .cache
+            .as_ref()
+            .map(|cfg| BuildCache::new(cfg.resolved_max_bytes(device.capacity())));
+        let cache_counter = cache.as_ref().map(|_| timeline.counter("build cache (B)"));
+        let mut cache_bytes_sampled = 0u64;
+
         for (c, client) in workload.iter().enumerate() {
             if !client.requests.is_empty() {
                 schedule(&mut calendar, SimTime::ZERO, Event::Submit { client: c, index: 0 });
@@ -484,12 +608,16 @@ impl JoinService {
                                 faults: FaultSummary::default(),
                                 counters: CounterRollup::default(),
                                 error: None,
+                                cache_role: CacheRole::None,
                             },
                             inputs: Some((r, s)),
                             level: planned,
                             attempts: 0,
                             eligible_at: now,
                             reservation: None,
+                            build: spec.build,
+                            hit: None,
+                            install: None,
                             done: false,
                         });
                         if queue.len() < self.config.queue_depth {
@@ -516,6 +644,9 @@ impl JoinService {
                         st.done = true;
                         st.metrics.completed_at = now;
                         st.reservation = None; // frees the accounted bytes
+                        st.hit = None; // unpin the cached table, if any
+                        let install = st.install.take();
+                        let bref = st.build;
                         makespan = makespan.max(now);
                         let m = &st.metrics;
                         if m.queue_wait() > SimTime::ZERO {
@@ -538,6 +669,13 @@ impl JoinService {
                         }
                         timeline.sample(device_counter, now, device.used() as f64);
                         let (client, index) = (st.metrics.client, st.metrics.index);
+                        // Install the table a cache-miss execution built,
+                        // now that the request's own working-set
+                        // reservation is released: policy evictions and
+                        // the table's device reservation happen here.
+                        if let (Some(c), Some(built), Some(b)) = (cache.as_mut(), install, bref) {
+                            c.insert(b, &device, built);
+                        }
                         if index + 1 < workload[client].requests.len() {
                             schedule(
                                 &mut calendar,
@@ -557,6 +695,8 @@ impl JoinService {
                         // the expired request stops occupying the device.
                         st.done = true;
                         st.reservation = None;
+                        st.hit = None;
+                        st.install = None;
                         st.inputs = None;
                         st.metrics.completed_at = now;
                         st.metrics.error = Some(
@@ -617,12 +757,81 @@ impl JoinService {
                     return false;
                 };
                 let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
-                let estimate = self.engine.footprint_estimate(st.level, build, probe);
-                match device.reserve(estimate) {
+                // Cache consultation. Only requests that name their build
+                // relation — and whose named side (`spec.r`) actually is
+                // the build side — participate; a stale entry is
+                // invalidated the moment it is observed.
+                let bref = if r.len() <= s.len() { st.build } else { None };
+                let mut role = CacheRole::None;
+                if let (Some(c), Some(b)) = (cache.as_mut(), bref) {
+                    let on_miss = if st.level == PlannedStrategy::GpuResident {
+                        CacheRole::Install
+                    } else {
+                        CacheRole::Bypass
+                    };
+                    role = match c.peek(b) {
+                        CachePeek::Hit => CacheRole::Hit,
+                        CachePeek::Stale => {
+                            c.invalidate(b.id);
+                            on_miss
+                        }
+                        CachePeek::Miss => on_miss,
+                        CachePeek::Newer => CacheRole::Bypass,
+                    };
+                }
+                // A hit reserves only the probe-side footprint — the
+                // cached table's bytes are already reserved by its entry.
+                let estimate = match role {
+                    CacheRole::Hit => self.engine.cached_probe_estimate(probe),
+                    _ => self.engine.footprint_estimate(st.level, build, probe),
+                };
+                // On a hit, the entry about to be reused must survive the
+                // reclaim that makes room for its own probe.
+                let protect = if role == CacheRole::Hit { bref.map(|b| b.id) } else { None };
+                let reserved = device.reserve(estimate).or_else(|err| {
+                    // Cached bytes are reclaimable, not tenants: evict
+                    // cold entries and retry once before treating the
+                    // rejection as pressure (backoff / degradation).
+                    match cache.as_mut() {
+                        Some(c) => {
+                            if c.reclaim(&device, estimate, protect) {
+                                device.reserve(estimate)
+                            } else {
+                                Err(err)
+                            }
+                        }
+                        None => Err(err),
+                    }
+                });
+                match reserved {
                     Ok(res) => {
                         st.reservation = Some(res);
                         st.metrics.admitted_at = now;
                         st.metrics.device_used_at_admit = device.used();
+                        // Record the cache outcome once, at successful
+                        // admission, so backoff retries don't inflate the
+                        // hit/miss counts.
+                        if let Some(c) = cache.as_mut() {
+                            match role {
+                                CacheRole::Hit => match bref.and_then(|b| c.hit(b.id)) {
+                                    Some(table) => st.hit = Some(table),
+                                    None => {
+                                        // "Cannot happen": the entry was
+                                        // peeked in this same wave. Degrade
+                                        // to a bypass instead of panicking.
+                                        invariants.push(format!(
+                                            "cache hit for request {id} vanished before \
+                                             pinning at {now}"
+                                        ));
+                                        role = CacheRole::Bypass;
+                                        c.miss();
+                                    }
+                                },
+                                CacheRole::Install | CacheRole::Bypass => c.miss(),
+                                CacheRole::None => {}
+                            }
+                        }
+                        st.metrics.cache_role = role;
                         batch.push(id);
                         false
                     }
@@ -651,6 +860,15 @@ impl JoinService {
                 schedule(&mut calendar, at, Event::Retry);
             }
 
+            // Track resident cached bytes (installs, evictions, reclaims
+            // and invalidations all land by this point in the iteration).
+            if let (Some(c), Some(counter)) = (cache.as_ref(), cache_counter) {
+                if c.bytes() != cache_bytes_sampled {
+                    cache_bytes_sampled = c.bytes();
+                    timeline.sample(counter, now, cache_bytes_sampled as f64);
+                }
+            }
+
             if batch.is_empty() {
                 continue;
             }
@@ -669,6 +887,9 @@ impl JoinService {
                 /// for timeline markers at service time.
                 fault_marks: Vec<(SimTime, String)>,
                 error: Option<&'static str>,
+                /// The build a cache-miss execution produced, for
+                /// installation at completion.
+                install: Option<CachedBuild>,
                 /// A broken invariant observed inside the (possibly
                 /// parallel) execution closure, reported typed.
                 invariant: Option<String>,
@@ -696,11 +917,51 @@ impl JoinService {
                         counters: CounterRollup::default(),
                         fault_marks: Vec::new(),
                         error: Some(JoinError::Internal { detail: String::new() }.tag()),
+                        install: None,
                         invariant: Some(format!("admitted request {id} has no inputs")),
                     };
                 };
                 let expected = JoinCheck::compute(r, s);
-                match engine.execute_from(st.level, r, s) {
+                // Cache-aware execution. A hit probes the pinned resident
+                // table — no rebuild, no build-side transfer. Everything
+                // else with a *named* build side running GPU-resident
+                // takes the staged cold path (inputs arrive from the host
+                // per request, so their h2d traffic is modeled whether or
+                // not the cache is on — a cached and an uncached run of
+                // the same stream compare counter-for-counter); only an
+                // `Install` keeps the table it built. Unnamed or degraded
+                // requests execute the regular ladder. A failing cached
+                // path falls back onto that ladder too, so it degrades
+                // exactly like an uncached request. Admission guaranteed
+                // `r` is the build side whenever a cache role is set.
+                let role = st.metrics.cache_role;
+                let named_build = st.build.is_some() && r.len() <= s.len();
+                let staged = named_build && st.level == PlannedStrategy::GpuResident;
+                let mut install: Option<CachedBuild> = None;
+                let attempt = if let (CacheRole::Hit, Some(table)) = (role, st.hit.as_ref()) {
+                    CachedBuildJoin::new(engine.config.clone())
+                        .execute_hot(&table.build, s)
+                        .map(|o| (PlannedStrategy::GpuResident, o))
+                } else if staged {
+                    CachedBuildJoin::new(engine.config.clone()).execute_cold(r, s).map(
+                        |(o, built)| {
+                            if role == CacheRole::Install {
+                                install = Some(built);
+                            }
+                            (PlannedStrategy::GpuResident, o)
+                        },
+                    )
+                } else {
+                    engine.execute_from(st.level, r, s)
+                };
+                let attempt = match attempt {
+                    Err(_) if role == CacheRole::Hit || staged => {
+                        install = None;
+                        engine.execute_from(st.level, r, s)
+                    }
+                    other => other,
+                };
+                match attempt {
                     Ok((strategy, outcome)) => Executed {
                         strategy: Some(strategy),
                         check: outcome.check,
@@ -722,6 +983,7 @@ impl JoinService {
                             })
                             .collect(),
                         error: None,
+                        install,
                         invariant: None,
                     },
                     Err(err) => Executed {
@@ -733,6 +995,7 @@ impl JoinService {
                         counters: CounterRollup::default(),
                         fault_marks: Vec::new(),
                         error: Some(err.tag()),
+                        install: None,
                         invariant: None,
                     },
                 }
@@ -745,11 +1008,28 @@ impl JoinService {
                 st.metrics.faults = exec.faults;
                 st.metrics.counters = exec.counters;
                 st.metrics.error = exec.error;
+                st.install = exec.install;
+                // Per-request cache rollup: a hit is one hit, either kind
+                // of miss is one miss (the service-level counters in the
+                // cache itself aggregate the same events).
+                match st.metrics.cache_role {
+                    CacheRole::Hit => st.metrics.counters.cache.hits = 1,
+                    CacheRole::Install | CacheRole::Bypass => st.metrics.counters.cache.misses = 1,
+                    CacheRole::None => {}
+                }
                 if let Some(v) = exec.invariant {
                     invariants.push(v);
                 }
                 let admitted = st.metrics.admitted_at;
                 let track = tracks[st.metrics.client];
+                if st.metrics.cache_role == CacheRole::Hit && st.metrics.error.is_none() {
+                    timeline.instant(
+                        track,
+                        format!("cache hit r{}.{}", st.metrics.client, st.metrics.index),
+                        10,
+                        admitted,
+                    );
+                }
                 for (offset, label) in exec.fault_marks {
                     timeline.instant(track, label, 8, admitted + offset);
                 }
@@ -758,15 +1038,22 @@ impl JoinService {
             }
         }
 
-        // Drop any reservation a broken invariant might have stranded,
-        // then audit: a healthy loop leaves zero bytes reserved.
-        requests.iter_mut().for_each(|st| st.reservation = None);
+        // Capture the cache aggregate, then drop the cache (and any
+        // stranded pins/reservations) so cached bytes release before the
+        // leak audit: a healthy loop leaves zero bytes reserved.
+        let cache_report = cache.as_ref().map(|c| c.report());
+        drop(cache);
+        requests.iter_mut().for_each(|st| {
+            st.reservation = None;
+            st.hit = None;
+        });
         ServiceReport {
             makespan,
             device_peak: device.peak(),
             device_capacity: device.capacity(),
             device_used_at_end: device.used(),
             invariant_violations: invariants,
+            cache: cache_report,
             timeline,
             requests: requests.into_iter().map(|st| st.metrics).collect(),
         }
@@ -796,6 +1083,7 @@ mod tests {
             requests: vec![RequestSpec {
                 r: RelationSpec::unique(2_000, 1),
                 s: RelationSpec::unique(2_000, 2),
+                build: None,
             }],
         }];
         let report = svc.run(&workload);

@@ -199,6 +199,57 @@ struct LaunchSample {
     occupancy: Option<f64>,
 }
 
+/// Build-side cache activity, in the same "count what the hardware layer
+/// observed" spirit as the kernel/transfer counters. The serving layer's
+/// device-resident hash-table cache records here so `repro --profile`
+/// tables, profile JSON, and the serve rollups all carry cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Requests served from a cached build-side table (rebuild skipped).
+    pub hits: u64,
+    /// Cache consultations that found no reusable entry.
+    pub misses: u64,
+    /// Entries evicted by the cache's own capacity policy (cost-aware
+    /// LRU at install time).
+    pub evictions: u64,
+    /// Entries evicted because device admission control needed the bytes
+    /// back (memory-pressure reclaim, including `--chaos` capacity
+    /// shrinks).
+    pub reclaims: u64,
+    /// Entries dropped because their relation's content version bumped.
+    pub invalidations: u64,
+    /// Device bytes released by pressure reclaims.
+    pub reclaimed_bytes: u64,
+}
+
+impl CacheCounters {
+    /// Accumulate another set of cache counters into this one.
+    pub fn absorb(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.reclaims += other.reclaims;
+        self.invalidations += other.invalidations;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+    }
+
+    /// True when no cache activity was recorded (e.g. the cache is off).
+    pub fn is_empty(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+
+    /// Hit rate over all consultations (0 when the cache was never
+    /// consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A compact per-request rollup of a [`CounterSet`], cheap enough to keep
 /// per request in the join service's metrics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -217,6 +268,8 @@ pub struct CounterRollup {
     pub issued_transactions: u64,
     /// Coalesced-minimum transactions, across all kernels.
     pub minimum_transactions: u64,
+    /// Build-side cache activity attributed to this request/run.
+    pub cache: CacheCounters,
 }
 
 impl CounterRollup {
@@ -229,6 +282,7 @@ impl CounterRollup {
         self.d2h_bytes += other.d2h_bytes;
         self.issued_transactions += other.issued_transactions;
         self.minimum_transactions += other.minimum_transactions;
+        self.cache.absorb(&other.cache);
     }
 
     /// Aggregate coalescing efficiency (1.0 when no device traffic).
@@ -255,6 +309,9 @@ pub struct CounterSet {
     pub h2d: TransferStats,
     /// Device→host transfer totals.
     pub d2h: TransferStats,
+    /// Build-side cache activity (recorded by the serving layer; always
+    /// zero for standalone strategy executions).
+    pub cache: CacheCounters,
     samples: Vec<LaunchSample>,
 }
 
@@ -378,6 +435,7 @@ impl CounterSet {
             mine.pageable_bytes += theirs.pageable_bytes;
             mine.seconds += theirs.seconds;
         }
+        self.cache.absorb(&other.cache);
         self.samples.extend(other.samples.iter().copied());
     }
 
@@ -404,6 +462,7 @@ impl CounterSet {
         roll.transfers = self.h2d.transfers + self.d2h.transfers;
         roll.h2d_bytes = self.h2d.bytes;
         roll.d2h_bytes = self.d2h.bytes;
+        roll.cache = self.cache;
         roll
     }
 
@@ -464,6 +523,13 @@ impl CounterSet {
                 dir.achieved_bandwidth() / 1e9,
             );
         }
+        let cc = &self.cache;
+        let _ = writeln!(
+            out,
+            "cache: {} hit(s), {} miss(es), {} eviction(s), {} reclaim(s) ({} B), {} \
+             invalidation(s)",
+            cc.hits, cc.misses, cc.evictions, cc.reclaims, cc.reclaimed_bytes, cc.invalidations,
+        );
         out
     }
 
@@ -538,6 +604,19 @@ impl CounterSet {
                 json_f64(dir.seconds),
             );
         }
+        let cc = &self.cache;
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"reclaims\": {}, \
+             \"invalidations\": {}, \"reclaimed_bytes\": {}, \"hit_rate\": {} }},",
+            cc.hits,
+            cc.misses,
+            cc.evictions,
+            cc.reclaims,
+            cc.invalidations,
+            cc.reclaimed_bytes,
+            json_f64(cc.hit_rate()),
+        );
         let roll = self.rollup();
         let _ = writeln!(
             out,
@@ -781,12 +860,38 @@ mod tests {
             d2h_bytes: 1,
             issued_transactions: 8,
             minimum_transactions: 4,
+            cache: CacheCounters { hits: 3, misses: 1, ..CacheCounters::default() },
         };
         a.absorb(&a.clone());
         assert_eq!(a.kernel_launches, 2);
         assert_eq!(a.device_bytes, 20);
+        assert_eq!(a.cache.hits, 6);
+        assert_eq!(a.cache.misses, 2);
         assert_eq!(a.coalescing_efficiency(), 0.5);
         assert_eq!(CounterRollup::default().coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn cache_counters_absorb_and_render() {
+        let mut set = CounterSet::for_device(&spec());
+        set.cache =
+            CacheCounters { hits: 5, misses: 3, evictions: 2, reclaims: 1, ..Default::default() };
+        set.cache.reclaimed_bytes = 4096;
+        set.cache.invalidations = 1;
+        assert!((set.cache.hit_rate() - 5.0 / 8.0).abs() < 1e-12);
+        assert!(!set.cache.is_empty());
+        assert!(CacheCounters::default().is_empty());
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+        let roll = set.rollup();
+        assert_eq!(roll.cache.hits, 5);
+        let table = set.render_table();
+        assert!(table.contains("cache: 5 hit(s), 3 miss(es), 2 eviction(s), 1 reclaim(s)"));
+        let json = set.to_json();
+        assert!(json.contains("\"cache\": { \"hits\": 5, \"misses\": 3"));
+        let mut other = CounterSet::for_device(&spec());
+        other.absorb(&set);
+        assert_eq!(other.cache.hits, 5);
+        assert_eq!(other.cache.reclaimed_bytes, 4096);
     }
 
     #[test]

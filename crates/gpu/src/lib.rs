@@ -43,7 +43,9 @@ pub mod uva;
 pub mod warp;
 
 pub use cost::KernelCost;
-pub use counters::{CounterRollup, CounterSet, KernelStats, LaunchShape, TransferStats};
+pub use counters::{
+    CacheCounters, CounterRollup, CounterSet, KernelStats, LaunchShape, TransferStats,
+};
 pub use error::{ErrorClass, JoinError};
 pub use faults::{
     DeviceFault, FaultConfig, FaultEvent, FaultEventKind, FaultKind, FaultLog, FaultPlan,

@@ -1,0 +1,69 @@
+//! Regression test for the retry-exhaustion branch of
+//! `Gpu::copy_h2d_retrying`. A PR 5 review probe (`tmp_probe_review.rs`)
+//! poked this branch with an unconditional `panic!` and was accidentally
+//! left in the tree, keeping tier-1 red; this is the real, deterministic
+//! test it should have been: under a near-certain per-attempt transfer
+//! fault the retry loop must exhaust its [`RetryPolicy`] and surface a
+//! *typed transient* [`JoinError`] — never panic, never report success.
+
+use hcj_gpu::faults::FaultConfig;
+use hcj_gpu::spec::DeviceSpec;
+use hcj_gpu::stream::{Gpu, TransferKind};
+use hcj_gpu::{JoinError, RetryPolicy};
+use hcj_sim::Sim;
+
+/// Seed pinned so the fault stream is reproducible: at
+/// `transfer_fault_p = 0.9` every one of the policy's 4 attempts faults
+/// for seed 12, so the copy exhausts its retries.
+#[test]
+fn h2d_retry_exhaustion_is_a_typed_transient_error() {
+    let cfg = FaultConfig { transfer_fault_p: 0.9, ..FaultConfig::disabled(12) };
+    let mut sim = Sim::new();
+    let mut g = Gpu::new(&mut sim, DeviceSpec::gtx1080());
+    g.arm_faults(cfg);
+    let mut s = g.stream();
+    let policy = RetryPolicy::default();
+    let r = g.copy_h2d_retrying(
+        &mut sim,
+        &mut s,
+        "h2d r",
+        1_200_000_000,
+        TransferKind::Pinned,
+        &policy,
+    );
+    let err = match r {
+        Err(err) => err,
+        Ok(ok) => panic!("expected retry exhaustion, got success after {} retries", ok.retries),
+    };
+    assert!(err.is_transient(), "exhaustion surfaces the last transient fault: {err}");
+    assert!(!err.is_device_lost(), "a faulted transfer is not a lost device");
+    assert_eq!(err.tag(), "device-fault");
+    assert!(matches!(err, JoinError::Device(_)), "typed device-layer error: {err:?}");
+    // The retry loop really ran: all `max_attempts` tries are in the
+    // fault log as transfer faults before the typed error came back.
+    let schedule = sim.run();
+    let faults = g.fault_log(&schedule).summary();
+    assert_eq!(faults.transfer_faults, policy.max_attempts);
+    assert_eq!(faults.retries, policy.max_attempts - 1);
+}
+
+/// Control: the identical copy with the fault layer disabled succeeds on
+/// the first attempt — the exhaustion above is the fault stream's doing,
+/// not a property of the transfer itself.
+#[test]
+fn same_copy_without_faults_succeeds_first_try() {
+    let mut sim = Sim::new();
+    let g = Gpu::new(&mut sim, DeviceSpec::gtx1080());
+    let mut s = g.stream();
+    let r = g
+        .copy_h2d_retrying(
+            &mut sim,
+            &mut s,
+            "h2d r",
+            1_200_000_000,
+            TransferKind::Pinned,
+            &RetryPolicy::default(),
+        )
+        .expect("unfaulted transfer succeeds");
+    assert_eq!(r.retries, 0);
+}

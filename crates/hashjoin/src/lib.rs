@@ -55,12 +55,14 @@ pub use hcj_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use hcj_core::{
-        CoProcessingConfig, CoProcessingJoin, GpuJoinConfig, GpuPartitionedJoin, JoinOutcome,
-        OutputMode, PassAssignment, Phase, ProbeKind, StreamedProbeConfig, StreamedProbeJoin,
+        CachedBuild, CachedBuildJoin, CoProcessingConfig, CoProcessingJoin, GpuJoinConfig,
+        GpuPartitionedJoin, JoinOutcome, OutputMode, PassAssignment, Phase, ProbeKind,
+        StreamedProbeConfig, StreamedProbeJoin,
     };
     pub use hcj_cpu_join::{NpoJoin, ProJoin};
     pub use hcj_engines::{
-        mixed_workload, ClientSpec, CoGaDbLike, DbmsXLike, HcjEngine, JoinService, PlannedStrategy,
+        mixed_workload, skewed_workload, BuildCache, BuildCacheConfig, CachePeek, CacheReport,
+        CacheRole, ClientSpec, CoGaDbLike, DbmsXLike, HcjEngine, JoinService, PlannedStrategy,
         RequestSpec, ServiceConfig, ServiceReport,
     };
     pub use hcj_gpu::{DeviceSpec, ErrorClass, FaultConfig, FaultSummary, JoinError, RetryPolicy};
@@ -68,7 +70,10 @@ pub mod prelude {
     pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};
     pub use hcj_workload::generate::canonical_pair;
     pub use hcj_workload::oracle::{reference_join, JoinCheck};
-    pub use hcj_workload::{KeyDistribution, Relation, RelationSpec, Tuple};
+    pub use hcj_workload::{
+        BuildCatalog, BuildRef, CatalogRelation, KeyDistribution, PopularityStream, Relation,
+        RelationSpec, Tuple,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,201 @@
+//! A catalog of named, versioned build relations for serving workloads.
+//!
+//! Production join traffic is heavily skewed toward a few dimension
+//! tables; the serving layer's build-side cache only matters if requests
+//! actually *name* the relation they join against, so reuse is
+//! identifiable. This module provides that identity: a [`BuildCatalog`]
+//! of [`CatalogRelation`]s, each addressed by a stable id plus a content
+//! version, and a Zipf [`PopularityStream`] for drawing which relation
+//! the next request wants (rank 1 = hottest).
+//!
+//! **Version bumps change the content, observably.** A bump grows the
+//! relation by [`VERSION_GROWTH_TUPLES`] unique keys (and reshuffles).
+//! Growing the key domain — rather than just reseeding the shuffle — is
+//! deliberate: two unique-key relations of equal cardinality contain the
+//! *same key set*, so a stale cached build of the old version would pass
+//! every oracle check. With the domain grown, probe keys drawn over the
+//! new domain miss in a stale table and the join check diverges — cache
+//! invalidation bugs fail tests instead of hiding.
+
+use crate::generate::RelationSpec;
+use crate::rng::{Rng, SmallRng};
+use crate::zipf::ZipfSampler;
+
+/// Tuples added to a catalog relation per content-version bump.
+pub const VERSION_GROWTH_TUPLES: usize = 64;
+
+/// What a request's build side refers to: which catalog relation, at
+/// which content version. The cache key of the serving layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BuildRef {
+    /// Stable catalog identity of the relation.
+    pub id: u64,
+    /// Content version the request was generated against; a cached build
+    /// of an older version is stale and must be invalidated.
+    pub version: u64,
+}
+
+/// One named build relation of the catalog, at its current version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatalogRelation {
+    /// Stable identity (the cache key, with `version`).
+    pub id: u64,
+    /// Current content version; starts at 0, bumped by updates.
+    pub version: u64,
+    /// Cardinality at version 0; the current cardinality grows with the
+    /// version (see [`VERSION_GROWTH_TUPLES`]).
+    pub base_tuples: usize,
+    /// Logical payload width in bytes.
+    pub payload_width: u32,
+    /// Generation seed of the version-0 content.
+    pub seed: u64,
+}
+
+impl CatalogRelation {
+    /// Current cardinality: the base plus the growth of every bump.
+    pub fn tuples(&self) -> usize {
+        self.base_tuples + VERSION_GROWTH_TUPLES * self.version as usize
+    }
+
+    /// The cache key of this relation at its current version.
+    pub fn build_ref(&self) -> BuildRef {
+        BuildRef { id: self.id, version: self.version }
+    }
+
+    /// Generator spec of the current content: unique keys over the
+    /// version's (grown) domain, reshuffled per version.
+    pub fn spec(&self) -> RelationSpec {
+        RelationSpec::unique(
+            self.tuples(),
+            self.seed ^ self.version.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+        .with_payload_width(self.payload_width)
+    }
+}
+
+/// A deterministic catalog of versioned build relations.
+#[derive(Clone, Debug)]
+pub struct BuildCatalog {
+    relations: Vec<CatalogRelation>,
+}
+
+impl BuildCatalog {
+    /// `n` dimension tables with cardinalities in `[base, 3*base]`, all
+    /// derived from `seed`. Ids are `0..n`; every relation starts at
+    /// version 0.
+    pub fn dimension_tables(n: usize, base_tuples: usize, seed: u64) -> Self {
+        assert!(n >= 1, "a catalog needs at least one relation");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+        let relations = (0..n)
+            .map(|id| CatalogRelation {
+                id: id as u64,
+                version: 0,
+                base_tuples: base_tuples * rng.gen_range_u64(1, 3) as usize,
+                payload_width: 4,
+                seed: seed.wrapping_mul(0x100_0000_01B3).wrapping_add(id as u64),
+            })
+            .collect();
+        BuildCatalog { relations }
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog holds no relations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The relation at catalog index `idx` (not id — though they coincide
+    /// for [`BuildCatalog::dimension_tables`]).
+    pub fn get(&self, idx: usize) -> &CatalogRelation {
+        &self.relations[idx]
+    }
+
+    /// A content update: bump the version of the relation at `idx`. Its
+    /// key domain grows and reshuffles; cached builds of the old version
+    /// are stale from this point on.
+    pub fn bump_version(&mut self, idx: usize) {
+        self.relations[idx].version += 1;
+    }
+}
+
+/// A Zipf-skewed stream of catalog indices: which relation the next
+/// request's build side is (rank 1, index 0 = the hottest relation).
+#[derive(Clone, Debug)]
+pub struct PopularityStream {
+    zipf: ZipfSampler,
+    rng: SmallRng,
+}
+
+impl PopularityStream {
+    /// Draw over `n` relations with Zipf exponent `theta` (`0` =
+    /// uniform), seeded for reproducibility.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        PopularityStream {
+            zipf: ZipfSampler::new(n as u64, theta),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The catalog index of the next request's build relation.
+    pub fn next_index(&mut self) -> usize {
+        (self.zipf.sample(&mut self.rng) - 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_is_deterministic_and_sized() {
+        let a = BuildCatalog::dimension_tables(8, 1_000, 7);
+        let b = BuildCatalog::dimension_tables(8, 1_000, 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.len(), 8);
+        assert!(!a.is_empty());
+        for idx in 0..a.len() {
+            let rel = a.get(idx);
+            assert_eq!(rel.id, idx as u64);
+            assert_eq!(rel.version, 0);
+            assert!((1_000..=3_000).contains(&rel.tuples()));
+        }
+        let sizes: HashSet<usize> = (0..a.len()).map(|i| a.get(i).tuples()).collect();
+        assert!(sizes.len() > 1, "cardinalities vary: {sizes:?}");
+    }
+
+    #[test]
+    fn version_bump_grows_the_key_domain() {
+        let mut cat = BuildCatalog::dimension_tables(2, 500, 3);
+        let before = *cat.get(1);
+        cat.bump_version(1);
+        let after = *cat.get(1);
+        assert_eq!(after.version, before.version + 1);
+        assert_eq!(after.tuples(), before.tuples() + VERSION_GROWTH_TUPLES);
+        assert_ne!(after.build_ref(), before.build_ref());
+        assert_eq!(after.build_ref().id, before.build_ref().id);
+        // The new content has keys the old content lacks.
+        let old_keys: HashSet<u32> = before.spec().generate().keys.iter().copied().collect();
+        let new_keys: HashSet<u32> = after.spec().generate().keys.iter().copied().collect();
+        assert!(new_keys.len() > old_keys.len());
+        assert!(old_keys.is_subset(&new_keys));
+    }
+
+    #[test]
+    fn popularity_stream_is_skewed_and_deterministic() {
+        let draw = |seed| {
+            let mut s = PopularityStream::new(8, 1.0, seed);
+            (0..500).map(|_| s.next_index()).collect::<Vec<usize>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        let seq = draw(9);
+        assert!(seq.iter().all(|&i| i < 8));
+        let head = seq.iter().filter(|&&i| i == 0).count();
+        let tail = seq.iter().filter(|&&i| i == 7).count();
+        assert!(head > 3 * tail.max(1), "rank 1 dominates: head={head} tail={tail}");
+    }
+}

@@ -17,6 +17,7 @@
 //! late-materialization traffic changes; [`Relation::payload_width`]
 //! records the logical width.
 
+pub mod catalog;
 pub mod generate;
 pub mod oracle;
 pub mod relation;
@@ -24,6 +25,7 @@ pub mod rng;
 pub mod tpch;
 pub mod zipf;
 
+pub use catalog::{BuildCatalog, BuildRef, CatalogRelation, PopularityStream};
 pub use generate::{KeyDistribution, RelationSpec};
 pub use oracle::{reference_join, JoinCheck};
 pub use relation::{Relation, Tuple};
