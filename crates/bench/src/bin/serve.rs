@@ -4,7 +4,7 @@
 //! ```text
 //! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
 //!       [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]
-//!       [--cache] [--popularity-skew THETA]
+//!       [--cache] [--popularity-skew THETA] [--plan {chain|star}]
 //! ```
 //!
 //! Drives N seeded closed-loop clients with mixed relation sizes, skews
@@ -39,137 +39,211 @@
 //! tables (one content update every 40 draws), the traffic the cache is
 //! for. The two compose — a skewed run without `--cache` is the baseline
 //! a cached run's counters are compared against.
+//!
+//! `--plan {chain|star}` switches every request to a whole 2–4-join query
+//! plan executed as an operator DAG on the service: dimension sides drawn
+//! with Zipf popularity from the same catalog (THETA from
+//! `--popularity-skew`, default 0.75), intermediates pinned device-
+//! resident when they fit or spilled to the host, named build sides
+//! consulting the cache when `--cache` is on. The summary gains plan
+//! lines (requests, ops, pinned/spilled intermediates) and stays
+//! byte-identical across `--jobs` counts.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hcj_core::GpuJoinConfig;
-use hcj_engines::service::{mixed_workload, skewed_workload, JoinService, ServiceConfig};
+use hcj_engines::service::{
+    mixed_workload, plan_workload, skewed_workload, JoinService, PlanShape, ServiceConfig,
+};
 use hcj_engines::{BuildCacheConfig, HcjEngine};
 use hcj_gpu::{DeviceSpec, FaultConfig};
 use hcj_sim::{SimTime, TraceExporter};
 
 const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
                      [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR] \
-                     [--cache] [--popularity-skew THETA]";
+                     [--cache] [--popularity-skew THETA] [--plan {chain|star}]";
 
-/// Catalog size of the skewed-popularity workload.
+/// Catalog size of the skewed-popularity and plan workloads.
 const CATALOG_SIZE: usize = 12;
 /// One catalog relation receives a content update every this many draws.
 const BUMP_EVERY: usize = 40;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 1u64;
-    let mut quick = false;
-    let mut clients = 16usize;
-    let mut requests = 25usize;
-    let mut capacity_div = 1u64 << 14; // 512 KB of the 8 GB part
-    let mut chaos: Option<u64> = None;
-    let mut deadline_ms: Option<u64> = None;
-    let mut trace_dir: Option<std::path::PathBuf> = None;
-    let mut cache = false;
-    let mut popularity_skew: Option<f64> = None;
+/// Everything the command line can configure, parsed before any of it is
+/// acted on. Parsing is pure: a bad later flag must not leave earlier
+/// flags half-applied (`--jobs` used to mutate the global pool from
+/// inside the parse loop).
+#[derive(Debug, PartialEq)]
+struct Opts {
+    seed: u64,
+    quick: bool,
+    jobs: Option<usize>,
+    clients: usize,
+    requests: usize,
+    capacity_div: u64,
+    chaos: Option<u64>,
+    deadline_ms: Option<u64>,
+    trace_dir: Option<std::path::PathBuf>,
+    cache: bool,
+    popularity_skew: Option<f64>,
+    plan: Option<PlanShape>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seed: 1,
+            quick: false,
+            jobs: None,
+            clients: 16,
+            requests: 25,
+            capacity_div: 1 << 14, // 512 KB of the 8 GB part
+            chaos: None,
+            deadline_ms: None,
+            trace_dir: None,
+            cache: false,
+            popularity_skew: None,
+            plan: None,
+        }
+    }
+}
+
+/// Parse the argument list into [`Opts`] without touching any global
+/// state. `Err` carries the message to print; the caller decides what to
+/// do about it (and only applies side effects after an `Ok`).
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => quick = true,
+            "--quick" => opts.quick = true,
             "--seed" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
-                    eprintln!("--seed needs an integer");
-                    return ExitCode::FAILURE;
-                };
-                seed = v;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--seed needs an integer")?;
+                opts.seed = v;
             }
             "--jobs" => {
                 i += 1;
-                let Some(v) = args
+                let v = args
                     .get(i)
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|v| (1..=256).contains(v))
-                else {
-                    eprintln!("--jobs needs an integer between 1 and 256");
-                    return ExitCode::FAILURE;
-                };
-                hcj_host::pool::set_jobs(v);
+                    .ok_or("--jobs needs an integer between 1 and 256")?;
+                opts.jobs = Some(v);
             }
             "--clients" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()).filter(|&v| v >= 1)
-                else {
-                    eprintln!("--clients needs a positive integer");
-                    return ExitCode::FAILURE;
-                };
-                clients = v;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v >= 1)
+                    .ok_or("--clients needs a positive integer")?;
+                opts.clients = v;
             }
             "--requests" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()).filter(|&v| v >= 1)
-                else {
-                    eprintln!("--requests needs a positive integer (per client)");
-                    return ExitCode::FAILURE;
-                };
-                requests = v;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v >= 1)
+                    .ok_or("--requests needs a positive integer (per client)")?;
+                opts.requests = v;
             }
             "--capacity-div" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()).filter(|&v| v >= 1)
-                else {
-                    eprintln!("--capacity-div needs a positive integer");
-                    return ExitCode::FAILURE;
-                };
-                capacity_div = v;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&v| v >= 1)
+                    .ok_or("--capacity-div needs a positive integer")?;
+                opts.capacity_div = v;
             }
             "--chaos" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
-                    eprintln!("--chaos needs an integer seed (0 disables every fault)");
-                    return ExitCode::FAILURE;
-                };
-                chaos = Some(v);
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--chaos needs an integer seed (0 disables every fault)")?;
+                opts.chaos = Some(v);
             }
             "--deadline-ms" => {
                 i += 1;
-                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()).filter(|&v| v >= 1)
-                else {
-                    eprintln!("--deadline-ms needs a positive integer (virtual milliseconds)");
-                    return ExitCode::FAILURE;
-                };
-                deadline_ms = Some(v);
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&v| v >= 1)
+                    .ok_or("--deadline-ms needs a positive integer (virtual milliseconds)")?;
+                opts.deadline_ms = Some(v);
             }
             "--trace" => {
                 i += 1;
-                let Some(dir) = args.get(i) else {
-                    eprintln!("--trace needs a directory");
-                    return ExitCode::FAILURE;
-                };
-                trace_dir = Some(dir.into());
+                let dir = args.get(i).ok_or("--trace needs a directory")?;
+                opts.trace_dir = Some(dir.into());
             }
-            "--cache" => cache = true,
+            "--cache" => opts.cache = true,
             "--popularity-skew" => {
                 i += 1;
-                let Some(v) = args
+                let v = args
                     .get(i)
                     .and_then(|v| v.parse::<f64>().ok())
                     .filter(|v| v.is_finite() && *v >= 0.0)
-                else {
-                    eprintln!("--popularity-skew needs a Zipf exponent >= 0 (0 = uniform)");
-                    return ExitCode::FAILURE;
+                    .ok_or("--popularity-skew needs a Zipf exponent >= 0 (0 = uniform)")?;
+                opts.popularity_skew = Some(v);
+            }
+            "--plan" => {
+                i += 1;
+                let shape = match args.get(i).map(String::as_str) {
+                    Some("chain") => PlanShape::Chain,
+                    Some("star") => PlanShape::Star,
+                    _ => return Err("--plan needs a shape: chain or star".into()),
                 };
-                popularity_skew = Some(v);
+                opts.plan = Some(shape);
             }
-            other => {
-                eprintln!("unknown option `{other}`\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
     }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Side effects only after the whole command line parsed.
+    if let Some(jobs) = opts.jobs {
+        hcj_host::pool::set_jobs(jobs);
+    }
+    let Opts {
+        seed,
+        quick,
+        clients,
+        requests,
+        capacity_div,
+        chaos,
+        deadline_ms,
+        trace_dir,
+        cache,
+        popularity_skew,
+        plan,
+        ..
+    } = opts;
     // Quick mode: the CI soak — 8 clients x 25 requests = 200, small
-    // relations, same contention regime.
-    let (clients, requests, base_tuples) =
-        if quick { (8, 25, 1_000) } else { (clients, requests, 2_000) };
+    // relations, same contention regime. Plans carry 2-4 joins each, so
+    // their quick run issues fewer, heavier requests.
+    let (clients, requests, base_tuples) = match (quick, plan.is_some()) {
+        (true, false) => (8, 25, 1_000),
+        (true, true) => (4, 6, 1_000),
+        (false, _) => (clients, requests, 2_000),
+    };
 
     let device = DeviceSpec::gtx1080().scaled_capacity(capacity_div);
     // Buckets tuned for the largest build side the workload can draw
@@ -191,17 +265,27 @@ fn main() -> ExitCode {
         engine,
         ServiceConfig::default().with_deadline(deadline).with_cache(cache_config),
     );
-    let workload = match popularity_skew {
-        Some(theta) => {
+    let workload = match (plan, popularity_skew) {
+        (Some(shape), theta) => plan_workload(
+            shape,
+            clients,
+            requests,
+            base_tuples,
+            CATALOG_SIZE,
+            theta.unwrap_or(0.75),
+            BUMP_EVERY,
+            seed,
+        ),
+        (None, Some(theta)) => {
             skewed_workload(clients, requests, base_tuples, CATALOG_SIZE, theta, BUMP_EVERY, seed)
         }
-        None => mixed_workload(clients, requests, base_tuples, seed),
+        (None, None) => mixed_workload(clients, requests, base_tuples, seed),
     };
     let total: usize = workload.iter().map(|c| c.requests.len()).sum();
 
     println!(
         "# hcj join service soak — seed {seed}, {clients} clients x {requests} requests, \
-         device {} KB, chaos {}, deadline {}, cache {}, skew {}",
+         device {} KB, chaos {}, deadline {}, cache {}, skew {}{}",
         device.device_mem_bytes >> 10,
         match chaos {
             Some(s) => format!("seed {s}"),
@@ -212,9 +296,15 @@ fn main() -> ExitCode {
             None => "none".into(),
         },
         if cache { "on" } else { "off" },
-        match popularity_skew {
-            Some(theta) => format!("zipf {theta}"),
-            None => "mixed".into(),
+        match (plan, popularity_skew) {
+            (Some(_), theta) => format!("zipf {}", theta.unwrap_or(0.75)),
+            (None, Some(theta)) => format!("zipf {theta}"),
+            (None, None) => "mixed".into(),
+        },
+        match plan {
+            Some(PlanShape::Chain) => ", plan chain",
+            Some(PlanShape::Star) => ", plan star",
+            None => "",
         },
     );
     let started = Instant::now();
@@ -265,4 +355,68 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn failed_parses_are_side_effect_free() {
+        // A parse that dies on a *later* flag must not have applied an
+        // earlier one: `--jobs 7` parses fine here, but the bogus flag
+        // fails the whole command line, and the global pool stays as it
+        // was (set_jobs only runs in main, after a successful parse).
+        hcj_host::pool::set_jobs(1);
+        let before = hcj_host::pool::jobs();
+        assert!(parse_args(&argv(&["--jobs", "7", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["--jobs", "7", "--plan", "ring"])).is_err());
+        assert!(parse_args(&argv(&["--jobs", "0"])).is_err());
+        assert!(parse_args(&argv(&["--jobs", "999"])).is_err());
+        assert!(parse_args(&argv(&["--jobs"])).is_err());
+        assert_eq!(hcj_host::pool::jobs(), before, "failed parses must not touch the pool");
+        // A successful parse records the request without applying it.
+        let opts = parse_args(&argv(&["--jobs", "7"])).unwrap();
+        assert_eq!(opts.jobs, Some(7));
+        assert_eq!(hcj_host::pool::jobs(), before, "parsing must never touch the pool");
+    }
+
+    #[test]
+    fn plan_flag_parses_both_shapes_and_rejects_junk() {
+        assert_eq!(parse_args(&argv(&["--plan", "chain"])).unwrap().plan, Some(PlanShape::Chain));
+        assert_eq!(parse_args(&argv(&["--plan", "star"])).unwrap().plan, Some(PlanShape::Star));
+        assert!(parse_args(&argv(&["--plan"])).is_err());
+        assert!(parse_args(&argv(&["--plan", "tree"])).is_err());
+        assert_eq!(parse_args(&argv(&[])).unwrap().plan, None);
+    }
+
+    #[test]
+    fn defaults_survive_a_full_flag_soup() {
+        let opts = parse_args(&argv(&[
+            "--quick",
+            "--seed",
+            "9",
+            "--cache",
+            "--popularity-skew",
+            "1.25",
+            "--plan",
+            "star",
+            "--capacity-div",
+            "256",
+        ]))
+        .unwrap();
+        assert!(opts.quick && opts.cache);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.capacity_div, 256);
+        assert_eq!(opts.popularity_skew, Some(1.25));
+        assert_eq!(opts.plan, Some(PlanShape::Star));
+        // Untouched flags keep their defaults.
+        assert_eq!(opts.clients, 16);
+        assert_eq!(opts.requests, 25);
+        assert_eq!(opts.chaos, None);
+    }
 }

@@ -88,6 +88,23 @@ impl CachedBuildJoin {
         r: &Relation,
         s: &Relation,
     ) -> Result<(JoinOutcome, CachedBuild), JoinError> {
+        self.execute_staged(r, s, false, false)
+    }
+
+    /// The residency-aware cold path the plan executor uses: a side
+    /// marked resident is a pinned intermediate already in device memory
+    /// (a prior join's materialized output), so its PCIe transfer is
+    /// skipped — its bytes are still reserved and it is still
+    /// radix-partitioned, because pinning preserves materialized rows,
+    /// not bucket chains. `execute_staged(r, s, false, false)` is exactly
+    /// [`CachedBuildJoin::execute_cold`].
+    pub fn execute_staged(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        r_resident: bool,
+        s_resident: bool,
+    ) -> Result<(JoinOutcome, CachedBuild), JoinError> {
         let mut sim = Sim::new();
         let gpu = self.config.build_gpu(&mut sim);
         let retry = RetryPolicy::default();
@@ -96,14 +113,16 @@ impl CachedBuildJoin {
 
         // ---- stage + partition the build side ----
         let r_input = gpu.mem.reserve(r.bytes())?;
-        gpu.copy_h2d_retrying(
-            &mut sim,
-            &mut stream,
-            "h2d build",
-            r.bytes(),
-            TransferKind::Pinned,
-            &retry,
-        )?;
+        if !r_resident {
+            gpu.copy_h2d_retrying(
+                &mut sim,
+                &mut stream,
+                "h2d build",
+                r.bytes(),
+                TransferKind::Pinned,
+                &retry,
+            )?;
+        }
         let r_out = partitioner.partition(r);
         drop(r_input); // bucket-pool recycling, as in the resident join
         let _r_pool = gpu.mem.reserve(r_out.partitioned.pool.device_bytes())?;
@@ -126,14 +145,16 @@ impl CachedBuildJoin {
 
         // ---- stage + partition the probe side ----
         let s_input = gpu.mem.reserve(s.bytes())?;
-        gpu.copy_h2d_retrying(
-            &mut sim,
-            &mut stream,
-            "h2d probe",
-            s.bytes(),
-            TransferKind::Pinned,
-            &retry,
-        )?;
+        if !s_resident {
+            gpu.copy_h2d_retrying(
+                &mut sim,
+                &mut stream,
+                "h2d probe",
+                s.bytes(),
+                TransferKind::Pinned,
+                &retry,
+            )?;
+        }
         let s_out = partitioner.partition(s);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
@@ -181,6 +202,20 @@ impl CachedBuildJoin {
         cached: &CachedBuild,
         s: &Relation,
     ) -> Result<JoinOutcome, JoinError> {
+        self.execute_hot_from(cached, s, false)
+    }
+
+    /// The residency-aware hot path: like
+    /// [`CachedBuildJoin::execute_hot`], but a probe side that is itself a
+    /// pinned intermediate skips its PCIe transfer too — the fully warm
+    /// case of a chain plan reusing a cached dimension build against a
+    /// device-resident prior join output.
+    pub fn execute_hot_from(
+        &self,
+        cached: &CachedBuild,
+        s: &Relation,
+        s_resident: bool,
+    ) -> Result<JoinOutcome, JoinError> {
         let mut sim = Sim::new();
         let gpu = self.config.build_gpu(&mut sim);
         let retry = RetryPolicy::default();
@@ -191,14 +226,16 @@ impl CachedBuildJoin {
         let _table = gpu.mem.reserve(cached.table_bytes)?;
 
         let s_input = gpu.mem.reserve(s.bytes())?;
-        gpu.copy_h2d_retrying(
-            &mut sim,
-            &mut stream,
-            "h2d probe",
-            s.bytes(),
-            TransferKind::Pinned,
-            &retry,
-        )?;
+        if !s_resident {
+            gpu.copy_h2d_retrying(
+                &mut sim,
+                &mut stream,
+                "h2d probe",
+                s.bytes(),
+                TransferKind::Pinned,
+                &retry,
+            )?;
+        }
         let s_out = partitioner.partition(s);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
@@ -353,6 +390,32 @@ mod tests {
         // Rebuilding against the new content restores agreement.
         let (_, cached_new) = join.execute_cold(&r_new, &s).unwrap();
         assert_eq!(join.execute_hot(&cached_new, &s).unwrap().check, fresh);
+    }
+
+    #[test]
+    fn resident_sides_skip_exactly_their_transfer() {
+        let (r, s) = canonical_pair(8_192, 24_576, 66);
+        let join = CachedBuildJoin::new(config(8, 8_192));
+        let expected = JoinCheck::compute(&r, &s);
+        let (cold, _) = join.execute_staged(&r, &s, false, false).unwrap();
+        let (probe_res, _) = join.execute_staged(&r, &s, false, true).unwrap();
+        let (both_res, cached) = join.execute_staged(&r, &s, true, true).unwrap();
+        for outcome in [&cold, &probe_res, &both_res] {
+            assert_eq!(outcome.check, expected, "residency never changes the result");
+        }
+        let (c, p, b) =
+            (cold.counters.rollup(), probe_res.counters.rollup(), both_res.counters.rollup());
+        assert_eq!(c.h2d_bytes, r.bytes() + s.bytes(), "cold stages both sides");
+        assert_eq!(p.h2d_bytes, r.bytes(), "resident probe skips its transfer");
+        assert_eq!(b.h2d_bytes, 0, "both resident: no PCIe at all");
+        // Partitioning still runs for resident inputs: same kernel count.
+        assert_eq!(c.kernel_launches, b.kernel_launches);
+        // Fully-warm hot path: cached build + resident probe.
+        let warm = join.execute_hot_from(&cached, &s, true).unwrap();
+        assert_eq!(warm.check, expected);
+        assert_eq!(warm.counters.rollup().h2d_bytes, 0);
+        let hot = join.execute_hot_from(&cached, &s, false).unwrap();
+        assert_eq!(hot.counters.rollup().h2d_bytes, s.bytes());
     }
 
     #[test]

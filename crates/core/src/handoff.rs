@@ -1,0 +1,105 @@
+//! Op-output handoff between plan operators: the type a DAG executor
+//! threads from one join to the next.
+//!
+//! A multi-join plan needs a join to consume a *prior join's* output as
+//! one of its inputs. Strategies materialize results as unordered
+//! [`JoinRow`](hcj_workload::oracle::JoinRow)s whose order depends on the
+//! worker count, so handing them over raw would leak scheduling
+//! nondeterminism into downstream joins. [`OpOutput`] closes that hole:
+//! it canonicalizes the rows (via
+//! [`rows_to_relation`](hcj_workload::plan::rows_to_relation) — sorted,
+//! payloads combined) into an ordinary [`Relation`] any strategy or the
+//! CPU oracle can consume, and records where the bytes live:
+//!
+//! * **pinned** — a [`Reservation`] keeps the materialized output in
+//!   device memory, visible to admission control like a cache entry; the
+//!   consuming join skips the H2D transfer for that side.
+//! * **spilled** — no reservation; the output took the host round trip
+//!   and the consumer stages it over PCIe like any base relation.
+
+use hcj_gpu::memory::Reservation;
+use hcj_workload::oracle::JoinRow;
+use hcj_workload::plan::rows_to_relation;
+use hcj_workload::Relation;
+
+/// The materialized output of one plan operator, canonicalized for
+/// downstream consumption, plus its device residency.
+#[derive(Debug)]
+pub struct OpOutput {
+    /// Canonical intermediate relation: join rows sorted, payloads
+    /// combined — byte-identical however (and wherever) it was produced.
+    pub relation: Relation,
+    /// Device pin holding the bytes resident; `None` means the output
+    /// was spilled to the host.
+    pub pin: Option<Reservation>,
+}
+
+impl OpOutput {
+    /// Wrap a base relation (a scan output): always host-side.
+    pub fn scanned(relation: Relation) -> Self {
+        OpOutput { relation, pin: None }
+    }
+
+    /// Canonicalize a join's materialized rows into a spilled handoff.
+    /// Attach a pin afterwards with [`OpOutput::pinned`] if the bytes
+    /// stay on the device.
+    pub fn from_join_rows(rows: &[JoinRow]) -> Self {
+        OpOutput { relation: rows_to_relation(rows), pin: None }
+    }
+
+    /// Mark this output device-resident, backed by `pin` (which must
+    /// cover [`OpOutput::bytes`]; the caller reserved it from the shared
+    /// device budget so admission control sees it).
+    pub fn pinned(mut self, pin: Reservation) -> Self {
+        debug_assert!(pin.size_bytes() >= self.relation.bytes());
+        self.pin = Some(pin);
+        self
+    }
+
+    /// Whether the bytes are resident in device memory.
+    pub fn is_resident(&self) -> bool {
+        self.pin.is_some()
+    }
+
+    /// Physical bytes of the narrow columnar intermediate.
+    pub fn bytes(&self) -> u64 {
+        self.relation.bytes()
+    }
+
+    /// Drop the device pin (if any), releasing the reserved bytes; the
+    /// relation itself stays usable host-side.
+    pub fn release(&mut self) -> Option<Reservation> {
+        self.pin.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcj_gpu::memory::DeviceMemory;
+
+    #[test]
+    fn canonicalization_is_production_order_free() {
+        let rows = vec![(5, 50, 500), (1, 10, 100), (3, 30, 300)];
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        let a = OpOutput::from_join_rows(&rows);
+        let b = OpOutput::from_join_rows(&reversed);
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.relation.keys, vec![1, 3, 5]);
+        assert!(!a.is_resident());
+        assert_eq!(a.bytes(), 24);
+    }
+
+    #[test]
+    fn pin_lifecycle_is_visible_to_the_device_budget() {
+        let mem = DeviceMemory::new(1 << 20);
+        let mut out = OpOutput::from_join_rows(&[(1, 1, 1), (2, 2, 2)]);
+        let pin = mem.reserve(out.bytes()).expect("fits");
+        assert_eq!(mem.used(), 16);
+        out = out.pinned(pin);
+        assert!(out.is_resident());
+        drop(out.release());
+        assert_eq!(mem.used(), 0, "releasing the pin frees the bytes");
+    }
+}

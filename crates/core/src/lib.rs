@@ -36,6 +36,7 @@ pub mod cached_build;
 pub mod config;
 pub mod coprocess;
 pub mod gpu_resident;
+pub mod handoff;
 pub mod join;
 pub mod nonpart;
 pub mod outcome;
@@ -50,6 +51,7 @@ pub use cached_build::{CachedBuild, CachedBuildJoin};
 pub use config::{GpuJoinConfig, OutputMode, PassAssignment, ProbeKind};
 pub use coprocess::{CoProcessingConfig, CoProcessingJoin};
 pub use gpu_resident::GpuPartitionedJoin;
+pub use handoff::OpOutput;
 pub use nonpart::{NonPartitionedJoin, NonPartitionedKind};
 pub use outcome::{JoinOutcome, Phase, PhaseBreakdown};
 pub use streamprobe::{StreamedProbeConfig, StreamedProbeJoin};

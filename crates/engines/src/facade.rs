@@ -126,22 +126,35 @@ impl HcjEngine {
         build: &Relation,
         probe: &Relation,
     ) -> u64 {
+        self.footprint_estimate_sized(strategy, build.bytes(), probe.bytes())
+    }
+
+    /// [`footprint_estimate`](Self::footprint_estimate) from byte sizes
+    /// alone — what plan admission uses for ops whose inputs are not yet
+    /// materialized (a downstream join's intermediate is only an
+    /// estimated size at admission time).
+    pub fn footprint_estimate_sized(
+        &self,
+        strategy: PlannedStrategy,
+        build_bytes: u64,
+        probe_bytes: u64,
+    ) -> u64 {
         let capacity = self.config.device.device_mem_bytes;
         match strategy {
             PlannedStrategy::GpuResident => {
-                ((build.bytes() + probe.bytes()) as f64 * self.pool_factor) as u64
+                ((build_bytes + probe_bytes) as f64 * self.pool_factor) as u64
             }
             // Streamed probe: R (recycled into its partitions) + two chunk
             // buffers (chunk = R/2, the paper's rule).
             PlannedStrategy::StreamedProbe => {
-                (build.bytes() as f64 * (1.0 + self.pool_factor)) as u64
+                (build_bytes as f64 * (1.0 + self.pool_factor)) as u64
             }
             // Co-processing reserves the working-set budget (half the
             // device by default) plus two streamed S chunk buffers of at
             // most one sixth of the device each; the total never exceeds
             // capacity, so an idle device can always admit it.
             PlannedStrategy::CoProcessing => {
-                let chunk = (probe.bytes().max(8)).min(capacity / 6);
+                let chunk = (probe_bytes.max(8)).min(capacity / 6);
                 (capacity / 2 + 2 * chunk).min(capacity)
             }
             // The CPU fallback touches no device memory at all.
@@ -160,9 +173,15 @@ impl HcjEngine {
     /// Decide the strategy for the given input sizes (`r` is the build
     /// side; [`execute`](Self::execute) swaps so the smaller side builds).
     pub fn plan(&self, r: &Relation, s: &Relation) -> PlannedStrategy {
+        self.plan_sized(r.bytes(), s.bytes())
+    }
+
+    /// [`plan`](Self::plan) from byte sizes alone (see
+    /// [`footprint_estimate_sized`](Self::footprint_estimate_sized)).
+    pub fn plan_sized(&self, build_bytes: u64, probe_bytes: u64) -> PlannedStrategy {
         let capacity = self.config.device.device_mem_bytes;
         for strategy in [PlannedStrategy::GpuResident, PlannedStrategy::StreamedProbe] {
-            if self.footprint_estimate(strategy, r, s) <= capacity {
+            if self.footprint_estimate_sized(strategy, build_bytes, probe_bytes) <= capacity {
                 return strategy;
             }
         }

@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod cogadb;
+pub mod dag;
 pub mod dbmsx;
 pub mod facade;
 pub mod result;
@@ -30,10 +31,11 @@ pub mod service;
 
 pub use cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTable};
 pub use cogadb::CoGaDbLike;
+pub use dag::{execute_plan, plan_envelope, DagScheduler, OpReport, PlanRun};
 pub use dbmsx::DbmsXLike;
 pub use facade::{HcjEngine, PlannedStrategy};
 pub use result::{EngineError, EngineResult};
 pub use service::{
-    mixed_workload, skewed_workload, CacheRole, ClientSpec, JoinService, RequestMetrics,
-    RequestSpec, ServiceConfig, ServiceReport,
+    mixed_workload, plan_workload, skewed_workload, CacheRole, ClientSpec, JoinService, PlanShape,
+    QuerySpec, RequestMetrics, RequestSpec, ServiceConfig, ServiceReport,
 };

@@ -59,10 +59,12 @@ use hcj_sim::{SimTime, Timeline, TrackId};
 use hcj_workload::catalog::{BuildCatalog, BuildRef, PopularityStream};
 use hcj_workload::generate::{KeyDistribution, RelationSpec};
 use hcj_workload::oracle::JoinCheck;
+use hcj_workload::plan::{chain_plan, star_plan, PlanOp, PlanSpec};
 use hcj_workload::rng::{Rng, SmallRng};
 use hcj_workload::Relation;
 
 use crate::cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTable};
+use crate::dag::{execute_plan, plan_envelope, planned_root, OpReport, PlanRun};
 use crate::facade::{HcjEngine, PlannedStrategy};
 
 /// Tuning of the service layer (the engine config rides in [`HcjEngine`]).
@@ -131,12 +133,36 @@ pub struct RequestSpec {
     pub build: Option<BuildRef>,
 }
 
+/// One unit of client work: a single join, or a whole multi-join plan
+/// executed as an operator DAG (scan → join → join → materialize).
+/// Single joins follow exactly the pre-plan code paths, so workloads of
+/// plain [`RequestSpec`]s behave byte-for-byte as before plans existed.
+#[derive(Clone, Debug)]
+pub enum QuerySpec {
+    /// One join between two generated relations.
+    Join(RequestSpec),
+    /// A multi-join query plan (see [`hcj_workload::plan`]).
+    Plan(PlanSpec),
+}
+
+impl From<RequestSpec> for QuerySpec {
+    fn from(spec: RequestSpec) -> Self {
+        QuerySpec::Join(spec)
+    }
+}
+
+impl From<PlanSpec> for QuerySpec {
+    fn from(plan: PlanSpec) -> Self {
+        QuerySpec::Plan(plan)
+    }
+}
+
 /// The request sequence of one closed-loop client.
 #[derive(Clone, Debug, Default)]
 pub struct ClientSpec {
     /// Requests issued back-to-back (closed loop: next after previous
     /// completes).
-    pub requests: Vec<RequestSpec>,
+    pub requests: Vec<QuerySpec>,
 }
 
 /// A seeded mixed workload: `clients` closed-loop clients with
@@ -178,7 +204,7 @@ pub fn mixed_workload(
                         payload_width: width,
                         seed: rs ^ 0x5DEE_CE66,
                     };
-                    RequestSpec { r, s, build: None }
+                    RequestSpec { r, s, build: None }.into()
                 })
                 .collect();
             ClientSpec { requests }
@@ -231,7 +257,80 @@ pub fn skewed_workload(
                     .wrapping_add((client as u64) << 24)
                     .wrapping_add(draw as u64),
             };
-            spec.requests.push(RequestSpec { r: rel.spec(), s, build: Some(rel.build_ref()) });
+            spec.requests
+                .push(RequestSpec { r: rel.spec(), s, build: Some(rel.build_ref()) }.into());
+        }
+    }
+    specs
+}
+
+/// Shape of a generated multi-join plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanShape {
+    /// Left-deep chain: each join probes the previous join's output.
+    Chain,
+    /// Star: every dimension joins the shared fact scan directly.
+    Star,
+}
+
+/// A seeded multi-join serving workload over a shared [`BuildCatalog`]:
+/// every request is a whole 2–4-join plan of the given `shape`, its
+/// dimension sides drawn with Zipf(`theta`) popularity (so hot builds
+/// recur across plans and the cache matters), its fact side
+/// `2–4 x base_tuples` fresh foreign keys. Every `bump_every`-th plan
+/// first bumps its hottest drawn dimension's content version, so cached
+/// builds go stale mid-run; `bump_every = 0` disables updates.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_workload(
+    shape: PlanShape,
+    clients: usize,
+    per_client: usize,
+    base_tuples: usize,
+    catalog_size: usize,
+    theta: f64,
+    bump_every: usize,
+    seed: u64,
+) -> Vec<ClientSpec> {
+    assert!(catalog_size >= 2, "plans need at least two dimension tables");
+    let mut catalog = BuildCatalog::dimension_tables(catalog_size, base_tuples, seed);
+    let mut popularity = PopularityStream::new(catalog_size, theta, seed ^ 0x517C_C1B7);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0DDB_A11E);
+    let mut specs: Vec<ClientSpec> = vec![ClientSpec::default(); clients];
+    // Slot-major draw order, like `skewed_workload`: approximates the
+    // order closed-loop clients reach each slot, so version bumps land
+    // mid-run for every client.
+    let mut draw = 0usize;
+    for _slot in 0..per_client {
+        for spec in specs.iter_mut() {
+            draw += 1;
+            // 2-4 *distinct* popular dimensions per plan; popularity
+            // redraws are bounded, with an arbitrary-but-deterministic
+            // fallback for tiny catalogs.
+            let want = (2 + rng.gen_range_u64(0, 2) as usize).min(catalog_size);
+            let mut dims: Vec<usize> = Vec::with_capacity(want);
+            for _ in 0..want * 8 {
+                if dims.len() == want {
+                    break;
+                }
+                let idx = popularity.next_index();
+                if !dims.contains(&idx) {
+                    dims.push(idx);
+                }
+            }
+            while dims.len() < 2 {
+                let next = (0..catalog_size).find(|i| !dims.contains(i)).unwrap_or(0);
+                dims.push(next);
+            }
+            if bump_every > 0 && draw % bump_every == 0 {
+                catalog.bump_version(dims[0]);
+            }
+            let fact = base_tuples * rng.gen_range_u64(2, 4) as usize;
+            let plan_seed = seed.wrapping_mul(0x100000001B3).wrapping_add(draw as u64);
+            let plan = match shape {
+                PlanShape::Chain => chain_plan(&catalog, &dims, fact, plan_seed),
+                PlanShape::Star => star_plan(&catalog, &dims, fact, plan_seed),
+            };
+            spec.requests.push(plan.into());
         }
     }
     specs
@@ -294,6 +393,10 @@ pub struct RequestMetrics {
     pub error: Option<&'static str>,
     /// How the build cache participated (decided at admission).
     pub cache_role: CacheRole,
+    /// Per-op reports when the request was a multi-join plan (empty for
+    /// single joins): strategy, cache role, pin-vs-spill and virtual
+    /// times of every operator, in completion order.
+    pub plan_ops: Vec<OpReport>,
 }
 
 impl RequestMetrics {
@@ -406,6 +509,27 @@ impl ServiceReport {
         self.requests.iter().filter(|m| m.finished() && m.executed == Some(strategy)).count()
     }
 
+    /// Requests that were multi-join plans.
+    pub fn plan_requests(&self) -> usize {
+        self.requests.iter().filter(|m| !m.plan_ops.is_empty()).count()
+    }
+
+    /// Plan operators executed across all plan requests.
+    pub fn plan_ops_executed(&self) -> usize {
+        self.requests.iter().map(|m| m.plan_ops.len()).sum()
+    }
+
+    /// Intermediate join outputs kept device-resident for their consumer.
+    pub fn pinned_intermediates(&self) -> usize {
+        self.requests.iter().flat_map(|m| &m.plan_ops).filter(|o| o.pinned).count()
+    }
+
+    /// Intermediate join outputs that fed a later join without a device
+    /// pin (took the host round trip).
+    pub fn spilled_intermediates(&self) -> usize {
+        self.requests.iter().flat_map(|m| &m.plan_ops).filter(|o| o.feeds_join && !o.pinned).count()
+    }
+
     /// Deterministic human-readable summary; the soak harness diffs this
     /// byte-for-byte across runs and `--jobs` counts.
     pub fn summary(&self) -> String {
@@ -449,6 +573,12 @@ impl ServiceReport {
                 "cache peak / resident",
                 format!("{} B / {} B", cache.peak_bytes, cache.bytes_at_end),
             );
+        }
+        if self.plan_requests() > 0 {
+            line("plan requests", format!("{}", self.plan_requests()));
+            line("plan ops executed", format!("{}", self.plan_ops_executed()));
+            line("intermediates pinned", format!("{}", self.pinned_intermediates()));
+            line("intermediates spilled", format!("{}", self.spilled_intermediates()));
         }
         line("deadline exceeded", format!("{}", self.deadline_exceeded()));
         line("typed errors", format!("{}", self.errored()));
@@ -501,9 +631,27 @@ struct RequestState {
     /// On a cache miss that rebuilt: the table the execution produced,
     /// installed into the cache at completion.
     install: Option<CachedBuild>,
+    /// Plan-request state; `None` for single joins (which then follow
+    /// exactly the pre-plan code paths).
+    plan: Option<PlanWork>,
     /// Set exactly once, by `Complete` or by a deadline cancellation;
     /// whichever fires second sees the flag and becomes a no-op.
     done: bool,
+}
+
+/// Live state of a multi-join plan request.
+struct PlanWork {
+    /// The operator DAG to execute.
+    spec: PlanSpec,
+    /// Materialized scan outputs, indexed by op id; taken at dispatch.
+    scans: Option<Vec<Option<Relation>>>,
+    /// Ladder rungs every join is stepped down (admission-retry
+    /// escalation, the plan analogue of a single join's `level`).
+    degrade: usize,
+    /// The execution's result, held from dispatch to completion: its
+    /// pins keep intermediates reserved and its installs await the
+    /// cache, exactly like a single request's reservation + install.
+    run: Option<PlanRun>,
 }
 
 /// The multi-tenant join service. Owns the engine (planner + strategies)
@@ -586,10 +734,36 @@ impl JoinService {
                 };
                 match event {
                     Event::Submit { client, index } => {
-                        let spec = &workload[client].requests[index];
-                        let (r, s) = (spec.r.generate(), spec.s.generate());
-                        let (build, probe) = if r.len() <= s.len() { (&r, &s) } else { (&s, &r) };
-                        let planned = self.engine.plan(build, probe);
+                        // Materialize the query's inputs and plan it: a
+                        // single join keeps the pre-plan path; a plan
+                        // generates its scans and sizes its root join.
+                        let (inputs, build, plan, planned) = match &workload[client].requests[index]
+                        {
+                            QuerySpec::Join(spec) => {
+                                let (r, s) = (spec.r.generate(), spec.s.generate());
+                                let (b, p) = if r.len() <= s.len() { (&r, &s) } else { (&s, &r) };
+                                let planned = self.engine.plan(b, p);
+                                (Some((r, s)), spec.build, None, planned)
+                            }
+                            QuerySpec::Plan(plan) => {
+                                let scans: Vec<Option<Relation>> = plan
+                                    .ops
+                                    .iter()
+                                    .map(|op| match op {
+                                        PlanOp::Scan { spec, .. } => Some(spec.generate()),
+                                        _ => None,
+                                    })
+                                    .collect();
+                                let planned = planned_root(&self.engine, plan);
+                                let work = PlanWork {
+                                    spec: plan.clone(),
+                                    scans: Some(scans),
+                                    degrade: 0,
+                                    run: None,
+                                };
+                                (None, None, Some(work), planned)
+                            }
+                        };
                         let id = requests.len();
                         requests.push(RequestState {
                             metrics: RequestMetrics {
@@ -609,15 +783,17 @@ impl JoinService {
                                 counters: CounterRollup::default(),
                                 error: None,
                                 cache_role: CacheRole::None,
+                                plan_ops: Vec::new(),
                             },
-                            inputs: Some((r, s)),
+                            inputs,
                             level: planned,
                             attempts: 0,
                             eligible_at: now,
                             reservation: None,
-                            build: spec.build,
+                            build,
                             hit: None,
                             install: None,
+                            plan,
                             done: false,
                         });
                         if queue.len() < self.config.queue_depth {
@@ -647,6 +823,7 @@ impl JoinService {
                         st.hit = None; // unpin the cached table, if any
                         let install = st.install.take();
                         let bref = st.build;
+                        let plan_run = st.plan.as_mut().and_then(|pw| pw.run.take());
                         makespan = makespan.max(now);
                         let m = &st.metrics;
                         if m.queue_wait() > SimTime::ZERO {
@@ -658,7 +835,57 @@ impl JoinService {
                                 m.admitted_at,
                             );
                         }
-                        if let Some(executed) = m.executed {
+                        if let Some(run) = plan_run {
+                            // A plan renders as one span per join op at
+                            // its virtual interval within the request,
+                            // with the same fault/cache instant markers a
+                            // single join gets. Pinned intermediates
+                            // release here, and installs land now that
+                            // the plan's envelope reservation is free.
+                            let PlanRun { ops, pins, installs, .. } = run;
+                            let (client, index) = (m.client, m.index);
+                            let (track, admitted) = (tracks[client], m.admitted_at);
+                            for op in &ops {
+                                if op.kind != "join" {
+                                    continue;
+                                }
+                                let class = op.executed.map_or(9, |e| e.rank() as u32 + 1);
+                                let name = match op.executed {
+                                    Some(e) => format!("op{} {e} r{client}.{index}", op.op),
+                                    None => format!("op{} failed r{client}.{index}", op.op),
+                                };
+                                timeline.span(
+                                    track,
+                                    name,
+                                    class,
+                                    admitted + op.start,
+                                    admitted + op.finish,
+                                );
+                                if op.cache_role == CacheRole::Hit && op.error.is_none() {
+                                    timeline.instant(
+                                        track,
+                                        format!("cache hit r{client}.{index} op{}", op.op),
+                                        10,
+                                        admitted + op.start,
+                                    );
+                                }
+                                for (offset, label) in &op.fault_marks {
+                                    timeline.instant(
+                                        track,
+                                        label.clone(),
+                                        8,
+                                        admitted + op.start + *offset,
+                                    );
+                                }
+                            }
+                            st.metrics.plan_ops = ops;
+                            drop(pins); // intermediates leave the device
+                            if let Some(c) = cache.as_mut() {
+                                for (b, built) in installs {
+                                    c.insert(b, &device, built);
+                                }
+                            }
+                        } else if let Some(executed) = m.executed {
                             timeline.span(
                                 tracks[m.client],
                                 format!("{} r{}.{}", executed, m.client, m.index),
@@ -698,6 +925,7 @@ impl JoinService {
                         st.hit = None;
                         st.install = None;
                         st.inputs = None;
+                        st.plan = None; // drops any run: pins + installs release
                         st.metrics.completed_at = now;
                         st.metrics.error = Some(
                             JoinError::DeadlineExceeded {
@@ -744,6 +972,47 @@ impl JoinService {
                 let st = &mut requests[id];
                 if st.eligible_at > now {
                     return true;
+                }
+                if let Some(pw) = st.plan.as_ref() {
+                    // Plan admission: reserve the worst single-join
+                    // envelope at the current degrade level (joins run one
+                    // wave at a time against this same accountant; pins
+                    // reserve separately and opportunistically). Rejection
+                    // backs off and eventually degrades every join one
+                    // rung, like a single request's ladder.
+                    let estimate = plan_envelope(&self.engine, &pw.spec, pw.degrade);
+                    let reserved = device.reserve(estimate).or_else(|err| match cache.as_mut() {
+                        Some(c) => {
+                            if c.reclaim(&device, estimate, None) {
+                                device.reserve(estimate)
+                            } else {
+                                Err(err)
+                            }
+                        }
+                        None => Err(err),
+                    });
+                    return match reserved {
+                        Ok(res) => {
+                            st.reservation = Some(res);
+                            st.metrics.admitted_at = now;
+                            st.metrics.device_used_at_admit = device.used();
+                            batch.push(id);
+                            false
+                        }
+                        Err(_) => {
+                            st.metrics.retries += 1;
+                            st.attempts += 1;
+                            if st.attempts > self.config.max_retries {
+                                let pw = st.plan.as_mut().expect("checked above");
+                                if pw.degrade < PlannedStrategy::LADDER.len() - 1 {
+                                    pw.degrade += 1;
+                                    st.attempts = 0;
+                                }
+                            }
+                            st.eligible_at = now + self.backoff(st.attempts.max(1));
+                            true
+                        }
+                    };
                 }
                 let Some((r, s)) = st.inputs.as_ref() else {
                     // "Cannot happen": only undone requests sit in the
@@ -873,6 +1142,12 @@ impl JoinService {
                 continue;
             }
             timeline.sample(device_counter, now, device.used() as f64);
+            // Split the admitted batch: single joins fan out onto the host
+            // pool as one flat map; plan requests execute one at a time
+            // from this thread (each plan fans its own ready waves onto
+            // the same pool internally).
+            let (plans, singles): (Vec<usize>, Vec<usize>) =
+                batch.iter().partition(|&&id| requests[id].plan.is_some());
             // Execute the admitted batch on the host pool. The closure is
             // pure over shared state; results come back in batch order, so
             // everything downstream is independent of the worker count.
@@ -895,7 +1170,7 @@ impl JoinService {
                 invariant: Option<String>,
             }
             let engine = &self.engine;
-            let results: Vec<Executed> = Pool::current().map(&batch, |_, &id| {
+            let results: Vec<Executed> = Pool::current().map(&singles, |_, &id| {
                 let st = &requests[id];
                 // Each request draws from its own fault stream (seed mixed
                 // with the request id) — deterministic for any worker
@@ -1000,7 +1275,7 @@ impl JoinService {
                     },
                 }
             });
-            for (&id, exec) in batch.iter().zip(results) {
+            for (&id, exec) in singles.iter().zip(results) {
                 let st = &mut requests[id];
                 st.metrics.executed = exec.strategy;
                 st.metrics.check_ok = exec.strategy.is_some() && exec.check == exec.expected;
@@ -1036,6 +1311,64 @@ impl JoinService {
                 st.inputs = None; // inputs are no longer needed; free them
                 schedule(&mut calendar, now + exec.duration, Event::Complete { req: id });
             }
+
+            // Execute admitted plan requests. Each plan drains its DAG
+            // wave by wave (fanning ready joins onto the host pool), pins
+            // or spills intermediates against the shared accountant, and
+            // consults the build cache per named build side. Requests run
+            // in admission order; everything is deterministic for any
+            // worker count.
+            for &id in &plans {
+                let (spec, scans, degrade) = {
+                    let st = &mut requests[id];
+                    let pw = st.plan.as_mut().expect("partitioned on plan.is_some()");
+                    (pw.spec.clone(), pw.scans.take(), pw.degrade)
+                };
+                let Some(scans) = scans else {
+                    // "Cannot happen": scans are generated at submission
+                    // and taken exactly once, here.
+                    invariants.push(format!("admitted plan request {id} has no scans at {now}"));
+                    let st = &mut requests[id];
+                    st.metrics.error = Some(JoinError::Internal { detail: String::new() }.tag());
+                    schedule(
+                        &mut calendar,
+                        now + SimTime::from_nanos(1),
+                        Event::Complete { req: id },
+                    );
+                    continue;
+                };
+                // Same per-request fault decorrelation as single joins
+                // (each op reseeds again by op id inside the executor).
+                let reseeded = self.engine.config.faults.as_ref().map(|f| {
+                    let mut e = self.engine.clone();
+                    e.config = e.config.clone().with_faults(f.reseeded(id as u64));
+                    e
+                });
+                let engine = reseeded.as_ref().unwrap_or(&self.engine);
+                let run = execute_plan(engine, &spec, scans, degrade, &device, cache.as_mut());
+                let st = &mut requests[id];
+                st.metrics.executed = run.executed;
+                st.metrics.check_ok = run.check_ok;
+                st.metrics.matches = run.matches;
+                st.metrics.error = run.error;
+                // Fold per-op faults, counters and cache roles into the
+                // request rollup (one hit/miss per consulting op, matching
+                // the cache's own counters).
+                for op in &run.ops {
+                    st.metrics.faults.absorb(&op.faults);
+                    st.metrics.counters.absorb(&op.counters);
+                    match op.cache_role {
+                        CacheRole::Hit => st.metrics.counters.cache.hits += 1,
+                        CacheRole::Install | CacheRole::Bypass => {
+                            st.metrics.counters.cache.misses += 1
+                        }
+                        CacheRole::None => {}
+                    }
+                }
+                let duration = SimTime::from_nanos(run.duration.as_nanos().max(1));
+                st.plan.as_mut().expect("still a plan").run = Some(run);
+                schedule(&mut calendar, now + duration, Event::Complete { req: id });
+            }
         }
 
         // Capture the cache aggregate, then drop the cache (and any
@@ -1046,6 +1379,7 @@ impl JoinService {
         requests.iter_mut().for_each(|st| {
             st.reservation = None;
             st.hit = None;
+            st.plan = None;
         });
         ServiceReport {
             makespan,
@@ -1084,7 +1418,8 @@ mod tests {
                 r: RelationSpec::unique(2_000, 1),
                 s: RelationSpec::unique(2_000, 2),
                 build: None,
-            }],
+            }
+            .into()],
         }];
         let report = svc.run(&workload);
         assert_eq!(report.completed(), 1);
@@ -1142,8 +1477,15 @@ mod tests {
         let a = mixed_workload(3, 5, 1_000, 9);
         let b = mixed_workload(3, 5, 1_000, 9);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        let sizes: std::collections::HashSet<usize> =
-            a.iter().flat_map(|c| c.requests.iter().map(|q| q.r.tuples)).collect();
+        let sizes: std::collections::HashSet<usize> = a
+            .iter()
+            .flat_map(|c| {
+                c.requests.iter().filter_map(|q| match q {
+                    QuerySpec::Join(j) => Some(j.r.tuples),
+                    QuerySpec::Plan(_) => None,
+                })
+            })
+            .collect();
         assert!(sizes.len() > 1, "sizes must vary: {sizes:?}");
     }
 
@@ -1205,6 +1547,62 @@ mod tests {
         assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
         assert_eq!(report.device_used_at_end, 0);
         assert!(report.summary().contains(&format!("{:<26}0", "invariant violations")));
+    }
+
+    #[test]
+    fn plan_request_completes_and_folds_matches() {
+        use hcj_workload::plan::plan_oracle;
+        let svc = service(1 << 8, 4_000); // 32 MB device
+        let catalog = BuildCatalog::dimension_tables(4, 2_000, 5);
+        let plan = chain_plan(&catalog, &[0, 1, 2], 6_000, 9);
+        let oracle = plan_oracle(&plan);
+        let n_ops = plan.ops.len();
+        let workload = vec![ClientSpec { requests: vec![plan.into()] }];
+        let report = svc.run(&workload);
+        assert_eq!(report.completed(), 1, "{}", report.summary());
+        assert_eq!(report.checks_passed(), 1);
+        assert_eq!(report.plan_requests(), 1);
+        let m = &report.requests[0];
+        assert_eq!(m.matches, oracle.final_matches);
+        assert_eq!(m.plan_ops.len(), n_ops, "every op reports");
+        for op in &m.plan_ops {
+            assert!(op.check_ok, "op {} ({}) failed", op.op, op.kind);
+            if op.kind == "join" {
+                assert_eq!(op.matches, oracle.checks[op.op].unwrap().matches);
+            }
+        }
+        // The chain's two feeder intermediates pin on an idle 32 MB device
+        // and release at completion.
+        assert_eq!(report.pinned_intermediates(), 2, "{}", report.summary());
+        assert_eq!(report.device_used_at_end, 0, "pins must release");
+        assert!(report.invariant_violations.is_empty());
+        // One span per join op landed on the timeline (plus the request's
+        // wait span, if any).
+        assert!(report.timeline.span_count() >= 3);
+    }
+
+    #[test]
+    fn plan_workloads_are_deterministic_across_worker_counts() {
+        for shape in [PlanShape::Chain, PlanShape::Star] {
+            let workload = plan_workload(shape, 3, 2, 1_500, 6, 0.75, 5, 11);
+            let mut summaries = Vec::new();
+            for jobs in [1usize, 2, 4] {
+                hcj_host::pool::set_jobs(jobs);
+                let config = ServiceConfig::default()
+                    .with_cache(Some(crate::cache::BuildCacheConfig::default()));
+                let device = DeviceSpec::gtx1080().scaled_capacity(1 << 8);
+                let engine = HcjEngine::new(
+                    GpuJoinConfig::paper_default(device)
+                        .with_radix_bits(8)
+                        .with_tuned_buckets(4_000),
+                );
+                summaries.push(JoinService::new(engine, config).run(&workload).summary());
+            }
+            hcj_host::pool::set_jobs(1);
+            assert_eq!(summaries[0], summaries[1], "{shape:?} summary must not depend on --jobs");
+            assert_eq!(summaries[1], summaries[2], "{shape:?} summary must not depend on --jobs");
+            assert!(summaries[0].contains("plan requests"), "plan lines present");
+        }
     }
 
     #[test]

@@ -61,15 +61,19 @@ pub mod prelude {
     };
     pub use hcj_cpu_join::{NpoJoin, ProJoin};
     pub use hcj_engines::{
-        mixed_workload, skewed_workload, BuildCache, BuildCacheConfig, CachePeek, CacheReport,
-        CacheRole, ClientSpec, CoGaDbLike, DbmsXLike, HcjEngine, JoinService, PlannedStrategy,
-        RequestSpec, ServiceConfig, ServiceReport,
+        execute_plan, mixed_workload, plan_envelope, plan_workload, skewed_workload, BuildCache,
+        BuildCacheConfig, CachePeek, CacheReport, CacheRole, ClientSpec, CoGaDbLike, DagScheduler,
+        DbmsXLike, HcjEngine, JoinService, OpReport, PlanRun, PlanShape, PlannedStrategy,
+        QuerySpec, RequestSpec, ServiceConfig, ServiceReport,
     };
     pub use hcj_gpu::{DeviceSpec, ErrorClass, FaultConfig, FaultSummary, JoinError, RetryPolicy};
     pub use hcj_host::HostSpec;
     pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};
     pub use hcj_workload::generate::canonical_pair;
     pub use hcj_workload::oracle::{reference_join, JoinCheck};
+    pub use hcj_workload::plan::{
+        chain_plan, plan_oracle, star_plan, PlanOp, PlanOracle, PlanSpec,
+    };
     pub use hcj_workload::{
         BuildCatalog, BuildRef, CatalogRelation, KeyDistribution, PopularityStream, Relation,
         RelationSpec, Tuple,

@@ -20,6 +20,7 @@
 pub mod catalog;
 pub mod generate;
 pub mod oracle;
+pub mod plan;
 pub mod relation;
 pub mod rng;
 pub mod tpch;
@@ -28,6 +29,7 @@ pub mod zipf;
 pub use catalog::{BuildCatalog, BuildRef, CatalogRelation, PopularityStream};
 pub use generate::{KeyDistribution, RelationSpec};
 pub use oracle::{reference_join, JoinCheck};
+pub use plan::{chain_plan, plan_oracle, star_plan, PlanOp, PlanOracle, PlanSpec};
 pub use relation::{Relation, Tuple};
 pub use rng::{Rng, SmallRng};
 pub use zipf::ZipfSampler;

@@ -187,6 +187,44 @@ mod tests {
     }
 
     #[test]
+    fn single_element_is_safe_for_any_theta() {
+        // Boundary audit: n = 1 must return rank 1 for every exponent,
+        // including theta = 0 (uniform path) and an extreme theta where
+        // the rejection constants are driven to their limits.
+        for theta in [0.0, 0.1, 0.5, 1.0, 2.0, 10.0, 50.0] {
+            let z = ZipfSampler::new(1, theta);
+            assert!(z.s.is_finite(), "theta={theta}: s={}", z.s);
+            assert!(z.h_integral_x1.is_finite(), "theta={theta}");
+            assert!(z.h_integral_num_elements.is_finite(), "theta={theta}");
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..1_000 {
+                assert_eq!(z.sample(&mut rng), 1, "theta={theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_theta_stays_in_range_without_nan() {
+        // Boundary audit: theta = 50 collapses essentially all mass onto
+        // rank 1; the sampler must neither panic, hang, nor emit a
+        // NaN-derived rank (a NaN x would clamp-round into range silently,
+        // so check the precomputed constants too).
+        let z = ZipfSampler::new(1_000, 50.0);
+        assert!(z.s.is_finite() && z.h_integral_x1.is_finite());
+        assert!(z.h_integral_num_elements.is_finite());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut head = 0u64;
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1_000).contains(&k), "rank out of range: {k}");
+            if k == 1 {
+                head += 1;
+            }
+        }
+        assert!(head >= 9_990, "theta=50 must concentrate on rank 1: head={head}");
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let z = ZipfSampler::new(1000, 0.5);
         let a: Vec<u64> =

@@ -127,13 +127,13 @@ fn eviction_sequence_matches_hand_computed_trace() {
     );
     let workload = vec![ClientSpec {
         requests: vec![
-            request(&a, 11),
-            request(&b, 12),
-            request(&a, 13),
-            request(&c, 14),
-            request(&b, 15),
-            request(&a, 16),
-            request(&a2, 17),
+            request(&a, 11).into(),
+            request(&b, 12).into(),
+            request(&a, 13).into(),
+            request(&c, 14).into(),
+            request(&b, 15).into(),
+            request(&a, 16).into(),
+            request(&a2, 17).into(),
         ],
     }];
     let report = service.run(&workload);

@@ -1,0 +1,175 @@
+//! Differential suite for the query-DAG execution layer: multi-join
+//! chain and star plans served end to end, checked op by op against the
+//! composed CPU plan oracle, across uniform/skewed dimension popularity,
+//! cache on/off, worker counts and an armed fault plan.
+
+use hashjoin_gpu::prelude::*;
+
+/// Service in the serve-binary regime, with enough headroom that plan
+/// envelopes admit (plans reserve a whole-join footprint at once).
+fn plan_service(capacity_div: u64, cache: bool) -> JoinService {
+    let device = DeviceSpec::gtx1080().scaled_capacity(capacity_div);
+    let engine = HcjEngine::new(
+        GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(8_000),
+    );
+    let cache_config = cache.then(BuildCacheConfig::default);
+    JoinService::new(engine, ServiceConfig::default().with_cache(cache_config))
+}
+
+fn chaos_service(capacity_div: u64, cache: bool, fault_seed: u64) -> JoinService {
+    let device = DeviceSpec::gtx1080().scaled_capacity(capacity_div);
+    let engine = HcjEngine::new(
+        GpuJoinConfig::paper_default(device)
+            .with_radix_bits(8)
+            .with_tuned_buckets(8_000)
+            .with_faults(if fault_seed == 0 {
+                FaultConfig::disabled(0)
+            } else {
+                FaultConfig::chaos(fault_seed)
+            }),
+    );
+    let cache_config = cache.then(BuildCacheConfig::default);
+    JoinService::new(engine, ServiceConfig::default().with_cache(cache_config))
+}
+
+/// `serve --plan` traffic: both shapes, uniform (theta 0) and skewed
+/// (theta 1) dimension popularity.
+fn plan_traffic(shape: PlanShape, theta: f64) -> Vec<ClientSpec> {
+    plan_workload(shape, 3, 3, 1_200, 8, theta, 10, 13)
+}
+
+#[test]
+fn chain_and_star_plans_match_the_composed_oracle_op_by_op() {
+    let catalog = BuildCatalog::dimension_tables(5, 1_500, 21);
+    for plan in
+        [chain_plan(&catalog, &[0, 1, 2], 5_000, 17), star_plan(&catalog, &[1, 3, 4], 5_000, 17)]
+    {
+        let oracle = plan_oracle(&plan);
+        let workload = vec![ClientSpec { requests: vec![plan.clone().into()] }];
+        let report = plan_service(1 << 8, false).run(&workload);
+        let summary = report.summary();
+        assert_eq!(report.completed(), 1, "{summary}");
+        assert_eq!(report.checks_passed(), 1, "{summary}");
+        assert_eq!(report.plan_requests(), 1, "{summary}");
+        let m = &report.requests[0];
+        assert_eq!(m.matches, oracle.final_matches, "{summary}");
+        assert_eq!(m.plan_ops.len(), plan.ops.len(), "one report per op:\n{summary}");
+        for rep in &m.plan_ops {
+            assert!(rep.check_ok, "op {} failed its oracle check:\n{summary}", rep.op);
+            assert!(rep.error.is_none(), "op {}: {:?}", rep.op, rep.error);
+            if let Some(check) = oracle.checks[rep.op] {
+                assert_eq!(rep.kind, "join");
+                assert_eq!(rep.matches, check.matches, "op {} matches:\n{summary}", rep.op);
+                assert!(rep.executed.is_some(), "joins record a strategy");
+            }
+            assert!(rep.finish >= rep.start, "op {} spans forward in time", rep.op);
+        }
+        // Nothing held after completion: pins and cache entries released.
+        assert_eq!(report.device_used_at_end, 0, "{summary}");
+        assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
+    }
+}
+
+#[test]
+fn plan_traffic_is_oracle_correct_across_shape_skew_and_cache() {
+    for shape in [PlanShape::Chain, PlanShape::Star] {
+        for theta in [0.0, 1.0] {
+            for cache in [false, true] {
+                let workload = plan_traffic(shape, theta);
+                let total: usize = workload.iter().map(|c| c.requests.len()).sum();
+                let report = plan_service(1 << 13, cache).run(&workload);
+                let summary = report.summary();
+                let tag = format!("shape {shape:?} theta {theta} cache {cache}");
+                assert_eq!(report.completed(), total, "{tag}:\n{summary}");
+                assert_eq!(report.checks_passed(), total, "{tag}:\n{summary}");
+                assert_eq!(report.plan_requests(), total, "{tag}:\n{summary}");
+                assert!(report.plan_ops_executed() >= total * 4, "{tag}:\n{summary}");
+                assert_eq!(report.device_used_at_end, 0, "{tag}:\n{summary}");
+                assert!(
+                    report.invariant_violations.is_empty(),
+                    "{tag}: {:?}",
+                    report.invariant_violations
+                );
+                if cache {
+                    let c = report.cache.as_ref().expect("cache enabled");
+                    assert!(c.counters.misses > 0, "{tag}: dims install:\n{summary}");
+                } else {
+                    assert!(report.cache.is_none(), "{tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_traffic_pins_or_spills_every_intermediate() {
+    // Chain joins feed further joins, so every non-root join output is an
+    // intermediate that is either pinned device-resident or spilled; the
+    // two summary counters partition them.
+    let workload = plan_traffic(PlanShape::Chain, 0.75);
+    let report = plan_service(1 << 13, false).run(&workload);
+    let summary = report.summary();
+    let intermediates: usize = report
+        .requests
+        .iter()
+        .flat_map(|m| &m.plan_ops)
+        .filter(|rep| rep.feeds_join && rep.kind == "join")
+        .count();
+    assert!(intermediates > 0, "chains must produce intermediates:\n{summary}");
+    assert_eq!(
+        report.pinned_intermediates() + report.spilled_intermediates(),
+        intermediates,
+        "{summary}"
+    );
+    assert!(summary.contains("plan requests"), "{summary}");
+    assert!(summary.contains("intermediates pinned"), "{summary}");
+}
+
+#[test]
+fn plan_summaries_are_byte_identical_across_jobs() {
+    for shape in [PlanShape::Chain, PlanShape::Star] {
+        let workload = plan_traffic(shape, 1.0);
+        let mut summaries: Vec<String> = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            hashjoin_gpu::host::pool::set_jobs(jobs);
+            summaries.push(plan_service(1 << 13, true).run(&workload).summary());
+        }
+        hashjoin_gpu::host::pool::set_jobs(1);
+        assert_eq!(summaries[0], summaries[1], "{shape:?}: jobs 1 vs 2");
+        assert_eq!(summaries[0], summaries[2], "{shape:?}: jobs 1 vs 4");
+    }
+}
+
+#[test]
+fn armed_but_zeroed_fault_layer_changes_no_plan_output() {
+    let workload = plan_traffic(PlanShape::Chain, 1.0);
+    let base = plan_service(1 << 13, true).run(&workload).summary();
+    let armed = chaos_service(1 << 13, true, 0).run(&workload).summary();
+    assert_eq!(base, armed, "chaos seed 0 must be a no-op for plans");
+}
+
+#[test]
+fn chaos_plans_stay_accounted_correct_and_leak_free() {
+    for shape in [PlanShape::Chain, PlanShape::Star] {
+        let workload = plan_traffic(shape, 1.0);
+        let total: usize = workload.iter().map(|c| c.requests.len()).sum();
+        let report = chaos_service(1 << 13, true, 23).run(&workload);
+        let summary = report.summary();
+        // Faults may fail individual plans, but every request resolves
+        // typed, every finished plan is oracle-correct op by op, and no
+        // reservation — pin, tenant or cache — leaks.
+        let accounted = report.completed() + report.deadline_exceeded() + report.errored();
+        assert_eq!(accounted, total, "{shape:?}:\n{summary}");
+        assert_eq!(report.checks_passed(), report.completed(), "{shape:?}:\n{summary}");
+        assert!(report.device_peak <= report.device_capacity, "{shape:?}:\n{summary}");
+        assert_eq!(report.device_used_at_end, 0, "{shape:?}:\n{summary}");
+        assert!(
+            report.invariant_violations.is_empty(),
+            "{shape:?}: {:?}",
+            report.invariant_violations
+        );
+        // Determinism holds under chaos too.
+        let again = chaos_service(1 << 13, true, 23).run(&workload).summary();
+        assert_eq!(summary, again, "{shape:?}: chaos runs replay exactly");
+    }
+}
