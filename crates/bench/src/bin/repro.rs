@@ -24,14 +24,17 @@
 //! counters are simulated and deterministic, so profiled output is as
 //! byte-reproducible as the tables.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hcj_bench::figures::registry;
+use hcj_bench::perfgate::{self, GateResult};
 use hcj_bench::{RunConfig, MAX_SCALE};
 
 const USAGE: &str = "usage: repro <all|list|figN...> [--scale K] [--quick] [--jobs N] \
-                     [--chaos SEED] [--out DIR] [--trace DIR] [--profile]";
+                     [--chaos SEED] [--out DIR] [--trace DIR] [--profile] \
+                     [--write-baseline DIR] [--check-baseline DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +46,8 @@ fn main() -> ExitCode {
     let mut config = RunConfig::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut run_all = false;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut check_baseline: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -104,6 +109,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 config.trace_dir = Some(dir.into());
+            }
+            "--write-baseline" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--write-baseline needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                write_baseline = Some(dir.into());
+            }
+            "--check-baseline" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--check-baseline needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                check_baseline = Some(dir.into());
             }
             "all" => run_all = true,
             "list" => {
@@ -180,6 +201,48 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("  [{} figure(s) in {:.1?}]", results.len(), total.elapsed());
+
+    if let Some(dir) = &write_baseline {
+        for (id, table, _) in &results {
+            if let Err(e) = perfgate::write_table(&config, dir, table) {
+                eprintln!("failed to write baseline for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("  [{} baseline(s) written to {}]", results.len(), dir.display());
+    }
+
+    if let Some(dir) = &check_baseline {
+        // Check every selected figure; report all violations, then fail
+        // once. Missing/corrupt baseline files are typed errors on stderr
+        // and a nonzero exit, never a panic.
+        let mut failures = 0usize;
+        for (id, table, _) in &results {
+            match perfgate::check_table(&config, dir, table) {
+                GateResult::Pass => {}
+                GateResult::Diffs(diffs) => {
+                    failures += diffs.len();
+                    for d in &diffs {
+                        eprintln!("perf gate: {d}");
+                    }
+                }
+                GateResult::Error(e) => {
+                    failures += 1;
+                    eprintln!("perf gate: {id}: {e}");
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!(
+                "perf gate FAILED: {failures} violation(s) against {} — if the change is \
+                 intentional, regenerate with --write-baseline {}",
+                dir.display(),
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("  [perf gate passed: {} figure(s) vs {}]", results.len(), dir.display());
+    }
     ExitCode::SUCCESS
 }
 

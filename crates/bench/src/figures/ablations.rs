@@ -44,9 +44,11 @@ pub fn run(cfg: &RunConfig) -> Table {
             let mut config = resident_config(cfg, 15, n).with_assignment(assignment);
             // Keep the refinement pass's parent fanout physical (2^8) so
             // chain-granularity effects reflect the paper's configuration
-            // rather than the scaled-down one.
+            // rather than the scaled-down one. This ablation studies the
+            // refinement pass itself, so early stopping must not skip it.
             config.radix_bits = 16;
             config.bucket_capacity = 64;
+            config.fuse_small_partitions = false;
             GpuPartitioner::new(&config).partition(&rel).total_seconds()
         };
         push(
@@ -65,9 +67,11 @@ pub fn run(cfg: &RunConfig) -> Table {
             let mut config = resident_config(cfg, 15, n).with_assignment(assignment);
             // Physical parent fanout (see above); several buckets per
             // chain, so the per-bucket metadata re-initialization and
-            // descriptor fetches of bucket-at-a-time are visible.
+            // descriptor fetches of bucket-at-a-time are visible. As in
+            // 1a, the refinement pass under study must actually run.
             config.radix_bits = 16;
             config.bucket_capacity = 64;
+            config.fuse_small_partitions = false;
             GpuPartitioner::new(&config).partition(&rel).total_seconds()
         };
         push(
@@ -171,15 +175,47 @@ pub fn run(cfg: &RunConfig) -> Table {
     }
 
     // 7. chained-bucket (atomics) vs histogram partitioning — the §VI
-    // argument against the two-phase approach of Rui & Tu.
+    // argument against the two-phase approach of Rui & Tu. Early-stop
+    // fusion is pinned off: the histogram partitioner has no equivalent,
+    // and the comparison is about the per-pass mechanism.
     {
         let n = cfg.mtuples(8);
         let rel = RelationSpec::unique(n, 3007).generate();
-        let config = resident_config(cfg, 15, n);
+        let mut config = resident_config(cfg, 15, n);
+        config.fuse_small_partitions = false;
         let chained = GpuPartitioner::new(&config).partition(&rel).total_seconds();
         let histogram =
             hcj_core::partition::HistogramPartitioner::new(&config).partition(&rel).total_seconds();
         push(&mut table, "partitioning (atomic chains vs histogram)", chained, histogram);
+    }
+
+    // 9. software write-combining in the partitioning kernels: the paper's
+    // shared-memory shuffle vs a naive kernel scattering from registers.
+    {
+        let n = cfg.mtuples(8);
+        let rel = RelationSpec::unique(n, 3008).generate();
+        let mut config = resident_config(cfg, 15, n);
+        config.fuse_small_partitions = false; // isolate the write path
+        let combined = GpuPartitioner::new(&config).partition(&rel).total_seconds();
+        let naive_cfg = config.with_write_combining(false);
+        let naive = GpuPartitioner::new(&naive_cfg).partition(&rel).total_seconds();
+        push(&mut table, "partition writes (combined vs naive scatter)", combined, naive);
+    }
+
+    // 10. fused early-stop refinement (the profiler-driven speed campaign)
+    // vs the paper's full pass plan, on a cardinality whose refinement
+    // parents already fit the shared-memory budget (where early stopping
+    // can bite; at full scale the paper's configuration genuinely needs
+    // every pass and the two coincide).
+    {
+        let n = cfg.mtuples(2);
+        let rel = RelationSpec::unique(n, 3009).generate();
+        let fused_cfg = resident_config(cfg, 15, n);
+        let fused = GpuPartitioner::new(&fused_cfg).partition(&rel).total_seconds();
+        let mut full_cfg = fused_cfg.clone();
+        full_cfg.fuse_small_partitions = false;
+        let full = GpuPartitioner::new(&full_cfg).partition(&rel).total_seconds();
+        push(&mut table, "refinement early-stop (fused vs full plan)", fused, full);
     }
 
     // 8. probe-chunk sizing in co-processing: the paper streams chunks
@@ -244,5 +280,9 @@ mod tests {
         assert!(speedup("probe chunk sizing") > 1.1);
         // Atomic bucket chains beat the two-phase histogram approach.
         assert!(speedup("partitioning (atomic chains") > 1.05);
+        // Software write-combining beats the naive scatter kernel.
+        assert!(speedup("partition writes") > 1.2);
+        // Early-stop refinement wins when parents already fit the budget.
+        assert!(speedup("refinement early-stop") > 1.05);
     }
 }

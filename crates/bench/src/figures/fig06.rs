@@ -11,7 +11,7 @@ use hcj_core::ProbeKind;
 use hcj_workload::generate::canonical_pair;
 
 use crate::figures::common::{
-    fmt_tuples, parallel_points, record_outcome, resident_config, run_resident,
+    fmt_tuples, parallel_points, record_outcome, record_probes, resident_config, run_resident,
 };
 use crate::{btps, RunConfig, Table};
 
@@ -54,6 +54,13 @@ pub fn run(cfg: &RunConfig) -> Table {
     }
     if let Some((_, _, out)) = results.last() {
         record_outcome(cfg, &mut table, "fig06-shared", out);
+    }
+    // Gate both ends of the sweep: the smallest size is where the radix
+    // plan over-refines (partitions far below the shared-memory budget),
+    // so its cycles pin the fused early-stop win; the largest size above
+    // pins the full pass plan.
+    if let Some((_, _, out)) = results.first() {
+        record_probes(&mut table, "fig06-shared-small", out);
     }
     table
 }

@@ -12,7 +12,8 @@ use hcj_core::OutputMode;
 use hcj_cpu_join::{NpoJoin, ProJoin};
 
 use crate::figures::common::{
-    device, fmt_tuples, parallel_points, ratio_pair, record_outcome, resident_config, run_resident,
+    device, fmt_tuples, parallel_points, ratio_pair, record_outcome, record_probes,
+    resident_config, run_resident,
 };
 use crate::{btps, RunConfig, Table};
 
@@ -67,6 +68,11 @@ pub fn run(cfg: &RunConfig) -> Table {
     }
     if let Some((_, _, Some(out))) = results.last() {
         record_outcome(cfg, &mut table, "fig08-gpu-part", out);
+    }
+    // Second gate probe at the smallest build size, where the fixed radix
+    // plan over-refines and the fused early-stop refinement pays off.
+    if let Some((_, _, Some(out))) = results.first() {
+        record_probes(&mut table, "fig08-gpu-part-small", out);
     }
     table
 }

@@ -25,6 +25,7 @@
 
 pub mod figures;
 pub mod microbench;
+pub mod perfgate;
 pub mod report;
 
 pub use report::Table;

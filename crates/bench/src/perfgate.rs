@@ -1,0 +1,166 @@
+//! The perf gate: turns rendered figures into [`FigureBaseline`]s and
+//! enforces checked-in goldens (`repro --write-baseline` /
+//! `--check-baseline`).
+//!
+//! Every figure contributes two kinds of pinned data:
+//!
+//! * the **probes** its runners recorded via
+//!   [`crate::figures::common::record_outcome`] — simulated cycles and
+//!   per-counter totals of each representative run (exact), plus derived
+//!   ratios (coalescing efficiency, occupancy, roofline attainment —
+//!   tolerance-banded);
+//! * a **digest** of the full CSV rendering (`csv_fnv64`), so every sweep
+//!   point gates against drift without one metric per cell.
+//!
+//! The run context (`scale`, `quick`) is recorded with each baseline and
+//! gates exactly: checking goldens recorded under a different configuration
+//! is reported as a `context:` violation instead of producing misleading
+//! metric diffs.
+
+use std::path::Path;
+
+use hcj_sim::baseline::{fnv64_hex, BaselineError, FigureBaseline, Metric, MetricDiff};
+
+use crate::report::Table;
+use crate::RunConfig;
+
+/// Relative tolerance for Float metrics; see
+/// [`hcj_sim::baseline::FLOAT_TOLERANCE`].
+pub use hcj_sim::baseline::FLOAT_TOLERANCE;
+
+/// Build the baseline a figure's rendered table implies under `cfg`.
+pub fn baseline_from_table(cfg: &RunConfig, table: &Table) -> FigureBaseline {
+    let mut b = FigureBaseline::new(table.id);
+    b.context("scale", cfg.scale.to_string());
+    b.context("quick", cfg.quick.to_string());
+    for (name, metric) in &table.probes {
+        b.metric(name.clone(), metric.clone());
+    }
+    b.metric("csv_fnv64", Metric::Text(fnv64_hex(&table.to_csv())));
+    b
+}
+
+/// The outcome of checking one figure against a baseline directory.
+pub enum GateResult {
+    /// Every metric within band.
+    Pass,
+    /// The named metric violations.
+    Diffs(Vec<MetricDiff>),
+    /// The baseline could not be loaded (missing/corrupt file).
+    Error(BaselineError),
+}
+
+/// Check one figure's table against `<dir>/<id>.json`.
+pub fn check_table(cfg: &RunConfig, dir: &Path, table: &Table) -> GateResult {
+    let observed = baseline_from_table(cfg, table);
+    match FigureBaseline::load(dir, table.id) {
+        Ok(golden) => {
+            let diffs = golden.compare(&observed, FLOAT_TOLERANCE);
+            if diffs.is_empty() {
+                GateResult::Pass
+            } else {
+                GateResult::Diffs(diffs)
+            }
+        }
+        Err(e) => GateResult::Error(e),
+    }
+}
+
+/// Write one figure's baseline into `dir`.
+pub fn write_table(
+    cfg: &RunConfig,
+    dir: &Path,
+    table: &Table,
+) -> Result<std::path::PathBuf, BaselineError> {
+    baseline_from_table(cfg, table).store(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("fig98", "Gate sample", "size", "tput", vec!["ours".into()]);
+        t.row("1M", vec![Some(4.5)]);
+        t.probe("cycles[run]", Metric::Exact(1_000_000));
+        t.probe("coalescing[run]", Metric::Float(0.97));
+        t
+    }
+
+    fn cfg() -> RunConfig {
+        RunConfig { quick: true, ..RunConfig::default() }
+    }
+
+    #[test]
+    fn round_trip_write_then_check_passes() {
+        let dir = std::env::temp_dir().join("hcj-perfgate-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_table(&cfg(), &dir, &table()).unwrap();
+        assert!(matches!(check_table(&cfg(), &dir, &table()), GateResult::Pass));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cycle_inflation_fails_naming_figure_and_metric() {
+        let dir = std::env::temp_dir().join("hcj-perfgate-inflate");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_table(&cfg(), &dir, &table()).unwrap();
+        let mut inflated = table();
+        inflated.probes[0].1 = Metric::Exact(2_000_000);
+        match check_table(&cfg(), &dir, &inflated) {
+            GateResult::Diffs(diffs) => {
+                assert_eq!(diffs.len(), 1);
+                assert_eq!(diffs[0].figure, "fig98");
+                assert_eq!(diffs[0].metric, "cycles[run]");
+                assert_eq!(diffs[0].baseline, "1000000");
+                assert_eq!(diffs[0].observed, "2000000");
+            }
+            GateResult::Pass => panic!("inflated cycles must fail the gate"),
+            GateResult::Error(e) => panic!("unexpected load error: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_drift_fails_via_the_digest() {
+        let dir = std::env::temp_dir().join("hcj-perfgate-csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_table(&cfg(), &dir, &table()).unwrap();
+        let mut drifted = table();
+        drifted.rows[0].1[0] = Some(4.6);
+        match check_table(&cfg(), &dir, &drifted) {
+            GateResult::Diffs(diffs) => {
+                assert!(diffs.iter().any(|d| d.metric == "csv_fnv64"), "{diffs:?}");
+            }
+            _ => panic!("csv drift must fail the gate"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn context_mismatch_is_reported_as_such() {
+        let dir = std::env::temp_dir().join("hcj-perfgate-context");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_table(&cfg(), &dir, &table()).unwrap();
+        let full = RunConfig { quick: false, ..RunConfig::default() };
+        match check_table(&full, &dir, &table()) {
+            GateResult::Diffs(diffs) => {
+                assert!(diffs.iter().any(|d| d.metric == "context:quick"), "{diffs:?}");
+            }
+            _ => panic!("context mismatch must fail the gate"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_baseline_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("hcj-perfgate-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        match check_table(&cfg(), &dir, &table()) {
+            GateResult::Error(BaselineError::Missing { .. }) => {}
+            _ => panic!("missing baseline must be a typed error"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

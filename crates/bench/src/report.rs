@@ -20,6 +20,10 @@ pub struct Table {
     /// Pre-rendered hardware-counter profile blocks (`repro --profile`),
     /// printed verbatim after the notes; empty without `--profile`.
     pub profiles: Vec<String>,
+    /// Perf-gate probes: named baseline metrics (simulated cycles, counter
+    /// totals, derived ratios) recorded by the figure's representative
+    /// runs. Not printed; consumed by `repro --write/--check-baseline`.
+    pub probes: Vec<(String, hcj_sim::baseline::Metric)>,
 }
 
 impl Table {
@@ -39,6 +43,7 @@ impl Table {
             rows: Vec::new(),
             notes: Vec::new(),
             profiles: Vec::new(),
+            probes: Vec::new(),
         }
     }
 
@@ -50,6 +55,12 @@ impl Table {
 
     pub fn note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Record one perf-gate probe metric. Probe order is insertion order;
+    /// the baseline store sorts by name, so ordering here is free.
+    pub fn probe(&mut self, name: impl Into<String>, metric: hcj_sim::baseline::Metric) {
+        self.probes.push((name.into(), metric));
     }
 
     /// Attach a rendered per-kernel counter profile for one representative

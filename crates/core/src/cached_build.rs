@@ -58,6 +58,10 @@ pub struct CachedBuild {
     /// took: the rebuild cost a cache avoids on every hit, and the
     /// numerator of the GreedyDual-Size eviction priority.
     pub build_seconds: f64,
+    /// The build partitioning's early-stop decisions (all-false without
+    /// fused refinement); every hot probe replays them so its
+    /// co-partitions line up with the cached table's.
+    pub refine_plan: crate::partition::RefinePlan,
 }
 
 /// The cold/hot pair of the build-side cache; shares its configuration
@@ -155,7 +159,7 @@ impl CachedBuildJoin {
                 &retry,
             )?;
         }
-        let s_out = partitioner.partition(s);
+        let s_out = partitioner.partition_following(s, &r_out.refine_plan);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
         let s_shape = self.config.partition_launch_shape(s.len());
@@ -189,6 +193,7 @@ impl CachedBuildJoin {
             build_tuples: r.len() as u64,
             table_bytes,
             build_seconds,
+            refine_plan: r_out.refine_plan,
         };
         Ok((outcome, cached))
     }
@@ -236,7 +241,7 @@ impl CachedBuildJoin {
                 &retry,
             )?;
         }
-        let s_out = partitioner.partition(s);
+        let s_out = partitioner.partition_following(s, &cached.refine_plan);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
         let s_shape = self.config.partition_launch_shape(s.len());

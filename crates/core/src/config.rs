@@ -72,6 +72,23 @@ pub struct GpuJoinConfig {
     /// `None` = no fault layer; every strategy then behaves exactly as
     /// before the layer existed.
     pub faults: Option<FaultConfig>,
+    /// Software write-combining in the partitioning kernels (§III-A): stage
+    /// tuples through the shared-memory shuffle tile so bucket writes leave
+    /// the SM as full coalesced sectors. `false` models the naive kernel
+    /// that scatters straight from registers — the tile is not reserved,
+    /// and every warp's stores pay one memory transaction per distinct
+    /// sector they touch. An ablation knob; the paper's kernel combines.
+    pub write_combining: bool,
+    /// Fused early-stop refinement: a refinement pass skips any parent
+    /// partition that already fits the shared-memory build budget
+    /// (`smem_elements`), carrying its bucket chain to the child level
+    /// untouched instead of re-scattering it. The probe side must replay
+    /// the build side's decisions ([`crate::partition::RefinePlan`]) so
+    /// co-partition indices keep matching; strategies handle that. Off by
+    /// default — the paper's kernel always runs the full pass plan — and
+    /// inert for nested-loop probes, whose cost is quadratic in partition
+    /// size (see [`GpuJoinConfig::fusion_active`]).
+    pub fuse_small_partitions: bool,
 }
 
 impl GpuJoinConfig {
@@ -97,7 +114,36 @@ impl GpuJoinConfig {
             // --chaos`); libraries and tests see `None` unless they opt in
             // via `with_faults`.
             faults: hcj_gpu::faults::ambient(),
+            write_combining: true,
+            fuse_small_partitions: false,
         }
+    }
+
+    /// Toggle software write-combining in the partitioning kernels.
+    pub fn with_write_combining(mut self, on: bool) -> Self {
+        self.write_combining = on;
+        self
+    }
+
+    /// Toggle fused early-stop refinement (see the field docs).
+    pub fn with_fused_refinement(mut self, on: bool) -> Self {
+        self.fuse_small_partitions = on;
+        self
+    }
+
+    /// Whether refinement passes may finalize small parents early. The
+    /// point of partitioning to `smem_elements` is that the *build* side
+    /// fits a shared-memory hash table; nested-loop probes gain nothing
+    /// from early stopping (their per-pair work is quadratic), so fusion
+    /// stays off for them regardless of the flag.
+    pub fn fusion_active(&self) -> bool {
+        self.fuse_small_partitions && self.probe != ProbeKind::NestedLoop
+    }
+
+    /// Largest parent partition a refinement pass may finalize early: the
+    /// shared-memory build budget the partitioning is working toward.
+    pub fn fuse_threshold(&self) -> u64 {
+        self.smem_elements as u64
     }
 
     pub fn with_radix_bits(mut self, bits: u32) -> Self {
@@ -246,13 +292,17 @@ impl GpuJoinConfig {
 
     /// Validate the partitioning kernel's shared-memory footprint for the
     /// largest pass: per-partition metadata (a 4-byte offset counter and a
-    /// 4-byte bucket pointer) plus one block-sized shuffle tile.
+    /// 4-byte bucket pointer) plus — when software write-combining is on —
+    /// one block-sized shuffle tile. The naive scatter kernel writes
+    /// straight from registers and reserves no tile.
     pub fn validate_partition_kernel(&self) -> Result<SharedMemLayout, SharedMemOverflow> {
         let fanout = self.pass_plan().passes().iter().map(|p| p.fanout()).max().unwrap_or(1);
         let mut l = SharedMemLayout::new(self.device.shared_mem_per_block);
         l.reserve::<u32>("partition offsets", fanout as usize)?;
         l.reserve::<u32>("partition bucket ptrs", fanout as usize)?;
-        l.reserve_bytes("shuffle tile", u64::from(self.partition_block_threads) * 8)?;
+        if self.write_combining {
+            l.reserve_bytes("shuffle tile", u64::from(self.partition_block_threads) * 8)?;
+        }
         Ok(l)
     }
 
@@ -352,6 +402,24 @@ mod tests {
         let mut c = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
         c.bucket_capacity = 1000;
         let _ = c.validate();
+    }
+
+    #[test]
+    fn write_combining_gates_the_shuffle_tile() {
+        let wc = GpuJoinConfig::paper_default(DeviceSpec::gtx1080());
+        let naive = wc.clone().with_write_combining(false);
+        let with_tile = wc.validate_partition_kernel().unwrap().reserved();
+        let without = naive.validate_partition_kernel().unwrap().reserved();
+        assert_eq!(with_tile - without, 1024 * 8, "tile is one 8-byte slot per thread");
+    }
+
+    #[test]
+    fn fusion_is_inert_for_nested_loop_probes() {
+        let c = GpuJoinConfig::paper_default(DeviceSpec::gtx1080()).with_fused_refinement(true);
+        assert!(c.fusion_active());
+        assert_eq!(c.fuse_threshold(), 4096);
+        assert!(!c.with_probe(ProbeKind::NestedLoop).fusion_active());
+        assert!(!GpuJoinConfig::paper_default(DeviceSpec::gtx1080()).fusion_active());
     }
 
     #[test]

@@ -244,7 +244,15 @@ impl CoProcessingJoin {
             s_chunks.iter().map(|c| cpu_radix_partition(c, cpu_bits)).collect();
 
         // ---- the pipeline ----
-        let sub_cfg = GpuJoinConfig { radix_bits: jcfg.radix_bits - cpu_bits, ..jcfg.clone() };
+        // R working-set parts and S chunk parts are sub-partitioned in
+        // different pipeline stages, so there is no build-side plan to
+        // replay here: fused refinement stays off for the GPU sub-passes
+        // (both sides must always reach the full sub-fanout).
+        let sub_cfg = GpuJoinConfig {
+            radix_bits: jcfg.radix_bits - cpu_bits,
+            fuse_small_partitions: false,
+            ..jcfg.clone()
+        };
         let sub_partitioner = GpuPartitioner::new(&sub_cfg);
         let mut exec = gpu.stream();
         let mut xfer = gpu.stream();

@@ -76,7 +76,9 @@ impl GpuPartitionedJoin {
                 &retry,
             )?;
         }
-        let s_out = partitioner.partition(s);
+        // The probe side replays the build side's early-stop decisions
+        // (inert without fusion) so co-partition indices keep matching.
+        let s_out = partitioner.partition_following(s, &r_out.refine_plan);
         drop(s_input);
         let _s_pool = gpu.mem.reserve(s_out.partitioned.pool.device_bytes())?;
         let s_shape = self.config.partition_launch_shape(s.len());
@@ -238,6 +240,46 @@ mod tests {
             JoinError::OutOfDeviceMemory(oom) => assert!(oom.requested > 0),
             other => panic!("expected OOM, got {other}"),
         }
+    }
+
+    #[test]
+    fn fused_refinement_matches_unfused_and_is_no_slower() {
+        // Uniform and skewed workloads, fused vs unfused: identical join
+        // results (the oracle-differential guarantee the speed campaign
+        // rests on), with fused runs at least as fast.
+        let workloads = [
+            canonical_pair(50_000, 200_000, 41),
+            (
+                RelationSpec::zipf(30_000, 1 << 16, 1.0, 42).generate(),
+                RelationSpec::zipf(120_000, 1 << 16, 1.0, 43).generate(),
+            ),
+        ];
+        for (r, s) in &workloads {
+            let base = small_config(12, r.len());
+            let unfused = GpuPartitionedJoin::new(base.clone()).execute(r, s).unwrap();
+            let fused =
+                GpuPartitionedJoin::new(base.with_fused_refinement(true)).execute(r, s).unwrap();
+            assert_eq!(fused.check, JoinCheck::compute(r, s));
+            assert_eq!(fused.check, unfused.check);
+            assert!(
+                fused.total_seconds() <= unfused.total_seconds(),
+                "fused {} vs unfused {}",
+                fused.total_seconds(),
+                unfused.total_seconds()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_materialization_matches_oracle() {
+        let (r, s) = canonical_pair(20_000, 40_000, 44);
+        let join = GpuPartitionedJoin::new(
+            small_config(10, 20_000)
+                .with_fused_refinement(true)
+                .with_output(OutputMode::Materialize),
+        );
+        let out = join.execute(&r, &s).unwrap();
+        assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //!
 //! A multi-join plan needs a join to consume a *prior join's* output as
 //! one of its inputs. Strategies materialize results as unordered
-//! [`JoinRow`](hcj_workload::oracle::JoinRow)s whose order depends on the
+//! [`JoinRow`]s whose order depends on the
 //! worker count, so handing them over raw would leak scheduling
 //! nondeterminism into downstream joins. [`OpOutput`] closes that hole:
 //! it canonicalizes the rows (via
-//! [`rows_to_relation`](hcj_workload::plan::rows_to_relation) — sorted,
+//! [`rows_to_relation`] — sorted,
 //! payloads combined) into an ordinary [`Relation`] any strategy or the
 //! CPU oracle can consume, and records where the bytes live:
 //!

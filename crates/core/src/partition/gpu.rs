@@ -22,6 +22,30 @@ pub struct PassStats {
     pub imbalance: f64,
     /// Buckets drawn from the pool (each draw is one global atomic).
     pub buckets_allocated: u64,
+    /// Parents this pass finalized early (fused refinement): their chains
+    /// were re-linked, not re-scattered, and contribute no tuple traffic.
+    pub fused_parents: u64,
+}
+
+/// Which parents each refinement pass finalized early: `finalized[k][p]`
+/// is true when refinement pass `k` (pass `k + 1` of the plan) carried
+/// parent `p`'s chain over instead of splitting it. A pass whose parents
+/// all finalized was skipped outright and the plan ends there.
+///
+/// The plan is decided on the *build* side and replayed verbatim on the
+/// probe side ([`GpuPartitioner::partition_following`]): co-partitions
+/// pair by index, so both relations must stop refining the same parents
+/// at the same depth even though their sizes differ.
+#[derive(Clone, Debug, Default)]
+pub struct RefinePlan {
+    pub finalized: Vec<Vec<bool>>,
+}
+
+impl RefinePlan {
+    /// True when some parent was finalized early somewhere in the plan.
+    pub fn any_fused(&self) -> bool {
+        self.finalized.iter().any(|pass| pass.iter().any(|&f| f))
+    }
 }
 
 /// The result of fully partitioning one relation.
@@ -29,6 +53,9 @@ pub struct PassStats {
 pub struct PartitionOutcome {
     pub partitioned: PartitionedRelation,
     pub passes: Vec<PassStats>,
+    /// The early-stop decisions taken (all-false without fusion); feed to
+    /// [`GpuPartitioner::partition_following`] for the other side.
+    pub refine_plan: RefinePlan,
 }
 
 impl PartitionOutcome {
@@ -62,11 +89,33 @@ impl<'a> GpuPartitioner<'a> {
         self.partition_with_base(rel, 0)
     }
 
+    /// Partition `rel` replaying the early-stop decisions of a previous
+    /// [`GpuPartitioner::partition`] — the probe side of a fused join must
+    /// stop refining exactly where the build side did so co-partition
+    /// indices keep matching. With fusion off the plan is all-false and
+    /// this is identical to [`GpuPartitioner::partition`].
+    pub fn partition_following(&self, rel: &Relation, plan: &RefinePlan) -> PartitionOutcome {
+        self.run(rel, 0, Some(plan))
+    }
+
     /// Partition on the key bits `[base_bits, base_bits +
     /// config.radix_bits)` — the GPU-side refinement of a CPU partition in
     /// the co-processing strategy (all of `rel` already shares its low
     /// `base_bits`).
     pub fn partition_with_base(&self, rel: &Relation, base_bits: u32) -> PartitionOutcome {
+        self.run(rel, base_bits, None)
+    }
+
+    /// Decide the early-stop fate of every parent before a refinement
+    /// pass: finalized parents (small enough to build in shared memory
+    /// already, empty ones included) are carried; the rest split.
+    fn decide(&self, parent: &PartitionedRelation) -> Vec<bool> {
+        let active = self.config.fusion_active();
+        let threshold = self.config.fuse_threshold();
+        (0..parent.fanout()).map(|p| active && parent.partition_len(p) <= threshold).collect()
+    }
+
+    fn run(&self, rel: &Relation, base_bits: u32, follow: Option<&RefinePlan>) -> PartitionOutcome {
         let plan = self.config.pass_plan();
         let mut passes = Vec::with_capacity(plan.num_passes());
 
@@ -132,34 +181,67 @@ impl<'a> GpuPartitioner<'a> {
                 }
             });
         }
-        passes.push(self.pass_stats(first, rel.len() as u64, allocs, 1.0, 1));
+        passes.push(self.pass_stats(first, rel.len() as u64, allocs, 1.0, 1, 0));
 
         // Refinement passes: scan the previous pass's bucket chains.
-        for &pass in &plan.passes()[1..] {
-            let (next, stats) = self.refine(&current, pass);
+        // Fused refinement may finalize parents early (or skip a pass
+        // wholesale when every parent finalized); a follower replays the
+        // recorded decisions instead of consulting its own sizes.
+        let mut refine_plan = RefinePlan::default();
+        for (k, &pass) in plan.passes()[1..].iter().enumerate() {
+            let finalized = match follow {
+                Some(plan) => {
+                    let decisions = plan
+                        .finalized
+                        .get(k)
+                        .cloned()
+                        .unwrap_or_else(|| vec![false; current.fanout()]);
+                    assert_eq!(
+                        decisions.len(),
+                        current.fanout(),
+                        "followed refine plan disagrees with the pass structure"
+                    );
+                    decisions
+                }
+                None => self.decide(&current),
+            };
+            if finalized.iter().all(|&f| f) {
+                // Every parent already fits the build budget: the pass is
+                // not launched at all and the plan ends at this depth.
+                refine_plan.finalized.push(finalized);
+                continue;
+            }
+            let (next, stats) = self.refine(&current, pass, &finalized);
+            refine_plan.finalized.push(finalized);
             current = next;
             passes.push(stats);
         }
 
-        PartitionOutcome { partitioned: current, passes }
+        PartitionOutcome { partitioned: current, passes, refine_plan }
     }
 
     fn refine(
         &self,
         parent: &PartitionedRelation,
         pass: PassBits,
+        finalized: &[bool],
     ) -> (PartitionedRelation, PassStats) {
         let new_bits = pass.shift + pass.bits;
         let local_fanout = pass.fanout() as usize;
         let shift = pass.shift as usize;
+        let live: Vec<usize> =
+            (0..parent.fanout()).filter(|&p| !parent.chains[p].is_empty()).collect();
+        // Finalized parents carry over whole: their tuples land at child
+        // index `p` (local digit 0) and the kernel never touches them —
+        // the chain is re-linked under its new index, one random write.
+        let refined: Vec<usize> = live.iter().copied().filter(|&p| !finalized[p]).collect();
+        let carried: Vec<usize> = live.iter().copied().filter(|&p| finalized[p]).collect();
         // Work units for load balancing: buckets (bucket-at-a-time) or
         // whole chains (partition-at-a-time). The functional result is
         // identical; only the imbalance factor and the per-unit metadata
         // re-initialization differ (paper §III-A).
         let mut unit_weights: Vec<u64> = Vec::new();
-        let live: Vec<usize> =
-            (0..parent.fanout()).filter(|&p| !parent.chains[p].is_empty()).collect();
-        for &p in &live {
+        for &p in &refined {
             match self.config.assignment {
                 PassAssignment::BucketAtATime => {
                     for b in parent.buckets_of(p) {
@@ -175,9 +257,11 @@ impl<'a> GpuPartitioner<'a> {
         // `p | (local << shift)` belongs to exactly one parent `p`, so
         // per-parent counting and scattering touch disjoint slot ranges
         // with no cross-parent offsets, and each child's tuple order is
-        // its parent's chain order — identical to the serial scan.
+        // its parent's chain order — identical to the serial scan. A
+        // carried parent's child index `p` collides with no refined child:
+        // those are `q | (local << shift)` with `q` refined, and `q ≠ p`.
         let pool = Pool::current();
-        let per_parent = pool.map(&live, |_, &p| {
+        let per_parent = pool.map(&refined, |_, &p| {
             let mut h = vec![0u64; local_fanout];
             for t in parent.tuples_of(p) {
                 h[pass.local_index(t.key >> parent.base_bits) as usize] += 1;
@@ -185,10 +269,13 @@ impl<'a> GpuPartitioner<'a> {
             h
         });
         let mut counts = vec![0u64; 1 << new_bits];
-        for (h, &p) in per_parent.iter().zip(&live) {
+        for (h, &p) in per_parent.iter().zip(&refined) {
             for (local, &c) in h.iter().enumerate() {
                 counts[p | (local << shift)] = c;
             }
+        }
+        for &p in &carried {
+            counts[p] = parent.partition_len(p);
         }
         let (mut next, base) = PartitionedRelation::from_counts(
             self.config.bucket_capacity,
@@ -196,12 +283,27 @@ impl<'a> GpuPartitioner<'a> {
             parent.base_bits,
             &counts,
         );
-        let allocs = next.pool.num_buckets() as u64;
+        // Carried chains keep their buckets; only refined children draw
+        // from the pool. (The physical copy below is simulation
+        // bookkeeping — the modeled kernel re-links, it does not move.)
+        let carried_buckets: u64 = carried.iter().map(|&p| next.chain_buckets(p) as u64).sum();
+        let allocs = next.pool.num_buckets() as u64 - carried_buckets;
         {
             let (keys, pays) = next.columns_mut();
             let key_slots = DisjointSlice::new(keys);
             let pay_slots = DisjointSlice::new(pays);
             pool.map(&live, |_, &p| {
+                if finalized[p] {
+                    for (cursor, t) in (base[p]..).zip(parent.tuples_of(p)) {
+                        // SAFETY: the carried child `p` is a partition of
+                        // its own; every slot has exactly one writer.
+                        unsafe {
+                            key_slots.write(cursor, t.key);
+                            pay_slots.write(cursor, t.payload);
+                        }
+                    }
+                    return;
+                }
                 let mut cursor: Vec<usize> =
                     (0..local_fanout).map(|local| base[p | (local << shift)]).collect();
                 for t in parent.tuples_of(p) {
@@ -218,14 +320,22 @@ impl<'a> GpuPartitioner<'a> {
         }
         let sms = self.config.device.sms as usize;
         let imbalance = round_robin_imbalance(&unit_weights, sms);
-        let n = parent.total_tuples();
-        let stats = self.pass_stats(pass, n, allocs, imbalance, unit_weights.len().max(1) as u64);
+        let n: u64 = refined.iter().map(|&p| parent.partition_len(p)).sum();
+        let stats = self.pass_stats(
+            pass,
+            n,
+            allocs,
+            imbalance,
+            unit_weights.len().max(1) as u64,
+            carried.len() as u64,
+        );
         (next, stats)
     }
 
     /// Traffic model of one pass over `n` tuples with `units` work units
     /// (each unit re-initializes the per-partition metadata in shared
-    /// memory).
+    /// memory); `fused` parents were carried whole (one chain re-link
+    /// each, no tuple traffic).
     fn pass_stats(
         &self,
         pass: PassBits,
@@ -233,15 +343,23 @@ impl<'a> GpuPartitioner<'a> {
         buckets_allocated: u64,
         imbalance: f64,
         units: u64,
+        fused: u64,
     ) -> PassStats {
         let mut cost = KernelCost::ZERO;
-        // Coalesced streaming: read the tuples, write them to their new
-        // buckets (the shared-memory shuffle is what keeps writes
-        // coalesced, §III-A).
         cost.add_coalesced(8 * n); // read keys+payloads
-        cost.add_coalesced(8 * n); // write to bucket chains
-                                   // Every tuple is staged into and out of the shuffle tile.
-        cost.add_shared(2 * 8 * n);
+        if self.config.write_combining {
+            // Software write-combining (§III-A): tuples stage into and out
+            // of the shared-memory shuffle tile, and the bucket writes
+            // leave the SM as full coalesced sectors.
+            cost.add_coalesced(8 * n); // write to bucket chains
+            cost.add_shared(2 * 8 * n);
+        } else {
+            // Naive scatter straight from registers: no staging traffic,
+            // but a warp's 32 stores land in up to `min(32, fanout)`
+            // distinct sectors — each a separate memory transaction.
+            let sectors_per_warp = u64::from(pass.fanout()).min(32);
+            cost.add_random(n.div_ceil(32) * sectors_per_warp);
+        }
         // One shared-memory atomic per tuple: the partition's offset
         // counter.
         cost.add_shared_atomics(n);
@@ -261,8 +379,11 @@ impl<'a> GpuPartitioner<'a> {
         cost.add_shared(units * fanout * 8);
         cost.add_instructions(units * fanout);
         cost.add_random(2 * units);
+        // Re-linking a finalized parent's chain under its child index is
+        // one random pointer write.
+        cost.add_random(fused);
         let seconds = cost.time(&self.config.device) * imbalance;
-        PassStats { cost, seconds, imbalance, buckets_allocated }
+        PassStats { cost, seconds, imbalance, buckets_allocated, fused_parents: fused }
     }
 }
 
@@ -420,6 +541,145 @@ mod tests {
             }
         }
         assert_eq!(seen, 4096);
+    }
+
+    /// Fusion-aware invariant: the fixed low bits every tuple of a child
+    /// partition shares are the child's index bits up to the depth its
+    /// refinement actually reached — carried parents stop at their pass's
+    /// shift, refined children carry the full index. The weakest common
+    /// guarantee is agreement on the *first* pass's bits, plus multiset
+    /// preservation; the join kernels compare full keys, so deeper
+    /// disagreement only lengthens chains.
+    fn check_is_fused_partition(rel: &Relation, out: &PartitionedRelation, first_bits: u32) {
+        let mask = (1u32 << first_bits) - 1;
+        let mut seen = 0u64;
+        for p in 0..out.fanout() {
+            for t in out.tuples_of(p) {
+                assert_eq!(t.key & mask, (p as u32) & mask, "tuple in wrong parent");
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, rel.len() as u64, "tuples lost or duplicated");
+        let mut want: HashMap<u32, i64> = HashMap::new();
+        for t in rel.iter() {
+            *want.entry(t.key).or_default() += 1;
+        }
+        for p in 0..out.fanout() {
+            for t in out.tuples_of(p) {
+                *want.entry(t.key).or_default() -= 1;
+            }
+        }
+        assert!(want.values().all(|&c| c == 0), "multiset mismatch");
+    }
+
+    #[test]
+    fn fused_refinement_skips_a_pass_when_every_parent_fits() {
+        // 50K tuples, radix 12 (two 6-bit passes): after pass 1 each of
+        // the 64 parents holds ~780 tuples ≤ the 4096-element budget, so
+        // the refinement pass is never launched.
+        let rel = RelationSpec::unique(50_000, 2).generate();
+        let mut cfg = config(12);
+        cfg.fuse_small_partitions = true;
+        let out = GpuPartitioner::new(&cfg).partition(&rel);
+        assert_eq!(out.passes.len(), 1, "refinement pass must be skipped");
+        assert_eq!(out.partitioned.fanout(), 1 << 6);
+        assert!(out.refine_plan.any_fused());
+        check_is_correct_partition(&rel, &out.partitioned);
+        let unfused = GpuPartitioner::new(&config(12)).partition(&rel);
+        assert!(
+            out.total_seconds() < unfused.total_seconds(),
+            "skipping a pass must be faster: {} vs {}",
+            out.total_seconds(),
+            unfused.total_seconds()
+        );
+    }
+
+    #[test]
+    fn fused_refinement_carries_only_small_parents_under_skew() {
+        // Zipf keys leave some pass-1 parents above the budget (they
+        // split) and some below (they carry): a genuinely mixed pass.
+        let rel = RelationSpec {
+            tuples: 300_000,
+            distribution: KeyDistribution::Zipf { distinct: 1 << 20, theta: 1.0 },
+            payload_width: 4,
+            seed: 9,
+        }
+        .generate();
+        let mut cfg = config(12);
+        cfg.fuse_small_partitions = true;
+        let partitioner = GpuPartitioner::new(&cfg);
+        let out = partitioner.partition(&rel);
+        assert_eq!(out.passes.len(), 2, "hot parents must still refine");
+        let fused = out.passes[1].fused_parents;
+        assert!(fused > 0, "cold parents must carry");
+        assert!(out.refine_plan.any_fused());
+        check_is_fused_partition(&rel, &out.partitioned, 6);
+        // The mixed pass moves fewer tuples than the unfused one.
+        let unfused = GpuPartitioner::new(&config(12)).partition(&rel);
+        assert!(
+            out.passes[1].cost.coalesced_bytes < unfused.passes[1].cost.coalesced_bytes,
+            "carried parents contribute no tuple traffic"
+        );
+        assert!(out.total_seconds() < unfused.total_seconds());
+    }
+
+    #[test]
+    fn followers_replay_the_build_sides_decisions() {
+        // The build side (small) finalizes everything after pass 1; the
+        // probe side (large) would have refined on its own. Following
+        // must reproduce the build side's structure regardless.
+        let r = RelationSpec::unique(50_000, 2).generate();
+        let s = RelationSpec::unique(400_000, 9).generate();
+        let mut cfg = config(12);
+        cfg.fuse_small_partitions = true;
+        let partitioner = GpuPartitioner::new(&cfg);
+        let r_out = partitioner.partition(&r);
+        let s_out = partitioner.partition_following(&s, &r_out.refine_plan);
+        assert_eq!(s_out.partitioned.fanout_bits, r_out.partitioned.fanout_bits);
+        assert_eq!(s_out.partitioned.fanout(), 1 << 6);
+        check_is_correct_partition(&s, &s_out.partitioned);
+        // Left to its own devices, s (6250 tuples/parent) refines fully.
+        let s_alone = partitioner.partition(&s);
+        assert_eq!(s_alone.partitioned.fanout(), 1 << 12);
+    }
+
+    #[test]
+    fn following_an_all_false_plan_is_plain_partitioning() {
+        let rel = RelationSpec::unique(60_000, 10).generate();
+        let cfg = config(12); // fusion off
+        let partitioner = GpuPartitioner::new(&cfg);
+        let a = partitioner.partition(&rel);
+        assert!(!a.refine_plan.any_fused());
+        let b = partitioner.partition_following(&rel, &a.refine_plan);
+        assert_eq!(a.partitioned.fanout(), b.partitioned.fanout());
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        for p in 0..a.partitioned.fanout() {
+            assert_eq!(a.partitioned.partition_len(p), b.partitioned.partition_len(p));
+        }
+    }
+
+    #[test]
+    fn naive_scatter_is_slower_and_more_random() {
+        let rel = RelationSpec::unique(200_000, 11).generate();
+        let wc_cfg = config(8);
+        let mut naive_cfg = config(8);
+        naive_cfg.write_combining = false;
+        let wc = GpuPartitioner::new(&wc_cfg).partition(&rel);
+        let naive = GpuPartitioner::new(&naive_cfg).partition(&rel);
+        // Functionally identical — write-combining is a traffic model.
+        check_is_correct_partition(&rel, &naive.partitioned);
+        assert_eq!(wc.partitioned.total_tuples(), naive.partitioned.total_tuples());
+        assert!(
+            naive.passes[0].cost.random_transactions > wc.passes[0].cost.random_transactions,
+            "uncombined warp stores must issue per-sector transactions"
+        );
+        assert!(naive.passes[0].cost.coalesced_bytes < wc.passes[0].cost.coalesced_bytes);
+        assert!(
+            naive.total_seconds() > wc.total_seconds(),
+            "naive {} vs combined {}",
+            naive.total_seconds(),
+            wc.total_seconds()
+        );
     }
 
     #[test]

@@ -109,7 +109,13 @@ impl<'a> HistogramPartitioner<'a> {
             cost.add_instructions(14 * n + (bounds.len() as u64) * 4);
             let seconds =
                 cost.time(&self.config.device) + 2.0 * self.config.device.launch_overhead_s;
-            passes.push(PassStats { cost, seconds, imbalance: 1.0, buckets_allocated: 0 });
+            passes.push(PassStats {
+                cost,
+                seconds,
+                imbalance: 1.0,
+                buckets_allocated: 0,
+                fused_parents: 0,
+            });
         }
 
         // Materialize into the common PartitionedRelation shape (each
@@ -155,7 +161,7 @@ impl<'a> HistogramPartitioner<'a> {
                 }
             });
         }
-        PartitionOutcome { partitioned: out, passes }
+        PartitionOutcome { partitioned: out, passes, refine_plan: Default::default() }
     }
 }
 

@@ -15,5 +15,5 @@ mod histogram;
 pub(crate) const PART_PAR_MIN: usize = 1 << 15;
 
 pub use bucket::{BucketPool, PartitionChain, PartitionedRelation, NIL_BUCKET};
-pub use gpu::{GpuPartitioner, PartitionOutcome, PassStats};
+pub use gpu::{GpuPartitioner, PartitionOutcome, PassStats, RefinePlan};
 pub use histogram::HistogramPartitioner;

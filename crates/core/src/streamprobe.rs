@@ -194,7 +194,9 @@ impl StreamedProbeJoin {
             // -- join chunk k against R (functional: partition the chunk,
             // then join co-partitions).
             let matches_before = sink.matches();
-            let s_out = partitioner.partition(chunk);
+            // Every chunk replays R's early-stop decisions (inert without
+            // fusion) so its co-partitions line up with R's.
+            let s_out = partitioner.partition_following(chunk, &r_out.refine_plan);
             let mut cost =
                 join_all_copartitions(cfg, &r_out.partitioned, &s_out.partitioned, &mut sink);
             for p in &s_out.passes {
@@ -298,6 +300,25 @@ mod tests {
         c.chunk_tuples = Some(2048);
         let out = StreamedProbeJoin::new(c).execute(&r, &s).unwrap();
         assert_join_matches(&r, &s, out.rows.as_ref().unwrap());
+    }
+
+    #[test]
+    fn fused_streamed_join_matches_oracle_and_unfused() {
+        // Every S chunk must replay R's early-stop decisions; chunks
+        // small enough to have finalized on their own still reach R's
+        // depth, and vice versa.
+        let (r, s) = canonical_pair(50_000, 400_000, 47);
+        let unfused = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(cfg(12, 50_000)))
+            .execute(&r, &s)
+            .unwrap();
+        let fused = StreamedProbeJoin::new(StreamedProbeConfig::paper_default(
+            cfg(12, 50_000).with_fused_refinement(true),
+        ))
+        .execute(&r, &s)
+        .unwrap();
+        assert_eq!(fused.check, JoinCheck::compute(&r, &s));
+        assert_eq!(fused.check, unfused.check);
+        assert!(fused.total_seconds() <= unfused.total_seconds());
     }
 
     #[test]

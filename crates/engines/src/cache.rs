@@ -351,6 +351,7 @@ mod tests {
             build_tuples: 0,
             table_bytes,
             build_seconds,
+            refine_plan: Default::default(),
         }
     }
 

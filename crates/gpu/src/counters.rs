@@ -335,6 +335,32 @@ impl CounterSet {
         &self.device
     }
 
+    /// Peak device-memory bandwidth of the recording device, bytes/second
+    /// (0 when the set never saw a device) — the denominator of the
+    /// roofline-attainment column and of the perf-gate roofline metric.
+    pub fn roofline_bandwidth(&self) -> f64 {
+        self.mem_bandwidth
+    }
+
+    /// Launch-seconds-weighted mean occupancy across kernels whose grid
+    /// shape was recorded; `None` when no kernel carried a shape. One
+    /// number per run for the perf gate's occupancy band.
+    pub fn mean_occupancy(&self) -> Option<f64> {
+        let mut weight = 0.0;
+        let mut acc = 0.0;
+        for stats in self.kernels.values() {
+            if let Some(o) = stats.occupancy {
+                weight += stats.seconds;
+                acc += o * stats.seconds;
+            }
+        }
+        if weight > 0.0 {
+            Some(acc / weight)
+        } else {
+            None
+        }
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.kernels.is_empty() && self.h2d.transfers == 0 && self.d2h.transfers == 0

@@ -46,6 +46,7 @@
 //! assert_eq!(schedule.start(c1), schedule.finish(c0));
 //! ```
 
+pub mod baseline;
 mod engine;
 mod op;
 mod resource;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Guard the perf-gate goldens: a commit that touches baselines/*.json must
+# also regenerate BENCH_repro.json in the same commit (range), so golden
+# cycle counts never drift apart from the benchmark evidence that justifies
+# them. CI runs this over the pushed/PR range; locally, pass any git range:
+#
+#   scripts/check_baselines.sh            # HEAD~1..HEAD
+#   scripts/check_baselines.sh main..HEAD
+set -euo pipefail
+
+RANGE="${1:-HEAD~1..HEAD}"
+
+CHANGED=$(git diff --name-only "$RANGE")
+BASELINES=$(echo "$CHANGED" | grep -E '^baselines/.*\.json$' || true)
+
+if [ -z "$BASELINES" ]; then
+  echo "baseline guard: no baselines/*.json changes in $RANGE — ok"
+  exit 0
+fi
+
+if echo "$CHANGED" | grep -qx 'BENCH_repro.json'; then
+  echo "baseline guard: baselines regenerated together with BENCH_repro.json — ok"
+  echo "$BASELINES"
+  exit 0
+fi
+
+echo "baseline guard FAILED: these goldens changed in $RANGE without"
+echo "regenerating BENCH_repro.json in the same commit:"
+echo "$BASELINES"
+echo
+echo "Re-run 'scripts/bench_repro.sh' (which runs the full repro and"
+echo "rewrites BENCH_repro.json) and commit it together with the new"
+echo "baselines, so the recorded wall-clock evidence matches the goldens."
+exit 1

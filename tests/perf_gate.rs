@@ -1,0 +1,153 @@
+//! Tier-1 regression tests for the perf gate (`repro --write-baseline` /
+//! `--check-baseline`): the green write→check round-trip on two quick
+//! figures, the negative path (a perturbed metric must fail naming the
+//! figure and the metric), and the degraded paths (missing or corrupt
+//! baseline files are typed errors and a nonzero exit — never a panic).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use hcj_bench::figures::{fig05, fig09_10};
+use hcj_bench::perfgate::{self, GateResult};
+use hcj_bench::{RunConfig, Table};
+use hcj_sim::baseline::{BaselineError, Metric};
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false }
+}
+
+/// A fresh scratch directory under the system temp dir (removed on entry
+/// so reruns start clean; best-effort removal on exit).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hcj-perf-gate-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn first_cycles_probe(table: &Table) -> usize {
+    table
+        .probes
+        .iter()
+        .position(|(name, _)| name.starts_with("cycles["))
+        .expect("every figure records at least one cycles[...] probe")
+}
+
+#[test]
+fn write_then_check_round_trips_on_two_quick_figures() {
+    let cfg = cfg();
+    let dir = scratch("roundtrip");
+    for table in [fig05::run(&cfg), fig09_10::run_fig09(&cfg)] {
+        perfgate::write_table(&cfg, &dir, &table).expect("baseline write succeeds");
+        assert!(dir.join(format!("{}.json", table.id)).is_file());
+        assert!(
+            matches!(perfgate::check_table(&cfg, &dir, &table), GateResult::Pass),
+            "{}: freshly written baseline must pass its own check",
+            table.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn perturbed_cycles_fail_the_gate_naming_figure_and_metric() {
+    let cfg = cfg();
+    let dir = scratch("perturbed");
+    let table = fig05::run(&cfg);
+    perfgate::write_table(&cfg, &dir, &table).unwrap();
+
+    let mut inflated = fig05::run(&cfg);
+    let i = first_cycles_probe(&inflated);
+    let metric_name = inflated.probes[i].0.clone();
+    let Metric::Exact(cycles) = inflated.probes[i].1 else {
+        panic!("cycles probes are exact");
+    };
+    inflated.probes[i].1 = Metric::Exact(cycles + cycles / 10 + 1);
+
+    match perfgate::check_table(&cfg, &dir, &inflated) {
+        GateResult::Diffs(diffs) => {
+            let d = diffs
+                .iter()
+                .find(|d| d.metric == metric_name)
+                .unwrap_or_else(|| panic!("no diff names {metric_name}: {diffs:?}"));
+            assert_eq!(d.figure, "fig05");
+            let line = d.to_string();
+            assert!(line.contains("fig05") && line.contains(&metric_name), "{line}");
+        }
+        GateResult::Pass => panic!("inflated cycles must fail the gate"),
+        GateResult::Error(e) => panic!("unexpected load error: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_baseline_is_a_typed_error() {
+    let cfg = cfg();
+    let dir = scratch("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let table = fig05::run(&cfg);
+    match perfgate::check_table(&cfg, &dir, &table) {
+        GateResult::Error(BaselineError::Missing { path }) => {
+            assert_eq!(path, dir.join("fig05.json"));
+        }
+        _ => panic!("missing baseline must surface as BaselineError::Missing"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_baseline_is_a_typed_parse_error() {
+    let cfg = cfg();
+    let dir = scratch("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("fig05.json"), "{ \"figure\": \"fig05\", truncated").unwrap();
+    let table = fig05::run(&cfg);
+    match perfgate::check_table(&cfg, &dir, &table) {
+        GateResult::Error(BaselineError::Parse { path, .. }) => {
+            assert_eq!(path, dir.join("fig05.json"));
+        }
+        GateResult::Error(e) => panic!("corrupt baseline must parse-fail, got: {e}"),
+        _ => panic!("corrupt baseline must surface as BaselineError::Parse"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drive the real binary end to end: a missing baseline directory exits
+/// nonzero with the typed message on stderr (no panic), and a fresh
+/// write→check cycle through the CLI exits zero.
+#[test]
+fn repro_cli_check_baseline_exits_nonzero_on_missing_and_zero_after_write() {
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let dir = scratch("cli");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let run = |extra: &[&str]| {
+        let out = Command::new(repro)
+            .args(["fig5", "--quick", "--scale", "64"])
+            .args(extra)
+            .output()
+            .expect("repro binary runs");
+        (out.status, String::from_utf8_lossy(&out.stderr).into_owned())
+    };
+
+    let dir_s = dir.to_str().unwrap();
+    let (status, stderr) = run(&["--check-baseline", dir_s]);
+    assert!(!status.success(), "missing baseline must fail the gate:\n{stderr}");
+    assert!(stderr.contains("does not exist"), "typed message expected:\n{stderr}");
+    assert!(stderr.contains("perf gate FAILED"), "{stderr}");
+
+    let (status, stderr) = run(&["--write-baseline", dir_s]);
+    assert!(status.success(), "baseline write must succeed:\n{stderr}");
+
+    let (status, stderr) = run(&["--check-baseline", dir_s]);
+    assert!(status.success(), "freshly written baseline must pass:\n{stderr}");
+    assert!(stderr.contains("perf gate passed"), "{stderr}");
+
+    // Corrupt the golden on disk: still a clean failure, not a panic.
+    std::fs::write(dir.join("fig05.json"), "not json at all").unwrap();
+    let (status, stderr) = run(&["--check-baseline", dir_s]);
+    assert!(!status.success(), "corrupt baseline must fail the gate:\n{stderr}");
+    assert!(stderr.contains("is corrupt"), "typed message expected:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "must never panic:\n{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

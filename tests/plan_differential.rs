@@ -3,6 +3,7 @@
 //! composed CPU plan oracle, across uniform/skewed dimension popularity,
 //! cache on/off, worker counts and an armed fault plan.
 
+use hashjoin_gpu::gpu::CounterRollup;
 use hashjoin_gpu::prelude::*;
 
 /// Service in the serve-binary regime, with enough headroom that plan
@@ -137,6 +138,73 @@ fn plan_summaries_are_byte_identical_across_jobs() {
         hashjoin_gpu::host::pool::set_jobs(1);
         assert_eq!(summaries[0], summaries[1], "{shape:?}: jobs 1 vs 2");
         assert_eq!(summaries[0], summaries[2], "{shape:?}: jobs 1 vs 4");
+    }
+}
+
+#[test]
+fn counter_rollups_are_identical_across_jobs_field_by_field() {
+    // The perf gate pins counter totals, so they must not depend on the
+    // worker count: every rollup field — per request and in aggregate —
+    // is identical for jobs 1/2/4, both plan shapes, cache on.
+    for shape in [PlanShape::Chain, PlanShape::Star] {
+        let workload = plan_traffic(shape, 1.0);
+        let mut runs: Vec<(CounterRollup, Vec<CounterRollup>)> = Vec::new();
+        for jobs in [1usize, 2, 4] {
+            hashjoin_gpu::host::pool::set_jobs(jobs);
+            let report = plan_service(1 << 13, true).run(&workload);
+            runs.push((
+                report.counters_total(),
+                report.requests.iter().map(|m| m.counters).collect(),
+            ));
+        }
+        hashjoin_gpu::host::pool::set_jobs(1);
+        let (base_total, base_requests) = &runs[0];
+        for (run, jobs) in runs[1..].iter().zip([2usize, 4]) {
+            let (total, requests) = run;
+            let tag = |field: &str| format!("{shape:?}: {field}, jobs 1 vs {jobs}");
+            assert_eq!(base_total.kernel_launches, total.kernel_launches, "{}", tag("launches"));
+            assert_eq!(base_total.transfers, total.transfers, "{}", tag("transfers"));
+            assert_eq!(base_total.device_bytes, total.device_bytes, "{}", tag("device_bytes"));
+            assert_eq!(base_total.h2d_bytes, total.h2d_bytes, "{}", tag("h2d_bytes"));
+            assert_eq!(base_total.d2h_bytes, total.d2h_bytes, "{}", tag("d2h_bytes"));
+            assert_eq!(
+                base_total.issued_transactions,
+                total.issued_transactions,
+                "{}",
+                tag("issued_transactions")
+            );
+            assert_eq!(
+                base_total.minimum_transactions,
+                total.minimum_transactions,
+                "{}",
+                tag("minimum_transactions")
+            );
+            assert_eq!(base_total.cache.hits, total.cache.hits, "{}", tag("cache.hits"));
+            assert_eq!(base_total.cache.misses, total.cache.misses, "{}", tag("cache.misses"));
+            assert_eq!(
+                base_total.cache.evictions,
+                total.cache.evictions,
+                "{}",
+                tag("cache.evictions")
+            );
+            assert_eq!(base_total.cache.reclaims, total.cache.reclaims, "{}", tag("reclaims"));
+            assert_eq!(
+                base_total.cache.invalidations,
+                total.cache.invalidations,
+                "{}",
+                tag("invalidations")
+            );
+            assert_eq!(
+                base_total.cache.reclaimed_bytes,
+                total.cache.reclaimed_bytes,
+                "{}",
+                tag("reclaimed_bytes")
+            );
+            // ...and per request, not just in aggregate (Eq covers every
+            // field at once here; the aggregate asserts above localize
+            // which field drifted when this fires).
+            assert_eq!(base_requests, requests, "{}", tag("per-request rollups"));
+        }
     }
 }
 

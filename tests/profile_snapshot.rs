@@ -1,0 +1,63 @@
+//! Golden snapshot of the nvprof-style `--profile` rendering: fig05's
+//! rendered table — rows, notes, probes aside, and the per-kernel counter
+//! profile block — must match the checked-in text byte for byte. The
+//! profile block is the profiler's user-facing contract (column set,
+//! alignment, derived metrics), so formatting drift fails loudly here
+//! instead of silently reaching users.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo test -p hcj-bench --test profile_snapshot -- --ignored rewrite
+//! ```
+
+use hcj_bench::figures::fig05;
+use hcj_bench::RunConfig;
+
+const GOLDEN: &str = include_str!("golden/fig05_profile.txt");
+
+fn cfg() -> RunConfig {
+    RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: true }
+}
+
+fn rendered() -> String {
+    fig05::run(&cfg()).render()
+}
+
+#[test]
+fn fig05_profile_rendering_matches_the_golden_snapshot() {
+    let got = rendered();
+    assert!(
+        got.contains("profile [fig05-hash]:"),
+        "--profile must attach the counter table:\n{got}"
+    );
+    if got != GOLDEN {
+        let diff_at = got
+            .lines()
+            .zip(GOLDEN.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  got:    {:?}\n  golden: {:?}",
+                    i + 1,
+                    got.lines().nth(i).unwrap_or(""),
+                    GOLDEN.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| "line counts differ".into());
+        panic!(
+            "fig05 --profile rendering drifted from tests/golden/fig05_profile.txt\n{diff_at}\n\
+             if intentional, regenerate with:\n  cargo test -p hcj-bench --test \
+             profile_snapshot -- --ignored rewrite"
+        );
+    }
+}
+
+/// Not a test: rewrites the golden in place (`-- --ignored rewrite`).
+#[test]
+#[ignore = "golden rewriter, run explicitly"]
+fn rewrite() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/fig05_profile.txt");
+    std::fs::write(path, rendered()).unwrap();
+    eprintln!("rewrote {path}");
+}
