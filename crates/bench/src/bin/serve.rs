@@ -5,6 +5,7 @@
 //! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
 //!       [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]
 //!       [--cache] [--popularity-skew THETA] [--plan {chain|star}]
+//!       [--devices N]
 //! ```
 //!
 //! Drives N seeded closed-loop clients with mixed relation sizes, skews
@@ -48,6 +49,16 @@
 //! consulting the cache when `--cache` is on. The summary gains plan
 //! lines (requests, ops, pinned/spilled intermediates) and stays
 //! byte-identical across `--jobs` counts.
+//!
+//! `--devices N` (N >= 2) shards the service across N simulated GPUs
+//! (`hcj_engines::fleet`): consistent-hash tenant routing with
+//! spill-to-least-loaded, per-device fault streams, circuit breakers and
+//! device-lost failover — a lost device drains its admitted requests,
+//! releases every reservation and cache pin, and re-routes the queue to
+//! survivors (CPU when the fleet is saturated). The summary gains fleet
+//! and per-device lines and stays byte-identical across `--jobs` counts.
+//! `--devices 1` (the default) is the unsharded single-device service,
+//! byte-identical to pre-fleet builds.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -56,13 +67,13 @@ use hcj_core::GpuJoinConfig;
 use hcj_engines::service::{
     mixed_workload, plan_workload, skewed_workload, JoinService, PlanShape, ServiceConfig,
 };
-use hcj_engines::{BuildCacheConfig, HcjEngine};
+use hcj_engines::{BuildCacheConfig, FleetConfig, FleetService, HcjEngine};
 use hcj_gpu::{DeviceSpec, FaultConfig};
 use hcj_sim::{SimTime, TraceExporter};
 
 const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
                      [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR] \
-                     [--cache] [--popularity-skew THETA] [--plan {chain|star}]";
+                     [--cache] [--popularity-skew THETA] [--plan {chain|star}] [--devices N]";
 
 /// Catalog size of the skewed-popularity and plan workloads.
 const CATALOG_SIZE: usize = 12;
@@ -87,6 +98,7 @@ struct Opts {
     cache: bool,
     popularity_skew: Option<f64>,
     plan: Option<PlanShape>,
+    devices: usize,
 }
 
 impl Default for Opts {
@@ -104,6 +116,7 @@ impl Default for Opts {
             cache: false,
             popularity_skew: None,
             plan: None,
+            devices: 1,
         }
     }
 }
@@ -202,6 +215,15 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 };
                 opts.plan = Some(shape);
             }
+            "--devices" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|v| (1..=32).contains(v))
+                    .ok_or("--devices needs an integer between 1 and 32")?;
+                opts.devices = v;
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -234,6 +256,7 @@ fn main() -> ExitCode {
         cache,
         popularity_skew,
         plan,
+        devices,
         ..
     } = opts;
     // Quick mode: the CI soak — 8 clients x 25 requests = 200, small
@@ -261,10 +284,7 @@ fn main() -> ExitCode {
     let engine = HcjEngine::new(join_config);
     let deadline = deadline_ms.map(|ms| SimTime::from_nanos(ms * 1_000_000));
     let cache_config = cache.then(BuildCacheConfig::default);
-    let service = JoinService::new(
-        engine,
-        ServiceConfig::default().with_deadline(deadline).with_cache(cache_config),
-    );
+    let service_config = ServiceConfig::default().with_deadline(deadline).with_cache(cache_config);
     let workload = match (plan, popularity_skew) {
         (Some(shape), theta) => plan_workload(
             shape,
@@ -285,7 +305,7 @@ fn main() -> ExitCode {
 
     println!(
         "# hcj join service soak — seed {seed}, {clients} clients x {requests} requests, \
-         device {} KB, chaos {}, deadline {}, cache {}, skew {}{}",
+         device {} KB, chaos {}, deadline {}, cache {}, skew {}{}{}",
         device.device_mem_bytes >> 10,
         match chaos {
             Some(s) => format!("seed {s}"),
@@ -306,9 +326,17 @@ fn main() -> ExitCode {
             Some(PlanShape::Star) => ", plan star",
             None => "",
         },
+        // Fleet runs announce their topology; --devices 1 keeps the
+        // header (and everything after it) byte-identical to pre-fleet
+        // builds.
+        if devices > 1 { format!(", fleet {devices} devices") } else { String::new() },
     );
     let started = Instant::now();
-    let report = service.run(&workload);
+    let report = if devices > 1 {
+        FleetService::new(engine, service_config, FleetConfig::new(devices)).run(&workload)
+    } else {
+        JoinService::new(engine, service_config).run(&workload)
+    };
     eprintln!("  [{total} requests served in {:.1?} wall-clock]", started.elapsed());
 
     print!("{}", report.summary());
@@ -392,6 +420,16 @@ mod tests {
         assert!(parse_args(&argv(&["--plan"])).is_err());
         assert!(parse_args(&argv(&["--plan", "tree"])).is_err());
         assert_eq!(parse_args(&argv(&[])).unwrap().plan, None);
+    }
+
+    #[test]
+    fn devices_flag_parses_and_rejects_out_of_range() {
+        assert_eq!(parse_args(&argv(&["--devices", "3"])).unwrap().devices, 3);
+        assert_eq!(parse_args(&argv(&["--devices", "1"])).unwrap().devices, 1);
+        assert_eq!(parse_args(&argv(&[])).unwrap().devices, 1, "default is the unsharded service");
+        assert!(parse_args(&argv(&["--devices", "0"])).is_err());
+        assert!(parse_args(&argv(&["--devices", "33"])).is_err());
+        assert!(parse_args(&argv(&["--devices"])).is_err());
     }
 
     #[test]

@@ -289,6 +289,35 @@ impl BuildCache {
         true
     }
 
+    /// The hottest resident entries — maximum GreedyDual priority, ties
+    /// broken most-recently-touched then lowest id — as cloned builds,
+    /// hottest first. This is the deterministic re-warm set the fleet
+    /// copies onto an adopting device when this cache's device is lost;
+    /// cloning (not pinning) keeps the dead device's reservations out of
+    /// the survivor's accounting.
+    pub fn hottest(&self, limit: usize) -> Vec<(BuildRef, CachedBuild)> {
+        let mut ranked: Vec<(&u64, &Entry)> = self.entries.iter().collect();
+        ranked.sort_by(|(ia, a), (ib, b)| {
+            b.h.total_cmp(&a.h).then(b.touched.cmp(&a.touched)).then(ia.cmp(ib))
+        });
+        ranked
+            .into_iter()
+            .take(limit)
+            .map(|(&id, e)| (BuildRef { id, version: e.version }, e.table.build.clone()))
+            .collect()
+    }
+
+    /// Drop every entry at once — the device behind this cache is gone.
+    /// Each drop is counted as an invalidation; bytes pinned by in-flight
+    /// users stay reserved until those users drain (the fleet drains them
+    /// in the same event). Returns the number of entries invalidated.
+    pub fn invalidate_all(&mut self) -> usize {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
     /// Memory-pressure reclaim: evict entries (coldest first) until
     /// `device` can grant `needed` bytes, or nothing evictable remains.
     /// `protect` spares one id — the entry the requester is about to hit,

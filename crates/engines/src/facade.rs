@@ -34,6 +34,7 @@ use hcj_core::{
     StreamedProbeConfig, StreamedProbeJoin,
 };
 use hcj_cpu_join::ProJoin;
+use hcj_gpu::faults::{FaultEvent, FaultEventKind};
 use hcj_gpu::JoinError;
 use hcj_sim::{Op, Sim};
 use hcj_workload::Relation;
@@ -218,6 +219,12 @@ impl HcjEngine {
     ) -> Result<(PlannedStrategy, JoinOutcome), JoinError> {
         let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
         let mut strategy = start;
+        // A sticky device-lost caught on the way down. The failed attempt's
+        // fault log dies with the attempt, so the loss is re-surfaced as a
+        // synthetic log event on the recovery outcome — callers (the fleet
+        // health machine above all) must be able to see that the device
+        // died even though the join itself recovered onto the CPU.
+        let mut lost: Option<FaultEvent> = None;
         loop {
             let attempt = match strategy {
                 PlannedStrategy::GpuResident => {
@@ -232,7 +239,11 @@ impl HcjEngine {
                         .execute(build, probe)
                 }
                 PlannedStrategy::CpuFallback => {
-                    return Ok((strategy, self.cpu_fallback(build, probe)));
+                    let mut outcome = self.cpu_fallback(build, probe);
+                    if let Some(event) = lost.take() {
+                        outcome.faults.events.push(event);
+                    }
+                    return Ok((strategy, outcome));
                 }
             };
             match attempt {
@@ -240,6 +251,14 @@ impl HcjEngine {
                 Err(err) if err.is_device_lost() => {
                     // The GPU is gone for this context; only the CPU can
                     // still finish the join.
+                    if let JoinError::Device(fault) = &err {
+                        lost = Some(FaultEvent {
+                            at: None,
+                            site: fault.site,
+                            kind: FaultEventKind::DeviceLost,
+                            label: fault.label.clone(),
+                        });
+                    }
                     strategy = PlannedStrategy::CpuFallback;
                 }
                 Err(err) if err.is_transient() => match strategy.degraded() {
@@ -372,6 +391,26 @@ mod tests {
         assert_eq!(strategy, PlannedStrategy::CpuFallback);
         assert_eq!(out.check, JoinCheck::compute(&r, &s));
         assert!(out.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn device_lost_is_surfaced_on_the_recovery_outcome() {
+        use hcj_gpu::faults::FaultEventKind;
+        use hcj_gpu::FaultConfig;
+        let (r, s) = canonical_pair(10_000, 10_000, 106);
+        let mut e = engine(1, 10_000, 8);
+        let cfg =
+            FaultConfig { kernel_fault_p: 1.0, device_lost_p: 1.0, ..FaultConfig::disabled(1) };
+        e.config = e.config.with_faults(cfg);
+        let (strategy, out) = e.execute(&r, &s).unwrap();
+        // The join recovered onto the CPU, but the loss is observable on
+        // the outcome's fault log — the fleet health machine depends on it.
+        assert_eq!(strategy, PlannedStrategy::CpuFallback);
+        assert!(out.faults.summary().device_lost);
+        assert_eq!(
+            out.faults.events.iter().filter(|e| e.kind == FaultEventKind::DeviceLost).count(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,1655 @@
+//! A multi-device join fleet: [`crate::service::JoinService`] sharded
+//! across N simulated GPUs, with per-device health and failover.
+//!
+//! Each device owns its own [`DeviceMemory`] accountant, optional
+//! [`BuildCache`], bounded dispatch queue and decorrelated fault stream
+//! ([`hcj_gpu::FaultConfig::reseeded_pair`] mixes the device id with the
+//! request id, so no two (device, request) pairs replay one verdict
+//! stream). Tenant→device routing is consistent hashing over a replica
+//! ring keyed by client id — a tenant's requests land on the same device
+//! run after run, which is what gives the per-device build caches their
+//! affinity — with spill-to-least-loaded when the preferred queue is
+//! full.
+//!
+//! The robustness core is a per-device health state machine:
+//!
+//! ```text
+//!   Healthy ──fault seen──▶ Degraded ──K faults in window──▶ Quarantined
+//!      ▲                        │                                 │
+//!      └──window drains─────────┘        half-open probe clean────┘
+//!                 (any state) ──sticky device-lost──▶ Lost
+//! ```
+//!
+//! * **Degraded** — transient faults observed inside the sliding
+//!   virtual-time breaker window, still below the trip threshold.
+//! * **Quarantined** — the circuit breaker tripped: queued requests are
+//!   re-routed to surviving devices and new traffic avoids the device
+//!   until a cooldown expires, after which a single half-open *probe*
+//!   request is admitted; a clean probe re-admits the device, a faulty
+//!   one re-arms the cooldown.
+//! * **Lost** — an execution surfaced the sticky device-lost fault. The
+//!   loss *drains* the device: every admitted-but-unfinished request
+//!   releases its [`Reservation`] and cache pins, the device's cache is
+//!   invalidated wholesale (its hottest builds are deterministically
+//!   re-warmed onto the adopting device first), and the drained queue is
+//!   re-routed to surviving devices — re-planned against the adopting
+//!   device's free capacity, or onto the host CPU when the fleet is
+//!   saturated. Lost is terminal.
+//!
+//! Everything runs on the same single-threaded virtual-time event loop
+//! as the single-device service — only admitted-batch execution fans out
+//! onto the host pool, and results merge in batch order — so fleet
+//! summaries are byte-identical across `--jobs` counts and runs. Health
+//! observations ride on request completions: the loop learns what an
+//! execution injected when the execution reports back, which keeps every
+//! transition at a deterministic event time.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use hcj_core::{CachedBuild, CachedBuildJoin};
+use hcj_gpu::faults::{DeviceFault, FaultKind, FaultSite};
+use hcj_gpu::{CounterRollup, DeviceMemory, FaultSummary, JoinError, Reservation};
+use hcj_host::pool::Pool;
+use hcj_sim::{CounterId, SimTime, Timeline, TrackId};
+use hcj_workload::catalog::BuildRef;
+use hcj_workload::oracle::JoinCheck;
+use hcj_workload::plan::{PlanOp, PlanSpec};
+use hcj_workload::Relation;
+
+use crate::cache::{BuildCache, CachePeek, CacheReport, CachedTable};
+use crate::dag::{execute_plan, plan_envelope, planned_root, PlanRun};
+use crate::facade::{HcjEngine, PlannedStrategy};
+use crate::service::{
+    CacheRole, ClientSpec, QuerySpec, RequestMetrics, ServiceConfig, ServiceReport,
+};
+
+/// Fleet topology and failover policy (the per-request admission policy
+/// rides in [`ServiceConfig`], applied per device).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of simulated devices. Each gets the engine's full device
+    /// capacity: an N-device fleet is N times the hardware.
+    pub devices: usize,
+    /// Transient faults inside the sliding window that trip the breaker.
+    pub breaker_threshold: usize,
+    /// Width of the sliding virtual-time breaker window.
+    pub breaker_window: SimTime,
+    /// Quarantine cooldown before a half-open probe is admitted.
+    pub quarantine_cooldown: SimTime,
+    /// Virtual ring points per device (consistent-hash replica count).
+    pub ring_replicas: usize,
+    /// Hottest cache entries re-warmed onto the adopting device when a
+    /// device is lost.
+    pub rewarm_limit: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `devices` with the default failover policy.
+    pub fn new(devices: usize) -> Self {
+        FleetConfig {
+            devices: devices.max(1),
+            breaker_threshold: 6,
+            breaker_window: SimTime::from_nanos(2_000_000), // 2 ms
+            quarantine_cooldown: SimTime::from_nanos(1_000_000), // 1 ms
+            ring_replicas: 16,
+            rewarm_limit: 2,
+        }
+    }
+}
+
+/// Health of one fleet device; see the module docs for the transitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Serving, no recent faults.
+    #[default]
+    Healthy,
+    /// Serving, transient faults inside the breaker window.
+    Degraded,
+    /// Breaker tripped: no new traffic except half-open probes.
+    Quarantined,
+    /// Sticky device-lost observed; drained and terminal.
+    Lost,
+}
+
+impl DeviceHealth {
+    /// Can this device accept (non-probe) work?
+    fn serving(self) -> bool {
+        matches!(self, DeviceHealth::Healthy | DeviceHealth::Degraded)
+    }
+}
+
+impl fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Degraded => "degraded",
+            DeviceHealth::Quarantined => "quarantined",
+            DeviceHealth::Lost => "lost",
+        })
+    }
+}
+
+/// End-of-run aggregate for one fleet device.
+#[derive(Clone, Debug)]
+pub struct DeviceRollup {
+    /// Device id (position in the fleet).
+    pub id: usize,
+    /// Terminal health state.
+    pub health: DeviceHealth,
+    /// Admissions onto this device (re-admissions after a drain count).
+    pub admitted: u64,
+    /// Requests whose completion was finalized on this device.
+    pub completed: u64,
+    /// Admitted-but-unfinished requests drained off this device by its
+    /// loss.
+    pub drained: u64,
+    /// Requests this device adopted from another device's drain.
+    pub adopted: u64,
+    /// Cache builds re-warmed onto this device from a lost device.
+    pub rewarmed: u64,
+    /// Circuit-breaker trips (Quarantined entries).
+    pub breaker_trips: u32,
+    /// Every health transition, in virtual-time order.
+    pub transitions: Vec<(SimTime, DeviceHealth)>,
+    /// High-water mark of reserved bytes.
+    pub peak_bytes: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// Reserved bytes when the run drained (non-zero = leak).
+    pub used_at_end: u64,
+    /// Per-device build-cache aggregate, when the cache was enabled.
+    pub cache: Option<CacheReport>,
+}
+
+/// Fleet-level rollup attached to [`ServiceReport::fleet`].
+#[derive(Clone, Debug)]
+pub struct FleetRollup {
+    /// Per-device rollups, in device order.
+    pub devices: Vec<DeviceRollup>,
+    /// Admitted-but-unfinished requests drained by device losses.
+    pub drained: u64,
+    /// Drained or displaced requests re-admitted on a surviving device.
+    pub rerouted: u64,
+    /// Requests that ran host-side because no device could take them.
+    pub cpu_spilled: u64,
+    /// Cache builds re-warmed onto adopting devices.
+    pub rewarmed: u64,
+    /// Circuit-breaker trips across the fleet.
+    pub breaker_trips: u32,
+    /// Cache entries invalidated by device losses.
+    pub cache_invalidated: u64,
+}
+
+impl FleetRollup {
+    /// Devices in the terminal [`DeviceHealth::Lost`] state.
+    pub fn lost(&self) -> usize {
+        self.devices.iter().filter(|d| d.health == DeviceHealth::Lost).count()
+    }
+}
+
+/// Calendar events of the fleet's virtual-time loop.
+enum Event {
+    /// A client submits request `index`.
+    Submit { client: usize, index: usize },
+    /// A backoff timer fired; eligibility is re-checked by the wave.
+    Retry,
+    /// An admitted request finished its simulated execution. Stale when
+    /// the request's epoch moved on (drained by a device loss) or the
+    /// request is done (deadline).
+    Complete { req: usize, epoch: u32 },
+    /// A request's per-request deadline expired.
+    Deadline { req: usize },
+}
+
+/// Where the router decided one request goes.
+enum Route {
+    /// Queue on this device (possibly as a half-open probe).
+    Device { device: usize, probe: bool },
+    /// Run host-side: the fleet has no device for it.
+    Cpu,
+    /// Park in the fleet-level backpressure FIFO.
+    Park,
+    /// No device exists and the request cannot run host-side (plans need
+    /// a device accountant): fail typed.
+    Fail,
+}
+
+/// Consistent-hash ring: `ring_replicas` points per device, walk
+/// clockwise from the key's hash to the first eligible device.
+struct Ring {
+    /// `(point, device)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    fn new(devices: usize, replicas: usize) -> Self {
+        // The top bit domain-separates ring points from routing keys:
+        // without it, device 0's points are `mix64(0..replicas)` — the
+        // very values small client/build-id keys hash to — and every key
+        // below `replicas` would land exactly on a device-0 point.
+        let mut points: Vec<(u64, usize)> = (0..devices)
+            .flat_map(|d| {
+                (0..replicas.max(1))
+                    .map(move |r| (mix64((1 << 63) | ((d as u64) << 32) | r as u64), d))
+            })
+            .collect();
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// First device clockwise from `key`'s hash for which `eligible`
+    /// holds. `None` when no device qualifies.
+    fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        let h = mix64(key);
+        let start = self.points.partition_point(|p| p.0 < h);
+        (0..self.points.len())
+            .map(|i| self.points[(start + i) % self.points.len()].1)
+            .find(|&d| eligible(d))
+    }
+}
+
+/// The splitmix64 finalizer: the ring's point/key hash. Deterministic and
+/// seed-free — the ring layout is a pure function of the fleet size.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Live state of one fleet device.
+struct DeviceState {
+    memory: DeviceMemory,
+    cache: Option<BuildCache>,
+    queue: VecDeque<usize>,
+    health: DeviceHealth,
+    /// Virtual times of transient faults observed inside the breaker
+    /// window (pruned as the window slides).
+    window: VecDeque<SimTime>,
+    trips: u32,
+    /// Earliest time a half-open probe may be admitted (Quarantined).
+    half_open_at: SimTime,
+    /// The in-flight half-open probe request, if any.
+    probe: Option<usize>,
+    admitted: u64,
+    completed: u64,
+    drained: u64,
+    adopted: u64,
+    rewarmed: u64,
+    transitions: Vec<(SimTime, DeviceHealth)>,
+    /// Per-device sub-timeline, absorbed into the fleet view at the end.
+    timeline: Timeline,
+    exec: TrackId,
+    health_track: TrackId,
+    mem_counter: CounterId,
+    mem_sampled: u64,
+}
+
+impl DeviceState {
+    fn new(id: usize, capacity: u64, cache_budget: Option<u64>) -> Self {
+        let mut timeline = Timeline::new(format!("device {id}"));
+        let exec = timeline.track("exec");
+        let health_track = timeline.track("health");
+        let mem_counter = timeline.counter("reserved (B)");
+        DeviceState {
+            memory: DeviceMemory::new(capacity),
+            cache: cache_budget.map(BuildCache::new),
+            queue: VecDeque::new(),
+            health: DeviceHealth::Healthy,
+            window: VecDeque::new(),
+            trips: 0,
+            half_open_at: SimTime::ZERO,
+            probe: None,
+            admitted: 0,
+            completed: 0,
+            drained: 0,
+            adopted: 0,
+            rewarmed: 0,
+            transitions: Vec::new(),
+            timeline,
+            exec,
+            health_track,
+            mem_counter,
+            mem_sampled: 0,
+        }
+    }
+
+    /// Record a health transition at `at` (state change + instant mark).
+    fn transition(&mut self, to: DeviceHealth, at: SimTime) {
+        if self.health == to {
+            return;
+        }
+        self.health = to;
+        self.transitions.push((at, to));
+        self.timeline.instant(self.health_track, format!("{to}"), 11 + to as u32, at);
+    }
+
+    /// Sample the memory counter when the reserved figure moved.
+    fn sample_memory(&mut self, at: SimTime) {
+        if self.memory.used() != self.mem_sampled {
+            self.mem_sampled = self.memory.used();
+            self.timeline.sample(self.mem_counter, at, self.mem_sampled as f64);
+        }
+    }
+}
+
+/// Per-request live state (metrics plus fleet loop bookkeeping).
+struct FleetRequest {
+    metrics: RequestMetrics,
+    inputs: Option<(Relation, Relation)>,
+    level: PlannedStrategy,
+    attempts: u32,
+    eligible_at: SimTime,
+    reservation: Option<Reservation>,
+    build: Option<BuildRef>,
+    hit: Option<Arc<CachedTable>>,
+    install: Option<CachedBuild>,
+    plan: Option<FleetPlanWork>,
+    done: bool,
+    /// Device currently queued on / running on; `None` while parked or on
+    /// the CPU lane.
+    assigned: Option<usize>,
+    /// Admitted with a pending `Complete`.
+    running: bool,
+    /// Bumped whenever a drain aborts the in-flight execution; a
+    /// `Complete` carrying an older epoch is stale and ignored.
+    epoch: u32,
+    /// This admission is a half-open probe for its quarantined device.
+    probe: bool,
+    /// On the CPU lane awaiting host-side execution.
+    cpu: bool,
+}
+
+/// Live state of a multi-join plan request (fleet copy of the service's
+/// private `PlanWork`; scans regenerate from the spec after a drain).
+struct FleetPlanWork {
+    spec: PlanSpec,
+    scans: Option<Vec<Option<Relation>>>,
+    degrade: usize,
+    run: Option<PlanRun>,
+}
+
+impl FleetPlanWork {
+    /// Materialized scan outputs: taken at dispatch, regenerated from the
+    /// (pure) spec when a drain discarded the originals.
+    fn take_scans(&mut self) -> Vec<Option<Relation>> {
+        self.scans.take().unwrap_or_else(|| generate_scans(&self.spec))
+    }
+}
+
+fn generate_scans(spec: &PlanSpec) -> Vec<Option<Relation>> {
+    spec.ops
+        .iter()
+        .map(|op| match op {
+            PlanOp::Scan { spec, .. } => Some(spec.generate()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// What one pooled execution returned (fleet copy of the service's
+/// `Executed`, plus the lane it ran on).
+struct Executed {
+    strategy: Option<PlannedStrategy>,
+    check: JoinCheck,
+    expected: JoinCheck,
+    duration: SimTime,
+    faults: FaultSummary,
+    counters: CounterRollup,
+    fault_marks: Vec<(SimTime, String)>,
+    error: Option<&'static str>,
+    install: Option<CachedBuild>,
+    invariant: Option<String>,
+}
+
+/// The multi-device join fleet; see the module docs.
+pub struct FleetService {
+    /// Planner + strategies; every device runs the same engine config.
+    pub engine: HcjEngine,
+    /// Per-device admission/deadline policy.
+    pub config: ServiceConfig,
+    /// Topology and failover policy.
+    pub fleet: FleetConfig,
+}
+
+impl FleetService {
+    /// A fleet over `engine` with per-device policy `config`.
+    pub fn new(engine: HcjEngine, config: ServiceConfig, fleet: FleetConfig) -> Self {
+        FleetService { engine, config, fleet }
+    }
+
+    /// Drive the whole workload to completion across the fleet.
+    pub fn run(&self, workload: &[ClientSpec]) -> ServiceReport {
+        FleetRun::new(self, workload).run()
+    }
+}
+
+/// One fleet run's mutable state; `FleetService::run` drives it.
+struct FleetRun<'a> {
+    svc: &'a FleetService,
+    workload: &'a [ClientSpec],
+    ring: Ring,
+    devices: Vec<DeviceState>,
+    requests: Vec<FleetRequest>,
+    /// Fleet-level backpressure FIFO: requests no device had room for.
+    parked: VecDeque<usize>,
+    /// Requests routed to the host CPU lane, awaiting execution.
+    cpu_queue: Vec<usize>,
+    calendar: BTreeMap<(SimTime, u64), Event>,
+    seq: u64,
+    invariants: Vec<String>,
+    timeline: Timeline,
+    /// Router-level marks: drains, deadline cancellations, CPU spills.
+    router: TrackId,
+    /// Host-lane execution spans.
+    cpu_track: TrackId,
+    makespan: SimTime,
+    drained: u64,
+    rerouted: u64,
+    cpu_spilled: u64,
+    rewarmed: u64,
+    cache_invalidated: u64,
+}
+
+impl<'a> FleetRun<'a> {
+    fn new(svc: &'a FleetService, workload: &'a [ClientSpec]) -> Self {
+        let capacity = svc.engine.config.device.device_mem_bytes;
+        let cache_budget = svc.config.cache.as_ref().map(|cfg| cfg.resolved_max_bytes(capacity));
+        let devices: Vec<DeviceState> =
+            (0..svc.fleet.devices).map(|d| DeviceState::new(d, capacity, cache_budget)).collect();
+        let mut timeline = Timeline::new("hcj join fleet");
+        let router = timeline.track("router");
+        let cpu_track = timeline.track("cpu fallback");
+        FleetRun {
+            svc,
+            workload,
+            ring: Ring::new(svc.fleet.devices, svc.fleet.ring_replicas),
+            devices,
+            requests: Vec::new(),
+            parked: VecDeque::new(),
+            cpu_queue: Vec::new(),
+            calendar: BTreeMap::new(),
+            seq: 0,
+            invariants: Vec::new(),
+            timeline,
+            router,
+            cpu_track,
+            makespan: SimTime::ZERO,
+            drained: 0,
+            rerouted: 0,
+            cpu_spilled: 0,
+            rewarmed: 0,
+            cache_invalidated: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, e: Event) {
+        self.calendar.insert((at, self.seq), e);
+        self.seq += 1;
+    }
+
+    /// Route `req` (fresh, displaced or drained). `adopting` marks a
+    /// drain re-route: the target device counts an adoption and the
+    /// request is re-planned against that device's free capacity.
+    fn route(&mut self, req: usize, now: SimTime, adopting: bool) {
+        let is_plan = self.requests[req].plan.is_some();
+        let key = self.requests[req].metrics.client as u64;
+        let depth = self.svc.config.queue_depth;
+        let primary = self.ring.route(key, |d| self.devices[d].health != DeviceHealth::Lost);
+        let least_loaded = |devs: &[DeviceState], need_room: bool| -> Option<usize> {
+            devs.iter()
+                .enumerate()
+                .filter(|(_, d)| d.health.serving())
+                .filter(|(_, d)| !need_room || d.queue.len() < depth)
+                .min_by_key(|(i, d)| (d.queue.len(), *i))
+                .map(|(i, _)| i)
+        };
+        let decision = match primary {
+            None => {
+                // Every device is lost.
+                if is_plan {
+                    Route::Fail
+                } else {
+                    Route::Cpu
+                }
+            }
+            Some(p) if self.devices[p].health.serving() && self.devices[p].queue.len() < depth => {
+                Route::Device { device: p, probe: false }
+            }
+            Some(p) => {
+                if let Some(spill) = least_loaded(&self.devices, true) {
+                    // Preferred device full or quarantined: spill to the
+                    // least-loaded serving device with room.
+                    Route::Device { device: spill, probe: false }
+                } else if self.devices[p].health == DeviceHealth::Quarantined
+                    && now >= self.devices[p].half_open_at
+                    && self.devices[p].probe.is_none()
+                {
+                    // Cooldown expired: this request becomes the half-open
+                    // probe that decides whether the device re-admits.
+                    Route::Device { device: p, probe: true }
+                } else if least_loaded(&self.devices, false).is_some() {
+                    // Serving devices exist but all queues are full: park.
+                    Route::Park
+                } else if is_plan {
+                    // No serving device at all. Plans need a device-memory
+                    // accountant, so queue on the least-loaded surviving
+                    // (quarantined) device rather than stall forever.
+                    match self
+                        .devices
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| d.health != DeviceHealth::Lost)
+                        .min_by_key(|(i, d)| (d.queue.len(), *i))
+                        .map(|(i, _)| i)
+                    {
+                        Some(d) => Route::Device { device: d, probe: false },
+                        None => Route::Fail,
+                    }
+                } else {
+                    // Saturated fleet, single join: the CPU escape hatch.
+                    Route::Cpu
+                }
+            }
+        };
+        match decision {
+            Route::Device { device, probe } => {
+                let st = &mut self.requests[req];
+                st.assigned = Some(device);
+                st.probe = probe;
+                st.attempts = 0;
+                st.eligible_at = now;
+                if adopting {
+                    self.replan_for(req, device);
+                    self.devices[device].adopted += 1;
+                    self.rerouted += 1;
+                }
+                if probe {
+                    self.devices[device].probe = Some(req);
+                }
+                self.devices[device].queue.push_back(req);
+            }
+            Route::Cpu => {
+                let st = &mut self.requests[req];
+                st.assigned = None;
+                st.cpu = true;
+                self.cpu_queue.push(req);
+                self.cpu_spilled += 1;
+                let (c, i) = (st.metrics.client, st.metrics.index);
+                self.timeline.instant(self.router, format!("cpu spill r{c}.{i}"), 12, now);
+            }
+            Route::Park => {
+                self.requests[req].assigned = None;
+                self.requests[req].metrics.blocked = true;
+                self.parked.push_back(req);
+            }
+            Route::Fail => {
+                let st = &mut self.requests[req];
+                st.done = true;
+                st.metrics.completed_at = now;
+                st.metrics.check_ok = false;
+                st.metrics.error = Some(
+                    JoinError::Device(DeviceFault {
+                        site: FaultSite::Kernel,
+                        kind: FaultKind::DeviceLost,
+                        label: "fleet exhausted".into(),
+                    })
+                    .tag(),
+                );
+                self.makespan = self.makespan.max(now);
+                let (c, i) = (st.metrics.client, st.metrics.index);
+                self.timeline.instant(self.router, format!("fleet lost r{c}.{i}"), 9, now);
+                self.next_submit(c, i, now);
+            }
+        }
+    }
+
+    /// Re-plan a request against `device`'s *current free* bytes: the
+    /// adopting device may be far fuller than the one that died, so the
+    /// drained request steps down the ladder until its estimated
+    /// footprint fits what is actually free right now.
+    fn replan_for(&mut self, req: usize, device: usize) {
+        let available = self.devices[device].memory.available();
+        let engine = &self.svc.engine;
+        let st = &mut self.requests[req];
+        if let Some(pw) = st.plan.as_mut() {
+            let floor = PlannedStrategy::LADDER.len() - 1;
+            pw.degrade = (0..=floor)
+                .find(|&n| plan_envelope(engine, &pw.spec, n) <= available)
+                .unwrap_or(floor);
+            return;
+        }
+        let Some((r, s)) = st.inputs.as_ref() else { return };
+        let (b, p) = if r.len() <= s.len() { (r, s) } else { (s, r) };
+        let mut level = engine.plan(b, p);
+        while engine.footprint_estimate(level, b, p) > available {
+            match level.degraded() {
+                Some(next) => level = next,
+                None => break,
+            }
+        }
+        st.level = level;
+    }
+
+    /// Schedule the client's next closed-loop submission, if any.
+    fn next_submit(&mut self, client: usize, index: usize, now: SimTime) {
+        if index + 1 < self.workload[client].requests.len() {
+            self.schedule(
+                now + self.svc.config.think_time,
+                Event::Submit { client, index: index + 1 },
+            );
+        }
+    }
+
+    /// The circuit breaker tripped for `device`: quarantine it, start the
+    /// cooldown and re-route its queued (not yet admitted) requests.
+    fn trip(&mut self, device: usize, now: SimTime) {
+        let d = &mut self.devices[device];
+        d.trips += 1;
+        d.transition(DeviceHealth::Quarantined, now);
+        d.half_open_at = now + self.svc.fleet.quarantine_cooldown;
+        d.probe = None;
+        let displaced: Vec<usize> = d.queue.drain(..).collect();
+        for req in displaced {
+            self.requests[req].assigned = None;
+            self.requests[req].probe = false;
+            self.route(req, now, false);
+        }
+    }
+
+    /// Sticky device-lost observed on `device`: transition to Lost, drain
+    /// every admitted-but-unfinished request (releasing reservations and
+    /// cache pins), re-warm the cache's hottest builds onto the adopting
+    /// device, invalidate the rest, and re-route the drained queue.
+    fn device_lost(&mut self, device: usize, now: SimTime) {
+        if self.devices[device].health == DeviceHealth::Lost {
+            return;
+        }
+        self.devices[device].transition(DeviceHealth::Lost, now);
+        self.devices[device].probe = None;
+        self.timeline.instant(self.router, format!("device {device} lost"), 9, now);
+
+        // Admitted-but-unfinished requests: abort the in-flight execution
+        // (epoch bump stales its pending Complete), release every held
+        // resource, and reset execution-derived metrics — the re-dispatch
+        // on the adopting device rewrites them.
+        let mut to_reroute: Vec<usize> = Vec::new();
+        for req in 0..self.requests.len() {
+            let st = &mut self.requests[req];
+            if st.done || st.assigned != Some(device) || !st.running {
+                continue;
+            }
+            st.epoch += 1;
+            st.running = false;
+            st.reservation = None;
+            st.hit = None;
+            st.install = None;
+            if let Some(pw) = st.plan.as_mut() {
+                pw.run = None; // pins + pending installs release
+                pw.scans = None; // regenerate from the spec at re-dispatch
+            }
+            st.metrics.executed = None;
+            st.metrics.check_ok = false;
+            st.metrics.matches = 0;
+            st.metrics.faults = FaultSummary::default();
+            st.metrics.counters = CounterRollup::default();
+            st.metrics.error = None;
+            st.metrics.cache_role = CacheRole::None;
+            st.metrics.plan_ops = Vec::new();
+            st.metrics.rerouted += 1;
+            st.probe = false;
+            st.assigned = None;
+            self.devices[device].drained += 1;
+            self.drained += 1;
+            let (c, i) = (st.metrics.client, st.metrics.index);
+            self.timeline.instant(self.router, format!("drain r{c}.{i}"), 9, now);
+            to_reroute.push(req);
+        }
+        // Queued (never admitted) requests are displaced, not drained.
+        let displaced: Vec<usize> = self.devices[device].queue.drain(..).collect();
+        for &req in &displaced {
+            self.requests[req].assigned = None;
+            self.requests[req].probe = false;
+        }
+
+        // Cache teardown: deterministically re-warm the hottest builds
+        // onto the device the ring now maps each build to, then drop the
+        // rest. Re-warmed builds are cloned — the survivor reserves its
+        // own bytes; nothing keeps pointing at the dead device.
+        if let Some(mut cache) = self.devices[device].cache.take() {
+            let hot = cache.hottest(self.svc.fleet.rewarm_limit);
+            self.cache_invalidated += cache.invalidate_all() as u64;
+            self.devices[device].cache = Some(cache);
+            for (bref, build) in hot {
+                let adopt = self.ring.route(bref.id, |d| self.devices[d].health.serving());
+                if let Some(a) = adopt {
+                    let da = &mut self.devices[a];
+                    if let Some(c) = da.cache.as_mut() {
+                        if c.insert(bref, &da.memory, build) {
+                            da.rewarmed += 1;
+                            self.rewarmed += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Leak audit: with every reservation, pin and cache entry gone,
+        // the lost device must account zero bytes.
+        if self.devices[device].memory.used() != 0 {
+            self.invariants.push(format!(
+                "device {device} still accounts {} B after its drain at {now}",
+                self.devices[device].memory.used()
+            ));
+        }
+        self.devices[device].sample_memory(now);
+
+        // Re-route drained requests first (they were in flight), then the
+        // displaced queue, both in FIFO/id order.
+        for req in to_reroute {
+            self.route(req, now, true);
+        }
+        for req in displaced {
+            self.route(req, now, false);
+        }
+    }
+
+    /// Health observation at a request's completion: device-lost drains
+    /// the device; transient faults feed the breaker window; a finishing
+    /// probe decides re-admission.
+    fn observe_completion(&mut self, req: usize, now: SimTime) {
+        let Some(device) = self.requests[req].assigned else { return };
+        let faults = self.requests[req].metrics.faults;
+        let was_probe = self.requests[req].probe;
+        if was_probe {
+            self.devices[device].probe = None;
+            self.requests[req].probe = false;
+        }
+        if faults.device_lost {
+            self.device_lost(device, now);
+            return;
+        }
+        let d = &mut self.devices[device];
+        let transient = (faults.transfer_faults + faults.kernel_faults) as usize;
+        for _ in 0..transient {
+            d.window.push_back(now);
+        }
+        match d.health {
+            DeviceHealth::Healthy | DeviceHealth::Degraded => {
+                if d.window.len() >= self.svc.fleet.breaker_threshold {
+                    self.trip(device, now);
+                } else if transient > 0 && d.health == DeviceHealth::Healthy {
+                    d.transition(DeviceHealth::Degraded, now);
+                }
+            }
+            DeviceHealth::Quarantined if was_probe => {
+                if transient == 0 {
+                    // Clean probe: the device re-admits with a clear
+                    // record.
+                    d.window.clear();
+                    d.transition(DeviceHealth::Healthy, now);
+                } else {
+                    // Faulty probe: re-arm the cooldown.
+                    d.half_open_at = now + self.svc.fleet.quarantine_cooldown;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Slide breaker windows forward and let drained-out Degraded devices
+    /// recover to Healthy.
+    fn health_maintenance(&mut self, now: SimTime) {
+        let window = self.svc.fleet.breaker_window;
+        for d in self.devices.iter_mut() {
+            while d.window.front().is_some_and(|&t| t + window <= now) {
+                d.window.pop_front();
+            }
+            if d.health == DeviceHealth::Degraded && d.window.is_empty() {
+                d.transition(DeviceHealth::Healthy, now);
+            }
+        }
+    }
+
+    /// Accounting invariants, audited at every event time: per-device
+    /// used ≤ capacity, fleet-wide used ≤ capacity, and lost devices at
+    /// exactly zero. Violations are typed entries, never panics.
+    fn audit(&mut self, now: SimTime) {
+        let mut fleet_used = 0u64;
+        let mut fleet_capacity = 0u64;
+        for (i, d) in self.devices.iter().enumerate() {
+            fleet_used += d.memory.used();
+            fleet_capacity += d.memory.capacity();
+            if d.memory.used() > d.memory.capacity() {
+                self.invariants.push(format!(
+                    "device {i} over capacity at {now}: {} B of {} B",
+                    d.memory.used(),
+                    d.memory.capacity()
+                ));
+            }
+            if d.health == DeviceHealth::Lost && d.memory.used() != 0 {
+                self.invariants
+                    .push(format!("lost device {i} still accounts {} B at {now}", d.memory.used()));
+            }
+        }
+        if fleet_used > fleet_capacity {
+            self.invariants.push(format!(
+                "fleet over capacity at {now}: {fleet_used} B of {fleet_capacity} B"
+            ));
+        }
+    }
+
+    fn run(mut self) -> ServiceReport {
+        for (c, client) in self.workload.iter().enumerate() {
+            if !client.requests.is_empty() {
+                self.schedule(SimTime::ZERO, Event::Submit { client: c, index: 0 });
+            }
+        }
+
+        while let Some((&(now, _), _)) = self.calendar.iter().next() {
+            // Drain every event at `now` in sequence order.
+            while let Some((&key, _)) = self.calendar.iter().next() {
+                if key.0 != now {
+                    break;
+                }
+                let Some(event) = self.calendar.remove(&key) else {
+                    self.invariants
+                        .push(format!("calendar key vanished between peek and remove at {now}"));
+                    continue;
+                };
+                match event {
+                    Event::Submit { client, index } => self.on_submit(client, index, now),
+                    Event::Retry => {}
+                    Event::Complete { req, epoch } => self.on_complete(req, epoch, now),
+                    Event::Deadline { req } => self.on_deadline(req, now),
+                }
+            }
+
+            self.health_maintenance(now);
+
+            // Backpressure release: parked requests re-route in FIFO
+            // order as queue room opens up (or devices change state).
+            for _ in 0..self.parked.len() {
+                let Some(req) = self.parked.pop_front() else { break };
+                if self.requests[req].done {
+                    continue;
+                }
+                let open_queue = self
+                    .devices
+                    .iter()
+                    .any(|d| d.health.serving() && d.queue.len() < self.svc.config.queue_depth);
+                if open_queue || !self.devices.iter().any(|d| d.health.serving()) {
+                    self.route(req, now, false);
+                } else {
+                    self.parked.push_back(req);
+                }
+            }
+
+            // Admission wave, device by device in id order.
+            let mut batch: Vec<usize> = Vec::new();
+            for device in 0..self.devices.len() {
+                if self.devices[device].health == DeviceHealth::Lost {
+                    continue;
+                }
+                self.admission_wave(device, now, &mut batch);
+            }
+
+            // Wake the loop when rejected requests' backoffs expire.
+            let wakeups: Vec<SimTime> = self
+                .devices
+                .iter()
+                .flat_map(|d| d.queue.iter())
+                .filter(|&&id| self.requests[id].eligible_at > now)
+                .map(|&id| self.requests[id].eligible_at)
+                .collect();
+            for at in wakeups {
+                self.schedule(at, Event::Retry);
+            }
+
+            // The CPU lane joins the execution batch unconditionally.
+            let cpu: Vec<usize> = std::mem::take(&mut self.cpu_queue);
+            batch.extend(cpu.iter().copied());
+            for &req in &cpu {
+                let st = &mut self.requests[req];
+                st.metrics.admitted_at = now;
+                st.metrics.device_used_at_admit = 0;
+                st.metrics.device = None;
+            }
+
+            if !batch.is_empty() {
+                self.execute_batch(&batch, now);
+            }
+            for d in self.devices.iter_mut() {
+                d.sample_memory(now);
+            }
+            self.audit(now);
+        }
+
+        self.finish()
+    }
+
+    fn on_submit(&mut self, client: usize, index: usize, now: SimTime) {
+        let (inputs, build, plan, planned) = match &self.workload[client].requests[index] {
+            QuerySpec::Join(spec) => {
+                let (r, s) = (spec.r.generate(), spec.s.generate());
+                let (b, p) = if r.len() <= s.len() { (&r, &s) } else { (&s, &r) };
+                let planned = self.svc.engine.plan(b, p);
+                (Some((r, s)), spec.build, None, planned)
+            }
+            QuerySpec::Plan(plan) => {
+                let work = FleetPlanWork {
+                    scans: Some(generate_scans(plan)),
+                    spec: plan.clone(),
+                    degrade: 0,
+                    run: None,
+                };
+                let planned = planned_root(&self.svc.engine, plan);
+                (None, None, Some(work), planned)
+            }
+        };
+        let id = self.requests.len();
+        self.requests.push(FleetRequest {
+            metrics: RequestMetrics {
+                client,
+                index,
+                submitted_at: now,
+                admitted_at: now,
+                completed_at: now,
+                retries: 0,
+                blocked: false,
+                planned,
+                executed: None,
+                device_used_at_admit: 0,
+                check_ok: false,
+                matches: 0,
+                faults: FaultSummary::default(),
+                counters: CounterRollup::default(),
+                error: None,
+                cache_role: CacheRole::None,
+                plan_ops: Vec::new(),
+                device: None,
+                rerouted: 0,
+            },
+            inputs,
+            level: planned,
+            attempts: 0,
+            eligible_at: now,
+            reservation: None,
+            build,
+            hit: None,
+            install: None,
+            plan,
+            done: false,
+            assigned: None,
+            running: false,
+            epoch: 0,
+            probe: false,
+            cpu: false,
+        });
+        if let Some(budget) = self.svc.config.deadline {
+            self.schedule(now + budget, Event::Deadline { req: id });
+        }
+        self.route(id, now, false);
+    }
+
+    fn on_complete(&mut self, req: usize, epoch: u32, now: SimTime) {
+        if self.requests[req].done || self.requests[req].epoch != epoch {
+            // Deadline-cancelled, or drained off a lost device and
+            // re-dispatched under a newer epoch.
+            return;
+        }
+        self.requests[req].done = true;
+        self.requests[req].running = false;
+        self.requests[req].metrics.completed_at = now;
+        self.requests[req].reservation = None;
+        self.requests[req].hit = None;
+        self.requests[req].inputs = None;
+        let install = self.requests[req].install.take();
+        let bref = self.requests[req].build;
+        let plan_run = self.requests[req].plan.as_mut().and_then(|pw| pw.run.take());
+        self.makespan = self.makespan.max(now);
+
+        let device = self.requests[req].assigned;
+        let (client, index) = {
+            let m = &self.requests[req].metrics;
+            (m.client, m.index)
+        };
+        // Render the execution onto its lane's track.
+        if let Some(d) = device {
+            let admitted = self.requests[req].metrics.admitted_at;
+            if let Some(run) = plan_run {
+                let PlanRun { ops, pins, installs, .. } = run;
+                for op in &ops {
+                    if op.kind != "join" {
+                        continue;
+                    }
+                    let class = op.executed.map_or(9, |e| e.rank() as u32 + 1);
+                    let name = match op.executed {
+                        Some(e) => format!("op{} {e} r{client}.{index}", op.op),
+                        None => format!("op{} failed r{client}.{index}", op.op),
+                    };
+                    let track = self.devices[d].exec;
+                    self.devices[d].timeline.span(
+                        track,
+                        name,
+                        class,
+                        admitted + op.start,
+                        admitted + op.finish,
+                    );
+                    for (offset, label) in &op.fault_marks {
+                        self.devices[d].timeline.instant(
+                            track,
+                            label.clone(),
+                            8,
+                            admitted + op.start + *offset,
+                        );
+                    }
+                }
+                self.requests[req].metrics.plan_ops = ops;
+                drop(pins);
+                if self.devices[d].health != DeviceHealth::Lost {
+                    let da = &mut self.devices[d];
+                    if let Some(c) = da.cache.as_mut() {
+                        for (b, built) in installs {
+                            c.insert(b, &da.memory, built);
+                        }
+                    }
+                }
+            } else if let Some(executed) = self.requests[req].metrics.executed {
+                let track = self.devices[d].exec;
+                self.devices[d].timeline.span(
+                    track,
+                    format!("{executed} r{client}.{index}"),
+                    executed.rank() as u32 + 1,
+                    admitted,
+                    now,
+                );
+            }
+            // Install the table a cache-miss execution built — unless the
+            // device died while we ran (nothing to install into).
+            if self.devices[d].health != DeviceHealth::Lost {
+                if let (Some(built), Some(b)) = (install, bref) {
+                    let da = &mut self.devices[d];
+                    if let Some(c) = da.cache.as_mut() {
+                        c.insert(b, &da.memory, built);
+                    }
+                }
+            }
+            self.devices[d].completed += 1;
+            self.devices[d].sample_memory(now);
+        } else if let Some(executed) = self.requests[req].metrics.executed {
+            // CPU lane: host-side span on the fleet timeline.
+            let admitted = self.requests[req].metrics.admitted_at;
+            self.timeline.span(
+                self.cpu_track,
+                format!("{executed} r{client}.{index}"),
+                executed.rank() as u32 + 1,
+                admitted,
+                now,
+            );
+        }
+
+        self.observe_completion(req, now);
+        self.next_submit(client, index, now);
+    }
+
+    fn on_deadline(&mut self, req: usize, now: SimTime) {
+        if self.requests[req].done {
+            return;
+        }
+        let st = &mut self.requests[req];
+        st.done = true;
+        st.running = false;
+        st.epoch += 1; // stale any in-flight Complete
+        st.reservation = None;
+        st.hit = None;
+        st.install = None;
+        st.inputs = None;
+        st.plan = None; // drops any run: pins + installs release
+        st.metrics.completed_at = now;
+        st.metrics.error = Some(
+            JoinError::DeadlineExceeded {
+                deadline: self.svc.config.deadline.unwrap_or(SimTime::ZERO),
+                elapsed: now - st.metrics.submitted_at,
+            }
+            .tag(),
+        );
+        st.metrics.check_ok = false;
+        self.makespan = self.makespan.max(now);
+        let (client, index) = (st.metrics.client, st.metrics.index);
+        let assigned = st.assigned;
+        let was_probe = st.probe;
+        st.probe = false;
+        if let Some(d) = assigned {
+            self.devices[d].queue.retain(|&id| id != req);
+            if was_probe {
+                self.devices[d].probe = None;
+            }
+            self.devices[d].sample_memory(now);
+        }
+        self.parked.retain(|&id| id != req);
+        self.cpu_queue.retain(|&id| id != req);
+        self.timeline.instant(self.router, format!("deadline r{client}.{index}"), 9, now);
+        self.next_submit(client, index, now);
+    }
+
+    /// One device's admission wave: scan its queue in order, reserve
+    /// against its accountant (reclaiming its cache under pressure),
+    /// degrade on repeated rejection — the single-device wave, per
+    /// device.
+    fn admission_wave(&mut self, device: usize, now: SimTime, batch: &mut Vec<usize>) {
+        let mut queue = std::mem::take(&mut self.devices[device].queue);
+        let engine = &self.svc.engine;
+        let max_retries = self.svc.config.max_retries;
+        let backoff_base = self.svc.config.backoff_base;
+        let backoff_cap = self.svc.config.backoff_cap;
+        let backoff = |attempts: u32| -> SimTime {
+            let base = backoff_base.as_nanos().max(1);
+            let delay = base.saturating_mul(1u64 << (attempts.saturating_sub(1)).min(20));
+            SimTime::from_nanos(delay.min(backoff_cap.as_nanos()))
+        };
+        let d = &mut self.devices[device];
+        let requests = &mut self.requests;
+        let invariants = &mut self.invariants;
+        queue.retain(|&id| {
+            let st = &mut requests[id];
+            if st.eligible_at > now {
+                return true;
+            }
+            if let Some(pw) = st.plan.as_ref() {
+                let estimate = plan_envelope(engine, &pw.spec, pw.degrade);
+                let reserved = d.memory.reserve(estimate).or_else(|err| match d.cache.as_mut() {
+                    Some(c) => {
+                        if c.reclaim(&d.memory, estimate, None) {
+                            d.memory.reserve(estimate)
+                        } else {
+                            Err(err)
+                        }
+                    }
+                    None => Err(err),
+                });
+                return match reserved {
+                    Ok(res) => {
+                        st.reservation = Some(res);
+                        st.running = true;
+                        st.metrics.admitted_at = now;
+                        st.metrics.device_used_at_admit = d.memory.used();
+                        st.metrics.device = Some(device);
+                        d.admitted += 1;
+                        batch.push(id);
+                        false
+                    }
+                    Err(_) => {
+                        st.metrics.retries += 1;
+                        st.attempts += 1;
+                        if st.attempts > max_retries {
+                            let pw = st.plan.as_mut().expect("checked above");
+                            if pw.degrade < PlannedStrategy::LADDER.len() - 1 {
+                                pw.degrade += 1;
+                                st.attempts = 0;
+                            }
+                        }
+                        st.eligible_at = now + backoff(st.attempts.max(1));
+                        true
+                    }
+                };
+            }
+            let Some((r, s)) = st.inputs.as_ref() else {
+                invariants.push(format!("queued request {id} has no inputs at {now}"));
+                st.metrics.error = Some(JoinError::Internal { detail: String::new() }.tag());
+                st.metrics.completed_at = now;
+                st.done = true;
+                return false;
+            };
+            let (build, probe) = if r.len() <= s.len() { (r, s) } else { (s, r) };
+            let bref = if r.len() <= s.len() { st.build } else { None };
+            let mut role = CacheRole::None;
+            if let (Some(c), Some(b)) = (d.cache.as_mut(), bref) {
+                let on_miss = if st.level == PlannedStrategy::GpuResident {
+                    CacheRole::Install
+                } else {
+                    CacheRole::Bypass
+                };
+                role = match c.peek(b) {
+                    CachePeek::Hit => CacheRole::Hit,
+                    CachePeek::Stale => {
+                        c.invalidate(b.id);
+                        on_miss
+                    }
+                    CachePeek::Miss => on_miss,
+                    CachePeek::Newer => CacheRole::Bypass,
+                };
+            }
+            let estimate = match role {
+                CacheRole::Hit => engine.cached_probe_estimate(probe),
+                _ => engine.footprint_estimate(st.level, build, probe),
+            };
+            let protect = if role == CacheRole::Hit { bref.map(|b| b.id) } else { None };
+            let reserved = d.memory.reserve(estimate).or_else(|err| match d.cache.as_mut() {
+                Some(c) => {
+                    if c.reclaim(&d.memory, estimate, protect) {
+                        d.memory.reserve(estimate)
+                    } else {
+                        Err(err)
+                    }
+                }
+                None => Err(err),
+            });
+            match reserved {
+                Ok(res) => {
+                    st.reservation = Some(res);
+                    st.running = true;
+                    st.metrics.admitted_at = now;
+                    st.metrics.device_used_at_admit = d.memory.used();
+                    st.metrics.device = Some(device);
+                    if let Some(c) = d.cache.as_mut() {
+                        match role {
+                            CacheRole::Hit => match bref.and_then(|b| c.hit(b.id)) {
+                                Some(table) => st.hit = Some(table),
+                                None => {
+                                    invariants.push(format!(
+                                        "cache hit for request {id} vanished before pinning \
+                                         at {now}"
+                                    ));
+                                    role = CacheRole::Bypass;
+                                    c.miss();
+                                }
+                            },
+                            CacheRole::Install | CacheRole::Bypass => c.miss(),
+                            CacheRole::None => {}
+                        }
+                    }
+                    st.metrics.cache_role = role;
+                    d.admitted += 1;
+                    batch.push(id);
+                    false
+                }
+                Err(_) => {
+                    st.metrics.retries += 1;
+                    st.attempts += 1;
+                    if st.attempts > max_retries {
+                        if let Some(next) = st.level.degraded() {
+                            st.level = next;
+                            st.attempts = 0;
+                        }
+                    }
+                    st.eligible_at = now + backoff(st.attempts.max(1));
+                    true
+                }
+            }
+        });
+        self.devices[device].queue = queue;
+    }
+
+    /// Execute the admitted batch: single joins (device lanes and the CPU
+    /// lane) fan out onto the host pool in batch order; plans run one at
+    /// a time from this thread. Results merge in batch order, so the
+    /// outcome is independent of the worker count.
+    fn execute_batch(&mut self, batch: &[usize], now: SimTime) {
+        let (plans, singles): (Vec<usize>, Vec<usize>) =
+            batch.iter().partition(|&&id| self.requests[id].plan.is_some());
+
+        let engine = &self.svc.engine;
+        let requests = &self.requests;
+        let results: Vec<Executed> = Pool::current().map(&singles, |_, &id| {
+            let st = &requests[id];
+            // Decorrelation: each (device, request) pair draws from its
+            // own fault stream. The CPU lane never consults the fault
+            // plan, so it keeps the plain engine.
+            let reseeded = st.metrics.device.and_then(|device| {
+                engine.config.faults.as_ref().map(|f| {
+                    let mut e = engine.clone();
+                    e.config =
+                        e.config.clone().with_faults(f.reseeded_pair(device as u64, id as u64));
+                    e
+                })
+            });
+            let engine = reseeded.as_ref().unwrap_or(engine);
+            let Some((r, s)) = st.inputs.as_ref() else {
+                return Executed {
+                    strategy: None,
+                    check: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+                    expected: JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 },
+                    duration: SimTime::from_nanos(1),
+                    faults: FaultSummary::default(),
+                    counters: CounterRollup::default(),
+                    fault_marks: Vec::new(),
+                    error: Some(JoinError::Internal { detail: String::new() }.tag()),
+                    install: None,
+                    invariant: Some(format!("admitted request {id} has no inputs")),
+                };
+            };
+            let expected = JoinCheck::compute(r, s);
+            let start = if st.cpu { PlannedStrategy::CpuFallback } else { st.level };
+            let role = st.metrics.cache_role;
+            let named_build = st.build.is_some() && r.len() <= s.len();
+            let staged = !st.cpu && named_build && st.level == PlannedStrategy::GpuResident;
+            let mut install: Option<CachedBuild> = None;
+            let attempt = if let (CacheRole::Hit, Some(table)) = (role, st.hit.as_ref()) {
+                CachedBuildJoin::new(engine.config.clone())
+                    .execute_hot(&table.build, s)
+                    .map(|o| (PlannedStrategy::GpuResident, o))
+            } else if staged {
+                CachedBuildJoin::new(engine.config.clone()).execute_cold(r, s).map(|(o, built)| {
+                    if role == CacheRole::Install {
+                        install = Some(built);
+                    }
+                    (PlannedStrategy::GpuResident, o)
+                })
+            } else {
+                engine.execute_from(start, r, s)
+            };
+            let attempt = match attempt {
+                Err(_) if role == CacheRole::Hit || staged => {
+                    install = None;
+                    engine.execute_from(start, r, s)
+                }
+                other => other,
+            };
+            match attempt {
+                Ok((strategy, outcome)) => Executed {
+                    strategy: Some(strategy),
+                    check: outcome.check,
+                    expected,
+                    duration: SimTime::from_nanos(outcome.schedule.makespan().as_nanos().max(1)),
+                    faults: outcome.faults.summary(),
+                    counters: outcome.counters.rollup(),
+                    fault_marks: outcome
+                        .faults
+                        .events
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.at.unwrap_or(SimTime::ZERO),
+                                format!("{} {} `{}`", e.kind, e.site, e.label),
+                            )
+                        })
+                        .collect(),
+                    error: None,
+                    install,
+                    invariant: None,
+                },
+                Err(err) => Executed {
+                    strategy: None,
+                    check: expected,
+                    expected,
+                    duration: SimTime::from_nanos(1),
+                    faults: FaultSummary::default(),
+                    counters: CounterRollup::default(),
+                    fault_marks: Vec::new(),
+                    error: Some(err.tag()),
+                    install: None,
+                    invariant: None,
+                },
+            }
+        });
+        for (&id, exec) in singles.iter().zip(results) {
+            let st = &mut self.requests[id];
+            st.metrics.executed = exec.strategy;
+            st.metrics.check_ok = exec.strategy.is_some() && exec.check == exec.expected;
+            st.metrics.matches = exec.check.matches;
+            st.metrics.faults = exec.faults;
+            st.metrics.counters = exec.counters;
+            st.metrics.error = exec.error;
+            st.install = exec.install;
+            match st.metrics.cache_role {
+                CacheRole::Hit => st.metrics.counters.cache.hits = 1,
+                CacheRole::Install | CacheRole::Bypass => st.metrics.counters.cache.misses = 1,
+                CacheRole::None => {}
+            }
+            if let Some(v) = exec.invariant {
+                self.invariants.push(v);
+            }
+            let admitted = st.metrics.admitted_at;
+            let epoch = st.epoch;
+            if st.cpu {
+                st.running = true;
+            }
+            if let Some(d) = st.metrics.device {
+                if st.metrics.cache_role == CacheRole::Hit && st.metrics.error.is_none() {
+                    let track = self.devices[d].exec;
+                    self.devices[d].timeline.instant(
+                        track,
+                        format!("cache hit r{}.{}", st.metrics.client, st.metrics.index),
+                        10,
+                        admitted,
+                    );
+                }
+                let track = self.devices[d].exec;
+                for (offset, label) in exec.fault_marks {
+                    self.devices[d].timeline.instant(track, label, 8, admitted + offset);
+                }
+            }
+            // Inputs stay held until the Complete finalizes: a device
+            // loss mid-flight drains this request, and the re-dispatch on
+            // the adopting device needs them (and `replan_for` sizes the
+            // degraded strategy from them).
+            self.schedule(now + exec.duration, Event::Complete { req: id, epoch });
+        }
+
+        // Plans: one at a time, against their device's accountant and
+        // cache, reseeded per (device, request).
+        for &id in &plans {
+            let (spec, scans, degrade, device) = {
+                let st = &mut self.requests[id];
+                let pw = st.plan.as_mut().expect("partitioned on plan.is_some()");
+                let scans = pw.take_scans();
+                (pw.spec.clone(), scans, pw.degrade, st.metrics.device)
+            };
+            let Some(device) = device else {
+                self.invariants.push(format!("admitted plan request {id} has no device at {now}"));
+                let st = &mut self.requests[id];
+                st.metrics.error = Some(JoinError::Internal { detail: String::new() }.tag());
+                let epoch = st.epoch;
+                self.schedule(now + SimTime::from_nanos(1), Event::Complete { req: id, epoch });
+                continue;
+            };
+            let reseeded = self.svc.engine.config.faults.as_ref().map(|f| {
+                let mut e = self.svc.engine.clone();
+                e.config = e.config.clone().with_faults(f.reseeded_pair(device as u64, id as u64));
+                e
+            });
+            let engine = reseeded.as_ref().unwrap_or(&self.svc.engine);
+            let d = &mut self.devices[device];
+            let run = execute_plan(engine, &spec, scans, degrade, &d.memory, d.cache.as_mut());
+            let st = &mut self.requests[id];
+            st.metrics.executed = run.executed;
+            st.metrics.check_ok = run.check_ok;
+            st.metrics.matches = run.matches;
+            st.metrics.error = run.error;
+            for op in &run.ops {
+                st.metrics.faults.absorb(&op.faults);
+                st.metrics.counters.absorb(&op.counters);
+                match op.cache_role {
+                    CacheRole::Hit => st.metrics.counters.cache.hits += 1,
+                    CacheRole::Install | CacheRole::Bypass => st.metrics.counters.cache.misses += 1,
+                    CacheRole::None => {}
+                }
+            }
+            let duration = SimTime::from_nanos(run.duration.as_nanos().max(1));
+            st.plan.as_mut().expect("still a plan").run = Some(run);
+            let epoch = st.epoch;
+            self.schedule(now + duration, Event::Complete { req: id, epoch });
+        }
+    }
+
+    /// Drain bookkeeping into the final [`ServiceReport`].
+    fn finish(mut self) -> ServiceReport {
+        // Release anything stranded (mirrors the single-device service);
+        // a healthy run has nothing left to release.
+        for st in self.requests.iter_mut() {
+            st.reservation = None;
+            st.hit = None;
+            st.plan = None;
+        }
+        let mut fleet_cache: Option<CacheReport> = None;
+        let mut device_rollups: Vec<DeviceRollup> = Vec::new();
+        let mut peak = 0u64;
+        let mut capacity = 0u64;
+        let mut used_at_end = 0u64;
+        let mut trips = 0u32;
+        let mut timeline = self.timeline;
+        for (i, d) in self.devices.into_iter().enumerate() {
+            let report = d.cache.as_ref().map(|c| c.report());
+            if let Some(r) = report {
+                let agg = fleet_cache.get_or_insert(CacheReport {
+                    counters: Default::default(),
+                    peak_bytes: 0,
+                    bytes_at_end: 0,
+                    entries_at_end: 0,
+                });
+                agg.counters.absorb(&r.counters);
+                agg.peak_bytes += r.peak_bytes;
+                agg.bytes_at_end += r.bytes_at_end;
+                agg.entries_at_end += r.entries_at_end;
+            }
+            drop(d.cache); // release cached reservations before the audit
+            peak += d.memory.peak();
+            capacity += d.memory.capacity();
+            used_at_end += d.memory.used();
+            trips += d.trips;
+            device_rollups.push(DeviceRollup {
+                id: i,
+                health: d.health,
+                admitted: d.admitted,
+                completed: d.completed,
+                drained: d.drained,
+                adopted: d.adopted,
+                rewarmed: d.rewarmed,
+                breaker_trips: d.trips,
+                transitions: d.transitions,
+                peak_bytes: d.memory.peak(),
+                capacity: d.memory.capacity(),
+                used_at_end: d.memory.used(),
+                cache: report,
+            });
+            timeline.absorb(d.timeline, &format!("device {i} · "));
+        }
+        ServiceReport {
+            makespan: self.makespan,
+            device_peak: peak,
+            device_capacity: capacity,
+            device_used_at_end: used_at_end,
+            invariant_violations: self.invariants,
+            cache: fleet_cache,
+            fleet: Some(FleetRollup {
+                devices: device_rollups,
+                drained: self.drained,
+                rerouted: self.rerouted,
+                cpu_spilled: self.cpu_spilled,
+                rewarmed: self.rewarmed,
+                breaker_trips: trips,
+                cache_invalidated: self.cache_invalidated,
+            }),
+            timeline,
+            requests: self.requests.into_iter().map(|st| st.metrics).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::mixed_workload;
+    use hcj_core::GpuJoinConfig;
+    use hcj_gpu::faults::FaultConfig;
+    use hcj_gpu::DeviceSpec;
+
+    fn small_engine(faults: Option<FaultConfig>) -> HcjEngine {
+        let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14);
+        let mut cfg =
+            GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(8_000);
+        if let Some(f) = faults {
+            cfg = cfg.with_faults(f);
+        }
+        HcjEngine::new(cfg)
+    }
+
+    #[test]
+    fn ring_points_are_domain_separated_from_small_keys() {
+        // Regression: ring points hashed `(d << 32) | r`, so device 0's
+        // points were `mix64(0..replicas)` — exactly where small client
+        // ids hash — and every tenant below `replicas` routed to device
+        // 0. The top-bit tag makes small keys spread.
+        let ring = Ring::new(3, 16);
+        let mut seen = [0usize; 3];
+        for key in 0..16u64 {
+            seen[ring.route(key, |_| true).expect("all eligible")] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "16 tenants spread over 3 devices: {seen:?}");
+    }
+
+    #[test]
+    fn ring_route_skips_ineligible_devices_and_is_stable() {
+        let ring = Ring::new(4, 16);
+        for key in 0..64u64 {
+            let primary = ring.route(key, |_| true).unwrap();
+            // Knocking out the primary moves the key elsewhere...
+            let fallback = ring.route(key, |d| d != primary).unwrap();
+            assert_ne!(fallback, primary);
+            // ...while keys are sticky: the same key always maps the same
+            // way under the same eligibility.
+            assert_eq!(ring.route(key, |_| true).unwrap(), primary);
+            assert_eq!(ring.route(key, |d| d != primary).unwrap(), fallback);
+        }
+        assert!(ring.route(7, |_| false).is_none(), "no eligible device, no route");
+    }
+
+    #[test]
+    fn breaker_trips_and_probe_readmits_under_heavy_transients() {
+        // Transient-heavy, loss-free chaos: kernel faults at 40x the
+        // chaos default with device-lost disabled. Breakers must trip at
+        // least once, every tripped device must record its Quarantined
+        // transition, and — since faults are transient — every request
+        // still completes oracle-correct.
+        let cfg =
+            FaultConfig { kernel_fault_p: 0.6, device_lost_p: 0.0, ..FaultConfig::disabled(3) };
+        let svc = FleetService::new(
+            small_engine(Some(cfg)),
+            ServiceConfig::default(),
+            FleetConfig::new(3),
+        );
+        let workload = mixed_workload(12, 20, 1_000, 9);
+        let report = svc.run(&workload);
+        let summary = report.summary();
+        let fleet = report.fleet.as_ref().expect("rollup present");
+        assert!(fleet.breaker_trips >= 1, "heavy transients must trip a breaker:\n{summary}");
+        assert_eq!(fleet.lost(), 0, "no loss was armed:\n{summary}");
+        assert_eq!(report.completed(), 240, "transients never lose requests:\n{summary}");
+        assert_eq!(report.checks_passed(), 240, "oracle holds under faults:\n{summary}");
+        assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
+        for d in &fleet.devices {
+            if d.breaker_trips > 0 {
+                assert!(
+                    d.transitions.iter().any(|(_, h)| *h == DeviceHealth::Quarantined),
+                    "device {} tripped without recording it:\n{summary}",
+                    d.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_fleet_matches_structure_and_completes() {
+        // A 1-device fleet is the degenerate topology: no spill targets,
+        // no failover — everything lands on device 0 and completes.
+        let svc =
+            FleetService::new(small_engine(None), ServiceConfig::default(), FleetConfig::new(1));
+        let report = svc.run(&mixed_workload(4, 5, 1_000, 7));
+        let fleet = report.fleet.as_ref().expect("rollup present");
+        assert_eq!(fleet.devices.len(), 1);
+        assert_eq!(fleet.devices[0].admitted, 20);
+        assert_eq!(report.completed(), 20);
+        assert_eq!(report.checks_passed(), 20);
+    }
+
+    #[test]
+    fn health_states_render_lowercase() {
+        assert_eq!(DeviceHealth::Healthy.to_string(), "healthy");
+        assert_eq!(DeviceHealth::Degraded.to_string(), "degraded");
+        assert_eq!(DeviceHealth::Quarantined.to_string(), "quarantined");
+        assert_eq!(DeviceHealth::Lost.to_string(), "lost");
+    }
+}

@@ -26,6 +26,7 @@ pub mod cogadb;
 pub mod dag;
 pub mod dbmsx;
 pub mod facade;
+pub mod fleet;
 pub mod result;
 pub mod service;
 
@@ -34,6 +35,7 @@ pub use cogadb::CoGaDbLike;
 pub use dag::{execute_plan, plan_envelope, DagScheduler, OpReport, PlanRun};
 pub use dbmsx::DbmsXLike;
 pub use facade::{HcjEngine, PlannedStrategy};
+pub use fleet::{DeviceHealth, DeviceRollup, FleetConfig, FleetRollup, FleetService};
 pub use result::{EngineError, EngineResult};
 pub use service::{
     mixed_workload, plan_workload, skewed_workload, CacheRole, ClientSpec, JoinService, PlanShape,

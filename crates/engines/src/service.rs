@@ -66,6 +66,7 @@ use hcj_workload::Relation;
 use crate::cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTable};
 use crate::dag::{execute_plan, plan_envelope, planned_root, OpReport, PlanRun};
 use crate::facade::{HcjEngine, PlannedStrategy};
+use crate::fleet::FleetRollup;
 
 /// Tuning of the service layer (the engine config rides in [`HcjEngine`]).
 #[derive(Clone, Debug)]
@@ -397,6 +398,13 @@ pub struct RequestMetrics {
     /// single joins): strategy, cache role, pin-vs-spill and virtual
     /// times of every operator, in completion order.
     pub plan_ops: Vec<OpReport>,
+    /// The fleet device that ran the request to completion. `None` on the
+    /// single-device service, and for fleet requests that ran host-side
+    /// (CPU fallback with no surviving device to account against).
+    pub device: Option<usize>,
+    /// How many times a device loss drained this request mid-flight and
+    /// re-routed it to another device (0 on the single-device service).
+    pub rerouted: u32,
 }
 
 impl RequestMetrics {
@@ -437,6 +445,10 @@ pub struct ServiceReport {
     /// Build-cache aggregate (`None` when the cache was disabled, so
     /// uncached summaries stay byte-identical to pre-cache builds).
     pub cache: Option<CacheReport>,
+    /// Per-device health/occupancy rollup when the run was served by a
+    /// multi-device fleet (`None` on the single-device service, so its
+    /// summaries stay byte-identical to pre-fleet builds).
+    pub fleet: Option<FleetRollup>,
     /// The whole run as one Chrome-traceable timeline.
     pub timeline: Timeline,
 }
@@ -592,6 +604,33 @@ impl ServiceReport {
                 100.0 * self.device_peak as f64 / self.device_capacity.max(1) as f64
             ),
         );
+        if let Some(fleet) = &self.fleet {
+            line("fleet devices", format!("{} ({} lost)", fleet.devices.len(), fleet.lost()));
+            line("fleet drained / rerouted", format!("{} / {}", fleet.drained, fleet.rerouted));
+            line("fleet cpu-spilled", format!("{}", fleet.cpu_spilled));
+            line("fleet rewarmed builds", format!("{}", fleet.rewarmed));
+            line("fleet breaker trips", format!("{}", fleet.breaker_trips));
+            line("fleet lost-cache drops", format!("{}", fleet.cache_invalidated));
+            for d in &fleet.devices {
+                line(
+                    &format!("device {}", d.id),
+                    format!(
+                        "{} | adm {} done {} drain {} adopt {} rewarm {} trips {} hops {} | \
+                         peak {} B of {} B",
+                        d.health,
+                        d.admitted,
+                        d.completed,
+                        d.drained,
+                        d.adopted,
+                        d.rewarmed,
+                        d.breaker_trips,
+                        d.transitions.len(),
+                        d.peak_bytes,
+                        d.capacity,
+                    ),
+                );
+            }
+        }
         line("virtual makespan", format!("{}", self.makespan));
         out
     }
@@ -784,6 +823,8 @@ impl JoinService {
                                 error: None,
                                 cache_role: CacheRole::None,
                                 plan_ops: Vec::new(),
+                                device: None,
+                                rerouted: 0,
                             },
                             inputs,
                             level: planned,
@@ -1388,6 +1429,7 @@ impl JoinService {
             device_used_at_end: device.used(),
             invariant_violations: invariants,
             cache: cache_report,
+            fleet: None,
             timeline,
             requests: requests.into_iter().map(|st| st.metrics).collect(),
         }

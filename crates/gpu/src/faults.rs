@@ -193,6 +193,22 @@ impl FaultConfig {
         FaultConfig { seed: z ^ (z >> 31), ..self.clone() }
     }
 
+    /// Derive an independent fault stream for the pair `(device, request)`
+    /// — the fleet analogue of [`FaultConfig::reseeded`]. Mixing the two
+    /// ids by xor or addition before reseeding would collide (e.g.
+    /// `(1, 0)` and `(0, 1)` share `device ^ request`), replaying the
+    /// identical verdict stream on two different devices. Instead the pair
+    /// is packed into one word — device in the top 16 bits, request in the
+    /// low 48 — so distinct pairs map to distinct streams for any
+    /// `device < 2^16` and `request < 2^48`, and the packed word runs
+    /// through the same splitmix finalizer as [`FaultConfig::reseeded`]
+    /// (which is bijective, so packing distinctness is preserved).
+    pub fn reseeded_pair(&self, device: u64, request: u64) -> Self {
+        debug_assert!(device < (1 << 16), "device id must fit 16 bits");
+        debug_assert!(request < (1 << 48), "request id must fit 48 bits");
+        self.reseeded((device << 48) | (request & ((1 << 48) - 1)))
+    }
+
     /// True when no fault can ever fire.
     pub fn is_noop(&self) -> bool {
         self.transfer_fault_p == 0.0
@@ -543,6 +559,43 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn reseeded_pair_pins_the_mixer() {
+        // Regression pin: the (device, request) mixer is part of the
+        // determinism contract — fleet chaos summaries replay byte-for-byte
+        // only while these exact seeds come out. Update deliberately or
+        // never.
+        let base = FaultConfig::chaos(7);
+        assert_eq!(base.reseeded(0).seed, 0x63CB_E1E4_5932_0DD7);
+        assert_eq!(base.reseeded_pair(0, 0).seed, base.reseeded(0).seed);
+        assert_eq!(base.reseeded_pair(0, 1).seed, 0x3800_4700_5C67_C096);
+        assert_eq!(base.reseeded_pair(1, 0).seed, 0x72D3_7C4C_679C_EE13);
+        assert_eq!(base.reseeded_pair(2, 1).seed, 0x5D65_FFEF_A79E_00C9);
+    }
+
+    #[test]
+    fn reseeded_pair_never_collides_across_pairs() {
+        // The xor/sum mixers this replaced collide on swapped pairs; the
+        // packed mixer must keep every (device, request) stream distinct.
+        use std::collections::HashMap;
+        let base = FaultConfig::chaos(23);
+        let naive = |d: u64, r: u64| base.reseeded(d ^ r).seed;
+        assert_eq!(naive(1, 0), naive(0, 1), "the naive mixer collides (that is the bug)");
+        assert_ne!(base.reseeded_pair(1, 0).seed, base.reseeded_pair(0, 1).seed);
+        let mut seen: HashMap<u64, (u64, u64)> = HashMap::new();
+        for device in 0..48u64 {
+            for request in 0..512u64 {
+                let seed = base.reseeded_pair(device, request).seed;
+                if let Some(prev) = seen.insert(seed, (device, request)) {
+                    panic!("stream seed collision: {prev:?} vs ({device}, {request})");
+                }
+            }
+        }
+        // Large ids near the packing boundary stay distinct too.
+        let hi = base.reseeded_pair((1 << 16) - 1, (1 << 48) - 1).seed;
+        assert!(!seen.contains_key(&hi));
     }
 
     #[test]

@@ -47,6 +47,49 @@ fn h2d_retry_exhaustion_is_a_typed_transient_error() {
     assert_eq!(faults.retries, policy.max_attempts - 1);
 }
 
+/// A sticky device-lost must short-circuit the `*_retrying` family: the
+/// loss is not a transient fault, so the retry loop must surface it on
+/// the first attempt — never burn backoff attempts on a dead device, and
+/// never misreport it as a retryable transfer/kernel fault.
+#[test]
+fn device_lost_is_sticky_across_retrying_attempts() {
+    // Every kernel faults and every kernel fault is sticky: the first
+    // launch kills the device.
+    let cfg = FaultConfig { kernel_fault_p: 1.0, device_lost_p: 1.0, ..FaultConfig::disabled(5) };
+    let mut sim = Sim::new();
+    let mut g = Gpu::new(&mut sim, DeviceSpec::gtx1080());
+    g.arm_faults(cfg);
+    let mut s = g.stream();
+    let policy = RetryPolicy::default();
+    let err = g
+        .kernel_raw_retrying(&mut sim, &mut s, "join p0", 1e-3, &policy)
+        .expect_err("a lost device cannot run kernels");
+    assert!(err.is_device_lost(), "the loss surfaces typed: {err}");
+    assert!(!err.is_transient(), "device-lost must never be classed transient");
+    assert_eq!(err.tag(), "device-lost");
+
+    // Every later retrying op — kernel or transfer, any policy — sees the
+    // same sticky loss immediately, with zero retry attempts charged.
+    let err2 = g
+        .copy_h2d_retrying(&mut sim, &mut s, "h2d r", 1 << 20, TransferKind::Pinned, &policy)
+        .expect_err("transfers to a lost device fail");
+    assert!(err2.is_device_lost(), "stickiness survives across ops: {err2}");
+    let err3 = g
+        .kernel_raw_retrying(&mut sim, &mut s, "join p1", 1e-3, &policy)
+        .expect_err("the device never comes back");
+    assert!(err3.is_device_lost());
+
+    // The fault log shows exactly one device-lost injection and *no*
+    // retries: the loop never treated the loss as retryable, and the
+    // already-lost ops were not even issued.
+    let schedule = sim.run();
+    let faults = g.fault_log(&schedule).summary();
+    assert!(faults.device_lost);
+    assert_eq!(faults.kernel_faults, 1, "one sticky injection, no re-draws");
+    assert_eq!(faults.retries, 0, "a dead device must not be retried");
+    assert_eq!(faults.transfer_faults, 0, "post-loss ops are not issued, not faulted");
+}
+
 /// Control: the identical copy with the fault layer disabled succeeds on
 /// the first attempt — the exhaustion above is the fault stream's doing,
 /// not a property of the transfer itself.

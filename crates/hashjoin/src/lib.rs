@@ -63,8 +63,9 @@ pub mod prelude {
     pub use hcj_engines::{
         execute_plan, mixed_workload, plan_envelope, plan_workload, skewed_workload, BuildCache,
         BuildCacheConfig, CachePeek, CacheReport, CacheRole, ClientSpec, CoGaDbLike, DagScheduler,
-        DbmsXLike, HcjEngine, JoinService, OpReport, PlanRun, PlanShape, PlannedStrategy,
-        QuerySpec, RequestSpec, ServiceConfig, ServiceReport,
+        DbmsXLike, DeviceHealth, DeviceRollup, FleetConfig, FleetRollup, FleetService, HcjEngine,
+        JoinService, OpReport, PlanRun, PlanShape, PlannedStrategy, QuerySpec, RequestSpec,
+        ServiceConfig, ServiceReport,
     };
     pub use hcj_gpu::{DeviceSpec, ErrorClass, FaultConfig, FaultSummary, JoinError, RetryPolicy};
     pub use hcj_host::HostSpec;
