@@ -5,7 +5,7 @@
 //! serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N]
 //!       [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR]
 //!       [--cache] [--popularity-skew THETA] [--plan {chain|star}]
-//!       [--devices N]
+//!       [--devices N] [--exchange] [--device-mix LIST]
 //! ```
 //!
 //! Drives N seeded closed-loop clients with mixed relation sizes, skews
@@ -59,6 +59,22 @@
 //! and per-device lines and stays byte-identical across `--jobs` counts.
 //! `--devices 1` (the default) is the unsharded single-device service,
 //! byte-identical to pre-fleet builds.
+//!
+//! `--exchange` (requires a fleet) lets the planner admit joins that
+//! overflow every single device as cross-device partitioned exchanges
+//! (`hcj_engines::exchange`): both inputs are radix-partitioned, the
+//! partitions are spread over the serving devices by a weighted
+//! consistent-hash ring, non-local partitions are shuffled over the
+//! modeled interconnect, and the per-device partial joins are merged in
+//! partition order. The summary gains `executed cross-device` and
+//! `exchange out / in` lines when any request takes that path; without
+//! the flag (the default) output is byte-identical to pre-exchange
+//! builds. `--device-mix LIST` (comma-separated device names, e.g.
+//! `gtx1080,v100,gtx1080`; implies a fleet of that size) serves on a
+//! heterogeneous fleet — each device's capacity comes from its own spec
+//! (scaled by `--capacity-div`) and exchange partition ownership is
+//! weighted by device memory bandwidth, so the V100 owns more
+//! partitions than a GTX 1080. See `FLEET.md` for the protocol.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -73,7 +89,8 @@ use hcj_sim::{SimTime, TraceExporter};
 
 const USAGE: &str = "usage: serve [--quick] [--seed S] [--jobs N] [--clients N] [--requests N] \
                      [--capacity-div K] [--chaos SEED] [--deadline-ms MS] [--trace DIR] \
-                     [--cache] [--popularity-skew THETA] [--plan {chain|star}] [--devices N]";
+                     [--cache] [--popularity-skew THETA] [--plan {chain|star}] [--devices N] \
+                     [--exchange] [--device-mix LIST]";
 
 /// Catalog size of the skewed-popularity and plan workloads.
 const CATALOG_SIZE: usize = 12;
@@ -99,6 +116,8 @@ struct Opts {
     popularity_skew: Option<f64>,
     plan: Option<PlanShape>,
     devices: usize,
+    exchange: bool,
+    device_mix: Vec<String>,
 }
 
 impl Default for Opts {
@@ -117,7 +136,21 @@ impl Default for Opts {
             popularity_skew: None,
             plan: None,
             devices: 1,
+            exchange: false,
+            device_mix: Vec::new(),
         }
+    }
+}
+
+/// Device names `--device-mix` accepts, mapped to their specs in
+/// [`mix_spec`]. Kept as data so the error message stays in sync.
+const MIX_NAMES: [&str; 2] = ["gtx1080", "v100"];
+
+fn mix_spec(name: &str, capacity_div: u64) -> DeviceSpec {
+    match name {
+        "gtx1080" => DeviceSpec::gtx1080().scaled_capacity(capacity_div),
+        "v100" => DeviceSpec::v100().scaled_capacity(capacity_div),
+        other => unreachable!("parse_args validated device names, got `{other}`"),
     }
 }
 
@@ -224,9 +257,32 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--devices needs an integer between 1 and 32")?;
                 opts.devices = v;
             }
+            "--exchange" => opts.exchange = true,
+            "--device-mix" => {
+                i += 1;
+                let list = args.get(i).ok_or("--device-mix needs a comma-separated list")?;
+                let names: Vec<String> = list.split(',').map(str::to_string).collect();
+                if names.len() < 2 || names.len() > 32 {
+                    return Err("--device-mix needs between 2 and 32 devices".into());
+                }
+                if let Some(bad) = names.iter().find(|n| !MIX_NAMES.contains(&n.as_str())) {
+                    return Err(format!(
+                        "--device-mix: unknown device `{bad}` (known: {})",
+                        MIX_NAMES.join(", ")
+                    ));
+                }
+                opts.device_mix = names;
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
+    }
+    // Cross-flag validation, still before any side effect.
+    if !opts.device_mix.is_empty() && opts.devices > 1 {
+        return Err("--device-mix already fixes the fleet size; drop --devices".into());
+    }
+    if opts.exchange && opts.devices < 2 && opts.device_mix.is_empty() {
+        return Err("--exchange needs a fleet: pass --devices N (N >= 2) or --device-mix".into());
     }
     Ok(opts)
 }
@@ -257,8 +313,13 @@ fn main() -> ExitCode {
         popularity_skew,
         plan,
         devices,
+        exchange,
+        device_mix,
         ..
     } = opts;
+    // A mix fixes the fleet width; parse_args rejected combining it with
+    // --devices, so this count is the one the header and service use.
+    let fleet_width = if device_mix.is_empty() { devices } else { device_mix.len() };
     // Quick mode: the CI soak — 8 clients x 25 requests = 200, small
     // relations, same contention regime. Plans carry 2-4 joins each, so
     // their quick run issues fewer, heavier requests.
@@ -329,11 +390,28 @@ fn main() -> ExitCode {
         // Fleet runs announce their topology; --devices 1 keeps the
         // header (and everything after it) byte-identical to pre-fleet
         // builds.
-        if devices > 1 { format!(", fleet {devices} devices") } else { String::new() },
+        match (fleet_width > 1, device_mix.is_empty(), exchange) {
+            (false, ..) => String::new(),
+            (true, true, false) => format!(", fleet {fleet_width} devices"),
+            (true, true, true) => format!(", fleet {fleet_width} devices, exchange on"),
+            (true, false, false) => format!(", fleet mix {}", device_mix.join("+")),
+            (true, false, true) => {
+                format!(", fleet mix {}, exchange on", device_mix.join("+"))
+            }
+        },
     );
     let started = Instant::now();
-    let report = if devices > 1 {
-        FleetService::new(engine, service_config, FleetConfig::new(devices)).run(&workload)
+    let report = if fleet_width > 1 {
+        let mut fleet_config = if device_mix.is_empty() {
+            FleetConfig::new(fleet_width)
+        } else {
+            let specs = device_mix.iter().map(|n| mix_spec(n, capacity_div)).collect();
+            FleetConfig::new(0).with_device_mix(specs)
+        };
+        if exchange {
+            fleet_config = fleet_config.with_exchange();
+        }
+        FleetService::new(engine, service_config, fleet_config).run(&workload)
     } else {
         JoinService::new(engine, service_config).run(&workload)
     };
@@ -430,6 +508,35 @@ mod tests {
         assert!(parse_args(&argv(&["--devices", "0"])).is_err());
         assert!(parse_args(&argv(&["--devices", "33"])).is_err());
         assert!(parse_args(&argv(&["--devices"])).is_err());
+    }
+
+    #[test]
+    fn exchange_flag_requires_a_fleet() {
+        assert!(parse_args(&argv(&["--exchange"])).is_err(), "needs --devices or --device-mix");
+        assert!(parse_args(&argv(&["--exchange", "--devices", "1"])).is_err());
+        let opts = parse_args(&argv(&["--exchange", "--devices", "3"])).unwrap();
+        assert!(opts.exchange);
+        assert_eq!(opts.devices, 3);
+        let opts = parse_args(&argv(&["--exchange", "--device-mix", "gtx1080,v100"])).unwrap();
+        assert!(opts.exchange);
+        assert!(!parse_args(&argv(&["--devices", "3"])).unwrap().exchange, "default is off");
+    }
+
+    #[test]
+    fn device_mix_parses_known_names_and_rejects_junk() {
+        let opts = parse_args(&argv(&["--device-mix", "gtx1080,v100,gtx1080"])).unwrap();
+        assert_eq!(opts.device_mix, vec!["gtx1080", "v100", "gtx1080"]);
+        assert!(parse_args(&argv(&["--device-mix"])).is_err());
+        assert!(parse_args(&argv(&["--device-mix", "v100"])).is_err(), "one device is no fleet");
+        assert!(parse_args(&argv(&["--device-mix", "gtx1080,titanx"])).is_err(), "unknown name");
+        assert!(
+            parse_args(&argv(&["--device-mix", "gtx1080,v100", "--devices", "3"])).is_err(),
+            "the mix fixes the fleet size"
+        );
+        // Every accepted name maps to a spec without panicking.
+        for name in MIX_NAMES {
+            let _ = mix_spec(name, 1 << 14);
+        }
     }
 
     #[test]

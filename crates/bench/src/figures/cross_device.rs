@@ -1,0 +1,166 @@
+//! Cross-device partitioned exchange: one join too big for any single
+//! GPU, served by 1–4 devices (`hcj_engines::exchange`).
+//!
+//! Beyond the paper's single-GPU testbed, in the direction its conclusion
+//! points (scaling hardware-conscious joins past one device's memory):
+//! both inputs are radix-partitioned on the host, partitions are assigned
+//! to devices by a bandwidth-weighted consistent-hash ring, non-local
+//! partitions shuffle over the modeled peer interconnect, and each device
+//! joins its partitions with the paper's partitioned join. The sweep
+//! reports end-to-end throughput and the shuffled volume as the fleet
+//! widens, plus a heterogeneous GTX 1080 + V100 row showing
+//! bandwidth-weighted ownership.
+
+use hcj_engines::exchange::{execute_exchange, ExchangeConfig, ExchangeParticipant};
+use hcj_engines::HcjEngine;
+use hcj_gpu::DeviceSpec;
+use hcj_host::HostSpec;
+use hcj_workload::generate::canonical_pair;
+
+use crate::figures::common::parallel_points;
+use crate::{btps, RunConfig, Table};
+
+/// Sweep points: homogeneous fleets of 1–4 GTX 1080s, then the mixed
+/// fleet. `None` widths mark the heterogeneous row.
+const POINTS: [(&str, Option<usize>); 5] = [
+    ("1 device", Some(1)),
+    ("2 devices", Some(2)),
+    ("3 devices", Some(3)),
+    ("4 devices", Some(4)),
+    ("gtx1080+v100+gtx1080", None),
+];
+
+fn participants(point: Option<usize>, capacity_div: u64) -> Vec<ExchangeParticipant> {
+    let specs: Vec<DeviceSpec> = match point {
+        Some(n) => (0..n).map(|_| DeviceSpec::gtx1080()).collect(),
+        None => vec![DeviceSpec::gtx1080(), DeviceSpec::v100(), DeviceSpec::gtx1080()],
+    };
+    specs
+        .into_iter()
+        .enumerate()
+        .map(|(device, spec)| ExchangeParticipant {
+            device,
+            spec: spec.scaled_capacity(capacity_div),
+        })
+        .collect()
+}
+
+pub fn run(cfg: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "cross-device",
+        "Cross-device partitioned exchange join, 1-4 GPUs",
+        "fleet",
+        "billion tuples/s",
+        vec!["throughput".into(), "exchange MB".into()],
+    );
+    table.note(
+        "inputs overflow every single device; the exchange radix-partitions both sides, \
+         shuffles non-local partitions over the peer link and joins per device",
+    );
+    table.note("partition ownership is weighted by device memory bandwidth (V100 ~2.8x GTX 1080)");
+
+    // Inputs several times one device's capacity: devices shrink with the
+    // run scale times an extra factor so the 1-device row must stream its
+    // partitions through a device it overflows, exactly the regime the
+    // exchange exists for.
+    let build = cfg.mtuples(16);
+    let probe = 4 * build;
+    let extra = 64;
+    let capacity_div = cfg.scale * extra;
+    let (r, s) = canonical_pair(build, probe, 6000);
+    let host = HostSpec::dual_xeon_e5_2650l_v3();
+    let exchange_cfg = ExchangeConfig::default();
+
+    let results = parallel_points(&POINTS, |&(name, point)| {
+        let parts = participants(point, capacity_div);
+        let join_cfg = hcj_core::GpuJoinConfig::paper_default(parts[0].spec.clone())
+            .with_radix_bits(6)
+            .with_tuned_buckets(build >> exchange_cfg.radix_bits.min(10));
+        let engine = HcjEngine::new(join_cfg);
+        let out = execute_exchange(&engine, &parts, &r, &s, &exchange_cfg, &host, 6000)
+            .expect("exchange figure inputs partition to fit every device");
+        assert_eq!(out.check.matches as usize, probe, "exchange join must be exact");
+        (name, out)
+    });
+
+    let clock_hz = DeviceSpec::gtx1080().clock_hz;
+    for ((name, point), (_, out)) in POINTS.iter().zip(&results) {
+        let tuples = (build + probe) as f64;
+        let roll = out.counters.rollup();
+        let shuffled_mb = roll.exchange_out_bytes as f64 / (1 << 20) as f64;
+        table.row(*name, vec![Some(btps(tuples / out.seconds)), Some(shuffled_mb)]);
+
+        // Perf-gate probes: simulated cycles plus the exact per-direction
+        // exchange volume of every width.
+        use hcj_sim::baseline::Metric;
+        let tag = match point {
+            Some(n) => format!("n{n}"),
+            None => "mix".into(),
+        };
+        let cycles = (out.seconds * clock_hz).round() as u64;
+        table.probe(format!("cycles[{tag}]"), Metric::Exact(cycles));
+        table.probe(format!("exchange_out_bytes[{tag}]"), Metric::Exact(roll.exchange_out_bytes));
+        table.probe(format!("exchange_in_bytes[{tag}]"), Metric::Exact(roll.exchange_in_bytes));
+        if point.is_none() {
+            // Ownership split of the heterogeneous fleet: the V100 (device
+            // 1) should own the majority of the 2^radix_bits partitions.
+            let v100_owned = out.owners.iter().filter(|&&d| d == 1).count();
+            table.probe("mix_v100_partitions", Metric::Exact(v100_owned as u64));
+            table.note(format!(
+                "mixed fleet: V100 owns {v100_owned}/{} partitions",
+                out.owners.len()
+            ));
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunConfig {
+        RunConfig { scale: 64, quick: true, out_dir: None, trace_dir: None, profile: false }
+    }
+
+    #[test]
+    fn single_device_shuffles_nothing_and_wider_fleets_shuffle_more() {
+        let t = run(&cfg());
+        assert_eq!(t.rows.len(), 5);
+        let shuffled: Vec<f64> = t.rows.iter().map(|(_, v)| v[1].unwrap()).collect();
+        assert_eq!(shuffled[0], 0.0, "one device owns every partition locally");
+        assert!(shuffled[1] > 0.0, "two devices must shuffle");
+        assert!(
+            shuffled[3] > shuffled[1],
+            "4 devices shuffle more than 2: {} vs {}",
+            shuffled[3],
+            shuffled[1]
+        );
+    }
+
+    #[test]
+    fn every_width_reports_positive_throughput() {
+        let t = run(&cfg());
+        for (name, vals) in &t.rows {
+            assert!(vals[0].unwrap() > 0.0, "{name} throughput");
+        }
+    }
+
+    #[test]
+    fn the_v100_owns_the_majority_of_mixed_fleet_partitions() {
+        let t = run(&cfg());
+        let (_, metric) = t
+            .probes
+            .iter()
+            .find(|(n, _)| n == "mix_v100_partitions")
+            .expect("mix row records its ownership split");
+        let hcj_sim::baseline::Metric::Exact(v100) = metric else {
+            panic!("ownership probe is exact");
+        };
+        let total = 1u64 << ExchangeConfig::default().radix_bits;
+        assert!(
+            *v100 > total / 2,
+            "V100 owns {v100}/{total}, expected the bandwidth-weighted majority"
+        );
+    }
+}

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod cross_device;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;
@@ -48,6 +49,7 @@ pub fn registry() -> Vec<(&'static str, FigureRunner)> {
         ("fig21", fig21_22::run_fig21),
         ("fig22", fig21_22::run_fig22),
         ("ablations", ablations::run),
+        ("cross-device", cross_device::run),
         ("whatif-interconnect", whatif::run_interconnect),
         ("whatif-devices", whatif::run_devices),
         ("whatif-threads", whatif::run_auto_threads),

@@ -41,6 +41,12 @@ use hcj_workload::Relation;
 
 use crate::result::EngineResult;
 
+/// Headroom factor on a cross-device participant's estimated input share:
+/// key partitioning never splits exactly `1/n`, so admission reserves 1.5x
+/// the ideal slice on every participant (and the fleet planner only picks
+/// a participant count whose padded share fits the smallest device).
+pub const CROSS_DEVICE_SLACK: f64 = 1.5;
+
 /// Which strategy the planner chose (or recovery forced).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlannedStrategy {
@@ -48,6 +54,13 @@ pub enum PlannedStrategy {
     GpuResident,
     /// Build side fits, probe side streams over PCIe in chunks.
     StreamedProbe,
+    /// The join overflows a single device: both sides are key-partitioned
+    /// on the host and joined cooperatively by `n` fleet devices, shuffled
+    /// over the modeled interconnect ([`crate::exchange`]). Planned only by
+    /// the fleet planner ([`HcjEngine::plan_fleet_sized`]) — a
+    /// single-device executor degrades it to [`Self::CoProcessing`] — and
+    /// therefore, like [`Self::CpuFallback`], not on [`Self::LADDER`].
+    CrossDevice(usize),
     /// Neither fits: host partitions, GPU joins co-partition chunks.
     CoProcessing,
     /// The GPU could not finish the join (device lost, or transient
@@ -73,7 +86,11 @@ impl PlannedStrategy {
     pub fn rank(self) -> usize {
         match self {
             PlannedStrategy::GpuResident => 0,
-            PlannedStrategy::StreamedProbe => 1,
+            // Cross-device joins share the streamed rung's rank: per
+            // participating device they are about as demanding, and their
+            // degradation target (`rank + 1` on the ladder) is the
+            // single-device co-processing floor.
+            PlannedStrategy::StreamedProbe | PlannedStrategy::CrossDevice(_) => 1,
             PlannedStrategy::CoProcessing => 2,
             PlannedStrategy::CpuFallback => 3,
         }
@@ -92,6 +109,7 @@ impl std::fmt::Display for PlannedStrategy {
         let name = match self {
             PlannedStrategy::GpuResident => "gpu-resident",
             PlannedStrategy::StreamedProbe => "streamed-probe",
+            PlannedStrategy::CrossDevice(_) => "cross-device",
             PlannedStrategy::CoProcessing => "co-processing",
             PlannedStrategy::CpuFallback => "cpu-fallback",
         };
@@ -158,9 +176,52 @@ impl HcjEngine {
                 let chunk = (probe_bytes.max(8)).min(capacity / 6);
                 (capacity / 2 + 2 * chunk).min(capacity)
             }
+            // One participating device's share of a cross-device exchange
+            // join: admission reserves this envelope on *each* of the `n`
+            // participants. The slack factor covers partition-assignment
+            // imbalance (skewed keys never split perfectly `1/n`).
+            PlannedStrategy::CrossDevice(n) => {
+                self.cross_device_share(build_bytes, probe_bytes, n).min(capacity)
+            }
             // The CPU fallback touches no device memory at all.
             PlannedStrategy::CpuFallback => 0,
         }
+    }
+
+    /// Estimated per-participant device footprint of a cross-device join
+    /// split `n` ways (before the capacity clamp): each device holds its
+    /// `1/n` slice of both partitioned inputs plus the bucket-pool slack,
+    /// times [`CROSS_DEVICE_SLACK`] for assignment imbalance.
+    pub fn cross_device_share(&self, build_bytes: u64, probe_bytes: u64, n: usize) -> u64 {
+        let n = n.max(1) as f64;
+        ((build_bytes + probe_bytes) as f64 * self.pool_factor * CROSS_DEVICE_SLACK / n) as u64
+    }
+
+    /// Plan against a fleet of `devices` serving devices whose smallest
+    /// capacity is `min_capacity`. When the single-device planner already
+    /// keeps the join resident, a single device is strictly better (no
+    /// exchange traffic); otherwise — the single-device footprint estimate
+    /// overflowed — the smallest participant count whose per-device share
+    /// is resident-sized on every participant wins, and the join becomes
+    /// [`PlannedStrategy::CrossDevice`]. Falls back to the single-device
+    /// plan when even `devices` ways cannot make the shares fit.
+    pub fn plan_fleet_sized(
+        &self,
+        build_bytes: u64,
+        probe_bytes: u64,
+        devices: usize,
+        min_capacity: u64,
+    ) -> PlannedStrategy {
+        let single = self.plan_sized(build_bytes, probe_bytes);
+        if devices < 2 || single == PlannedStrategy::GpuResident {
+            return single;
+        }
+        for n in 2..=devices {
+            if self.cross_device_share(build_bytes, probe_bytes, n) <= min_capacity {
+                return PlannedStrategy::CrossDevice(n);
+            }
+        }
+        single
     }
 
     /// Estimated peak device footprint of executing against an already
@@ -226,6 +287,13 @@ impl HcjEngine {
         // died even though the join itself recovered onto the CPU.
         let mut lost: Option<FaultEvent> = None;
         loop {
+            // A cross-device level reaching a single-device executor (CPU
+            // lane, adopter with a one-device fleet) runs as the
+            // co-processing floor: the exchange executor lives at the
+            // fleet layer ([`crate::exchange`]), not here.
+            if matches!(strategy, PlannedStrategy::CrossDevice(_)) {
+                strategy = PlannedStrategy::CoProcessing;
+            }
             let attempt = match strategy {
                 PlannedStrategy::GpuResident => {
                     GpuPartitionedJoin::new(self.config.clone()).execute(build, probe)
@@ -238,6 +306,7 @@ impl HcjEngine {
                     CoProcessingJoin::new(CoProcessingConfig::paper_default(self.config.clone()))
                         .execute(build, probe)
                 }
+                PlannedStrategy::CrossDevice(_) => unreachable!("rewritten to co-processing above"),
                 PlannedStrategy::CpuFallback => {
                     let mut outcome = self.cpu_fallback(build, probe);
                     if let Some(event) = lost.take() {
@@ -375,6 +444,42 @@ mod tests {
         assert!(!PlannedStrategy::LADDER.contains(&PlannedStrategy::CpuFallback));
         assert_eq!(PlannedStrategy::CpuFallback.rank(), 3);
         assert_eq!(PlannedStrategy::CpuFallback.degraded(), None);
+        // Cross-device is off-ladder too, and degrades onto the
+        // single-device co-processing floor when the fleet can't host it.
+        assert!(!PlannedStrategy::LADDER.contains(&PlannedStrategy::CrossDevice(2)));
+        assert_eq!(PlannedStrategy::CrossDevice(3).degraded(), Some(PlannedStrategy::CoProcessing));
+        assert!(
+            PlannedStrategy::CoProcessing.rank() > PlannedStrategy::CrossDevice(3).rank(),
+            "degrading a cross-device join still strictly descends"
+        );
+    }
+
+    #[test]
+    fn fleet_planner_goes_cross_device_only_on_single_device_overflow() {
+        let e = engine(1 << 14, 10_000, 8); // 512 KB device
+        let cap = e.config.device.device_mem_bytes;
+        // Small join: resident on one device, no exchange.
+        assert_eq!(e.plan_fleet_sized(10_000, 20_000, 4, cap), PlannedStrategy::GpuResident);
+        // Overflows one device, fits split 2 ways: smallest n wins.
+        let (b, p) = (300_000u64, 300_000u64);
+        assert_ne!(e.plan_sized(b, p), PlannedStrategy::GpuResident, "premise: overflows");
+        let plan = e.plan_fleet_sized(b, p, 4, cap);
+        match plan {
+            PlannedStrategy::CrossDevice(n) => {
+                assert!((2..=4).contains(&n));
+                assert!(e.cross_device_share(b, p, n) <= cap, "chosen share fits");
+                if n > 2 {
+                    assert!(e.cross_device_share(b, p, n - 1) > cap, "n is minimal");
+                }
+                assert_eq!(e.footprint_estimate_sized(plan, b, p), e.cross_device_share(b, p, n));
+            }
+            other => panic!("expected a cross-device plan, got {other}"),
+        }
+        // A 1-device fleet can never exchange.
+        assert_eq!(e.plan_fleet_sized(b, p, 1, cap), e.plan_sized(b, p));
+        // Too big even for the whole fleet: the single-device plan stands.
+        let huge = 100 * cap;
+        assert_eq!(e.plan_fleet_sized(huge, huge, 4, cap), e.plan_sized(huge, huge));
     }
 
     #[test]

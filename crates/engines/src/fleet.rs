@@ -50,8 +50,9 @@ use std::sync::Arc;
 
 use hcj_core::{CachedBuild, CachedBuildJoin};
 use hcj_gpu::faults::{DeviceFault, FaultKind, FaultSite};
-use hcj_gpu::{CounterRollup, DeviceMemory, FaultSummary, JoinError, Reservation};
+use hcj_gpu::{CounterRollup, DeviceMemory, DeviceSpec, FaultSummary, JoinError, Reservation};
 use hcj_host::pool::Pool;
+use hcj_host::HostSpec;
 use hcj_sim::{CounterId, SimTime, Timeline, TrackId};
 use hcj_workload::catalog::BuildRef;
 use hcj_workload::oracle::JoinCheck;
@@ -60,6 +61,7 @@ use hcj_workload::Relation;
 
 use crate::cache::{BuildCache, CachePeek, CacheReport, CachedTable};
 use crate::dag::{execute_plan, plan_envelope, planned_root, PlanRun};
+use crate::exchange::{execute_exchange, ExchangeConfig, ExchangeParticipant};
 use crate::facade::{HcjEngine, PlannedStrategy};
 use crate::service::{
     CacheRole, ClientSpec, QuerySpec, RequestMetrics, ServiceConfig, ServiceReport,
@@ -83,6 +85,16 @@ pub struct FleetConfig {
     /// Hottest cache entries re-warmed onto the adopting device when a
     /// device is lost.
     pub rewarm_limit: usize,
+    /// Admit joins too large for any single device as cross-device
+    /// exchange joins ([`crate::exchange`]) instead of degrading them down
+    /// the single-device ladder. Off by default: pre-exchange fleets keep
+    /// byte-identical behaviour.
+    pub exchange: bool,
+    /// Per-device hardware specs for a heterogeneous fleet. `None` means
+    /// every device runs the engine's configured spec. When set, each
+    /// device's capacity comes from its own spec and the exchange weights
+    /// partition ownership by per-device throughput.
+    pub device_specs: Option<Vec<DeviceSpec>>,
 }
 
 impl FleetConfig {
@@ -95,7 +107,23 @@ impl FleetConfig {
             quarantine_cooldown: SimTime::from_nanos(1_000_000), // 1 ms
             ring_replicas: 16,
             rewarm_limit: 2,
+            exchange: false,
+            device_specs: None,
         }
+    }
+
+    /// Enable cross-device exchange joins for oversized requests.
+    pub fn with_exchange(mut self) -> Self {
+        self.exchange = true;
+        self
+    }
+
+    /// A heterogeneous fleet: one device per spec, each sized and weighted
+    /// by its own hardware.
+    pub fn with_device_mix(mut self, specs: Vec<DeviceSpec>) -> Self {
+        self.devices = specs.len().max(1);
+        self.device_specs = Some(specs);
+        self
     }
 }
 
@@ -218,12 +246,27 @@ enum Route {
 
 /// Consistent-hash ring: `ring_replicas` points per device, walk
 /// clockwise from the key's hash to the first eligible device.
-struct Ring {
+pub(crate) struct Ring {
     /// `(point, device)`, sorted by point.
     points: Vec<(u64, usize)>,
 }
 
 impl Ring {
+    /// A ring with `replicas` points for each of a heterogeneous device
+    /// set: the cross-device exchange assigns partitions over this, with
+    /// per-device replica counts proportional to device throughput so
+    /// faster devices own proportionally more partitions.
+    pub(crate) fn weighted(replicas: &[(usize, usize)]) -> Self {
+        let mut points: Vec<(u64, usize)> = replicas
+            .iter()
+            .flat_map(|&(d, reps)| {
+                (0..reps.max(1)).map(move |r| (mix64((1 << 63) | ((d as u64) << 32) | r as u64), d))
+            })
+            .collect();
+        points.sort_unstable();
+        Ring { points }
+    }
+
     fn new(devices: usize, replicas: usize) -> Self {
         // The top bit domain-separates ring points from routing keys:
         // without it, device 0's points are `mix64(0..replicas)` — the
@@ -241,7 +284,7 @@ impl Ring {
 
     /// First device clockwise from `key`'s hash for which `eligible`
     /// holds. `None` when no device qualifies.
-    fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+    pub(crate) fn route(&self, key: u64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
         let h = mix64(key);
         let start = self.points.partition_point(|p| p.0 < h);
         (0..self.points.len())
@@ -360,6 +403,15 @@ struct FleetRequest {
     probe: bool,
     /// On the CPU lane awaiting host-side execution.
     cpu: bool,
+    /// Reservations held on the non-coordinator participants of an
+    /// admitted cross-device request, released with the coordinator's.
+    extra_reservations: Vec<Reservation>,
+    /// Participant device ids of an admitted cross-device request
+    /// (coordinator first); empty for single-device requests.
+    participants: Vec<usize>,
+    /// Participants the exchange observed device-lost, drained by
+    /// `observe_completion` when the request finalizes.
+    lost_participants: Vec<usize>,
 }
 
 /// Live state of a multi-join plan request (fleet copy of the service's
@@ -455,10 +507,21 @@ struct FleetRun<'a> {
 
 impl<'a> FleetRun<'a> {
     fn new(svc: &'a FleetService, workload: &'a [ClientSpec]) -> Self {
-        let capacity = svc.engine.config.device.device_mem_bytes;
-        let cache_budget = svc.config.cache.as_ref().map(|cfg| cfg.resolved_max_bytes(capacity));
-        let devices: Vec<DeviceState> =
-            (0..svc.fleet.devices).map(|d| DeviceState::new(d, capacity, cache_budget)).collect();
+        let default_capacity = svc.engine.config.device.device_mem_bytes;
+        let devices: Vec<DeviceState> = (0..svc.fleet.devices)
+            .map(|d| {
+                // A heterogeneous fleet sizes each device (and its cache
+                // budget) from its own spec.
+                let capacity = svc
+                    .fleet
+                    .device_specs
+                    .as_ref()
+                    .and_then(|specs| specs.get(d))
+                    .map_or(default_capacity, |spec| spec.device_mem_bytes);
+                let budget = svc.config.cache.as_ref().map(|cfg| cfg.resolved_max_bytes(capacity));
+                DeviceState::new(d, capacity, budget)
+            })
+            .collect();
         let mut timeline = Timeline::new("hcj join fleet");
         let router = timeline.track("router");
         let cpu_track = timeline.track("cpu fallback");
@@ -488,6 +551,35 @@ impl<'a> FleetRun<'a> {
     fn schedule(&mut self, at: SimTime, e: Event) {
         self.calendar.insert((at, self.seq), e);
         self.seq += 1;
+    }
+
+    /// The hardware spec of `device`: its own mix entry, or the engine's
+    /// configured spec in a homogeneous fleet.
+    fn spec_of(&self, device: usize) -> &DeviceSpec {
+        self.svc
+            .fleet
+            .device_specs
+            .as_ref()
+            .and_then(|specs| specs.get(device))
+            .unwrap_or(&self.svc.engine.config.device)
+    }
+
+    /// Serving (Healthy/Degraded) devices, in id order.
+    fn serving_devices(&self) -> Vec<usize> {
+        (0..self.devices.len()).filter(|&d| self.devices[d].health.serving()).collect()
+    }
+
+    /// Plan one join for this fleet: the fleet-aware planner when exchange
+    /// is on (cross-device for single-device overflows), the single-device
+    /// planner otherwise.
+    fn plan_join(&self, build_bytes: u64, probe_bytes: u64) -> PlannedStrategy {
+        if !self.svc.fleet.exchange {
+            return self.svc.engine.plan_sized(build_bytes, probe_bytes);
+        }
+        let serving = self.serving_devices();
+        let min_capacity =
+            serving.iter().map(|&d| self.devices[d].memory.capacity()).min().unwrap_or(0);
+        self.svc.engine.plan_fleet_sized(build_bytes, probe_bytes, serving.len(), min_capacity)
     }
 
     /// Route `req` (fresh, displaced or drained). `adopting` marks a
@@ -622,15 +714,23 @@ impl<'a> FleetRun<'a> {
             return;
         }
         let Some((r, s)) = st.inputs.as_ref() else { return };
-        let (b, p) = if r.len() <= s.len() { (r, s) } else { (s, r) };
-        let mut level = engine.plan(b, p);
-        while engine.footprint_estimate(level, b, p) > available {
+        let (b, p) =
+            if r.len() <= s.len() { (r.bytes(), s.bytes()) } else { (s.bytes(), r.bytes()) };
+        let mut level = self.plan_join(b, p);
+        if matches!(level, PlannedStrategy::CrossDevice(_)) {
+            // Still worth an exchange over the surviving devices; the
+            // cross admission pre-pass re-reserves its envelopes.
+            self.requests[req].level = level;
+            return;
+        }
+        let engine = &self.svc.engine;
+        while engine.footprint_estimate_sized(level, b, p) > available {
             match level.degraded() {
                 Some(next) => level = next,
                 None => break,
             }
         }
-        st.level = level;
+        self.requests[req].level = level;
     }
 
     /// Schedule the client's next closed-loop submission, if any.
@@ -678,12 +778,19 @@ impl<'a> FleetRun<'a> {
         let mut to_reroute: Vec<usize> = Vec::new();
         for req in 0..self.requests.len() {
             let st = &mut self.requests[req];
-            if st.done || st.assigned != Some(device) || !st.running {
+            // A running cross-device request is drained when *any* of its
+            // participants is the lost device — its envelopes span the
+            // fleet and its in-flight exchange is aborted wholesale.
+            let involved = st.assigned == Some(device) || st.participants.contains(&device);
+            if st.done || !involved || !st.running {
                 continue;
             }
             st.epoch += 1;
             st.running = false;
             st.reservation = None;
+            st.extra_reservations.clear();
+            st.participants = Vec::new();
+            st.lost_participants = Vec::new();
             st.hit = None;
             st.install = None;
             if let Some(pw) = st.plan.as_mut() {
@@ -766,6 +873,19 @@ impl<'a> FleetRun<'a> {
         if was_probe {
             self.devices[device].probe = None;
             self.requests[req].probe = false;
+        }
+        if !self.requests[req].participants.is_empty() {
+            // Cross-device: health is attributed per participant, not to
+            // the coordinator. The exchange already re-ran each lost
+            // participant's partitions on an adopter, so the only fleet
+            // action left is draining the devices it observed lost.
+            // Transient exchange faults skip the coordinator's breaker —
+            // they happened fleet-wide, not on one device.
+            let lost = std::mem::take(&mut self.requests[req].lost_participants);
+            for d in lost {
+                self.device_lost(d, now);
+            }
+            return;
         }
         if faults.device_lost {
             self.device_lost(device, now);
@@ -935,7 +1055,7 @@ impl<'a> FleetRun<'a> {
             QuerySpec::Join(spec) => {
                 let (r, s) = (spec.r.generate(), spec.s.generate());
                 let (b, p) = if r.len() <= s.len() { (&r, &s) } else { (&s, &r) };
-                let planned = self.svc.engine.plan(b, p);
+                let planned = self.plan_join(b.bytes(), p.bytes());
                 (Some((r, s)), spec.build, None, planned)
             }
             QuerySpec::Plan(plan) => {
@@ -987,6 +1107,9 @@ impl<'a> FleetRun<'a> {
             epoch: 0,
             probe: false,
             cpu: false,
+            extra_reservations: Vec::new(),
+            participants: Vec::new(),
+            lost_participants: Vec::new(),
         });
         if let Some(budget) = self.svc.config.deadline {
             self.schedule(now + budget, Event::Deadline { req: id });
@@ -1004,6 +1127,7 @@ impl<'a> FleetRun<'a> {
         self.requests[req].running = false;
         self.requests[req].metrics.completed_at = now;
         self.requests[req].reservation = None;
+        self.requests[req].extra_reservations.clear();
         self.requests[req].hit = None;
         self.requests[req].inputs = None;
         let install = self.requests[req].install.take();
@@ -1104,6 +1228,9 @@ impl<'a> FleetRun<'a> {
         st.running = false;
         st.epoch += 1; // stale any in-flight Complete
         st.reservation = None;
+        st.extra_reservations.clear();
+        st.participants = Vec::new();
+        st.lost_participants = Vec::new();
         st.hit = None;
         st.install = None;
         st.inputs = None;
@@ -1135,12 +1262,110 @@ impl<'a> FleetRun<'a> {
         self.next_submit(client, index, now);
     }
 
+    /// Try to admit one cross-device request coordinated by `device`:
+    /// reserve one exchange-share envelope on every participant (coord-
+    /// inator first, then serving devices clockwise in id order), or back
+    /// off — eventually degrading onto the single-device ladder. Any
+    /// reservation failure releases every partial hold before returning.
+    /// Returns `true` when the request entered `batch`.
+    fn admit_cross(
+        &mut self,
+        device: usize,
+        id: usize,
+        now: SimTime,
+        batch: &mut Vec<usize>,
+    ) -> bool {
+        if self.requests[id].eligible_at > now {
+            return false;
+        }
+        let PlannedStrategy::CrossDevice(n) = self.requests[id].level else { return false };
+        let serving = self.serving_devices();
+        if serving.len() < n || !serving.contains(&device) {
+            // The fleet shrank below the planned width: step down to the
+            // single-device ladder; the retain loop admits it this wave.
+            let st = &mut self.requests[id];
+            st.level = st.level.degraded().unwrap_or(PlannedStrategy::CpuFallback);
+            return false;
+        }
+        let pos = serving.iter().position(|&d| d == device).expect("checked above");
+        let participants: Vec<usize> =
+            (0..serving.len()).map(|k| serving[(pos + k) % serving.len()]).take(n).collect();
+        let share = {
+            let Some((r, s)) = self.requests[id].inputs.as_ref() else { return false };
+            let (b, p) =
+                if r.len() <= s.len() { (r.bytes(), s.bytes()) } else { (s.bytes(), r.bytes()) };
+            self.svc.engine.cross_device_share(b, p, n)
+        };
+        let mut holds: Vec<Reservation> = Vec::with_capacity(n);
+        for &d in &participants {
+            let dev = &mut self.devices[d];
+            let reserved = dev.memory.reserve(share).or_else(|err| match dev.cache.as_mut() {
+                Some(c) => {
+                    if c.reclaim(&dev.memory, share, None) {
+                        dev.memory.reserve(share)
+                    } else {
+                        Err(err)
+                    }
+                }
+                None => Err(err),
+            });
+            match reserved {
+                Ok(res) => holds.push(res),
+                Err(_) => {
+                    drop(holds); // release every partial hold
+                    let max_retries = self.svc.config.max_retries;
+                    let base = self.svc.config.backoff_base.as_nanos().max(1);
+                    let cap = self.svc.config.backoff_cap.as_nanos();
+                    let st = &mut self.requests[id];
+                    st.metrics.retries += 1;
+                    st.attempts += 1;
+                    if st.attempts > max_retries {
+                        if let Some(next) = st.level.degraded() {
+                            st.level = next;
+                            st.attempts = 0;
+                        }
+                    }
+                    let delay =
+                        base.saturating_mul(1u64 << (st.attempts.saturating_sub(1)).min(20));
+                    st.eligible_at = now + SimTime::from_nanos(delay.min(cap));
+                    return false;
+                }
+            }
+        }
+        let used = self.devices[device].memory.used();
+        let st = &mut self.requests[id];
+        st.reservation = Some(holds.remove(0));
+        st.extra_reservations = holds;
+        st.participants = participants;
+        st.running = true;
+        st.metrics.admitted_at = now;
+        st.metrics.device_used_at_admit = used;
+        st.metrics.device = Some(device);
+        self.devices[device].admitted += 1;
+        batch.push(id);
+        true
+    }
+
     /// One device's admission wave: scan its queue in order, reserve
     /// against its accountant (reclaiming its cache under pressure),
     /// degrade on repeated rejection — the single-device wave, per
     /// device.
     fn admission_wave(&mut self, device: usize, now: SimTime, batch: &mut Vec<usize>) {
         let mut queue = std::mem::take(&mut self.devices[device].queue);
+        // Cross-device pre-pass: exchange requests reserve one envelope on
+        // *every* participant, so they are admitted before the retain loop
+        // below takes its exclusive borrow of this device.
+        if self.svc.fleet.exchange {
+            let mut rest = VecDeque::with_capacity(queue.len());
+            while let Some(id) = queue.pop_front() {
+                let is_cross = self.requests[id].plan.is_none()
+                    && matches!(self.requests[id].level, PlannedStrategy::CrossDevice(_));
+                if !is_cross || !self.admit_cross(device, id, now, batch) {
+                    rest.push_back(id);
+                }
+            }
+            queue = rest;
+        }
         let engine = &self.svc.engine;
         let max_retries = self.svc.config.max_retries;
         let backoff_base = self.svc.config.backoff_base;
@@ -1288,8 +1513,10 @@ impl<'a> FleetRun<'a> {
     /// a time from this thread. Results merge in batch order, so the
     /// outcome is independent of the worker count.
     fn execute_batch(&mut self, batch: &[usize], now: SimTime) {
-        let (plans, singles): (Vec<usize>, Vec<usize>) =
+        let (plans, rest): (Vec<usize>, Vec<usize>) =
             batch.iter().partition(|&&id| self.requests[id].plan.is_some());
+        let (cross, singles): (Vec<usize>, Vec<usize>) =
+            rest.into_iter().partition(|&id| !self.requests[id].participants.is_empty());
 
         let engine = &self.svc.engine;
         let requests = &self.requests;
@@ -1429,6 +1656,68 @@ impl<'a> FleetRun<'a> {
             self.schedule(now + exec.duration, Event::Complete { req: id, epoch });
         }
 
+        // Cross-device requests: executed serially from the loop thread —
+        // the exchange fans its partial joins onto the host pool
+        // internally — and merged in batch order. The request id salts the
+        // per-participant fault streams, decorrelating requests.
+        for &id in &cross {
+            let exec = {
+                let st = &self.requests[id];
+                match st.inputs.as_ref() {
+                    Some((r, s)) => {
+                        let expected = JoinCheck::compute(r, s);
+                        let participants: Vec<ExchangeParticipant> = st
+                            .participants
+                            .iter()
+                            .map(|&d| ExchangeParticipant {
+                                device: d,
+                                spec: self.spec_of(d).clone(),
+                            })
+                            .collect();
+                        let host = HostSpec::dual_xeon_e5_2650l_v3();
+                        let result = execute_exchange(
+                            &self.svc.engine,
+                            &participants,
+                            r,
+                            s,
+                            &ExchangeConfig::default(),
+                            &host,
+                            id as u64,
+                        );
+                        Some((expected, result))
+                    }
+                    None => None,
+                }
+            };
+            let level = self.requests[id].level;
+            let st = &mut self.requests[id];
+            let duration = match exec {
+                Some((expected, Ok(out))) => {
+                    st.metrics.executed = Some(level);
+                    st.metrics.check_ok = out.check == expected;
+                    st.metrics.matches = out.check.matches;
+                    st.metrics.faults = out.faults;
+                    st.metrics.counters = out.counters.rollup();
+                    st.lost_participants = out.lost;
+                    SimTime::from_nanos(((out.seconds * 1e9).round() as u64).max(1))
+                }
+                Some((_, Err(err))) => {
+                    st.metrics.error = Some(err.tag());
+                    st.metrics.check_ok = false;
+                    SimTime::from_nanos(1)
+                }
+                None => {
+                    st.metrics.error = Some(JoinError::Internal { detail: String::new() }.tag());
+                    self.invariants.push(format!("admitted cross request {id} has no inputs"));
+                    let epoch = self.requests[id].epoch;
+                    self.schedule(now + SimTime::from_nanos(1), Event::Complete { req: id, epoch });
+                    continue;
+                }
+            };
+            let epoch = st.epoch;
+            self.schedule(now + duration, Event::Complete { req: id, epoch });
+        }
+
         // Plans: one at a time, against their device's accountant and
         // cache, reseeded per (device, request).
         for &id in &plans {
@@ -1481,6 +1770,7 @@ impl<'a> FleetRun<'a> {
         // a healthy run has nothing left to release.
         for st in self.requests.iter_mut() {
             st.reservation = None;
+            st.extra_reservations.clear();
             st.hit = None;
             st.plan = None;
         }
@@ -1643,6 +1933,73 @@ mod tests {
         assert_eq!(fleet.devices[0].admitted, 20);
         assert_eq!(report.completed(), 20);
         assert_eq!(report.checks_passed(), 20);
+    }
+
+    #[test]
+    fn oversized_join_completes_as_a_cross_device_exchange() {
+        // 20k ⨝ 40k tuples = 480 KB of inputs against 512 KB devices:
+        // no single device fits the resident join, but two exchange
+        // shares do. With exchange on the planner must go cross-device,
+        // the join must complete oracle-correct, and the exchange bytes
+        // must surface in the (conditional) summary lines.
+        use crate::service::RequestSpec;
+        use hcj_workload::RelationSpec;
+        let workload = vec![ClientSpec {
+            requests: vec![QuerySpec::Join(RequestSpec {
+                r: RelationSpec::unique(20_000, 31),
+                s: RelationSpec::unique(40_000, 32),
+                build: None,
+            })],
+        }];
+        let exchanged = FleetService::new(
+            small_engine(None),
+            ServiceConfig::default(),
+            FleetConfig::new(3).with_exchange(),
+        )
+        .run(&workload);
+        let summary = exchanged.summary();
+        assert_eq!(exchanged.completed(), 1, "{summary}");
+        assert_eq!(exchanged.checks_passed(), 1, "{summary}");
+        assert_eq!(exchanged.cross_device(), 1, "planner kept it single-device:\n{summary}");
+        assert!(summary.contains("executed cross-device"), "{summary}");
+        assert!(summary.contains("exchange out / in"), "{summary}");
+        assert!(exchanged.invariant_violations.is_empty(), "{:?}", exchanged.invariant_violations);
+        assert_eq!(exchanged.device_used_at_end, 0, "leaked exchange envelopes:\n{summary}");
+
+        // The same workload with exchange off stays on the single-device
+        // ladder and prints none of the conditional lines.
+        let plain =
+            FleetService::new(small_engine(None), ServiceConfig::default(), FleetConfig::new(3))
+                .run(&workload);
+        assert_eq!(plain.cross_device(), 0);
+        assert!(!plain.summary().contains("cross-device"), "{}", plain.summary());
+        assert!(!plain.summary().contains("exchange"), "{}", plain.summary());
+        assert_eq!(plain.checks_passed(), 1, "{}", plain.summary());
+    }
+
+    #[test]
+    fn heterogeneous_mix_sizes_devices_from_their_specs() {
+        // GTX 1080 + V100 mix (both capacity-scaled): per-device capacity
+        // must come from each device's own spec, and the mixed fleet must
+        // still complete a mixed workload clean.
+        let mix = vec![
+            DeviceSpec::gtx1080().scaled_capacity(1 << 14),
+            DeviceSpec::v100().scaled_capacity(1 << 14),
+        ];
+        let svc = FleetService::new(
+            small_engine(None),
+            ServiceConfig::default(),
+            FleetConfig::new(0).with_device_mix(mix.clone()).with_exchange(),
+        );
+        let report = svc.run(&mixed_workload(6, 10, 1_000, 13));
+        let fleet = report.fleet.as_ref().expect("rollup present");
+        assert_eq!(fleet.devices.len(), 2);
+        assert_eq!(fleet.devices[0].capacity, mix[0].device_mem_bytes);
+        assert_eq!(fleet.devices[1].capacity, mix[1].device_mem_bytes);
+        assert!(fleet.devices[1].capacity > fleet.devices[0].capacity, "v100 is bigger");
+        assert_eq!(report.completed(), 60, "{}", report.summary());
+        assert_eq!(report.checks_passed(), 60, "{}", report.summary());
+        assert!(report.invariant_violations.is_empty(), "{:?}", report.invariant_violations);
     }
 
     #[test]

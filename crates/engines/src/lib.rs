@@ -21,10 +21,13 @@
 //! These are *models of published behaviour*, not re-implementations of
 //! proprietary systems; DESIGN.md records the substitution.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod cogadb;
 pub mod dag;
 pub mod dbmsx;
+pub mod exchange;
 pub mod facade;
 pub mod fleet;
 pub mod result;
@@ -34,6 +37,7 @@ pub use cache::{BuildCache, BuildCacheConfig, CachePeek, CacheReport, CachedTabl
 pub use cogadb::CoGaDbLike;
 pub use dag::{execute_plan, plan_envelope, DagScheduler, OpReport, PlanRun};
 pub use dbmsx::DbmsXLike;
+pub use exchange::{execute_exchange, ExchangeConfig, ExchangeOutcome, ExchangeParticipant};
 pub use facade::{HcjEngine, PlannedStrategy};
 pub use fleet::{DeviceHealth, DeviceRollup, FleetConfig, FleetRollup, FleetService};
 pub use result::{EngineError, EngineResult};

@@ -521,6 +521,15 @@ impl ServiceReport {
         self.requests.iter().filter(|m| m.finished() && m.executed == Some(strategy)).count()
     }
 
+    /// Finished requests that executed as a cross-device exchange join
+    /// (any participant count).
+    pub fn cross_device(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|m| m.finished() && matches!(m.executed, Some(PlannedStrategy::CrossDevice(_))))
+            .count()
+    }
+
     /// Requests that were multi-join plans.
     pub fn plan_requests(&self) -> usize {
         self.requests.iter().filter(|m| !m.plan_ops.is_empty()).count()
@@ -563,6 +572,10 @@ impl ServiceReport {
         ] {
             line(&format!("executed {s}"), format!("{}", self.executed_count(s)));
         }
+        // Conditional: pre-exchange runs stay byte-identical.
+        if self.cross_device() > 0 {
+            line("executed cross-device", format!("{}", self.cross_device()));
+        }
         let f = self.faults_total();
         line("transfer faults", format!("{}", f.transfer_faults));
         line("kernel faults", format!("{}", f.kernel_faults));
@@ -574,6 +587,13 @@ impl ServiceReport {
         line("pcie transfers", format!("{}", c.transfers));
         line("device bytes", format!("{} B", c.device_bytes));
         line("h2d / d2h bytes", format!("{} B / {} B", c.h2d_bytes, c.d2h_bytes));
+        if c.exchange_transfers > 0 {
+            line("exchange transfers", format!("{}", c.exchange_transfers));
+            line(
+                "exchange out / in",
+                format!("{} B / {} B", c.exchange_out_bytes, c.exchange_in_bytes),
+            );
+        }
         line("coalescing efficiency", format!("{:.3}", c.coalescing_efficiency()));
         if let Some(cache) = &self.cache {
             let cc = cache.counters;

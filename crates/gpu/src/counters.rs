@@ -188,6 +188,8 @@ enum LaunchClass {
     Kernel,
     H2D,
     D2H,
+    ExchangeOut,
+    ExchangeIn,
 }
 
 /// One issued op with the per-launch values the counter tracks plot.
@@ -268,6 +270,13 @@ pub struct CounterRollup {
     pub issued_transactions: u64,
     /// Coalesced-minimum transactions, across all kernels.
     pub minimum_transactions: u64,
+    /// Inter-device exchange copies (both directions) recorded by
+    /// cross-device joins; zero for single-device executions.
+    pub exchange_transfers: u64,
+    /// Bytes this device shipped to peer devices over the interconnect.
+    pub exchange_out_bytes: u64,
+    /// Bytes this device received from peer devices over the interconnect.
+    pub exchange_in_bytes: u64,
     /// Build-side cache activity attributed to this request/run.
     pub cache: CacheCounters,
 }
@@ -282,6 +291,9 @@ impl CounterRollup {
         self.d2h_bytes += other.d2h_bytes;
         self.issued_transactions += other.issued_transactions;
         self.minimum_transactions += other.minimum_transactions;
+        self.exchange_transfers += other.exchange_transfers;
+        self.exchange_out_bytes += other.exchange_out_bytes;
+        self.exchange_in_bytes += other.exchange_in_bytes;
         self.cache.absorb(&other.cache);
     }
 
@@ -312,6 +324,12 @@ pub struct CounterSet {
     /// Build-side cache activity (recorded by the serving layer; always
     /// zero for standalone strategy executions).
     pub cache: CacheCounters,
+    /// Bytes shipped to peer devices over the inter-device interconnect
+    /// (cross-device exchange egress; zero for single-device runs).
+    pub exchange_out: TransferStats,
+    /// Bytes received from peer devices over the interconnect (exchange
+    /// ingress).
+    pub exchange_in: TransferStats,
     samples: Vec<LaunchSample>,
 }
 
@@ -363,7 +381,11 @@ impl CounterSet {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.kernels.is_empty() && self.h2d.transfers == 0 && self.d2h.transfers == 0
+        self.kernels.is_empty()
+            && self.h2d.transfers == 0
+            && self.d2h.transfers == 0
+            && self.exchange_out.transfers == 0
+            && self.exchange_in.transfers == 0
     }
 
     /// Per-kernel stats, keyed by normalized label (sorted).
@@ -437,6 +459,27 @@ impl CounterSet {
         }
     }
 
+    /// Record one completed inter-device exchange copy of `bytes` payload
+    /// bytes taking `seconds` over the modeled interconnect. Each shuffled
+    /// partition is recorded twice — as egress (`outgoing`) on the sender's
+    /// counter set and as ingress on the receiver's — so per-direction
+    /// exchange traffic is visible per device in `repro --profile` output
+    /// and serve rollups, at the same layer every other transfer records.
+    pub fn record_exchange(&mut self, op: Option<OpId>, outgoing: bool, bytes: u64, seconds: f64) {
+        let dir = if outgoing { &mut self.exchange_out } else { &mut self.exchange_in };
+        dir.transfers += 1;
+        dir.bytes += bytes;
+        dir.seconds += seconds;
+        if let Some(op) = op {
+            self.samples.push(LaunchSample {
+                op,
+                class: if outgoing { LaunchClass::ExchangeOut } else { LaunchClass::ExchangeIn },
+                bytes,
+                occupancy: None,
+            });
+        }
+    }
+
     /// Merge every counter of `other` into this set (used by outcomes that
     /// combine work from several devices or phases).
     pub fn absorb(&mut self, other: &CounterSet) {
@@ -455,7 +498,12 @@ impl CounterSet {
             }
             mine.bottleneck = stats.bottleneck;
         }
-        for (mine, theirs) in [(&mut self.h2d, &other.h2d), (&mut self.d2h, &other.d2h)] {
+        for (mine, theirs) in [
+            (&mut self.h2d, &other.h2d),
+            (&mut self.d2h, &other.d2h),
+            (&mut self.exchange_out, &other.exchange_out),
+            (&mut self.exchange_in, &other.exchange_in),
+        ] {
             mine.transfers += theirs.transfers;
             mine.bytes += theirs.bytes;
             mine.pageable_bytes += theirs.pageable_bytes;
@@ -488,6 +536,9 @@ impl CounterSet {
         roll.transfers = self.h2d.transfers + self.d2h.transfers;
         roll.h2d_bytes = self.h2d.bytes;
         roll.d2h_bytes = self.d2h.bytes;
+        roll.exchange_transfers = self.exchange_out.transfers + self.exchange_in.transfers;
+        roll.exchange_out_bytes = self.exchange_out.bytes;
+        roll.exchange_in_bytes = self.exchange_in.bytes;
         roll.cache = self.cache;
         roll
     }
@@ -545,6 +596,23 @@ impl CounterSet {
                 dir.transfers,
                 dir.bytes,
                 dir.pageable_bytes,
+                dir.seconds * 1e3,
+                dir.achieved_bandwidth() / 1e9,
+            );
+        }
+        // Exchange lines are conditional so single-device profiles stay
+        // byte-identical to their pre-fleet goldens.
+        for (name, dir) in
+            [("exchange-out", &self.exchange_out), ("exchange-in", &self.exchange_in)]
+        {
+            if dir.transfers == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{name}: {} transfer(s), {} B, {:.3} ms, {:.1} GB/s",
+                dir.transfers,
+                dir.bytes,
                 dir.seconds * 1e3,
                 dir.achieved_bandwidth() / 1e9,
             );
@@ -619,7 +687,12 @@ impl CounterSet {
             let _ = writeln!(out, "    }}{}", if i + 1 < self.kernels.len() { "," } else { "" });
         }
         out.push_str("  },\n");
-        for (name, dir) in [("h2d", &self.h2d), ("d2h", &self.d2h)] {
+        for (name, dir) in [
+            ("h2d", &self.h2d),
+            ("d2h", &self.d2h),
+            ("exchange_out", &self.exchange_out),
+            ("exchange_in", &self.exchange_in),
+        ] {
             let _ = writeln!(
                 out,
                 "  \"{name}\": {{ \"transfers\": {}, \"bytes\": {}, \"pageable_bytes\": {}, \
@@ -647,13 +720,16 @@ impl CounterSet {
         let _ = writeln!(
             out,
             "  \"totals\": {{ \"kernel_launches\": {}, \"transfers\": {}, \"device_bytes\": {}, \
-             \"h2d_bytes\": {}, \"d2h_bytes\": {}, \"issued_transactions\": {}, \
+             \"h2d_bytes\": {}, \"d2h_bytes\": {}, \"exchange_out_bytes\": {}, \
+             \"exchange_in_bytes\": {}, \"issued_transactions\": {}, \
              \"minimum_transactions\": {}, \"coalescing_efficiency\": {} }}",
             roll.kernel_launches,
             roll.transfers,
             roll.device_bytes,
             roll.h2d_bytes,
             roll.d2h_bytes,
+            roll.exchange_out_bytes,
+            roll.exchange_in_bytes,
             roll.issued_transactions,
             roll.minimum_transactions,
             json_f64(roll.coalescing_efficiency()),
@@ -667,7 +743,7 @@ impl CounterSet {
     /// recorded op runs, plus kernel occupancy. Merge into a schedule
     /// trace with `TraceExporter::to_json_with_counters`.
     pub fn counter_timeline(&self, schedule: &Schedule) -> Timeline {
-        let mut points: [Vec<(hcj_sim::SimTime, f64)>; 4] = std::array::from_fn(|_| Vec::new());
+        let mut points: [Vec<(hcj_sim::SimTime, f64)>; 6] = std::array::from_fn(|_| Vec::new());
         for sample in &self.samples {
             let (start, end) = (schedule.start(sample.op), schedule.finish(sample.op));
             if end <= start {
@@ -679,6 +755,8 @@ impl CounterSet {
                 LaunchClass::Kernel => 0,
                 LaunchClass::H2D => 1,
                 LaunchClass::D2H => 2,
+                LaunchClass::ExchangeOut => 4,
+                LaunchClass::ExchangeIn => 5,
             };
             points[series].push((start, gbps));
             points[series].push((end, 0.0));
@@ -690,7 +768,14 @@ impl CounterSet {
             }
         }
         let mut timeline = Timeline::new("hcj-counters");
-        let names = ["device-mem GB/s", "h2d GB/s", "d2h GB/s", "occupancy"];
+        let names = [
+            "device-mem GB/s",
+            "h2d GB/s",
+            "d2h GB/s",
+            "occupancy",
+            "xchg-out GB/s",
+            "xchg-in GB/s",
+        ];
         for (name, mut series) in names.into_iter().zip(points) {
             if series.is_empty() {
                 continue;
@@ -886,11 +971,17 @@ mod tests {
             d2h_bytes: 1,
             issued_transactions: 8,
             minimum_transactions: 4,
+            exchange_transfers: 3,
+            exchange_out_bytes: 7,
+            exchange_in_bytes: 9,
             cache: CacheCounters { hits: 3, misses: 1, ..CacheCounters::default() },
         };
         a.absorb(&a.clone());
         assert_eq!(a.kernel_launches, 2);
         assert_eq!(a.device_bytes, 20);
+        assert_eq!(a.exchange_transfers, 6);
+        assert_eq!(a.exchange_out_bytes, 14);
+        assert_eq!(a.exchange_in_bytes, 18);
         assert_eq!(a.cache.hits, 6);
         assert_eq!(a.cache.misses, 2);
         assert_eq!(a.coalescing_efficiency(), 0.5);
@@ -948,6 +1039,35 @@ mod tests {
         let table = a.render_table();
         assert!(table.contains("bottleneck"));
         assert!(table.contains("h2d: 1 transfer(s)"));
+    }
+
+    #[test]
+    fn exchange_counters_accumulate_and_render_conditionally() {
+        let mut set = CounterSet::for_device(&spec());
+        // No exchange recorded: no exchange lines, so single-device
+        // profiles stay byte-identical to their goldens.
+        assert!(!set.render_table().contains("exchange"));
+        set.record_exchange(None, true, 4096, 1e-6);
+        set.record_exchange(None, true, 4096, 1e-6);
+        set.record_exchange(None, false, 1024, 1e-6);
+        assert!(!set.is_empty());
+        assert_eq!(set.exchange_out.transfers, 2);
+        assert_eq!(set.exchange_out.bytes, 8192);
+        assert_eq!(set.exchange_in.bytes, 1024);
+        let roll = set.rollup();
+        assert_eq!(roll.exchange_transfers, 3);
+        assert_eq!(roll.exchange_out_bytes, 8192);
+        assert_eq!(roll.exchange_in_bytes, 1024);
+        let table = set.render_table();
+        assert!(table.contains("exchange-out: 2 transfer(s), 8192 B"));
+        assert!(table.contains("exchange-in: 1 transfer(s), 1024 B"));
+        let json = set.to_json();
+        assert!(json.contains("\"exchange_out\": { \"transfers\": 2, \"bytes\": 8192"));
+        assert!(json.contains("\"exchange_out_bytes\": 8192"));
+        let mut other = CounterSet::for_device(&spec());
+        other.absorb(&set);
+        assert_eq!(other.exchange_out.bytes, 8192);
+        assert_eq!(other.exchange_in.transfers, 1);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Modeled inter-device interconnect for cross-device exchange.
+//!
+//! When a partitioned join spans devices, non-local partitions are shuffled
+//! from the device that staged them to the device that owns them. Discrete
+//! GPUs in this model have no NVLink: a peer copy is a staged
+//! PCIe-to-PCIe hop through host memory, so a link's bandwidth is bounded
+//! by the slower endpoint's PCIe bandwidth and every copy pays both
+//! endpoints' launch/setup overheads. The exchange executor charges every
+//! shuffled partition through [`InterconnectLink::transfer_seconds`] and
+//! records the same bytes on both endpoints' counter sets
+//! ([`crate::CounterSet::record_exchange`]), which is how exchange traffic
+//! becomes visible per direction in `repro --profile` output.
+
+use crate::spec::DeviceSpec;
+
+/// One directed inter-device link, derived from the two endpoint specs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectLink {
+    /// Sustained link bandwidth, bytes/second: the staged peer copy is
+    /// bounded by the slower of the two endpoints' PCIe links.
+    pub bandwidth: f64,
+    /// Fixed per-copy latency, seconds: both endpoints' launch overheads
+    /// (source D2H issue + destination H2D issue through the host bounce
+    /// buffer).
+    pub latency_s: f64,
+}
+
+impl InterconnectLink {
+    /// The link between `src` and `dst`, from their device specs.
+    pub fn between(src: &DeviceSpec, dst: &DeviceSpec) -> InterconnectLink {
+        InterconnectLink {
+            bandwidth: src.pcie_bandwidth.min(dst.pcie_bandwidth),
+            latency_s: src.launch_overhead_s + dst.launch_overhead_s,
+        }
+    }
+
+    /// Seconds to move `bytes` payload bytes over this link (one staged
+    /// copy: fixed latency plus serialized bandwidth time). Zero-byte
+    /// shuffles are free — no copy is issued for an empty partition.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.latency_s + bytes as f64 / self.bandwidth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_is_bounded_by_the_slower_endpoint() {
+        let slow = DeviceSpec::gtx1080(); // 12 GB/s PCIe
+        let fast = DeviceSpec::v100(); // faster PCIe
+        let link = InterconnectLink::between(&slow, &fast);
+        assert_eq!(link.bandwidth, slow.pcie_bandwidth.min(fast.pcie_bandwidth));
+        // Symmetric bandwidth, both directions pay the same serialization.
+        let back = InterconnectLink::between(&fast, &slow);
+        assert_eq!(link.bandwidth, back.bandwidth);
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization_and_empty_is_free() {
+        let spec = DeviceSpec::gtx1080();
+        let link = InterconnectLink::between(&spec, &spec);
+        assert_eq!(link.transfer_seconds(0), 0.0);
+        let t = link.transfer_seconds(1 << 20);
+        let expect = 2.0 * spec.launch_overhead_s + (1u64 << 20) as f64 / spec.pcie_bandwidth;
+        assert!((t - expect).abs() < 1e-15, "t={t} expect={expect}");
+        assert!(link.transfer_seconds(1 << 21) > t, "monotone in bytes");
+    }
+}

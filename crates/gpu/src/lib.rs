@@ -34,6 +34,7 @@ pub mod cost;
 pub mod counters;
 pub mod error;
 pub mod faults;
+pub mod interconnect;
 pub mod memory;
 pub mod shared;
 pub mod spec;
@@ -51,6 +52,7 @@ pub use faults::{
     DeviceFault, FaultConfig, FaultEvent, FaultEventKind, FaultKind, FaultLog, FaultPlan,
     FaultSite, FaultSummary, RetryPolicy,
 };
+pub use interconnect::InterconnectLink;
 pub use memory::{DeviceBuffer, DeviceMemory, OutOfDeviceMemory, Reservation};
 pub use shared::{SharedMemLayout, SharedMemOverflow};
 pub use spec::DeviceSpec;

@@ -61,17 +61,20 @@ pub mod prelude {
     };
     pub use hcj_cpu_join::{NpoJoin, ProJoin};
     pub use hcj_engines::{
-        execute_plan, mixed_workload, plan_envelope, plan_workload, skewed_workload, BuildCache,
-        BuildCacheConfig, CachePeek, CacheReport, CacheRole, ClientSpec, CoGaDbLike, DagScheduler,
-        DbmsXLike, DeviceHealth, DeviceRollup, FleetConfig, FleetRollup, FleetService, HcjEngine,
-        JoinService, OpReport, PlanRun, PlanShape, PlannedStrategy, QuerySpec, RequestSpec,
-        ServiceConfig, ServiceReport,
+        execute_exchange, execute_plan, mixed_workload, plan_envelope, plan_workload,
+        skewed_workload, BuildCache, BuildCacheConfig, CachePeek, CacheReport, CacheRole,
+        ClientSpec, CoGaDbLike, DagScheduler, DbmsXLike, DeviceHealth, DeviceRollup,
+        ExchangeConfig, ExchangeOutcome, ExchangeParticipant, FleetConfig, FleetRollup,
+        FleetService, HcjEngine, JoinService, OpReport, PlanRun, PlanShape, PlannedStrategy,
+        QuerySpec, RequestSpec, ServiceConfig, ServiceReport,
     };
     pub use hcj_gpu::{DeviceSpec, ErrorClass, FaultConfig, FaultSummary, JoinError, RetryPolicy};
     pub use hcj_host::HostSpec;
     pub use hcj_sim::{Schedule, ScheduleValidator, TraceExporter};
     pub use hcj_workload::generate::canonical_pair;
-    pub use hcj_workload::oracle::{reference_join, JoinCheck};
+    pub use hcj_workload::oracle::{
+        composed_join_check, exchange_partition, partition_by_key, reference_join, JoinCheck,
+    };
     pub use hcj_workload::plan::{
         chain_plan, plan_oracle, star_plan, PlanOp, PlanOracle, PlanSpec,
     };

@@ -9,6 +9,8 @@
 //! helpers that charge CPU work to *both* a thread lane and the right
 //! memory links, so interference emerges rather than being hard-coded.
 
+#![warn(missing_docs)]
+
 pub mod numa;
 pub mod pool;
 pub mod spec;

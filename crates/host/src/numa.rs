@@ -16,6 +16,7 @@ pub enum Socket {
 }
 
 impl Socket {
+    /// The socket's index in the machine's DRAM resource table.
     pub fn index(self) -> usize {
         match self {
             Socket::Near => 0,
@@ -23,22 +24,65 @@ impl Socket {
         }
     }
 
+    /// The other socket of the dual-socket machine.
     pub fn other(self) -> Socket {
         match self {
             Socket::Near => Socket::Far,
             Socket::Far => Socket::Near,
         }
     }
+
+    /// The socket device `device` is locally attached to: devices
+    /// alternate PCIe root complexes across sockets (device 0 and 2 on
+    /// [`Socket::Near`], device 1 and 3 on [`Socket::Far`]), mirroring a
+    /// dual-socket server with two GPUs per riser.
+    pub fn of_device(device: usize) -> Socket {
+        if device % 2 == 0 {
+            Socket::Near
+        } else {
+            Socket::Far
+        }
+    }
+
+    /// NUMA node distance in hops: 1 to the local node's DRAM, 2 when the
+    /// access crosses the inter-socket link.
+    pub fn distance(self, other: Socket) -> u32 {
+        if self == other {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Seconds to stage `bytes` of host-resident data homed on `home` for DMA
+/// into a device attached to `local`, on the machine described by `spec`.
+///
+/// A local staging pass (distance 1) only reads the socket's own DRAM. A
+/// remote pass (distance 2) reads the home socket's DRAM *and* crosses the
+/// inter-socket link at DMA efficiency — QPI DMA reads sustain only a
+/// fraction of the link's nominal bandwidth (`qpi_dma_efficiency`, the
+/// paper's measured far-socket penalty) — so remote staging is strictly
+/// more expensive and cross-device joins charge each participant's H2D
+/// traffic from that device's own node.
+pub fn staging_seconds(spec: &HostSpec, home: Socket, local: Socket, bytes: u64) -> f64 {
+    let dram = bytes as f64 / spec.socket_mem_bandwidth;
+    match home.distance(local) {
+        1 => dram,
+        _ => dram + bytes as f64 / (spec.qpi_bandwidth * spec.qpi_dma_efficiency),
+    }
 }
 
 /// The modeled host: registers DRAM and QPI resources with the simulator.
 pub struct HostMachine {
+    /// The machine parameters this instance was registered with.
     pub spec: HostSpec,
     dram: Vec<ResourceId>,
     qpi: ResourceId,
 }
 
 impl HostMachine {
+    /// Register the host's DRAM and QPI resources with the simulator.
     pub fn new(sim: &mut Sim, spec: HostSpec) -> Self {
         assert_eq!(spec.sockets, 2, "the model covers the paper's dual-socket topology");
         let dram = (0..spec.sockets)
@@ -87,10 +131,12 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
+    /// Number of hardware threads in this lane.
     pub fn threads(&self) -> u32 {
         self.threads
     }
 
+    /// The simulator resource the lane's work is charged to.
     pub fn resource(&self) -> ResourceId {
         self.resource
     }
@@ -129,6 +175,51 @@ mod tests {
         let mut sim = Sim::new();
         let m = HostMachine::new(&mut sim, HostSpec::dual_xeon_e5_2650l_v3());
         let _ = m.thread_pool(&mut sim, "too-big", 49);
+    }
+
+    #[test]
+    fn node_distance_charging_is_pinned() {
+        // Distance is 1 on-node and 2 across the link, both directions.
+        assert_eq!(Socket::Near.distance(Socket::Near), 1);
+        assert_eq!(Socket::Far.distance(Socket::Far), 1);
+        assert_eq!(Socket::Near.distance(Socket::Far), 2);
+        assert_eq!(Socket::Far.distance(Socket::Near), 2);
+        // Device→socket attachment alternates root complexes.
+        assert_eq!(Socket::of_device(0), Socket::Near);
+        assert_eq!(Socket::of_device(1), Socket::Far);
+        assert_eq!(Socket::of_device(2), Socket::Near);
+        assert_eq!(Socket::of_device(3), Socket::Far);
+    }
+
+    #[test]
+    fn local_staging_is_a_pure_dram_read() {
+        let spec = HostSpec::dual_xeon_e5_2650l_v3();
+        let bytes = 1u64 << 26;
+        let local = staging_seconds(&spec, Socket::Near, Socket::Near, bytes);
+        let expect = bytes as f64 / spec.socket_mem_bandwidth;
+        assert!((local - expect).abs() < 1e-15, "local={local} expect={expect}");
+        // Same cost on the far socket's own node: locality is relative.
+        let far = staging_seconds(&spec, Socket::Far, Socket::Far, bytes);
+        assert_eq!(local, far);
+        assert_eq!(staging_seconds(&spec, Socket::Near, Socket::Near, 0), 0.0);
+    }
+
+    #[test]
+    fn remote_staging_pays_the_qpi_dma_penalty_exactly() {
+        let spec = HostSpec::dual_xeon_e5_2650l_v3();
+        let bytes = 1u64 << 26;
+        let local = staging_seconds(&spec, Socket::Near, Socket::Near, bytes);
+        let remote = staging_seconds(&spec, Socket::Far, Socket::Near, bytes);
+        assert!(remote > local, "crossing the link is never free");
+        let qpi_term = bytes as f64 / (spec.qpi_bandwidth * spec.qpi_dma_efficiency);
+        assert!(
+            (remote - (local + qpi_term)).abs() < 1e-15,
+            "remote staging is DRAM read + QPI DMA hop: remote={remote}"
+        );
+        // Symmetric: far-homed→near device costs the same as near→far.
+        assert_eq!(remote, staging_seconds(&spec, Socket::Near, Socket::Far, bytes));
+        // Monotone in bytes on both paths.
+        assert!(staging_seconds(&spec, Socket::Far, Socket::Near, 2 * bytes) > remote);
     }
 
     #[test]

@@ -82,6 +82,7 @@ impl Pool {
         Pool::new(jobs())
     }
 
+    /// Worker count this pool was built with.
     pub fn jobs(&self) -> usize {
         self.jobs
     }
@@ -185,14 +186,17 @@ unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
 unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
 
 impl<'a, T> DisjointSlice<'a, T> {
+    /// Wrap a mutable slice for disjoint-range sharing across workers.
     pub fn new(slice: &'a mut [T]) -> Self {
         DisjointSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
     }
 
+    /// Length of the wrapped slice.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether the wrapped slice is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -3,8 +3,11 @@
 /// Parameters of the modeled dual-socket host.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HostSpec {
+    /// Human-readable machine name (testbed identifier in figure notes).
     pub name: &'static str,
+    /// Socket count; the model covers the paper's dual-socket topology.
     pub sockets: u32,
+    /// Physical cores per socket.
     pub cores_per_socket: u32,
     /// Hardware threads per core (the paper runs PRO/NPO on 48 threads of
     /// 24 cores).

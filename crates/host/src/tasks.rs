@@ -23,13 +23,21 @@ pub enum CpuTaskKind {
     /// Radix-partition `bytes` of input with software-managed buffers.
     /// `non_temporal` selects streaming stores (the paper's choice) which
     /// avoid reading output cache lines and cut DRAM traffic from 3x to 2x.
-    Partition { non_temporal: bool },
+    Partition {
+        /// Use streaming (non-temporal) stores for the output buffers.
+        non_temporal: bool,
+    },
     /// Stage (memcpy) bytes from the far socket into near-socket pinned
     /// memory (paper §IV-B's NUMA-aware copy).
     StagingCopy,
     /// Arbitrary compute at `bytes_per_s` per thread with
     /// `mem_amplification` DRAM bytes per input byte.
-    Custom { bytes_per_s: f64, mem_amplification: f64 },
+    Custom {
+        /// Per-thread processing rate in bytes per second.
+        bytes_per_s: f64,
+        /// DRAM bytes moved per input byte processed.
+        mem_amplification: f64,
+    },
 }
 
 /// Submit one task of `kind` over `bytes` of data homed on `socket`,

@@ -28,7 +28,9 @@ pub mod zipf;
 
 pub use catalog::{BuildCatalog, BuildRef, CatalogRelation, PopularityStream};
 pub use generate::{KeyDistribution, RelationSpec};
-pub use oracle::{reference_join, JoinCheck};
+pub use oracle::{
+    composed_join_check, exchange_partition, partition_by_key, reference_join, JoinCheck,
+};
 pub use plan::{chain_plan, plan_oracle, star_plan, PlanOp, PlanOracle, PlanSpec};
 pub use relation::{Relation, Tuple};
 pub use rng::{Rng, SmallRng};

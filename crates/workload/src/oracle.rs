@@ -71,6 +71,62 @@ impl JoinCheck {
         }
         check
     }
+
+    /// The empty check: additive identity for [`JoinCheck::absorb`].
+    pub const ZERO: JoinCheck = JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 };
+
+    /// Accumulate a partial (per-partition) check into this one. Because
+    /// [`exchange_partition`] partitions by key, partitions join
+    /// disjointly and the sum of partial checks equals the full check —
+    /// which is what makes the composed cross-device oracle sound.
+    pub fn absorb(&mut self, other: &JoinCheck) {
+        self.matches += other.matches;
+        self.sum_r_payload = self.sum_r_payload.wrapping_add(other.sum_r_payload);
+        self.sum_s_payload = self.sum_s_payload.wrapping_add(other.sum_s_payload);
+    }
+}
+
+/// The exchange partition of `key` among `partitions` buckets: a
+/// splitmix64-finalized hash reduced mod the partition count. This is the
+/// **single source of truth** shared by the cross-device exchange executor
+/// and the composed oracle below — both sides of a join agree on partition
+/// membership by construction, and a change here changes both together.
+pub fn exchange_partition(key: u32, partitions: usize) -> usize {
+    assert!(partitions > 0, "at least one partition");
+    let mut z = u64::from(key).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = z ^ (z >> 31);
+    (z % partitions as u64) as usize
+}
+
+/// Split `rel` into `partitions` relations by [`exchange_partition`] of
+/// each tuple's key, preserving input order inside every partition and the
+/// relation's logical payload width.
+pub fn partition_by_key(rel: &Relation, partitions: usize) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..partitions)
+        .map(|_| Relation { payload_width: rel.payload_width, ..Relation::default() })
+        .collect();
+    for t in rel.iter() {
+        let p = &mut parts[exchange_partition(t.key, partitions)];
+        p.keys.push(t.key);
+        p.payloads.push(t.payload);
+    }
+    parts
+}
+
+/// The composed cross-device oracle: partition both inputs by key, join
+/// each partition pair with the reference oracle, and merge the partial
+/// checks in ascending partition order. Equal to [`JoinCheck::compute`] on
+/// the whole inputs for every partition count (tested below), so a
+/// cross-device exchange join can be validated partition by partition.
+pub fn composed_join_check(r: &Relation, s: &Relation, partitions: usize) -> JoinCheck {
+    let (r_parts, s_parts) = (partition_by_key(r, partitions), partition_by_key(s, partitions));
+    let mut check = JoinCheck::ZERO;
+    for (rp, sp) in r_parts.iter().zip(&s_parts) {
+        check.absorb(&JoinCheck::compute(rp, sp));
+    }
+    check
 }
 
 /// Assert that `rows` (any order) equals the reference join of `r ⨝ s`.
@@ -159,6 +215,41 @@ mod tests {
             JoinCheck::compute(&e, &e),
             JoinCheck { matches: 0, sum_r_payload: 0, sum_s_payload: 0 }
         );
+    }
+
+    #[test]
+    fn composed_check_equals_full_check_for_every_partition_count() {
+        for (r, s) in [
+            canonical_pair(128, 512, 11),
+            (
+                RelationSpec::zipf(500, 40, 0.9, 1).generate(),
+                RelationSpec::zipf(800, 40, 0.9, 2).generate(),
+            ),
+        ] {
+            let full = JoinCheck::compute(&r, &s);
+            for parts in [1usize, 2, 3, 4, 7, 64] {
+                assert_eq!(
+                    composed_join_check(&r, &s, parts),
+                    full,
+                    "composed oracle diverges at {parts} partitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_by_key_conserves_tuples_and_is_key_disjoint() {
+        let (r, _) = canonical_pair(1000, 1000, 5);
+        let parts = partition_by_key(&r, 8);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), r.len());
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.payload_width, r.payload_width);
+            for t in p.iter() {
+                assert_eq!(exchange_partition(t.key, 8), i, "key {} misplaced", t.key);
+            }
+        }
+        // Same key always lands in the same partition (determinism).
+        assert_eq!(exchange_partition(42, 8), exchange_partition(42, 8));
     }
 
     #[test]

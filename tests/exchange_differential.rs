@@ -1,0 +1,191 @@
+//! Differential suite for cross-device exchange joins
+//! (`hcj_engines::exchange`): the executor against the composed
+//! partition-by-partition oracle across input shapes and fleet widths, a
+//! pinned chaos seed that kills a participant mid-exchange, and
+//! byte-identity of the whole exchange fleet across `--jobs` counts.
+
+use hashjoin_gpu::prelude::*;
+
+fn engine(faults: Option<FaultConfig>) -> HcjEngine {
+    let device = DeviceSpec::gtx1080().scaled_capacity(1 << 14); // 512 KB
+    let mut cfg = GpuJoinConfig::paper_default(device).with_radix_bits(8).with_tuned_buckets(8_000);
+    if let Some(f) = faults {
+        cfg = cfg.with_faults(f);
+    }
+    HcjEngine::new(cfg)
+}
+
+fn participants(n: usize) -> Vec<ExchangeParticipant> {
+    (0..n)
+        .map(|device| ExchangeParticipant {
+            device,
+            spec: DeviceSpec::gtx1080().scaled_capacity(1 << 14),
+        })
+        .collect()
+}
+
+/// Uniform and zipf-skewed inputs, across 2/3/4-device fleets: the
+/// exchange join must equal both the composed per-partition oracle and
+/// the whole-input ground truth, and every shuffled byte must arrive
+/// (egress == ingress — conservation is the executor's leak audit).
+#[test]
+fn exchange_matches_the_composed_oracle_across_shapes_and_widths() {
+    let shapes: Vec<(&str, Relation, Relation)> = vec![
+        {
+            let (r, s) = canonical_pair(24_000, 48_000, 11);
+            ("uniform", r, s)
+        },
+        (
+            "zipf",
+            RelationSpec::zipf(24_000, 2_000, 1.0, 12).generate(),
+            RelationSpec::zipf(48_000, 2_000, 1.0, 13).generate(),
+        ),
+    ];
+    let cfg = ExchangeConfig::default();
+    let host = HostSpec::dual_xeon_e5_2650l_v3();
+    let engine = engine(None);
+    for (name, r, s) in &shapes {
+        let full = JoinCheck::compute(r, s);
+        assert_eq!(
+            composed_join_check(r, s, 1 << cfg.radix_bits),
+            full,
+            "{name}: composed oracle is sound"
+        );
+        for n in [2usize, 3, 4] {
+            let out = execute_exchange(&engine, &participants(n), r, s, &cfg, &host, 7)
+                .unwrap_or_else(|e| panic!("{name} x {n} devices failed: {e:?}"));
+            assert_eq!(out.check, full, "{name} x {n} devices diverges from the oracle");
+            assert!(out.lost.is_empty(), "{name} x {n}: no faults armed");
+            assert_eq!(
+                out.counters.exchange_out.bytes, out.counters.exchange_in.bytes,
+                "{name} x {n}: every shuffled byte must arrive"
+            );
+            assert!(
+                out.counters.exchange_out.bytes > 0,
+                "{name} x {n}: a multi-device exchange moves bytes"
+            );
+            // Wider fleets shuffle a larger share of the inputs.
+            assert_eq!(out.owners.len(), 1 << cfg.radix_bits);
+            assert_eq!(out.per_device.len(), n);
+        }
+    }
+}
+
+/// The exchange fleet under a pinned chaos seed: every request is big
+/// enough that only a cross-device plan admits it, and the seed's fault
+/// draws kill at least one participant while its exchange is in flight.
+/// The exchange re-runs the lost partitions on an adopter, so every
+/// completed request stays oracle-correct; the fleet drains the dead
+/// device and the run ends with zero leaked bytes.
+fn chaos_exchange_fleet() -> FleetService {
+    let faults =
+        FaultConfig { kernel_fault_p: 0.05, device_lost_p: 0.3, ..FaultConfig::disabled(21) };
+    FleetService::new(
+        engine(Some(faults)),
+        ServiceConfig::default(),
+        FleetConfig::new(3).with_exchange(),
+    )
+}
+
+fn oversized_workload() -> Vec<ClientSpec> {
+    // Two closed-loop clients, five joins each; every join's inputs
+    // (480 KB) overflow one 512 KB device, so admission is cross-device
+    // or nothing.
+    (0..2)
+        .map(|c| ClientSpec {
+            requests: (0..5)
+                .map(|i| {
+                    let seed = 100 + (c * 5 + i) as u64;
+                    QuerySpec::Join(RequestSpec {
+                        r: RelationSpec::unique(20_000, seed),
+                        s: RelationSpec::zipf(40_000, 20_000, 0.75, seed ^ 0xff),
+                        build: None,
+                    })
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn pinned_chaos_seed_kills_a_participant_mid_exchange() {
+    let report = chaos_exchange_fleet().run(&oversized_workload());
+    let summary = report.summary();
+    let fleet = report.fleet.as_ref().expect("fleet runs attach a rollup");
+
+    // The seed must actually kill hardware, and since every request is
+    // cross-device, the loss was observed by an in-flight exchange.
+    assert!(fleet.lost() >= 1, "seed 21 must kill at least one participant:\n{summary}");
+    assert!(fleet.lost() < 3, "at least one device survives:\n{summary}");
+    assert!(report.cross_device() >= 1, "requests must run as exchanges:\n{summary}");
+
+    // Completes correctly: the adopter re-run keeps every finished
+    // request oracle-correct.
+    let accounted = report.completed() + report.deadline_exceeded() + report.errored();
+    assert_eq!(accounted, 10, "no request vanishes:\n{summary}");
+    assert_eq!(
+        report.checks_passed(),
+        report.completed(),
+        "every finished request is oracle-correct:\n{summary}"
+    );
+    assert!(report.completed() >= 1, "the fleet keeps serving:\n{summary}");
+
+    // Zero leaked bytes: the lost device drained its envelopes, the
+    // audits stayed clean, and nothing is reserved at the end.
+    assert!(
+        report.invariant_violations.is_empty(),
+        "leak/accounting audit is clean: {:?}",
+        report.invariant_violations
+    );
+    assert_eq!(report.device_used_at_end, 0, "no envelope survives the run:\n{summary}");
+    for d in &fleet.devices {
+        assert_eq!(d.used_at_end, 0, "device {} leaks {} B:\n{summary}", d.id, d.used_at_end);
+        assert!(d.peak_bytes <= d.capacity, "device {} over-reserved:\n{summary}", d.id);
+    }
+}
+
+/// The exchange fleet — chaos seed, participant losses, adopter re-runs
+/// and all — renders byte-identical summaries at `--jobs` 1, 2 and 4.
+#[test]
+fn exchange_fleet_summary_is_byte_identical_across_jobs() {
+    let workload = oversized_workload();
+    let mut summaries: Vec<String> = Vec::new();
+    for jobs in [1usize, 2, 4, 4] {
+        hashjoin_gpu::host::pool::set_jobs(jobs);
+        summaries.push(chaos_exchange_fleet().run(&workload).summary());
+    }
+    hashjoin_gpu::host::pool::set_jobs(1);
+    assert_eq!(summaries[0], summaries[1], "jobs 1 vs 2: identical");
+    assert_eq!(summaries[0], summaries[2], "jobs 1 vs 4: identical");
+    assert_eq!(summaries[2], summaries[3], "same seed, same jobs: identical");
+    assert!(summaries[0].contains("executed cross-device"), "{}", summaries[0]);
+    assert!(summaries[0].contains("exchange out / in"), "{}", summaries[0]);
+}
+
+/// A heterogeneous exchange fleet (GTX 1080 + V100 + GTX 1080) completes
+/// the oversized workload with throughput-weighted partition ownership,
+/// and stays deterministic run to run.
+#[test]
+fn heterogeneous_exchange_fleet_completes_and_is_deterministic() {
+    let mix = vec![
+        DeviceSpec::gtx1080().scaled_capacity(1 << 14),
+        DeviceSpec::v100().scaled_capacity(1 << 14),
+        DeviceSpec::gtx1080().scaled_capacity(1 << 14),
+    ];
+    let svc = || {
+        FleetService::new(
+            engine(None),
+            ServiceConfig::default(),
+            FleetConfig::new(0).with_device_mix(mix.clone()).with_exchange(),
+        )
+    };
+    let workload = oversized_workload();
+    let a = svc().run(&workload);
+    let b = svc().run(&workload);
+    assert_eq!(a.summary(), b.summary(), "mixed fleet is deterministic");
+    assert_eq!(a.completed(), 10, "{}", a.summary());
+    assert_eq!(a.checks_passed(), 10, "{}", a.summary());
+    assert!(a.cross_device() >= 1, "{}", a.summary());
+    assert!(a.invariant_violations.is_empty(), "{:?}", a.invariant_violations);
+    assert_eq!(a.device_used_at_end, 0, "{}", a.summary());
+}
